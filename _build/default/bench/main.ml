@@ -1,0 +1,296 @@
+(* Benchmark harness (see DESIGN.md §3, B1-B6).
+
+   Two kinds of output:
+   - Bechamel micro-benchmarks: cost of the CAL/linearizability checkers,
+     agreement, exploration, and end-to-end verification (B1, B2, B3, B5,
+     B6); estimates are printed as a table, one row per benchmark.
+   - "Figure" tables (B4 and companions): simulated-time throughput sweeps
+     that reproduce the shape of the elimination-stack motivation (HSY'04)
+     and the exchanger/synchronous-queue success-rate curves.
+
+   Run: dune exec bench/main.exe            (everything)
+        dune exec bench/main.exe -- quick   (fewer samples)           *)
+
+open Bechamel
+open Toolkit
+open Cal
+module S = Workloads.Scenarios
+
+let quick = Array.exists (fun a -> a = "quick") Sys.argv
+
+(* ---------------------------------------------------------- fixtures -- *)
+
+let e_oid = Ids.Oid.v "E"
+let s_oid = Ids.Oid.v "S"
+let ex_spec = Spec_exchanger.spec ()
+let stack_spec = Spec_stack.spec ~oid:s_oid ~allow_spurious_failure:true ()
+
+let exchanger_history ~elements seed =
+  let g = Workloads.Gen.create ~seed in
+  let tr = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:4 ~elements in
+  Workloads.Gen.history_of_trace g tr
+
+let stack_history ~elements seed =
+  let g = Workloads.Gen.create ~seed in
+  let tr = Workloads.Gen.stack_trace g ~oid:s_oid ~threads:4 ~elements in
+  Workloads.Gen.history_of_trace g tr
+
+(* B1 — CAL checker cost vs history length. *)
+let b1 =
+  List.map
+    (fun elements ->
+      let h = exchanger_history ~elements 11L in
+      Test.make
+        ~name:(Fmt.str "cal-checker/exchanger-%d-elems" elements)
+        (Staged.stage (fun () -> ignore (Cal_checker.check ~spec:ex_spec h))))
+    [ 2; 4; 6; 8 ]
+
+(* B2 — CAL vs classic linearizability on the same stack histories: for
+   singleton-element specs the two decide the same question. *)
+let b2 =
+  List.concat_map
+    (fun elements ->
+      let h = stack_history ~elements 13L in
+      [
+        Test.make
+          ~name:(Fmt.str "lin-vs-cal/lin-stack-%d" elements)
+          (Staged.stage (fun () -> ignore (Lin_checker.check ~spec:stack_spec h)));
+        Test.make
+          ~name:(Fmt.str "lin-vs-cal/cal-stack-%d" elements)
+          (Staged.stage (fun () -> ignore (Cal_checker.check ~spec:stack_spec h)));
+      ])
+    [ 4; 8 ]
+
+(* B3 — exploration cost: the full pair and the preemption-bounded trio. *)
+let b3 =
+  let pair = S.exchanger_pair () in
+  let trio = S.exchanger_trio () in
+  [
+    Test.make ~name:"explore/exchanger-pair-full"
+      (Staged.stage (fun () ->
+           ignore
+             (Conc.Explore.exhaustive ~setup:pair.setup ~fuel:pair.fuel
+                ~f:(fun _ -> ())
+                ())));
+    Test.make ~name:"explore/exchanger-trio-pb2"
+      (Staged.stage (fun () ->
+           ignore
+             (Conc.Explore.exhaustive ~setup:trio.setup ~fuel:trio.fuel
+                ~preemption_bound:2
+                ~f:(fun _ -> ())
+                ())));
+    Test.make ~name:"explore/random-100-runs"
+      (Staged.stage (fun () ->
+           ignore
+             (Conc.Explore.random ~setup:trio.setup ~fuel:trio.fuel ~runs:100 ~seed:3L
+                ~f:(fun _ -> ())
+                ())));
+  ]
+
+(* B5 — modularity payoff: verifying the elimination stack against the
+   concrete vs the abstract exchanger. *)
+let b5 =
+  let conc = S.elim_stack_push_pop ~k:1 () in
+  let abs = S.elim_stack_push_pop ~abstract:true ~k:1 () in
+  let verify (s : S.t) () =
+    ignore
+      (Verify.Obligations.check_object ~setup:s.setup ~spec:s.spec ~view:s.view
+         ~fuel:s.fuel ())
+  in
+  [
+    Test.make ~name:"modularity/elim-stack-concrete" (Staged.stage (verify conc));
+    Test.make ~name:"modularity/elim-stack-abstract" (Staged.stage (verify abs));
+  ]
+
+(* B6 — agreement cost vs overlap-class size: one big element of n
+   pairwise-concurrent failing ops; identical arguments are the worst case
+   for the multiset matcher. *)
+let b6 =
+  List.map
+    (fun n ->
+      let ops =
+        List.init n (fun i ->
+            Spec_exchanger.failure ~oid:e_oid (Ids.Tid.of_int i) (Value.int 1))
+      in
+      let h =
+        History.of_list
+          (List.init n (fun i ->
+               Action.inv ~tid:(Ids.Tid.of_int i) ~oid:e_oid
+                 ~fid:Spec_exchanger.fid_exchange (Value.int 1))
+          @ List.init n (fun i ->
+                Action.res ~tid:(Ids.Tid.of_int i) ~oid:e_oid
+                  ~fid:Spec_exchanger.fid_exchange
+                  (Value.fail (Value.int 1))))
+      in
+      Test.make
+        ~name:(Fmt.str "agreement/%d-identical-concurrent-ops" n)
+        (Staged.stage (fun () -> ignore (Agreement.agrees h ops))))
+    [ 2; 4; 6; 8 ]
+
+(* B7 — interval-linearizability checker cost vs operation count. *)
+let b7 =
+  let w_oid = Ids.Oid.v "W" in
+  let spec = Interval_lin.observer_of_ticks ~oid:w_oid in
+  List.map
+    (fun ticks ->
+      let inv_watch =
+        Action.inv ~tid:(Ids.Tid.of_int 9) ~oid:w_oid ~fid:(Ids.Fid.v "watch")
+          Value.unit
+      in
+      let res_watch =
+        Action.res ~tid:(Ids.Tid.of_int 9) ~oid:w_oid ~fid:(Ids.Fid.v "watch")
+          (Value.int ticks)
+      in
+      let tick_ops i =
+        [
+          Action.inv ~tid:(Ids.Tid.of_int i) ~oid:w_oid ~fid:(Ids.Fid.v "tick")
+            (Value.int i);
+          Action.res ~tid:(Ids.Tid.of_int i) ~oid:w_oid ~fid:(Ids.Fid.v "tick")
+            Value.unit;
+        ]
+      in
+      let h =
+        History.of_list
+          ((inv_watch :: List.concat_map tick_ops (List.init ticks (fun i -> i + 1)))
+          @ [ res_watch ])
+      in
+      Test.make
+        ~name:(Fmt.str "interval-lin/watch-over-%d-ticks" ticks)
+        (Staged.stage (fun () ->
+             ignore (Interval_lin.is_interval_linearizable ~spec h))))
+    [ 2; 3; 4 ]
+
+(* B8 — blocking structures: dual queue and elimination queue end-to-end
+   verification. *)
+let b8 =
+  let verify (s : S.t) () =
+    ignore
+      (Verify.Obligations.check_object ~setup:s.setup ~spec:s.spec ~view:s.view
+         ~fuel:s.fuel ?preemption_bound:s.bound ())
+  in
+  [
+    Test.make ~name:"blocking/dual-queue-enq-deq"
+      (Staged.stage (verify (S.dual_queue_enq_deq ())));
+    Test.make ~name:"blocking/dual-queue-two-consumers"
+      (Staged.stage (verify (S.dual_queue_two_consumers ())));
+    Test.make ~name:"blocking/elim-queue-enq-deq"
+      (Staged.stage (verify (S.elim_queue_enq_deq ())));
+    Test.make ~name:"blocking/elim-queue-fifo-pb3"
+      (Staged.stage (verify (S.elim_queue_fifo ())));
+  ]
+
+(* ------------------------------------------------------------ driver -- *)
+
+let run_bechamel tests =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let quota = if quick then 0.2 else 0.6 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false () in
+  let grouped = Test.make_grouped ~name:"bench" ~fmt:"%s/%s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Fmt.pr "@.%-55s %15s@." "benchmark" "ns/run";
+  List.iter
+    (fun (name, est) ->
+      if Float.is_nan est then Fmt.pr "%-55s %15s@." name "-"
+      else Fmt.pr "%-55s %15.0f@." name est)
+    rows
+
+(* B4 — the HSY'04-shaped figure: stack throughput under contention. *)
+let figure_stack_throughput () =
+  let fuel = if quick then 40_000 else 200_000 in
+  Fmt.pr
+    "@.# B4: simulated stack throughput (completed ops / 1000 scheduler steps)@.";
+  Fmt.pr "# the paper's motivation: elimination recovers throughput under contention@.";
+  Fmt.pr "%8s %16s %16s %16s@." "threads" "treiber-retry" "elim(k=1)" "elim(k=4)";
+  List.iter
+    (fun threads ->
+      let tp impl =
+        (Workloads.Metrics.stack_throughput ~impl ~threads ~fuel ~seed:42L).throughput
+      in
+      Fmt.pr "%8d %16.2f %16.2f %16.2f@." threads
+        (tp Workloads.Metrics.Treiber_retry)
+        (tp (Workloads.Metrics.Elimination 1))
+        (tp (Workloads.Metrics.Elimination 4)))
+    [ 1; 2; 4; 8; 16; 32 ]
+
+let figure_exchanger_success () =
+  let fuel = if quick then 40_000 else 150_000 in
+  Fmt.pr "@.# B4b: exchanger success rate vs concurrency (the CA behaviour)@.";
+  Fmt.pr "%8s %12s %12s %12s@." "threads" "completed" "succeeded" "rate";
+  List.iter
+    (fun threads ->
+      let r =
+        Workloads.Metrics.exchanger_success_rate ~threads ~rounds:50 ~fuel ~seed:7L
+      in
+      Fmt.pr "%8d %12d %12d %11.0f%%@." threads r.ops_completed r.ops_succeeded
+        (if r.ops_completed = 0 then 0.
+         else 100. *. float_of_int r.ops_succeeded /. float_of_int r.ops_completed))
+    [ 1; 2; 4; 8; 16 ]
+
+let figure_sync_queue () =
+  let fuel = if quick then 40_000 else 150_000 in
+  Fmt.pr "@.# B4c: synchronous queue rendezvous rate (producers vs consumers)@.";
+  Fmt.pr "%8s %10s %12s %12s %12s@." "prod" "cons" "completed" "rendezvous" "rate";
+  List.iter
+    (fun (p, c) ->
+      let r =
+        Workloads.Metrics.sync_queue_handoffs ~producers:p ~consumers:c ~rounds:40
+          ~fuel ~seed:9L
+      in
+      Fmt.pr "%8d %10d %12d %12d %11.0f%%@." p c r.ops_completed r.ops_succeeded
+        (if r.ops_completed = 0 then 0.
+         else 100. *. float_of_int r.ops_succeeded /. float_of_int r.ops_completed))
+    [ (1, 1); (2, 2); (4, 4); (8, 8); (4, 1); (1, 4) ]
+
+(* B9 — bug preemption depth (iterative context bounding) for the faulty
+   objects: how few context switches expose each bug. *)
+let figure_bug_depth () =
+  Fmt.pr "@.# B9: preemption depth of the injected bugs (CHESS-style)@.";
+  let depth (s : S.t) =
+    let p (o : Conc.Runner.outcome) =
+      Result.is_ok (Verify.Obligations.check_outcome ~spec:s.spec ~view:s.view o)
+    in
+    match Conc.Explore.failure_depth ~setup:s.setup ~fuel:s.fuel ~max_bound:4 ~p () with
+    | `Fails_at (d, _) -> Fmt.str "%d preemptions" d
+    | `Holds _ -> "not found within bound 4"
+  in
+  List.iter
+    (fun (s : S.t) -> Fmt.pr "%-28s %s@." s.name (depth s))
+    [ S.faulty_counter (); S.faulty_stack (); S.faulty_exchanger (); S.faulty_elim_queue () ]
+
+let figure_verification_cost () =
+  Fmt.pr "@.# B5b: verification run counts (modularity payoff, exact)@.";
+  let count (s : S.t) =
+    let r =
+      Verify.Obligations.check_object ~setup:s.setup ~spec:s.spec ~view:s.view
+        ~fuel:s.fuel ()
+    in
+    (r.Verify.Obligations.runs, Verify.Obligations.ok r)
+  in
+  let rc, okc = count (S.elim_stack_push_pop ~k:1 ()) in
+  let ra, oka = count (S.elim_stack_push_pop ~abstract:true ~k:1 ()) in
+  Fmt.pr "%-42s %10d interleavings, ok=%b@." "elim-stack over concrete exchanger" rc okc;
+  Fmt.pr "%-42s %10d interleavings, ok=%b@." "elim-stack over abstract exchanger" ra oka;
+  Fmt.pr "%-42s %9.1fx@." "state-space reduction"
+    (float_of_int rc /. float_of_int (max 1 ra))
+
+let () =
+  Fmt.pr "== CAL benchmark harness%s ==@." (if quick then " (quick)" else "");
+  run_bechamel (b1 @ b2 @ b3 @ b5 @ b6 @ b7 @ b8);
+  figure_stack_throughput ();
+  figure_exchanger_success ();
+  figure_sync_queue ();
+  figure_verification_cost ();
+  figure_bug_depth ();
+  Fmt.pr "@.done.@."

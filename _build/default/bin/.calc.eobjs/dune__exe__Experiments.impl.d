@@ -1,0 +1,1 @@
+bin/experiments.ml: Ca_trace Cal Cal_checker Conc Fmt Hashtbl History Ids Lin_checker List Spec_exchanger Structures Unix Value Verify Workloads

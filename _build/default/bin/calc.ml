@@ -1,0 +1,314 @@
+(* calc — the concurrency-aware-linearizability command line.
+
+   Subcommands:
+     list         enumerate the built-in scenarios
+     verify       model-check a scenario (obligations / black box / R-G)
+     fig3         reproduce the paper's Fig. 3 histories and verdicts
+     check        check a history file against a built-in specification
+     explore      interleaving-space growth vs preemption bound
+     outline      check Fig. 1's proof-outline assertions
+     throughput   simulated-time stack throughput sweep (HSY'04 shape)
+     experiments  run the full experiment suite *)
+
+open Cmdliner
+open Cal
+module S = Workloads.Scenarios
+
+let pr = Fmt.pr
+
+(* ------------------------------------------------------------------ list *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (s : S.t) ->
+        pr "%-32s %d threads, fuel %d, expect %s@.    %s@." s.name s.threads s.fuel
+          (if s.expect_ok then "ok" else "FAIL")
+          s.description)
+      (S.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in verification scenarios")
+    Term.(const run $ const ())
+
+(* ---------------------------------------------------------------- verify *)
+
+let scenario_arg =
+  let parse name =
+    match S.find name with
+    | Some s -> Ok s
+    | None -> Error (`Msg (Fmt.str "unknown scenario %S (try `calc list')" name))
+  in
+  let print ppf (s : S.t) = Fmt.string ppf s.name in
+  Arg.conv (parse, print)
+
+let fuel_arg =
+  Arg.(value & opt (some int) None & info [ "fuel" ] ~docv:"N" ~doc:"Scheduler fuel")
+
+let max_runs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-runs" ] ~docv:"N" ~doc:"Cap on explored interleavings")
+
+let verify_scenario ~mode ?max_runs ~fuel (s : S.t) =
+  let fuel = Option.value fuel ~default:s.fuel in
+  let preemption_bound = s.bound in
+  let t0 = Unix.gettimeofday () in
+  let report =
+    match mode with
+    | `Obligations ->
+        Verify.Obligations.check_object ~setup:s.setup ~spec:s.spec ~view:s.view ~fuel
+          ?max_runs ?preemption_bound ()
+    | `Black_box ->
+        Verify.Obligations.check_black_box ~setup:s.setup ~spec:s.spec ~fuel ?max_runs
+          ?preemption_bound ()
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  pr "%-32s %a%s  (%.2fs)@." s.name Verify.Obligations.pp_report report
+    (match s.bound with
+    | Some b -> Fmt.str " [<=%d preemptions]" b
+    | None -> "")
+    dt;
+  Verify.Obligations.ok report = s.expect_ok
+
+let verify_cmd =
+  let black_box =
+    Arg.(
+      value & flag
+      & info [ "black-box" ]
+          ~doc:"Decide CAL on histories alone, ignoring the auxiliary trace")
+  in
+  let rg =
+    Arg.(
+      value & flag
+      & info [ "rg" ]
+          ~doc:
+            "Additionally run the Fig. 4 rely/guarantee transition checker (exchanger \
+             scenarios only)")
+  in
+  let scenarios =
+    Arg.(
+      value
+      & pos_all scenario_arg []
+      & info [] ~docv:"SCENARIO" ~doc:"Scenario names; default: all")
+  in
+  let run black_box rg fuel max_runs scenarios =
+    let scenarios = if scenarios = [] then S.all () else scenarios in
+    let mode = if black_box then `Black_box else `Obligations in
+    let ok = List.for_all (verify_scenario ~mode ?max_runs ~fuel) scenarios in
+    if rg then begin
+      let report =
+        Verify.Exchanger_proof.check_program
+          ~threads:(fun _ctx ex ->
+            [|
+              Structures.Exchanger.exchange ex ~tid:(Ids.Tid.of_int 0) (Value.int 3);
+              Structures.Exchanger.exchange ex ~tid:(Ids.Tid.of_int 1) (Value.int 4);
+              Structures.Exchanger.exchange ex ~tid:(Ids.Tid.of_int 2) (Value.int 7);
+            |])
+          ~fuel:(Option.value fuel ~default:90)
+          ?max_runs ()
+      in
+      pr "%a@." Verify.Exchanger_proof.pp_report report
+    end;
+    if ok then `Ok () else `Error (false, "some scenario did not match its expectation")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Model-check scenarios: every interleaving, both CAL obligations")
+    Term.(ret (const run $ black_box $ rg $ fuel_arg $ max_runs_arg $ scenarios))
+
+(* ------------------------------------------------------------------ fig3 *)
+
+let fig3_cmd =
+  let run () =
+    let module P = Workloads.Paper_examples in
+    let spec = Spec_exchanger.spec () in
+    let show name h expect_cal =
+      pr "--- %s ---@.%s@." name (Timeline.render h);
+      let cal = Cal_checker.is_cal ~spec h in
+      let lin = Lin_checker.is_linearizable ~spec h in
+      pr "CAL: %b (expected %b)   classic linearizability: %b@.@." cal expect_cal lin
+    in
+    pr "Program P = t1: exchg(3) || t2: exchg(4) || t3: exchg(7)@.@.";
+    show "H1 (concurrent run of P)" P.h1 true;
+    show "H2 (CA-history shaped run)" P.h2 true;
+    show "H3 (sequential explanation attempt)" P.h3 false;
+    show "H3' (the undesired prefix of H3)" P.h3' false;
+    pr "The CA-trace explaining H1 and H2:@.%s@."
+      (Timeline.render_trace P.swap_trace);
+    pr
+      "@.Conclusion (paper §3): histories with successful swaps have no sequential@.\
+       explanation — every CAL witness pairs the two exchanges in one CA-element.@."
+  in
+  Cmd.v
+    (Cmd.info "fig3" ~doc:"Reproduce Fig. 3: H1/H2 accepted, H3 and its prefix rejected")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------ throughput *)
+
+let throughput_cmd =
+  let threads =
+    Arg.(value & opt (list int) [ 1; 2; 4; 8; 16 ] & info [ "threads" ] ~docv:"N,N,…")
+  in
+  let fuel = Arg.(value & opt int 200_000 & info [ "fuel" ] ~docv:"STEPS") in
+  let k = Arg.(value & opt int 4 & info [ "k" ] ~docv:"SLOTS") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED") in
+  let run threads fuel k seed =
+    let seed = Int64.of_int seed in
+    pr "# simulated stack throughput (completed ops per 1000 scheduler steps)@.";
+    pr "# %8s %16s %16s@." "threads" "treiber-retry" (Fmt.str "elimination(k=%d)" k);
+    List.iter
+      (fun n ->
+        let tr =
+          Workloads.Metrics.stack_throughput ~impl:Workloads.Metrics.Treiber_retry
+            ~threads:n ~fuel ~seed
+        in
+        let el =
+          Workloads.Metrics.stack_throughput
+            ~impl:(Workloads.Metrics.Elimination k) ~threads:n ~fuel ~seed
+        in
+        pr "  %8d %16.2f %16.2f@." n tr.throughput el.throughput)
+      threads
+  in
+  Cmd.v
+    (Cmd.info "throughput"
+       ~doc:"Treiber vs elimination stack under rising contention (HSY'04 shape)")
+    Term.(const run $ threads $ fuel $ k $ seed)
+
+(* ----------------------------------------------------------------- check *)
+
+let spec_by_name name =
+  match name with
+  | "exchanger" -> Ok (Spec_exchanger.spec ())
+  | "stack" -> Ok (Spec_stack.spec ())
+  | "stack-spurious" -> Ok (Spec_stack.spec ~allow_spurious_failure:true ())
+  | "queue" -> Ok (Spec_queue.spec ())
+  | "register" -> Ok (Spec_register.spec ())
+  | "counter" -> Ok (Spec_counter.spec ())
+  | "sync-queue" -> Ok (Spec_sync_queue.spec ())
+  | _ ->
+      Error
+        (`Msg
+          (Fmt.str
+             "unknown spec %S (one of exchanger, stack, stack-spurious, queue,               register, counter, sync-queue)"
+             name))
+
+let check_cmd =
+  let spec_arg =
+    let spec_conv =
+      Arg.conv
+        ( (fun s -> spec_by_name s),
+          (fun ppf (s : Spec.t) -> Fmt.string ppf s.Spec.name) )
+    in
+    Arg.(required & opt (some spec_conv) None & info [ "spec" ] ~docv:"SPEC")
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"HISTORY-FILE")
+  in
+  let lin_flag =
+    Arg.(value & flag & info [ "linearizability" ] ~doc:"Check classic linearizability instead of CAL")
+  in
+  let run spec file lin =
+    match History_format.load_history file with
+    | Error msg -> `Error (false, msg)
+    | Ok h ->
+        pr "%s@." (Timeline.render h);
+        if lin then begin
+          let verdict = Lin_checker.check ~spec h in
+          pr "%a@." Lin_checker.pp_verdict verdict;
+          match verdict with
+          | Lin_checker.Linearizable _ -> `Ok ()
+          | Lin_checker.Not_linearizable _ -> `Error (false, "not linearizable")
+        end
+        else begin
+          let verdict = Cal_checker.check ~spec h in
+          pr "%a@." Cal_checker.pp_verdict verdict;
+          match verdict with
+          | Cal_checker.Accepted { trace; _ } ->
+              pr "@.witness trace:@.%s@." (History_format.print_trace trace);
+              `Ok ()
+          | Cal_checker.Rejected _ -> `Error (false, "not CAL")
+        end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Check a history file (see lib/cal/history_format.mli for the format)           against a built-in specification")
+    Term.(ret (const run $ spec_arg $ file_arg $ lin_flag))
+
+(* --------------------------------------------------------------- explore *)
+
+let explore_cmd =
+  let scenarios =
+    Arg.(
+      value
+      & pos_all scenario_arg []
+      & info [] ~docv:"SCENARIO" ~doc:"Scenario names; default: exchanger-pair")
+  in
+  let max_bound = Arg.(value & opt int 4 & info [ "max-bound" ] ~docv:"B") in
+  let run scenarios max_bound =
+    let scenarios = if scenarios = [] then [ S.exchanger_pair () ] else scenarios in
+    List.iter
+      (fun (s : S.t) ->
+        pr "%s (fuel %d):@." s.name s.fuel;
+        for b = 0 to max_bound do
+          let t0 = Unix.gettimeofday () in
+          let stats =
+            Conc.Explore.exhaustive ~setup:s.setup ~fuel:s.fuel ~preemption_bound:b
+              ~max_runs:2_000_000
+              ~f:(fun _ -> ())
+              ()
+          in
+          pr "  <=%d preemptions: %8d runs%s  (%.2fs)@." b stats.runs
+            (if stats.truncated then " [truncated]" else "")
+            (Unix.gettimeofday () -. t0)
+        done)
+      scenarios
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Show how the interleaving space grows with the preemption bound")
+    Term.(const run $ scenarios $ max_bound)
+
+(* --------------------------------------------------------------- outline *)
+
+let outline_cmd =
+  let values =
+    Arg.(value & opt (list int) [ 3; 4 ] & info [ "values" ] ~docv:"V,V,…")
+  in
+  let bound = Arg.(value & opt (some int) None & info [ "preemption-bound" ] ~docv:"B") in
+  let run values bound =
+    let report =
+      Verify.Proof_outline.check_program
+        ~values:(List.map Value.int values)
+        ~fuel:(30 * List.length values)
+        ?preemption_bound:bound ()
+    in
+    pr "%a@." Verify.Proof_outline.pp_report report;
+    if Verify.Proof_outline.ok report then `Ok ()
+    else `Error (false, "proof outline violated")
+  in
+  Cmd.v
+    (Cmd.info "outline"
+       ~doc:"Check Fig. 1's proof-outline assertions over all interleavings")
+    Term.(ret (const run $ values $ bound))
+
+(* ----------------------------------------------------------- experiments *)
+
+let experiments_cmd =
+  let run () = Experiments.run_all Format.std_formatter in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Run the full experiment suite (E1-E9 + negative controls) and print the report")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ main *)
+
+let () =
+  let doc = "concurrency-aware linearizability: checkers, objects, experiments" in
+  let info = Cmd.info "calc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [
+         list_cmd; verify_cmd; fig3_cmd; check_cmd; explore_cmd; outline_cmd;
+         throughput_cmd; experiments_cmd;
+       ]))

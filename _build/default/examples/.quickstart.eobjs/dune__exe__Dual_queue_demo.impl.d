@@ -1,0 +1,1 @@
+examples/dual_queue_demo.ml: Cal Conc Dual_queue Fmt Ids List Structures Timeline Value Verify Workloads

@@ -1,0 +1,1 @@
+examples/elimination_stack_demo.ml: Cal Conc Elim_array Elimination_stack Fmt Ids Structures Timeline Value Verify Workloads

@@ -1,0 +1,1 @@
+examples/fig3_histories.ml: Ca_trace Cal Cal_checker Conc Fmt Hashtbl History Lin_checker List Option Spec_exchanger Timeline Workloads

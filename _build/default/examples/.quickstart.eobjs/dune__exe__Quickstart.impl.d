@@ -1,0 +1,1 @@
+examples/quickstart.ml: Action Agreement Cal Cal_checker Fmt History Ids Lin_checker List Spec_exchanger Spec_stack Timeline Value

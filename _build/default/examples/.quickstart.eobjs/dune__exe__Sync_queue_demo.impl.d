@@ -1,0 +1,1 @@
+examples/sync_queue_demo.ml: Cal Conc Fmt Ids List Structures Sync_queue Timeline Value Verify Workloads

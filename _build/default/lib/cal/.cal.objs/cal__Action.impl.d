@@ -1,0 +1,1 @@
+lib/cal/action.pp.ml: Fid Fmt Ids Oid Tid Value

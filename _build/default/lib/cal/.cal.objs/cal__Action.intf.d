@@ -1,0 +1,1 @@
+lib/cal/action.pp.mli: Format Ids Value

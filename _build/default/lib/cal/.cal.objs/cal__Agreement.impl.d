@@ -1,0 +1,1 @@
+lib/cal/agreement.pp.ml: Array Ca_trace Fmt Fun History Int List Op Option Result

@@ -1,0 +1,1 @@
+lib/cal/agreement.pp.mli: Ca_trace History

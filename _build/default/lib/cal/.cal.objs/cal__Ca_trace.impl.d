@@ -1,0 +1,1 @@
+lib/cal/ca_trace.pp.ml: Fmt Ids List Oid Op Tid

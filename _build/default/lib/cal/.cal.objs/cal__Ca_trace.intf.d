@@ -1,0 +1,1 @@
+lib/cal/ca_trace.pp.mli: Format Ids Op

@@ -1,0 +1,1 @@
+lib/cal/cal_checker.pp.ml: Action Array Ca_trace Fmt Fun Hashtbl History Int List Op Option Spec Value

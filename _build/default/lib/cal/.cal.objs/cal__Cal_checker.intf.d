@@ -1,0 +1,1 @@
+lib/cal/cal_checker.pp.mli: Ca_trace Format History Spec

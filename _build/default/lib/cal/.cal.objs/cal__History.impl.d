@@ -1,0 +1,1 @@
+lib/cal/history.pp.ml: Action Array Fid Fmt Hashtbl Ids List Oid Op Result Seq Tid Value

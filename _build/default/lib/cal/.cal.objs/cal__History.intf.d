@@ -1,0 +1,1 @@
+lib/cal/history.pp.mli: Action Format Ids Op Seq Value

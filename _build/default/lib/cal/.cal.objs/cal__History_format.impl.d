@@ -1,0 +1,1 @@
+lib/cal/history_format.pp.ml: Action Ca_trace Fid Fmt History Ids In_channel List Oid Op Result String Tid Value

@@ -1,0 +1,1 @@
+lib/cal/history_format.pp.mli: Ca_trace History Value

@@ -1,0 +1,1 @@
+lib/cal/ids.pp.ml: Fmt Int String

@@ -1,0 +1,1 @@
+lib/cal/ids.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/cal/interval_lin.pp.ml: Array Fid Fmt Fun Hashtbl History Ids List Oid Op Option Value

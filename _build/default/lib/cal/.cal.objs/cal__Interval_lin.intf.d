@@ -1,0 +1,1 @@
+lib/cal/interval_lin.pp.mli: History Ids Op

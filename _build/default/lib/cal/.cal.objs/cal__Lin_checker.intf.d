@@ -1,0 +1,1 @@
+lib/cal/lin_checker.pp.mli: Format History Op Spec

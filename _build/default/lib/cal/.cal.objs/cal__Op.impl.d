@@ -1,0 +1,1 @@
+lib/cal/op.pp.ml: Fid Fmt Ids Oid Tid Value

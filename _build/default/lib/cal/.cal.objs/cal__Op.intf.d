@@ -1,0 +1,1 @@
+lib/cal/op.pp.mli: Format Ids Value

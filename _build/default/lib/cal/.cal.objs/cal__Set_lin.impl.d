@@ -1,0 +1,1 @@
+lib/cal/set_lin.pp.ml: Ca_trace Cal_checker Fmt History Ids List Spec

@@ -1,0 +1,1 @@
+lib/cal/set_lin.pp.mli: Cal_checker History Ids Op Spec Value

@@ -1,0 +1,1 @@
+lib/cal/spec.pp.ml: Ca_trace Fmt Ids List Op Option String Value

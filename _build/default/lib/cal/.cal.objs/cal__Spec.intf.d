@@ -1,0 +1,1 @@
+lib/cal/spec.pp.mli: Ca_trace Ids Op Value

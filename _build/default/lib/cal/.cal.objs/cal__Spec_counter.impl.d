@@ -1,0 +1,1 @@
+lib/cal/spec_counter.pp.ml: Ca_trace Fid Fmt Ids Oid Op Spec Value

@@ -1,0 +1,1 @@
+lib/cal/spec_counter.pp.mli: Ids Op Spec

@@ -1,0 +1,1 @@
+lib/cal/spec_dual_queue.pp.mli: Ca_trace Ids Op Spec Value

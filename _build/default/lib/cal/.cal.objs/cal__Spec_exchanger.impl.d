@@ -1,0 +1,1 @@
+lib/cal/spec_exchanger.pp.ml: Ca_trace Fid Fmt Ids List Oid Op Spec Value

@@ -1,0 +1,1 @@
+lib/cal/spec_queue.pp.ml: Ca_trace Fid Fmt Ids Oid Op Spec Value

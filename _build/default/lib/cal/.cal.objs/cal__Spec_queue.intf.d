@@ -1,0 +1,1 @@
+lib/cal/spec_queue.pp.mli: Ids Op Spec Value

@@ -1,0 +1,1 @@
+lib/cal/spec_register.pp.mli: Ids Op Spec Value

@@ -1,0 +1,1 @@
+lib/cal/spec_stack.pp.mli: Ids Op Spec Value

@@ -1,0 +1,1 @@
+lib/cal/spec_sync_queue.pp.ml: Ca_trace Fid Fmt Ids List Oid Op Spec Value

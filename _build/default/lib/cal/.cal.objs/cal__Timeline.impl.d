@@ -1,0 +1,1 @@
+lib/cal/timeline.pp.ml: Bytes Ca_trace Fid Fmt History Ids List String Tid Value

@@ -1,0 +1,1 @@
+lib/cal/timeline.pp.mli: Ca_trace Format History

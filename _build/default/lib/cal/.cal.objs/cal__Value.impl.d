@@ -1,0 +1,1 @@
+lib/cal/value.pp.ml: Fmt Hashtbl List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/cal/value.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/cal/view.pp.ml: Ca_trace Ids List Oid Op

@@ -1,0 +1,1 @@
+lib/cal/view.pp.mli: Ca_trace Ids

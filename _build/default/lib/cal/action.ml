@@ -1,0 +1,59 @@
+open Ids
+
+type t =
+  | Inv of { tid : Tid.t; oid : Oid.t; fid : Fid.t; arg : Value.t }
+  | Res of { tid : Tid.t; oid : Oid.t; fid : Fid.t; ret : Value.t }
+
+let inv ~tid ~oid ~fid arg = Inv { tid; oid; fid; arg }
+let res ~tid ~oid ~fid ret = Res { tid; oid; fid; ret }
+let tid = function Inv { tid; _ } | Res { tid; _ } -> tid
+let oid = function Inv { oid; _ } | Res { oid; _ } -> oid
+let fid = function Inv { fid; _ } | Res { fid; _ } -> fid
+let is_inv = function Inv _ -> true | Res _ -> false
+let is_res = function Res _ -> true | Inv _ -> false
+
+let matches ~inv ~res =
+  match (inv, res) with
+  | Inv i, Res r -> Tid.equal i.tid r.tid && Oid.equal i.oid r.oid && Fid.equal i.fid r.fid
+  | _, _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Inv a, Inv b ->
+      Tid.equal a.tid b.tid && Oid.equal a.oid b.oid && Fid.equal a.fid b.fid
+      && Value.equal a.arg b.arg
+  | Res a, Res b ->
+      Tid.equal a.tid b.tid && Oid.equal a.oid b.oid && Fid.equal a.fid b.fid
+      && Value.equal a.ret b.ret
+  | Inv _, Res _ | Res _, Inv _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Inv _, Res _ -> -1
+  | Res _, Inv _ -> 1
+  | Inv a, Inv b ->
+      let c = Tid.compare a.tid b.tid in
+      if c <> 0 then c
+      else
+        let c = Oid.compare a.oid b.oid in
+        if c <> 0 then c
+        else
+          let c = Fid.compare a.fid b.fid in
+          if c <> 0 then c else Value.compare a.arg b.arg
+  | Res a, Res b ->
+      let c = Tid.compare a.tid b.tid in
+      if c <> 0 then c
+      else
+        let c = Oid.compare a.oid b.oid in
+        if c <> 0 then c
+        else
+          let c = Fid.compare a.fid b.fid in
+          if c <> 0 then c else Value.compare a.ret b.ret
+
+let pp ppf = function
+  | Inv { tid; oid; fid; arg } ->
+      Fmt.pf ppf "(%a, inv %a.%a(%a))" Tid.pp tid Oid.pp oid Fid.pp fid Value.pp arg
+  | Res { tid; oid; fid; ret } ->
+      Fmt.pf ppf "(%a, res %a.%a => %a)" Tid.pp tid Oid.pp oid Fid.pp fid Value.pp ret
+
+let show a = Fmt.str "%a" pp a

@@ -1,0 +1,33 @@
+(** Object actions: invocations and responses (Definition 1).
+
+    An invocation [(t, inv o.f(n))] records that thread [t] started executing
+    method [f] on object [o] with argument [n]; a response [(t, res o.f ⇒ n)]
+    records that the execution terminated with return value [n]. *)
+
+type t =
+  | Inv of { tid : Ids.Tid.t; oid : Ids.Oid.t; fid : Ids.Fid.t; arg : Value.t }
+  | Res of { tid : Ids.Tid.t; oid : Ids.Oid.t; fid : Ids.Fid.t; ret : Value.t }
+
+val inv : tid:Ids.Tid.t -> oid:Ids.Oid.t -> fid:Ids.Fid.t -> Value.t -> t
+val res : tid:Ids.Tid.t -> oid:Ids.Oid.t -> fid:Ids.Fid.t -> Value.t -> t
+
+val tid : t -> Ids.Tid.t
+(** [tid ψ] is the thread of the action, written [tid(ψ)] in the paper. *)
+
+val oid : t -> Ids.Oid.t
+(** [oid ψ] is the object of the action, written [oid(ψ)]. *)
+
+val fid : t -> Ids.Fid.t
+(** [fid ψ] is the method of the action, written [fid(ψ)]. *)
+
+val is_inv : t -> bool
+val is_res : t -> bool
+
+(** [matches ~inv ~res] holds when [res] is a candidate matching response for
+    [inv]: same thread, object and method. *)
+val matches : inv:t -> res:t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string

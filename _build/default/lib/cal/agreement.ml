@@ -1,0 +1,67 @@
+type witness = { assignment : (History.entry * int) list }
+
+(* Decide Definition 5 by assigning history operations to trace positions,
+   position by position. Operations assignable at position [k] are those
+   whose every real-time predecessor is already assigned to a position
+   strictly below [k]; this both enforces [i ≺H j ⟹ π(i) < π(j)] and makes
+   the operations inside one element pairwise concurrent. Identical
+   operations are interchangeable, so matching an element's multiset
+   requires backtracking. *)
+let check h trace =
+  if not (History.is_complete h) then Error "history is not complete"
+  else begin
+    let entries = Array.of_list (History.entries h) in
+    let n = Array.length entries in
+    let ops_of_trace = Ca_trace.ops trace in
+    if List.length ops_of_trace <> n then
+      Error
+        (Fmt.str "operation count mismatch: history has %d, trace has %d" n
+           (List.length ops_of_trace))
+    else begin
+      let op_of = Array.map (fun e -> Option.get (History.op_of_entry e)) entries in
+      let preds =
+        Array.init n (fun i ->
+            List.filter_map
+              (fun j -> if History.precedes entries.(j) entries.(i) then Some j else None)
+              (List.init n Fun.id))
+      in
+      let assigned = Array.make n (-1) in
+      let elements = Array.of_list trace in
+      (* Assign all ops of element [k]; [ops] is the suffix still to match. *)
+      let rec match_element k ops =
+        match ops with
+        | [] -> place (k + 1)
+        | op :: rest ->
+            let try_entry i =
+              if assigned.(i) <> -1 then false
+              else if not (Op.equal op_of.(i) op) then false
+              else if
+                List.exists (fun j -> assigned.(j) = -1 || assigned.(j) >= k) preds.(i)
+              then false
+              else begin
+                assigned.(i) <- k;
+                if match_element k rest then true
+                else begin
+                  assigned.(i) <- -1;
+                  false
+                end
+              end
+            in
+            let rec try_from i = i < n && (try_entry i || try_from (i + 1)) in
+            try_from 0
+      and place k =
+        if k >= Array.length elements then Array.for_all (fun p -> p <> -1) assigned
+        else match_element k (Ca_trace.element_ops elements.(k))
+      in
+      if place 0 then
+        Ok
+          {
+            assignment =
+              List.init n (fun i -> (entries.(i), assigned.(i)))
+              |> List.sort (fun (_, a) (_, b) -> Int.compare a b);
+          }
+      else Error "no surjection explains the history by the trace"
+    end
+  end
+
+let agrees h t = Result.is_ok (check h t)

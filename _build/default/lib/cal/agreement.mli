@@ -1,0 +1,20 @@
+(** Agreement between a complete history and a CA-trace (Definition 5).
+
+    [H ⊑CAL T] holds when there is a surjection [π] from the operations of
+    [H] onto the positions of [T] such that (i) the real-time order of [H]
+    is preserved ([i ≺H j ⟹ π(i) < π(j)]) and (ii) the operations mapped to
+    position [k] are exactly the CA-element [T_k]. *)
+
+type witness = {
+  assignment : (History.entry * int) list;
+      (** Each operation of the history paired with the (0-based) position of
+          the CA-element of [T] explaining it. *)
+}
+
+val check : History.t -> Ca_trace.t -> (witness, string) result
+(** [check h t] decides [h ⊑CAL t] and produces the surjection [π] as a
+    witness, or a human-readable reason for disagreement. [h] must be
+    complete; an incomplete or ill-formed history yields [Error]. *)
+
+val agrees : History.t -> Ca_trace.t -> bool
+(** [agrees h t] is [Result.is_ok (check h t)]. *)

@@ -1,0 +1,51 @@
+(** CA-traces (Definition 4).
+
+    A CA-element is a pair [o.S] of an object [o] and a non-empty set [S] of
+    operations of [o] that "seem to take effect simultaneously". A CA-trace
+    is a sequence of CA-elements. CA-traces are the specification currency
+    of the paper: a CAL specification is a set of CA-traces, and the
+    instrumented auxiliary variable [𝒯] records one. *)
+
+type element = private { oid : Ids.Oid.t; ops : Op.t list }
+(** Invariants: [ops] is non-empty, sorted (canonical form), every operation
+    is on [oid], and no two operations share a thread (operations of one
+    thread can never overlap). *)
+
+type t = element list
+
+val element : Ids.Oid.t -> Op.t list -> element
+(** [element o ops] builds [o.{ops}]. Raises [Invalid_argument] when [ops]
+    is empty, contains an operation on a different object, or contains two
+    operations of the same thread. *)
+
+val singleton : Op.t -> element
+(** [singleton op] is [oid(op).{op}]. *)
+
+val element_ops : element -> Op.t list
+val element_oid : element -> Ids.Oid.t
+val element_size : element -> int
+
+val element_mem_thread : element -> Ids.Tid.t -> bool
+val element_equal : element -> element -> bool
+val element_compare : element -> element -> int
+val pp_element : Format.formatter -> element -> unit
+
+(** {1 Traces} *)
+
+val proj_thread : t -> Ids.Tid.t -> t
+(** [proj_thread T t] is [T|t]: the subsequence of CA-elements mentioning
+    thread [t] (including operations of other threads inside those
+    elements). *)
+
+val proj_object : t -> Ids.Oid.t -> t
+(** [proj_object T o] is [T|o]. *)
+
+val ops : t -> Op.t list
+(** All operations of the trace, in element order. *)
+
+val threads : t -> Ids.Tid.t list
+val objects : t -> Ids.Oid.t list
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string

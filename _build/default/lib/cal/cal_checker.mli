@@ -1,0 +1,41 @@
+(** The CAL decision procedure (Definition 6).
+
+    An object system [OS] is concurrency-aware linearizable w.r.t. a set of
+    CA-traces [𝒯] when every history [H ∈ OS] has a completion
+    [Hᶜ ∈ complete(H)] and a trace [T ∈ 𝒯] with [Hᶜ ⊑CAL T]. This module
+    decides the per-history question for the acceptor-based specifications
+    of {!Spec}.
+
+    The search interleaves the choice of a completion with the construction
+    of the explaining trace: pending operations are either dropped (their
+    invocation removed) or completed with a specification-proposed return
+    value at the moment they are placed into a CA-element. Placement
+    proceeds front-to-back: a CA-element may only contain operations whose
+    real-time predecessors have all been placed in strictly earlier
+    elements, which realises the [i ≺H j ⟹ π(i) < π(j)] condition of
+    Definition 5 by construction. Failed search states are memoised on
+    (set of placed operations, specification state). *)
+
+type stats = {
+  states_explored : int;  (** DFS nodes visited *)
+  memo_hits : int;        (** search states pruned by memoisation *)
+  drop_sets_tried : int;  (** how many pending-drop subsets were attempted *)
+}
+
+type verdict =
+  | Accepted of {
+      trace : Ca_trace.t;      (** the explaining CA-trace [T] *)
+      completion : History.t;  (** the completion [Hᶜ] with [Hᶜ ⊑CAL T] *)
+      stats : stats;
+    }
+  | Rejected of { reason : string; stats : stats }
+
+val check : spec:Spec.t -> History.t -> verdict
+(** [check ~spec h] decides whether [h] is CAL w.r.t. [spec]'s trace set.
+    Raises [Invalid_argument] when [h] is not well-formed or has more than
+    62 operations (the exhaustive search is only meant for bounded
+    histories). *)
+
+val is_cal : spec:Spec.t -> History.t -> bool
+
+val pp_verdict : Format.formatter -> verdict -> unit

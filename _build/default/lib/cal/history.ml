@@ -1,0 +1,174 @@
+open Ids
+
+type t = Action.t array
+
+type entry = {
+  id : int;
+  tid : Tid.t;
+  oid : Oid.t;
+  fid : Fid.t;
+  arg : Value.t;
+  ret : Value.t option;
+  inv_index : int;
+  res_index : int option;
+}
+
+let empty = [||]
+let of_list = Array.of_list
+let to_list = Array.to_list
+let append h a = Array.append h [| a |]
+let length = Array.length
+let nth h i = h.(i)
+
+let of_ops ops =
+  let actions =
+    List.concat_map
+      (fun (o : Op.t) ->
+        [
+          Action.inv ~tid:o.tid ~oid:o.oid ~fid:o.fid o.arg;
+          Action.res ~tid:o.tid ~oid:o.oid ~fid:o.fid o.ret;
+        ])
+      ops
+  in
+  of_list actions
+
+(* Scan the history, pairing every response with the unique pending
+   invocation of its thread. Returns the entries in invocation order, or an
+   error describing the first well-formedness violation. *)
+let scan (h : t) : (entry list, string) result =
+  let exception Bad of string in
+  let open_inv : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let acc = ref [] in
+  try
+    Array.iteri
+      (fun i a ->
+        let tid = Tid.to_int (Action.tid a) in
+        match a with
+        | Action.Inv { tid = t; oid; fid; arg } ->
+            if Hashtbl.mem open_inv tid then
+              raise (Bad (Fmt.str "action %d: thread %a invokes while pending" i Tid.pp t));
+            Hashtbl.replace open_inv tid i;
+            acc :=
+              { id = i; tid = t; oid; fid; arg; ret = None; inv_index = i; res_index = None }
+              :: !acc
+        | Action.Res { tid = t; oid; fid; ret } -> (
+            match Hashtbl.find_opt open_inv tid with
+            | None ->
+                raise (Bad (Fmt.str "action %d: thread %a responds with no pending invocation" i Tid.pp t))
+            | Some j ->
+                let matching =
+                  match h.(j) with
+                  | Action.Inv { oid = o'; fid = f'; _ } -> Oid.equal o' oid && Fid.equal f' fid
+                  | Action.Res _ -> false
+                in
+                if not matching then
+                  raise (Bad (Fmt.str "action %d: response does not match invocation at %d" i j));
+                Hashtbl.remove open_inv tid;
+                acc :=
+                  List.map
+                    (fun e ->
+                      if e.id = j then { e with ret = Some ret; res_index = Some i } else e)
+                    !acc))
+      h;
+    Ok (List.rev !acc)
+  with Bad reason -> Error reason
+
+let validate h = Result.map (fun _ -> ()) (scan h)
+let is_well_formed h = Result.is_ok (scan h)
+
+let entries h =
+  match scan h with
+  | Ok es -> es
+  | Error reason -> invalid_arg ("History.entries: " ^ reason)
+
+let pending h = List.filter (fun e -> e.res_index = None) (entries h)
+
+let is_sequential h =
+  is_well_formed h
+  &&
+  (* Alternation inv, res, inv, res, … starting with an invocation; a
+     trailing invocation (a final pending operation) is permitted. *)
+  let check i a =
+    if i mod 2 = 0 then Action.is_inv a
+    else Action.is_res a && Action.matches ~inv:h.(i - 1) ~res:a
+  in
+  let ok = ref true in
+  Array.iteri (fun i a -> if not (check i a) then ok := false) h;
+  !ok
+
+let is_complete h =
+  match scan h with
+  | Error _ -> false
+  | Ok es -> List.for_all (fun e -> e.res_index <> None) es
+
+let proj_thread h t =
+  of_list (List.filter (fun a -> Tid.equal (Action.tid a) t) (to_list h))
+
+let proj_object h o =
+  of_list (List.filter (fun a -> Oid.equal (Action.oid a) o) (to_list h))
+
+let threads h =
+  to_list h |> List.map Action.tid |> List.sort_uniq Tid.compare
+
+let objects h =
+  to_list h |> List.map Action.oid |> List.sort_uniq Oid.compare
+
+let op_of_entry e =
+  match e.ret with
+  | None -> None
+  | Some ret -> Some (Op.v ~tid:e.tid ~oid:e.oid ~fid:e.fid ~arg:e.arg ~ret)
+
+let pending_of_entry e : Op.pending =
+  { tid = e.tid; oid = e.oid; fid = e.fid; arg = e.arg }
+
+let precedes a b =
+  match a.res_index with None -> false | Some r -> r < b.inv_index
+
+let concurrent a b = (not (precedes a b)) && not (precedes b a)
+
+(* Enumerate completions: every pending invocation is either dropped or
+   completed with one of its candidate responses appended at the end. *)
+let completions ~responses ?(max = 10_000) h =
+  let pend = pending h in
+  let base = to_list h in
+  let choices =
+    List.map
+      (fun e ->
+        let p = pending_of_entry e in
+        let keep =
+          List.map
+            (fun ret -> `Complete (e.id, Action.res ~tid:e.tid ~oid:e.oid ~fid:e.fid ret))
+            (responses p)
+        in
+        `Drop e.id :: keep)
+      pend
+  in
+  (* Cartesian product over per-pending choices, lazily. *)
+  let rec product = function
+    | [] -> Seq.return []
+    | cs :: rest ->
+        Seq.concat_map
+          (fun pick -> Seq.map (fun tail -> pick :: tail) (product rest))
+          (List.to_seq cs)
+  in
+  let build picks =
+    let dropped =
+      List.filter_map (function `Drop id -> Some id | `Complete _ -> None) picks
+    in
+    let appended =
+      List.filter_map (function `Complete (_, a) -> Some a | `Drop _ -> None) picks
+    in
+    let kept =
+      List.filteri (fun i _ -> not (List.mem i dropped)) base
+    in
+    of_list (kept @ appended)
+  in
+  Seq.take max (Seq.map build (product choices))
+
+let pp ppf h =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Action.pp) (to_list h)
+
+let show h = Fmt.str "%a" pp h
+
+let equal a b =
+  Array.length a = Array.length b && Array.for_all2 Action.equal a b

@@ -1,0 +1,106 @@
+(** Histories (Definitions 2 and 3).
+
+    A history is a finite sequence of invocation and response actions. It is
+    {e well-formed} when the projection to every thread is sequential (an
+    alternation of invocations and matching responses starting with an
+    invocation); {e sequential} when the whole history is such an
+    alternation; {e complete} when it is well-formed and every invocation
+    has a matching response.
+
+    [complete(H)] (Definition 2) extends a well-formed history with some
+    response actions and removes some pending invocations; it is exposed
+    here as {!completions}.
+
+    The real-time order [≺H] (Definition 3) is exposed at the level of
+    {e operations} ({!precedes}): operation [a] precedes operation [b] when
+    [a]'s response occurs before [b]'s invocation. *)
+
+type t
+
+(** A resolved operation instance inside a history. [id] is the index of
+    the invocation action and uniquely identifies the operation. [ret] is
+    [None] for pending operations. *)
+type entry = {
+  id : int;
+  tid : Ids.Tid.t;
+  oid : Ids.Oid.t;
+  fid : Ids.Fid.t;
+  arg : Value.t;
+  ret : Value.t option;
+  inv_index : int;
+  res_index : int option;
+}
+
+(** {1 Construction} *)
+
+val empty : t
+val of_list : Action.t list -> t
+val to_list : t -> Action.t list
+val append : t -> Action.t -> t
+val length : t -> int
+val nth : t -> int -> Action.t
+
+(** [of_ops ops] is the sequential history [inv₁·res₁·inv₂·res₂·…] executing
+    [ops] back to back. *)
+val of_ops : Op.t list -> t
+
+(** {1 Classification} *)
+
+val validate : t -> (unit, string) result
+(** [validate h] is [Ok ()] when [h] is well-formed, and [Error reason]
+    otherwise. *)
+
+val is_well_formed : t -> bool
+val is_sequential : t -> bool
+val is_complete : t -> bool
+
+(** {1 Projections} *)
+
+val proj_thread : t -> Ids.Tid.t -> t
+(** [proj_thread h t] is [H|t]. *)
+
+val proj_object : t -> Ids.Oid.t -> t
+(** [proj_object h o] is [H|o]. *)
+
+val threads : t -> Ids.Tid.t list
+(** Thread identifiers occurring in the history, sorted. *)
+
+val objects : t -> Ids.Oid.t list
+(** Object identifiers occurring in the history, sorted. *)
+
+(** {1 Operations} *)
+
+val entries : t -> entry list
+(** [entries h] are the operation instances of [h] in invocation order.
+    Raises [Invalid_argument] when [h] is not well-formed. *)
+
+val pending : t -> entry list
+(** The entries with no matching response. *)
+
+val op_of_entry : entry -> Op.t option
+(** [Some op] when the entry is complete. *)
+
+val pending_of_entry : entry -> Op.pending
+
+val precedes : entry -> entry -> bool
+(** [precedes a b] holds when [a]'s response is before [b]'s invocation:
+    the operation-level real-time order induced by [≺H]. *)
+
+val concurrent : entry -> entry -> bool
+(** Neither precedes the other. *)
+
+(** {1 Completions} *)
+
+val completions :
+  responses:(Op.pending -> Value.t list) -> ?max:int -> t -> t Seq.t
+(** [completions ~responses h] enumerates [complete(H)]: every pending
+    invocation is either removed or completed by appending a response whose
+    value is drawn from [responses]. Appended responses land after all
+    original actions. [max] (default 10_000) caps the number of completions
+    produced. Raises [Invalid_argument] when [h] is not well-formed. *)
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,255 @@
+open Ids
+
+(* ----------------------------------------------------- value parsing -- *)
+
+exception Parse_error of string
+
+type cursor = { text : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  while peek c = Some ' ' || peek c = Some '\t' do
+    advance c
+  done
+
+let expect c ch =
+  skip_ws c;
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> raise (Parse_error (Fmt.str "expected '%c', found '%c'" ch x))
+  | None -> raise (Parse_error (Fmt.str "expected '%c', found end of input" ch))
+
+let looking_at c s =
+  let n = String.length s in
+  c.pos + n <= String.length c.text && String.sub c.text c.pos n = s
+
+let eat c s =
+  if looking_at c s then begin
+    c.pos <- c.pos + String.length s;
+    true
+  end
+  else false
+
+let rec parse_value_at c =
+  skip_ws c;
+  match peek c with
+  | None -> raise (Parse_error "expected a value, found end of input")
+  | Some '(' ->
+      advance c;
+      skip_ws c;
+      if eat c ")" then Value.unit
+      else begin
+        let a = parse_value_at c in
+        expect c ',';
+        let b = parse_value_at c in
+        expect c ')';
+        Value.pair a b
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if eat c "]" then Value.list []
+      else begin
+        let rec elems acc =
+          let v = parse_value_at c in
+          skip_ws c;
+          if eat c ";" then elems (v :: acc)
+          else begin
+            expect c ']';
+            List.rev (v :: acc)
+          end
+        in
+        Value.list (elems [])
+      end
+  | Some '"' ->
+      advance c;
+      let start = c.pos in
+      let rec scan () =
+        match peek c with
+        | Some '"' ->
+            let s = String.sub c.text start (c.pos - start) in
+            advance c;
+            Value.str s
+        | Some _ ->
+            advance c;
+            scan ()
+        | None -> raise (Parse_error "unterminated string")
+      in
+      scan ()
+  | Some _ when looking_at c "true" && eat c "true" -> Value.bool true
+  | Some _ when looking_at c "false" && eat c "false" -> Value.bool false
+  | Some ('-' | '0' .. '9') ->
+      let start = c.pos in
+      if peek c = Some '-' then advance c;
+      let rec digits () =
+        match peek c with
+        | Some '0' .. '9' ->
+            advance c;
+            digits ()
+        | _ -> ()
+      in
+      digits ();
+      let s = String.sub c.text start (c.pos - start) in
+      if s = "" || s = "-" then raise (Parse_error "expected digits");
+      Value.int (int_of_string s)
+  | Some ch -> raise (Parse_error (Fmt.str "unexpected character '%c'" ch))
+
+let parse_value s =
+  let c = { text = s; pos = 0 } in
+  try
+    let v = parse_value_at c in
+    skip_ws c;
+    if c.pos < String.length s then
+      Error (Fmt.str "trailing input after value: %S" (String.sub s c.pos (String.length s - c.pos)))
+    else Ok v
+  with Parse_error msg -> Error msg
+
+let print_value = Value.show
+
+(* --------------------------------------------------- history parsing -- *)
+
+let parse_tid s =
+  if String.length s >= 2 && s.[0] = 't' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some n when n >= 0 -> Ok (Tid.of_int n)
+    | _ -> Error (Fmt.str "bad thread id %S" s)
+  else Error (Fmt.str "bad thread id %S (expected tN)" s)
+
+let split_target s =
+  match String.rindex_opt s '.' with
+  | Some i when i > 0 && i < String.length s - 1 ->
+      Ok (Oid.v (String.sub s 0 i), Fid.v (String.sub s (i + 1) (String.length s - i - 1)))
+  | _ -> Error (Fmt.str "bad target %S (expected object.method)" s)
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse_action line =
+  let parts =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  in
+  match parts with
+  | tid_s :: kind :: target :: rest -> (
+      let value_s = String.concat " " rest in
+      match (parse_tid tid_s, split_target target, parse_value value_s) with
+      | Ok tid, Ok (oid, fid), Ok v -> (
+          match kind with
+          | "inv" -> Ok (Action.inv ~tid ~oid ~fid v)
+          | "res" -> Ok (Action.res ~tid ~oid ~fid v)
+          | _ -> Error (Fmt.str "bad action kind %S (expected inv or res)" kind))
+      | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
+  | _ -> Error "expected: <tid> inv|res <object.method> <value>"
+
+let parse_lines text ~f =
+  let lines = String.split_on_char '\n' text in
+  let rec go n acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let body = String.trim (strip_comment line) in
+        if body = "" then go (n + 1) acc rest
+        else begin
+          match f body with
+          | Ok x -> go (n + 1) (x :: acc) rest
+          | Error msg -> Error (Fmt.str "line %d: %s" n msg)
+        end
+  in
+  go 1 [] lines
+
+let parse_history text =
+  Result.map History.of_list (parse_lines text ~f:parse_action)
+
+let print_action a =
+  let target oid fid = Fmt.str "%a.%a" Oid.pp oid Fid.pp fid in
+  match a with
+  | Action.Inv { tid; oid; fid; arg } ->
+      Fmt.str "%a inv %s %s" Tid.pp tid (target oid fid) (Value.show arg)
+  | Action.Res { tid; oid; fid; ret } ->
+      Fmt.str "%a res %s %s" Tid.pp tid (target oid fid) (Value.show ret)
+
+let print_history h =
+  String.concat "\n" (List.map print_action (History.to_list h)) ^ "\n"
+
+(* ----------------------------------------------------- trace parsing -- *)
+
+(* one element: OID: (tN, fid(arg) => ret) (tN, fid(arg) => ret) ... *)
+let parse_op_at c ~oid =
+  expect c '(';
+  skip_ws c;
+  let start = c.pos in
+  let rec to_comma () =
+    match peek c with
+    | Some ',' -> ()
+    | Some _ ->
+        advance c;
+        to_comma ()
+    | None -> raise (Parse_error "expected ','")
+  in
+  to_comma ();
+  let tid_s = String.trim (String.sub c.text start (c.pos - start)) in
+  let tid =
+    match parse_tid tid_s with Ok t -> t | Error e -> raise (Parse_error e)
+  in
+  expect c ',';
+  skip_ws c;
+  let fstart = c.pos in
+  let rec to_paren () =
+    match peek c with
+    | Some '(' -> ()
+    | Some _ ->
+        advance c;
+        to_paren ()
+    | None -> raise (Parse_error "expected '('")
+  in
+  to_paren ();
+  let fid = Fid.v (String.trim (String.sub c.text fstart (c.pos - fstart))) in
+  expect c '(';
+  let arg = parse_value_at c in
+  expect c ')';
+  skip_ws c;
+  if not (eat c "=>") then raise (Parse_error "expected '=>'");
+  let ret = parse_value_at c in
+  expect c ')';
+  Op.v ~tid ~oid ~fid ~arg ~ret
+
+let parse_element line =
+  match String.index_opt line ':' with
+  | None -> Error "expected 'object: (op) (op) ...'"
+  | Some i -> (
+      let oid = Oid.v (String.trim (String.sub line 0 i)) in
+      let c = { text = line; pos = i + 1 } in
+      try
+        let rec ops acc =
+          skip_ws c;
+          if c.pos >= String.length line then List.rev acc
+          else ops (parse_op_at c ~oid :: acc)
+        in
+        match ops [] with
+        | [] -> Error "empty element"
+        | ops -> Ok (Ca_trace.element oid ops)
+      with
+      | Parse_error msg -> Error msg
+      | Invalid_argument msg -> Error msg)
+
+let parse_trace text = parse_lines text ~f:parse_element
+
+let print_element e =
+  let oid = Ca_trace.element_oid e in
+  let op (o : Op.t) =
+    Fmt.str "(%a, %a(%s) => %s)" Tid.pp o.tid Fid.pp o.fid (Value.show o.arg)
+      (Value.show o.ret)
+  in
+  Fmt.str "%a: %s" Oid.pp oid
+    (String.concat " " (List.map op (Ca_trace.element_ops e)))
+
+let print_trace tr = String.concat "\n" (List.map print_element tr) ^ "\n"
+
+let load_history path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse_history text
+  | exception Sys_error msg -> Error msg

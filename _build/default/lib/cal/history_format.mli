@@ -1,0 +1,34 @@
+(** A textual format for histories and CA-traces, so external histories can
+    be checked with the CLI ([calc check]) and witnesses can be saved.
+
+    Lexical format, one action per line; [#] starts a comment:
+
+    {v
+    # thread  kind  object.method  value
+    t1 inv  E.exchange 3
+    t2 inv  E.exchange 4
+    t1 res  E.exchange (true, 4)
+    t2 res  E.exchange (true, 3)
+    v}
+
+    Values: integers ([42]), booleans ([true]/[false]), unit ([()]),
+    strings (["foo"]), pairs ([(v, w)]) and lists ([\[v; w\]]), nested
+    freely. *)
+
+val parse_value : string -> (Value.t, string) result
+val print_value : Value.t -> string
+
+val parse_history : string -> (History.t, string) result
+(** Parse a whole document. Errors carry the 1-based line number. *)
+
+val print_history : History.t -> string
+(** Round-trips with {!parse_history}. *)
+
+val parse_trace : string -> (Ca_trace.t, string) result
+(** CA-traces use one element per line:
+    [E: (t1, exchange(3) => (true, 4)) (t2, exchange(4) => (true, 3))]. *)
+
+val print_trace : Ca_trace.t -> string
+
+val load_history : string -> (History.t, string) result
+(** Read and parse a file. *)

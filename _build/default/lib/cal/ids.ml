@@ -1,0 +1,30 @@
+module Tid = struct
+  type t = int
+
+  let of_int n =
+    if n < 0 then invalid_arg "Tid.of_int: negative thread identifier";
+    n
+
+  let to_int t = t
+  let equal = Int.equal
+  let compare = Int.compare
+  let pp ppf t = Fmt.pf ppf "t%d" t
+  let show t = Fmt.str "%a" pp t
+end
+
+module Str_id = struct
+  type t = string
+
+  let v s =
+    if String.length s = 0 then invalid_arg "Ids: empty identifier";
+    s
+
+  let to_string s = s
+  let equal = String.equal
+  let compare = String.compare
+  let pp = Fmt.string
+  let show s = s
+end
+
+module Oid = Str_id
+module Fid = Str_id

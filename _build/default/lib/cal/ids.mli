@@ -1,0 +1,49 @@
+(** Thread, object and method identifiers (Definition 1 of the paper).
+
+    The paper assumes infinite sets of object names [o], method names [f]
+    and thread identifiers [t]. Threads are small integers (they index
+    threads of a simulated program); objects and methods are symbolic
+    names. Each identifier kind gets its own module so the type checker
+    keeps them apart. *)
+
+module Tid : sig
+  type t = private int
+
+  val of_int : int -> t
+  (** [of_int n] is the identifier of thread [n]. Raises [Invalid_argument]
+      when [n < 0]. *)
+
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+  val show : t -> string
+end
+
+module Oid : sig
+  type t = private string
+
+  val v : string -> t
+  (** [v name] is the object named [name]. Raises [Invalid_argument] on the
+      empty string. *)
+
+  val to_string : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+  val show : t -> string
+end
+
+module Fid : sig
+  type t = private string
+
+  val v : string -> t
+  (** [v name] is the method named [name]. Raises [Invalid_argument] on the
+      empty string. *)
+
+  val to_string : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+  val show : t -> string
+end

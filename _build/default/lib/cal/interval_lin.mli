@@ -1,0 +1,70 @@
+(** Interval-linearizability (Castañeda, Rajsbaum, Raynal; DISC 2015) —
+    related work §6 of the paper, implemented as an extension.
+
+    Set-linearizability (and CAL's single elements) explains each operation
+    at one point shared with its simultaneity class. Interval-
+    linearizability generalises further: an operation takes effect over a
+    contiguous {e interval} of rounds and may therefore overlap several
+    operations that are ordered among themselves — which no set-sequential
+    specification can express (e.g. write-snapshot).
+
+    A witness assigns every operation a non-empty interval [\[s, e\]] of
+    rounds such that the real-time order is respected
+    ([a ≺H b ⟹ e_a < s_b]) and the per-round structure — which operations
+    start, continue through, and end in each round — is accepted by the
+    specification automaton. CAL/set-linearizability is the special case
+    where every interval has length one. *)
+
+type round = {
+  starting : Op.t list;    (** operations whose interval begins here *)
+  continuing : Op.t list;  (** active, neither starting nor ending *)
+  ending : Op.t list;      (** operations whose interval ends here *)
+}
+(** A one-round interval operation appears in both [starting] and
+    [ending]. *)
+
+type spec
+
+val make_spec :
+  name:string ->
+  init:'s ->
+  step:('s -> round -> 's option) ->
+  key:('s -> string) ->
+  max_starts_per_round:int ->
+  unit ->
+  spec
+(** Prefix-closed acceptor over rounds. [max_starts_per_round] bounds how
+    many operations may begin in one round (pruning, like
+    [Spec.max_element_size]). *)
+
+type verdict =
+  | Interval_linearizable of {
+      intervals : (History.entry * int * int) list;
+          (** operation, first round, last round (0-based, inclusive) *)
+      rounds : round list;
+    }
+  | Not_interval_linearizable of { reason : string }
+
+val check : spec:spec -> History.t -> verdict
+(** Decide interval-linearizability of a {e complete} history (pending
+    operations are not supported by this extension — complete the history
+    first, e.g. with {!History.completions}). Raises [Invalid_argument] on
+    ill-formed, incomplete, or oversized (> 24 operations) histories. *)
+
+val is_interval_linearizable : spec:spec -> History.t -> bool
+
+(** {1 Ready-made specifications} *)
+
+val one_shot_barrier : oid:Ids.Oid.t -> participants:int -> spec
+(** [await() ⇒ n]: all [participants] operations must share at least one
+    round (they mutually overlap), and each returns the participant
+    count — expressible in set-linearizability too, included as a sanity
+    case. *)
+
+val observer_of_ticks : oid:Ids.Oid.t -> spec
+(** An object with two methods, demonstrating what {e only}
+    interval-linearizability can express:
+    - [tick(i) ⇒ ()] — instantaneous, one round each;
+    - [watch() ⇒ k] — must span rounds containing {e exactly} [k] ticks,
+      with [k ≥ 2]: a single operation overlapping several operations that
+      are strictly ordered among themselves. *)

@@ -1,0 +1,29 @@
+(** Classic linearizability checker (Herlihy–Wing, decided in the style of
+    Wing–Gong with memoisation).
+
+    Linearizability is the special case of CAL in which every CA-element is
+    a {e singleton}: the explaining trace is a sequential history. This
+    checker therefore takes the same {!Spec} values but only ever offers
+    singleton elements to the acceptor. Running it against a CA-object's
+    specification demonstrates the paper's §3 claim: histories with
+    successful exchanges have {e no} sequential explanation, because the
+    exchanger specification accepts no singleton success element. *)
+
+type stats = { states_explored : int; memo_hits : int; drop_sets_tried : int }
+
+type verdict =
+  | Linearizable of {
+      linearization : Op.t list;  (** the sequential witness, in order *)
+      completion : History.t;
+      stats : stats;
+    }
+  | Not_linearizable of { reason : string; stats : stats }
+
+val check : spec:Spec.t -> History.t -> verdict
+(** [check ~spec h] decides whether [h] is linearizable w.r.t. the
+    {e sequential} histories of [spec] (i.e. its singleton CA-traces).
+    Raises [Invalid_argument] on ill-formed or oversized (> 62 operations)
+    histories. *)
+
+val is_linearizable : spec:Spec.t -> History.t -> bool
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,36 @@
+open Ids
+
+type t = { tid : Tid.t; oid : Oid.t; fid : Fid.t; arg : Value.t; ret : Value.t }
+type pending = { tid : Tid.t; oid : Oid.t; fid : Fid.t; arg : Value.t }
+
+let v ~tid ~oid ~fid ~arg ~ret = { tid; oid; fid; arg; ret }
+
+let of_pending (p : pending) ~ret =
+  { tid = p.tid; oid = p.oid; fid = p.fid; arg = p.arg; ret }
+
+let to_pending (o : t) : pending = { tid = o.tid; oid = o.oid; fid = o.fid; arg = o.arg }
+
+let equal (a : t) (b : t) =
+  Tid.equal a.tid b.tid && Oid.equal a.oid b.oid && Fid.equal a.fid b.fid
+  && Value.equal a.arg b.arg && Value.equal a.ret b.ret
+
+let compare (a : t) (b : t) =
+  let c = Tid.compare a.tid b.tid in
+  if c <> 0 then c
+  else
+    let c = Oid.compare a.oid b.oid in
+    if c <> 0 then c
+    else
+      let c = Fid.compare a.fid b.fid in
+      if c <> 0 then c
+      else
+        let c = Value.compare a.arg b.arg in
+        if c <> 0 then c else Value.compare a.ret b.ret
+
+let pp ppf (o : t) =
+  Fmt.pf ppf "(%a, %a(%a) => %a)" Tid.pp o.tid Fid.pp o.fid Value.pp o.arg Value.pp o.ret
+
+let show o = Fmt.str "%a" pp o
+
+let pp_pending ppf (p : pending) =
+  Fmt.pf ppf "(%a, %a(%a) => ?)" Tid.pp p.tid Fid.pp p.fid Value.pp p.arg

@@ -1,0 +1,32 @@
+(** Operations (Definition 4): a pair of an invocation and its matching
+    response, written [(t, f(n) ⇒ n')] in the paper. *)
+
+type t = {
+  tid : Ids.Tid.t;
+  oid : Ids.Oid.t;
+  fid : Ids.Fid.t;
+  arg : Value.t;
+  ret : Value.t;
+}
+
+(** A pending operation: an invocation whose response has not (yet) been
+    chosen. Used when completing histories (Definition 2) and when a
+    specification proposes candidate return values. *)
+type pending = {
+  tid : Ids.Tid.t;
+  oid : Ids.Oid.t;
+  fid : Ids.Fid.t;
+  arg : Value.t;
+}
+
+val v :
+  tid:Ids.Tid.t -> oid:Ids.Oid.t -> fid:Ids.Fid.t -> arg:Value.t -> ret:Value.t -> t
+
+val of_pending : pending -> ret:Value.t -> t
+val to_pending : t -> pending
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+val pp_pending : Format.formatter -> pending -> unit

@@ -1,0 +1,19 @@
+let spec_of_classes ~name ~oid ~max_class_size ~legal_class ~candidates =
+  Spec.make ~name ~owns:(Ids.Oid.equal oid) ~max_element_size:max_class_size ~init:()
+    ~step:(fun () e -> if legal_class (Ca_trace.element_ops e) then Some () else None)
+    ~key:(fun () -> "")
+    ~candidates:(fun () ~universe p -> candidates ~universe p)
+    ()
+
+let check ~spec h =
+  (match History.objects h with
+  | [] | [ _ ] -> ()
+  | objects ->
+      invalid_arg
+        (Fmt.str "Set_lin.check: history mentions %d objects" (List.length objects)));
+  Cal_checker.check ~spec h
+
+let is_set_linearizable ~spec h =
+  match check ~spec h with
+  | Cal_checker.Accepted _ -> true
+  | Cal_checker.Rejected _ -> false

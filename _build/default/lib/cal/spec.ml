@@ -1,0 +1,77 @@
+type acceptor = {
+  a_step : Ca_trace.element -> acceptor option;
+  a_key : string;
+  a_candidates : universe:Value.t list -> Op.pending -> Value.t list;
+}
+
+type t = {
+  name : string;
+  owns : Ids.Oid.t -> bool;
+  max_element_size : int;
+  start : acceptor;
+}
+
+let step a e = a.a_step e
+let key a = a.a_key
+let candidates a ~universe p = a.a_candidates ~universe p
+
+let make ~name ~owns ~max_element_size ~init ~step ~key ~candidates () =
+  let rec acceptor s =
+    {
+      a_step = (fun e -> Option.map acceptor (step s e));
+      a_key = key s;
+      a_candidates = (fun ~universe p -> candidates s ~universe p);
+    }
+  in
+  { name; owns; max_element_size; start = acceptor init }
+
+let accepts spec tr =
+  let rec go a = function
+    | [] -> true
+    | e :: rest -> ( match a.a_step e with None -> false | Some a' -> go a' rest)
+  in
+  go spec.start tr
+
+let explain_rejection spec tr =
+  let rec go a i = function
+    | [] -> None
+    | e :: rest -> (
+        match a.a_step e with
+        | None ->
+            Some
+              (Fmt.str "element %d rejected by %s: %a" i spec.name Ca_trace.pp_element e)
+        | Some a' -> go a' (i + 1) rest)
+  in
+  go spec.start 0 tr
+
+let union specs =
+  if specs = [] then invalid_arg "Spec.union: empty list";
+  let indexed = List.mapi (fun i s -> (i, s)) specs in
+  let owners oid = List.filter (fun (_, s) -> s.owns oid) indexed in
+  let rec acceptor states =
+    {
+      a_step =
+        (fun e ->
+          match owners (Ca_trace.element_oid e) with
+          | [ (idx, _) ] ->
+              let a = List.nth states idx in
+              Option.map
+                (fun a' ->
+                  acceptor (List.mapi (fun i x -> if i = idx then a' else x) states))
+                (a.a_step e)
+          | _ -> None);
+      a_key = String.concat "|" (List.map (fun a -> a.a_key) states);
+      a_candidates =
+        (fun ~universe (p : Op.pending) ->
+          match owners p.oid with
+          | [ (idx, _) ] -> (List.nth states idx).a_candidates ~universe p
+          | _ -> []);
+    }
+  in
+  {
+    name = "union(" ^ String.concat ", " (List.map (fun s -> s.name) specs) ^ ")";
+    owns = (fun oid -> List.exists (fun s -> s.owns oid) specs);
+    max_element_size =
+      List.fold_left (fun m s -> max m s.max_element_size) 1 specs;
+    start = acceptor (List.map (fun s -> s.start) specs);
+  }

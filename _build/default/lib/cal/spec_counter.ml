@@ -1,0 +1,25 @@
+open Ids
+
+let fid_incr = Fid.v "incr"
+let fid_get = Fid.v "get"
+let incr_op ~oid t n = Op.v ~tid:t ~oid ~fid:fid_incr ~arg:Value.unit ~ret:(Value.int n)
+let get_op ~oid t n = Op.v ~tid:t ~oid ~fid:fid_get ~arg:Value.unit ~ret:(Value.int n)
+
+let step_op count (o : Op.t) =
+  if Fid.equal o.fid fid_incr then
+    if Value.equal o.ret (Value.int count) then Some (count + 1) else None
+  else if Fid.equal o.fid fid_get then
+    if Value.equal o.ret (Value.int count) then Some count else None
+  else None
+
+let spec ?(oid = Oid.v "C") () =
+  Spec.make
+    ~name:(Fmt.str "counter(%a)" Oid.pp oid)
+    ~owns:(Oid.equal oid) ~max_element_size:1 ~init:0
+    ~step:(fun count e ->
+      match Ca_trace.element_ops e with [ o ] -> step_op count o | _ -> None)
+    ~key:string_of_int
+    ~candidates:(fun count ~universe:_ (p : Op.pending) ->
+      if Fid.equal p.fid fid_incr || Fid.equal p.fid fid_get then [ Value.int count ]
+      else [])
+    ()

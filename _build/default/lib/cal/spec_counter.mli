@@ -1,0 +1,11 @@
+(** Fetch-and-add counter specification (singleton-element CAL
+    specification).
+
+    - [incr() ⇒ n] atomically increments and returns the {e previous} value;
+    - [get() ⇒ n] returns the current value. *)
+
+val fid_incr : Ids.Fid.t
+val fid_get : Ids.Fid.t
+val spec : ?oid:Ids.Oid.t -> unit -> Spec.t
+val incr_op : oid:Ids.Oid.t -> Ids.Tid.t -> int -> Op.t
+val get_op : oid:Ids.Oid.t -> Ids.Tid.t -> int -> Op.t

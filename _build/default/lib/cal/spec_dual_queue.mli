@@ -1,0 +1,30 @@
+(** Dual queue CA-specification (Scherer & Scott's dual data structures,
+    §6 of the paper).
+
+    In a dual queue, a dequeue on an empty queue installs a {e reservation}
+    and waits; a later enqueue {e fulfils} it. Classic linearizability
+    needs two linearization points per waiting dequeue (the "request" and
+    the "follow-up"); with CA-traces the fulfilment is simply one
+    CA-element containing both operations — exactly the streamlining the
+    paper suggests.
+
+    CA-elements:
+    - [DQ.{(t, enq(v) ⇒ ())}] — value queued (no waiting consumer);
+    - [DQ.{(t, deq() ⇒ v)}] — value [v] taken from the front of the queue;
+    - [DQ.{(t, enq(v) ⇒ ()), (t', deq() ⇒ v)}] with [t ≠ t'] — a fulfilment:
+      only legal when no values are queued (the consumer was waiting).
+
+    Simplification (documented): waiting consumers are {e unordered} —
+    a fulfilment may answer any waiting dequeue, not necessarily the
+    longest-waiting one. Reservation FIFO would require observing request
+    order, which a fulfilment-time CA-element deliberately abstracts away. *)
+
+val fid_enq : Ids.Fid.t
+val fid_deq : Ids.Fid.t
+val spec : ?oid:Ids.Oid.t -> unit -> Spec.t
+
+val enq_op : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t -> Op.t
+val deq_op : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t -> Op.t
+val fulfilment : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t -> Ids.Tid.t -> Ca_trace.element
+(** [fulfilment ~oid t v t'] — [t] enqueues [v] straight into [t']'s
+    waiting dequeue. *)

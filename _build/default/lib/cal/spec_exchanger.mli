@@ -1,0 +1,31 @@
+(** The exchanger CA-specification (§4 of the paper).
+
+    Every CA-element is either
+    - [E.swap(t,v,t',v')] — the pair
+      [{(t, exchange(v) ⇒ (true,v')), (t', exchange(v') ⇒ (true,v))}] with
+      [t ≠ t']: two overlapping operations succeed by swapping their
+      arguments; or
+    - [E.{(t, exchange(v) ⇒ (false,v))}] — a failed exchange that overlaps
+      with no other operation and returns its own argument.
+
+    This is the specification that {e cannot} be expressed sequentially
+    (§3): any sequential history explaining a successful swap has a prefix
+    in which one thread exchanged a value without a partner. *)
+
+val fid_exchange : Ids.Fid.t
+(** The method name ["exchange"]. *)
+
+val spec : ?oid:Ids.Oid.t -> unit -> Spec.t
+(** [spec ~oid ()] is the exchanger specification for object [oid]
+    (default ["E"]). *)
+
+val swap :
+  oid:Ids.Oid.t ->
+  Ids.Tid.t -> Value.t -> Ids.Tid.t -> Value.t -> Ca_trace.element
+(** [swap ~oid t v t' v'] is the CA-element [E.swap(t,v,t',v')]. *)
+
+val failure : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t -> Ca_trace.element
+(** [failure ~oid t v] is the singleton failed-exchange element. *)
+
+val exchange_op : oid:Ids.Oid.t -> Ids.Tid.t -> arg:Value.t -> ret:Value.t -> Op.t
+(** An [exchange] operation on [oid]. *)

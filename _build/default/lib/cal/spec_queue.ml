@@ -1,0 +1,40 @@
+open Ids
+
+let fid_enq = Fid.v "enq"
+let fid_deq = Fid.v "deq"
+let enq_op ~oid t v = Op.v ~tid:t ~oid ~fid:fid_enq ~arg:v ~ret:Value.unit
+
+let deq_op ~oid t = function
+  | Some v -> Op.v ~tid:t ~oid ~fid:fid_deq ~arg:Value.unit ~ret:(Value.ok v)
+  | None ->
+      Op.v ~tid:t ~oid ~fid:fid_deq ~arg:Value.unit ~ret:(Value.fail (Value.int 0))
+
+(* State: queue contents, oldest first. *)
+let step_op queue (o : Op.t) =
+  if Fid.equal o.fid fid_enq then
+    if Value.equal o.ret Value.unit then Some (queue @ [ o.arg ]) else None
+  else if Fid.equal o.fid fid_deq then
+    match o.ret with
+    | Value.Pair (Value.Bool true, v) -> (
+        match queue with
+        | oldest :: rest when Value.equal oldest v -> Some rest
+        | _ -> None)
+    | Value.Pair (Value.Bool false, Value.Int 0) -> if queue = [] then Some [] else None
+    | _ -> None
+  else None
+
+let spec ?(oid = Oid.v "Q") () =
+  Spec.make
+    ~name:(Fmt.str "queue(%a)" Oid.pp oid)
+    ~owns:(Oid.equal oid) ~max_element_size:1 ~init:[]
+    ~step:(fun queue e ->
+      match Ca_trace.element_ops e with [ o ] -> step_op queue o | _ -> None)
+    ~key:(fun queue -> Fmt.str "%a" (Fmt.list ~sep:(Fmt.any ";") Value.pp) queue)
+    ~candidates:(fun queue ~universe:_ (p : Op.pending) ->
+      if Fid.equal p.fid fid_enq then [ Value.unit ]
+      else if Fid.equal p.fid fid_deq then
+        match queue with
+        | oldest :: _ -> [ Value.ok oldest ]
+        | [] -> [ Value.fail (Value.int 0) ]
+      else [])
+    ()

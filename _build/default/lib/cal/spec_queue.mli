@@ -1,0 +1,15 @@
+(** Sequential FIFO queue specification as a singleton-element CAL
+    specification. Used as the baseline spec for the Michael–Scott queue
+    substrate.
+
+    - [enq(v) ⇒ ()] enqueues [v];
+    - [deq() ⇒ (true, v)] dequeues the oldest element, which must be [v];
+    - [deq() ⇒ (false, 0)] is the EMPTY answer, legal only on the empty
+      queue. *)
+
+val fid_enq : Ids.Fid.t
+val fid_deq : Ids.Fid.t
+val spec : ?oid:Ids.Oid.t -> unit -> Spec.t
+
+val enq_op : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t -> Op.t
+val deq_op : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t option -> Op.t

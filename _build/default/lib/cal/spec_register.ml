@@ -1,0 +1,26 @@
+open Ids
+
+let fid_read = Fid.v "read"
+let fid_write = Fid.v "write"
+let read_op ~oid t v = Op.v ~tid:t ~oid ~fid:fid_read ~arg:Value.unit ~ret:v
+let write_op ~oid t v = Op.v ~tid:t ~oid ~fid:fid_write ~arg:v ~ret:Value.unit
+
+let step_op current (o : Op.t) =
+  if Fid.equal o.fid fid_write then
+    if Value.equal o.ret Value.unit then Some o.arg else None
+  else if Fid.equal o.fid fid_read then
+    if Value.equal o.ret current then Some current else None
+  else None
+
+let spec ?(oid = Oid.v "R") ?(init = Value.int 0) () =
+  Spec.make
+    ~name:(Fmt.str "register(%a)" Oid.pp oid)
+    ~owns:(Oid.equal oid) ~max_element_size:1 ~init
+    ~step:(fun current e ->
+      match Ca_trace.element_ops e with [ o ] -> step_op current o | _ -> None)
+    ~key:(fun current -> Value.show current)
+    ~candidates:(fun current ~universe:_ (p : Op.pending) ->
+      if Fid.equal p.fid fid_write then [ Value.unit ]
+      else if Fid.equal p.fid fid_read then [ current ]
+      else [])
+    ()

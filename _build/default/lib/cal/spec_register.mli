@@ -1,0 +1,13 @@
+(** Atomic register specification (singleton-element CAL specification).
+
+    - [write(v) ⇒ ()] sets the register;
+    - [read() ⇒ v] returns the current value. *)
+
+val fid_read : Ids.Fid.t
+val fid_write : Ids.Fid.t
+
+val spec : ?oid:Ids.Oid.t -> ?init:Value.t -> unit -> Spec.t
+(** Defaults: object ["R"], initial value [Int 0]. *)
+
+val read_op : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t -> Op.t
+val write_op : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t -> Op.t

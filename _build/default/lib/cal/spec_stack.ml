@@ -1,0 +1,50 @@
+open Ids
+
+let fid_push = Fid.v "push"
+let fid_pop = Fid.v "pop"
+
+let push_op ~oid t v ~ok = Op.v ~tid:t ~oid ~fid:fid_push ~arg:v ~ret:(Value.bool ok)
+
+let pop_op ~oid t = function
+  | Some v -> Op.v ~tid:t ~oid ~fid:fid_pop ~arg:Value.unit ~ret:(Value.ok v)
+  | None ->
+      Op.v ~tid:t ~oid ~fid:fid_pop ~arg:Value.unit ~ret:(Value.fail (Value.int 0))
+
+(* State: abstract stack contents, top first. *)
+let step_op ~spurious stack (o : Op.t) =
+  if Fid.equal o.fid fid_push then
+    match o.ret with
+    | Value.Bool true -> Some (o.arg :: stack)
+    | Value.Bool false when spurious -> Some stack
+    | _ -> None
+  else if Fid.equal o.fid fid_pop then
+    match o.ret with
+    | Value.Pair (Value.Bool true, v) -> (
+        match stack with
+        | top :: rest when Value.equal top v -> Some rest
+        | _ -> None)
+    | Value.Pair (Value.Bool false, Value.Int 0) ->
+        if spurious || stack = [] then Some stack else None
+    | _ -> None
+  else None
+
+let spec ?(oid = Oid.v "S") ?(allow_spurious_failure = false) () =
+  let spurious = allow_spurious_failure in
+  Spec.make
+    ~name:(Fmt.str "stack(%a)" Oid.pp oid)
+    ~owns:(Oid.equal oid) ~max_element_size:1 ~init:[]
+    ~step:(fun stack e ->
+      match Ca_trace.element_ops e with
+      | [ o ] -> step_op ~spurious stack o
+      | _ -> None)
+    ~key:(fun stack -> Fmt.str "%a" (Fmt.list ~sep:(Fmt.any ";") Value.pp) stack)
+    ~candidates:(fun stack ~universe:_ (p : Op.pending) ->
+      if Fid.equal p.fid fid_push then
+        Value.bool true :: (if spurious then [ Value.bool false ] else [])
+      else if Fid.equal p.fid fid_pop then
+        let empty_answer =
+          if spurious || stack = [] then [ Value.fail (Value.int 0) ] else []
+        in
+        (match stack with top :: _ -> [ Value.ok top ] | [] -> []) @ empty_answer
+      else [])
+    ()

@@ -1,0 +1,28 @@
+(** Sequential stack specification, phrased as a CAL specification whose
+    CA-elements are all singletons (§4, "Stack specification").
+
+    The acceptor state is the abstract stack contents; a trace is accepted
+    when it is a well-defined sequential stack history over the empty
+    initial stack ([WFS] in the paper). Operation shapes follow Fig. 2:
+
+    - [push(v) ⇒ true] pushes; [push(v) ⇒ false] is a contention failure
+      and leaves the stack unchanged (only legal when
+      [allow_spurious_failure] is set — the central stack [S] of the
+      elimination stack may fail, the elimination stack itself may not);
+    - [pop() ⇒ (true, v)] pops the top element, which must be [v];
+    - [pop() ⇒ (false, 0)] leaves the stack unchanged: an EMPTY answer
+      (only legal on the empty stack, or whenever spurious failures are
+      allowed). *)
+
+val fid_push : Ids.Fid.t
+val fid_pop : Ids.Fid.t
+
+val spec :
+  ?oid:Ids.Oid.t -> ?allow_spurious_failure:bool -> unit -> Spec.t
+(** [spec ~oid ~allow_spurious_failure ()] — defaults: object ["S"], no
+    spurious failures. *)
+
+val push_op : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t -> ok:bool -> Op.t
+val pop_op : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t option -> Op.t
+(** [pop_op ~oid t (Some v)] is a successful pop of [v]; [None] the EMPTY /
+    failed answer [(false, 0)]. *)

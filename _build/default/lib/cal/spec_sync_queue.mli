@@ -1,0 +1,20 @@
+(** Synchronous (handoff) queue CA-specification — the exchanger's second
+    client in the paper (§2, citing Scherer–Lea–Scott). A producer and a
+    consumer must {e meet}: a transfer is inherently a behaviour of two
+    overlapping operations, so the synchronous queue is a CA-object.
+
+    CA-elements:
+    - [SQ.{(t, put(v) ⇒ true), (t', take() ⇒ (true, v))}] with [t ≠ t']:
+      a successful rendezvous;
+    - [SQ.{(t, put(v) ⇒ false)}] — a put that found no consumer;
+    - [SQ.{(t, take() ⇒ (false, 0))}] — a take that found no producer. *)
+
+val fid_put : Ids.Fid.t
+val fid_take : Ids.Fid.t
+val spec : ?oid:Ids.Oid.t -> unit -> Spec.t
+
+val put_op : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t -> ok:bool -> Op.t
+val take_op : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t option -> Op.t
+val rendezvous : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t -> Ids.Tid.t -> Ca_trace.element
+(** [rendezvous ~oid t v t'] is the successful-transfer element where [t]
+    puts [v] and [t'] takes it. *)

@@ -1,0 +1,65 @@
+open Ids
+
+(* Each action index owns a fixed-width column; an operation is drawn from
+   its invocation column to its response column (or to the right margin when
+   pending). The label sits just after the opening bracket. *)
+let trim_right s =
+  let len = ref (String.length s) in
+  while !len > 0 && s.[!len - 1] = ' ' do
+    decr len
+  done;
+  String.sub s 0 !len
+
+let render h =
+  let entries = History.entries h in
+  let n = History.length h in
+  let col_width = 14 in
+  let width = (n * col_width) + col_width in
+  let threads = History.threads h in
+  let line_of t =
+    let buf = Bytes.make width ' ' in
+    let put_string pos s =
+      String.iteri
+        (fun i c -> if pos + i < width then Bytes.set buf (pos + i) c)
+        s
+    in
+    List.iter
+      (fun (e : History.entry) ->
+        if Tid.equal e.tid t then begin
+          let start = e.inv_index * col_width in
+          let stop =
+            match e.res_index with
+            | Some r -> (r * col_width) + col_width - 2
+            | None -> width - 1
+          in
+          Bytes.set buf start '[';
+          for i = start + 1 to stop - 1 do
+            Bytes.set buf i '-'
+          done;
+          (if e.res_index <> None then Bytes.set buf stop ']'
+           else put_string (stop - 3) "...");
+          let label =
+            Fmt.str " %a(%a)%s " Fid.pp e.fid Value.pp e.arg
+              (match e.ret with
+              | Some ret -> Fmt.str " => %a" Value.pp ret
+              | None -> "")
+          in
+          (* keep the closing bracket visible *)
+          let room = max 0 (stop - start - 1) in
+          let label =
+            if String.length label > room then String.sub label 0 room else label
+          in
+          put_string (start + 1) label
+        end)
+      entries;
+    Fmt.str "%a: %s" Tid.pp t (trim_right (Bytes.to_string buf))
+  in
+  String.concat "\n" (List.map line_of threads)
+
+let render_trace tr =
+  let block i e =
+    Fmt.str "%2d. %a" (i + 1) Ca_trace.pp_element e
+  in
+  String.concat "\n" (List.mapi block tr)
+
+let pp ppf h = Fmt.string ppf (render h)

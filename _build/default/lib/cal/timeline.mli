@@ -1,0 +1,19 @@
+(** ASCII timelines in the style of the paper's Fig. 3.
+
+    Renders a history as one row per thread, with each operation drawn as an
+    interval [inv(arg)----res(ret)] positioned by action index, e.g.
+
+    {v
+    t1: [exchange(3)----------(true, 4)]
+    t2:     [exchange(4)--(true, 3)]
+    t3:         [exchange(7)------------(false, 7)]
+    v} *)
+
+val render : History.t -> string
+(** [render h] draws the history. Raises [Invalid_argument] when [h] is not
+    well-formed. *)
+
+val render_trace : Ca_trace.t -> string
+(** Draws a CA-trace as one block per CA-element, in order. *)
+
+val pp : Format.formatter -> History.t -> unit

@@ -1,0 +1,54 @@
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | List of t list
+[@@deriving eq, ord]
+
+let rec pp ppf = function
+  | Unit -> Fmt.string ppf "()"
+  | Bool b -> Fmt.bool ppf b
+  | Int n -> Fmt.int ppf n
+  | Str s -> Fmt.pf ppf "%S" s
+  | Pair (a, b) -> Fmt.pf ppf "(%a, %a)" pp a pp b
+  | List vs -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any "; ") pp) vs
+
+let show v = Fmt.str "%a" pp v
+let unit = Unit
+let bool b = Bool b
+let int n = Int n
+let str s = Str s
+let pair a b = Pair (a, b)
+let list vs = List vs
+let ok v = Pair (Bool true, v)
+let fail v = Pair (Bool false, v)
+
+let to_bool = function
+  | Bool b -> b
+  | v -> invalid_arg (Fmt.str "Value.to_bool: %a" pp v)
+
+let to_int = function
+  | Int n -> n
+  | v -> invalid_arg (Fmt.str "Value.to_int: %a" pp v)
+
+let to_pair = function
+  | Pair (a, b) -> (a, b)
+  | v -> invalid_arg (Fmt.str "Value.to_pair: %a" pp v)
+
+let rec subvalues v =
+  v
+  ::
+  (match v with
+  | Unit | Bool _ | Int _ | Str _ -> []
+  | Pair (a, b) -> subvalues a @ subvalues b
+  | List vs -> List.concat_map subvalues vs)
+
+let rec hash = function
+  | Unit -> 17
+  | Bool b -> if b then 31 else 37
+  | Int n -> 41 * n + 3
+  | Str s -> Hashtbl.hash s
+  | Pair (a, b) -> (hash a * 131071) + hash b
+  | List vs -> List.fold_left (fun acc v -> (acc * 8191) + hash v) 53 vs

@@ -1,0 +1,24 @@
+open Ids
+
+type fn = Ca_trace.element -> Ca_trace.t option
+type t = Ca_trace.t -> Ca_trace.t
+
+let identity tr = tr
+let total f e = match f e with Some tr -> tr | None -> [ e ]
+let lift f tr = List.concat_map (total f) tr
+
+let compose ~own ~subs tr =
+  lift own (List.fold_left (fun acc sub -> sub acc) tr subs)
+
+let drop o e = if Oid.equal (Ca_trace.element_oid e) o then Some [] else None
+
+let rename ~from ~to_ e =
+  if Oid.equal (Ca_trace.element_oid e) from then
+    let ops =
+      List.map
+        (fun (op : Op.t) ->
+          Op.v ~tid:op.tid ~oid:to_ ~fid:op.fid ~arg:op.arg ~ret:op.ret)
+        (Ca_trace.element_ops e)
+    in
+    Some [ Ca_trace.element to_ ops ]
+  else None

@@ -1,0 +1,46 @@
+(** View functions [F_o] (§4, "Logging the object interaction").
+
+    An object [o] built from sub-objects provides a partial function [F_o]
+    from CA-elements of its {e immediate} sub-objects to CA-traces of
+    operations on [o] itself. Its total extension [F̂_o] leaves other
+    elements untouched, and the recursive composition [𝔉_o] applies the
+    sub-objects' views first:
+
+    [𝔉_o = F̂_o ∘ (𝔉_o1 ∘ … ∘ 𝔉_on)].
+
+    The object's view of the global auxiliary trace is [T_o = 𝔉_o(𝒯)].
+
+    Crucially, [F_o] may map a {e single} CA-element to a trace of
+    {e several} elements: the elimination stack maps one successful
+    [exchange] into a push element followed by a pop element — one atomic
+    action explained as a sequence of operations by different threads. *)
+
+type fn = Ca_trace.element -> Ca_trace.t option
+(** A partial element rewriter; [None] means "not in [F_o]'s domain". *)
+
+type t = Ca_trace.t -> Ca_trace.t
+(** A trace transformer ([𝔉] for some object). *)
+
+val identity : t
+(** The view of an object with no sub-objects (e.g. the exchanger, for
+    which [T_E = 𝒯|E]). *)
+
+val total : fn -> Ca_trace.element -> Ca_trace.t
+(** [total f e] is [F̂(e)]: [f e] when defined, [ [e] ] otherwise. *)
+
+val lift : fn -> t
+(** [lift f] maps [F̂] over a trace and concatenates. *)
+
+val compose : own:fn -> subs:t list -> t
+(** [compose ~own ~subs] is [F̂_own ∘ (subs₁ ∘ … ∘ subsₙ)]. Because of the
+    ownership discipline (§2), the sub-views commute; we apply them in list
+    order. *)
+
+val drop : Ids.Oid.t -> fn
+(** [drop o] erases every element of object [o] (maps it to the empty
+    trace) and leaves other objects alone. *)
+
+val rename : from:Ids.Oid.t -> to_:Ids.Oid.t -> fn
+(** [rename ~from ~to_] re-attributes every element of [from] to [to_],
+    keeping operations otherwise intact — the elimination array's [F_AR]
+    (§5): an exchange on any [E[i]] looks like an exchange on [AR]. *)

@@ -1,0 +1,1 @@
+lib/conc/ctx.ml: Cal Hashtbl List

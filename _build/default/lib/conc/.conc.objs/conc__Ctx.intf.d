@@ -1,0 +1,1 @@
+lib/conc/ctx.mli: Cal

@@ -1,0 +1,1 @@
+lib/conc/explore.ml: List Rng Runner

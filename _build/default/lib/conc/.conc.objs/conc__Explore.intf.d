@@ -1,0 +1,1 @@
+lib/conc/explore.mli: Ctx Runner

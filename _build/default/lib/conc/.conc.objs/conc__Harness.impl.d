@@ -1,0 +1,1 @@
+lib/conc/harness.ml: Cal Ctx Prog

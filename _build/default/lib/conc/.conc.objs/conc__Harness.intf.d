@@ -1,0 +1,1 @@
+lib/conc/harness.mli: Cal Ctx Prog

@@ -1,0 +1,1 @@
+lib/conc/prog.ml: List Option

@@ -1,0 +1,1 @@
+lib/conc/rng.mli:

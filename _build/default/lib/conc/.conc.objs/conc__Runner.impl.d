@@ -1,0 +1,1 @@
+lib/conc/runner.ml: Array Cal Ctx Fmt List Prog Rng

@@ -1,0 +1,1 @@
+lib/conc/runner.mli: Cal Ctx Format Prog Rng

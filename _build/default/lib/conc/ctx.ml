@@ -1,0 +1,37 @@
+type t = {
+  mutable history_rev : Cal.Action.t list;
+  mutable trace_rev : Cal.Ca_trace.element list;
+  mutable trace_len : int;
+}
+
+let create () = { history_rev = []; trace_rev = []; trace_len = 0 }
+let log_action t a = t.history_rev <- a :: t.history_rev
+
+let log_element t e =
+  t.trace_rev <- e :: t.trace_rev;
+  t.trace_len <- t.trace_len + 1
+
+let log_elements t es = List.iter (log_element t) es
+let history t = Cal.History.of_list (List.rev t.history_rev)
+let trace t = List.rev t.trace_rev
+let trace_length t = t.trace_len
+
+let active_threads t ~oid =
+  (* Scan newest-to-oldest: a response closes its thread's pending call. *)
+  let closed = Hashtbl.create 8 in
+  let active = ref [] in
+  List.iter
+    (fun a ->
+      let tid = Cal.Action.tid a in
+      match a with
+      | Cal.Action.Res { oid = o; _ } when Cal.Ids.Oid.equal o oid ->
+          Hashtbl.replace closed (Cal.Ids.Tid.to_int tid) ()
+      | Cal.Action.Inv { oid = o; _ } when Cal.Ids.Oid.equal o oid ->
+          if not (Hashtbl.mem closed (Cal.Ids.Tid.to_int tid)) then begin
+            active := tid :: !active;
+            (* older invocations of this thread are already answered *)
+            Hashtbl.replace closed (Cal.Ids.Tid.to_int tid) ()
+          end
+      | _ -> ())
+    t.history_rev;
+  List.sort_uniq Cal.Ids.Tid.compare !active

@@ -1,0 +1,31 @@
+(** Run context: the observable history and the auxiliary trace variable
+    [𝒯].
+
+    Each run of a program gets a fresh context. The harness logs invocation
+    and response actions into the history; instrumented implementations
+    append CA-elements to [𝒯] inside their atomic steps — the paper's
+    auxiliary assignments, fused with the shared-memory update they
+    justify. *)
+
+type t
+
+val create : unit -> t
+
+val log_action : t -> Cal.Action.t -> unit
+val log_element : t -> Cal.Ca_trace.element -> unit
+
+val log_elements : t -> Cal.Ca_trace.t -> unit
+(** Append several elements atomically (used when one concrete step stands
+    for a sequence of abstract operations). *)
+
+val history : t -> Cal.History.t
+(** The history logged so far, oldest first. *)
+
+val trace : t -> Cal.Ca_trace.t
+(** The auxiliary trace [𝒯] logged so far, oldest first. *)
+
+val trace_length : t -> int
+
+val active_threads : t -> oid:Cal.Ids.Oid.t -> Cal.Ids.Tid.t list
+(** Threads currently executing a method of [oid] (the paper's [InE]):
+    those with a pending invocation on [oid] in the history. *)

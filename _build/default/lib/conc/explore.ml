@@ -1,0 +1,77 @@
+type stats = { runs : int; truncated : bool; max_steps : int }
+
+exception Stop
+
+let exhaustive ~setup ~fuel ?max_runs ?preemption_bound ~f () =
+  let runs = ref 0 in
+  let truncated = ref false in
+  let max_steps = ref 0 in
+  let deliver outcome =
+    f outcome;
+    incr runs;
+    if outcome.Runner.steps > !max_steps then max_steps := outcome.Runner.steps;
+    match max_runs with
+    | Some m when !runs >= m ->
+        truncated := true;
+        raise Stop
+    | _ -> ()
+  in
+  let within_budget used = match preemption_bound with None -> true | Some b -> used <= b in
+  (* [last] is the thread that took the previous step; switching away from
+     it while it is still enabled costs one preemption. *)
+  let rec explore prefix ~last ~preemptions =
+    let outcome, frontier = Runner.replay ~setup prefix in
+    if frontier = [] || outcome.Runner.steps >= fuel then deliver outcome
+    else begin
+      let last_enabled =
+        List.exists (fun (d : Runner.decision) -> Some d.thread = last) frontier
+      in
+      List.iter
+        (fun (d : Runner.decision) ->
+          let cost =
+            if last_enabled && Some d.thread <> last then preemptions + 1
+            else preemptions
+          in
+          if within_budget cost then
+            explore (prefix @ [ d ]) ~last:(Some d.thread) ~preemptions:cost)
+        frontier
+    end
+  in
+  (try explore [] ~last:None ~preemptions:0 with Stop -> ());
+  { runs = !runs; truncated = !truncated; max_steps = !max_steps }
+
+let random ~setup ~fuel ~runs ~seed ~f () =
+  let rng = Rng.create ~seed in
+  let max_steps = ref 0 in
+  for _ = 1 to runs do
+    let outcome = Runner.run_random ~setup ~fuel ~rng in
+    if outcome.Runner.steps > !max_steps then max_steps := outcome.Runner.steps;
+    f outcome
+  done;
+  { runs; truncated = false; max_steps = !max_steps }
+
+let check_all ~setup ~fuel ?max_runs ?preemption_bound ~p () =
+  let bad = ref None in
+  let wrapped outcome =
+    if !bad = None && not (p outcome) then begin
+      bad := Some outcome;
+      raise Stop
+    end
+  in
+  let stats = exhaustive ~setup ~fuel ?max_runs ?preemption_bound ~f:wrapped () in
+  match !bad with
+  | None -> Ok stats
+  | Some o -> Error (o, { stats with truncated = true })
+
+(* Iterative context bounding doubles as counterexample minimisation: the
+   first bound at which a violation appears is the bug's preemption depth,
+   and the witness schedule has that few context switches. *)
+let failure_depth ~setup ~fuel ?(max_bound = 8) ?max_runs ~p () =
+  let rec go bound last_stats =
+    if bound > max_bound then `Holds last_stats
+    else
+      match check_all ~setup ~fuel ?max_runs ~preemption_bound:bound ~p () with
+      | Error (outcome, _) -> `Fails_at (bound, outcome)
+      | Ok stats -> go (bound + 1) stats
+  in
+  go 0 { runs = 0; truncated = false; max_steps = 0 }

@@ -1,0 +1,73 @@
+(** Systematic and randomised exploration of interleavings.
+
+    Exhaustive exploration enumerates {e every} schedule of a bounded
+    program (stateless model checking by replay): the paper's claims are
+    checked over the complete set of interleavings of each client program.
+    Randomised exploration samples schedules for larger programs and for
+    benchmarking. *)
+
+type stats = {
+  runs : int;           (** terminal outcomes delivered to the callback *)
+  truncated : bool;     (** stopped early by [max_runs] *)
+  max_steps : int;      (** longest schedule seen *)
+}
+
+val exhaustive :
+  setup:(Ctx.t -> Runner.program) ->
+  fuel:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  f:(Runner.outcome -> unit) ->
+  unit ->
+  stats
+(** [exhaustive ~setup ~fuel ~f ()] calls [f] on the outcome of every
+    maximal schedule: one in which every thread returned, or which reached
+    [fuel] decisions (the outcome then has pending operations). [max_runs]
+    (default unlimited) aborts a blow-up; the result notes truncation.
+
+    [preemption_bound] (default unlimited) restricts the search to
+    schedules with at most that many {e preemptions} — context switches
+    away from a thread that could still run (CHESS-style iterative context
+    bounding, Musuvathi & Qadeer). Most concurrency bugs manifest within
+    very few preemptions, so a small bound gives a dramatically smaller yet
+    highly effective search; it is an underapproximation and is reported as
+    such by the callers. *)
+
+val random :
+  setup:(Ctx.t -> Runner.program) ->
+  fuel:int ->
+  runs:int ->
+  seed:int64 ->
+  f:(Runner.outcome -> unit) ->
+  unit ->
+  stats
+(** [random ~setup ~fuel ~runs ~seed ~f ()] samples [runs] uniformly
+    scheduled executions. *)
+
+val check_all :
+  setup:(Ctx.t -> Runner.program) ->
+  fuel:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  p:(Runner.outcome -> bool) ->
+  unit ->
+  (stats, Runner.outcome * stats) result
+(** [check_all ~setup ~fuel ~p ()] explores exhaustively and returns
+    [Error (o, _)] for the first outcome violating [p], short-circuiting the
+    search. *)
+
+val failure_depth :
+  setup:(Ctx.t -> Runner.program) ->
+  fuel:int ->
+  ?max_bound:int ->
+  ?max_runs:int ->
+  p:(Runner.outcome -> bool) ->
+  unit ->
+  [ `Fails_at of int * Runner.outcome | `Holds of stats ]
+(** [failure_depth ~setup ~fuel ~p ()] searches for a violation with
+    iteratively increasing preemption bounds (0, 1, …, [max_bound], default
+    8). [`Fails_at (d, o)] means the property first fails with [d]
+    preemptions — the counterexample [o] has a minimal number of context
+    switches, which makes it far easier to read than an arbitrary failing
+    schedule. [`Holds] means no violation was found within the bound (the
+    stats are those of the largest bound explored). *)

@@ -1,0 +1,13 @@
+open Prog.Infix
+
+let call ctx ~tid ~oid ~fid ~arg body =
+  let* () =
+    Prog.atomic ~label:"inv" (fun () ->
+        Ctx.log_action ctx (Cal.Action.inv ~tid ~oid ~fid arg))
+  in
+  let* ret = body in
+  let+ () =
+    Prog.atomic ~label:"res" (fun () ->
+        Ctx.log_action ctx (Cal.Action.res ~tid ~oid ~fid ret))
+  in
+  ret

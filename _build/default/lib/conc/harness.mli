@@ -1,0 +1,16 @@
+(** Bracketing of object method calls with history logging.
+
+    A history records the interaction at the interface of the object system
+    (§3): control passing from the client into a method (invocation) and
+    back (response). [call] makes each of the two events one atomic step. *)
+
+val call :
+  Ctx.t ->
+  tid:Cal.Ids.Tid.t ->
+  oid:Cal.Ids.Oid.t ->
+  fid:Cal.Ids.Fid.t ->
+  arg:Cal.Value.t ->
+  Cal.Value.t Prog.t ->
+  Cal.Value.t Prog.t
+(** [call ctx ~tid ~oid ~fid ~arg body] logs the invocation, runs [body],
+    logs the response with [body]'s result and returns it. *)

@@ -1,0 +1,57 @@
+type 'a t =
+  | Return of 'a
+  | Atomic of string * (unit -> 'a t)
+  | Choose of string * 'a t list
+  | Guard of string * (unit -> 'a t option)
+
+let return v = Return v
+
+let rec bind m k =
+  match m with
+  | Return v -> k v
+  | Atomic (l, f) -> Atomic (l, fun () -> bind (f ()) k)
+  | Choose (l, ms) -> Choose (l, List.map (fun m -> bind m k) ms)
+  | Guard (l, g) -> Guard (l, fun () -> Option.map (fun m -> bind m k) (g ()))
+
+let map f m = bind m (fun v -> Return (f v))
+let atomically ?(label = "step") f = Atomic (label, f)
+let atomic ?(label = "step") f = Atomic (label, fun () -> Return (f ()))
+let yield = atomic ~label:"yield" (fun () -> ())
+
+let choose ?(label = "choose") = function
+  | [] -> invalid_arg "Prog.choose: empty list"
+  | [ m ] -> m
+  | ms -> Choose (label, ms)
+
+let choose_int ?label n = choose ?label (List.init n return)
+let guard ?(label = "guard") g = Guard (label, g)
+
+let await ?(label = "await") cell =
+  guard ~label (fun () -> Option.map return !cell)
+let read r = atomic ~label:"read" (fun () -> !r)
+let write r v = atomic ~label:"write" (fun () -> r := v)
+
+let cas ~eq r ~expect v =
+  atomic ~label:"cas" (fun () ->
+      if eq !r expect then begin
+        r := v;
+        true
+      end
+      else false)
+
+let fetch_and_add r d =
+  atomic ~label:"faa" (fun () ->
+      let old = !r in
+      r := old + d;
+      old)
+
+let rec repeat_until body =
+  bind (body ()) (function Some v -> Return v | None -> repeat_until body)
+
+let seq ms = List.fold_right (fun m acc -> bind m (fun () -> acc)) ms (Return ())
+
+module Infix = struct
+  let ( let* ) = bind
+  let ( let+ ) m f = map f m
+  let ( >>= ) = bind
+end

@@ -1,0 +1,85 @@
+(** Programs over shared memory with explicit atomic steps.
+
+    The paper assumes an interleaving semantics where threads are sequential
+    commands over shared heap cells (§2). A [Prog.t] is a tree of atomic
+    steps: the scheduler executes exactly one {!atomic} (or resolves one
+    {!choose}) per decision, so interleavings of a program are in 1:1
+    correspondence with schedules. Programs are rebuilt from scratch for
+    every run, so ordinary OCaml [ref]s created during setup serve as the
+    shared heap. *)
+
+type 'a t =
+  | Return of 'a
+  | Atomic of string * (unit -> 'a t)
+      (** one atomic action; the closure performs the shared-memory effect
+          and yields the continuation. The string is a debug label. *)
+  | Choose of string * 'a t list
+      (** bounded nondeterminism, resolved by the scheduler (used e.g. for
+          the elimination array's slot choice under exhaustive
+          exploration). *)
+  | Guard of string * (unit -> 'a t option)
+      (** a blocked thread: enabled only when the guard yields a
+          continuation. The guard must be pure (it is evaluated both to
+          test enabledness and to take the step). Models condition
+          synchronisation — a waiting dual-queue consumer, a parked
+          thread — without spin loops that blow up the schedule space. *)
+
+val return : 'a -> 'a t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val atomic : ?label:string -> (unit -> 'a) -> 'a t
+(** [atomic f] performs [f ()] as one atomic step. *)
+
+val atomically : ?label:string -> (unit -> 'a t) -> 'a t
+(** [atomically f] performs [f ()] as one atomic step whose result is the
+    continuation — use when an atomic action decides the control flow (e.g.
+    a CAS with different continuations on success and failure). *)
+
+val yield : unit t
+(** A no-op scheduling point (the paper's [sleep(50)]). *)
+
+val choose : ?label:string -> 'a t list -> 'a t
+(** Scheduler-resolved choice between alternatives. Raises
+    [Invalid_argument] on the empty list. *)
+
+val choose_int : ?label:string -> int -> int t
+(** [choose_int n] chooses a value in [\[0, n)]. *)
+
+val guard : ?label:string -> (unit -> 'a t option) -> 'a t
+(** [guard g] blocks until [g ()] is [Some continuation]; the evaluation of
+    [g] and the first step of the continuation happen in one atomic step.
+    If every thread is blocked the run is a deadlock: the scheduler has no
+    enabled decision and the outcome is incomplete. *)
+
+val await : ?label:string -> 'b option ref -> 'b t
+(** [await cell] blocks until [cell] holds [Some v], then returns [v]. *)
+
+(** {1 Shared-memory primitives}
+
+    All primitives cost exactly one atomic step. *)
+
+val read : 'a ref -> 'a t
+val write : 'a ref -> 'a -> unit t
+
+val cas : eq:('a -> 'a -> bool) -> 'a ref -> expect:'a -> 'a -> bool t
+(** Compare-and-swap with an explicit equality (use [( == )] for heap
+    nodes). *)
+
+val fetch_and_add : int ref -> int -> int t
+(** Returns the previous value. *)
+
+(** {1 Control} *)
+
+val repeat_until : (unit -> 'a option t) -> 'a t
+(** [repeat_until body] runs [body] until it produces [Some v]. The loop
+    itself adds no steps beyond those of [body]; termination is bounded by
+    the scheduler's fuel. *)
+
+val seq : unit t list -> unit t
+
+module Infix : sig
+  val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+  val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+  val ( >>= ) : 'a t -> ('a -> 'b t) -> 'b t
+end

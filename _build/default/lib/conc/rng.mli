@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every source of randomness in the library flows through an explicit
+    [Rng.t] so that exploration, workload generation and benchmarks are
+    reproducible from a seed. *)
+
+type t
+
+val create : seed:int64 -> t
+val copy : t -> t
+
+val next : t -> int64
+(** The next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int rng n] is uniform in [\[0, n)]. Raises [Invalid_argument] when
+    [n <= 0]. *)
+
+val bool : t -> bool
+val pick : t -> 'a list -> 'a
+(** Uniform choice from a non-empty list. *)
+
+val split : t -> t
+(** A statistically independent generator derived from [t]'s state. *)

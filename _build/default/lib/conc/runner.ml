@@ -1,0 +1,109 @@
+type decision = { thread : int; branch : int }
+type schedule = decision list
+
+type program = {
+  threads : Cal.Value.t Prog.t array;
+  observe : (decision -> unit) option;
+  on_label : (string -> unit) option;
+}
+
+type outcome = {
+  history : Cal.History.t;
+  trace : Cal.Ca_trace.t;
+  results : Cal.Value.t option array;
+  complete : bool;
+  steps : int;
+  schedule : schedule;
+}
+
+type frontier = decision list
+
+let pp_decision ppf d =
+  if d.branch = 0 then Fmt.pf ppf "t%d" d.thread
+  else Fmt.pf ppf "t%d#%d" d.thread d.branch
+
+(* Apply one decision to the mutable thread-state array; returns the label
+   of the step taken. *)
+let apply states d =
+  if d.thread < 0 || d.thread >= Array.length states then
+    invalid_arg (Fmt.str "Runner: no thread %d" d.thread);
+  match states.(d.thread) with
+  | Prog.Return _ -> invalid_arg (Fmt.str "Runner: thread %d already returned" d.thread)
+  | Prog.Atomic (label, f) ->
+      if d.branch <> 0 then
+        invalid_arg (Fmt.str "Runner: thread %d is not at a choice" d.thread);
+      states.(d.thread) <- f ();
+      label
+  | Prog.Choose (label, ms) ->
+      if d.branch < 0 || d.branch >= List.length ms then
+        invalid_arg (Fmt.str "Runner: thread %d: branch %d out of range" d.thread d.branch);
+      states.(d.thread) <- List.nth ms d.branch;
+      label
+  | Prog.Guard (label, g) -> (
+      if d.branch <> 0 then
+        invalid_arg (Fmt.str "Runner: thread %d is not at a choice" d.thread);
+      match g () with
+      | Some cont ->
+          states.(d.thread) <- cont;
+          label
+      | None -> invalid_arg (Fmt.str "Runner: thread %d is blocked" d.thread))
+
+let enabled states =
+  Array.to_list states
+  |> List.mapi (fun i st ->
+         match st with
+         | Prog.Return _ -> []
+         | Prog.Atomic _ -> [ { thread = i; branch = 0 } ]
+         | Prog.Choose (_, ms) ->
+             List.init (List.length ms) (fun b -> { thread = i; branch = b })
+         | Prog.Guard (_, g) ->
+             if g () = None then [] else [ { thread = i; branch = 0 } ])
+  |> List.concat
+
+let snapshot ctx states applied =
+  let results =
+    Array.map (function Prog.Return v -> Some v | _ -> None) states
+  in
+  {
+    history = Ctx.history ctx;
+    trace = Ctx.trace ctx;
+    results;
+    complete = Array.for_all (fun st -> match st with Prog.Return _ -> true | _ -> false) states;
+    steps = List.length applied;
+    schedule = List.rev applied;
+  }
+
+let replay ~setup sched =
+  let ctx = Ctx.create () in
+  let program = setup ctx in
+  let states = Array.copy program.threads in
+  let applied = ref [] in
+  List.iter
+    (fun d ->
+      let label = apply states d in
+      applied := d :: !applied;
+      (match program.on_label with None -> () | Some f -> f label);
+      match program.observe with None -> () | Some f -> f d)
+    sched;
+  (snapshot ctx states !applied, enabled states)
+
+let run_random ~setup ~fuel ~rng =
+  let ctx = Ctx.create () in
+  let program = setup ctx in
+  let states = Array.copy program.threads in
+  let applied = ref [] in
+  let rec go remaining =
+    if remaining = 0 then ()
+    else
+      match enabled states with
+      | [] -> ()
+      | ds ->
+          let d = Rng.pick rng ds in
+          let label = apply states d in
+          applied := d :: !applied;
+          (match program.on_label with None -> () | Some f -> f label);
+          (match program.observe with None -> () | Some f -> f d);
+          go (remaining - 1)
+  in
+  go fuel;
+  snapshot ctx states !applied

@@ -1,0 +1,48 @@
+(** Replay-based execution of multi-threaded programs.
+
+    A {e schedule} is a sequence of decisions; replaying a schedule from a
+    fresh setup is deterministic, which is what makes stateless model
+    checking (see {!Explore}) possible. *)
+
+type decision = { thread : int; branch : int }
+(** Step thread [thread]; when its next node is a [Choose], take alternative
+    [branch] (otherwise [branch] must be [0]). *)
+
+type schedule = decision list
+
+(** What a setup yields: one program per thread, plus an optional observer
+    invoked after every decision (used by the rely/guarantee checker to
+    snapshot object state). *)
+type program = {
+  threads : Cal.Value.t Prog.t array;
+  observe : (decision -> unit) option;
+  on_label : (string -> unit) option;
+      (** called with the label of every executed step (used by the metrics
+          layer to charge location-dependent costs) *)
+}
+
+type outcome = {
+  history : Cal.History.t;      (** the observable history of the run *)
+  trace : Cal.Ca_trace.t;       (** the auxiliary trace [𝒯] of the run *)
+  results : Cal.Value.t option array;  (** per-thread return values *)
+  complete : bool;              (** all threads returned *)
+  steps : int;                  (** decisions consumed *)
+  schedule : schedule;          (** the schedule actually followed *)
+}
+
+(** The frontier after replaying a schedule: the decisions enabled next.
+    Empty iff every thread has returned. *)
+type frontier = decision list
+
+val replay :
+  setup:(Ctx.t -> program) -> schedule -> outcome * frontier
+(** [replay ~setup s] builds a fresh program and applies the decisions of
+    [s] in order. Raises [Invalid_argument] when a decision is not enabled
+    (wrong thread state or branch out of range). *)
+
+val run_random :
+  setup:(Ctx.t -> program) -> fuel:int -> rng:Rng.t -> outcome
+(** Run to completion (or until [fuel] decisions) picking uniformly among
+    enabled decisions. *)
+
+val pp_decision : Format.formatter -> decision -> unit

@@ -1,0 +1,1 @@
+lib/structures/abstract_exchanger.ml: Cal Conc Ctx Harness Ids Prog Spec_exchanger Value View

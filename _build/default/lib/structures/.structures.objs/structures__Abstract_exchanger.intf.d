@@ -1,0 +1,1 @@
+lib/structures/abstract_exchanger.mli: Cal Conc

@@ -1,0 +1,1 @@
+lib/structures/counter.ml: Ca_trace Cal Conc Ctx Harness Ids Prog Spec_counter Value View

@@ -1,0 +1,1 @@
+lib/structures/counter.mli: Cal Conc

@@ -1,0 +1,1 @@
+lib/structures/dual_queue.ml: Ca_trace Cal Conc Ctx Harness Ids Prog Spec_dual_queue Value View

@@ -1,0 +1,1 @@
+lib/structures/dual_queue.mli: Cal Conc

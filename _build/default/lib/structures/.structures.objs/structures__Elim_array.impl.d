@@ -1,0 +1,1 @@
+lib/structures/elim_array.ml: Abstract_exchanger Array Ca_trace Cal Conc Ctx Exchanger Fmt Harness Ids List Prog Rng Spec_exchanger Value View

@@ -1,0 +1,1 @@
+lib/structures/elim_array.mli: Cal Conc

@@ -1,0 +1,1 @@
+lib/structures/elimination_queue.ml: Ca_trace Cal Conc Ctx Fmt Harness Ids List Ms_queue Prog Spec_queue Value View

@@ -1,0 +1,1 @@
+lib/structures/elimination_queue.mli: Cal Conc

@@ -1,0 +1,1 @@
+lib/structures/elimination_stack.ml: Ca_trace Cal Conc Ctx Elim_array Harness Ids Prog Spec_stack Treiber_stack Value View

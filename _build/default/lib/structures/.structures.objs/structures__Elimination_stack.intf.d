@@ -1,0 +1,1 @@
+lib/structures/elimination_stack.mli: Cal Conc Elim_array Treiber_stack

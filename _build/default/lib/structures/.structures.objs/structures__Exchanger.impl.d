@@ -1,0 +1,1 @@
+lib/structures/exchanger.ml: Cal Conc Ctx Harness Ids List Option Prog Spec_exchanger Value View

@@ -1,0 +1,1 @@
+lib/structures/exchanger.mli: Cal Conc

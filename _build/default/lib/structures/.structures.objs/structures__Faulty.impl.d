@@ -1,0 +1,1 @@
+lib/structures/faulty.ml: Ca_trace Cal Conc Ctx Harness Ids Prog Spec_counter Spec_exchanger Spec_stack Value

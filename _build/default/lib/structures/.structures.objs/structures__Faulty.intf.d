@@ -1,0 +1,1 @@
+lib/structures/faulty.mli: Cal Conc

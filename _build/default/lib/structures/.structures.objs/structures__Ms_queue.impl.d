@@ -1,0 +1,1 @@
+lib/structures/ms_queue.ml: Ca_trace Cal Conc Ctx Harness Ids List Prog Spec_queue Value View

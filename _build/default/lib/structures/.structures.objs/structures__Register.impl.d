@@ -1,0 +1,1 @@
+lib/structures/register.ml: Ca_trace Cal Conc Ctx Harness Ids Prog Spec_register Value View

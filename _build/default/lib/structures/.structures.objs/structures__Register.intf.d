@@ -1,0 +1,1 @@
+lib/structures/register.mli: Cal Conc

@@ -1,0 +1,1 @@
+lib/structures/sync_queue.ml: Ca_trace Cal Conc Ctx Exchanger Harness Ids Op Option Prog Spec_sync_queue Value View

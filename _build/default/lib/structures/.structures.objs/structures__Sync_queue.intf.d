@@ -1,0 +1,1 @@
+lib/structures/sync_queue.mli: Cal Conc Exchanger

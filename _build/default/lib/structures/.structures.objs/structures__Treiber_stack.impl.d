@@ -1,0 +1,1 @@
+lib/structures/treiber_stack.ml: Ca_trace Cal Conc Ctx Harness Ids Prog Spec_stack Value View

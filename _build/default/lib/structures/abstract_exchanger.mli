@@ -1,0 +1,32 @@
+(** A specification-driven ("abstract") exchanger.
+
+    This object exhibits exactly the behaviours of the exchanger
+    CA-specification and nothing of Fig. 1's offer/hole protocol: a swap
+    takes effect in a {e single} atomic step that answers both partners and
+    logs the [E.swap] element; a registered thread whose resolve step runs
+    before any partner has matched withdraws and logs the singleton failure
+    element.
+
+    Its purpose is the paper's modularity claim (§5): a client such as the
+    elimination stack can be verified against the exchanger's
+    {e specification} rather than its implementation. Substituting
+    [Abstract_exchanger] for {!Exchanger} in the elimination array must not
+    change any client verdict, and shrinks the state space (measured in the
+    benchmarks).
+
+    Coverage note: within a {e fixed} schedule the object is deterministic
+    (a thread finding a live offer always matches it), but over {e all}
+    schedules every outcome combination the specification permits — swap,
+    or independent failures, for any overlap pattern — is still exercised,
+    which is what exhaustive client verification quantifies over. *)
+
+type t
+
+val create :
+  ?oid:Cal.Ids.Oid.t -> ?instrument:bool -> ?log_history:bool -> Conc.Ctx.t -> t
+
+val oid : t -> Cal.Ids.Oid.t
+val exchange : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+val exchange_body : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+val spec : t -> Cal.Spec.t
+val view : t -> Cal.View.t

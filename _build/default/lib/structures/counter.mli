@@ -1,0 +1,18 @@
+(** A fetch-and-add counter — the simplest linearizable object, used as a
+    smoke test and baseline for the checkers.
+
+    [incr] returns the previous value; [get] reads. Both are single atomic
+    steps instrumented at their linearization point. *)
+
+type t
+
+val create :
+  ?oid:Cal.Ids.Oid.t -> ?instrument:bool -> ?log_history:bool -> Conc.Ctx.t -> t
+(** [oid] defaults to ["C"]. *)
+
+val oid : t -> Cal.Ids.Oid.t
+val incr : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
+val get : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
+val value : t -> int
+val spec : t -> Cal.Spec.t
+val view : t -> Cal.View.t

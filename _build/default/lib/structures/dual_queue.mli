@@ -1,0 +1,30 @@
+(** A dual queue (Scherer & Scott, DISC 2004) — the "operations that must
+    wait for some other thread to establish a precondition" family the
+    paper discusses in §6.
+
+    [deq] on an empty queue installs a reservation and {e waits}; a later
+    [enq] fulfils it, and the fulfilment is logged as a single CA-element
+    containing both operations — one linearization point instead of the
+    request/follow-up pair of the original dual-data-structure treatment.
+
+    The shared state is one atomically-updated cell (either queued values
+    or waiting reservations, never both non-empty); the waiting dequeuer
+    spins on its reservation, so termination of [deq] is bounded by the
+    scheduler's fuel when no enqueue arrives. *)
+
+type t
+
+val create :
+  ?oid:Cal.Ids.Oid.t -> ?instrument:bool -> ?log_history:bool -> Conc.Ctx.t -> t
+(** [oid] defaults to ["DQ"]. *)
+
+val oid : t -> Cal.Ids.Oid.t
+
+val enq : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+(** Returns [Unit]. *)
+
+val deq : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
+(** Returns the dequeued value; waits (spins) on the empty queue. *)
+
+val spec : t -> Cal.Spec.t
+val view : t -> Cal.View.t

@@ -1,0 +1,65 @@
+(** The elimination layer of Fig. 2: an array of [K] exchangers behaving,
+    collectively, as a single exchanger (§5: "the elimination array
+    exposes the same specification as a single exchanger").
+
+    Its view function [F_AR] re-attributes any exchange on a sub-exchanger
+    [E\[i\]] to the array itself: [F_AR(E\[i\].S) = (AR.S)].
+
+    The sub-exchangers are pluggable: {!concrete} uses the offer/hole
+    protocol of {!Exchanger} (Fig. 1), {!abstract} uses
+    {!Abstract_exchanger}, the specification-driven object. Verifying a
+    client with the abstract factory is the paper's modularity claim in
+    action: the client proof depends only on the exchanger's
+    specification. *)
+
+type slot_strategy =
+  | All_slots
+      (** resolve the slot by scheduler choice — under exhaustive
+          exploration, every slot is tried (replaces [random(0,K-1)]) *)
+  | Seeded of Conc.Rng.t  (** deterministic pseudo-random slot choice *)
+
+(** One slot of the array: an object name plus an exchange method. *)
+type slot = {
+  slot_oid : Cal.Ids.Oid.t;
+  slot_exchange : tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t;
+}
+
+type exchanger_factory = instrument:bool -> oid:Cal.Ids.Oid.t -> Conc.Ctx.t -> slot
+
+val concrete : exchanger_factory
+(** Fig. 1's exchanger (default pairing window). *)
+
+val concrete_waiting : wait:int -> exchanger_factory
+(** Fig. 1's exchanger with an explicit pairing window — the paper's
+    [sleep(50)] — for throughput simulations. *)
+
+val abstract : exchanger_factory
+(** The specification-driven exchanger. *)
+
+type t
+
+val create :
+  ?oid:Cal.Ids.Oid.t ->
+  ?instrument:bool ->
+  ?log_history:bool ->
+  ?factory:exchanger_factory ->
+  k:int ->
+  slot_strategy:slot_strategy ->
+  Conc.Ctx.t ->
+  t
+(** [oid] defaults to ["AR"]; sub-exchangers are named ["AR[0]"], … and
+    never log interface history themselves. [factory] defaults to
+    {!concrete}. *)
+
+val oid : t -> Cal.Ids.Oid.t
+val size : t -> int
+val exchange : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+val exchange_body : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+
+val spec : t -> Cal.Spec.t
+(** The exchanger specification, instantiated at the array's own [oid]. *)
+
+val view : t -> Cal.View.t
+(** [ð_AR]: renames every sub-exchanger element to [AR]. *)
+
+val exchanger_oids : t -> Cal.Ids.Oid.t list

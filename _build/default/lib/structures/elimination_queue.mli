@@ -1,0 +1,49 @@
+(** An elimination-backed FIFO queue, after Moir, Nussbaum, Shalev and
+    Shavit, "Using elimination to implement scalable and lock-free FIFO
+    queues" (SPAA 2005) — cited by the paper as another CA-linearizable
+    object.
+
+    A dequeue that finds the central Michael–Scott queue empty registers a
+    reservation; an enqueue that observes {e both} a waiting dequeuer and
+    an empty central queue transfers its value directly — the eliminated
+    pair linearizes back-to-back at the transfer, which the instrumentation
+    logs as the sequence [EQ.enq(v) · EQ.deq() ⇒ v] appended in one atomic
+    step. Elimination on a {e non-empty} queue would violate FIFO (the
+    waiting dequeuer must receive the oldest value), which is why the
+    transfer step checks emptiness atomically.
+
+    Substitution note: Moir et al. justify elimination on non-empty queues
+    with an "aging" argument so the check needs no double-location atomic;
+    in the interleaving simulator we can simply fuse the emptiness check
+    into the transfer step, which preserves the observable behaviour while
+    staying simple. [deq] is {e total}: it blocks (a scheduler guard) until
+    a value arrives rather than answering EMPTY.
+
+    The central queue is named ["<oid>.Q"]; its elements are re-attributed
+    to the elimination queue by the view function, with internal
+    empty-queue observations erased. *)
+
+type t
+
+val create :
+  ?oid:Cal.Ids.Oid.t ->
+  ?instrument:bool ->
+  ?log_history:bool ->
+  ?unsafe_skip_empty_check:bool ->
+  Conc.Ctx.t ->
+  t
+(** [oid] defaults to ["EQ"]. [unsafe_skip_empty_check] (default [false])
+    deliberately removes the emptiness check from the elimination transfer,
+    re-introducing the FIFO violation that Moir et al.'s aging condition
+    exists to prevent — for demonstrating that the checkers catch it. *)
+
+val oid : t -> Cal.Ids.Oid.t
+val enq : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+val deq : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
+(** Returns [(true, v)]; blocks while the queue is empty and no enqueuer
+    eliminates with it. *)
+
+val spec : t -> Cal.Spec.t
+(** The sequential FIFO queue specification at this object's [oid]. *)
+
+val view : t -> Cal.View.t

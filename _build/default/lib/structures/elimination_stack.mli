@@ -1,0 +1,61 @@
+(** The elimination stack of Hendler, Shavit and Yerushalmi (Fig. 2).
+
+    Push and pop first try the central stack; on contention failure they
+    attempt to {e eliminate} against a concurrently running operation of
+    the opposite kind through the elimination layer: a popping thread
+    offers [pop_sentinel], a pushing thread offers its value, and a
+    successful mixed exchange transfers the value directly. Same-kind
+    exchanges and failed exchanges retry.
+
+    The object logs nothing itself: its view function [F_ES] (§5)
+    interprets the sub-objects' CA-elements —
+
+    - [S.(t, push(n) ⇒ true)] and [S.(t, pop() ⇒ (true,n))] become the
+      corresponding elimination-stack operations;
+    - a successful exchange of [n ≠ ∞] against [∞] becomes the {e sequence}
+      [ES.(t, push(n) ⇒ true) · ES.(t', pop() ⇒ (true,n))] — the push
+      linearized immediately before the pop (one atomic action explained as
+      two abstract operations by different threads);
+    - everything else (failed stack attempts, failed or same-kind
+      exchanges) is erased. *)
+
+type t
+
+val pop_sentinel : Cal.Value.t
+(** The paper's [POP_SENTINAL = INFINITY]. Client values must differ from
+    it. *)
+
+val create :
+  ?oid:Cal.Ids.Oid.t ->
+  ?stack_oid:Cal.Ids.Oid.t ->
+  ?array_oid:Cal.Ids.Oid.t ->
+  ?instrument:bool ->
+  ?log_history:bool ->
+  ?factory:Elim_array.exchanger_factory ->
+  k:int ->
+  slot_strategy:Elim_array.slot_strategy ->
+  Conc.Ctx.t ->
+  t
+(** [oid] defaults to ["ES"]; the central stack to ["S"]; the elimination
+    array to ["AR"] with [k] slots. [factory] selects the exchanger
+    implementation inside the elimination array (default
+    {!Elim_array.concrete}); pass {!Elim_array.abstract} to verify the
+    stack against the exchanger {e specification}. *)
+
+val oid : t -> Cal.Ids.Oid.t
+val stack : t -> Treiber_stack.t
+val elim_array : t -> Elim_array.t
+
+val push : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+(** Always returns [true] (retries until it succeeds); termination is
+    bounded by the scheduler's fuel. *)
+
+val pop : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
+(** Returns [(true, v)]; retries until a value is obtained. *)
+
+val spec : t -> Cal.Spec.t
+(** The sequential stack specification at the elimination stack's [oid] —
+    {e without} spurious failures: the elimination stack is a real stack. *)
+
+val view : t -> Cal.View.t
+(** [𝔉_ES = F̂_ES ∘ 𝔉_AR ∘ 𝔉_S]. *)

@@ -1,0 +1,190 @@
+open Cal
+open Conc
+open Prog.Infix
+
+type hole_state = Hole_empty | Hole_matched of offer | Hole_failed
+
+and offer = {
+  uid : int;
+  owner : Ids.Tid.t;
+  data : Value.t;
+  hole : hole_state ref;
+}
+
+type t = {
+  xc_oid : Ids.Oid.t;
+  ctx : Ctx.t;
+  g : offer option ref;
+  instrument : bool;
+  log_history : bool;
+  wait : int;
+  next_uid : int ref;
+}
+
+let create ?(oid = Ids.Oid.v "E") ?(instrument = true) ?(log_history = true) ?(wait = 1)
+    ctx =
+  { xc_oid = oid; ctx; g = ref None; instrument; log_history; wait; next_uid = ref 0 }
+
+(* CAS labels carry the contended location (after '@') so that the metrics
+   layer can charge contention costs per cache line. *)
+let loc t = "@" ^ Ids.Oid.to_string t.xc_oid
+
+let oid t = t.xc_oid
+
+type offer_view = {
+  v_uid : int;
+  v_owner : Ids.Tid.t;
+  v_data : Value.t;
+  v_hole : [ `Empty | `Matched of int * Ids.Tid.t * Value.t | `Failed ];
+}
+
+let view_of_offer (o : offer) =
+  {
+    v_uid = o.uid;
+    v_owner = o.owner;
+    v_data = o.data;
+    v_hole =
+      (match !(o.hole) with
+      | Hole_empty -> `Empty
+      | Hole_matched m -> `Matched (m.uid, m.owner, m.data)
+      | Hole_failed -> `Failed);
+  }
+
+let peek_g t = Option.map view_of_offer !(t.g)
+
+type probe_point = {
+  pp_name : string;
+  pp_tid : Ids.Tid.t;
+  pp_arg : Value.t;
+  pp_n : offer_view option;
+  pp_cur : offer_view option;
+  pp_s : bool option;
+  pp_g : offer_view option;
+}
+
+let log_fail t tid v =
+  if t.instrument then
+    Ctx.log_element t.ctx (Spec_exchanger.failure ~oid:t.xc_oid tid v)
+
+let log_swap t ~waiter ~active =
+  if t.instrument then
+    let wt, wv = waiter and at, av = active in
+    Ctx.log_element t.ctx (Spec_exchanger.swap ~oid:t.xc_oid wt wv at av)
+
+(* Return (false, v), logging the FAIL auxiliary assignment at the return
+   statement (lines 20 and 35 of Fig. 1). *)
+let fail_return t ~tid v =
+  Prog.atomic ~label:"fail-return" (fun () ->
+      log_fail t tid v;
+      Value.fail v)
+
+let exchange_body ?probe t ~tid v =
+  (* A probe is a separate atomic step observing the proof state at an
+     annotated point of Fig. 1. Because the step is distinct, arbitrary
+     interference may run before it: an assertion that holds at every probe
+     of every interleaving is stable under the rely. Without [probe] no
+     steps are added. *)
+  let at name ?n ?cur ?s () =
+    match probe with
+    | None -> Prog.return ()
+    | Some f ->
+        Prog.atomic ~label:("probe-" ^ name) (fun () ->
+            f
+              {
+                pp_name = name;
+                pp_tid = tid;
+                pp_arg = v;
+                pp_n = Option.map view_of_offer n;
+                pp_cur = Option.map view_of_offer cur;
+                pp_s = s;
+                pp_g = Option.map view_of_offer !(t.g);
+              })
+  in
+  (* lines 13+15: allocate the offer and attempt CAS(g, null, n) — the INIT
+     action. The allocation is thread-local until the CAS publishes it, so
+     fusing the two into one atomic step changes no observable behaviour
+     and spares the exhaustive explorer a scheduling point. *)
+  let* result =
+    Prog.atomically ~label:("init-cas" ^ loc t) (fun () ->
+        match !(t.g) with
+        | None ->
+            let uid = !(t.next_uid) in
+            incr t.next_uid;
+            let n = { uid; owner = tid; data = v; hole = ref Hole_empty } in
+            t.g := Some n;
+            Prog.return (`Installed n)
+        | Some _ -> Prog.return `Occupied)
+  in
+  match result with
+  | `Installed n ->
+      (* line 16 of the proof outline *)
+      let* () = at "init-installed" ~n () in
+      (* line 17: sleep(50) — [wait] scheduling points during which a
+         partner can match the offer *)
+      let* () = Prog.seq (List.init t.wait (fun _ -> Prog.yield)) in
+      (* line 18: CAS(n.hole, null, fail) — the PASS action *)
+      let* outcome =
+        Prog.atomically ~label:("pass-cas" ^ loc t) (fun () ->
+            match !(n.hole) with
+            | Hole_empty ->
+                n.hole := Hole_failed;
+                Prog.return `No_partner
+            | Hole_matched m -> Prog.return (`Swapped m)
+            | Hole_failed -> assert false (* only the owner writes the sentinel *))
+      in
+      (match outcome with
+      | `No_partner ->
+          let* () = at "pass-no-partner" ~n () in
+          fail_return t ~tid v (* line 20 *)
+      | `Swapped m ->
+          let* () = at "pass-swapped" ~n () in
+          Prog.return (Value.ok m.data) (* line 22: n.hole.data *))
+  | `Occupied -> (
+      (* line 25: read g *)
+      let* cur = Prog.read t.g in
+      match cur with
+      | None -> fail_return t ~tid v (* line 35 *)
+      | Some cur ->
+          (* line 26 of the proof outline *)
+          let* () = at "read-cur" ~cur () in
+          (* line 29: CAS(cur.hole, null, n) — the XCHG action, with the
+             auxiliary trace assignment fused into the same atomic step. The
+             active thread's own offer [n] is allocated here (thread-local
+             until this very CAS publishes it). *)
+          let* s =
+            Prog.atomically ~label:("xchg-cas" ^ loc t) (fun () ->
+                match !(cur.hole) with
+                | Hole_empty ->
+                    let uid = !(t.next_uid) in
+                    incr t.next_uid;
+                    let n = { uid; owner = tid; data = v; hole = ref Hole_empty } in
+                    cur.hole := Hole_matched n;
+                    log_swap t ~waiter:(cur.owner, cur.data) ~active:(tid, v);
+                    Prog.return true
+                | Hole_matched _ | Hole_failed -> Prog.return false)
+          in
+          (* line 30 of the proof outline *)
+          let* () = at "xchg" ~cur ~s () in
+          (* line 31: CAS(g, cur, null) — the CLEAN action (unconditional
+             helping: remove the already-answered offer) *)
+          let* () =
+            Prog.atomic ~label:("clean-cas" ^ loc t) (fun () ->
+                match !(t.g) with Some o when o == cur -> t.g := None | _ -> ())
+          in
+          let* () = at "clean" ~cur ~s () in
+          if s then Prog.return (Value.ok cur.data) (* line 33 *)
+          else fail_return t ~tid v (* line 35 *))
+
+let wrap t ~tid ~arg body =
+  if t.log_history then
+    Harness.call t.ctx ~tid ~oid:t.xc_oid ~fid:Spec_exchanger.fid_exchange ~arg body
+  else body
+
+let exchange t ~tid v = wrap t ~tid ~arg:v (exchange_body t ~tid v)
+
+let exchange_annotated t ~tid ~probe v =
+  wrap t ~tid ~arg:v (exchange_body ~probe t ~tid v)
+
+let exchange_body t ~tid v = exchange_body ?probe:None t ~tid v
+let spec t = Spec_exchanger.spec ~oid:t.xc_oid ()
+let view _t = View.identity

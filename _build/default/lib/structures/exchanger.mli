@@ -1,0 +1,106 @@
+(** The wait-free exchanger of Fig. 1 (a simplified
+    [java.util.concurrent.Exchanger]).
+
+    A thread calls [exchange] with a value it offers to swap. If it pairs up
+    with a concurrent partner it returns [(true, partner's value)];
+    otherwise [(false, own value)]. Pairing goes through [Offer] records: a
+    thread either installs its offer in the global slot [g] (the paper's
+    CAS at line 15) and waits, or finds an installed offer and tries to
+    satisfy it by CASing the offer's [hole] from null to its own offer
+    (line 29, the [XCHG] action).
+
+    The implementation carries the paper's auxiliary instrumentation: the
+    successful [XCHG] CAS appends the [E.swap(t,v,t',v')] CA-element to the
+    global trace [𝒯] {e in the same atomic step} — one concrete action
+    logging the operations of {e two} threads — and every failing return
+    appends the singleton failure element ([FAIL] action). The auxiliary
+    [tid] field on offers (§5.1) is [owner]. *)
+
+type hole_state =
+  | Hole_empty              (** null: the offer is unsatisfied *)
+  | Hole_matched of offer   (** a partner installed its offer *)
+  | Hole_failed             (** the fail sentinel: owner gave up *)
+
+and offer = {
+  uid : int;                (** unique id, for state snapshots *)
+  owner : Cal.Ids.Tid.t;    (** the auxiliary [tid] field *)
+  data : Cal.Value.t;
+  hole : hole_state ref;
+}
+
+type t
+
+val create :
+  ?oid:Cal.Ids.Oid.t ->
+  ?instrument:bool ->
+  ?log_history:bool ->
+  ?wait:int ->
+  Conc.Ctx.t ->
+  t
+(** [create ctx] makes a fresh exchanger. [oid] defaults to ["E"];
+    [instrument] (default [true]) controls the auxiliary-trace assignments;
+    [log_history] (default [true]) controls interface-history logging —
+    turn it off when the exchanger is encapsulated inside another object
+    (§2's ownership discipline: sub-object interactions are internal).
+    [wait] (default [1]) is the number of scheduling points an installed
+    offer waits before giving up — the paper's [sleep(50)]. Keep it small
+    for exhaustive exploration; raise it in throughput simulations so the
+    pairing window is realistic. *)
+
+val oid : t -> Cal.Ids.Oid.t
+
+val exchange : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+(** [exchange t ~tid v] is the full method: history-logged (if enabled)
+    around {!exchange_body}. Returns [(true, v')] or [(false, v)]. *)
+
+val exchange_body : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+(** The method body without interface logging, for use by containing
+    objects. *)
+
+(** {1 State inspection (for the rely/guarantee checker)} *)
+
+type offer_view = {
+  v_uid : int;
+  v_owner : Cal.Ids.Tid.t;
+  v_data : Cal.Value.t;
+  v_hole : [ `Empty | `Matched of int * Cal.Ids.Tid.t * Cal.Value.t | `Failed ];
+}
+
+val peek_g : t -> offer_view option
+(** A structural snapshot of the global slot [g]. *)
+
+(** {1 Proof-outline probes}
+
+    A snapshot of the thread-local proof state at an annotated program
+    point of Fig. 1. Probes are delivered as separate atomic steps, so by
+    the time a probe observes the state, arbitrary interference has had a
+    chance to run — an assertion that holds at every probe in every
+    interleaving is thereby checked to be {e stable under the rely}, which
+    is exactly what the paper's proof outline demands of it. *)
+type probe_point = {
+  pp_name : string;
+      (** one of: [init-installed], [init-occupied], [pass-no-partner],
+          [pass-swapped], [read-cur], [xchg], [clean] *)
+  pp_tid : Cal.Ids.Tid.t;
+  pp_arg : Cal.Value.t;  (** the value offered by this thread *)
+  pp_n : offer_view option;  (** this thread's own offer, if allocated *)
+  pp_cur : offer_view option;  (** the offer read from [g], if any *)
+  pp_s : bool option;  (** the XCHG outcome, once decided *)
+  pp_g : offer_view option;  (** current content of [g] *)
+}
+
+val exchange_annotated :
+  t ->
+  tid:Cal.Ids.Tid.t ->
+  probe:(probe_point -> unit) ->
+  Cal.Value.t ->
+  Cal.Value.t Conc.Prog.t
+(** {!exchange} with probe steps inserted after each annotated transition
+    of Fig. 1; behaviourally identical apart from the extra no-op steps. *)
+
+val spec : t -> Cal.Spec.t
+(** The exchanger CA-specification instantiated at this object's [oid]. *)
+
+val view : t -> Cal.View.t
+(** [T_E = 𝒯|E]: the exchanger encapsulates no objects, so its view is the
+    identity (§5.1: [F_E] is the completely undefined function). *)

@@ -1,0 +1,80 @@
+open Cal
+open Conc
+open Prog.Infix
+
+module Counter_lost_update = struct
+  type t = { oid : Ids.Oid.t; cell : int ref; ctx : Ctx.t }
+
+  let create ?(oid = Ids.Oid.v "C") ctx = { oid; cell = ref 0; ctx }
+
+  (* BUG: the read and the write are separate steps, so two increments can
+     interleave and both observe (and log) the same old value. *)
+  let incr t ~tid =
+    let body =
+      let* old = Prog.read t.cell in
+      Prog.atomic ~label:"bad-incr-write" (fun () ->
+          t.cell := old + 1;
+          Ctx.log_element t.ctx
+            (Ca_trace.singleton (Spec_counter.incr_op ~oid:t.oid tid old));
+          Value.int old)
+    in
+    Harness.call t.ctx ~tid ~oid:t.oid ~fid:Spec_counter.fid_incr ~arg:Value.unit body
+
+  let spec t = Spec_counter.spec ~oid:t.oid ()
+end
+
+module Stack_lost_pop = struct
+  type t = { oid : Ids.Oid.t; top : Value.t list ref; ctx : Ctx.t }
+
+  let create ?(oid = Ids.Oid.v "S") ctx = { oid; top = ref []; ctx }
+
+  let push t ~tid v =
+    let body =
+      Prog.atomic ~label:"bad-push" (fun () ->
+          t.top := v :: !(t.top);
+          Ctx.log_element t.ctx
+            (Ca_trace.singleton (Spec_stack.push_op ~oid:t.oid tid v ~ok:true));
+          Value.bool true)
+    in
+    Harness.call t.ctx ~tid ~oid:t.oid ~fid:Spec_stack.fid_push ~arg:v body
+
+  (* BUG: pop reads the top and later writes the tail unconditionally, so
+     two racing pops can both return the same element. *)
+  let pop t ~tid =
+    let body =
+      let* h = Prog.read t.top in
+      match h with
+      | [] ->
+          Prog.atomic ~label:"bad-pop-empty" (fun () ->
+              Ctx.log_element t.ctx
+                (Ca_trace.singleton (Spec_stack.pop_op ~oid:t.oid tid None));
+              Value.fail (Value.int 0))
+      | x :: rest ->
+          Prog.atomic ~label:"bad-pop-write" (fun () ->
+              t.top := rest;
+              Ctx.log_element t.ctx
+                (Ca_trace.singleton (Spec_stack.pop_op ~oid:t.oid tid (Some x)));
+              Value.ok x)
+    in
+    Harness.call t.ctx ~tid ~oid:t.oid ~fid:Spec_stack.fid_pop ~arg:Value.unit body
+
+  let spec t = Spec_stack.spec ~oid:t.oid ~allow_spurious_failure:true ()
+end
+
+module Exchanger_selfish = struct
+  type t = { oid : Ids.Oid.t; ctx : Ctx.t }
+
+  let create ?(oid = Ids.Oid.v "E") ctx = { oid; ctx }
+
+  (* BUG: claims success with its own value, with no partner, while logging
+     the failure element — the history disagrees with the trace. *)
+  let exchange t ~tid v =
+    let body =
+      Prog.atomic ~label:"bad-exchange" (fun () ->
+          Ctx.log_element t.ctx (Spec_exchanger.failure ~oid:t.oid tid v);
+          Value.ok v)
+    in
+    Harness.call t.ctx ~tid ~oid:t.oid ~fid:Spec_exchanger.fid_exchange ~arg:v body
+
+  let spec t = Spec_exchanger.spec ~oid:t.oid ()
+end

@@ -1,0 +1,39 @@
+(** Deliberately broken objects, used to validate that the checkers
+    {e reject}: a verification method that accepts everything verifies
+    nothing. Each object logs the trace its (wrong) implementation believes
+    in, so the failures exercise different layers of the method:
+
+    - {!Counter_lost_update}: a non-atomic increment (read, then write in a
+      later step). Two racing increments both return the old value — the
+      logged trace violates the counter specification.
+    - {!Stack_lost_pop}: pop writes the new top without a CAS. Racing pops
+      can both "succeed" with the same element — the trace violates the
+      stack specification.
+    - {!Exchanger_selfish}: exchange immediately returns success with its
+      own value while logging a {e failure} element — the history does not
+      agree ([⊑CAL]) with the logged trace. *)
+
+module Counter_lost_update : sig
+  type t
+
+  val create : ?oid:Cal.Ids.Oid.t -> Conc.Ctx.t -> t
+  val incr : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
+  val spec : t -> Cal.Spec.t
+end
+
+module Stack_lost_pop : sig
+  type t
+
+  val create : ?oid:Cal.Ids.Oid.t -> Conc.Ctx.t -> t
+  val push : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+  val pop : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
+  val spec : t -> Cal.Spec.t
+end
+
+module Exchanger_selfish : sig
+  type t
+
+  val create : ?oid:Cal.Ids.Oid.t -> Conc.Ctx.t -> t
+  val exchange : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+  val spec : t -> Cal.Spec.t
+end

@@ -1,0 +1,29 @@
+(** The Michael–Scott lock-free FIFO queue, as a linearizable substrate
+    object (and checker workload).
+
+    [enq] appends by CASing the tail node's [next] pointer and then helping
+    to swing [tail]; [deq] CASes [head] forward. Instrumentation logs the
+    singleton CA-element at each linearization point: the successful
+    [next]-CAS for [enq], the successful [head]-CAS for [deq], and the
+    empty observation ([head == tail] with no [next]) for an EMPTY
+    answer. *)
+
+type t
+
+val create :
+  ?oid:Cal.Ids.Oid.t -> ?instrument:bool -> ?log_history:bool -> Conc.Ctx.t -> t
+(** [oid] defaults to ["Q"]. *)
+
+val oid : t -> Cal.Ids.Oid.t
+
+val enq : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+(** Returns [Unit]; retries internally until the append succeeds. *)
+
+val deq : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
+(** Returns [(true, v)] or [(false, 0)] when empty. *)
+
+val contents : t -> Cal.Value.t list
+(** Current contents, oldest first (for assertions in tests). *)
+
+val spec : t -> Cal.Spec.t
+val view : t -> Cal.View.t

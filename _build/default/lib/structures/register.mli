@@ -1,0 +1,20 @@
+(** An atomic register: single-step [read] and [write], instrumented at
+    their linearization points. *)
+
+type t
+
+val create :
+  ?oid:Cal.Ids.Oid.t ->
+  ?init:Cal.Value.t ->
+  ?instrument:bool ->
+  ?log_history:bool ->
+  Conc.Ctx.t ->
+  t
+(** Defaults: object ["R"], initial value [Int 0]. *)
+
+val oid : t -> Cal.Ids.Oid.t
+val read : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
+val write : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+val value : t -> Cal.Value.t
+val spec : t -> Cal.Spec.t
+val view : t -> Cal.View.t

@@ -1,0 +1,112 @@
+open Cal
+open Conc
+open Prog.Infix
+
+type t = {
+  sq_oid : Ids.Oid.t;
+  ex : Exchanger.t;
+  attempts : int;
+  ctx : Ctx.t;
+  instrument : bool;
+  log_history : bool;
+}
+
+let put_tag = Value.str "put"
+let take_token = Value.str "take"
+let tag_put v = Value.pair put_tag v
+
+let untag_put v =
+  match v with
+  | Value.Pair (t, payload) when Value.equal t put_tag -> Some payload
+  | _ -> None
+
+let create ?(oid = Ids.Oid.v "SQ") ?(exchanger_oid = Ids.Oid.v "SQ.E") ?(attempts = 2)
+    ?(instrument = true) ?(log_history = true) ?(wait = 1) ctx =
+  if attempts <= 0 then invalid_arg "Sync_queue.create: attempts must be positive";
+  {
+    sq_oid = oid;
+    ex = Exchanger.create ~oid:exchanger_oid ~instrument ~log_history:false ~wait ctx;
+    attempts;
+    ctx;
+    instrument;
+    log_history;
+  }
+
+let oid t = t.sq_oid
+let exchanger t = t.ex
+
+let log_elem t e = if t.instrument then Ctx.log_element t.ctx e
+
+(* Retry [attempts] exchanges; [decide] inspects a successful swap partner's
+   value and returns the rendezvous result, if this swap is a rendezvous.
+   [give_up] supplies the failure CA-element and the failure return. *)
+let attempt_loop t ~tid ~offer ~decide ~give_up =
+  let rec go k =
+    if k = 0 then
+      Prog.atomic ~label:"sq-fail" (fun () ->
+          let elem, ret = give_up () in
+          log_elem t elem;
+          ret)
+    else
+      let* r = Exchanger.exchange_body t.ex ~tid offer in
+      let ok, partner = Value.to_pair r in
+      if Value.to_bool ok then
+        match decide partner with
+        | Some result -> Prog.return result
+        | None -> go (k - 1)
+      else go (k - 1)
+  in
+  go t.attempts
+
+let put t ~tid v =
+  let body =
+    attempt_loop t ~tid ~offer:(tag_put v)
+      ~decide:(fun partner ->
+        if Value.equal partner take_token then Some (Value.bool true) else None)
+      ~give_up:(fun () ->
+        ( Ca_trace.singleton (Spec_sync_queue.put_op ~oid:t.sq_oid tid v ~ok:false),
+          Value.bool false ))
+  in
+  if t.log_history then
+    Harness.call t.ctx ~tid ~oid:t.sq_oid ~fid:Spec_sync_queue.fid_put ~arg:v body
+  else body
+
+let take t ~tid =
+  let body =
+    attempt_loop t ~tid ~offer:take_token
+      ~decide:(fun partner -> Option.map Value.ok (untag_put partner))
+      ~give_up:(fun () ->
+        ( Ca_trace.singleton (Spec_sync_queue.take_op ~oid:t.sq_oid tid None),
+          Value.fail (Value.int 0) ))
+  in
+  if t.log_history then
+    Harness.call t.ctx ~tid ~oid:t.sq_oid ~fid:Spec_sync_queue.fid_take ~arg:Value.unit
+      body
+  else body
+
+let spec t = Spec_sync_queue.spec ~oid:t.sq_oid ()
+
+(* F_SQ: a mixed exchange is a rendezvous; everything else of the exchanger
+   vanishes (failed exchanges and same-role swaps lead to retries or to the
+   failure elements the queue logs itself). *)
+let f_sq t e =
+  if Ids.Oid.equal (Ca_trace.element_oid e) (Exchanger.oid t.ex) then
+    match Ca_trace.element_ops e with
+    | [ a; b ] -> (
+        let rendezvous (producer : Op.t) (consumer : Op.t) =
+          match untag_put producer.arg with
+          | Some v when Value.equal consumer.arg take_token ->
+              Some
+                [
+                  Spec_sync_queue.rendezvous ~oid:t.sq_oid producer.tid v consumer.tid;
+                ]
+          | _ -> None
+        in
+        match rendezvous a b with
+        | Some tr -> Some tr
+        | None -> (
+            match rendezvous b a with Some tr -> Some tr | None -> Some []))
+    | _ -> Some []
+  else None
+
+let view t = View.compose ~own:(f_sq t) ~subs:[ Exchanger.view t.ex ]

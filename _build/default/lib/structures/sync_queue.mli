@@ -1,0 +1,40 @@
+(** A synchronous (handoff) queue built on an exchanger — the second client
+    of the exchanger discussed by the paper (§2, citing Scherer–Lea–Scott's
+    scalable synchronous queues).
+
+    [put] offers a tagged value, [take] offers a take token; a mixed
+    exchange is a rendezvous transferring the value from producer to
+    consumer. Same-role exchanges and failed exchanges are retried up to
+    [attempts] times, after which the operation gives up and reports
+    failure (logging the singleton failure CA-element itself — an object
+    may append elements pertaining to its own operations).
+
+    The view function [F_SQ] maps mixed exchanger swaps to rendezvous
+    elements and erases everything else of the exchanger. *)
+
+type t
+
+val create :
+  ?oid:Cal.Ids.Oid.t ->
+  ?exchanger_oid:Cal.Ids.Oid.t ->
+  ?attempts:int ->
+  ?instrument:bool ->
+  ?log_history:bool ->
+  ?wait:int ->
+  Conc.Ctx.t ->
+  t
+(** Defaults: object ["SQ"], exchanger ["SQ.E"], 2 attempts, pairing window
+    [wait = 1] (see {!Exchanger.create}). *)
+
+val oid : t -> Cal.Ids.Oid.t
+val exchanger : t -> Exchanger.t
+
+val put : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+(** Returns [Bool true] on a rendezvous, [Bool false] after exhausting the
+    attempts. *)
+
+val take : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
+(** Returns [(true, v)] on a rendezvous, [(false, 0)] otherwise. *)
+
+val spec : t -> Cal.Spec.t
+val view : t -> Cal.View.t

@@ -1,0 +1,86 @@
+open Cal
+open Conc
+open Prog.Infix
+
+type t = {
+  st_oid : Ids.Oid.t;
+  top : Value.t list ref;
+  ctx : Ctx.t;
+  instrument : bool;
+  log_history : bool;
+}
+
+let create ?(oid = Ids.Oid.v "S") ?(instrument = true) ?(log_history = true) ctx =
+  { st_oid = oid; top = ref []; ctx; instrument; log_history }
+
+(* contended-location tag for the metrics layer *)
+let loc t = "@" ^ Ids.Oid.to_string t.st_oid ^ ".top"
+
+let oid t = t.st_oid
+
+let log_op t op = if t.instrument then Ctx.log_element t.ctx (Ca_trace.singleton op)
+
+(* Fig. 2 lines 10–14: read the top, attempt one CAS. The CAS is the
+   linearization point; success and failure are both logged there. *)
+let push_body t ~tid v =
+  let* h = Prog.read t.top in
+  Prog.atomic ~label:("push-cas" ^ loc t) (fun () ->
+      let ok = !(t.top) == h in
+      if ok then t.top := v :: h;
+      log_op t (Spec_stack.push_op ~oid:t.st_oid tid v ~ok);
+      Value.bool ok)
+
+(* Fig. 2 lines 15–24. An empty read answers EMPTY at a separate return
+   step; otherwise one CAS decides. *)
+let pop_body t ~tid =
+  let* h = Prog.read t.top in
+  match h with
+  | [] ->
+      Prog.atomic ~label:"pop-empty" (fun () ->
+          log_op t (Spec_stack.pop_op ~oid:t.st_oid tid None);
+          Value.fail (Value.int 0))
+  | x :: rest ->
+      Prog.atomic ~label:("pop-cas" ^ loc t) (fun () ->
+          let ok = !(t.top) == h in
+          if ok then t.top := rest;
+          log_op t (Spec_stack.pop_op ~oid:t.st_oid tid (if ok then Some x else None));
+          if ok then Value.ok x else Value.fail (Value.int 0))
+
+let wrap t ~tid ~fid ~arg body =
+  if t.log_history then Harness.call t.ctx ~tid ~oid:t.st_oid ~fid ~arg body else body
+
+let push t ~tid v = wrap t ~tid ~fid:Spec_stack.fid_push ~arg:v (push_body t ~tid v)
+let pop t ~tid = wrap t ~tid ~fid:Spec_stack.fid_pop ~arg:Value.unit (pop_body t ~tid)
+
+let push_retry t ~tid v =
+  let body =
+    Prog.repeat_until (fun () ->
+        let* r = push_body t ~tid v in
+        Prog.return (if Value.to_bool r then Some (Value.bool true) else None))
+  in
+  wrap t ~tid ~fid:Spec_stack.fid_push ~arg:v body
+
+let pop_retry t ~tid =
+  let body =
+    Prog.repeat_until (fun () ->
+        let* h = Prog.read t.top in
+        match h with
+        | [] ->
+            Prog.atomic ~label:"pop-empty" (fun () ->
+                log_op t (Spec_stack.pop_op ~oid:t.st_oid tid None);
+                Some (Value.fail (Value.int 0)))
+        | x :: rest ->
+            Prog.atomic ~label:("pop-cas" ^ loc t) (fun () ->
+                let ok = !(t.top) == h in
+                if ok then begin
+                  t.top := rest;
+                  log_op t (Spec_stack.pop_op ~oid:t.st_oid tid (Some x));
+                  Some (Value.ok x)
+                end
+                else None))
+  in
+  wrap t ~tid ~fid:Spec_stack.fid_pop ~arg:Value.unit body
+
+let contents t = !(t.top)
+let spec t = Spec_stack.spec ~oid:t.st_oid ~allow_spurious_failure:true ()
+let view _t = View.identity

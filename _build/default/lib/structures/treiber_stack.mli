@@ -1,0 +1,41 @@
+(** The central stack of Fig. 2: a lock-free stack whose operations make a
+    {e single} CAS attempt and report failure under contention — the
+    elimination stack retries through the elimination layer instead.
+
+    - [push v ⇒ true/false];
+    - [pop ⇒ (true, v)] on success, [(false, 0)] when empty {e or} when the
+      CAS lost a race (the paper's lines 18 and 23 return the same value).
+
+    Instrumentation appends the singleton CA-element for an operation at
+    its linearization point: the successful/failed CAS, or the read
+    observing the empty stack. A retrying variant ({!push_retry},
+    {!pop_retry}) loops until success, for use as a baseline in the
+    contention benchmarks. *)
+
+type t
+
+val create :
+  ?oid:Cal.Ids.Oid.t -> ?instrument:bool -> ?log_history:bool -> Conc.Ctx.t -> t
+(** [oid] defaults to ["S"]. *)
+
+val oid : t -> Cal.Ids.Oid.t
+val push : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+val pop : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
+val push_body : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+val pop_body : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
+
+val push_retry : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+(** Loop [push] until it succeeds; always returns [true]. *)
+
+val pop_retry : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
+(** Loop [pop] until success or EMPTY; never reports a contention
+    failure. *)
+
+val contents : t -> Cal.Value.t list
+(** Current contents, top first (for assertions in tests). *)
+
+val spec : t -> Cal.Spec.t
+(** Stack specification at this [oid], with spurious failures allowed. *)
+
+val view : t -> Cal.View.t
+(** Identity: the stack encapsulates no concurrent sub-objects. *)

@@ -1,0 +1,1 @@
+lib/verify/exchanger_proof.ml: Ca_trace Cal Conc Exchanger Fmt Ids List Rg Spec_exchanger Structures Value

@@ -1,0 +1,1 @@
+lib/verify/exchanger_proof.mli: Cal Conc Format Rg Structures

@@ -1,0 +1,1 @@
+lib/verify/monitor.ml: Cal Conc Fmt List

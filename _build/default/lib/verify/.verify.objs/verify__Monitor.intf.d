@@ -1,0 +1,1 @@
+lib/verify/monitor.mli: Cal Conc

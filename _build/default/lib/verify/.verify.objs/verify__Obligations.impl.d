@@ -1,0 +1,1 @@
+lib/verify/obligations.ml: Action Agreement Ca_trace Cal Cal_checker Conc Fmt History Ids List Op Option Spec String Value

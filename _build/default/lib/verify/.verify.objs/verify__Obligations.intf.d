@@ -1,0 +1,1 @@
+lib/verify/obligations.mli: Cal Conc Format

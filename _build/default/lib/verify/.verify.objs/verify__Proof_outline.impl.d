@@ -1,0 +1,1 @@
+lib/verify/proof_outline.ml: Array Ca_trace Cal Conc Exchanger Fmt Hashtbl Ids List Option Spec_exchanger Structures

@@ -1,0 +1,1 @@
+lib/verify/proof_outline.mli: Cal Conc Format Structures

@@ -1,0 +1,1 @@
+lib/verify/refinement.ml: Array Cal Conc Fmt Hashtbl List String

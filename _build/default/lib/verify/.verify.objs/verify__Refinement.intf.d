@@ -1,0 +1,1 @@
+lib/verify/refinement.mli: Conc Format

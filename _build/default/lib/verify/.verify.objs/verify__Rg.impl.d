@@ -1,0 +1,1 @@
+lib/verify/rg.ml: Cal Conc Fmt Format List Option

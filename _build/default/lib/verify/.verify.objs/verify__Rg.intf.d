@@ -1,0 +1,1 @@
+lib/verify/rg.mli: Cal Conc Format

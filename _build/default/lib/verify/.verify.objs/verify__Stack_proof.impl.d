@@ -1,0 +1,1 @@
+lib/verify/stack_proof.ml: Ca_trace Cal Conc Fmt Ids List Op Rg Spec_stack Structures Treiber_stack Value

@@ -1,0 +1,1 @@
+lib/verify/stack_proof.mli: Cal Conc Format Rg Structures

@@ -1,0 +1,49 @@
+type t = {
+  spec : Cal.Spec.t;
+  view : Cal.View.t;
+  ctx : Conc.Ctx.t;
+  mutable acceptor : Cal.Spec.acceptor option;  (* None after a violation *)
+  mutable consumed : int;
+  mutable step : int;
+  mutable violation : (int * string) option;
+}
+
+let create ~spec ~view ~ctx =
+  {
+    spec;
+    view;
+    ctx;
+    acceptor = Some spec.Cal.Spec.start;
+    consumed = 0;
+    step = 0;
+    violation = None;
+  }
+
+let feed t element =
+  match t.acceptor with
+  | None -> ()
+  | Some acc -> (
+      match Cal.Spec.step acc element with
+      | Some acc' -> t.acceptor <- Some acc'
+      | None ->
+          t.acceptor <- None;
+          t.violation <-
+            Some
+              ( t.step,
+                Fmt.str "element rejected by %s: %a" t.spec.Cal.Spec.name
+                  Cal.Ca_trace.pp_element element ))
+
+let observer t (_d : Conc.Runner.decision) =
+  t.step <- t.step + 1;
+  let len = Conc.Ctx.trace_length t.ctx in
+  if len > t.consumed then begin
+    let fresh =
+      Conc.Ctx.trace t.ctx
+      |> List.filteri (fun i _ -> i >= t.consumed)
+    in
+    t.consumed <- len;
+    List.iter (feed t) (t.view fresh)
+  end
+
+let status t = match t.violation with None -> `Ok | Some (s, m) -> `Violated (s, m)
+let consumed t = t.consumed

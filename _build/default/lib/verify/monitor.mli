@@ -1,0 +1,24 @@
+(** Online CAL monitoring.
+
+    A monitor consumes the auxiliary trace [𝒯] as it grows during a run and
+    feeds each new CA-element (through the object's view) to the
+    specification acceptor, flagging the first step at which the trace
+    leaves the specification. Installing it as a run observer gives early
+    violation detection in long random explorations.
+
+    The view must be element-wise (built from {!Cal.View.lift} /
+    {!Cal.View.compose}, as all views in this library are) so that applying
+    it to trace suffixes is equivalent to applying it to the whole trace. *)
+
+type t
+
+val create : spec:Cal.Spec.t -> view:Cal.View.t -> ctx:Conc.Ctx.t -> t
+
+val observer : t -> Conc.Runner.decision -> unit
+
+val status : t -> [ `Ok | `Violated of int * string ]
+(** [`Violated (step, msg)]: the first decision index at which the viewed
+    trace was rejected. *)
+
+val consumed : t -> int
+(** Raw trace elements consumed so far. *)

@@ -1,0 +1,130 @@
+open Cal
+
+type problem = { schedule : Conc.Runner.schedule; message : string }
+
+type report = {
+  runs : int;
+  complete_runs : int;
+  problems : problem list;
+  truncated : bool;
+}
+
+(* Remove one occurrence of [op] from [ops]; None when absent. *)
+let remove_one op ops =
+  let rec go acc = function
+    | [] -> None
+    | o :: rest ->
+        if Op.equal o op then Some (List.rev_append acc rest) else go (o :: acc) rest
+  in
+  go [] ops
+
+let reconcile h trace =
+  match History.validate h with
+  | Error reason -> Error ("ill-formed history: " ^ reason)
+  | Ok () ->
+      let entries = History.entries h in
+      let trace_ops = ref (Ca_trace.ops trace) in
+      let errors = ref [] in
+      (* account every completed operation *)
+      List.iter
+        (fun (e : History.entry) ->
+          match History.op_of_entry e with
+          | None -> ()
+          | Some op -> (
+              match remove_one op !trace_ops with
+              | Some rest -> trace_ops := rest
+              | None ->
+                  errors :=
+                    Fmt.str "completed operation %a missing from the trace" Op.pp op
+                    :: !errors))
+        entries;
+      (* pending operations: adopt the trace's commitment or drop *)
+      let dropped = ref [] in
+      let appended = ref [] in
+      List.iter
+        (fun (e : History.entry) ->
+          if e.ret = None then begin
+            let matches (o : Op.t) =
+              Ids.Tid.equal o.tid e.tid && Ids.Oid.equal o.oid e.oid
+              && Ids.Fid.equal o.fid e.fid && Value.equal o.arg e.arg
+            in
+            match List.find_opt matches !trace_ops with
+            | Some o ->
+                trace_ops := Option.get (remove_one o !trace_ops);
+                appended :=
+                  Action.res ~tid:e.tid ~oid:e.oid ~fid:e.fid o.ret :: !appended
+            | None -> dropped := e.inv_index :: !dropped
+          end)
+        entries;
+      List.iter
+        (fun (o : Op.t) ->
+          errors :=
+            Fmt.str "trace operation %a does not occur in the history" Op.pp o
+            :: !errors)
+        !trace_ops;
+      if !errors <> [] then Error (String.concat "; " (List.rev !errors))
+      else begin
+        let kept =
+          History.to_list h
+          |> List.filteri (fun idx _ -> not (List.mem idx !dropped))
+        in
+        Ok (History.of_list (kept @ List.rev !appended))
+      end
+
+let check_outcome ~spec ~view (outcome : Conc.Runner.outcome) =
+  let viewed = view outcome.trace in
+  match Spec.explain_rejection spec viewed with
+  | Some msg -> Error ("spec obligation: " ^ msg)
+  | None -> (
+      match reconcile outcome.history viewed with
+      | Error msg -> Error ("reconciliation: " ^ msg)
+      | Ok completion -> (
+          match Agreement.check completion viewed with
+          | Error msg -> Error ("agreement obligation: " ^ msg)
+          | Ok _ -> Ok ()))
+
+let collect ~setup ~fuel ?max_runs ?preemption_bound ~check () =
+  let runs = ref 0 in
+  let complete_runs = ref 0 in
+  let problems = ref [] in
+  let f (outcome : Conc.Runner.outcome) =
+    incr runs;
+    if outcome.complete then incr complete_runs;
+    match check outcome with
+    | Ok () -> ()
+    | Error message ->
+        if List.length !problems < 10 then
+          problems := { schedule = outcome.schedule; message } :: !problems
+  in
+  let stats = Conc.Explore.exhaustive ~setup ~fuel ?max_runs ?preemption_bound ~f () in
+  {
+    runs = !runs;
+    complete_runs = !complete_runs;
+    problems = List.rev !problems;
+    truncated = stats.truncated;
+  }
+
+let check_object ~setup ~spec ~view ~fuel ?max_runs ?preemption_bound () =
+  collect ~setup ~fuel ?max_runs ?preemption_bound ~check:(check_outcome ~spec ~view) ()
+
+let check_black_box ~setup ~spec ~fuel ?max_runs ?preemption_bound () =
+  let check (outcome : Conc.Runner.outcome) =
+    match Cal_checker.check ~spec outcome.history with
+    | Cal_checker.Accepted _ -> Ok ()
+    | Cal_checker.Rejected { reason; _ } -> Error reason
+  in
+  collect ~setup ~fuel ?max_runs ?preemption_bound ~check ()
+
+let ok r = r.problems = []
+
+let pp_report ppf r =
+  if ok r then
+    Fmt.pf ppf "OK: %d runs (%d complete)%s" r.runs r.complete_runs
+      (if r.truncated then " [truncated]" else "")
+  else
+    Fmt.pf ppf "@[<v>%d PROBLEMS over %d runs:@,%a@]" (List.length r.problems) r.runs
+      (Fmt.list ~sep:Fmt.cut (fun ppf (p : problem) ->
+           Fmt.pf ppf "- %s@,  schedule: %a" p.message
+             (Fmt.list ~sep:(Fmt.any " ") Conc.Runner.pp_decision)
+             p.schedule))
+      r.problems

@@ -1,0 +1,63 @@
+(** The modular verification method, end-to-end (§4–5).
+
+    For an object [o] with view [𝔉_o] and specification [Spec_o], every
+    execution must satisfy two obligations:
+
+    + {b Spec}: the object's view of the logged auxiliary trace,
+      [T_o = 𝔉_o(𝒯)], is accepted by [Spec_o] — the trace witnesses a legal
+      behaviour;
+    + {b Agreement}: the observable history agrees with the witness,
+      [Hᶜ ⊑CAL T_o] for some completion [Hᶜ] — the trace actually explains
+      what clients saw.
+
+    Running both over the {e complete} set of interleavings of a bounded
+    client program is the model-checking rendition of the paper's proof.
+    For cross-validation, {!check_black_box} decides CAL directly on the
+    history with {!Cal.Cal_checker}, ignoring the instrumentation — the
+    two must agree on accept/reject. *)
+
+type problem = { schedule : Conc.Runner.schedule; message : string }
+
+type report = {
+  runs : int;            (** outcomes checked *)
+  complete_runs : int;   (** outcomes in which every thread returned *)
+  problems : problem list;  (** capped at 10 *)
+  truncated : bool;
+}
+
+val reconcile : Cal.History.t -> Cal.Ca_trace.t -> (Cal.History.t, string) result
+(** [reconcile h t] completes the (possibly incomplete) history [h] using
+    the trace [t]: a pending operation that appears in [t] receives the
+    return value the trace committed to; a pending operation absent from
+    [t] is dropped; a completed operation missing from [t], or a trace
+    operation missing from [h], is an error. *)
+
+val check_outcome :
+  spec:Cal.Spec.t -> view:Cal.View.t -> Conc.Runner.outcome -> (unit, string) result
+(** Both obligations for a single execution. *)
+
+val check_object :
+  setup:(Conc.Ctx.t -> Conc.Runner.program) ->
+  spec:Cal.Spec.t ->
+  view:Cal.View.t ->
+  fuel:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  unit ->
+  report
+(** Exhaustively explore [setup] and check both obligations on every
+    outcome. *)
+
+val check_black_box :
+  setup:(Conc.Ctx.t -> Conc.Runner.program) ->
+  spec:Cal.Spec.t ->
+  fuel:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  unit ->
+  report
+(** Decide CAL on each outcome's history alone (Definition 6 via
+    {!Cal.Cal_checker}), without using the auxiliary trace. *)
+
+val ok : report -> bool
+val pp_report : Format.formatter -> report -> unit

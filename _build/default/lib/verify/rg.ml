@@ -1,0 +1,70 @@
+type 'state action = {
+  name : string;
+  applies : tid:Cal.Ids.Tid.t -> pre:'state -> post:'state -> bool;
+}
+
+type violation = { step : int; acting_thread : int; message : string }
+
+type 'state t = {
+  snapshot : unit -> 'state;
+  equal : 'state -> 'state -> bool;
+  actions : 'state action list;
+  invariant : (string * ('state -> bool)) option;
+  pp_state : (Format.formatter -> 'state -> unit) option;
+  mutable last : 'state option;
+  mutable step : int;
+  mutable violations : violation list;
+}
+
+(* [create] runs during setup, before any thread steps, so snapshotting
+   here captures the initial state. *)
+let create ~snapshot ~equal ~actions ?invariant ?pp_state () =
+  {
+    snapshot;
+    equal;
+    actions;
+    invariant;
+    pp_state;
+    last = Some (snapshot ());
+    step = 0;
+    violations = [];
+  }
+
+let record t ~acting_thread message =
+  t.violations <- { step = t.step; acting_thread; message } :: t.violations
+
+let pp_state_opt t ppf state =
+  match t.pp_state with
+  | Some pp -> pp ppf state
+  | None -> Fmt.string ppf "<state>"
+
+let check_invariant t ~acting_thread state =
+  match t.invariant with
+  | Some (name, holds) when not (holds state) ->
+      record t ~acting_thread
+        (Fmt.str "invariant %s violated in state %a" name (pp_state_opt t) state)
+  | _ -> ()
+
+let observer t (d : Conc.Runner.decision) =
+  let pre = Option.get t.last in
+  let post = t.snapshot () in
+  t.step <- t.step + 1;
+  let tid = Cal.Ids.Tid.of_int d.thread in
+  if t.step = 1 then check_invariant t ~acting_thread:d.thread pre;
+  if not (t.equal pre post) then begin
+    let justified =
+      List.exists (fun a -> a.applies ~tid ~pre ~post) t.actions
+    in
+    if not justified then
+      record t ~acting_thread:d.thread
+        (Fmt.str "unjustified transition@ from %a@ to %a" (pp_state_opt t) pre
+           (pp_state_opt t) post)
+  end;
+  check_invariant t ~acting_thread:d.thread post;
+  t.last <- Some post
+
+let violations t = List.rev t.violations
+let ok t = t.violations = []
+
+let pp_violation ppf (v : violation) =
+  Fmt.pf ppf "step %d (thread %d): %s" v.step v.acting_thread v.message

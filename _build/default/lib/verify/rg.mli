@@ -1,0 +1,46 @@
+(** Rely/guarantee conditions as runtime-checkable transition relations
+    (§4, "Encoding interference and cooperation").
+
+    Modern program logics define rely/guarantee conditions as disjunctions
+    of {e actions} — relations on pairs of shared states, parameterised by
+    the acting thread. We make them executable: an observer snapshots the
+    shared state after every atomic step of an execution and checks that
+    each transition is justified by one of the declared guarantee actions
+    (or is a stutter), and that the declared invariant holds in every
+    state. Running this over {e all} interleavings of a client program
+    checks exactly the proof obligations of Fig. 4, mechanically. *)
+
+type 'state action = {
+  name : string;
+  applies : tid:Cal.Ids.Tid.t -> pre:'state -> post:'state -> bool;
+}
+
+type violation = {
+  step : int;                       (** decision index in the schedule *)
+  acting_thread : int;
+  message : string;
+}
+
+type 'state t
+
+val create :
+  snapshot:(unit -> 'state) ->
+  equal:('state -> 'state -> bool) ->
+  actions:'state action list ->
+  ?invariant:string * ('state -> bool) ->
+  ?pp_state:(Format.formatter -> 'state -> unit) ->
+  unit ->
+  'state t
+(** [create ~snapshot ~equal ~actions ~invariant ()] builds a checker.
+    A transition with [equal pre post] is a stutter and always justified;
+    otherwise some action must apply. The named [invariant] is checked on
+    every state (including the initial one at the first step). *)
+
+val observer : 'state t -> Conc.Runner.decision -> unit
+(** The per-step hook to install as [Runner.program.observe]. *)
+
+val violations : 'state t -> violation list
+(** Violations recorded so far, oldest first. *)
+
+val ok : 'state t -> bool
+val pp_violation : Format.formatter -> violation -> unit

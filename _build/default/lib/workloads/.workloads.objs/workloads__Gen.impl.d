@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Action Array Ca_trace Cal Conc History Ids List Op Spec_counter Spec_exchanger Spec_stack Spec_sync_queue Value

@@ -1,0 +1,1 @@
+lib/workloads/metrics.ml: Array Cal Conc Elim_array Elimination_stack Exchanger Float Fmt Hashtbl Ids Int64 Prog Rng Runner String Structures Sync_queue Treiber_stack Value

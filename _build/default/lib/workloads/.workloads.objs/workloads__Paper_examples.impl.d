@@ -1,0 +1,1 @@
+lib/workloads/paper_examples.ml: Action Cal History Ids Spec_exchanger Value

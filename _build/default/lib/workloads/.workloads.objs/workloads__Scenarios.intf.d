@@ -1,0 +1,1 @@
+lib/workloads/scenarios.mli: Cal Conc

@@ -1,0 +1,165 @@
+open Cal
+
+type t = { rng : Conc.Rng.t }
+
+let create ~seed = { rng = Conc.Rng.create ~seed }
+let int g n = Conc.Rng.int g.rng n
+let rng g = g.rng
+
+let two_distinct g n =
+  let a = int g n in
+  let b = (a + 1 + int g (n - 1)) mod n in
+  (a, b)
+
+let exchanger_trace g ~oid ~threads ~elements =
+  if threads < 2 then invalid_arg "Gen.exchanger_trace: needs >= 2 threads";
+  List.init elements (fun _ ->
+      if int g 10 < 7 then begin
+        let a, b = two_distinct g threads in
+        Spec_exchanger.swap ~oid (Ids.Tid.of_int a)
+          (Value.int (int g 10))
+          (Ids.Tid.of_int b)
+          (Value.int (int g 10))
+      end
+      else
+        Spec_exchanger.failure ~oid (Ids.Tid.of_int (int g threads))
+          (Value.int (int g 10)))
+
+let stack_trace g ~oid ~threads ~elements =
+  let stack = ref [] in
+  List.init elements (fun _ ->
+      let t = Ids.Tid.of_int (int g threads) in
+      let choice = int g 10 in
+      if choice < 5 then begin
+        let v = Value.int (int g 10) in
+        stack := v :: !stack;
+        Ca_trace.singleton (Spec_stack.push_op ~oid t v ~ok:true)
+      end
+      else
+        match !stack with
+        | top :: rest when choice < 9 ->
+            stack := rest;
+            Ca_trace.singleton (Spec_stack.pop_op ~oid t (Some top))
+        | [] -> Ca_trace.singleton (Spec_stack.pop_op ~oid t None)
+        | _ :: _ ->
+            (* spurious failure, legal for the central stack *)
+            Ca_trace.singleton (Spec_stack.push_op ~oid t (Value.int (int g 10)) ~ok:false))
+
+let counter_trace g ~oid ~threads ~elements =
+  let count = ref 0 in
+  List.init elements (fun _ ->
+      let t = Ids.Tid.of_int (int g threads) in
+      if int g 3 < 2 then begin
+        let old = !count in
+        incr count;
+        Ca_trace.singleton (Spec_counter.incr_op ~oid t old)
+      end
+      else Ca_trace.singleton (Spec_counter.get_op ~oid t !count))
+
+let sync_queue_trace g ~oid ~threads ~elements =
+  if threads < 2 then invalid_arg "Gen.sync_queue_trace: needs >= 2 threads";
+  List.init elements (fun _ ->
+      let roll = int g 10 in
+      if roll < 6 then begin
+        let a, b = two_distinct g threads in
+        Spec_sync_queue.rendezvous ~oid (Ids.Tid.of_int a)
+          (Value.int (int g 10))
+          (Ids.Tid.of_int b)
+      end
+      else if roll < 8 then
+        Ca_trace.singleton
+          (Spec_sync_queue.put_op ~oid (Ids.Tid.of_int (int g threads))
+             (Value.int (int g 10))
+             ~ok:false)
+      else
+        Ca_trace.singleton
+          (Spec_sync_queue.take_op ~oid (Ids.Tid.of_int (int g threads)) None))
+
+(* Realise a trace as a history: emit each element's invocations at its
+   boundary; responses are emitted immediately or deferred past later
+   boundaries. A deferred response must be flushed before its thread's next
+   invocation to keep the history well-formed. Delaying responses only
+   removes real-time orderings, so the result agrees with the trace. *)
+let history_of_trace ?(delay = 0.5) g tr =
+  let deferred : (int * Action.t) list ref = ref [] in
+  (* (thread, response) pairs *)
+  let out = ref [] in
+  let emit a = out := a :: !out in
+  let flush_thread t =
+    let mine, rest = List.partition (fun (t', _) -> t' = t) !deferred in
+    deferred := rest;
+    List.iter (fun (_, a) -> emit a) mine
+  in
+  let flush_some () =
+    let keep, flush =
+      List.partition (fun _ -> int g 100 < int_of_float (delay *. 100.)) !deferred
+    in
+    deferred := keep;
+    List.iter (fun (_, a) -> emit a) flush
+  in
+  List.iter
+    (fun e ->
+      let ops = Ca_trace.element_ops e in
+      (* a thread appearing here must have answered its previous call *)
+      List.iter (fun (o : Op.t) -> flush_thread (Ids.Tid.to_int o.tid)) ops;
+      List.iter
+        (fun (o : Op.t) -> emit (Action.inv ~tid:o.tid ~oid:o.oid ~fid:o.fid o.arg))
+        ops;
+      List.iter
+        (fun (o : Op.t) ->
+          let res = Action.res ~tid:o.tid ~oid:o.oid ~fid:o.fid o.ret in
+          if int g 100 < int_of_float (delay *. 100.) then
+            deferred := (Ids.Tid.to_int o.tid, res) :: !deferred
+          else emit res)
+        ops;
+      flush_some ())
+    tr;
+  List.iter (fun (_, a) -> emit a) !deferred;
+  History.of_list (List.rev !out)
+
+let mutate_history g h =
+  let actions = Array.of_list (History.to_list h) in
+  let n = Array.length actions in
+  if n = 0 then h
+  else begin
+    let strategy = int g 3 in
+    (match strategy with
+    | 0 -> (
+        (* corrupt a return value *)
+        let i = int g n in
+        match actions.(i) with
+        | Action.Res { tid; oid; fid; _ } ->
+            actions.(i) <- Action.res ~tid ~oid ~fid (Value.int (1000 + int g 10))
+        | Action.Inv _ -> ())
+    | 1 ->
+        (* swap two adjacent actions of different threads *)
+        if n >= 2 then begin
+          let i = int g (n - 1) in
+          if not (Ids.Tid.equal (Action.tid actions.(i)) (Action.tid actions.(i + 1)))
+          then begin
+            let tmp = actions.(i) in
+            actions.(i) <- actions.(i + 1);
+            actions.(i + 1) <- tmp
+          end
+        end
+    | _ -> (
+        (* retarget a response to a different thread's style: swap the
+           values of two responses *)
+        let res_idx =
+          Array.to_list actions
+          |> List.mapi (fun i a -> (i, a))
+          |> List.filter (fun (_, a) -> Action.is_res a)
+          |> List.map fst
+        in
+        match res_idx with
+        | i :: j :: _ when i <> j -> (
+            match (actions.(i), actions.(j)) with
+            | Action.Res r1, Action.Res r2 ->
+                actions.(i) <-
+                  Action.res ~tid:r1.tid ~oid:r1.oid ~fid:r1.fid r2.ret;
+                actions.(j) <-
+                  Action.res ~tid:r2.tid ~oid:r2.oid ~fid:r2.fid r1.ret
+            | _ -> ())
+        | _ -> ()));
+    History.of_list (Array.to_list actions)
+  end

@@ -1,0 +1,49 @@
+(** Seeded generators for specification-conforming CA-traces and histories,
+    used by the property tests and the checker benchmarks.
+
+    The central construction is {!history_of_trace}: a legal CA-trace is
+    realised as a concurrent history that provably agrees with it — each
+    CA-element's operations are invoked together and answered together, and
+    responses may then be {e delayed} arbitrarily (delaying a response only
+    removes real-time orderings, so agreement is preserved). This yields
+    arbitrarily overlapping, guaranteed-CAL histories of tunable size. *)
+
+type t
+(** Generator state (wraps a {!Conc.Rng.t}). *)
+
+val create : seed:int64 -> t
+
+(** {1 Trace generators} *)
+
+val exchanger_trace : t -> oid:Cal.Ids.Oid.t -> threads:int -> elements:int -> Cal.Ca_trace.t
+(** Random legal exchanger trace: each element is a swap between two
+    distinct threads (70%) or a singleton failure (30%); values are small
+    ints. *)
+
+val stack_trace : t -> oid:Cal.Ids.Oid.t -> threads:int -> elements:int -> Cal.Ca_trace.t
+(** Random legal sequential stack trace (singleton elements): pushes, pops
+    of the correct top, and EMPTY answers on the empty stack. *)
+
+val counter_trace : t -> oid:Cal.Ids.Oid.t -> threads:int -> elements:int -> Cal.Ca_trace.t
+
+val sync_queue_trace :
+  t -> oid:Cal.Ids.Oid.t -> threads:int -> elements:int -> Cal.Ca_trace.t
+
+(** {1 History realisation} *)
+
+val history_of_trace : ?delay:float -> t -> Cal.Ca_trace.t -> Cal.History.t
+(** [history_of_trace ~delay g tr] realises [tr] as a history that agrees
+    with it. [delay] (default [0.5]) is the probability that each response
+    is pushed past the following element boundary, creating overlap between
+    elements. The result is always complete and, by construction,
+    [⊑CAL tr]. *)
+
+val mutate_history : t -> Cal.History.t -> Cal.History.t
+(** A small random corruption (swap a return value, reorder two actions,
+    duplicate a response…) for negative property tests. The result may or
+    may not still be CAL — only its {e construction} is random. *)
+
+(** {1 Misc} *)
+
+val int : t -> int -> int
+val rng : t -> Conc.Rng.t

@@ -1,0 +1,195 @@
+open Cal
+open Conc
+open Structures
+open Prog.Infix
+
+type result = {
+  threads : int;
+  steps : int;
+  sim_time : float;
+  ops_completed : int;
+  ops_succeeded : int;
+  throughput : float;
+}
+
+type stack_impl = Treiber_retry | Elimination of int
+
+(* Contention cost model. A unit-cost interleaving simulator misses the
+   dominant scalability effect on real hardware: every CAS on a contended
+   cache line — successful or not — serialises on that line and costs more
+   the hotter the line is. CAS steps are labelled "…@location"; we keep an
+   exponentially decaying access rate per location and charge
+
+     cost(CAS at L) = 1 + beta * min(rate_L, cap)      (other steps cost 1)
+
+   so a CAS on a line hammered by many threads is proportionally more
+   expensive, while CASes spread over k locations (the elimination array)
+   stay cheap. beta, tau and cap are fixed here and recorded in
+   EXPERIMENTS.md; the qualitative shape is insensitive to their exact
+   values. *)
+module Cost_model = struct
+  type t = {
+    mutable time : float;
+    rates : (string, float * float) Hashtbl.t; (* location -> rate, last time *)
+  }
+
+  let beta = 0.8
+  let tau = 64.
+  let cap = 24.
+
+  let create () = { time = 0.; rates = Hashtbl.create 8 }
+
+  let location label =
+    match String.index_opt label '@' with
+    | Some i -> Some (String.sub label (i + 1) (String.length label - i - 1))
+    | None -> None
+
+  let charge t label =
+    match location label with
+    | None -> t.time <- t.time +. 1.
+    | Some l ->
+        let rate, last =
+          match Hashtbl.find_opt t.rates l with
+          | Some (r, last) -> (r, last)
+          | None -> (0., t.time)
+        in
+        let decayed = rate *. exp (-.(t.time -. last) /. tau) in
+        let rate' = decayed +. 1. in
+        Hashtbl.replace t.rates l (rate', t.time);
+        t.time <- t.time +. 1. +. (beta *. Float.min decayed cap)
+
+  let time t = t.time
+end
+
+(* A thread body looping forever; operation completions are counted through
+   shared cells rather than the history (cheaper and fuel-friendly). *)
+let forever body =
+  let rec loop () = body () >>= fun () -> loop () in
+  (* the loop never returns; give it an unreachable result type *)
+  loop () >>= fun () -> Prog.return Value.unit
+
+let count completed succeeded result =
+  Prog.atomic ~label:"count" (fun () ->
+      incr completed;
+      (match result with
+      | `Success -> incr succeeded
+      | `Failure -> ());
+      ())
+
+let measure ~threads ~fuel ~seed ~setup =
+  let completed = ref 0 in
+  let succeeded = ref 0 in
+  let model = Cost_model.create () in
+  let outcome =
+    Runner.run_random
+      ~setup:(fun ctx ->
+        let program = setup ctx ~completed ~succeeded in
+        { program with Runner.on_label = Some (Cost_model.charge model) })
+      ~fuel
+      ~rng:(Rng.create ~seed)
+  in
+  let sim_time = Cost_model.time model in
+  {
+    threads;
+    steps = outcome.Runner.steps;
+    sim_time;
+    ops_completed = !completed;
+    ops_succeeded = !succeeded;
+    throughput =
+      (if sim_time = 0. then 0. else 1000. *. float_of_int !completed /. sim_time);
+  }
+
+let stack_throughput ~impl ~threads ~fuel ~seed =
+  let setup ctx ~completed ~succeeded =
+    let push, pop =
+      match impl with
+      | Treiber_retry ->
+          let s =
+            Treiber_stack.create ~instrument:false ~log_history:false ctx
+          in
+          (Treiber_stack.push_retry s, Treiber_stack.pop_retry s)
+      | Elimination k ->
+          let rng = Rng.create ~seed:(Int64.add seed 7L) in
+          let es =
+            Elimination_stack.create ~instrument:false ~log_history:false ~k
+              ~factory:(Elim_array.concrete_waiting ~wait:8)
+              ~slot_strategy:(Elim_array.Seeded rng) ctx
+          in
+          (Elimination_stack.push es, Elimination_stack.pop es)
+    in
+    {
+      Runner.threads =
+        Array.init threads (fun i ->
+            let tid = Ids.Tid.of_int i in
+            forever (fun () ->
+                let* _ = push ~tid (Value.int i) in
+                let* () = count completed succeeded `Success in
+                let* _ = pop ~tid in
+                count completed succeeded `Success));
+      observe = None;
+      on_label = None;
+    }
+  in
+  measure ~threads ~fuel ~seed ~setup
+
+let exchanger_success_rate ~threads ~rounds ~fuel ~seed =
+  let setup ctx ~completed ~succeeded =
+    let ex = Exchanger.create ~instrument:false ~log_history:false ~wait:8 ctx in
+    {
+      Runner.threads =
+        Array.init threads (fun i ->
+            let tid = Ids.Tid.of_int i in
+            let rec go k =
+              if k = 0 then Prog.return Value.unit
+              else
+                let* r = Exchanger.exchange_body ex ~tid (Value.int i) in
+                let ok, _ = Value.to_pair r in
+                let* () =
+                  count completed succeeded
+                    (if Value.to_bool ok then `Success else `Failure)
+                in
+                go (k - 1)
+            in
+            go rounds);
+      observe = None;
+      on_label = None;
+    }
+  in
+  measure ~threads ~fuel ~seed ~setup
+
+let sync_queue_handoffs ~producers ~consumers ~rounds ~fuel ~seed =
+  let threads = producers + consumers in
+  let setup ctx ~completed ~succeeded =
+    let q = Sync_queue.create ~instrument:false ~log_history:false ~wait:8 ctx in
+    {
+      Runner.threads =
+        Array.init threads (fun i ->
+            let tid = Ids.Tid.of_int i in
+            let rec go k =
+              if k = 0 then Prog.return Value.unit
+              else
+                let* r =
+                  if i < producers then Sync_queue.put q ~tid (Value.int i)
+                  else Sync_queue.take q ~tid
+                in
+                let success =
+                  match r with
+                  | Value.Bool b -> b
+                  | Value.Pair (Value.Bool b, _) -> b
+                  | _ -> false
+                in
+                let* () =
+                  count completed succeeded (if success then `Success else `Failure)
+                in
+                go (k - 1)
+            in
+            go rounds);
+      observe = None;
+      on_label = None;
+    }
+  in
+  measure ~threads ~fuel ~seed ~setup
+
+let pp_result ppf r =
+  Fmt.pf ppf "threads=%d steps=%d ops=%d ok=%d throughput=%.2f/1k-steps" r.threads
+    r.steps r.ops_completed r.ops_succeeded r.throughput

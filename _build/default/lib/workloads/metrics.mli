@@ -1,0 +1,44 @@
+(** Simulated-time performance measurement.
+
+    The simulator's base unit of time is one atomic step (one scheduler
+    decision) under a uniformly random scheduler. On top of that, a
+    contention cost model charges every CAS on a contended location extra
+    time proportional to that location's recent access rate — the cache-
+    line serialisation that a unit-cost interleaving simulator would
+    otherwise miss entirely (a failed simulated CAS is free for everyone,
+    a failed hardware CAS still bounces the line). With it, the benchmarks
+    reproduce the {e shape} of the elimination-stack motivation (HSY 2004):
+    the central stack's single hot line throttles throughput as threads are
+    added, while elimination spreads accesses over [k] exchanger slots and
+    completes two operations per rendezvous. *)
+
+type result = {
+  threads : int;
+  steps : int;            (** scheduler decisions executed *)
+  sim_time : float;       (** simulated time with contention costs *)
+  ops_completed : int;    (** responses observed *)
+  ops_succeeded : int;    (** operations whose result reports success *)
+  throughput : float;     (** completed operations per 1000 simulated time units *)
+}
+
+type stack_impl =
+  | Treiber_retry          (** Treiber stack, operations retried until done *)
+  | Elimination of int     (** elimination stack with [k] exchanger slots *)
+
+val stack_throughput :
+  impl:stack_impl -> threads:int -> fuel:int -> seed:int64 -> result
+(** Each thread alternates [push]/[pop] as fast as the scheduler lets it,
+    for [fuel] total decisions. *)
+
+val exchanger_success_rate :
+  threads:int -> rounds:int -> fuel:int -> seed:int64 -> result
+(** Each thread performs [rounds] exchanges; [ops_succeeded] counts the
+    exchanges that found a partner. Success rates rise with the thread
+    count — the concurrency-{e aware} behaviour. *)
+
+val sync_queue_handoffs :
+  producers:int -> consumers:int -> rounds:int -> fuel:int -> seed:int64 -> result
+(** Producers [put], consumers [take]; [ops_succeeded] counts
+    rendezvous. *)
+
+val pp_result : Format.formatter -> result -> unit

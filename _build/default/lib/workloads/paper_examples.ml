@@ -1,0 +1,32 @@
+open Cal
+
+let oid = Ids.Oid.v "E"
+let t1 = Ids.Tid.of_int 1
+let t2 = Ids.Tid.of_int 2
+let t3 = Ids.Tid.of_int 3
+let fid = Spec_exchanger.fid_exchange
+let inv t n = Action.inv ~tid:t ~oid ~fid (Value.int n)
+let res_ok t n = Action.res ~tid:t ~oid ~fid (Value.ok (Value.int n))
+let res_fail t n = Action.res ~tid:t ~oid ~fid (Value.fail (Value.int n))
+
+(* All three operations overlap. *)
+let h1 =
+  History.of_list
+    [ inv t1 3; inv t2 4; inv t3 7; res_ok t1 4; res_ok t2 3; res_fail t3 7 ]
+
+(* The swap pair overlaps; the failed exchange is disjoint. *)
+let h2 =
+  History.of_list [ inv t1 3; inv t2 4; res_ok t1 4; res_ok t2 3; inv t3 7; res_fail t3 7 ]
+
+(* Sequential: each "exchange" completes before the next begins. *)
+let h3 =
+  History.of_list [ inv t1 3; res_ok t1 4; inv t2 4; res_ok t2 3; inv t3 7; res_fail t3 7 ]
+
+(* The undesired prefix of h3: one thread swapped without a partner. *)
+let h3' = History.of_list [ inv t1 3; res_ok t1 4 ]
+
+let swap_trace =
+  [
+    Spec_exchanger.swap ~oid t1 (Value.int 3) t2 (Value.int 4);
+    Spec_exchanger.failure ~oid t3 (Value.int 7);
+  ]

@@ -1,0 +1,31 @@
+(** The concrete histories of the paper's Fig. 3, as library data.
+
+    The client program [P] is [exchg(3) ‖ exchg(4) ‖ exchg(7)], where
+    threads [t1] and [t2] swap their values and [t3] fails to pair up.
+
+    - {!h1}: a concurrent history of [P] in which all three operations
+      overlap — it {e can} occur and must be accepted;
+    - {!h2}: the "CA-history" shaped run — the swap pair overlaps, the
+      failure is disjoint — also accepted;
+    - {!h3}: the {e sequential} history in which the same operations happen
+      back to back. It cannot occur (a swap requires overlap), and CAL
+      rejects it; yet any {e sequential} specification explaining [h1]
+      would have to contain it, and with it its undesired prefix {!h3'}
+      where a thread exchanges a value without any partner — the paper's §3
+      impossibility argument. *)
+
+val oid : Cal.Ids.Oid.t
+(** The exchanger, ["E"]. *)
+
+val h1 : Cal.History.t
+val h2 : Cal.History.t
+val h3 : Cal.History.t
+val h3' : Cal.History.t
+
+val t1 : Cal.Ids.Tid.t
+val t2 : Cal.Ids.Tid.t
+val t3 : Cal.Ids.Tid.t
+
+val swap_trace : Cal.Ca_trace.t
+(** The CA-trace [E.swap(t1,3,t2,4) · E.{(t3, ex(7) ⇒ (false,7))}] that
+    explains {!h1} and {!h2}. *)

@@ -1,0 +1,84 @@
+(** Standard bounded client programs for exploration, verification, tests,
+    the CLI and the benchmarks — one place, so every consumer checks the
+    same thing.
+
+    Each scenario packages the program with the specification and view
+    function against which its object must be verified. Views and
+    specifications depend only on (deterministic, default) object names, so
+    they are valid for every run of [setup]. *)
+
+type t = {
+  name : string;
+  description : string;
+  threads : int;
+  setup : Conc.Ctx.t -> Conc.Runner.program;
+  spec : Cal.Spec.t;
+  view : Cal.View.t;
+  fuel : int;  (** enough decisions for every thread to finish, with slack *)
+  bound : int option;
+      (** default preemption bound: [Some b] for scenarios whose unbounded
+          interleaving space is too large for routine exhaustive checking;
+          consumers should pass it to the explorer *)
+  expect_ok : bool;  (** [false] for the deliberately faulty scenarios *)
+}
+
+(** {1 Exchanger clients} *)
+
+val exchanger_pair : unit -> t
+(** Two threads exchanging 3 and 4. *)
+
+val exchanger_trio : unit -> t
+(** The paper's program [P] (Fig. 3): [exchg(3) ‖ exchg(4) ‖ exchg(7)]. *)
+
+val exchanger_abstract_pair : unit -> t
+(** Two threads against the specification-driven exchanger. *)
+
+(** {1 Elimination array and stack} *)
+
+val elim_array_pair : k:int -> t
+val elim_stack_push_pop : ?abstract:bool -> k:int -> unit -> t
+val elim_stack_two_two : ?abstract:bool -> k:int -> unit -> t
+(** Two pushers and two poppers — the heavier elimination-stack workload. *)
+
+val elim_stack_sequential_then_pop : k:int -> t
+(** One thread pushes twice then pops; one thread pops — exercises stack
+    order (LIFO) across elimination. *)
+
+(** {1 Synchronous queue} *)
+
+val sync_queue_pair : unit -> t
+val sync_queue_two_producers : unit -> t
+
+(** {1 Dual queue} *)
+
+val dual_queue_enq_deq : unit -> t
+val dual_queue_two_consumers : unit -> t
+
+(** {1 Elimination-backed FIFO queue} *)
+
+val elim_queue_enq_deq : unit -> t
+val elim_queue_fifo : unit -> t
+
+(** {1 Simple objects} *)
+
+val counter_incrs : n:int -> t
+val register_write_read : unit -> t
+val treiber_push_pop : unit -> t
+val ms_queue_enq_deq : unit -> t
+
+(** {1 Faulty objects (expected to fail verification)} *)
+
+val faulty_counter : unit -> t
+val faulty_stack : unit -> t
+val faulty_exchanger : unit -> t
+
+val faulty_elim_queue : unit -> t
+(** The elimination queue with the transfer emptiness check removed —
+    a FIFO violation (deq receives a fresh value while an older one is
+    queued) that the obligations must detect. *)
+
+val all : unit -> t list
+(** Every scenario above, positives first. *)
+
+val find : string -> t option
+(** Look up by [name]. *)

@@ -1,0 +1,1 @@
+test/test_agreement.ml: Agreement Alcotest Cal History Int64 List QCheck Spec_exchanger Test_support Workloads

@@ -1,0 +1,1 @@
+test/test_ca_trace.ml: Alcotest Ca_trace Cal Fmt Ids List Spec_exchanger String Test_support Value

@@ -1,0 +1,1 @@
+test/test_checkers.ml: Action Agreement Alcotest Cal Cal_checker History Int64 Lin_checker List QCheck Set_lin Spec Spec_counter Spec_exchanger Spec_stack Test_support Value Workloads

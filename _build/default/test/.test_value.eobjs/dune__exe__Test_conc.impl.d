@@ -1,0 +1,1 @@
+test/test_conc.ml: Alcotest Array Cal Conc Ctx Explore Harness History Int List Option Prog Rng Runner Test_support Value

@@ -1,0 +1,1 @@
+test/test_dual_structures.ml: Alcotest Array Ca_trace Cal Conc Ctx Dual_queue Elimination_queue Explore Ids List Op Prog Runner Spec Spec_dual_queue Spec_queue Structures Test_support Value Workloads

@@ -1,0 +1,1 @@
+test/test_history.ml: Action Alcotest Cal History Ids List Option String Test_support

@@ -1,0 +1,1 @@
+test/test_history_format.ml: Alcotest Ca_trace Cal Fmt History History_format Int64 QCheck Spec_exchanger String Test_support Value Workloads

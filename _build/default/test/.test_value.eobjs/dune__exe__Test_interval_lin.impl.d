@@ -1,0 +1,1 @@
+test/test_interval_lin.ml: Action Alcotest Cal History Ids Interval_lin List Op Option Set_lin Test_support Value

@@ -1,0 +1,1 @@
+test/test_proof_outline.ml: Alcotest Cal Conc Exchanger Spec_exchanger Structures Test_support Verify

@@ -1,0 +1,1 @@
+test/test_props.ml: Action Agreement Alcotest Array Ca_trace Cal Cal_checker History Ids Int64 Lin_checker List QCheck Spec Spec_counter Spec_exchanger Spec_stack Test_support Workloads

@@ -1,0 +1,1 @@
+test/test_refinement.ml: Abstract_exchanger Alcotest Conc Exchanger Faulty List String Structures Test_support Verify

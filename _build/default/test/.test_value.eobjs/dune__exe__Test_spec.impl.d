@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Ca_trace Cal List Op Spec Spec_counter Spec_exchanger Spec_queue Spec_register Spec_stack Spec_sync_queue String Test_support Value

@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Array Ca_trace Cal Conc Ctx Exchanger Explore Fun List Ms_queue Op Prog Register Runner Spec Spec_exchanger Structures Test_support Treiber_stack Value Workloads

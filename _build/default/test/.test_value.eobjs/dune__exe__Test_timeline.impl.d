@@ -1,0 +1,1 @@
+test/test_timeline.ml: Alcotest Cal History List String Test_support Timeline Workloads

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Cal Fmt List QCheck Test_support Value

@@ -1,0 +1,1 @@
+test/test_view.ml: Alcotest Ca_trace Cal Conc Elim_array Elimination_stack Exchanger Ids List Op Spec Spec_exchanger Spec_stack Spec_sync_queue Structures Sync_queue Test_support Value View

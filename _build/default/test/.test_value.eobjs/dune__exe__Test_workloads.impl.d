@@ -1,0 +1,1 @@
+test/test_workloads.ml: Agreement Alcotest Cal History List Spec Spec_counter Spec_exchanger Spec_stack Spec_sync_queue Test_support Workloads

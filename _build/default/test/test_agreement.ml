@@ -1,0 +1,140 @@
+(* Tests for Definition 5: H ⊑CAL T — the agreement decision procedure. *)
+
+open Cal
+open Test_support
+
+let t name f = Alcotest.test_case name `Quick f
+let swap = Spec_exchanger.swap ~oid:e_oid (tid 1) (vi 3) (tid 2) (vi 4)
+let failure = Spec_exchanger.failure ~oid:e_oid (tid 3) (vi 7)
+
+let concurrent_swap =
+  History.of_list [ inv 1 (vi 3); inv 2 (vi 4); res 1 (ok_int 4); res 2 (ok_int 3) ]
+
+let test_accepts_overlapping_swap () =
+  check_bool "agrees" true (Agreement.agrees concurrent_swap [ swap ])
+
+let test_witness_assignment () =
+  match Agreement.check concurrent_swap [ swap ] with
+  | Ok w ->
+      Alcotest.(check int) "both ops assigned" 2 (List.length w.assignment);
+      List.iter
+        (fun (_, pos) -> Alcotest.(check int) "same element" 0 pos)
+        w.assignment
+  | Error m -> Alcotest.fail m
+
+let test_rejects_sequential_swap () =
+  (* t1 finished before t2 started: they cannot share a CA-element *)
+  let h =
+    History.of_list [ inv 1 (vi 3); res 1 (ok_int 4); inv 2 (vi 4); res 2 (ok_int 3) ]
+  in
+  check_bool "disagrees" false (Agreement.agrees h [ swap ])
+
+let test_rejects_wrong_ops () =
+  let h =
+    History.of_list [ inv 1 (vi 3); inv 2 (vi 4); res 1 (ok_int 9); res 2 (ok_int 3) ]
+  in
+  check_bool "wrong return value" false (Agreement.agrees h [ swap ])
+
+let test_rejects_count_mismatch () =
+  check_bool "missing op" false
+    (Agreement.agrees (History.of_list [ inv 3 (vi 7); res 3 (fail_int 7) ]) [ swap ]);
+  check_bool "extra element" false (Agreement.agrees concurrent_swap [ swap; failure ])
+
+let test_requires_complete_history () =
+  let h = History.of_list [ inv 1 (vi 3) ] in
+  match Agreement.check h [ swap ] with
+  | Error msg -> check_bool "complains about completeness" true (msg = "history is not complete")
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_order_preservation () =
+  (* failure strictly after the swap in history: trace must order them *)
+  let h =
+    History.of_list
+      [
+        inv 1 (vi 3); inv 2 (vi 4); res 1 (ok_int 4); res 2 (ok_int 3);
+        inv 3 (vi 7); res 3 (fail_int 7);
+      ]
+  in
+  check_bool "swap then failure" true (Agreement.agrees h [ swap; failure ]);
+  check_bool "failure then swap violates order" false (Agreement.agrees h [ failure; swap ])
+
+let test_concurrent_elements_any_order () =
+  (* all three overlap: both element orders explain the history *)
+  let h =
+    History.of_list
+      [
+        inv 1 (vi 3); inv 2 (vi 4); inv 3 (vi 7);
+        res 1 (ok_int 4); res 2 (ok_int 3); res 3 (fail_int 7);
+      ]
+  in
+  check_bool "order A" true (Agreement.agrees h [ swap; failure ]);
+  check_bool "order B" true (Agreement.agrees h [ failure; swap ])
+
+let test_empty () =
+  check_bool "empty vs empty" true (Agreement.agrees History.empty []);
+  check_bool "empty vs non-empty" false (Agreement.agrees History.empty [ failure ])
+
+let test_duplicate_ops_backtracking () =
+  (* two identical failing ops by different threads, sequential: the
+     matcher must assign them to the right positions *)
+  let fa = Spec_exchanger.failure ~oid:e_oid (tid 1) (vi 5) in
+  let fb = Spec_exchanger.failure ~oid:e_oid (tid 2) (vi 5) in
+  let h =
+    History.of_list
+      [ inv 1 (vi 5); res 1 (fail_int 5); inv 2 (vi 5); res 2 (fail_int 5) ]
+  in
+  check_bool "ordered assignment" true (Agreement.agrees h [ fa; fb ]);
+  check_bool "reverse violates order" false (Agreement.agrees h [ fb; fa ])
+
+let test_same_thread_sequential_ops () =
+  (* one thread fails twice: its ops are real-time ordered *)
+  let fa = Spec_exchanger.failure ~oid:e_oid (tid 1) (vi 1) in
+  let fb = Spec_exchanger.failure ~oid:e_oid (tid 1) (vi 2) in
+  let h =
+    History.of_list
+      [ inv 1 (vi 1); res 1 (fail_int 1); inv 1 (vi 2); res 1 (fail_int 2) ]
+  in
+  check_bool "in order" true (Agreement.agrees h [ fa; fb ]);
+  check_bool "reversed" false (Agreement.agrees h [ fb; fa ])
+
+(* property: Gen.history_of_trace always agrees with its source trace *)
+let arb_seeded =
+  QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100000)
+
+let prop_realisation_agrees seed =
+  let g = Workloads.Gen.create ~seed:(Int64.of_int (seed + 1)) in
+  let tr = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:4 ~elements:5 in
+  let h = Workloads.Gen.history_of_trace g tr in
+  Agreement.agrees h tr
+
+let prop_stack_realisation_agrees seed =
+  let g = Workloads.Gen.create ~seed:(Int64.of_int (seed + 7)) in
+  let tr = Workloads.Gen.stack_trace g ~oid:s_oid ~threads:3 ~elements:6 in
+  let h = Workloads.Gen.history_of_trace g tr in
+  Agreement.agrees h tr
+
+let () =
+  Alcotest.run "agreement"
+    [
+      ( "unit",
+        [
+          t "accepts overlapping swap" test_accepts_overlapping_swap;
+          t "witness assignment" test_witness_assignment;
+          t "rejects sequential swap" test_rejects_sequential_swap;
+          t "rejects wrong ops" test_rejects_wrong_ops;
+          t "rejects count mismatch" test_rejects_count_mismatch;
+          t "requires complete history" test_requires_complete_history;
+          t "order preservation" test_order_preservation;
+          t "concurrent elements any order" test_concurrent_elements_any_order;
+          t "empty cases" test_empty;
+          t "duplicate ops need backtracking" test_duplicate_ops_backtracking;
+          t "same-thread sequential ops" test_same_thread_sequential_ops;
+        ] );
+      ( "properties",
+        [
+          qtest ~count:150 "exchanger realisation agrees" arb_seeded
+            prop_realisation_agrees;
+          qtest ~count:150 "stack realisation agrees" arb_seeded
+            prop_stack_realisation_agrees;
+        ] );
+    ]

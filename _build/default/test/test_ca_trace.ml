@@ -1,0 +1,101 @@
+(* Unit tests for Cal.Ca_trace: CA-element invariants, canonical form and
+   projections (Definition 4). *)
+
+open Cal
+open Test_support
+
+let t name f = Alcotest.test_case name `Quick f
+let swap = Spec_exchanger.swap ~oid:e_oid (tid 1) (vi 3) (tid 2) (vi 4)
+let failure = Spec_exchanger.failure ~oid:e_oid (tid 3) (vi 7)
+
+let test_element_invariants () =
+  Alcotest.check_raises "empty set"
+    (Invalid_argument "Ca_trace.element: empty operation set") (fun () ->
+      ignore (Ca_trace.element e_oid []));
+  (* wrong object inside element *)
+  (try
+     ignore (Ca_trace.element e_oid [ op ~oid:s_oid 1 ~arg:(vi 1) ~ret:(vi 1) ]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  (* same thread twice *)
+  (try
+     ignore
+       (Ca_trace.element e_oid
+          [ op 1 ~arg:(vi 1) ~ret:(ok_int 2); op 1 ~arg:(vi 2) ~ret:(ok_int 1) ]);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  (* duplicate operation *)
+  try
+    ignore
+      (Ca_trace.element e_oid
+         [ op 1 ~arg:(vi 1) ~ret:(ok_int 2); op 1 ~arg:(vi 1) ~ret:(ok_int 2) ]);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_canonical_order () =
+  (* element is canonical regardless of construction order *)
+  let a = op 1 ~arg:(vi 3) ~ret:(ok_int 4) in
+  let b = op 2 ~arg:(vi 4) ~ret:(ok_int 3) in
+  Alcotest.check element "order independent" (Ca_trace.element e_oid [ a; b ])
+    (Ca_trace.element e_oid [ b; a ])
+
+let test_singleton () =
+  let o = op 3 ~arg:(vi 7) ~ret:(fail_int 7) in
+  let e = Ca_trace.singleton o in
+  Alcotest.(check int) "size" 1 (Ca_trace.element_size e);
+  check_bool "oid" true (Ids.Oid.equal (Ca_trace.element_oid e) e_oid)
+
+let test_mem_thread () =
+  check_bool "t1 in swap" true (Ca_trace.element_mem_thread swap (tid 1));
+  check_bool "t3 not in swap" false (Ca_trace.element_mem_thread swap (tid 3))
+
+let test_proj_thread () =
+  let tr = [ swap; failure ] in
+  Alcotest.check trace "t1 view" [ swap ] (Ca_trace.proj_thread tr (tid 1));
+  Alcotest.check trace "t3 view" [ failure ] (Ca_trace.proj_thread tr (tid 3));
+  Alcotest.check trace "t9 view" [] (Ca_trace.proj_thread tr (tid 9));
+  (* the projection keeps other threads' operations inside shared elements *)
+  Alcotest.(check int) "t1 sees both ops of the swap" 2
+    (Ca_trace.element_size (List.hd (Ca_trace.proj_thread tr (tid 1))))
+
+let test_proj_object () =
+  let s_elem = Ca_trace.singleton (op ~oid:s_oid ~fid:(fid "push") 1 ~arg:(vi 1) ~ret:(Value.bool true)) in
+  let tr = [ swap; s_elem; failure ] in
+  Alcotest.check trace "E view" [ swap; failure ] (Ca_trace.proj_object tr e_oid);
+  Alcotest.check trace "S view" [ s_elem ] (Ca_trace.proj_object tr s_oid)
+
+let test_ops_threads_objects () =
+  let tr = [ swap; failure ] in
+  Alcotest.(check int) "ops" 3 (List.length (Ca_trace.ops tr));
+  Alcotest.(check int) "threads" 3 (List.length (Ca_trace.threads tr));
+  Alcotest.(check int) "objects" 1 (List.length (Ca_trace.objects tr))
+
+let test_equal_compare () =
+  check_bool "equal refl" true (Ca_trace.equal [ swap ] [ swap ]);
+  check_bool "order matters" false (Ca_trace.equal [ swap; failure ] [ failure; swap ]);
+  check_bool "compare consistent" true
+    (Ca_trace.compare [ swap ] [ failure ] = -Ca_trace.compare [ failure ] [ swap ])
+
+let test_element_pp () =
+  let s = Fmt.str "%a" Ca_trace.pp_element failure in
+  check_bool "mentions oid" true (String.length s > 0 && String.sub s 0 1 = "E")
+
+let () =
+  Alcotest.run "ca_trace"
+    [
+      ( "elements",
+        [
+          t "invariants" test_element_invariants;
+          t "canonical order" test_canonical_order;
+          t "singleton" test_singleton;
+          t "mem_thread" test_mem_thread;
+          t "pp" test_element_pp;
+        ] );
+      ( "traces",
+        [
+          t "proj thread" test_proj_thread;
+          t "proj object" test_proj_object;
+          t "ops/threads/objects" test_ops_threads_objects;
+          t "equal/compare" test_equal_compare;
+        ] );
+    ]

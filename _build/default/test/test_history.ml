@@ -1,0 +1,167 @@
+(* Unit tests for Cal.History: well-formedness, classification, projections,
+   entries, the real-time order and completions (Definitions 2-3). *)
+
+open Cal
+open Test_support
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* t1 and t2 swap concurrently *)
+let swap_history =
+  History.of_list [ inv 1 (vi 3); inv 2 (vi 4); res 1 (ok_int 4); res 2 (ok_int 3) ]
+
+let test_well_formed () =
+  check_bool "empty" true (History.is_well_formed History.empty);
+  check_bool "swap" true (History.is_well_formed swap_history);
+  check_bool "pending inv" true
+    (History.is_well_formed (History.of_list [ inv 1 (vi 3) ]));
+  (* double invocation by the same thread *)
+  check_bool "double inv" false
+    (History.is_well_formed (History.of_list [ inv 1 (vi 3); inv 1 (vi 4) ]));
+  (* response with no invocation *)
+  check_bool "orphan res" false
+    (History.is_well_formed (History.of_list [ res 1 (ok_int 3) ]));
+  (* response on the wrong object *)
+  check_bool "wrong object" false
+    (History.is_well_formed
+       (History.of_list [ inv 1 (vi 3); res ~oid:s_oid 1 (ok_int 3) ]))
+
+let test_validate_reasons () =
+  (match History.validate (History.of_list [ res 1 (ok_int 3) ]) with
+  | Error msg -> check_bool "mentions pending" true (String.length msg > 0)
+  | Ok () -> Alcotest.fail "expected error");
+  Alcotest.(check (result unit string)) "ok" (Ok ()) (History.validate swap_history)
+
+let test_sequential () =
+  check_bool "empty" true (History.is_sequential History.empty);
+  let seq = History.of_list [ inv 1 (vi 3); res 1 (ok_int 4); inv 2 (vi 4) ] in
+  check_bool "seq with trailing inv" true (History.is_sequential seq);
+  check_bool "concurrent not seq" false (History.is_sequential swap_history);
+  check_bool "complete seq" true
+    (History.is_sequential (History.of_list [ inv 1 (vi 3); res 1 (ok_int 4) ]))
+
+let test_complete () =
+  check_bool "swap complete" true (History.is_complete swap_history);
+  check_bool "pending not complete" false
+    (History.is_complete (History.of_list [ inv 1 (vi 3) ]));
+  check_bool "ill-formed not complete" false
+    (History.is_complete (History.of_list [ res 1 (ok_int 3) ]))
+
+let test_of_ops () =
+  let h =
+    History.of_ops [ op 1 ~arg:(vi 3) ~ret:(ok_int 4); op 2 ~arg:(vi 4) ~ret:(ok_int 3) ]
+  in
+  check_bool "sequential" true (History.is_sequential h);
+  check_bool "complete" true (History.is_complete h);
+  Alcotest.(check int) "length" 4 (History.length h)
+
+let test_entries () =
+  let es = History.entries swap_history in
+  Alcotest.(check int) "two ops" 2 (List.length es);
+  let e1 = List.nth es 0 and e2 = List.nth es 1 in
+  Alcotest.(check int) "inv idx" 0 e1.History.inv_index;
+  Alcotest.(check (option int)) "res idx" (Some 2) e1.History.res_index;
+  Alcotest.check value "ret of t1" (ok_int 4) (Option.get e1.History.ret);
+  check_bool "concurrent" true (History.concurrent e1 e2);
+  check_bool "no precedence" false (History.precedes e1 e2)
+
+let test_precedes () =
+  let h =
+    History.of_list [ inv 1 (vi 3); res 1 (fail_int 3); inv 2 (vi 4); res 2 (fail_int 4) ]
+  in
+  match History.entries h with
+  | [ a; b ] ->
+      check_bool "a before b" true (History.precedes a b);
+      check_bool "b not before a" false (History.precedes b a);
+      check_bool "not concurrent" false (History.concurrent a b)
+  | _ -> Alcotest.fail "expected two entries"
+
+let test_pending () =
+  let h = History.of_list [ inv 1 (vi 3); inv 2 (vi 4); res 1 (ok_int 4) ] in
+  let p = History.pending h in
+  Alcotest.(check int) "one pending" 1 (List.length p);
+  Alcotest.(check int) "t2 pending" 2 (Ids.Tid.to_int (List.hd p).History.tid)
+
+let test_projections () =
+  let h =
+    History.of_list
+      [ inv 1 (vi 3); inv ~oid:s_oid ~fid:(fid "push") 2 (vi 9); res 1 (ok_int 4) ]
+  in
+  Alcotest.(check int) "proj t1" 2 (History.length (History.proj_thread h (tid 1)));
+  Alcotest.(check int) "proj t2" 1 (History.length (History.proj_thread h (tid 2)));
+  Alcotest.(check int) "proj E" 2 (History.length (History.proj_object h e_oid));
+  Alcotest.(check int) "proj S" 1 (History.length (History.proj_object h s_oid));
+  Alcotest.(check int) "threads" 2 (List.length (History.threads h));
+  Alcotest.(check int) "objects" 2 (List.length (History.objects h))
+
+let test_proj_thread_sequential () =
+  (* H|t must be sequential for any well-formed H *)
+  check_bool "H|t1 sequential" true
+    (History.is_sequential (History.proj_thread swap_history (tid 1)))
+
+let test_completions_drop_or_complete () =
+  let h = History.of_list [ inv 1 (vi 3) ] in
+  let cs =
+    History.completions ~responses:(fun _ -> [ fail_int 3 ]) h |> List.of_seq
+  in
+  Alcotest.(check int) "two completions" 2 (List.length cs);
+  check_bool "all complete" true (List.for_all History.is_complete cs);
+  let lengths = List.map History.length cs |> List.sort compare in
+  Alcotest.(check (list int)) "drop and complete" [ 0; 2 ] lengths
+
+let test_completions_multiple_candidates () =
+  let h = History.of_list [ inv 1 (vi 3) ] in
+  let cs =
+    History.completions ~responses:(fun _ -> [ fail_int 3; ok_int 9 ]) h |> List.of_seq
+  in
+  (* drop, complete-with-fail, complete-with-ok *)
+  Alcotest.(check int) "three completions" 3 (List.length cs)
+
+let test_completions_max () =
+  let h = History.of_list [ inv 1 (vi 1); inv 2 (vi 2); inv 3 (vi 3) ] in
+  let cs =
+    History.completions ~responses:(fun _ -> [ fail_int 0; ok_int 1; ok_int 2 ]) ~max:5 h
+    |> List.of_seq
+  in
+  Alcotest.(check int) "capped" 5 (List.length cs)
+
+let test_completions_complete_history () =
+  let cs =
+    History.completions ~responses:(fun _ -> []) swap_history |> List.of_seq
+  in
+  Alcotest.(check int) "identity" 1 (List.length cs);
+  Alcotest.check history "unchanged" swap_history (List.hd cs)
+
+let test_append_nth () =
+  let h = History.append History.empty (inv 1 (vi 3)) in
+  Alcotest.(check int) "len" 1 (History.length h);
+  check_bool "nth" true (Action.equal (History.nth h 0) (inv 1 (vi 3)))
+
+let () =
+  Alcotest.run "history"
+    [
+      ( "classification",
+        [
+          t "well-formed" test_well_formed;
+          t "validate reasons" test_validate_reasons;
+          t "sequential" test_sequential;
+          t "complete" test_complete;
+          t "of_ops" test_of_ops;
+        ] );
+      ( "entries & order",
+        [
+          t "entries" test_entries;
+          t "precedes" test_precedes;
+          t "pending" test_pending;
+          t "projections" test_projections;
+          t "thread projection sequential" test_proj_thread_sequential;
+          t "append/nth" test_append_nth;
+        ] );
+      ( "completions",
+        [
+          t "drop or complete" test_completions_drop_or_complete;
+          t "multiple candidates" test_completions_multiple_candidates;
+          t "max cap" test_completions_max;
+          t "complete history" test_completions_complete_history;
+        ] );
+    ]

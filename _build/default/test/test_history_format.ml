@@ -1,0 +1,134 @@
+(* Tests for the textual history/trace format: parsing, printing, and
+   round-trips (including property-based round-trips on generated data). *)
+
+open Cal
+open Test_support
+
+let t name f = Alcotest.test_case name `Quick f
+
+let test_parse_values () =
+  let ok s v =
+    match History_format.parse_value s with
+    | Ok v' -> Alcotest.check value s v v'
+    | Error m -> Alcotest.fail (s ^ ": " ^ m)
+  in
+  ok "42" (vi 42);
+  ok "-7" (vi (-7));
+  ok "true" (Value.bool true);
+  ok "false" (Value.bool false);
+  ok "()" Value.unit;
+  ok "\"hello\"" (Value.str "hello");
+  ok "(1, 2)" (Value.pair (vi 1) (vi 2));
+  ok "( true , 3 )" (Value.ok (vi 3));
+  ok "[]" (Value.list []);
+  ok "[1; 2; 3]" (Value.list [ vi 1; vi 2; vi 3 ]);
+  ok "((1, 2), [true; ()])"
+    (Value.pair (Value.pair (vi 1) (vi 2)) (Value.list [ Value.bool true; Value.unit ]))
+
+let test_parse_value_errors () =
+  let bad s =
+    match History_format.parse_value s with
+    | Error _ -> ()
+    | Ok v -> Alcotest.fail (Fmt.str "%s parsed as %a" s Value.pp v)
+  in
+  bad "";
+  bad "(1, 2";
+  bad "[1; 2";
+  bad "\"unterminated";
+  bad "1 2";
+  bad "-";
+  bad "truex"
+
+let test_parse_history () =
+  let text =
+    {|# a swap
+t1 inv E.exchange 3
+t2 inv E.exchange 4
+t1 res E.exchange (true, 4)
+t2 res E.exchange (true, 3)
+|}
+  in
+  match History_format.parse_history text with
+  | Ok h ->
+      Alcotest.(check int) "four actions" 4 (History.length h);
+      check_bool "complete" true (History.is_complete h);
+      check_bool "CAL" true (is_cal (Spec_exchanger.spec ()) h)
+  | Error m -> Alcotest.fail m
+
+let test_parse_history_errors () =
+  (match History_format.parse_history "t1 foo E.exchange 3" with
+  | Error m -> check_bool "line number" true (String.length m > 0 && String.sub m 0 4 = "line")
+  | Ok _ -> Alcotest.fail "expected error");
+  (match History_format.parse_history "x1 inv E.exchange 3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad tid accepted");
+  match History_format.parse_history "t1 inv Eexchange 3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad target accepted"
+
+let test_history_roundtrip () =
+  let h =
+    History.of_list
+      [
+        inv 1 (vi 3);
+        inv ~oid:s_oid ~fid:(fid "push") 2 (Value.str "x");
+        res 1 (ok_int 4);
+        res ~oid:s_oid ~fid:(fid "push") 2 (Value.bool true);
+      ]
+  in
+  match History_format.parse_history (History_format.print_history h) with
+  | Ok h' -> Alcotest.check history "roundtrip" h h'
+  | Error m -> Alcotest.fail m
+
+let test_trace_roundtrip () =
+  let tr = Workloads.Paper_examples.swap_trace in
+  match History_format.parse_trace (History_format.print_trace tr) with
+  | Ok tr' -> Alcotest.check trace "roundtrip" tr tr'
+  | Error m -> Alcotest.fail m
+
+let test_trace_with_bracketed_oids () =
+  let sub = oid "AR[0]" in
+  let tr = [ Spec_exchanger.swap ~oid:sub (tid 1) (vi 3) (tid 2) (vi 4) ] in
+  match History_format.parse_trace (History_format.print_trace tr) with
+  | Ok tr' -> Alcotest.check trace "roundtrip" tr tr'
+  | Error m -> Alcotest.fail m
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 100_000)
+
+let prop_history_roundtrip seed =
+  let g = Workloads.Gen.create ~seed:(Int64.of_int (seed + 5)) in
+  let tr = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:4 ~elements:5 in
+  let h = Workloads.Gen.history_of_trace g tr in
+  match History_format.parse_history (History_format.print_history h) with
+  | Ok h' -> History.equal h h'
+  | Error _ -> false
+
+let prop_trace_roundtrip seed =
+  let g = Workloads.Gen.create ~seed:(Int64.of_int (seed + 11)) in
+  let tr = Workloads.Gen.stack_trace g ~oid:s_oid ~threads:3 ~elements:6 in
+  match History_format.parse_trace (History_format.print_trace tr) with
+  | Ok tr' -> Ca_trace.equal tr tr'
+  | Error _ -> false
+
+let () =
+  Alcotest.run "history_format"
+    [
+      ( "values",
+        [ t "parse" test_parse_values; t "errors" test_parse_value_errors ] );
+      ( "histories",
+        [
+          t "parse" test_parse_history;
+          t "errors" test_parse_history_errors;
+          t "roundtrip" test_history_roundtrip;
+        ] );
+      ( "traces",
+        [
+          t "roundtrip" test_trace_roundtrip;
+          t "bracketed oids" test_trace_with_bracketed_oids;
+        ] );
+      ( "properties",
+        [
+          qtest ~count:200 "history roundtrip" arb_seed prop_history_roundtrip;
+          qtest ~count:200 "trace roundtrip" arb_seed prop_trace_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,175 @@
+(* Tests for the interval-linearizability extension: the barrier sanity
+   case and the observer-of-ticks object that set-linearizability cannot
+   express. *)
+
+open Cal
+open Test_support
+
+let t name f = Alcotest.test_case name `Quick f
+let b_oid = oid "B"
+let w_oid = oid "W"
+
+let await t' n =
+  op ~oid:b_oid ~fid:(fid "await") t' ~arg:Value.unit ~ret:(vi n)
+
+let barrier_spec n = Interval_lin.one_shot_barrier ~oid:b_oid ~participants:n
+
+let test_barrier_accepts_overlap () =
+  (* three awaits, all overlapping *)
+  let h =
+    History.of_list
+      [
+        Action.inv ~tid:(tid 1) ~oid:b_oid ~fid:(fid "await") Value.unit;
+        Action.inv ~tid:(tid 2) ~oid:b_oid ~fid:(fid "await") Value.unit;
+        Action.inv ~tid:(tid 3) ~oid:b_oid ~fid:(fid "await") Value.unit;
+        Action.res ~tid:(tid 1) ~oid:b_oid ~fid:(fid "await") (vi 3);
+        Action.res ~tid:(tid 2) ~oid:b_oid ~fid:(fid "await") (vi 3);
+        Action.res ~tid:(tid 3) ~oid:b_oid ~fid:(fid "await") (vi 3);
+      ]
+  in
+  check_bool "accepted" true
+    (Interval_lin.is_interval_linearizable ~spec:(barrier_spec 3) h)
+
+let test_barrier_rejects_disjoint () =
+  (* two awaits that do NOT overlap cannot all meet at the barrier *)
+  let h =
+    History.of_ops [ await 1 2; await 2 2 ]
+  in
+  check_bool "rejected" false
+    (Interval_lin.is_interval_linearizable ~spec:(barrier_spec 2) h)
+
+let test_barrier_rejects_wrong_count () =
+  let h =
+    History.of_list
+      [
+        Action.inv ~tid:(tid 1) ~oid:b_oid ~fid:(fid "await") Value.unit;
+        Action.inv ~tid:(tid 2) ~oid:b_oid ~fid:(fid "await") Value.unit;
+        Action.res ~tid:(tid 1) ~oid:b_oid ~fid:(fid "await") (vi 3);
+        Action.res ~tid:(tid 2) ~oid:b_oid ~fid:(fid "await") (vi 3);
+      ]
+  in
+  check_bool "wrong participant count" false
+    (Interval_lin.is_interval_linearizable ~spec:(barrier_spec 2) h)
+
+let tick t' i = op ~oid:w_oid ~fid:(fid "tick") t' ~arg:(vi i) ~ret:Value.unit
+let watch_spec = Interval_lin.observer_of_ticks ~oid:w_oid
+
+(* watch() spanning two sequential ticks: inv_w, tick1 (complete), tick2
+   (complete), res_w=2 — the two ticks are real-time ordered, so no single
+   simultaneity class can contain both plus the watch. *)
+let watch_history =
+  History.of_list
+    [
+      Action.inv ~tid:(tid 9) ~oid:w_oid ~fid:(fid "watch") Value.unit;
+      Action.inv ~tid:(tid 1) ~oid:w_oid ~fid:(fid "tick") (vi 1);
+      Action.res ~tid:(tid 1) ~oid:w_oid ~fid:(fid "tick") Value.unit;
+      Action.inv ~tid:(tid 2) ~oid:w_oid ~fid:(fid "tick") (vi 2);
+      Action.res ~tid:(tid 2) ~oid:w_oid ~fid:(fid "tick") Value.unit;
+      Action.res ~tid:(tid 9) ~oid:w_oid ~fid:(fid "watch") (vi 2);
+    ]
+
+let test_watch_accepts_spanning_op () =
+  match Interval_lin.check ~spec:watch_spec watch_history with
+  | Interval_lin.Interval_linearizable { intervals; rounds } ->
+      check_bool "at least two rounds" true (List.length rounds >= 2);
+      (* the watch interval must span more rounds than any tick *)
+      let width (e : History.entry) =
+        List.find_map
+          (fun ((e' : History.entry), s, f) -> if e'.id = e.id then Some (f - s) else None)
+          intervals
+        |> Option.get
+      in
+      let entries = History.entries watch_history in
+      let watch_entry =
+        List.find (fun (e : History.entry) -> Ids.Fid.equal e.fid (fid "watch")) entries
+      in
+      check_bool "watch spans" true (width watch_entry >= 1)
+  | Interval_lin.Not_interval_linearizable { reason } -> Alcotest.fail reason
+
+let test_watch_not_set_linearizable () =
+  (* the same history is NOT explainable with single-point (CAL) elements:
+     build the corresponding single-object CA-spec where watch+ticks would
+     have to share one element, and check rejection *)
+  let legal_class ops =
+    (* a class is either one tick, or a watch with k >= 2 ticks — but the
+       ticks in our history are real-time ordered, so such a class can
+       never be formed; this spec is the best set-linearizability can do *)
+    match ops with
+    | [ (o : Op.t) ] -> Ids.Fid.equal o.fid (fid "tick")
+    | ops ->
+        let watches, ticks =
+          List.partition (fun (o : Op.t) -> Ids.Fid.equal o.fid (fid "watch")) ops
+        in
+        List.length watches = 1
+        && List.for_all (fun (o : Op.t) -> Ids.Fid.equal o.fid (fid "tick")) ticks
+        && Value.equal (List.hd watches).ret (vi (List.length ticks))
+  in
+  let spec =
+    Set_lin.spec_of_classes ~name:"watch-set" ~oid:w_oid ~max_class_size:3
+      ~legal_class
+      ~candidates:(fun ~universe:_ _ -> [])
+  in
+  check_bool "set-linearizability fails" false
+    (Set_lin.is_set_linearizable ~spec watch_history)
+
+let test_watch_rejects_wrong_count () =
+  let h =
+    History.of_list
+      [
+        Action.inv ~tid:(tid 9) ~oid:w_oid ~fid:(fid "watch") Value.unit;
+        Action.inv ~tid:(tid 1) ~oid:w_oid ~fid:(fid "tick") (vi 1);
+        Action.res ~tid:(tid 1) ~oid:w_oid ~fid:(fid "tick") Value.unit;
+        Action.res ~tid:(tid 9) ~oid:w_oid ~fid:(fid "watch") (vi 2);
+      ]
+  in
+  (* the watch claims two ticks but only one exists *)
+  check_bool "rejected" false (Interval_lin.is_interval_linearizable ~spec:watch_spec h)
+
+let test_watch_order_preserved () =
+  (* watch strictly before the ticks: intervals cannot overlap, reject *)
+  let h =
+    History.of_list
+      [
+        Action.inv ~tid:(tid 9) ~oid:w_oid ~fid:(fid "watch") Value.unit;
+        Action.res ~tid:(tid 9) ~oid:w_oid ~fid:(fid "watch") (vi 2);
+        Action.inv ~tid:(tid 1) ~oid:w_oid ~fid:(fid "tick") (vi 1);
+        Action.res ~tid:(tid 1) ~oid:w_oid ~fid:(fid "tick") Value.unit;
+        Action.inv ~tid:(tid 2) ~oid:w_oid ~fid:(fid "tick") (vi 2);
+        Action.res ~tid:(tid 2) ~oid:w_oid ~fid:(fid "tick") Value.unit;
+      ]
+  in
+  check_bool "rejected" false (Interval_lin.is_interval_linearizable ~spec:watch_spec h)
+
+let test_requires_complete () =
+  let h =
+    History.of_list [ Action.inv ~tid:(tid 1) ~oid:w_oid ~fid:(fid "tick") (vi 1) ]
+  in
+  try
+    ignore (Interval_lin.check ~spec:watch_spec h);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_singleton_intervals_subsume_ticks () =
+  (* ticks alone: plain sequence of one-round intervals *)
+  let h = History.of_ops [ tick 1 1; tick 2 2; tick 1 3 ] in
+  check_bool "accepted" true (Interval_lin.is_interval_linearizable ~spec:watch_spec h)
+
+let () =
+  Alcotest.run "interval_lin"
+    [
+      ( "barrier",
+        [
+          t "accepts full overlap" test_barrier_accepts_overlap;
+          t "rejects disjoint" test_barrier_rejects_disjoint;
+          t "rejects wrong count" test_barrier_rejects_wrong_count;
+        ] );
+      ( "observer-of-ticks",
+        [
+          t "accepts spanning op" test_watch_accepts_spanning_op;
+          t "not set-linearizable" test_watch_not_set_linearizable;
+          t "rejects wrong count" test_watch_rejects_wrong_count;
+          t "order preserved" test_watch_order_preserved;
+          t "requires complete" test_requires_complete;
+          t "ticks alone" test_singleton_intervals_subsume_ticks;
+        ] );
+    ]

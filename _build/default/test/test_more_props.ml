@@ -1,0 +1,248 @@
+(* A second layer of cross-cutting properties and direct unit tests for
+   pieces the main suites cover only end-to-end: view-function laws, the
+   set-linearizability/CAL coincidence, completion laws, and the Fig. 4
+   action predicates exercised directly. *)
+
+open Cal
+open Structures
+open Test_support
+
+let t name f = Alcotest.test_case name `Quick f
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000)
+let gen_of seed = Workloads.Gen.create ~seed:(Int64.of_int seed)
+
+(* ------------------------------------------------------- view laws ----- *)
+
+let prop_lift_homomorphic seed =
+  let g = gen_of (seed + 1) in
+  let tr1 = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:3 ~elements:3 in
+  let tr2 = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:3 ~elements:3 in
+  let f = View.rename ~from:e_oid ~to_:(oid "X") in
+  Ca_trace.equal (View.lift f (tr1 @ tr2)) (View.lift f tr1 @ View.lift f tr2)
+
+let prop_rename_then_rename seed =
+  let g = gen_of (seed + 2) in
+  let tr = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:3 ~elements:4 in
+  let via_m =
+    View.lift (View.rename ~from:(oid "M") ~to_:(oid "N"))
+      (View.lift (View.rename ~from:e_oid ~to_:(oid "M")) tr)
+  in
+  let direct = View.lift (View.rename ~from:e_oid ~to_:(oid "N")) tr in
+  Ca_trace.equal via_m direct
+
+let prop_drop_is_idempotent seed =
+  let g = gen_of (seed + 3) in
+  let tr = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:3 ~elements:4 in
+  let d = View.lift (View.drop e_oid) in
+  Ca_trace.equal (d tr) (d (d tr)) && d tr = []
+
+let prop_identity_neutral seed =
+  let g = gen_of (seed + 4) in
+  let tr = Workloads.Gen.stack_trace g ~oid:s_oid ~threads:3 ~elements:5 in
+  Ca_trace.equal tr (View.identity tr)
+
+(* rename preserves everything except the object *)
+let prop_rename_preserves_ops seed =
+  let g = gen_of (seed + 5) in
+  let tr = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:3 ~elements:4 in
+  let renamed = View.lift (View.rename ~from:e_oid ~to_:(oid "Y")) tr in
+  let strip (o : Op.t) = (o.tid, o.fid, o.arg, o.ret) in
+  List.for_all2
+    (fun a b ->
+      List.for_all2
+        (fun x y -> strip x = strip y)
+        (Ca_trace.element_ops a) (Ca_trace.element_ops b))
+    tr renamed
+
+(* ------------------------------------ set-lin and CAL coincide --------- *)
+
+let prop_set_lin_is_cal_single_object seed =
+  let g = gen_of (seed + 6) in
+  let tr = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:3 ~elements:3 in
+  let h = Workloads.Gen.history_of_trace g tr in
+  let spec = Spec_exchanger.spec () in
+  Set_lin.is_set_linearizable ~spec h = Cal_checker.is_cal ~spec h
+
+(* ---------------------------------------------- completion laws -------- *)
+
+let prop_completions_are_complete seed =
+  let g = gen_of (seed + 7) in
+  let tr = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:3 ~elements:3 in
+  let h = Workloads.Gen.history_of_trace g tr in
+  (* truncate to create pending operations *)
+  let n = History.length h in
+  let k = if n = 0 then 0 else Workloads.Gen.int g (n + 1) in
+  let prefix = History.of_list (List.filteri (fun i _ -> i < k) (History.to_list h)) in
+  History.completions ~responses:(fun _ -> [ Value.fail (Value.int 0) ]) ~max:64 prefix
+  |> List.of_seq
+  |> List.for_all History.is_complete
+
+let prop_completion_count seed =
+  let g = gen_of (seed + 8) in
+  let p = 1 + Workloads.Gen.int g 3 in
+  (* p pending invocations, c candidate responses each: (c+1)^p completions *)
+  let c = 1 + Workloads.Gen.int g 2 in
+  let h =
+    History.of_list (List.init p (fun i -> inv i (vi i)))
+  in
+  let candidates = List.init c (fun i -> fail_int i) in
+  let count =
+    History.completions ~responses:(fun _ -> candidates) ~max:10_000 h
+    |> List.of_seq |> List.length
+  in
+  count = int_of_float (float_of_int (c + 1) ** float_of_int p)
+
+(* --------------------------------------- Fig. 4 actions, direct -------- *)
+
+let actions = Verify.Exchanger_proof.actions ~oid:e_oid
+let find_action name = List.find (fun (a : _ Verify.Rg.action) -> a.name = name) actions
+
+let offer ?(uid = 0) ?(owner = 1) ?(data = 3) hole : Exchanger.offer_view =
+  { v_uid = uid; v_owner = tid owner; v_data = vi data; v_hole = hole }
+
+let st ?g ?(trace = []) () : Verify.Exchanger_proof.state =
+  { g; trace; active = [] }
+
+let test_init_action () =
+  let a = find_action "INIT" in
+  check_bool "applies" true
+    (a.applies ~tid:(tid 1) ~pre:(st ()) ~post:(st ~g:(offer `Empty) ()));
+  (* wrong owner *)
+  check_bool "wrong owner" false
+    (a.applies ~tid:(tid 2) ~pre:(st ()) ~post:(st ~g:(offer `Empty) ()));
+  (* g was not empty before *)
+  check_bool "pre occupied" false
+    (a.applies ~tid:(tid 1)
+       ~pre:(st ~g:(offer ~uid:7 `Failed) ())
+       ~post:(st ~g:(offer `Empty) ()))
+
+let test_clean_action () =
+  let a = find_action "CLEAN" in
+  check_bool "satisfied offer leaves" true
+    (a.applies ~tid:(tid 2) ~pre:(st ~g:(offer `Failed) ()) ~post:(st ()));
+  check_bool "unsatisfied cannot leave" false
+    (a.applies ~tid:(tid 2) ~pre:(st ~g:(offer `Empty) ()) ~post:(st ()))
+
+let test_pass_action () =
+  let a = find_action "PASS" in
+  let pre = st ~g:(offer ~owner:1 `Empty) () in
+  let post = st ~g:(offer ~owner:1 `Failed) () in
+  check_bool "owner passes" true (a.applies ~tid:(tid 1) ~pre ~post);
+  check_bool "non-owner cannot pass" false (a.applies ~tid:(tid 2) ~pre ~post)
+
+let test_xchg_action_requires_log () =
+  let a = find_action "XCHG" in
+  let pre = st ~g:(offer ~owner:1 ~data:3 `Empty) () in
+  let swap = Spec_exchanger.swap ~oid:e_oid (tid 1) (vi 3) (tid 2) (vi 4) in
+  let post_logged =
+    st ~g:(offer ~owner:1 ~data:3 (`Matched (9, tid 2, vi 4))) ~trace:[ swap ] ()
+  in
+  let post_silent = st ~g:(offer ~owner:1 ~data:3 (`Matched (9, tid 2, vi 4))) () in
+  check_bool "with log" true (a.applies ~tid:(tid 2) ~pre ~post:post_logged);
+  check_bool "without log" false (a.applies ~tid:(tid 2) ~pre ~post:post_silent);
+  check_bool "owner cannot self-match" false
+    (a.applies ~tid:(tid 1) ~pre ~post:post_logged)
+
+let test_fail_action () =
+  let a = find_action "FAIL" in
+  let elem = Spec_exchanger.failure ~oid:e_oid (tid 3) (vi 7) in
+  check_bool "fail logs own element" true
+    (a.applies ~tid:(tid 3) ~pre:(st ()) ~post:(st ~trace:[ elem ] ()));
+  check_bool "cannot log for another thread" false
+    (a.applies ~tid:(tid 1) ~pre:(st ()) ~post:(st ~trace:[ elem ] ()))
+
+(* ------------------------------- multi-object histories, union spec ---- *)
+
+let test_union_checker_multi_object () =
+  let spec = Spec.union [ Spec_exchanger.spec (); Spec_stack.spec ~oid:s_oid () ] in
+  (* a swap on E overlapping a push on S *)
+  let h =
+    History.of_list
+      [
+        inv 1 (vi 3);
+        inv ~oid:s_oid ~fid:Spec_stack.fid_push 3 (vi 9);
+        inv 2 (vi 4);
+        res ~oid:s_oid ~fid:Spec_stack.fid_push 3 (Value.bool true);
+        res 1 (ok_int 4);
+        res 2 (ok_int 3);
+      ]
+  in
+  check_bool "accepted" true (Cal_checker.is_cal ~spec h);
+  (* the same history with a bogus stack return is rejected *)
+  let bad =
+    History.of_list
+      [
+        inv 1 (vi 3);
+        inv ~oid:s_oid ~fid:Spec_stack.fid_pop 3 Value.unit;
+        inv 2 (vi 4);
+        res ~oid:s_oid ~fid:Spec_stack.fid_pop 3 (ok_int 9);
+        res 1 (ok_int 4);
+        res 2 (ok_int 3);
+      ]
+  in
+  check_bool "bogus pop rejected" false (Cal_checker.is_cal ~spec bad)
+
+let prop_union_checker_generated seed =
+  let g = gen_of (seed + 10) in
+  let tr_e = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:3 ~elements:2 in
+  let tr_s = Workloads.Gen.stack_trace g ~oid:s_oid ~threads:3 ~elements:2 in
+  let spec =
+    Spec.union
+      [ Spec_exchanger.spec (); Spec_stack.spec ~oid:s_oid ~allow_spurious_failure:true () ]
+  in
+  let h = Workloads.Gen.history_of_trace g (tr_e @ tr_s) in
+  Cal_checker.is_cal ~spec h
+
+(* ------------------------------------------- timeline coverage --------- *)
+
+let prop_timeline_mentions_all_threads seed =
+  let g = gen_of (seed + 9) in
+  let tr = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:4 ~elements:4 in
+  let h = Workloads.Gen.history_of_trace g tr in
+  let rendered = Timeline.render h in
+  List.for_all
+    (fun t ->
+      let needle = Fmt.str "%a:" Ids.Tid.pp t in
+      let nl = String.length needle and hl = String.length rendered in
+      let rec go i = i + nl <= hl && (String.sub rendered i nl = needle || go (i + 1)) in
+      go 0)
+    (History.threads h)
+
+let () =
+  Alcotest.run "more_props"
+    [
+      ( "view laws",
+        [
+          qtest ~count:150 "lift is homomorphic" arb_seed prop_lift_homomorphic;
+          qtest ~count:150 "rename composes" arb_seed prop_rename_then_rename;
+          qtest ~count:150 "drop idempotent" arb_seed prop_drop_is_idempotent;
+          qtest ~count:150 "identity neutral" arb_seed prop_identity_neutral;
+          qtest ~count:150 "rename preserves ops" arb_seed prop_rename_preserves_ops;
+        ] );
+      ( "checker coincidences",
+        [
+          qtest ~count:100 "set-lin = CAL (single object)" arb_seed
+            prop_set_lin_is_cal_single_object;
+          t "union spec, multi-object history" test_union_checker_multi_object;
+          qtest ~count:60 "union checker on generated mixes" arb_seed
+            prop_union_checker_generated;
+        ] );
+      ( "completions",
+        [
+          qtest ~count:100 "all complete" arb_seed prop_completions_are_complete;
+          qtest ~count:60 "count (c+1)^p" arb_seed prop_completion_count;
+        ] );
+      ( "fig4 actions",
+        [
+          t "INIT" test_init_action;
+          t "CLEAN" test_clean_action;
+          t "PASS" test_pass_action;
+          t "XCHG requires the log" test_xchg_action_requires_log;
+          t "FAIL" test_fail_action;
+        ] );
+      ( "timeline",
+        [
+          qtest ~count:100 "mentions all threads" arb_seed
+            prop_timeline_mentions_all_threads;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+(* Cross-cutting property tests tying the formal pieces together:
+   - realised histories of legal traces are CAL (soundness of ⊑CAL search);
+   - linearizability implies CAL (sequential witnesses are CA-traces of
+     singletons);
+   - CAL is invariant under response delay (weakening the real-time order);
+   - prefix closure of generated specs;
+   - corrupted histories are never *wrongly* accepted: whenever the checker
+     accepts, an explicit witness exists and is verifiable. *)
+
+open Cal
+open Test_support
+
+let arb_seed = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000)
+let ex_spec = Spec_exchanger.spec ()
+let stack_spec = Spec_stack.spec ~oid:s_oid ~allow_spurious_failure:true ()
+
+let gen_of seed = Workloads.Gen.create ~seed:(Int64.of_int seed)
+
+let prop_lin_implies_cal seed =
+  let g = gen_of (seed + 3) in
+  let tr = Workloads.Gen.stack_trace g ~oid:s_oid ~threads:3 ~elements:6 in
+  let h = Workloads.Gen.history_of_trace g tr in
+  (not (Lin_checker.is_linearizable ~spec:stack_spec h))
+  || Cal_checker.is_cal ~spec:stack_spec h
+
+let prop_accepted_witness_verifiable seed =
+  let g = gen_of (seed + 17) in
+  let tr = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:3 ~elements:4 in
+  let h = Workloads.Gen.history_of_trace g tr in
+  match Cal_checker.check ~spec:ex_spec h with
+  | Cal_checker.Accepted { trace; completion; _ } ->
+      Spec.accepts ex_spec trace && Agreement.agrees completion trace
+  | Cal_checker.Rejected _ -> false (* realised histories must be accepted *)
+
+(* Delaying a response (moving it later, within well-formedness) only
+   removes real-time orderings, so a CAL history stays CAL. *)
+let delay_last_response h =
+  let actions = History.to_list h in
+  match List.rev actions with
+  | last :: rest_rev when Action.is_res last -> History.of_list (List.rev rest_rev @ [ last ])
+  | _ -> h
+
+let prop_cal_stable_under_delay seed =
+  let g = gen_of (seed + 29) in
+  let tr = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:3 ~elements:3 in
+  let h = Workloads.Gen.history_of_trace g tr in
+  Cal_checker.is_cal ~spec:ex_spec (delay_last_response h)
+
+(* Dropping the last actions of a history keeps it CAL: object systems are
+   prefix-closed and the definition handles pending operations. *)
+let prop_cal_prefix_closed seed =
+  let g = gen_of (seed + 41) in
+  let tr = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:3 ~elements:3 in
+  let h = Workloads.Gen.history_of_trace g tr in
+  let n = History.length h in
+  n = 0
+  ||
+  let k = Workloads.Gen.int g n in
+  let prefix = History.of_list (List.filteri (fun i _ -> i < k) (History.to_list h)) in
+  Cal_checker.is_cal ~spec:ex_spec prefix
+
+(* A mutated history either stays CAL or is rejected — and rejection of the
+   original never flips to acceptance of a *corrupted return value* for the
+   counter, whose returns are unique. *)
+let prop_counter_corrupt_return_rejected seed =
+  let g = gen_of (seed + 53) in
+  let c = oid "C" in
+  let spec = Spec_counter.spec ~oid:c () in
+  let tr = Workloads.Gen.counter_trace g ~oid:c ~threads:3 ~elements:5 in
+  let h = Workloads.Gen.history_of_trace ~delay:0.0 g tr in
+  (* corrupt one incr return to a wildly out-of-range value *)
+  let actions = Array.of_list (History.to_list h) in
+  let res_indices =
+    Array.to_list actions
+    |> List.mapi (fun i a -> (i, a))
+    |> List.filter_map (fun (i, a) ->
+           match a with
+           | Action.Res { fid; _ } when Ids.Fid.equal fid Spec_counter.fid_incr ->
+               Some i
+           | _ -> None)
+  in
+  match res_indices with
+  | [] -> true
+  | i :: _ ->
+      (match actions.(i) with
+      | Action.Res { tid; oid; fid; _ } ->
+          actions.(i) <- Action.res ~tid ~oid ~fid (vi 424242)
+      | Action.Inv _ -> ());
+      not (Cal_checker.is_cal ~spec (History.of_list (Array.to_list actions)))
+
+(* The union spec accepts exactly the interleavings whose per-object
+   projections are accepted. *)
+let prop_union_projections seed =
+  let g = gen_of (seed + 67) in
+  let tr_e = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:3 ~elements:3 in
+  let tr_s = Workloads.Gen.stack_trace g ~oid:s_oid ~threads:3 ~elements:3 in
+  (* random interleaving of the two traces *)
+  let rec weave a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | x :: a', y :: b' ->
+        if Workloads.Gen.int g 2 = 0 then x :: weave a' (y :: b')
+        else y :: weave (x :: a') b'
+  in
+  let mixed = weave tr_e tr_s in
+  let u = Spec.union [ ex_spec; stack_spec ] in
+  Spec.accepts u mixed
+  && Spec.accepts ex_spec (Ca_trace.proj_object mixed e_oid)
+  && Spec.accepts stack_spec (Ca_trace.proj_object mixed s_oid)
+
+let () =
+  Alcotest.run "props"
+    [
+      ( "cross-cutting",
+        [
+          qtest ~count:120 "lin implies CAL" arb_seed prop_lin_implies_cal;
+          qtest ~count:120 "accepted witnesses verify" arb_seed
+            prop_accepted_witness_verifiable;
+          qtest ~count:120 "CAL stable under response delay" arb_seed
+            prop_cal_stable_under_delay;
+          qtest ~count:80 "CAL prefix-closed" arb_seed prop_cal_prefix_closed;
+          qtest ~count:80 "corrupted counter returns rejected" arb_seed
+            prop_counter_corrupt_return_rejected;
+          qtest ~count:80 "union accepts iff projections do" arb_seed
+            prop_union_projections;
+        ] );
+    ]

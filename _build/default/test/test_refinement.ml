@@ -1,0 +1,86 @@
+(* Observational refinement (§6): the concrete exchanger refines its
+   specification-driven counterpart; a faulty object does not. *)
+
+open Structures
+open Test_support
+
+let t name f = Alcotest.test_case name `Quick f
+
+let concrete_pair ctx =
+  let ex = Exchanger.create ctx in
+  {
+    Conc.Runner.threads =
+      [|
+        Exchanger.exchange ex ~tid:(tid 0) (vi 3);
+        Exchanger.exchange ex ~tid:(tid 1) (vi 4);
+      |];
+    observe = None;
+    on_label = None;
+  }
+
+let abstract_pair ctx =
+  let ex = Abstract_exchanger.create ctx in
+  {
+    Conc.Runner.threads =
+      [|
+        Abstract_exchanger.exchange ex ~tid:(tid 0) (vi 3);
+        Abstract_exchanger.exchange ex ~tid:(tid 1) (vi 4);
+      |];
+    observe = None;
+    on_label = None;
+  }
+
+let faulty_pair ctx =
+  let ex = Faulty.Exchanger_selfish.create ctx in
+  {
+    Conc.Runner.threads =
+      [|
+        Faulty.Exchanger_selfish.exchange ex ~tid:(tid 0) (vi 3);
+        Faulty.Exchanger_selfish.exchange ex ~tid:(tid 1) (vi 4);
+      |];
+    observe = None;
+    on_label = None;
+  }
+
+let test_concrete_refines_spec () =
+  let r = Verify.Refinement.check ~concrete:concrete_pair ~abstract:abstract_pair ~fuel:60 () in
+  check_bool "refines" true (Verify.Refinement.refines r);
+  check_bool "both swap and fail outcomes observed" true (r.impl_observations >= 2)
+
+let test_spec_refines_concrete_too () =
+  (* for this client the two objects have the same outcome sets *)
+  let r = Verify.Refinement.check ~concrete:abstract_pair ~abstract:concrete_pair ~fuel:60 () in
+  check_bool "abstract refines concrete" true (Verify.Refinement.refines r)
+
+let test_faulty_does_not_refine () =
+  let r = Verify.Refinement.check ~concrete:faulty_pair ~abstract:abstract_pair ~fuel:60 () in
+  check_bool "refinement fails" false (Verify.Refinement.refines r);
+  (* the forbidden outcome is the self-swap (true, own value) *)
+  check_bool "self-swap among the unexplained" true
+    (List.exists
+       (fun o ->
+         let contains needle hay =
+           let nl = String.length needle and hl = String.length hay in
+           let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+           go 0
+         in
+         contains "(true, 3)" o)
+       r.Verify.Refinement.unexplained)
+
+let test_observations_deterministic () =
+  let a = Verify.Refinement.observations ~setup:concrete_pair ~fuel:60 () in
+  let b = Verify.Refinement.observations ~setup:concrete_pair ~fuel:60 () in
+  Alcotest.(check (list string)) "stable" a b;
+  check_bool "sorted" true (List.sort String.compare a = a)
+
+let () =
+  Alcotest.run "refinement"
+    [
+      ( "observational refinement",
+        [
+          t "concrete refines spec" test_concrete_refines_spec;
+          t "spec refines concrete (this client)" test_spec_refines_concrete_too;
+          t "faulty does not refine" test_faulty_does_not_refine;
+          t "observations deterministic" test_observations_deterministic;
+        ] );
+    ]

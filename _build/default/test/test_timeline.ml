@@ -1,0 +1,64 @@
+(* Tests for the ASCII timeline renderer. *)
+
+open Cal
+open Test_support
+
+let t name f = Alcotest.test_case name `Quick f
+
+let swap_history =
+  History.of_list [ inv 1 (vi 3); inv 2 (vi 4); res 1 (ok_int 4); res 2 (ok_int 3) ]
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_renders_all_threads () =
+  let s = Timeline.render swap_history in
+  check_bool "t1 row" true (contains ~needle:"t1:" s);
+  check_bool "t2 row" true (contains ~needle:"t2:" s);
+  check_bool "labels" true (contains ~needle:"exchange(3)" s);
+  Alcotest.(check int) "two lines" 2
+    (List.length (String.split_on_char '\n' s))
+
+let test_brackets_balanced () =
+  let s = Timeline.render swap_history in
+  let count c = String.fold_left (fun n ch -> if ch = c then n + 1 else n) 0 s in
+  Alcotest.(check int) "open brackets" 2 (count '[');
+  Alcotest.(check int) "close brackets" 2 (count ']')
+
+let test_pending_op_open_ended () =
+  let h = History.of_list [ inv 1 (vi 3) ] in
+  let s = Timeline.render h in
+  check_bool "ellipsis" true (contains ~needle:"..." s);
+  check_bool "no close" true (not (contains ~needle:"]" s))
+
+let test_empty_history () =
+  Alcotest.(check string) "empty" "" (Timeline.render History.empty)
+
+let test_render_trace () =
+  let tr = Workloads.Paper_examples.swap_trace in
+  let s = Timeline.render_trace tr in
+  check_bool "numbered" true (contains ~needle:" 1. " s);
+  check_bool "second element" true (contains ~needle:" 2. " s)
+
+let test_ill_formed_raises () =
+  let bad = History.of_list [ res 1 (ok_int 3) ] in
+  try
+    ignore (Timeline.render bad);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "timeline"
+    [
+      ( "render",
+        [
+          t "all threads" test_renders_all_threads;
+          t "brackets balanced" test_brackets_balanced;
+          t "pending open-ended" test_pending_op_open_ended;
+          t "empty" test_empty_history;
+          t "trace rendering" test_render_trace;
+          t "ill-formed raises" test_ill_formed_raises;
+        ] );
+    ]

@@ -1,0 +1,166 @@
+(* Tests for the view functions F_o (§4-5): totality, lifting, renaming,
+   dropping, composition, and the concrete F_AR / F_ES / F_SQ. *)
+
+open Cal
+open Structures
+open Test_support
+
+let t name f = Alcotest.test_case name `Quick f
+let swap_e = Spec_exchanger.swap ~oid:e_oid (tid 1) (vi 3) (tid 2) (vi 4)
+let fail_e = Spec_exchanger.failure ~oid:e_oid (tid 3) (vi 7)
+
+let test_identity () =
+  Alcotest.check trace "identity" [ swap_e; fail_e ] (View.identity [ swap_e; fail_e ])
+
+let test_total_extension () =
+  let f e = if Ca_trace.element_size e = 1 then Some [] else None in
+  Alcotest.check trace "defined" [] (View.total f fail_e);
+  Alcotest.check trace "undefined keeps element" [ swap_e ] (View.total f swap_e)
+
+let test_lift () =
+  let f e = if Ca_trace.element_size e = 1 then Some [] else None in
+  Alcotest.check trace "filters singletons" [ swap_e ]
+    (View.lift f [ fail_e; swap_e; fail_e ])
+
+let test_drop () =
+  let s_elem =
+    Ca_trace.singleton (op ~oid:s_oid ~fid:(fid "push") 1 ~arg:(vi 1) ~ret:(Value.bool true))
+  in
+  Alcotest.check trace "drops S" [ swap_e ] (View.lift (View.drop s_oid) [ swap_e; s_elem ])
+
+let test_rename () =
+  let ar = oid "AR" in
+  let renamed = View.lift (View.rename ~from:e_oid ~to_:ar) [ swap_e; fail_e ] in
+  Alcotest.(check int) "same length" 2 (List.length renamed);
+  List.iter
+    (fun e -> check_bool "now AR" true (Ids.Oid.equal (Ca_trace.element_oid e) ar))
+    renamed;
+  (* operations keep everything but the object *)
+  let ops = Ca_trace.ops renamed in
+  check_bool "tids preserved" true
+    (List.exists (fun (o : Op.t) -> Ids.Tid.equal o.tid (tid 1)) ops)
+
+let test_rename_is_noop_elsewhere () =
+  Alcotest.check trace "other object untouched" [ swap_e ]
+    (View.lift (View.rename ~from:(oid "Z") ~to_:(oid "W")) [ swap_e ])
+
+let test_compose_order () =
+  (* own must see the output of subs: rename E->M first, then M->N *)
+  let v =
+    View.compose
+      ~own:(View.rename ~from:(oid "M") ~to_:(oid "N"))
+      ~subs:[ View.lift (View.rename ~from:e_oid ~to_:(oid "M")) ]
+  in
+  let out = v [ fail_e ] in
+  check_bool "reached N" true
+    (Ids.Oid.equal (Ca_trace.element_oid (List.hd out)) (oid "N"))
+
+let make_ar () =
+  Elim_array.create ~k:2 ~slot_strategy:Elim_array.All_slots (Conc.Ctx.create ())
+
+let test_f_ar () =
+  let ar = make_ar () in
+  let sub = List.hd (Elim_array.exchanger_oids ar) in
+  let sub_swap = Spec_exchanger.swap ~oid:sub (tid 1) (vi 3) (tid 2) (vi 4) in
+  let out = Elim_array.view ar [ sub_swap ] in
+  Alcotest.(check int) "one element" 1 (List.length out);
+  check_bool "renamed to AR" true
+    (Ids.Oid.equal (Ca_trace.element_oid (List.hd out)) (Elim_array.oid ar));
+  check_bool "accepted by AR spec" true (Spec.accepts (Elim_array.spec ar) out)
+
+let make_es () =
+  Elimination_stack.create ~k:1 ~slot_strategy:Elim_array.All_slots (Conc.Ctx.create ())
+
+let test_f_es_stack_ops () =
+  let es = make_es () in
+  let v = Elimination_stack.view es in
+  let push_ok =
+    Ca_trace.singleton (Spec_stack.push_op ~oid:s_oid (tid 1) (vi 5) ~ok:true)
+  in
+  let push_fail =
+    Ca_trace.singleton (Spec_stack.push_op ~oid:s_oid (tid 1) (vi 5) ~ok:false)
+  in
+  let out = v [ push_ok; push_fail ] in
+  Alcotest.(check int) "failures erased" 1 (List.length out);
+  check_bool "push re-attributed to ES" true
+    (Ids.Oid.equal (Ca_trace.element_oid (List.hd out)) (Elimination_stack.oid es))
+
+let test_f_es_elimination () =
+  let es = make_es () in
+  let v = Elimination_stack.view es in
+  let sub = List.hd (Elim_array.exchanger_oids (Elimination_stack.elim_array es)) in
+  (* pop thread offers the sentinel, push thread offers 5 *)
+  let mixed =
+    Spec_exchanger.swap ~oid:sub (tid 1) (vi 5) (tid 2) Elimination_stack.pop_sentinel
+  in
+  let out = v [ mixed ] in
+  Alcotest.(check int) "push then pop" 2 (List.length out);
+  let ops = Ca_trace.ops out in
+  (match ops with
+  | [ a; b ] ->
+      check_bool "push first" true (Ids.Fid.equal a.fid Spec_stack.fid_push);
+      check_bool "pop second" true (Ids.Fid.equal b.fid Spec_stack.fid_pop);
+      Alcotest.check value "pop returns pushed value" (ok_int 5) b.ret
+  | _ -> Alcotest.fail "expected two ops");
+  check_bool "accepted by the ES stack spec" true
+    (Spec.accepts (Elimination_stack.spec es) out)
+
+let test_f_es_same_kind_erased () =
+  let es = make_es () in
+  let v = Elimination_stack.view es in
+  let sub = List.hd (Elim_array.exchanger_oids (Elimination_stack.elim_array es)) in
+  let push_push = Spec_exchanger.swap ~oid:sub (tid 1) (vi 5) (tid 2) (vi 6) in
+  let pop_pop =
+    Spec_exchanger.swap ~oid:sub (tid 1) Elimination_stack.pop_sentinel (tid 2)
+      Elimination_stack.pop_sentinel
+  in
+  let failure = Spec_exchanger.failure ~oid:sub (tid 1) (vi 5) in
+  Alcotest.check trace "all erased" [] (v [ push_push; pop_pop; failure ])
+
+let test_f_sq () =
+  let q = Sync_queue.create (Conc.Ctx.create ()) in
+  let v = Sync_queue.view q in
+  let e = Exchanger.oid (Sync_queue.exchanger q) in
+  let mixed =
+    Spec_exchanger.swap ~oid:e (tid 1) (Value.pair (Value.str "put") (vi 7)) (tid 2)
+      (Value.str "take")
+  in
+  let out = v [ mixed ] in
+  Alcotest.(check int) "one rendezvous" 1 (List.length out);
+  check_bool "accepted" true (Spec.accepts (Sync_queue.spec q) out);
+  (* put-put meeting is erased *)
+  let homo =
+    Spec_exchanger.swap ~oid:e (tid 1)
+      (Value.pair (Value.str "put") (vi 7))
+      (tid 2)
+      (Value.pair (Value.str "put") (vi 8))
+  in
+  Alcotest.check trace "homogeneous erased" [] (v [ homo ]);
+  (* the queue's own failure elements pass through *)
+  let own_fail =
+    Ca_trace.singleton (Spec_sync_queue.put_op ~oid:(Sync_queue.oid q) (tid 1) (vi 7) ~ok:false)
+  in
+  Alcotest.check trace "own element kept" [ own_fail ] (v [ own_fail ])
+
+let () =
+  Alcotest.run "view"
+    [
+      ( "combinators",
+        [
+          t "identity" test_identity;
+          t "total extension" test_total_extension;
+          t "lift" test_lift;
+          t "drop" test_drop;
+          t "rename" test_rename;
+          t "rename no-op elsewhere" test_rename_is_noop_elsewhere;
+          t "compose order" test_compose_order;
+        ] );
+      ( "concrete views",
+        [
+          t "F_AR" test_f_ar;
+          t "F_ES stack ops" test_f_es_stack_ops;
+          t "F_ES elimination" test_f_es_elimination;
+          t "F_ES same-kind erased" test_f_es_same_kind_erased;
+          t "F_SQ" test_f_sq;
+        ] );
+    ]

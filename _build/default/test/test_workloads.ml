@@ -1,0 +1,144 @@
+(* Tests for the workload generators and simulated-time metrics. *)
+
+open Cal
+open Test_support
+
+let t name f = Alcotest.test_case name `Quick f
+let g () = Workloads.Gen.create ~seed:99L
+
+let test_exchanger_trace_legal () =
+  let g = g () in
+  for _ = 1 to 20 do
+    let tr = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:4 ~elements:8 in
+    Alcotest.(check int) "length" 8 (List.length tr);
+    check_bool "legal" true (Spec.accepts (Spec_exchanger.spec ()) tr)
+  done
+
+let test_stack_trace_legal () =
+  let g = g () in
+  for _ = 1 to 20 do
+    let tr = Workloads.Gen.stack_trace g ~oid:s_oid ~threads:3 ~elements:10 in
+    check_bool "legal" true
+      (Spec.accepts (Spec_stack.spec ~oid:s_oid ~allow_spurious_failure:true ()) tr)
+  done
+
+let test_counter_trace_legal () =
+  let g = g () in
+  let c = oid "C" in
+  for _ = 1 to 20 do
+    let tr = Workloads.Gen.counter_trace g ~oid:c ~threads:3 ~elements:10 in
+    check_bool "legal" true (Spec.accepts (Spec_counter.spec ~oid:c ()) tr)
+  done
+
+let test_sync_queue_trace_legal () =
+  let g = g () in
+  let q = oid "SQ" in
+  for _ = 1 to 20 do
+    let tr = Workloads.Gen.sync_queue_trace g ~oid:q ~threads:4 ~elements:8 in
+    check_bool "legal" true (Spec.accepts (Spec_sync_queue.spec ~oid:q ()) tr)
+  done
+
+let test_history_realisation_well_formed () =
+  let g = g () in
+  for _ = 1 to 30 do
+    let tr = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:4 ~elements:6 in
+    let h = Workloads.Gen.history_of_trace g tr in
+    check_bool "well-formed" true (History.is_well_formed h);
+    check_bool "complete" true (History.is_complete h);
+    check_bool "agrees" true (Agreement.agrees h tr)
+  done
+
+let test_history_realisation_no_delay () =
+  let g = g () in
+  let tr = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:3 ~elements:5 in
+  let h = Workloads.Gen.history_of_trace ~delay:0.0 g tr in
+  check_bool "agrees" true (Agreement.agrees h tr)
+
+let test_history_realisation_full_delay () =
+  let g = g () in
+  let tr = Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:3 ~elements:5 in
+  let h = Workloads.Gen.history_of_trace ~delay:1.0 g tr in
+  check_bool "still well-formed" true (History.is_well_formed h);
+  check_bool "agrees" true (Agreement.agrees h tr)
+
+let test_generator_determinism () =
+  let mk () =
+    let g = Workloads.Gen.create ~seed:5L in
+    Workloads.Gen.exchanger_trace g ~oid:e_oid ~threads:3 ~elements:6
+  in
+  Alcotest.check trace "same seed same trace" (mk ()) (mk ())
+
+let test_mutate_history_well_typed () =
+  let g = g () in
+  let tr = Workloads.Gen.stack_trace g ~oid:s_oid ~threads:3 ~elements:6 in
+  let h = Workloads.Gen.history_of_trace g tr in
+  for _ = 1 to 30 do
+    let h' = Workloads.Gen.mutate_history g h in
+    Alcotest.(check int) "same length" (History.length h) (History.length h')
+  done
+
+let test_stack_throughput_shape () =
+  (* elimination must beat the plain retry stack at high contention; at 1
+     thread the plain stack is at least competitive *)
+  let fuel = 60_000 in
+  let tp impl threads =
+    (Workloads.Metrics.stack_throughput ~impl ~threads ~fuel ~seed:21L).throughput
+  in
+  let treiber_1 = tp Workloads.Metrics.Treiber_retry 1 in
+  let treiber_16 = tp Workloads.Metrics.Treiber_retry 16 in
+  let elim_16 = tp (Workloads.Metrics.Elimination 4) 16 in
+  check_bool "treiber degrades under contention" true (treiber_16 < treiber_1);
+  check_bool "elimination wins at high contention" true (elim_16 > treiber_16)
+
+let test_exchanger_success_rate_rises () =
+  let rate threads =
+    let r =
+      Workloads.Metrics.exchanger_success_rate ~threads ~rounds:30 ~fuel:100_000
+        ~seed:31L
+    in
+    if r.ops_completed = 0 then 0.
+    else float_of_int r.ops_succeeded /. float_of_int r.ops_completed
+  in
+  let r1 = rate 1 and r8 = rate 8 in
+  check_bool "solo never succeeds" true (r1 = 0.);
+  check_bool "concurrency enables success" true (r8 > 0.2)
+
+let test_sync_queue_handoffs () =
+  let r =
+    Workloads.Metrics.sync_queue_handoffs ~producers:2 ~consumers:2 ~rounds:10
+      ~fuel:50_000 ~seed:41L
+  in
+  check_bool "some rendezvous" true (r.ops_succeeded > 0);
+  check_bool "completed counted" true (r.ops_completed >= r.ops_succeeded)
+
+let test_metrics_deterministic () =
+  let run () =
+    Workloads.Metrics.stack_throughput ~impl:Workloads.Metrics.Treiber_retry ~threads:4
+      ~fuel:20_000 ~seed:77L
+  in
+  let a = run () and b = run () in
+  check_bool "reproducible" true (a = b)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "generators",
+        [
+          t "exchanger traces legal" test_exchanger_trace_legal;
+          t "stack traces legal" test_stack_trace_legal;
+          t "counter traces legal" test_counter_trace_legal;
+          t "sync queue traces legal" test_sync_queue_trace_legal;
+          t "realisation well-formed" test_history_realisation_well_formed;
+          t "realisation no delay" test_history_realisation_no_delay;
+          t "realisation full delay" test_history_realisation_full_delay;
+          t "determinism" test_generator_determinism;
+          t "mutation well-typed" test_mutate_history_well_typed;
+        ] );
+      ( "metrics",
+        [
+          t "stack throughput shape" test_stack_throughput_shape;
+          t "exchanger success rate" test_exchanger_success_rate_rises;
+          t "sync queue handoffs" test_sync_queue_handoffs;
+          t "deterministic" test_metrics_deterministic;
+        ] );
+    ]
