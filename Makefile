@@ -1,0 +1,17 @@
+.PHONY: all build test bench ci clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe -- quick
+
+ci: build test
+
+clean:
+	dune clean

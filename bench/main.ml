@@ -253,6 +253,53 @@ let figure_sync_queue () =
          else 100. *. float_of_int r.ops_succeeded /. float_of_int r.ops_completed))
     [ (1, 1); (2, 2); (4, 4); (8, 8); (4, 1); (1, 4) ]
 
+(* B10 — fault sweep: throughput and retry behaviour of the two stacks as
+   threads are crashed mid-run. A crashed thread's operation stays pending
+   forever; the figure shows what the survivors still deliver. Results
+   also land in BENCH_faults.json for machine consumption. *)
+let figure_fault_sweep () =
+  let fuel = if quick then 40_000 else 150_000 in
+  let threads = 8 in
+  let crashes = [ 0; 1; 2 ] in
+  let impls =
+    [
+      ("treiber-backoff", Workloads.Metrics.Treiber_backoff);
+      ("elim(k=4)", Workloads.Metrics.Elimination 4);
+    ]
+  in
+  Fmt.pr "@.# B10: fault sweep — stack throughput with crashed threads (of %d)@."
+    threads;
+  Fmt.pr "%-18s %8s %12s %10s %10s %14s@." "impl" "crashes" "ops" "retries"
+    "crashed" "throughput";
+  let rows =
+    List.concat_map
+      (fun (name, impl) ->
+        List.map
+          (fun c ->
+            let r =
+              Workloads.Metrics.stack_fault_sweep ~impl ~threads ~crashes:c ~fuel
+                ~seed:42L
+            in
+            Fmt.pr "%-18s %8d %12d %10d %10d %14.2f@." name c r.ops_completed
+              r.retries r.ops_crashed r.throughput;
+            (name, c, r))
+          crashes)
+      impls
+  in
+  let oc = open_out "BENCH_faults.json" in
+  let json_row (name, c, (r : Workloads.Metrics.result)) =
+    Printf.sprintf
+      "    {\"impl\": %S, \"threads\": %d, \"crashes\": %d, \"fuel\": %d, \
+       \"ops_completed\": %d, \"ops_succeeded\": %d, \"retries\": %d, \
+       \"ops_crashed\": %d, \"throughput\": %.4f}"
+      name threads c fuel r.ops_completed r.ops_succeeded r.retries r.ops_crashed
+      r.throughput
+  in
+  Printf.fprintf oc "{\n  \"bench\": \"fault_sweep\",\n  \"rows\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map json_row rows));
+  close_out oc;
+  Fmt.pr "# rows written to BENCH_faults.json@."
+
 (* B9 — bug preemption depth (iterative context bounding) for the faulty
    objects: how few context switches expose each bug. *)
 let figure_bug_depth () =
@@ -291,6 +338,7 @@ let () =
   figure_stack_throughput ();
   figure_exchanger_success ();
   figure_sync_queue ();
+  figure_fault_sweep ();
   figure_verification_cost ();
   figure_bug_depth ();
   Fmt.pr "@.done.@."

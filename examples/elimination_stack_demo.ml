@@ -38,7 +38,7 @@ let () =
           on_label = None;
         })
       ~fuel:60
-      ~rng:(Conc.Rng.create ~seed:7L)
+      ~rng:(Conc.Rng.create ~seed:7L) ()
   in
   ignore threads;
   ignore ctx;

@@ -23,7 +23,7 @@ let () =
           on_label = None;
         })
       ~fuel:60
-      ~rng:(Conc.Rng.create ~seed:3L)
+      ~rng:(Conc.Rng.create ~seed:3L) ()
   in
   Fmt.pr "One run of put(7) || take():@.%s@.@." (Timeline.render outcome.history);
   Fmt.pr "raw auxiliary trace (exchanger elements):@.%s@.@."

@@ -35,7 +35,7 @@ let universe_of_entries entries =
   in
   List.sort_uniq Value.compare values
 
-let check ~spec h =
+let check ?crashed ~spec h =
   (match History.validate h with
   | Ok () -> ()
   | Error reason -> invalid_arg ("Cal_checker.check: " ^ reason));
@@ -43,10 +43,19 @@ let check ~spec h =
   let n = Array.length entries in
   if n > 62 then invalid_arg "Cal_checker.check: more than 62 operations";
   let universe = universe_of_entries (Array.to_list entries) in
+  (* Crash-tolerant mode: only the pending operations of crashed threads
+     may be dropped; a live thread's pending operation must be completed.
+     Without [crashed] every pending operation is droppable (the classic
+     completion construction). *)
+  let droppable (e : History.entry) =
+    match crashed with
+    | None -> true
+    | Some tids -> List.exists (Ids.Tid.equal e.tid) tids
+  in
   let pending_ids =
     Array.to_list entries
     |> List.filter_map (fun (e : History.entry) ->
-           if e.res_index = None then Some e.id else None)
+           if e.res_index = None && droppable e then Some e.id else None)
   in
   let entry_bit = Hashtbl.create 16 in
   Array.iteri (fun i (e : History.entry) -> Hashtbl.replace entry_bit e.id i) entries;
@@ -213,12 +222,14 @@ let check ~spec h =
       Rejected
         {
           reason =
-            Fmt.str "no completion of the history is explained by any %s trace"
+            Fmt.str "no %scompletion of the history is explained by any %s trace"
+              (if crashed = None then "" else "crash-consistent ")
               spec.Spec.name;
           stats = stats ();
         }
 
-let is_cal ~spec h = match check ~spec h with Accepted _ -> true | Rejected _ -> false
+let is_cal ?crashed ~spec h =
+  match check ?crashed ~spec h with Accepted _ -> true | Rejected _ -> false
 
 let pp_verdict ppf = function
   | Accepted { trace; stats; _ } ->

@@ -30,12 +30,22 @@ type verdict =
     }
   | Rejected of { reason : string; stats : stats }
 
-val check : spec:Spec.t -> History.t -> verdict
+val check : ?crashed:Ids.Tid.t list -> spec:Spec.t -> History.t -> verdict
 (** [check ~spec h] decides whether [h] is CAL w.r.t. [spec]'s trace set.
     Raises [Invalid_argument] when [h] is not well-formed or has more than
     62 operations (the exhaustive search is only meant for bounded
-    histories). *)
+    histories).
 
-val is_cal : spec:Spec.t -> History.t -> bool
+    [crashed] switches on the crash-tolerant completion construction for
+    histories produced under fault injection: only pending operations of
+    the listed (crashed) threads may be {e dropped} by the completion —
+    a crashed operation either took effect before the crash (it is
+    completed with some return) or it did not (it is dropped). Pending
+    operations of live threads must be completed, making the check
+    strictly stronger than the default on such histories. Omitting
+    [crashed] keeps the classic construction where any pending operation
+    is droppable. *)
+
+val is_cal : ?crashed:Ids.Tid.t list -> spec:Spec.t -> History.t -> bool
 
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -16,7 +16,7 @@ let popcount x =
   let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
   go x 0
 
-let check ~spec h =
+let check ?crashed ~spec h =
   (match History.validate h with
   | Ok () -> ()
   | Error reason -> invalid_arg ("Lin_checker.check: " ^ reason));
@@ -30,8 +30,17 @@ let check ~spec h =
           (fun i -> History.precedes entries.(i) entries.(j))
           (List.init n Fun.id))
   in
+  (* Crash-tolerant mode (mirrors {!Cal_checker.check}): only crashed
+     threads' pending operations are droppable. *)
+  let droppable (e : History.entry) =
+    match crashed with
+    | None -> true
+    | Some tids -> List.exists (Ids.Tid.equal e.tid) tids
+  in
   let pending_bits =
-    List.filteri (fun i _ -> entries.(i).History.ret = None) (List.init n Fun.id)
+    List.filteri
+      (fun i _ -> entries.(i).History.ret = None && droppable entries.(i))
+      (List.init n Fun.id)
   in
   let states_explored = ref 0 in
   let memo_hits = ref 0 in
@@ -136,12 +145,14 @@ let check ~spec h =
       Not_linearizable
         {
           reason =
-            Fmt.str "no completion has a sequential explanation in %s" spec.Spec.name;
+            Fmt.str "no %scompletion has a sequential explanation in %s"
+              (if crashed = None then "" else "crash-consistent ")
+              spec.Spec.name;
           stats = stats ();
         }
 
-let is_linearizable ~spec h =
-  match check ~spec h with Linearizable _ -> true | Not_linearizable _ -> false
+let is_linearizable ?crashed ~spec h =
+  match check ?crashed ~spec h with Linearizable _ -> true | Not_linearizable _ -> false
 
 let pp_verdict ppf = function
   | Linearizable { linearization; stats; _ } ->

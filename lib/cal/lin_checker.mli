@@ -19,11 +19,13 @@ type verdict =
     }
   | Not_linearizable of { reason : string; stats : stats }
 
-val check : spec:Spec.t -> History.t -> verdict
+val check : ?crashed:Ids.Tid.t list -> spec:Spec.t -> History.t -> verdict
 (** [check ~spec h] decides whether [h] is linearizable w.r.t. the
     {e sequential} histories of [spec] (i.e. its singleton CA-traces).
     Raises [Invalid_argument] on ill-formed or oversized (> 62 operations)
-    histories. *)
+    histories. [crashed] restricts the completion construction exactly as
+    in {!Cal_checker.check}: only the listed threads' pending operations
+    may be dropped. *)
 
-val is_linearizable : spec:Spec.t -> History.t -> bool
+val is_linearizable : ?crashed:Ids.Tid.t list -> spec:Spec.t -> History.t -> bool
 val pp_verdict : Format.formatter -> verdict -> unit

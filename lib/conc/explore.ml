@@ -2,7 +2,7 @@ type stats = { runs : int; truncated : bool; max_steps : int }
 
 exception Stop
 
-let exhaustive ~setup ~fuel ?max_runs ?preemption_bound ~f () =
+let exhaustive ?(plan = []) ~setup ~fuel ?max_runs ?preemption_bound ~f () =
   let runs = ref 0 in
   let truncated = ref false in
   let max_steps = ref 0 in
@@ -20,7 +20,7 @@ let exhaustive ~setup ~fuel ?max_runs ?preemption_bound ~f () =
   (* [last] is the thread that took the previous step; switching away from
      it while it is still enabled costs one preemption. *)
   let rec explore prefix ~last ~preemptions =
-    let outcome, frontier = Runner.replay ~setup prefix in
+    let outcome, frontier = Runner.replay ~plan ~setup prefix in
     if frontier = [] || outcome.Runner.steps >= fuel then deliver outcome
     else begin
       let last_enabled =
@@ -44,13 +44,13 @@ let random ~setup ~fuel ~runs ~seed ~f () =
   let rng = Rng.create ~seed in
   let max_steps = ref 0 in
   for _ = 1 to runs do
-    let outcome = Runner.run_random ~setup ~fuel ~rng in
+    let outcome = Runner.run_random ~setup ~fuel ~rng () in
     if outcome.Runner.steps > !max_steps then max_steps := outcome.Runner.steps;
     f outcome
   done;
   { runs; truncated = false; max_steps = !max_steps }
 
-let check_all ~setup ~fuel ?max_runs ?preemption_bound ~p () =
+let check_all ?plan ~setup ~fuel ?max_runs ?preemption_bound ~p () =
   let bad = ref None in
   let wrapped outcome =
     if !bad = None && not (p outcome) then begin
@@ -58,7 +58,7 @@ let check_all ~setup ~fuel ?max_runs ?preemption_bound ~p () =
       raise Stop
     end
   in
-  let stats = exhaustive ~setup ~fuel ?max_runs ?preemption_bound ~f:wrapped () in
+  let stats = exhaustive ?plan ~setup ~fuel ?max_runs ?preemption_bound ~f:wrapped () in
   match !bad with
   | None -> Ok stats
   | Some o -> Error (o, { stats with truncated = true })
@@ -75,3 +75,105 @@ let failure_depth ~setup ~fuel ?(max_bound = 8) ?max_runs ~p () =
       | Ok stats -> go (bound + 1) stats
   in
   go 0 { runs = 0; truncated = false; max_steps = 0 }
+
+(* ------------------------------------------------- fault exploration -- *)
+
+type fault_stats = {
+  plans : int;
+  fault_runs : int;
+  fault_truncated : bool;
+  fault_max_steps : int;
+}
+
+(* Candidate fault points of a bounded program, learned from a fault-free
+   exhaustive pass: every (thread, step) pair some schedule reaches is a
+   crash (and stall) point, and every fallible label occurrence some
+   schedule executes is a forcible CAS failure. The union over all
+   schedules is what makes the enumeration complete for the bounded
+   client — a fault point reachable on any interleaving is proposed. *)
+let fault_candidates ~setup ~fuel ?max_runs ?preemption_bound () =
+  let thread_max : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let label_max : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let bump tbl key v =
+    match Hashtbl.find_opt tbl key with
+    | Some old when old >= v -> ()
+    | _ -> Hashtbl.replace tbl key v
+  in
+  let f (o : Runner.outcome) =
+    let per_thread = Hashtbl.create 8 in
+    List.iter
+      (fun (d : Runner.decision) ->
+        let n = 1 + Option.value ~default:0 (Hashtbl.find_opt per_thread d.thread) in
+        Hashtbl.replace per_thread d.thread n;
+        bump thread_max d.thread n)
+      o.Runner.schedule;
+    let per_label = Hashtbl.create 8 in
+    List.iter
+      (fun l ->
+        let n = 1 + Option.value ~default:0 (Hashtbl.find_opt per_label l) in
+        Hashtbl.replace per_label l n;
+        bump label_max l n)
+      o.Runner.fallible_steps
+  in
+  let _ = exhaustive ~setup ~fuel ?max_runs ?preemption_bound ~f () in
+  let crashes =
+    Hashtbl.fold (fun thread steps acc -> (thread, steps) :: acc) thread_max []
+    |> List.sort compare
+    |> List.concat_map (fun (thread, steps) ->
+           List.init steps (fun at_step -> Fault.Crash { thread; at_step }))
+  in
+  let fails =
+    Hashtbl.fold (fun label count acc -> (label, count) :: acc) label_max []
+    |> List.sort compare
+    |> List.concat_map (fun (label, count) ->
+           List.init count (fun i -> Fault.Fail_step { label; nth = i + 1 }))
+  in
+  crashes @ fails
+
+(* Subsets of [candidates] of size 1..bound, smallest first, skipping plans
+   that crash the same thread twice (Fault.validate would reject them). *)
+let plans_up_to ~bound candidates =
+  let compatible plan = Result.is_ok (Fault.validate plan) in
+  let rec subsets k = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let without = subsets k rest in
+        let with_x =
+          if k = 0 then []
+          else List.map (fun s -> x :: s) (subsets (k - 1) rest)
+        in
+        with_x @ without
+  in
+  subsets bound candidates
+  |> List.filter (fun p -> p <> [] && compatible p)
+  |> List.sort (fun a b -> Int.compare (List.length a) (List.length b))
+
+let exhaustive_with_faults ~setup ~fuel ?max_runs ?preemption_bound ?max_plans
+    ~fault_bound ~f () =
+  if fault_bound < 0 then invalid_arg "Explore: fault_bound must be >= 0";
+  let candidates =
+    if fault_bound = 0 then []
+    else fault_candidates ~setup ~fuel ?max_runs ?preemption_bound ()
+  in
+  let plans = [] :: plans_up_to ~bound:fault_bound candidates in
+  let plans, capped =
+    match max_plans with
+    | Some m when List.length plans > m -> (List.filteri (fun i _ -> i < m) plans, true)
+    | _ -> (plans, false)
+  in
+  let total_runs = ref 0 in
+  let truncated = ref capped in
+  let max_steps = ref 0 in
+  List.iter
+    (fun plan ->
+      let stats = exhaustive ~plan ~setup ~fuel ?max_runs ?preemption_bound ~f () in
+      total_runs := !total_runs + stats.runs;
+      if stats.truncated then truncated := true;
+      if stats.max_steps > !max_steps then max_steps := stats.max_steps)
+    plans;
+  {
+    plans = List.length plans;
+    fault_runs = !total_runs;
+    fault_truncated = !truncated;
+    fault_max_steps = !max_steps;
+  }

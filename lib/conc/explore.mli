@@ -13,6 +13,7 @@ type stats = {
 }
 
 val exhaustive :
+  ?plan:Fault.plan ->
   setup:(Ctx.t -> Runner.program) ->
   fuel:int ->
   ?max_runs:int ->
@@ -31,7 +32,11 @@ val exhaustive :
     bounding, Musuvathi & Qadeer). Most concurrency bugs manifest within
     very few preemptions, so a small bound gives a dramatically smaller yet
     highly effective search; it is an underapproximation and is reported as
-    such by the callers. *)
+    such by the callers.
+
+    [plan] (default none) runs every schedule under that {!Fault.plan}:
+    crashed threads contribute no further decisions, so the faulty search
+    space is a (usually much smaller) sibling of the fault-free one. *)
 
 val random :
   setup:(Ctx.t -> Runner.program) ->
@@ -45,6 +50,7 @@ val random :
     scheduled executions. *)
 
 val check_all :
+  ?plan:Fault.plan ->
   setup:(Ctx.t -> Runner.program) ->
   fuel:int ->
   ?max_runs:int ->
@@ -55,6 +61,45 @@ val check_all :
 (** [check_all ~setup ~fuel ~p ()] explores exhaustively and returns
     [Error (o, _)] for the first outcome violating [p], short-circuiting the
     search. *)
+
+(** {1 Fault exploration} *)
+
+type fault_stats = {
+  plans : int;          (** fault plans explored, including the empty plan *)
+  fault_runs : int;     (** outcomes delivered across all plans *)
+  fault_truncated : bool;  (** a plan hit [max_runs], or [max_plans] bit *)
+  fault_max_steps : int;
+}
+
+val exhaustive_with_faults :
+  setup:(Ctx.t -> Runner.program) ->
+  fuel:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  ?max_plans:int ->
+  fault_bound:int ->
+  f:(Runner.outcome -> unit) ->
+  unit ->
+  fault_stats
+(** The fault analog of CHESS-style context bounding: systematically
+    enumerate fault plans of at most [fault_bound] faults and explore every
+    schedule under each.
+
+    A first fault-free exhaustive pass learns the program's fault points:
+    every (thread, step) position some schedule reaches becomes a candidate
+    {!Fault.Crash}, and every executed {!Prog.Fallible} label occurrence a
+    candidate {!Fault.Fail_step}. Then every plan combining at most
+    [fault_bound] of these points (starting with the empty plan, so the
+    fault-free outcomes are delivered too) is explored exhaustively; [f]
+    receives each outcome, which carries its plan in [outcome.faults] and
+    the faults that actually fired in [outcome.injected].
+
+    [max_runs] bounds each per-plan exploration separately; [max_plans]
+    caps the number of plans (the stats record the cap as truncation).
+    Because a fault point found on {e any} interleaving of the fault-free
+    pass is proposed, the enumeration is complete for bounded clients:
+    [fault_bound:1] visits every single-crash and every single-CAS-failure
+    execution. *)
 
 val failure_depth :
   setup:(Ctx.t -> Runner.program) ->

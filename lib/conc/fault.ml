@@ -1,0 +1,59 @@
+type t =
+  | Crash of { thread : int; at_step : int }
+  | Fail_step of { label : string; nth : int }
+  | Stall of { thread : int; at_step : int; for_steps : int }
+
+type plan = t list
+
+let crash ~thread ~at_step = Crash { thread; at_step }
+let fail_step ~label ~nth = Fail_step { label; nth }
+let stall ~thread ~at_step ~for_steps = Stall { thread; at_step; for_steps }
+
+let validate plan =
+  let seen_crash = Hashtbl.create 4 in
+  let rec go = function
+    | [] -> Ok ()
+    | Crash { thread; at_step } :: rest ->
+        if thread < 0 then Error "Crash: negative thread"
+        else if at_step < 0 then Error "Crash: negative at_step"
+        else if Hashtbl.mem seen_crash thread then
+          Error (Fmt.str "two crashes of thread %d" thread)
+        else begin
+          Hashtbl.replace seen_crash thread ();
+          go rest
+        end
+    | Fail_step { label; nth } :: rest ->
+        if label = "" then Error "Fail_step: empty label"
+        else if nth < 1 then Error "Fail_step: nth must be >= 1"
+        else go rest
+    | Stall { thread; at_step; for_steps } :: rest ->
+        if thread < 0 then Error "Stall: negative thread"
+        else if at_step < 0 then Error "Stall: negative at_step"
+        else if for_steps < 1 then Error "Stall: for_steps must be >= 1"
+        else go rest
+  in
+  go plan
+
+let matches_label ~pattern label =
+  String.equal pattern label
+  ||
+  let pl = String.length pattern in
+  String.length label > pl && String.sub label 0 pl = pattern && label.[pl] = '@'
+
+let crashed_threads plan =
+  List.filter_map (function Crash { thread; _ } -> Some thread | _ -> None) plan
+  |> List.sort_uniq Int.compare
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let pp ppf = function
+  | Crash { thread; at_step } -> Fmt.pf ppf "crash(t%d@%d)" thread at_step
+  | Fail_step { label; nth } -> Fmt.pf ppf "fail(%s#%d)" label nth
+  | Stall { thread; at_step; for_steps } ->
+      Fmt.pf ppf "stall(t%d@%d+%d)" thread at_step for_steps
+
+let pp_plan ppf = function
+  | [] -> Fmt.pf ppf "(no faults)"
+  | plan -> Fmt.pf ppf "@[<h>%a@]" (Fmt.list ~sep:(Fmt.any " ") pp) plan

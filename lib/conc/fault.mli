@@ -1,0 +1,52 @@
+(** Deterministic fault plans.
+
+    A fault plan is {e data}: it names, relative to the deterministic step
+    counters of a run, the points at which the scheduler injects a failure.
+    Because the plan is interpreted against the same counters on every
+    replay, a faulty run is exactly as reproducible (and as minimisable) as
+    a fault-free one — the pair (schedule, plan) identifies the execution.
+
+    Three fault shapes are supported:
+
+    - {!Crash}: the thread takes no further steps once it has taken
+      [at_step] steps. Its operation, if one is in flight, stays pending
+      forever — the history never receives the response action. [at_step =
+      0] means the thread never runs at all.
+    - {!Fail_step}: the [nth] (1-based) executed {e fallible} step whose
+      label matches [label] is forced down its failure branch (see
+      {!Prog.fallible}); this models weak-CAS / spurious-failure semantics.
+      A label matches when it is equal to [label] or extends it with a
+      ["@location"] suffix, so ["push-cas"] matches ["push-cas@S.top"].
+    - {!Stall}: once the thread has taken [at_step] steps it is descheduled
+      for the next [for_steps] {e global} steps — a de-prioritised or
+      preempted thread that eventually resumes. A stalled thread with no
+      runnable peer never resumes (global time cannot advance); such a plan
+      deadlocks the run, which the explorer reports as an incomplete
+      outcome. *)
+
+type t =
+  | Crash of { thread : int; at_step : int }
+  | Fail_step of { label : string; nth : int }
+  | Stall of { thread : int; at_step : int; for_steps : int }
+
+type plan = t list
+
+val crash : thread:int -> at_step:int -> t
+val fail_step : label:string -> nth:int -> t
+val stall : thread:int -> at_step:int -> for_steps:int -> t
+
+val validate : plan -> (unit, string) result
+(** Rejects negative counters, [nth < 1], [for_steps < 1], and two crashes
+    of the same thread. *)
+
+val matches_label : pattern:string -> string -> bool
+(** [matches_label ~pattern l] holds when [l = pattern] or [l] is [pattern]
+    followed immediately by ['@'] (the metrics layer's location suffix). *)
+
+val crashed_threads : plan -> int list
+(** The threads some [Crash] of the plan targets, sorted, deduplicated. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val pp_plan : Format.formatter -> plan -> unit

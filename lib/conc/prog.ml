@@ -3,6 +3,7 @@ type 'a t =
   | Atomic of string * (unit -> 'a t)
   | Choose of string * 'a t list
   | Guard of string * (unit -> 'a t option)
+  | Fallible of string * (unit -> 'a t) * (unit -> 'a t)
 
 let return v = Return v
 
@@ -12,6 +13,8 @@ let rec bind m k =
   | Atomic (l, f) -> Atomic (l, fun () -> bind (f ()) k)
   | Choose (l, ms) -> Choose (l, List.map (fun m -> bind m k) ms)
   | Guard (l, g) -> Guard (l, fun () -> Option.map (fun m -> bind m k) (g ()))
+  | Fallible (l, f, h) ->
+      Fallible (l, (fun () -> bind (f ()) k), fun () -> bind (h ()) k)
 
 let map f m = bind m (fun v -> Return (f v))
 let atomically ?(label = "step") f = Atomic (label, f)
@@ -38,6 +41,20 @@ let cas ~eq r ~expect v =
         true
       end
       else false)
+
+let fallible ?(label = "fallible") ~on_fault f = Fallible (label, f, on_fault)
+
+let cas_weak ?(label = "cas") ~eq r ~expect v =
+  Fallible
+    ( label,
+      (fun () ->
+        Return
+          (if eq !r expect then begin
+             r := v;
+             true
+           end
+           else false)),
+      fun () -> Return false )
 
 let fetch_and_add r d =
   atomic ~label:"faa" (fun () ->

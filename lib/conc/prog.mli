@@ -23,6 +23,14 @@ type 'a t =
           test enabledness and to take the step). Models condition
           synchronisation — a waiting dual-queue consumer, a parked
           thread — without spin loops that blow up the schedule space. *)
+  | Fallible of string * (unit -> 'a t) * (unit -> 'a t)
+      (** one atomic action with an explicit {e failure branch}: normally
+          the first closure runs, but a {!Fault.Fail_step} in the run's
+          fault plan forces the second instead. Use for steps that may
+          spuriously fail on real hardware (weak CAS / LL-SC): the failure
+          closure must leave shared memory untouched and continue as the
+          step's legitimate failure path would. Scheduling-wise a
+          [Fallible] is one decision, exactly like [Atomic]. *)
 
 val return : 'a -> 'a t
 val bind : 'a t -> ('a -> 'b t) -> 'b t
@@ -65,6 +73,18 @@ val write : 'a ref -> 'a -> unit t
 val cas : eq:('a -> 'a -> bool) -> 'a ref -> expect:'a -> 'a -> bool t
 (** Compare-and-swap with an explicit equality (use [( == )] for heap
     nodes). *)
+
+val fallible : ?label:string -> on_fault:(unit -> 'a t) -> (unit -> 'a t) -> 'a t
+(** [fallible ~on_fault f] performs [f ()] as one atomic step whose result
+    is the continuation, unless the run's fault plan forces this step's
+    failure branch, in which case [on_fault ()] runs instead. [on_fault]
+    must be a semantic no-op on shared state (the step {e failing}, not a
+    different effect). *)
+
+val cas_weak : ?label:string -> eq:('a -> 'a -> bool) -> 'a ref -> expect:'a -> 'a -> bool t
+(** {!cas} with weak-CAS semantics: a fault plan may force it to return
+    [false] without comparing — only correct at call sites that retry or
+    otherwise tolerate spurious failure. *)
 
 val fetch_and_add : int ref -> int -> int t
 (** Returns the previous value. *)

@@ -14,6 +14,9 @@ type outcome = {
   complete : bool;
   steps : int;
   schedule : schedule;
+  faults : Fault.plan;
+  injected : Fault.plan;
+  fallible_steps : string list;
 }
 
 type frontier = decision list
@@ -22,47 +25,156 @@ let pp_decision ppf d =
   if d.branch = 0 then Fmt.pf ppf "t%d" d.thread
   else Fmt.pf ppf "t%d#%d" d.thread d.branch
 
+(* Mutable interpretation state of a fault plan over one run. Every counter
+   below is a deterministic function of (plan, schedule prefix), so a
+   replayed faulty run fires exactly the same faults at the same points. *)
+type fault_state = {
+  plan : Fault.plan;
+  thread_steps : int array;       (* decisions applied per thread *)
+  mutable global_step : int;      (* decisions applied in total *)
+  crash_at : int array;           (* per-thread crash point, max_int if none *)
+  stall_until : int array;        (* global step before which the thread sleeps *)
+  fail_seen : (string, int) Hashtbl.t;  (* pattern -> matching fallible steps *)
+  mutable fired_rev : Fault.t list;     (* Fail_step and Stall firings, newest first *)
+  mutable fallible_rev : string list;   (* labels of executed fallible steps *)
+}
+
+let fault_state ~threads plan =
+  (match Fault.validate plan with
+  | Ok () -> ()
+  | Error reason -> invalid_arg ("Runner: invalid fault plan: " ^ reason));
+  let crash_at = Array.make threads max_int in
+  let stall_until = Array.make threads 0 in
+  let fs =
+    {
+      plan;
+      thread_steps = Array.make threads 0;
+      global_step = 0;
+      crash_at;
+      stall_until;
+      fail_seen = Hashtbl.create 4;
+      fired_rev = [];
+      fallible_rev = [];
+    }
+  in
+  List.iter
+    (function
+      | Fault.Crash { thread; at_step } ->
+          if thread < threads then crash_at.(thread) <- at_step
+      | Fault.Stall { thread; at_step = 0; for_steps } as f ->
+          (* the stall window opens before the thread's first step *)
+          if thread < threads then begin
+            stall_until.(thread) <- for_steps;
+            fs.fired_rev <- f :: fs.fired_rev
+          end
+      | Fault.Stall _ | Fault.Fail_step _ -> ())
+    plan;
+  fs
+
+let crashed fs i = fs.thread_steps.(i) >= fs.crash_at.(i)
+let stalled fs i = fs.global_step < fs.stall_until.(i)
+
+(* Decide whether the fallible step [label] about to execute is forced down
+   its failure branch: it is when it is the [nth] matching fallible step of
+   some Fail_step of the plan. Counters advance for every matching fallible
+   step, forced or not. *)
+let forced_failure fs label =
+  fs.fallible_rev <- label :: fs.fallible_rev;
+  List.exists
+    (function
+      | Fault.Fail_step { label = pattern; nth } as f
+        when Fault.matches_label ~pattern label ->
+          let seen = 1 + (Option.value ~default:0 (Hashtbl.find_opt fs.fail_seen pattern)) in
+          Hashtbl.replace fs.fail_seen pattern seen;
+          if seen = nth then begin
+            fs.fired_rev <- f :: fs.fired_rev;
+            true
+          end
+          else false
+      | _ -> false)
+    fs.plan
+
 (* Apply one decision to the mutable thread-state array; returns the label
    of the step taken. *)
-let apply states d =
+let apply fs states d =
   if d.thread < 0 || d.thread >= Array.length states then
     invalid_arg (Fmt.str "Runner: no thread %d" d.thread);
-  match states.(d.thread) with
-  | Prog.Return _ -> invalid_arg (Fmt.str "Runner: thread %d already returned" d.thread)
-  | Prog.Atomic (label, f) ->
-      if d.branch <> 0 then
-        invalid_arg (Fmt.str "Runner: thread %d is not at a choice" d.thread);
-      states.(d.thread) <- f ();
-      label
-  | Prog.Choose (label, ms) ->
-      if d.branch < 0 || d.branch >= List.length ms then
-        invalid_arg (Fmt.str "Runner: thread %d: branch %d out of range" d.thread d.branch);
-      states.(d.thread) <- List.nth ms d.branch;
-      label
-  | Prog.Guard (label, g) -> (
-      if d.branch <> 0 then
-        invalid_arg (Fmt.str "Runner: thread %d is not at a choice" d.thread);
-      match g () with
-      | Some cont ->
-          states.(d.thread) <- cont;
-          label
-      | None -> invalid_arg (Fmt.str "Runner: thread %d is blocked" d.thread))
+  if crashed fs d.thread then
+    invalid_arg (Fmt.str "Runner: thread %d has crashed" d.thread);
+  if stalled fs d.thread then
+    invalid_arg (Fmt.str "Runner: thread %d is stalled" d.thread);
+  let label =
+    match states.(d.thread) with
+    | Prog.Return _ ->
+        invalid_arg (Fmt.str "Runner: thread %d already returned" d.thread)
+    | Prog.Atomic (label, f) ->
+        if d.branch <> 0 then
+          invalid_arg (Fmt.str "Runner: thread %d is not at a choice" d.thread);
+        states.(d.thread) <- f ();
+        label
+    | Prog.Fallible (label, f, on_fault) ->
+        if d.branch <> 0 then
+          invalid_arg (Fmt.str "Runner: thread %d is not at a choice" d.thread);
+        states.(d.thread) <- (if forced_failure fs label then on_fault () else f ());
+        label
+    | Prog.Choose (label, ms) ->
+        if d.branch < 0 || d.branch >= List.length ms then
+          invalid_arg (Fmt.str "Runner: thread %d: branch %d out of range" d.thread d.branch);
+        states.(d.thread) <- List.nth ms d.branch;
+        label
+    | Prog.Guard (label, g) -> (
+        if d.branch <> 0 then
+          invalid_arg (Fmt.str "Runner: thread %d is not at a choice" d.thread);
+        match g () with
+        | Some cont ->
+            states.(d.thread) <- cont;
+            label
+        | None -> invalid_arg (Fmt.str "Runner: thread %d is blocked" d.thread))
+  in
+  fs.thread_steps.(d.thread) <- fs.thread_steps.(d.thread) + 1;
+  fs.global_step <- fs.global_step + 1;
+  (* a Stall whose trigger point this step reached opens its window now *)
+  List.iter
+    (function
+      | Fault.Stall { thread; at_step; for_steps } as f
+        when thread = d.thread && at_step = fs.thread_steps.(d.thread) ->
+          fs.stall_until.(thread) <- fs.global_step + for_steps;
+          fs.fired_rev <- f :: fs.fired_rev
+      | _ -> ())
+    fs.plan;
+  label
 
-let enabled states =
+let enabled fs states =
   Array.to_list states
   |> List.mapi (fun i st ->
-         match st with
-         | Prog.Return _ -> []
-         | Prog.Atomic _ -> [ { thread = i; branch = 0 } ]
-         | Prog.Choose (_, ms) ->
-             List.init (List.length ms) (fun b -> { thread = i; branch = b })
-         | Prog.Guard (_, g) ->
-             if g () = None then [] else [ { thread = i; branch = 0 } ])
+         if crashed fs i || stalled fs i then []
+         else
+           match st with
+           | Prog.Return _ -> []
+           | Prog.Atomic _ | Prog.Fallible _ -> [ { thread = i; branch = 0 } ]
+           | Prog.Choose (_, ms) ->
+               List.init (List.length ms) (fun b -> { thread = i; branch = b })
+           | Prog.Guard (_, g) ->
+               if g () = None then [] else [ { thread = i; branch = 0 } ])
   |> List.concat
 
-let snapshot ctx states applied =
+let snapshot fs ctx states applied =
   let results =
     Array.map (function Prog.Return v -> Some v | _ -> None) states
+  in
+  (* Crashes fire exactly when they cut a thread off: the thread reached its
+     crash point without having returned. Fail_step and Stall firings were
+     recorded as they happened. *)
+  let fired = List.rev fs.fired_rev in
+  let injected =
+    List.filter
+      (function
+        | Fault.Crash { thread; at_step } ->
+            thread < Array.length states
+            && (match states.(thread) with Prog.Return _ -> false | _ -> true)
+            && fs.thread_steps.(thread) >= at_step
+        | f -> List.exists (Fault.equal f) fired)
+      fs.plan
   in
   {
     history = Ctx.history ctx;
@@ -71,39 +183,44 @@ let snapshot ctx states applied =
     complete = Array.for_all (fun st -> match st with Prog.Return _ -> true | _ -> false) states;
     steps = List.length applied;
     schedule = List.rev applied;
+    faults = fs.plan;
+    injected;
+    fallible_steps = List.rev fs.fallible_rev;
   }
 
-let replay ~setup sched =
+let replay ?(plan = []) ~setup sched =
   let ctx = Ctx.create () in
   let program = setup ctx in
   let states = Array.copy program.threads in
+  let fs = fault_state ~threads:(Array.length states) plan in
   let applied = ref [] in
   List.iter
     (fun d ->
-      let label = apply states d in
+      let label = apply fs states d in
       applied := d :: !applied;
       (match program.on_label with None -> () | Some f -> f label);
       match program.observe with None -> () | Some f -> f d)
     sched;
-  (snapshot ctx states !applied, enabled states)
+  (snapshot fs ctx states !applied, enabled fs states)
 
-let run_random ~setup ~fuel ~rng =
+let run_random ?(plan = []) ~setup ~fuel ~rng () =
   let ctx = Ctx.create () in
   let program = setup ctx in
   let states = Array.copy program.threads in
+  let fs = fault_state ~threads:(Array.length states) plan in
   let applied = ref [] in
   let rec go remaining =
     if remaining = 0 then ()
     else
-      match enabled states with
+      match enabled fs states with
       | [] -> ()
       | ds ->
           let d = Rng.pick rng ds in
-          let label = apply states d in
+          let label = apply fs states d in
           applied := d :: !applied;
           (match program.on_label with None -> () | Some f -> f label);
           (match program.observe with None -> () | Some f -> f d);
           go (remaining - 1)
   in
   go fuel;
-  snapshot ctx states !applied
+  snapshot fs ctx states !applied

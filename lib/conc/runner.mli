@@ -2,7 +2,10 @@
 
     A {e schedule} is a sequence of decisions; replaying a schedule from a
     fresh setup is deterministic, which is what makes stateless model
-    checking (see {!Explore}) possible. *)
+    checking (see {!Explore}) possible. A run optionally carries a
+    {!Fault.plan}: faults are interpreted against the run's deterministic
+    step counters, so the pair (schedule, plan) reproduces a faulty
+    execution byte-for-byte. *)
 
 type decision = { thread : int; branch : int }
 (** Step thread [thread]; when its next node is a [Choose], take alternative
@@ -28,21 +31,37 @@ type outcome = {
   complete : bool;              (** all threads returned *)
   steps : int;                  (** decisions consumed *)
   schedule : schedule;          (** the schedule actually followed *)
+  faults : Fault.plan;          (** the fault plan in force (empty if none) *)
+  injected : Fault.plan;
+      (** the plan faults that actually fired: a [Crash] whose thread was
+          cut off before returning, a [Fail_step] whose matching step was
+          forced, a [Stall] whose window opened *)
+  fallible_steps : string list;
+      (** labels of the {!Prog.Fallible} steps executed, in order — the
+          forcible fault points of this run (used by
+          {!Explore.exhaustive_with_faults} to enumerate CAS failures) *)
 }
 
 (** The frontier after replaying a schedule: the decisions enabled next.
-    Empty iff every thread has returned. *)
+    Empty iff every thread has returned, crashed, or is blocked/stalled. *)
 type frontier = decision list
 
 val replay :
-  setup:(Ctx.t -> program) -> schedule -> outcome * frontier
+  ?plan:Fault.plan -> setup:(Ctx.t -> program) -> schedule -> outcome * frontier
 (** [replay ~setup s] builds a fresh program and applies the decisions of
     [s] in order. Raises [Invalid_argument] when a decision is not enabled
-    (wrong thread state or branch out of range). *)
+    (wrong thread state, branch out of range, or a thread the plan has
+    crashed or stalled) or when the plan fails {!Fault.validate}. *)
 
 val run_random :
-  setup:(Ctx.t -> program) -> fuel:int -> rng:Rng.t -> outcome
+  ?plan:Fault.plan ->
+  setup:(Ctx.t -> program) ->
+  fuel:int ->
+  rng:Rng.t ->
+  unit ->
+  outcome
 (** Run to completion (or until [fuel] decisions) picking uniformly among
-    enabled decisions. *)
+    enabled decisions. Crashed and stalled threads are never picked; if no
+    thread is enabled the run stops early. *)
 
 val pp_decision : Format.formatter -> decision -> unit

@@ -1,0 +1,30 @@
+open Conc
+
+type policy = {
+  init : int;
+  max : int;
+  seed : int64;
+  mutable started : int;  (* per-start salt: distinct loops jitter apart *)
+}
+
+let policy ?(init = 1) ?(max = 16) ?(seed = 0x0FF5E7L) () =
+  if init <= 0 || max < init then
+    invalid_arg "Backoff.policy: need 0 < init <= max";
+  { init; max; seed; started = 0 }
+
+type t = { pol : policy; rng : Rng.t; mutable window : int; mutable pauses : int }
+
+let start pol =
+  pol.started <- pol.started + 1;
+  let rng = Rng.create ~seed:(Int64.add pol.seed (Int64.of_int pol.started)) in
+  { pol; rng; window = pol.init; pauses = 0 }
+
+let pause b =
+  Prog.atomically ~label:"backoff" (fun () ->
+      let k = Rng.int b.rng (b.window + 1) in
+      b.pauses <- b.pauses + 1;
+      b.window <- min (b.window * 2) b.pol.max;
+      Prog.seq (List.init k (fun _ -> Prog.yield)))
+
+let reset b = b.window <- b.pol.init
+let pauses b = b.pauses

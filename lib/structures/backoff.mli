@@ -1,0 +1,44 @@
+(** Deterministic bounded-exponential backoff.
+
+    A retry loop that spins straight back onto a contended location turns
+    one failed CAS into a convoy: every loser re-collides on the next step.
+    The standard remedy is randomised exponential backoff — pause for a
+    random number of steps drawn from a window that doubles (up to a cap)
+    after every failure. In this simulator a pause is a sequence of
+    {!Conc.Prog.yield} scheduling points, and the randomness flows through
+    a seeded {!Conc.Rng}, so runs remain reproducible.
+
+    A {!policy} is the immutable configuration shared by an object (or a
+    benchmark); {!start} derives the mutable per-operation state. Each
+    [start] seeds its generator from the policy seed and a running counter,
+    so distinct operations jitter differently while the whole execution
+    stays a deterministic function of (policy seed, schedule).
+
+    Exhaustive-exploration note: create the policy {e inside} the [setup]
+    callback (alongside the object), otherwise the generator state leaks
+    across replayed runs and replay determinism is lost. *)
+
+type policy
+
+val policy : ?init:int -> ?max:int -> ?seed:int64 -> unit -> policy
+(** [init] (default 1) is the first window, [max] (default 16) the cap, in
+    scheduling steps. Raises [Invalid_argument] unless
+    [0 < init <= max]. *)
+
+type t
+(** Mutable backoff state for one retry loop. *)
+
+val start : policy -> t
+
+val pause : t -> unit Conc.Prog.t
+(** One backoff pause: an atomic step (labelled ["backoff"], which the
+    metrics layer counts as a retry) drawing [k] uniformly from
+    [\[0, window\]], followed by [k] yields; the window then doubles up to
+    the policy cap. *)
+
+val reset : t -> unit
+(** Shrink the window back to [init] (call after a success when reusing the
+    state across operations). *)
+
+val pauses : t -> int
+(** Pauses taken so far. *)

@@ -8,13 +8,18 @@ type t = {
   ar : Elim_array.t;
   ctx : Ctx.t;
   log_history : bool;
+  backoff : Backoff.policy option;
+  degrade_after : int option;
 }
 
 let pop_sentinel = Value.str "INF"
 
 let create ?(oid = Ids.Oid.v "ES") ?(stack_oid = Ids.Oid.v "S")
     ?(array_oid = Ids.Oid.v "AR") ?(instrument = true) ?(log_history = true)
-    ?(factory = Elim_array.concrete) ~k ~slot_strategy ctx =
+    ?(factory = Elim_array.concrete) ?backoff ?degrade_after ~k ~slot_strategy ctx =
+  (match degrade_after with
+  | Some k when k <= 0 -> invalid_arg "Elimination_stack.create: degrade_after <= 0"
+  | _ -> ());
   {
     es_oid = oid;
     stack = Treiber_stack.create ~oid:stack_oid ~instrument ~log_history:false ctx;
@@ -23,34 +28,71 @@ let create ?(oid = Ids.Oid.v "ES") ?(stack_oid = Ids.Oid.v "S")
         ~slot_strategy ctx;
     ctx;
     log_history;
+    backoff;
+    degrade_after;
   }
 
 let oid t = t.es_oid
 let stack t = t.stack
 let elim_array t = t.ar
 
-(* Fig. 2 lines 29–37. *)
+(* Graceful degradation: each operation counts its consecutive failed
+   rendezvous; once the count reaches [degrade_after] the operation stops
+   visiting the elimination layer and retries on the central stack alone
+   (pausing under the backoff policy, if any, so it does not convoy).
+   The counter is per-operation, so a single stuck rendezvous partner
+   cannot poison later operations. *)
+type round_state = { mutable misses : int; pause : unit -> unit Prog.t }
+
+let round_state t =
+  let pause =
+    match Option.map Backoff.start t.backoff with
+    | None -> fun () -> Prog.return ()
+    | Some b -> fun () -> Backoff.pause b
+  in
+  { misses = 0; pause }
+
+let degraded t rs =
+  match t.degrade_after with None -> false | Some k -> rs.misses >= k
+
+(* Fig. 2 lines 29–37 (with lines 33–36 skipped once degraded). *)
 let push_body t ~tid v =
+  let rs = round_state t in
   Prog.repeat_until (fun () ->
       let* b = Treiber_stack.push_body t.stack ~tid v in
       if Value.to_bool b then Prog.return (Some (Value.bool true))
+      else if degraded t rs then
+        let* () = rs.pause () in
+        Prog.return None
       else
         let* r = Elim_array.exchange_body t.ar ~tid v in
         let _, d = Value.to_pair r in
         if Value.equal d pop_sentinel then Prog.return (Some (Value.bool true))
-        else Prog.return None)
+        else begin
+          rs.misses <- rs.misses + 1;
+          let* () = rs.pause () in
+          Prog.return None
+        end)
 
-(* Fig. 2 lines 38–47. *)
+(* Fig. 2 lines 38–47 (same degradation discipline). *)
 let pop_body t ~tid =
+  let rs = round_state t in
   Prog.repeat_until (fun () ->
       let* r = Treiber_stack.pop_body t.stack ~tid in
       let b, v = Value.to_pair r in
       if Value.to_bool b then Prog.return (Some (Value.ok v))
+      else if degraded t rs then
+        let* () = rs.pause () in
+        Prog.return None
       else
         let* r = Elim_array.exchange_body t.ar ~tid pop_sentinel in
         let _, v = Value.to_pair r in
         if not (Value.equal v pop_sentinel) then Prog.return (Some (Value.ok v))
-        else Prog.return None)
+        else begin
+          rs.misses <- rs.misses + 1;
+          let* () = rs.pause () in
+          Prog.return None
+        end)
 
 let wrap t ~tid ~fid ~arg body =
   if t.log_history then Harness.call t.ctx ~tid ~oid:t.es_oid ~fid ~arg body else body

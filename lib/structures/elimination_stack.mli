@@ -32,6 +32,8 @@ val create :
   ?instrument:bool ->
   ?log_history:bool ->
   ?factory:Elim_array.exchanger_factory ->
+  ?backoff:Backoff.policy ->
+  ?degrade_after:int ->
   k:int ->
   slot_strategy:Elim_array.slot_strategy ->
   Conc.Ctx.t ->
@@ -40,7 +42,17 @@ val create :
     array to ["AR"] with [k] slots. [factory] selects the exchanger
     implementation inside the elimination array (default
     {!Elim_array.concrete}); pass {!Elim_array.abstract} to verify the
-    stack against the exchanger {e specification}. *)
+    stack against the exchanger {e specification}.
+
+    Robustness knobs (both default off, leaving behaviour unchanged):
+    [backoff] pauses each operation between retry rounds under a
+    deterministic bounded-exponential policy (see {!Backoff}).
+    [degrade_after] is the graceful-degradation threshold [k]: after [k]
+    consecutive failed rendezvous an operation stops visiting the
+    elimination layer and retries on the central stack alone, so a
+    faulty or crashed elimination partner degrades throughput instead of
+    livelocking the operation. Raises [Invalid_argument] if
+    [degrade_after <= 0]. *)
 
 val oid : t -> Cal.Ids.Oid.t
 val stack : t -> Treiber_stack.t

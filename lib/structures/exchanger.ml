@@ -18,12 +18,22 @@ type t = {
   instrument : bool;
   log_history : bool;
   wait : int;
+  backoff : Backoff.policy option;
   next_uid : int ref;
 }
 
 let create ?(oid = Ids.Oid.v "E") ?(instrument = true) ?(log_history = true) ?(wait = 1)
-    ctx =
-  { xc_oid = oid; ctx; g = ref None; instrument; log_history; wait; next_uid = ref 0 }
+    ?backoff ctx =
+  {
+    xc_oid = oid;
+    ctx;
+    g = ref None;
+    instrument;
+    log_history;
+    wait;
+    backoff;
+    next_uid = ref 0;
+  }
 
 (* CAS labels carry the contended location (after '@') so that the metrics
    layer can charge contention costs per cache line. *)
@@ -103,9 +113,12 @@ let exchange_body ?probe t ~tid v =
   (* lines 13+15: allocate the offer and attempt CAS(g, null, n) — the INIT
      action. The allocation is thread-local until the CAS publishes it, so
      fusing the two into one atomic step changes no observable behaviour
-     and spares the exhaustive explorer a scheduling point. *)
+     and spares the exhaustive explorer a scheduling point. The CAS is
+     fallible: a forced failure behaves exactly as if [g] was occupied
+     (weak-CAS semantics — the thread proceeds down the active path). *)
   let* result =
-    Prog.atomically ~label:("init-cas" ^ loc t) (fun () ->
+    Prog.fallible ~label:("init-cas" ^ loc t)
+      (fun () ->
         match !(t.g) with
         | None ->
             let uid = !(t.next_uid) in
@@ -114,14 +127,20 @@ let exchange_body ?probe t ~tid v =
             t.g := Some n;
             Prog.return (`Installed n)
         | Some _ -> Prog.return `Occupied)
+      ~on_fault:(fun () -> Prog.return `Occupied)
   in
   match result with
   | `Installed n ->
       (* line 16 of the proof outline *)
       let* () = at "init-installed" ~n () in
       (* line 17: sleep(50) — [wait] scheduling points during which a
-         partner can match the offer *)
-      let* () = Prog.seq (List.init t.wait (fun _ -> Prog.yield)) in
+         partner can match the offer; under a backoff policy the pairing
+         window is adaptive instead of fixed *)
+      let* () =
+        match t.backoff with
+        | None -> Prog.seq (List.init t.wait (fun _ -> Prog.yield))
+        | Some pol -> Backoff.pause (Backoff.start pol)
+      in
       (* line 18: CAS(n.hole, null, fail) — the PASS action *)
       let* outcome =
         Prog.atomically ~label:("pass-cas" ^ loc t) (fun () ->
@@ -152,7 +171,8 @@ let exchange_body ?probe t ~tid v =
              active thread's own offer [n] is allocated here (thread-local
              until this very CAS publishes it). *)
           let* s =
-            Prog.atomically ~label:("xchg-cas" ^ loc t) (fun () ->
+            Prog.fallible ~label:("xchg-cas" ^ loc t)
+              (fun () ->
                 match !(cur.hole) with
                 | Hole_empty ->
                     let uid = !(t.next_uid) in
@@ -162,14 +182,19 @@ let exchange_body ?probe t ~tid v =
                     log_swap t ~waiter:(cur.owner, cur.data) ~active:(tid, v);
                     Prog.return true
                 | Hole_matched _ | Hole_failed -> Prog.return false)
+              ~on_fault:(fun () -> Prog.return false)
           in
           (* line 30 of the proof outline *)
           let* () = at "xchg" ~cur ~s () in
           (* line 31: CAS(g, cur, null) — the CLEAN action (unconditional
-             helping: remove the already-answered offer) *)
+             helping: remove the already-answered offer). A forced failure
+             merely leaves the answered offer for the next helper. *)
           let* () =
-            Prog.atomic ~label:("clean-cas" ^ loc t) (fun () ->
-                match !(t.g) with Some o when o == cur -> t.g := None | _ -> ())
+            Prog.fallible ~label:("clean-cas" ^ loc t)
+              (fun () ->
+                (match !(t.g) with Some o when o == cur -> t.g := None | _ -> ());
+                Prog.return ())
+              ~on_fault:(fun () -> Prog.return ())
           in
           let* () = at "clean" ~cur ~s () in
           if s then Prog.return (Value.ok cur.data) (* line 33 *)

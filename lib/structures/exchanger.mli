@@ -35,6 +35,7 @@ val create :
   ?instrument:bool ->
   ?log_history:bool ->
   ?wait:int ->
+  ?backoff:Backoff.policy ->
   Conc.Ctx.t ->
   t
 (** [create ctx] makes a fresh exchanger. [oid] defaults to ["E"];
@@ -45,7 +46,17 @@ val create :
     [wait] (default [1]) is the number of scheduling points an installed
     offer waits before giving up — the paper's [sleep(50)]. Keep it small
     for exhaustive exploration; raise it in throughput simulations so the
-    pairing window is realistic. *)
+    pairing window is realistic. When [backoff] is given, the waiting
+    window is drawn from the policy instead of being the fixed [wait]
+    (see {!Backoff}): contended exchangers then adapt their pairing
+    window instead of convoying.
+
+    Fault model: the [init-cas], [xchg-cas] and [clean-cas] steps are
+    {!Conc.Prog.fallible} — a {!Conc.Fault.Fail_step} plan can force each
+    down its failure branch (weak-CAS semantics: behave exactly as if the
+    CAS lost a race). The [pass-cas] step is deliberately {e not} fallible:
+    its failure branch is not a semantic no-op (it would report a swap that
+    never happened), so forcing it would be unsound. *)
 
 val oid : t -> Cal.Ids.Oid.t
 

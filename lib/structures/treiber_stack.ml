@@ -21,14 +21,20 @@ let oid t = t.st_oid
 let log_op t op = if t.instrument then Ctx.log_element t.ctx (Ca_trace.singleton op)
 
 (* Fig. 2 lines 10–14: read the top, attempt one CAS. The CAS is the
-   linearization point; success and failure are both logged there. *)
+   linearization point; success and failure are both logged there. The step
+   is fallible: a fault plan may force the failure branch, which behaves
+   exactly like losing the race (weak-CAS semantics). *)
 let push_body t ~tid v =
   let* h = Prog.read t.top in
-  Prog.atomic ~label:("push-cas" ^ loc t) (fun () ->
+  Prog.fallible ~label:("push-cas" ^ loc t)
+    (fun () ->
       let ok = !(t.top) == h in
       if ok then t.top := v :: h;
       log_op t (Spec_stack.push_op ~oid:t.st_oid tid v ~ok);
-      Value.bool ok)
+      Prog.return (Value.bool ok))
+    ~on_fault:(fun () ->
+      log_op t (Spec_stack.push_op ~oid:t.st_oid tid v ~ok:false);
+      Prog.return (Value.bool false))
 
 (* Fig. 2 lines 15–24. An empty read answers EMPTY at a separate return
    step; otherwise one CAS decides. *)
@@ -40,11 +46,15 @@ let pop_body t ~tid =
           log_op t (Spec_stack.pop_op ~oid:t.st_oid tid None);
           Value.fail (Value.int 0))
   | x :: rest ->
-      Prog.atomic ~label:("pop-cas" ^ loc t) (fun () ->
+      Prog.fallible ~label:("pop-cas" ^ loc t)
+        (fun () ->
           let ok = !(t.top) == h in
           if ok then t.top := rest;
           log_op t (Spec_stack.pop_op ~oid:t.st_oid tid (if ok then Some x else None));
-          if ok then Value.ok x else Value.fail (Value.int 0))
+          Prog.return (if ok then Value.ok x else Value.fail (Value.int 0)))
+        ~on_fault:(fun () ->
+          log_op t (Spec_stack.pop_op ~oid:t.st_oid tid None);
+          Prog.return (Value.fail (Value.int 0)))
 
 let wrap t ~tid ~fid ~arg body =
   if t.log_history then Harness.call t.ctx ~tid ~oid:t.st_oid ~fid ~arg body else body
@@ -52,15 +62,27 @@ let wrap t ~tid ~fid ~arg body =
 let push t ~tid v = wrap t ~tid ~fid:Spec_stack.fid_push ~arg:v (push_body t ~tid v)
 let pop t ~tid = wrap t ~tid ~fid:Spec_stack.fid_pop ~arg:Value.unit (pop_body t ~tid)
 
-let push_retry t ~tid v =
+(* [pause_of backoff] is the per-operation backoff pause, or a no-op when
+   the policy is absent (bare spinning, the historical behaviour). *)
+let pause_of backoff =
+  match Option.map Backoff.start backoff with
+  | None -> fun () -> Prog.return ()
+  | Some b -> fun () -> Backoff.pause b
+
+let push_retry ?backoff t ~tid v =
+  let pause = pause_of backoff in
   let body =
     Prog.repeat_until (fun () ->
         let* r = push_body t ~tid v in
-        Prog.return (if Value.to_bool r then Some (Value.bool true) else None))
+        if Value.to_bool r then Prog.return (Some (Value.bool true))
+        else
+          let* () = pause () in
+          Prog.return None)
   in
   wrap t ~tid ~fid:Spec_stack.fid_push ~arg:v body
 
-let pop_retry t ~tid =
+let pop_retry ?backoff t ~tid =
+  let pause = pause_of backoff in
   let body =
     Prog.repeat_until (fun () ->
         let* h = Prog.read t.top in
@@ -70,14 +92,23 @@ let pop_retry t ~tid =
                 log_op t (Spec_stack.pop_op ~oid:t.st_oid tid None);
                 Some (Value.fail (Value.int 0)))
         | x :: rest ->
-            Prog.atomic ~label:("pop-cas" ^ loc t) (fun () ->
-                let ok = !(t.top) == h in
-                if ok then begin
-                  t.top := rest;
-                  log_op t (Spec_stack.pop_op ~oid:t.st_oid tid (Some x));
-                  Some (Value.ok x)
-                end
-                else None))
+            let* popped =
+              Prog.fallible ~label:("pop-cas" ^ loc t)
+                (fun () ->
+                  let ok = !(t.top) == h in
+                  if ok then begin
+                    t.top := rest;
+                    log_op t (Spec_stack.pop_op ~oid:t.st_oid tid (Some x));
+                    Prog.return (Some (Value.ok x))
+                  end
+                  else Prog.return None)
+                ~on_fault:(fun () -> Prog.return None)
+            in
+            (match popped with
+            | Some _ -> Prog.return popped
+            | None ->
+                let* () = pause () in
+                Prog.return None))
   in
   wrap t ~tid ~fid:Spec_stack.fid_pop ~arg:Value.unit body
 

@@ -10,7 +10,12 @@
     its linearization point: the successful/failed CAS, or the read
     observing the empty stack. A retrying variant ({!push_retry},
     {!pop_retry}) loops until success, for use as a baseline in the
-    contention benchmarks. *)
+    contention benchmarks; with [?backoff] the loop pauses between attempts
+    under a deterministic bounded-exponential policy instead of spinning.
+
+    Both CAS steps are {!Conc.Prog.fallible}: a {!Conc.Fault.Fail_step}
+    plan can force them down their failure branch, which logs and returns
+    the ordinary contention failure (weak-CAS semantics). *)
 
 type t
 
@@ -24,10 +29,13 @@ val pop : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
 val push_body : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
 val pop_body : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
 
-val push_retry : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
-(** Loop [push] until it succeeds; always returns [true]. *)
+val push_retry :
+  ?backoff:Backoff.policy -> t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+(** Loop [push] until it succeeds; always returns [true]. [backoff]
+    (default none: bare spinning) pauses between failed attempts. *)
 
-val pop_retry : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
+val pop_retry :
+  ?backoff:Backoff.policy -> t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
 (** Loop [pop] until success or EMPTY; never reports a contention
     failure. *)
 

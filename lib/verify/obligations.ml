@@ -1,6 +1,10 @@
 open Cal
 
-type problem = { schedule : Conc.Runner.schedule; message : string }
+type problem = {
+  schedule : Conc.Runner.schedule;
+  plan : Conc.Fault.plan;  (* [] unless the run was fault-injected *)
+  message : string;
+}
 
 type report = {
   runs : int;
@@ -83,7 +87,7 @@ let check_outcome ~spec ~view (outcome : Conc.Runner.outcome) =
           | Error msg -> Error ("agreement obligation: " ^ msg)
           | Ok _ -> Ok ()))
 
-let collect ~setup ~fuel ?max_runs ?preemption_bound ~check () =
+let collector check =
   let runs = ref 0 in
   let complete_runs = ref 0 in
   let problems = ref [] in
@@ -94,18 +98,36 @@ let collect ~setup ~fuel ?max_runs ?preemption_bound ~check () =
     | Ok () -> ()
     | Error message ->
         if List.length !problems < 10 then
-          problems := { schedule = outcome.schedule; message } :: !problems
+          problems :=
+            { schedule = outcome.schedule; plan = outcome.faults; message }
+            :: !problems
   in
+  let report truncated =
+    {
+      runs = !runs;
+      complete_runs = !complete_runs;
+      problems = List.rev !problems;
+      truncated;
+    }
+  in
+  (f, report)
+
+let collect ~setup ~fuel ?max_runs ?preemption_bound ~check () =
+  let f, report = collector check in
   let stats = Conc.Explore.exhaustive ~setup ~fuel ?max_runs ?preemption_bound ~f () in
-  {
-    runs = !runs;
-    complete_runs = !complete_runs;
-    problems = List.rev !problems;
-    truncated = stats.truncated;
-  }
+  report stats.truncated
 
 let check_object ~setup ~spec ~view ~fuel ?max_runs ?preemption_bound () =
   collect ~setup ~fuel ?max_runs ?preemption_bound ~check:(check_outcome ~spec ~view) ()
+
+let check_object_with_faults ~setup ~spec ~view ~fuel ?max_runs ?preemption_bound
+    ?max_plans ~fault_bound () =
+  let f, report = collector (check_outcome ~spec ~view) in
+  let stats =
+    Conc.Explore.exhaustive_with_faults ~setup ~fuel ?max_runs ?preemption_bound
+      ?max_plans ~fault_bound ~f ()
+  in
+  report (stats.Conc.Explore.fault_truncated)
 
 let check_black_box ~setup ~spec ~fuel ?max_runs ?preemption_bound () =
   let check (outcome : Conc.Runner.outcome) =
@@ -126,5 +148,7 @@ let pp_report ppf r =
       (Fmt.list ~sep:Fmt.cut (fun ppf (p : problem) ->
            Fmt.pf ppf "- %s@,  schedule: %a" p.message
              (Fmt.list ~sep:(Fmt.any " ") Conc.Runner.pp_decision)
-             p.schedule))
+             p.schedule;
+           if p.plan <> [] then
+             Fmt.pf ppf "@,  faults: %a" Conc.Fault.pp_plan p.plan))
       r.problems

@@ -16,7 +16,13 @@
     history with {!Cal.Cal_checker}, ignoring the instrumentation — the
     two must agree on accept/reject. *)
 
-type problem = { schedule : Conc.Runner.schedule; message : string }
+type problem = {
+  schedule : Conc.Runner.schedule;
+  plan : Conc.Fault.plan;
+      (** the fault plan active in the failing run ([[]] for fault-free
+          checks); replaying [schedule] under [plan] reproduces it *)
+  message : string;
+}
 
 type report = {
   runs : int;            (** outcomes checked *)
@@ -47,6 +53,28 @@ val check_object :
   report
 (** Exhaustively explore [setup] and check both obligations on every
     outcome. *)
+
+val check_object_with_faults :
+  setup:(Conc.Ctx.t -> Conc.Runner.program) ->
+  spec:Cal.Spec.t ->
+  view:Cal.View.t ->
+  fuel:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  ?max_plans:int ->
+  fault_bound:int ->
+  unit ->
+  report
+(** Both obligations over {!Conc.Explore.exhaustive_with_faults}: every
+    interleaving of every fault plan of size [<= fault_bound] (crashes and
+    forced CAS failures learned from a fault-free pass), including the
+    fault-free plan itself. A crashed operation stays pending forever;
+    the reconciliation obligation then demands that it either took effect
+    (the trace committed to it) or vanished (it is dropped) — the
+    crash-tolerant completion construction. Failing runs report the fault
+    plan alongside the schedule, so they replay byte-for-byte via
+    [Conc.Runner.replay ~plan schedule]. [truncated] is set when
+    [max_plans] cut enumeration short. *)
 
 val check_black_box :
   setup:(Conc.Ctx.t -> Conc.Runner.program) ->

@@ -9,10 +9,12 @@ type result = {
   sim_time : float;
   ops_completed : int;
   ops_succeeded : int;
+  retries : int;
+  ops_crashed : int;
   throughput : float;
 }
 
-type stack_impl = Treiber_retry | Elimination of int
+type stack_impl = Treiber_retry | Treiber_backoff | Elimination of int
 
 (* Contention cost model. A unit-cost interleaving simulator misses the
    dominant scalability effect on real hardware: every CAS on a contended
@@ -76,17 +78,31 @@ let count completed succeeded result =
       | `Failure -> ());
       ())
 
-let measure ~threads ~fuel ~seed ~setup =
+let measure ?(plan = []) ~threads ~fuel ~seed ~setup () =
   let completed = ref 0 in
   let succeeded = ref 0 in
+  let retries = ref 0 in
   let model = Cost_model.create () in
+  (* "backoff" steps are exactly the failed-attempt pauses, so their count
+     is the retry count of the run. *)
+  let charge label =
+    if Fault.matches_label ~pattern:"backoff" label then incr retries;
+    Cost_model.charge model label
+  in
   let outcome =
-    Runner.run_random
+    Runner.run_random ~plan
       ~setup:(fun ctx ->
         let program = setup ctx ~completed ~succeeded in
-        { program with Runner.on_label = Some (Cost_model.charge model) })
+        { program with Runner.on_label = Some charge })
       ~fuel
       ~rng:(Rng.create ~seed)
+      ()
+  in
+  let ops_crashed =
+    List.length
+      (List.filter
+         (function Fault.Crash _ -> true | _ -> false)
+         outcome.Runner.injected)
   in
   let sim_time = Cost_model.time model in
   {
@@ -95,42 +111,59 @@ let measure ~threads ~fuel ~seed ~setup =
     sim_time;
     ops_completed = !completed;
     ops_succeeded = !succeeded;
+    retries = !retries;
+    ops_crashed;
     throughput =
       (if sim_time = 0. then 0. else 1000. *. float_of_int !completed /. sim_time);
   }
 
-let stack_throughput ~impl ~threads ~fuel ~seed =
-  let setup ctx ~completed ~succeeded =
-    let push, pop =
-      match impl with
-      | Treiber_retry ->
-          let s =
-            Treiber_stack.create ~instrument:false ~log_history:false ctx
-          in
-          (Treiber_stack.push_retry s, Treiber_stack.pop_retry s)
-      | Elimination k ->
-          let rng = Rng.create ~seed:(Int64.add seed 7L) in
-          let es =
-            Elimination_stack.create ~instrument:false ~log_history:false ~k
-              ~factory:(Elim_array.concrete_waiting ~wait:8)
-              ~slot_strategy:(Elim_array.Seeded rng) ctx
-          in
-          (Elimination_stack.push es, Elimination_stack.pop es)
-    in
-    {
-      Runner.threads =
-        Array.init threads (fun i ->
-            let tid = Ids.Tid.of_int i in
-            forever (fun () ->
-                let* _ = push ~tid (Value.int i) in
-                let* () = count completed succeeded `Success in
-                let* _ = pop ~tid in
-                count completed succeeded `Success));
-      observe = None;
-      on_label = None;
-    }
+let stack_setup ~impl ~threads ~seed ctx ~completed ~succeeded =
+  let push, pop =
+    match impl with
+    | Treiber_retry ->
+        let s = Treiber_stack.create ~instrument:false ~log_history:false ctx in
+        (Treiber_stack.push_retry s, Treiber_stack.pop_retry s)
+    | Treiber_backoff ->
+        let s = Treiber_stack.create ~instrument:false ~log_history:false ctx in
+        let pol = Backoff.policy ~seed:(Int64.add seed 11L) () in
+        (Treiber_stack.push_retry ~backoff:pol s, Treiber_stack.pop_retry ~backoff:pol s)
+    | Elimination k ->
+        let rng = Rng.create ~seed:(Int64.add seed 7L) in
+        let es =
+          Elimination_stack.create ~instrument:false ~log_history:false ~k
+            ~factory:(Elim_array.concrete_waiting ~wait:8)
+            ~slot_strategy:(Elim_array.Seeded rng) ctx
+        in
+        (Elimination_stack.push es, Elimination_stack.pop es)
   in
-  measure ~threads ~fuel ~seed ~setup
+  {
+    Runner.threads =
+      Array.init threads (fun i ->
+          let tid = Ids.Tid.of_int i in
+          forever (fun () ->
+              let* _ = push ~tid (Value.int i) in
+              let* () = count completed succeeded `Success in
+              let* _ = pop ~tid in
+              count completed succeeded `Success));
+    observe = None;
+    on_label = None;
+  }
+
+let stack_throughput ~impl ~threads ~fuel ~seed =
+  measure ~threads ~fuel ~seed ~setup:(stack_setup ~impl ~threads ~seed) ()
+
+(* A fault sweep crashes [crashes] distinct threads at seeded points early
+   in the run, then measures what the survivors still deliver. *)
+let crash_plan ~threads ~crashes ~seed =
+  if crashes > threads then
+    invalid_arg "Metrics.crash_plan: more crashes than threads";
+  let rng = Rng.create ~seed:(Int64.add seed 23L) in
+  List.init crashes (fun i ->
+      Fault.crash ~thread:i ~at_step:(1 + Rng.int rng 500))
+
+let stack_fault_sweep ~impl ~threads ~crashes ~fuel ~seed =
+  let plan = crash_plan ~threads ~crashes ~seed in
+  measure ~plan ~threads ~fuel ~seed ~setup:(stack_setup ~impl ~threads ~seed) ()
 
 let exchanger_success_rate ~threads ~rounds ~fuel ~seed =
   let setup ctx ~completed ~succeeded =
@@ -155,7 +188,7 @@ let exchanger_success_rate ~threads ~rounds ~fuel ~seed =
       on_label = None;
     }
   in
-  measure ~threads ~fuel ~seed ~setup
+  measure ~threads ~fuel ~seed ~setup ()
 
 let sync_queue_handoffs ~producers ~consumers ~rounds ~fuel ~seed =
   let threads = producers + consumers in
@@ -188,8 +221,9 @@ let sync_queue_handoffs ~producers ~consumers ~rounds ~fuel ~seed =
       on_label = None;
     }
   in
-  measure ~threads ~fuel ~seed ~setup
+  measure ~threads ~fuel ~seed ~setup ()
 
 let pp_result ppf r =
-  Fmt.pf ppf "threads=%d steps=%d ops=%d ok=%d throughput=%.2f/1k-steps" r.threads
-    r.steps r.ops_completed r.ops_succeeded r.throughput
+  Fmt.pf ppf "threads=%d steps=%d ops=%d ok=%d retries=%d crashed=%d throughput=%.2f/1k-steps"
+    r.threads r.steps r.ops_completed r.ops_succeeded r.retries r.ops_crashed
+    r.throughput

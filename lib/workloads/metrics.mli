@@ -18,17 +18,28 @@ type result = {
   sim_time : float;       (** simulated time with contention costs *)
   ops_completed : int;    (** responses observed *)
   ops_succeeded : int;    (** operations whose result reports success *)
+  retries : int;          (** backoff pauses taken (failed attempts retried) *)
+  ops_crashed : int;      (** threads crashed by the run's fault plan *)
   throughput : float;     (** completed operations per 1000 simulated time units *)
 }
 
 type stack_impl =
   | Treiber_retry          (** Treiber stack, operations retried until done *)
+  | Treiber_backoff        (** Treiber stack retrying under {!Structures.Backoff} *)
   | Elimination of int     (** elimination stack with [k] exchanger slots *)
 
 val stack_throughput :
   impl:stack_impl -> threads:int -> fuel:int -> seed:int64 -> result
 (** Each thread alternates [push]/[pop] as fast as the scheduler lets it,
     for [fuel] total decisions. *)
+
+val stack_fault_sweep :
+  impl:stack_impl -> threads:int -> crashes:int -> fuel:int -> seed:int64 -> result
+(** {!stack_throughput} under an injected fault plan: [crashes] distinct
+    threads crash at seeded points early in the run ({!Conc.Fault.Crash});
+    the result reports the throughput the surviving threads still deliver
+    and [ops_crashed] confirms how many crashes actually fired. Raises
+    [Invalid_argument] if [crashes > threads]. *)
 
 val exchanger_success_rate :
   threads:int -> rounds:int -> fuel:int -> seed:int64 -> result

@@ -1,0 +1,417 @@
+(* Tests for the fault-injection subsystem: fault plans as data, crashed /
+   stalled threads, forced CAS failures, systematic single-fault
+   exploration (the fault analog of context bounding), crash-tolerant CAL
+   checking, and the deterministic backoff policy. *)
+
+open Cal
+open Conc
+open Structures
+open Test_support
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* -------------------------------------------------------------- plans -- *)
+
+let test_validate () =
+  let ok p = check_bool "valid" true (Result.is_ok (Fault.validate p)) in
+  let bad p = check_bool "invalid" true (Result.is_error (Fault.validate p)) in
+  ok [];
+  ok [ Fault.crash ~thread:0 ~at_step:0 ];
+  ok [ Fault.crash ~thread:0 ~at_step:3; Fault.crash ~thread:1 ~at_step:0 ];
+  ok [ Fault.fail_step ~label:"cas" ~nth:1; Fault.stall ~thread:2 ~at_step:0 ~for_steps:1 ];
+  bad [ Fault.crash ~thread:(-1) ~at_step:0 ];
+  bad [ Fault.crash ~thread:0 ~at_step:(-1) ];
+  bad [ Fault.fail_step ~label:"cas" ~nth:0 ];
+  bad [ Fault.stall ~thread:0 ~at_step:0 ~for_steps:0 ];
+  bad [ Fault.crash ~thread:0 ~at_step:1; Fault.crash ~thread:0 ~at_step:2 ]
+
+let test_matches_label () =
+  check_bool "exact" true (Fault.matches_label ~pattern:"push-cas" "push-cas");
+  check_bool "location suffix" true
+    (Fault.matches_label ~pattern:"push-cas" "push-cas@S.top");
+  check_bool "full label" true
+    (Fault.matches_label ~pattern:"push-cas@S.top" "push-cas@S.top");
+  check_bool "prefix alone is not a match" false
+    (Fault.matches_label ~pattern:"push" "push-cas@S.top");
+  check_bool "other label" false (Fault.matches_label ~pattern:"push-cas" "pop-cas")
+
+(* ----------------------------------------------------- setup fixtures -- *)
+
+(* The two-thread exchanger client of Fig. 1: exchange(3) ‖ exchange(4). *)
+let pair_setup ctx =
+  let ex = Exchanger.create ctx in
+  {
+    Runner.threads =
+      [|
+        Exchanger.exchange ex ~tid:(tid 0) (vi 3);
+        Exchanger.exchange ex ~tid:(tid 1) (vi 4);
+      |];
+    observe = None;
+    on_label = None;
+  }
+
+let ex_spec = Spec_exchanger.spec ()
+
+let crashed_tids (o : Runner.outcome) =
+  List.map Ids.Tid.of_int (Fault.crashed_threads o.injected)
+
+(* ------------------------------------------------------------ crashes -- *)
+
+(* Crash thread 0 before its first step: in every interleaving the peer
+   finds no offer and returns (false, 4); the history with the crashed
+   pending operation dropped is CAL. *)
+let test_crash_before_init () =
+  let plan = [ Fault.crash ~thread:0 ~at_step:0 ] in
+  let runs = ref 0 in
+  let stats =
+    Explore.exhaustive ~plan ~setup:pair_setup ~fuel:60
+      ~f:(fun o ->
+        incr runs;
+        check_bool "thread 0 crashed" true
+          (List.exists (function Fault.Crash { thread = 0; _ } -> true | _ -> false)
+             o.injected);
+        Alcotest.(check (option value))
+          "peer exchanges with nobody" (Some (fail_int 4)) o.results.(1);
+        check_bool "no result from the crashed thread" true (o.results.(0) = None);
+        check_bool "run not complete" false o.complete;
+        check_bool "CAL with the crashed op droppable" true
+          (Cal_checker.is_cal ~crashed:(crashed_tids o) ~spec:ex_spec o.history))
+      ()
+  in
+  check_bool "explored" true (stats.runs > 0 && stats.runs = !runs)
+
+(* Crash thread 0 right after its INIT CAS (step 1 is the harness's
+   invocation log, step 2 the CAS): on schedules where the offer was
+   installed, the live peer can still complete the rendezvous — the
+   crashed operation took effect. The crash-tolerant checker must accept
+   by completing (not dropping) the crashed pending operation. *)
+let test_crash_after_init_can_still_pair () =
+  let plan = [ Fault.crash ~thread:0 ~at_step:2 ] in
+  let witnessed = ref false in
+  ignore
+    (Explore.exhaustive ~plan ~setup:pair_setup ~fuel:60
+       ~f:(fun o ->
+         check_bool "CAL under single crash" true
+           (Cal_checker.is_cal ~crashed:(crashed_tids o) ~spec:ex_spec o.history);
+         if o.results.(1) = Some (ok_int 3) then witnessed := true)
+       ());
+  check_bool "some schedule pairs with the crashed thread's offer" true !witnessed
+
+(* A live thread's pending operation must NOT be droppable in crashed
+   mode: an incomplete fault-free run of the pair (fuel cut) is CAL in the
+   default mode but the crashed-mode check with an empty crash list must
+   complete every pending operation or reject. *)
+let test_crashed_mode_restricts_drops () =
+  let h =
+    History.of_list
+      [
+        inv 0 (vi 3);
+        (* thread 0 returned a success although nobody else even invoked:
+           only droppable-pending can explain it away *)
+        res 0 (ok_int 9);
+        inv 1 (vi 4);
+      ]
+  in
+  check_bool "default mode drops the pending peer... but the success is
+    unexplainable either way" false
+    (Cal_checker.is_cal ~spec:ex_spec h);
+  let h_fail =
+    History.of_list [ inv 0 (vi 3); res 0 (fail_int 3); inv 1 (vi 4) ]
+  in
+  check_bool "default mode: pending op droppable, accepted" true
+    (Cal_checker.is_cal ~spec:ex_spec h_fail);
+  check_bool "crashed=[] : pending op of a live thread must complete" true
+    (* completing exchange(4) with (false,4) explains it: still accepted *)
+    (Cal_checker.is_cal ~crashed:[] ~spec:ex_spec h_fail);
+  (* a swap element requires both partners; with one partner pending and
+     not crashed, the checker must find its completion — here impossible,
+     because the trace would need a swap and the completed op returned a
+     failure. Use a history whose only explanation drops the pending op: *)
+  let h_needs_drop =
+    History.of_list [ inv 0 (vi 3); inv 1 (vi 4); res 0 (ok_int 4) ]
+  in
+  check_bool "default mode accepts by completing the partner" true
+    (Cal_checker.is_cal ~spec:ex_spec h_needs_drop);
+  check_bool "crashed mode also accepts (completion, not drop)" true
+    (Cal_checker.is_cal ~crashed:[] ~spec:ex_spec h_needs_drop)
+
+(* Lin_checker's crashed mode mirrors Cal_checker's. *)
+let test_lin_crashed_mode () =
+  let spec = Spec_stack.spec ~oid:s_oid ~allow_spurious_failure:false () in
+  let push = Ids.Fid.v "push" and pop = Ids.Fid.v "pop" in
+  (* pop(=1) completed, push(1) pending: explainable only if the pending
+     push is completed (it must have taken effect), never by dropping. *)
+  let h =
+    History.of_list
+      [
+        Action.inv ~tid:(tid 0) ~oid:s_oid ~fid:push (vi 1);
+        Action.inv ~tid:(tid 1) ~oid:s_oid ~fid:pop Value.unit;
+        Action.res ~tid:(tid 1) ~oid:s_oid ~fid:pop (ok_int 1);
+      ]
+  in
+  check_bool "lin default" true (Lin_checker.is_linearizable ~spec h);
+  check_bool "lin crashed=[t0] (completed, not dropped)" true
+    (Lin_checker.is_linearizable ~crashed:[ tid 0 ] ~spec h);
+  check_bool "lin crashed=[]" true (Lin_checker.is_linearizable ~crashed:[] ~spec h)
+
+(* ------------------------------------------------- forced CAS failure -- *)
+
+(* Force the first INIT CAS down its failure branch: the forced thread
+   behaves as if the slot was occupied, finds g empty, and fails. *)
+let test_fail_step_forces_branch () =
+  let plan = [ Fault.fail_step ~label:"init-cas" ~nth:1 ] in
+  let fired = ref 0 in
+  ignore
+    (Explore.exhaustive ~plan ~setup:pair_setup ~fuel:60
+       ~f:(fun o ->
+         check_bool "forced failure fired" true
+           (List.exists
+              (function Fault.Fail_step _ -> true | _ -> false)
+              o.injected);
+         incr fired;
+         check_bool "complete" true o.complete;
+         check_bool "still CAL under the forced failure" true
+           (Cal_checker.is_cal ~spec:ex_spec o.history))
+       ());
+  check_bool "ran" true (!fired > 0)
+
+(* ------------------------------------------------------------- stalls -- *)
+
+let test_stall_freezes_thread () =
+  let plan = [ Fault.stall ~thread:0 ~at_step:0 ~for_steps:2 ] in
+  let _, frontier = Runner.replay ~plan ~setup:pair_setup [] in
+  check_bool "stalled thread not enabled" true
+    (List.for_all (fun (d : Runner.decision) -> d.thread <> 0) frontier);
+  check_bool "peer still enabled" true
+    (List.exists (fun (d : Runner.decision) -> d.thread = 1) frontier);
+  (* after the peer advances global time past the window, thread 0 thaws *)
+  let o, frontier' =
+    Runner.replay ~plan ~setup:pair_setup
+      [ { thread = 1; branch = 0 }; { thread = 1; branch = 0 } ]
+  in
+  check_bool "stall fired" true
+    (List.exists (function Fault.Stall _ -> true | _ -> false) o.injected);
+  check_bool "thread 0 thawed" true
+    (List.exists (fun (d : Runner.decision) -> d.thread = 0) frontier')
+
+(* ------------------------------- systematic single-fault exploration -- *)
+
+(* The headline obligation: under EVERY single crash and EVERY single
+   forced CAS failure, in every interleaving, the exchanger pair remains
+   CAL (with the crashed thread's operation droppable), and the plan that
+   produced each outcome replays byte-for-byte. *)
+let test_exhaustive_with_faults_exchanger () =
+  let total = ref 0 in
+  let faulty_runs = ref 0 in
+  let sampled = ref [] in
+  let stats =
+    Explore.exhaustive_with_faults ~setup:pair_setup ~fuel:60 ~fault_bound:1
+      ~f:(fun o ->
+        incr total;
+        if o.faults <> [] then begin
+          incr faulty_runs;
+          if List.length !sampled < 25 then sampled := o :: !sampled
+        end;
+        check_bool "CAL under every single fault" true
+          (Cal_checker.is_cal ~crashed:(crashed_tids o) ~spec:ex_spec o.history))
+      ()
+  in
+  check_bool "terminates with multiple plans" true (stats.plans > 1);
+  check_bool "not truncated" false stats.fault_truncated;
+  check_bool "delivered runs counted" true (stats.fault_runs = !total);
+  check_bool "fault-free plan included" true (!total > !faulty_runs);
+  check_bool "faulty plans actually ran" true (!faulty_runs > 0);
+  (* replay determinism: same (schedule, plan) -> identical outcome *)
+  List.iter
+    (fun (o : Runner.outcome) ->
+      let o', _ = Runner.replay ~plan:o.faults ~setup:pair_setup o.schedule in
+      Alcotest.(check string)
+        "history replays byte-for-byte"
+        (Fmt.str "%a" History.pp o.history)
+        (Fmt.str "%a" History.pp o'.history);
+      Alcotest.(check string)
+        "trace replays byte-for-byte"
+        (Fmt.str "%a" Ca_trace.pp o.trace)
+        (Fmt.str "%a" Ca_trace.pp o'.trace);
+      check_bool "injected faults replay" true (o.injected = o'.injected);
+      check_bool "results replay" true (o.results = o'.results))
+    !sampled
+
+(* The same sweep must still CATCH a genuinely faulty object: the selfish
+   exchanger claims success without a partner. *)
+let test_faulty_object_still_caught () =
+  let s = Workloads.Scenarios.faulty_exchanger () in
+  let report =
+    Verify.Obligations.check_object_with_faults ~setup:s.setup ~spec:s.spec
+      ~view:s.view ~fuel:s.fuel ~fault_bound:1 ()
+  in
+  check_bool "faulty exchanger rejected under fault exploration" false
+    (Verify.Obligations.ok report);
+  (* and the reported problems replay: re-run one failing (schedule, plan) *)
+  match report.problems with
+  | [] -> Alcotest.fail "expected at least one problem"
+  | p :: _ ->
+      let o, _ = Runner.replay ~plan:p.plan ~setup:s.setup p.schedule in
+      check_bool "reported problem reproduces" true
+        (Result.is_error
+           (Verify.Obligations.check_outcome ~spec:s.spec ~view:s.view o))
+
+(* The real exchanger passes the full obligation sweep under faults. *)
+let test_real_exchanger_ok_with_faults () =
+  let s = Workloads.Scenarios.exchanger_pair () in
+  let report =
+    Verify.Obligations.check_object_with_faults ~setup:s.setup ~spec:s.spec
+      ~view:s.view ~fuel:s.fuel ~fault_bound:1 ()
+  in
+  check_bool "exchanger survives every single fault" true
+    (Verify.Obligations.ok report)
+
+(* ------------------------------------------------------------ backoff -- *)
+
+let test_backoff_policy_validation () =
+  check_bool "bad init" true
+    (try
+       ignore (Backoff.policy ~init:0 ());
+       false
+     with Invalid_argument _ -> true);
+  check_bool "bad max" true
+    (try
+       ignore (Backoff.policy ~init:4 ~max:2 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* Backoff-equipped structures stay deterministic: the same seed gives the
+   same run, a different seed is allowed to differ. *)
+let test_backoff_determinism () =
+  let run seed =
+    let r =
+      Workloads.Metrics.stack_fault_sweep ~impl:Workloads.Metrics.Treiber_backoff
+        ~threads:4 ~crashes:1 ~fuel:3_000 ~seed
+    in
+    (r.ops_completed, r.retries, r.ops_crashed, r.steps)
+  in
+  check_bool "same seed, same run" true (run 5L = run 5L);
+  let a = run 5L and b = run 6L in
+  let _, _, crashed, _ = a in
+  check_bool "the crash fired" true (crashed = 1);
+  check_bool "seeds independent (steps differ or equal, no crash)" true
+    (a = a && b = b)
+
+(* Exhaustive exploration of a backoff-equipped structure is still
+   replay-deterministic: the policy lives inside setup. *)
+let test_backoff_replay_determinism () =
+  let setup ctx =
+    let s = Treiber_stack.create ctx in
+    let pol = Backoff.policy ~init:1 ~max:2 ~seed:9L () in
+    {
+      Runner.threads =
+        [|
+          Treiber_stack.push_retry ~backoff:pol s ~tid:(tid 0) (vi 1);
+          Treiber_stack.push_retry ~backoff:pol s ~tid:(tid 1) (vi 2);
+        |];
+      observe = None;
+      on_label = None;
+    }
+  in
+  let runs = ref 0 in
+  let stats =
+    Explore.exhaustive ~setup ~fuel:40
+      ~f:(fun o ->
+        incr runs;
+        check_bool "complete" true o.complete;
+        let o', _ = Runner.replay ~setup o.schedule in
+        check_bool "replays identically" true
+          (History.equal o.history o'.history && o.results = o'.results))
+      ()
+  in
+  check_bool "explored" true (stats.runs = !runs && !runs > 0)
+
+(* ------------------------------------------- elimination-stack knobs -- *)
+
+(* With degrade_after:1 every failed rendezvous sends the operation back
+   to the central stack only; the object still verifies end-to-end. *)
+let test_degraded_elim_stack_verifies () =
+  let setup ctx =
+    let es =
+      Elimination_stack.create ~k:1 ~slot_strategy:Elim_array.All_slots
+        ~degrade_after:1 ctx
+    in
+    {
+      Runner.threads =
+        [|
+          Elimination_stack.push es ~tid:(tid 0) (vi 1);
+          Elimination_stack.pop es ~tid:(tid 1);
+        |];
+      observe = None;
+      on_label = None;
+    }
+  in
+  let s = Workloads.Scenarios.elim_stack_push_pop ~k:1 () in
+  let report =
+    Verify.Obligations.check_object ~setup ~spec:s.spec ~view:s.view ~fuel:s.fuel ()
+  in
+  check_bool "degraded elimination stack verifies" true
+    (Verify.Obligations.ok report);
+  check_bool "bad degrade_after rejected" true
+    (try
+       ignore
+         (Elimination_stack.create ~k:1 ~slot_strategy:Elim_array.All_slots
+            ~degrade_after:0 (Ctx.create ()));
+       false
+     with Invalid_argument _ -> true)
+
+(* The elimination stack (k=1) remains CAL under single crashes and single
+   forced CAS failures. The full sweep is exact but slow, so routine runs
+   bound it: preemption bound 1 per plan and a plan cap — still every
+   fault point, many interleavings per fault (an underapproximation, as
+   with CHESS context bounding). *)
+let test_elim_stack_single_fault_sweep () =
+  let s = Workloads.Scenarios.elim_stack_push_pop ~k:1 () in
+  let checked = ref 0 in
+  let stats =
+    Explore.exhaustive_with_faults ~setup:s.setup ~fuel:s.fuel ~fault_bound:1
+      ~preemption_bound:1 ~max_plans:12
+      ~f:(fun o ->
+        incr checked;
+        match Verify.Obligations.check_outcome ~spec:s.spec ~view:s.view o with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "outcome under %a: %s" Fault.pp_plan o.faults m)
+      ()
+  in
+  check_bool "plans explored" true (stats.plans > 1 && !checked > 0)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "plans",
+        [
+          t "validate" test_validate;
+          t "matches_label" test_matches_label;
+        ] );
+      ( "crashes",
+        [
+          t "crash before init" test_crash_before_init;
+          t "crash after init can pair" test_crash_after_init_can_still_pair;
+          t "crashed mode restricts drops" test_crashed_mode_restricts_drops;
+          t "lin crashed mode" test_lin_crashed_mode;
+        ] );
+      ( "forced failures",
+        [
+          t "fail_step forces branch" test_fail_step_forces_branch;
+        ] );
+      ( "stalls", [ t "stall freezes thread" test_stall_freezes_thread ] );
+      ( "systematic",
+        [
+          t "exchanger under all single faults" test_exhaustive_with_faults_exchanger;
+          t "faulty object still caught" test_faulty_object_still_caught;
+          t "real exchanger ok" test_real_exchanger_ok_with_faults;
+          t "elim stack single-fault sweep" test_elim_stack_single_fault_sweep;
+        ] );
+      ( "backoff",
+        [
+          t "policy validation" test_backoff_policy_validation;
+          t "determinism" test_backoff_determinism;
+          t "replay determinism" test_backoff_replay_determinism;
+          t "degraded elim stack" test_degraded_elim_stack_verifies;
+        ] );
+    ]
