@@ -1,4 +1,4 @@
-.PHONY: all build test bench ci clean
+.PHONY: all build test bench bench-faults bench-smoke ci clean
 
 all: build
 
@@ -10,6 +10,14 @@ test:
 
 bench:
 	dune exec bench/main.exe -- quick
+
+# Regenerate BENCH_faults.json and BENCH_timeouts.json at full fuel.
+bench-faults:
+	dune exec bench/main.exe -- faults
+
+# Low-fuel variant of the same figures, for CI.
+bench-smoke:
+	dune exec bench/main.exe -- smoke
 
 ci: build test
 

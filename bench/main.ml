@@ -9,14 +9,22 @@
      and the exchanger/synchronous-queue success-rate curves.
 
    Run: dune exec bench/main.exe            (everything)
-        dune exec bench/main.exe -- quick   (fewer samples)           *)
+        dune exec bench/main.exe -- quick   (fewer samples)
+        dune exec bench/main.exe -- faults  (only B10/B11, full fuel,
+                                             regenerates BENCH_*.json)
+        dune exec bench/main.exe -- smoke   (only B10/B11, low fuel — CI) *)
 
 open Bechamel
 open Toolkit
 open Cal
 module S = Workloads.Scenarios
 
-let quick = Array.exists (fun a -> a = "quick") Sys.argv
+let mode =
+  if Array.exists (fun a -> a = "faults") Sys.argv then `Faults
+  else if Array.exists (fun a -> a = "smoke") Sys.argv then `Smoke
+  else `Full
+
+let quick = Array.exists (fun a -> a = "quick") Sys.argv || mode = `Smoke
 
 (* ---------------------------------------------------------- fixtures -- *)
 
@@ -300,6 +308,76 @@ let figure_fault_sweep () =
   close_out oc;
   Fmt.pr "# rows written to BENCH_faults.json@."
 
+(* B11 — timeout/liveness sweep. Two parts: (i) the timed exchanger's
+   swap-vs-timeout rate as the per-round deadline grows, with and without a
+   clock-skewing Delay fault on thread 0; (ii) the liveness watchdog's
+   verdict census over the bounded timed-pair scenario's fault sweep —
+   livelocked must be 0. Results land in BENCH_timeouts.json. *)
+let figure_timeouts () =
+  let fuel = if quick then 30_000 else 100_000 in
+  let threads = 4 in
+  let plans =
+    [ ("none", []); ("delay(t0*4)", [ Conc.Fault.delay ~thread:0 ~factor:4 ]) ]
+  in
+  Fmt.pr "@.# B11: timed exchanger — swaps vs timeouts by deadline (threads=%d)@."
+    threads;
+  Fmt.pr "%10s %14s %12s %12s %12s@." "deadline" "plan" "completed" "swapped"
+    "timed-out";
+  let rows =
+    List.concat_map
+      (fun deadline ->
+        List.map
+          (fun (pname, plan) ->
+            let r =
+              Workloads.Metrics.exchanger_timed_rate ~plan ~threads ~deadline
+                ~fuel ~seed:17L ()
+            in
+            Fmt.pr "%10d %14s %12d %12d %12d@." deadline pname r.ops_completed
+              r.ops_succeeded r.ops_timed_out;
+            (deadline, pname, r))
+          plans)
+      [ 2; 4; 8; 16; 32 ]
+  in
+  let scen = S.exchanger_timed_pair () in
+  let window = 8 in
+  let plans_explored, live =
+    Conc.Explore.liveness_with_faults ~delay_factors:[ 2 ] ~setup:scen.setup
+      ~fuel:scen.fuel ~window
+      ~max_plans:(if quick then 40 else 200)
+      ~fault_bound:1 ()
+  in
+  Fmt.pr
+    "# liveness watchdog over %s (window %d, %d fault plans): %d runs — %d \
+     completed, %d deadlocked, %d starved, %d livelocked@."
+    scen.S.name window plans_explored live.Conc.Explore.live_runs
+    live.Conc.Explore.live_completed live.Conc.Explore.live_deadlocked
+    live.Conc.Explore.live_starved live.Conc.Explore.live_livelocked;
+  let oc = open_out "BENCH_timeouts.json" in
+  let json_row (deadline, pname, (r : Workloads.Metrics.result)) =
+    Printf.sprintf
+      "    {\"deadline\": %d, \"plan\": %S, \"threads\": %d, \"fuel\": %d, \
+       \"ops_completed\": %d, \"ops_succeeded\": %d, \"ops_timed_out\": %d, \
+       \"ops_cancelled\": %d, \"throughput\": %.4f}"
+      deadline pname threads fuel r.ops_completed r.ops_succeeded r.ops_timed_out
+      r.ops_cancelled r.throughput
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"timeout_sweep\",\n\
+    \  \"rows\": [\n\
+     %s\n\
+    \  ],\n\
+    \  \"liveness\": {\"scenario\": %S, \"window\": %d, \"plans\": %d, \
+     \"runs\": %d, \"completed\": %d, \"deadlocked\": %d, \"starved\": %d, \
+     \"livelocked\": %d}\n\
+     }\n"
+    (String.concat ",\n" (List.map json_row rows))
+    scen.S.name window plans_explored live.Conc.Explore.live_runs
+    live.Conc.Explore.live_completed live.Conc.Explore.live_deadlocked
+    live.Conc.Explore.live_starved live.Conc.Explore.live_livelocked;
+  close_out oc;
+  Fmt.pr "# rows written to BENCH_timeouts.json@."
+
 (* B9 — bug preemption depth (iterative context bounding) for the faulty
    objects: how few context switches expose each bug. *)
 let figure_bug_depth () =
@@ -333,12 +411,21 @@ let figure_verification_cost () =
     (float_of_int rc /. float_of_int (max 1 ra))
 
 let () =
-  Fmt.pr "== CAL benchmark harness%s ==@." (if quick then " (quick)" else "");
-  run_bechamel (b1 @ b2 @ b3 @ b5 @ b6 @ b7 @ b8);
-  figure_stack_throughput ();
-  figure_exchanger_success ();
-  figure_sync_queue ();
-  figure_fault_sweep ();
-  figure_verification_cost ();
-  figure_bug_depth ();
-  Fmt.pr "@.done.@."
+  match mode with
+  | `Faults | `Smoke ->
+      Fmt.pr "== CAL benchmark harness (%s: fault + timeout figures) ==@."
+        (if mode = `Smoke then "smoke" else "faults");
+      figure_fault_sweep ();
+      figure_timeouts ();
+      Fmt.pr "@.done.@."
+  | `Full ->
+      Fmt.pr "== CAL benchmark harness%s ==@." (if quick then " (quick)" else "");
+      run_bechamel (b1 @ b2 @ b3 @ b5 @ b6 @ b7 @ b8);
+      figure_stack_throughput ();
+      figure_exchanger_success ();
+      figure_sync_queue ();
+      figure_fault_sweep ();
+      figure_timeouts ();
+      figure_verification_cost ();
+      figure_bug_depth ();
+      Fmt.pr "@.done.@."

@@ -7,6 +7,9 @@ let deq_op ~oid t v = Op.v ~tid:t ~oid ~fid:fid_deq ~arg:Value.unit ~ret:v
 
 let fulfilment ~oid t v t' = Ca_trace.element oid [ enq_op ~oid t v; deq_op ~oid t' v ]
 
+let deq_cancelled ~oid t =
+  Ca_trace.singleton (deq_op ~oid t (Value.cancelled Value.unit))
+
 (* State: queued values, oldest first. *)
 let step_element queued e =
   match Ca_trace.element_ops e with
@@ -14,9 +17,12 @@ let step_element queued e =
       if Fid.equal o.Op.fid fid_enq then
         if Value.equal o.ret Value.unit then Some (queued @ [ o.arg ]) else None
       else if Fid.equal o.Op.fid fid_deq then
-        match queued with
-        | front :: rest when Value.equal front o.ret -> Some rest
-        | _ -> None
+        (* a cancelled dequeue withdrew its reservation: no effect *)
+        if Value.equal o.ret (Value.cancelled Value.unit) then Some queued
+        else
+          match queued with
+          | front :: rest when Value.equal front o.ret -> Some rest
+          | _ -> None
       else None
   | [ a; b ] ->
       (* fulfilment: identify roles by method *)
@@ -40,8 +46,10 @@ let spec ?(oid = Oid.v "DQ") () =
     ~candidates:(fun queued ~universe (p : Op.pending) ->
       if Fid.equal p.fid fid_enq then [ Value.unit ]
       else if Fid.equal p.fid fid_deq then
-        match queued with
+        Value.cancelled Value.unit
+        ::
+        (match queued with
         | front :: _ -> [ front ]
-        | [] -> universe (* a waiting deq may be fulfilled with any value *)
+        | [] -> universe (* a waiting deq may be fulfilled with any value *))
       else [])
     ()

@@ -12,7 +12,10 @@
     - [DQ.{(t, enq(v) ⇒ ())}] — value queued (no waiting consumer);
     - [DQ.{(t, deq() ⇒ v)}] — value [v] taken from the front of the queue;
     - [DQ.{(t, enq(v) ⇒ ()), (t', deq() ⇒ v)}] with [t ≠ t'] — a fulfilment:
-      only legal when no values are queued (the consumer was waiting).
+      only legal when no values are queued (the consumer was waiting);
+    - [DQ.{(t, deq() ⇒ ("cancelled",()))}] — a timed dequeue that withdrew
+      its reservation before any enqueue fulfilled it: a singleton with no
+      effect on the queued values, legal in every state.
 
     Simplification (documented): waiting consumers are {e unordered} —
     a fulfilment may answer any waiting dequeue, not necessarily the
@@ -28,3 +31,6 @@ val deq_op : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t -> Op.t
 val fulfilment : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t -> Ids.Tid.t -> Ca_trace.element
 (** [fulfilment ~oid t v t'] — [t] enqueues [v] straight into [t']'s
     waiting dequeue. *)
+
+val deq_cancelled : oid:Ids.Oid.t -> Ids.Tid.t -> Ca_trace.element
+(** [deq_cancelled ~oid t] — [t]'s dequeue withdrew its reservation. *)

@@ -13,12 +13,20 @@ let swap ~oid t v t' v' =
 
 let failure ~oid t v = Ca_trace.singleton (exchange_op ~oid t ~arg:v ~ret:(Value.fail v))
 
-(* An element is legal iff it is a swap pair or a failure singleton; the
-   exchanger is stateless, so the acceptor state is unit. *)
+let timeout ~oid t v =
+  Ca_trace.singleton (exchange_op ~oid t ~arg:v ~ret:(Value.timeout v))
+
+(* An element is legal iff it is a swap pair or a failure/timeout
+   singleton; the exchanger is stateless, so the acceptor state is unit.
+   A timed-out exchange is always its own CA-element: it overlapped with
+   nobody that mattered, so it can never be half of a swap. *)
 let legal_element e =
   let is_exchange (o : Op.t) = Fid.equal o.fid fid_exchange in
   match Ca_trace.element_ops e with
-  | [ o ] -> is_exchange o && Value.equal o.ret (Value.fail o.arg)
+  | [ o ] ->
+      is_exchange o
+      && (Value.equal o.ret (Value.fail o.arg)
+         || Value.equal o.ret (Value.timeout o.arg))
   | [ a; b ] ->
       is_exchange a && is_exchange b
       && Value.equal a.ret (Value.ok b.arg)
@@ -32,6 +40,6 @@ let spec ?(oid = Oid.v "E") () =
     ~key:(fun () -> "")
     ~candidates:(fun () ~universe (p : Op.pending) ->
       if Fid.equal p.fid fid_exchange then
-        Value.fail p.arg :: List.map Value.ok universe
+        Value.fail p.arg :: Value.timeout p.arg :: List.map Value.ok universe
       else [])
     ()

@@ -6,7 +6,11 @@
       [t ≠ t']: two overlapping operations succeed by swapping their
       arguments; or
     - [E.{(t, exchange(v) ⇒ (false,v))}] — a failed exchange that overlaps
-      with no other operation and returns its own argument.
+      with no other operation and returns its own argument; or
+    - [E.{(t, exchange(v) ⇒ ("timeout",v))}] — a timed exchange whose
+      deadline expired: like a failure it is a {e singleton}, never half of
+      a swap, but its distinct return shape records that the operation gave
+      up on a deadline rather than on a spin count.
 
     This is the specification that {e cannot} be expressed sequentially
     (§3): any sequential history explaining a successful swap has a prefix
@@ -26,6 +30,9 @@ val swap :
 
 val failure : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t -> Ca_trace.element
 (** [failure ~oid t v] is the singleton failed-exchange element. *)
+
+val timeout : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t -> Ca_trace.element
+(** [timeout ~oid t v] is the singleton timed-out-exchange element. *)
 
 val exchange_op : oid:Ids.Oid.t -> Ids.Tid.t -> arg:Value.t -> ret:Value.t -> Op.t
 (** An [exchange] operation on [oid]. *)

@@ -13,12 +13,24 @@ let take_op ~oid t = function
 let rendezvous ~oid t v t' =
   Ca_trace.element oid [ put_op ~oid t v ~ok:true; take_op ~oid t' (Some v) ]
 
+let put_timeout ~oid t v =
+  Ca_trace.singleton
+    (Op.v ~tid:t ~oid ~fid:fid_put ~arg:v ~ret:(Value.timeout v))
+
+let take_timeout ~oid t =
+  Ca_trace.singleton
+    (Op.v ~tid:t ~oid ~fid:fid_take ~arg:Value.unit
+       ~ret:(Value.timeout Value.unit))
+
 let legal_element e =
   match Ca_trace.element_ops e with
   | [ o ] ->
-      (Fid.equal o.fid fid_put && Value.equal o.ret (Value.bool false))
+      (Fid.equal o.fid fid_put
+      && (Value.equal o.ret (Value.bool false)
+         || Value.equal o.ret (Value.timeout o.arg)))
       || Fid.equal o.fid fid_take
-         && Value.equal o.ret (Value.fail (Value.int 0))
+         && (Value.equal o.ret (Value.fail (Value.int 0))
+            || Value.equal o.ret (Value.timeout Value.unit))
   | [ a; b ] ->
       (* canonical op order is by Op.compare, so identify roles by fid *)
       let put, take =
@@ -36,8 +48,11 @@ let spec ?(oid = Oid.v "SQ") () =
     ~step:(fun () e -> if legal_element e then Some () else None)
     ~key:(fun () -> "")
     ~candidates:(fun () ~universe (p : Op.pending) ->
-      if Fid.equal p.fid fid_put then [ Value.bool true; Value.bool false ]
+      if Fid.equal p.fid fid_put then
+        [ Value.bool true; Value.bool false; Value.timeout p.arg ]
       else if Fid.equal p.fid fid_take then
-        Value.fail (Value.int 0) :: List.map Value.ok universe
+        Value.fail (Value.int 0)
+        :: Value.timeout Value.unit
+        :: List.map Value.ok universe
       else [])
     ()

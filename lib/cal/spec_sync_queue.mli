@@ -7,7 +7,10 @@
     - [SQ.{(t, put(v) ⇒ true), (t', take() ⇒ (true, v))}] with [t ≠ t']:
       a successful rendezvous;
     - [SQ.{(t, put(v) ⇒ false)}] — a put that found no consumer;
-    - [SQ.{(t, take() ⇒ (false, 0))}] — a take that found no producer. *)
+    - [SQ.{(t, take() ⇒ (false, 0))}] — a take that found no producer;
+    - [SQ.{(t, put(v) ⇒ ("timeout",v))}], [SQ.{(t, take() ⇒ ("timeout",()))}]
+      — timed variants whose deadline expired before a partner arrived;
+      always singletons, never half of a rendezvous. *)
 
 val fid_put : Ids.Fid.t
 val fid_take : Ids.Fid.t
@@ -18,3 +21,6 @@ val take_op : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t option -> Op.t
 val rendezvous : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t -> Ids.Tid.t -> Ca_trace.element
 (** [rendezvous ~oid t v t'] is the successful-transfer element where [t]
     puts [v] and [t'] takes it. *)
+
+val put_timeout : oid:Ids.Oid.t -> Ids.Tid.t -> Value.t -> Ca_trace.element
+val take_timeout : oid:Ids.Oid.t -> Ids.Tid.t -> Ca_trace.element

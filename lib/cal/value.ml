@@ -24,6 +24,10 @@ let pair a b = Pair (a, b)
 let list vs = List vs
 let ok v = Pair (Bool true, v)
 let fail v = Pair (Bool false, v)
+let timeout v = Pair (Str "timeout", v)
+let cancelled v = Pair (Str "cancelled", v)
+let is_timeout = function Pair (Str "timeout", _) -> true | _ -> false
+let is_cancelled = function Pair (Str "cancelled", _) -> true | _ -> false
 
 let to_bool = function
   | Bool b -> b

@@ -36,6 +36,20 @@ val ok : t -> t
     exchanger ([(false, v)] returns the unswapped value). *)
 val fail : t -> t
 
+(** [timeout v] is [Pair (Str "timeout", v)]: the return shape of a timed
+    operation whose deadline expired before it could take effect ([v] is
+    the unconsumed argument). Distinct from {!fail} — a timeout is the
+    convention for the {e singleton} [Timeout] CA-element every timed spec
+    admits. *)
+val timeout : t -> t
+
+(** [cancelled v] is [Pair (Str "cancelled", v)]: the return shape of an
+    operation whose installed offer/reservation was withdrawn. *)
+val cancelled : t -> t
+
+val is_timeout : t -> bool
+val is_cancelled : t -> bool
+
 (** {1 Projections}
 
     Each projection raises [Invalid_argument] when the value has the wrong

@@ -2,10 +2,27 @@ type t = {
   mutable history_rev : Cal.Action.t list;
   mutable trace_rev : Cal.Ca_trace.element list;
   mutable trace_len : int;
+  mutable clock : int;
+  mutable skew : (int * int) list;
 }
 
-let create () = { history_rev = []; trace_rev = []; trace_len = 0 }
+let create () =
+  { history_rev = []; trace_rev = []; trace_len = 0; clock = 0; skew = [] }
+
 let log_action t a = t.history_rev <- a :: t.history_rev
+let now t = t.clock
+let tick t = t.clock <- t.clock + 1
+
+let set_skew t ~thread ~factor =
+  if thread < 0 then invalid_arg "Ctx.set_skew: negative thread";
+  if factor < 1 then invalid_arg "Ctx.set_skew: factor must be >= 1";
+  t.skew <- (thread, factor) :: List.remove_assoc thread t.skew
+
+let skew_factor t ~thread =
+  match List.assoc_opt thread t.skew with Some f -> f | None -> 1
+
+let local_now t ~tid =
+  t.clock * skew_factor t ~thread:(Cal.Ids.Tid.to_int tid)
 
 let log_element t e =
   t.trace_rev <- e :: t.trace_rev;

@@ -26,6 +26,30 @@ val trace : t -> Cal.Ca_trace.t
 
 val trace_length : t -> int
 
+val now : t -> int
+(** The logical clock: the number of scheduling decisions applied so far in
+    this run. Advanced by the runner (never by programs), so a replayed
+    schedule sees the identical sequence of clock values — deadlines are as
+    reproducible as any other part of the run. *)
+
+val tick : t -> unit
+(** Advance the logical clock by one. Called by {!Runner} after each applied
+    decision; implementations must not call it. *)
+
+val set_skew : t -> thread:int -> factor:int -> unit
+(** Stretch [thread]'s perceived time: its {!local_now} reads
+    [factor * now]. Used by the runner to interpret a [Fault.Delay] plan
+    entry. Raises [Invalid_argument] if [factor < 1] or [thread < 0]. *)
+
+val skew_factor : t -> thread:int -> int
+(** The skew factor currently applied to [thread] (1 if none). *)
+
+val local_now : t -> tid:Cal.Ids.Tid.t -> int
+(** The logical time as perceived by [tid]: [skew_factor * now]. A delayed
+    thread perceives time passing faster, so its deadlines expire sooner —
+    the deterministic analogue of a thread scheduled on a slow core hitting
+    its timeout. *)
+
 val active_threads : t -> oid:Cal.Ids.Oid.t -> Cal.Ids.Tid.t list
 (** Threads currently executing a method of [oid] (the paper's [InE]):
     those with a pending invocation on [oid] in the history. *)

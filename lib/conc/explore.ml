@@ -91,7 +91,8 @@ type fault_stats = {
    schedule executes is a forcible CAS failure. The union over all
    schedules is what makes the enumeration complete for the bounded
    client — a fault point reachable on any interleaving is proposed. *)
-let fault_candidates ~setup ~fuel ?max_runs ?preemption_bound () =
+let fault_candidates ?(delay_factors = []) ~setup ~fuel ?max_runs
+    ?preemption_bound () =
   let thread_max : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let label_max : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let bump tbl key v =
@@ -128,7 +129,13 @@ let fault_candidates ~setup ~fuel ?max_runs ?preemption_bound () =
     |> List.concat_map (fun (label, count) ->
            List.init count (fun i -> Fault.Fail_step { label; nth = i + 1 }))
   in
-  crashes @ fails
+  let delays =
+    Hashtbl.fold (fun thread _ acc -> thread :: acc) thread_max []
+    |> List.sort Int.compare
+    |> List.concat_map (fun thread ->
+           List.map (fun factor -> Fault.Delay { thread; factor }) delay_factors)
+  in
+  crashes @ fails @ delays
 
 (* Subsets of [candidates] of size 1..bound, smallest first, skipping plans
    that crash the same thread twice (Fault.validate would reject them). *)
@@ -148,12 +155,12 @@ let plans_up_to ~bound candidates =
   |> List.filter (fun p -> p <> [] && compatible p)
   |> List.sort (fun a b -> Int.compare (List.length a) (List.length b))
 
-let exhaustive_with_faults ~setup ~fuel ?max_runs ?preemption_bound ?max_plans
-    ~fault_bound ~f () =
+let exhaustive_with_faults ?delay_factors ~setup ~fuel ?max_runs
+    ?preemption_bound ?max_plans ~fault_bound ~f () =
   if fault_bound < 0 then invalid_arg "Explore: fault_bound must be >= 0";
   let candidates =
     if fault_bound = 0 then []
-    else fault_candidates ~setup ~fuel ?max_runs ?preemption_bound ()
+    else fault_candidates ?delay_factors ~setup ~fuel ?max_runs ?preemption_bound ()
   in
   let plans = [] :: plans_up_to ~bound:fault_bound candidates in
   let plans, capped =
@@ -177,3 +184,176 @@ let exhaustive_with_faults ~setup ~fuel ?max_runs ?preemption_bound ?max_plans
     fault_truncated = !truncated;
     fault_max_steps = !max_steps;
   }
+
+(* ------------------------------------------------- liveness watchdog -- *)
+
+type run_verdict =
+  | Completed
+  | Deadlocked
+  | Starved of int list
+  | Livelocked
+
+let pp_verdict ppf = function
+  | Completed -> Fmt.pf ppf "completed"
+  | Deadlocked -> Fmt.pf ppf "deadlocked"
+  | Starved ts ->
+      Fmt.pf ppf "starved(%a)" (Fmt.list ~sep:Fmt.comma Fmt.int) ts
+  | Livelocked -> Fmt.pf ppf "livelocked"
+
+let enabled_threads frontier =
+  List.map (fun (d : Runner.decision) -> d.thread) frontier
+  |> List.sort_uniq Int.compare
+
+(* Advance the per-thread idle counters across one decision: a thread that
+   was enabled but not chosen grows its stretch; the chosen thread and
+   disabled threads reset. Returns the counters keyed by thread. *)
+let bump_idle ~window idle enabled chosen starving =
+  let idle' =
+    List.filter_map
+      (fun t ->
+        if t = chosen then None
+        else Some (t, 1 + Option.value ~default:0 (List.assoc_opt t idle)))
+      enabled
+  in
+  let newly =
+    List.filter_map (fun (t, n) -> if n >= window then Some t else None) idle'
+  in
+  (idle', List.sort_uniq Int.compare (newly @ starving))
+
+let watchdog ?(plan = []) ~setup ~window sched =
+  if window < 1 then invalid_arg "Explore.watchdog: window must be >= 1";
+  let rec go prefix idle starving = function
+    | [] ->
+        let outcome, frontier = Runner.replay ~plan ~setup prefix in
+        if outcome.Runner.complete then Completed
+        else if frontier = [] then Deadlocked
+        else if starving <> [] then Starved starving
+        else Livelocked
+    | d :: rest ->
+        let _, frontier = Runner.replay ~plan ~setup prefix in
+        let idle, starving =
+          bump_idle ~window idle (enabled_threads frontier)
+            d.Runner.thread starving
+        in
+        go (prefix @ [ d ]) idle starving rest
+  in
+  go [] [] [] sched
+
+type liveness_stats = {
+  live_runs : int;
+  live_completed : int;
+  live_deadlocked : int;
+  live_starved : int;
+  live_livelocked : int;
+  livelocks : (Runner.schedule * Fault.plan) list;
+  live_truncated : bool;
+}
+
+let liveness ?(plan = []) ~setup ~fuel ~window ?max_runs ?preemption_bound () =
+  if window < 1 then invalid_arg "Explore.liveness: window must be >= 1";
+  let runs = ref 0 in
+  let completed = ref 0 in
+  let deadlocked = ref 0 in
+  let starved = ref 0 in
+  let livelocked = ref 0 in
+  let witnesses = ref [] in
+  let truncated = ref false in
+  let deliver (outcome : Runner.outcome) frontier starving =
+    incr runs;
+    if outcome.Runner.complete then incr completed
+    else if frontier = [] then incr deadlocked
+    else if starving <> [] then incr starved
+    else begin
+      incr livelocked;
+      if List.length !witnesses < 10 then
+        witnesses := (outcome.Runner.schedule, plan) :: !witnesses
+    end;
+    match max_runs with
+    | Some m when !runs >= m ->
+        truncated := true;
+        raise Stop
+    | _ -> ()
+  in
+  let within_budget used =
+    match preemption_bound with None -> true | Some b -> used <= b
+  in
+  let rec explore prefix ~last ~preemptions ~idle ~starving =
+    let outcome, frontier = Runner.replay ~plan ~setup prefix in
+    if frontier = [] || outcome.Runner.steps >= fuel then
+      deliver outcome frontier starving
+    else begin
+      let enabled = enabled_threads frontier in
+      let last_enabled = List.exists (fun t -> Some t = last) enabled in
+      List.iter
+        (fun (d : Runner.decision) ->
+          let cost =
+            if last_enabled && Some d.thread <> last then preemptions + 1
+            else preemptions
+          in
+          if within_budget cost then begin
+            let idle', starving' =
+              bump_idle ~window idle enabled d.thread starving
+            in
+            explore (prefix @ [ d ]) ~last:(Some d.thread) ~preemptions:cost
+              ~idle:idle' ~starving:starving'
+          end)
+        frontier
+    end
+  in
+  (try explore [] ~last:None ~preemptions:0 ~idle:[] ~starving:[]
+   with Stop -> ());
+  {
+    live_runs = !runs;
+    live_completed = !completed;
+    live_deadlocked = !deadlocked;
+    live_starved = !starved;
+    live_livelocked = !livelocked;
+    livelocks = List.rev !witnesses;
+    live_truncated = !truncated;
+  }
+
+(* The watchdog over the fault sweep: classify every run of every plan of
+   at most [fault_bound] faults (the plan enumeration of
+   [exhaustive_with_faults]). Returns the number of plans explored and the
+   merged stats; crashed and stalled threads are never enabled, so their
+   non-termination classifies as deadlock, not livelock. *)
+let liveness_with_faults ?delay_factors ~setup ~fuel ~window ?max_runs
+    ?preemption_bound ?max_plans ~fault_bound () =
+  if fault_bound < 0 then invalid_arg "Explore: fault_bound must be >= 0";
+  let candidates =
+    if fault_bound = 0 then []
+    else fault_candidates ?delay_factors ~setup ~fuel ?max_runs ?preemption_bound ()
+  in
+  let plans = [] :: plans_up_to ~bound:fault_bound candidates in
+  let plans, capped =
+    match max_plans with
+    | Some m when List.length plans > m -> (List.filteri (fun i _ -> i < m) plans, true)
+    | _ -> (plans, false)
+  in
+  let merged =
+    List.fold_left
+      (fun acc plan ->
+        let s = liveness ~plan ~setup ~fuel ~window ?max_runs ?preemption_bound () in
+        {
+          live_runs = acc.live_runs + s.live_runs;
+          live_completed = acc.live_completed + s.live_completed;
+          live_deadlocked = acc.live_deadlocked + s.live_deadlocked;
+          live_starved = acc.live_starved + s.live_starved;
+          live_livelocked = acc.live_livelocked + s.live_livelocked;
+          livelocks =
+            (let room = 10 - List.length acc.livelocks in
+             acc.livelocks @ List.filteri (fun i _ -> i < room) s.livelocks);
+          live_truncated = acc.live_truncated || s.live_truncated;
+        })
+      {
+        live_runs = 0;
+        live_completed = 0;
+        live_deadlocked = 0;
+        live_starved = 0;
+        live_livelocked = 0;
+        livelocks = [];
+        live_truncated = capped;
+      }
+      plans
+  in
+  (List.length plans, merged)

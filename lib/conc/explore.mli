@@ -72,6 +72,7 @@ type fault_stats = {
 }
 
 val exhaustive_with_faults :
+  ?delay_factors:int list ->
   setup:(Ctx.t -> Runner.program) ->
   fuel:int ->
   ?max_runs:int ->
@@ -99,7 +100,99 @@ val exhaustive_with_faults :
     Because a fault point found on {e any} interleaving of the fault-free
     pass is proposed, the enumeration is complete for bounded clients:
     [fault_bound:1] visits every single-crash and every single-CAS-failure
-    execution. *)
+    execution.
+
+    [delay_factors] (default none) additionally proposes a
+    {!Fault.Delay}[ { thread; factor }] candidate for every thread that
+    took a step in the fault-free pass and every listed factor (each must
+    be [>= 2]), so the plan enumeration also covers skewed-clock
+    executions in which a thread's deadlines fire early. *)
+
+(** {1 Liveness watchdog}
+
+    The safety checkers silently accept a run in which nobody ever makes
+    progress — an incomplete history with no response actions is trivially
+    linearizable. The watchdog closes that gap with {e bounded-fairness}
+    detection: a run is only held against the object when the schedule was
+    fair to every thread, i.e. no enabled thread went unscheduled for
+    [window] consecutive decisions. *)
+
+(** Classification of one (schedule, plan) pair:
+
+    - [Completed]: every thread returned — progress was made.
+    - [Deadlocked]: the run is incomplete and no decision is enabled at the
+      end; blocking structures legitimately deadlock when no peer exists
+      (e.g. a lone [Prog.timed] waiter).
+    - [Starved ts]: the run is incomplete, but some thread in [ts] was
+      continuously enabled for at least [window] decisions without being
+      scheduled — the schedule is unfair, so non-termination is excused.
+    - [Livelocked]: the run is incomplete, decisions remain enabled, and no
+      thread starved: every thread kept running and yet nobody finished.
+      This is the verdict the watchdog flags — cancel-and-retry loops that
+      spin forever under a fair schedule. *)
+type run_verdict =
+  | Completed
+  | Deadlocked
+  | Starved of int list
+  | Livelocked
+
+val pp_verdict : Format.formatter -> run_verdict -> unit
+
+val watchdog :
+  ?plan:Fault.plan ->
+  setup:(Ctx.t -> Runner.program) ->
+  window:int ->
+  Runner.schedule ->
+  run_verdict
+(** [watchdog ~setup ~window sched] replays [sched] and classifies it. The
+    idle stretch of a thread is the number of consecutive decisions during
+    which it was enabled but not chosen; it resets whenever the thread is
+    scheduled or becomes disabled. Raises [Invalid_argument] if
+    [window < 1]. *)
+
+type liveness_stats = {
+  live_runs : int;          (** terminal outcomes classified *)
+  live_completed : int;
+  live_deadlocked : int;
+  live_starved : int;
+  live_livelocked : int;
+  livelocks : (Runner.schedule * Fault.plan) list;
+      (** witnesses of livelocked runs, at most 10 *)
+  live_truncated : bool;    (** stopped early by [max_runs] *)
+}
+
+val liveness :
+  ?plan:Fault.plan ->
+  setup:(Ctx.t -> Runner.program) ->
+  fuel:int ->
+  window:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  unit ->
+  liveness_stats
+(** Exhaustively explore (like {!exhaustive}) and classify every maximal
+    run with the watchdog, threading the idle counters down each path (one
+    pass, no per-prefix replays). An object passes the liveness obligation
+    when [live_livelocked = 0]: on every fair schedule it either finishes
+    or genuinely blocks. *)
+
+val liveness_with_faults :
+  ?delay_factors:int list ->
+  setup:(Ctx.t -> Runner.program) ->
+  fuel:int ->
+  window:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  ?max_plans:int ->
+  fault_bound:int ->
+  unit ->
+  int * liveness_stats
+(** {!liveness} over the fault sweep: the plan enumeration of
+    {!exhaustive_with_faults} (including [delay_factors] candidates), each
+    plan explored and classified by the watchdog. Returns (plans explored,
+    merged stats). Crashed and stalled threads are never enabled, so a run
+    they cut short classifies as deadlocked or starved — never as a
+    livelock of the object. *)
 
 val failure_depth :
   setup:(Ctx.t -> Runner.program) ->

@@ -2,15 +2,18 @@ type t =
   | Crash of { thread : int; at_step : int }
   | Fail_step of { label : string; nth : int }
   | Stall of { thread : int; at_step : int; for_steps : int }
+  | Delay of { thread : int; factor : int }
 
 type plan = t list
 
 let crash ~thread ~at_step = Crash { thread; at_step }
 let fail_step ~label ~nth = Fail_step { label; nth }
 let stall ~thread ~at_step ~for_steps = Stall { thread; at_step; for_steps }
+let delay ~thread ~factor = Delay { thread; factor }
 
 let validate plan =
   let seen_crash = Hashtbl.create 4 in
+  let seen_delay = Hashtbl.create 4 in
   let rec go = function
     | [] -> Ok ()
     | Crash { thread; at_step } :: rest ->
@@ -31,6 +34,15 @@ let validate plan =
         else if at_step < 0 then Error "Stall: negative at_step"
         else if for_steps < 1 then Error "Stall: for_steps must be >= 1"
         else go rest
+    | Delay { thread; factor } :: rest ->
+        if thread < 0 then Error "Delay: negative thread"
+        else if factor < 2 then Error "Delay: factor must be >= 2"
+        else if Hashtbl.mem seen_delay thread then
+          Error (Fmt.str "two delays of thread %d" thread)
+        else begin
+          Hashtbl.replace seen_delay thread ();
+          go rest
+        end
   in
   go plan
 
@@ -53,6 +65,7 @@ let pp ppf = function
   | Fail_step { label; nth } -> Fmt.pf ppf "fail(%s#%d)" label nth
   | Stall { thread; at_step; for_steps } ->
       Fmt.pf ppf "stall(t%d@%d+%d)" thread at_step for_steps
+  | Delay { thread; factor } -> Fmt.pf ppf "delay(t%d*%d)" thread factor
 
 let pp_plan ppf = function
   | [] -> Fmt.pf ppf "(no faults)"

@@ -22,22 +22,30 @@
       preempted thread that eventually resumes. A stalled thread with no
       runnable peer never resumes (global time cannot advance); such a plan
       deadlocks the run, which the explorer reports as an incomplete
-      outcome. *)
+      outcome.
+    - {!Delay}: the thread's perceived logical time runs [factor] times
+      faster than the global clock (see {!Ctx.local_now}), so its deadlines
+      expire sooner — a deterministic model of a thread whose timer fires
+      early relative to its peers' progress. A delay never changes which
+      steps are enabled, only how timed operations on the delayed thread
+      resolve their deadlines. *)
 
 type t =
   | Crash of { thread : int; at_step : int }
   | Fail_step of { label : string; nth : int }
   | Stall of { thread : int; at_step : int; for_steps : int }
+  | Delay of { thread : int; factor : int }
 
 type plan = t list
 
 val crash : thread:int -> at_step:int -> t
 val fail_step : label:string -> nth:int -> t
 val stall : thread:int -> at_step:int -> for_steps:int -> t
+val delay : thread:int -> factor:int -> t
 
 val validate : plan -> (unit, string) result
-(** Rejects negative counters, [nth < 1], [for_steps < 1], and two crashes
-    of the same thread. *)
+(** Rejects negative counters, [nth < 1], [for_steps < 1], [factor < 2],
+    two crashes of the same thread, and two delays of the same thread. *)
 
 val matches_label : pattern:string -> string -> bool
 (** [matches_label ~pattern l] holds when [l = pattern] or [l] is [pattern]

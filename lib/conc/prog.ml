@@ -62,6 +62,24 @@ let fetch_and_add r d =
       r := old + d;
       old)
 
+let timed ?(label = "timed") ~expired ~on_timeout g =
+  Guard
+    ( label,
+      fun () ->
+        match g () with
+        | Some _ as r -> r
+        | None -> if expired () then Some (on_timeout ()) else None )
+
+let rec poll ?(label = "poll") ~expired ~on_timeout g =
+  Atomic
+    ( label,
+      fun () ->
+        match g () with
+        | Some k -> k
+        | None ->
+            if expired () then on_timeout ()
+            else poll ~label ~expired ~on_timeout g )
+
 let rec repeat_until body =
   bind (body ()) (function Some v -> Return v | None -> repeat_until body)
 

@@ -89,6 +89,39 @@ val cas_weak : ?label:string -> eq:('a -> 'a -> bool) -> 'a ref -> expect:'a -> 
 val fetch_and_add : int ref -> int -> int t
 (** Returns the previous value. *)
 
+(** {1 Timed waiting}
+
+    Deadlines are logical-clock values (see {!Ctx.now}); the closures below
+    read the clock, so both primitives replay deterministically. *)
+
+val timed :
+  ?label:string ->
+  expired:(unit -> bool) ->
+  on_timeout:(unit -> 'a t) ->
+  (unit -> 'a t option) ->
+  'a t
+(** [timed ~expired ~on_timeout g] is a {!guard} with a deadline: the thread
+    blocks while [g () = None], but becomes enabled — continuing with
+    [on_timeout ()] — once [expired ()] holds. Because a blocked thread
+    takes no steps, the logical clock only advances through {e other}
+    threads' decisions: a [timed] wait with no runnable peer never expires
+    (the run deadlocks). Use it when a peer is expected to drive time
+    forward; use {!poll} when the waiter must be able to abort alone. *)
+
+val poll :
+  ?label:string ->
+  expired:(unit -> bool) ->
+  on_timeout:(unit -> 'a t) ->
+  (unit -> 'a t option) ->
+  'a t
+(** [poll ~expired ~on_timeout g] spins: each step evaluates [g ()] and
+    continues with its result if [Some], with [on_timeout ()] if the
+    deadline has passed, and otherwise loops for another step. The polling
+    thread stays enabled, so its own steps advance the clock and a solo
+    waiter still times out — the HSY elimination-array discipline. Each
+    poll iteration costs one scheduling decision, so keep deadlines small
+    under exhaustive exploration. *)
+
 (** {1 Control} *)
 
 val repeat_until : (unit -> 'a option t) -> 'a t

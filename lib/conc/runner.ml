@@ -67,9 +67,18 @@ let fault_state ~threads plan =
             stall_until.(thread) <- for_steps;
             fs.fired_rev <- f :: fs.fired_rev
           end
-      | Fault.Stall _ | Fault.Fail_step _ -> ())
+      | Fault.Stall _ | Fault.Fail_step _ | Fault.Delay _ -> ())
     plan;
   fs
+
+(* Delay entries are interpreted by the context's clock, not by the step
+   counters: install the per-thread skew before the first decision. *)
+let apply_delays ctx plan =
+  List.iter
+    (function
+      | Fault.Delay { thread; factor } -> Ctx.set_skew ctx ~thread ~factor
+      | _ -> ())
+    plan
 
 let crashed fs i = fs.thread_steps.(i) >= fs.crash_at.(i)
 let stalled fs i = fs.global_step < fs.stall_until.(i)
@@ -173,6 +182,9 @@ let snapshot fs ctx states applied =
             thread < Array.length states
             && (match states.(thread) with Prog.Return _ -> false | _ -> true)
             && fs.thread_steps.(thread) >= at_step
+        | Fault.Delay { thread; _ } ->
+            (* a delay took effect iff the skewed thread ran at all *)
+            thread < Array.length states && fs.thread_steps.(thread) > 0
         | f -> List.exists (Fault.equal f) fired)
       fs.plan
   in
@@ -193,10 +205,12 @@ let replay ?(plan = []) ~setup sched =
   let program = setup ctx in
   let states = Array.copy program.threads in
   let fs = fault_state ~threads:(Array.length states) plan in
+  apply_delays ctx plan;
   let applied = ref [] in
   List.iter
     (fun d ->
       let label = apply fs states d in
+      Ctx.tick ctx;
       applied := d :: !applied;
       (match program.on_label with None -> () | Some f -> f label);
       match program.observe with None -> () | Some f -> f d)
@@ -208,6 +222,7 @@ let run_random ?(plan = []) ~setup ~fuel ~rng () =
   let program = setup ctx in
   let states = Array.copy program.threads in
   let fs = fault_state ~threads:(Array.length states) plan in
+  apply_delays ctx plan;
   let applied = ref [] in
   let rec go remaining =
     if remaining = 0 then ()
@@ -217,6 +232,7 @@ let run_random ?(plan = []) ~setup ~fuel ~rng () =
       | ds ->
           let d = Rng.pick rng ds in
           let label = apply fs states d in
+          Ctx.tick ctx;
           applied := d :: !applied;
           (match program.on_label with None -> () | Some f -> f label);
           (match program.observe with None -> () | Some f -> f d);

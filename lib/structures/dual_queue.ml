@@ -60,6 +60,66 @@ let deq_body t ~tid =
          element was logged by the enqueuer *)
       Prog.await ~label:"deq-wait" r.answer
 
+(* Timed dequeue: claim as [deq_body], but a waiting consumer POLLS its
+   reservation (staying enabled, so its own steps advance the clock and a
+   solo consumer can abort) and withdraws it on deadline expiry. The
+   withdrawal CAS atomically checks the answer slot and removes the
+   reservation from the cell — it is fallible (a forced failure behaves as
+   losing the race to a fulfilling enqueuer), while the cancel-acknowledge
+   read after a lost cancel is not: a fulfilled answer slot is stable. *)
+let deq_timed_body t ~tid ~deadline =
+  let now () = Ctx.local_now t.ctx ~tid in
+  let o = Ids.Oid.to_string t.dq_oid in
+  let* claimed =
+    Prog.atomically ~label:("deq@" ^ o) (fun () ->
+        match !(t.cell) with
+        | Items (v :: rest) ->
+            t.cell := Items rest;
+            log_elem t (Ca_trace.singleton (Spec_dual_queue.deq_op ~oid:t.dq_oid tid v));
+            Prog.return (`Value v)
+        | Items [] ->
+            let r = { r_tid = tid; answer = ref None } in
+            t.cell := Waiters [ r ];
+            Prog.return (`Wait r)
+        | Waiters ws ->
+            let r = { r_tid = tid; answer = ref None } in
+            t.cell := Waiters (ws @ [ r ]);
+            Prog.return (`Wait r))
+  in
+  match claimed with
+  | `Value v -> Prog.return v
+  | `Wait r ->
+      let rec cancel () =
+        let* c =
+          Prog.fallible ~label:("cancel-cas@" ^ o)
+            (fun () ->
+              match !(r.answer) with
+              | Some v -> Prog.return (`Fulfilled v)
+              | None ->
+                  (* unanswered, so still queued: withdraw the reservation
+                     and log the singleton cancellation in the same step *)
+                  (match !(t.cell) with
+                  | Waiters ws ->
+                      let ws' = List.filter (fun w -> w != r) ws in
+                      t.cell := (if ws' = [] then Items [] else Waiters ws')
+                  | Items _ -> ());
+                  log_elem t (Spec_dual_queue.deq_cancelled ~oid:t.dq_oid tid);
+                  Prog.return `Cancelled)
+            ~on_fault:(fun () -> Prog.return `Lost)
+        in
+        match c with
+        | `Fulfilled v -> Prog.return v
+        | `Cancelled -> Prog.return (Value.cancelled Value.unit)
+        | `Lost -> ack ()
+      and ack () =
+        let* a = Prog.atomic ~label:("cancel-ack@" ^ o) (fun () -> !(r.answer)) in
+        match a with Some v -> Prog.return v | None -> cancel ()
+      in
+      Prog.poll ~label:"deq-poll"
+        ~expired:(fun () -> now () >= deadline)
+        ~on_timeout:cancel
+        (fun () -> Option.map Prog.return !(r.answer))
+
 let enq t ~tid v =
   if t.log_history then
     Harness.call t.ctx ~tid ~oid:t.dq_oid ~fid:Spec_dual_queue.fid_enq ~arg:v
@@ -71,6 +131,12 @@ let deq t ~tid =
     Harness.call t.ctx ~tid ~oid:t.dq_oid ~fid:Spec_dual_queue.fid_deq ~arg:Value.unit
       (deq_body t ~tid)
   else deq_body t ~tid
+
+let deq_timed t ~tid ~deadline =
+  if t.log_history then
+    Harness.call t.ctx ~tid ~oid:t.dq_oid ~fid:Spec_dual_queue.fid_deq ~arg:Value.unit
+      (deq_timed_body t ~tid ~deadline)
+  else deq_timed_body t ~tid ~deadline
 
 let spec t = Spec_dual_queue.spec ~oid:t.dq_oid ()
 let view _t = View.identity

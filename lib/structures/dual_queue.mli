@@ -26,5 +26,14 @@ val enq : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
 val deq : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
 (** Returns the dequeued value; waits (spins) on the empty queue. *)
 
+val deq_timed : t -> tid:Cal.Ids.Tid.t -> deadline:int -> Cal.Value.t Conc.Prog.t
+(** Timed dequeue: like {!deq}, but a waiting consumer polls its
+    reservation and, once [tid]'s perceived logical clock passes
+    [deadline], withdraws it (CAS-removing the reservation and logging the
+    singleton cancelled CA-element in one step) and returns
+    [("cancelled", ())]. The withdrawal CAS is fallible — a forced failure
+    behaves as losing the race to a fulfilling enqueue, after which the
+    cancel-acknowledge read (not fallible) takes the fulfilled value. *)
+
 val spec : t -> Cal.Spec.t
 val view : t -> Cal.View.t

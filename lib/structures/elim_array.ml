@@ -7,21 +7,35 @@ type slot_strategy = All_slots | Seeded of Rng.t
 type slot = {
   slot_oid : Ids.Oid.t;
   slot_exchange : tid:Ids.Tid.t -> Value.t -> Value.t Prog.t;
+  slot_exchange_timed :
+    (tid:Ids.Tid.t -> deadline:int -> Value.t -> Value.t Prog.t) option;
 }
 
 type exchanger_factory = instrument:bool -> oid:Ids.Oid.t -> Conc.Ctx.t -> slot
 
 let concrete ~instrument ~oid ctx =
   let ex = Exchanger.create ~oid ~instrument ~log_history:false ctx in
-  { slot_oid = oid; slot_exchange = Exchanger.exchange_body ex }
+  {
+    slot_oid = oid;
+    slot_exchange = Exchanger.exchange_body ex;
+    slot_exchange_timed = Some (Exchanger.exchange_timed_body ex);
+  }
 
 let concrete_waiting ~wait ~instrument ~oid ctx =
   let ex = Exchanger.create ~oid ~instrument ~log_history:false ~wait ctx in
-  { slot_oid = oid; slot_exchange = Exchanger.exchange_body ex }
+  {
+    slot_oid = oid;
+    slot_exchange = Exchanger.exchange_body ex;
+    slot_exchange_timed = Some (Exchanger.exchange_timed_body ex);
+  }
 
 let abstract ~instrument ~oid ctx =
   let ex = Abstract_exchanger.create ~oid ~instrument ~log_history:false ctx in
-  { slot_oid = oid; slot_exchange = Abstract_exchanger.exchange_body ex }
+  {
+    slot_oid = oid;
+    slot_exchange = Abstract_exchanger.exchange_body ex;
+    slot_exchange_timed = None;
+  }
 
 type t = {
   ar_oid : Ids.Oid.t;
@@ -56,6 +70,21 @@ let exchange_body t ~tid v =
 
 let exchange t ~tid v =
   let body = exchange_body t ~tid v in
+  if t.log_history then
+    Harness.call t.ctx ~tid ~oid:t.ar_oid ~fid:Spec_exchanger.fid_exchange ~arg:v body
+  else body
+
+let exchange_timed_body t ~tid ~deadline v =
+  let* slot = pick_slot t in
+  match t.slots.(slot).slot_exchange_timed with
+  | Some f -> f ~tid ~deadline v
+  | None ->
+      invalid_arg
+        (Fmt.str "Elim_array: slot %a does not support timed exchange"
+           Ids.Oid.pp t.slots.(slot).slot_oid)
+
+let exchange_timed t ~tid ~deadline v =
+  let body = exchange_timed_body t ~tid ~deadline v in
   if t.log_history then
     Harness.call t.ctx ~tid ~oid:t.ar_oid ~fid:Spec_exchanger.fid_exchange ~arg:v body
   else body

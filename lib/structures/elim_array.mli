@@ -18,10 +18,14 @@ type slot_strategy =
           exploration, every slot is tried (replaces [random(0,K-1)]) *)
   | Seeded of Conc.Rng.t  (** deterministic pseudo-random slot choice *)
 
-(** One slot of the array: an object name plus an exchange method. *)
+(** One slot of the array: an object name plus an exchange method and,
+    when the underlying exchanger supports deadlines, a timed variant. *)
 type slot = {
   slot_oid : Cal.Ids.Oid.t;
   slot_exchange : tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t;
+  slot_exchange_timed :
+    (tid:Cal.Ids.Tid.t -> deadline:int -> Cal.Value.t -> Cal.Value.t Conc.Prog.t)
+    option;
 }
 
 type exchanger_factory = instrument:bool -> oid:Cal.Ids.Oid.t -> Conc.Ctx.t -> slot
@@ -55,6 +59,15 @@ val oid : t -> Cal.Ids.Oid.t
 val size : t -> int
 val exchange : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
 val exchange_body : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+
+val exchange_timed :
+  t -> tid:Cal.Ids.Tid.t -> deadline:int -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+(** Timed exchange on a scheduler-chosen slot (see
+    {!Exchanger.exchange_timed}). Raises [Invalid_argument] when the chosen
+    slot's factory provides no timed variant ({!abstract} does not). *)
+
+val exchange_timed_body :
+  t -> tid:Cal.Ids.Tid.t -> deadline:int -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
 
 val spec : t -> Cal.Spec.t
 (** The exchanger specification, instantiated at the array's own [oid]. *)

@@ -36,13 +36,16 @@ let oid t = t.es_oid
 let stack t = t.stack
 let elim_array t = t.ar
 
-(* Graceful degradation: each operation counts its consecutive failed
-   rendezvous; once the count reaches [degrade_after] the operation stops
-   visiting the elimination layer and retries on the central stack alone
-   (pausing under the backoff policy, if any, so it does not convoy).
-   The counter is per-operation, so a single stuck rendezvous partner
-   cannot poison later operations. *)
-type round_state = { mutable misses : int; pause : unit -> unit Prog.t }
+(* Graceful degradation, expressed on deadlines: [degrade_after] is a
+   logical-time budget for the operation's elimination phase. The first
+   degraded check — evaluated when the operation's first central-stack
+   round fails — arms a deadline [degrade_after] ticks ahead on the
+   operation's perceived clock (Ctx.local_now); once it passes, the
+   operation stops visiting the elimination layer and retries on the
+   central stack alone (pausing under the backoff policy, if any, so it
+   does not convoy). The deadline is per-operation, so a single stuck
+   rendezvous partner cannot poison later operations. *)
+type round_state = { mutable deadline : int option; pause : unit -> unit Prog.t }
 
 let round_state t =
   let pause =
@@ -50,10 +53,18 @@ let round_state t =
     | None -> fun () -> Prog.return ()
     | Some b -> fun () -> Backoff.pause b
   in
-  { misses = 0; pause }
+  { deadline = None; pause }
 
-let degraded t rs =
-  match t.degrade_after with None -> false | Some k -> rs.misses >= k
+let degraded t ~tid rs =
+  match t.degrade_after with
+  | None -> false
+  | Some budget -> (
+      let now = Ctx.local_now t.ctx ~tid in
+      match rs.deadline with
+      | None ->
+          rs.deadline <- Some (now + budget);
+          false
+      | Some d -> now >= d)
 
 (* Fig. 2 lines 29–37 (with lines 33–36 skipped once degraded). *)
 let push_body t ~tid v =
@@ -61,18 +72,16 @@ let push_body t ~tid v =
   Prog.repeat_until (fun () ->
       let* b = Treiber_stack.push_body t.stack ~tid v in
       if Value.to_bool b then Prog.return (Some (Value.bool true))
-      else if degraded t rs then
+      else if degraded t ~tid rs then
         let* () = rs.pause () in
         Prog.return None
       else
         let* r = Elim_array.exchange_body t.ar ~tid v in
         let _, d = Value.to_pair r in
         if Value.equal d pop_sentinel then Prog.return (Some (Value.bool true))
-        else begin
-          rs.misses <- rs.misses + 1;
+        else
           let* () = rs.pause () in
-          Prog.return None
-        end)
+          Prog.return None)
 
 (* Fig. 2 lines 38–47 (same degradation discipline). *)
 let pop_body t ~tid =
@@ -81,18 +90,16 @@ let pop_body t ~tid =
       let* r = Treiber_stack.pop_body t.stack ~tid in
       let b, v = Value.to_pair r in
       if Value.to_bool b then Prog.return (Some (Value.ok v))
-      else if degraded t rs then
+      else if degraded t ~tid rs then
         let* () = rs.pause () in
         Prog.return None
       else
         let* r = Elim_array.exchange_body t.ar ~tid pop_sentinel in
         let _, v = Value.to_pair r in
         if not (Value.equal v pop_sentinel) then Prog.return (Some (Value.ok v))
-        else begin
-          rs.misses <- rs.misses + 1;
+        else
           let* () = rs.pause () in
-          Prog.return None
-        end)
+          Prog.return None)
 
 let wrap t ~tid ~fid ~arg body =
   if t.log_history then Harness.call t.ctx ~tid ~oid:t.es_oid ~fid ~arg body else body

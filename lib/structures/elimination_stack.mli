@@ -47,12 +47,14 @@ val create :
     Robustness knobs (both default off, leaving behaviour unchanged):
     [backoff] pauses each operation between retry rounds under a
     deterministic bounded-exponential policy (see {!Backoff}).
-    [degrade_after] is the graceful-degradation threshold [k]: after [k]
-    consecutive failed rendezvous an operation stops visiting the
-    elimination layer and retries on the central stack alone, so a
-    faulty or crashed elimination partner degrades throughput instead of
-    livelocking the operation. Raises [Invalid_argument] if
-    [degrade_after <= 0]. *)
+    [degrade_after] is the graceful-degradation budget, in logical-clock
+    ticks (see {!Conc.Ctx.now}): when an operation's first central-stack
+    round fails, a deadline [degrade_after] ticks ahead is armed on the
+    operation's perceived clock; once it passes, the operation stops
+    visiting the elimination layer and retries on the central stack
+    alone, so a faulty or crashed elimination partner degrades throughput
+    instead of livelocking the operation. The deadline is per-operation.
+    Raises [Invalid_argument] if [degrade_after <= 0]. *)
 
 val oid : t -> Cal.Ids.Oid.t
 val stack : t -> Treiber_stack.t

@@ -2,7 +2,11 @@ open Cal
 open Conc
 open Prog.Infix
 
-type hole_state = Hole_empty | Hole_matched of offer | Hole_failed
+type hole_state =
+  | Hole_empty
+  | Hole_matched of offer
+  | Hole_failed
+  | Hole_cancelled
 
 and offer = {
   uid : int;
@@ -22,15 +26,22 @@ type t = {
   next_uid : int ref;
 }
 
-let create ?(oid = Ids.Oid.v "E") ?(instrument = true) ?(log_history = true) ?(wait = 1)
+let create ?(oid = Ids.Oid.v "E") ?(instrument = true) ?(log_history = true) ?wait
     ?backoff ctx =
+  (match (wait, backoff) with
+  | Some _, Some _ ->
+      invalid_arg
+        "Exchanger.create: ~wait and ~backoff are mutually exclusive (the \
+         pairing window is either fixed or drawn from the policy)"
+  | Some w, None when w < 0 -> invalid_arg "Exchanger.create: wait must be >= 0"
+  | _ -> ());
   {
     xc_oid = oid;
     ctx;
     g = ref None;
     instrument;
     log_history;
-    wait;
+    wait = Option.value ~default:1 wait;
     backoff;
     next_uid = ref 0;
   }
@@ -45,7 +56,8 @@ type offer_view = {
   v_uid : int;
   v_owner : Ids.Tid.t;
   v_data : Value.t;
-  v_hole : [ `Empty | `Matched of int * Ids.Tid.t * Value.t | `Failed ];
+  v_hole :
+    [ `Empty | `Matched of int * Ids.Tid.t * Value.t | `Failed | `Cancelled ];
 }
 
 let view_of_offer (o : offer) =
@@ -57,7 +69,8 @@ let view_of_offer (o : offer) =
       (match !(o.hole) with
       | Hole_empty -> `Empty
       | Hole_matched m -> `Matched (m.uid, m.owner, m.data)
-      | Hole_failed -> `Failed);
+      | Hole_failed -> `Failed
+      | Hole_cancelled -> `Cancelled);
   }
 
 let peek_g t = Option.map view_of_offer !(t.g)
@@ -149,7 +162,8 @@ let exchange_body ?probe t ~tid v =
                 n.hole := Hole_failed;
                 Prog.return `No_partner
             | Hole_matched m -> Prog.return (`Swapped m)
-            | Hole_failed -> assert false (* only the owner writes the sentinel *))
+            | Hole_failed | Hole_cancelled ->
+                assert false (* only the owner writes the sentinels *))
       in
       (match outcome with
       | `No_partner ->
@@ -181,7 +195,8 @@ let exchange_body ?probe t ~tid v =
                     cur.hole := Hole_matched n;
                     log_swap t ~waiter:(cur.owner, cur.data) ~active:(tid, v);
                     Prog.return true
-                | Hole_matched _ | Hole_failed -> Prog.return false)
+                | Hole_matched _ | Hole_failed | Hole_cancelled ->
+                    Prog.return false)
               ~on_fault:(fun () -> Prog.return false)
           in
           (* line 30 of the proof outline *)
@@ -200,12 +215,134 @@ let exchange_body ?probe t ~tid v =
           if s then Prog.return (Value.ok cur.data) (* line 33 *)
           else fail_return t ~tid v (* line 35 *))
 
+let log_timeout t tid v =
+  if t.instrument then
+    Ctx.log_element t.ctx (Spec_exchanger.timeout ~oid:t.xc_oid tid v)
+
+(* Timed exchange — java.util.concurrent.Exchanger.exchange(x, timeout),
+   expressed against the logical clock. [deadline] is in the {e perceived}
+   time of [tid] (Ctx.local_now, so a Fault.Delay makes it fire early).
+   Each round installs the offer and POLLS the hole for [wait] ticks: the
+   waiter stays enabled, its own steps advance the clock, and a solo
+   thread still times out — the HSY collision-slot discipline rather than
+   blocking. An unmatched round withdraws the offer by CASing the hole to
+   the cancelled sentinel; the CAS is fallible (a forced failure behaves
+   as losing the race to a matching partner), but the cancel-acknowledge
+   read that follows a lost cancel is not — a matched hole is stable, only
+   the owner writes the sentinels. *)
+let exchange_timed_body t ~tid ~deadline v =
+  let now () = Ctx.local_now t.ctx ~tid in
+  let rec attempt () =
+    (* loop head doubles as the timeout return (its own CA-element: a
+       timed-out exchange overlapped with nobody that mattered) *)
+    Prog.atomically ~label:("deadline-check" ^ loc t) (fun () ->
+        if now () >= deadline then begin
+          log_timeout t tid v;
+          Prog.return (Value.timeout v)
+        end
+        else install_or_help ())
+  and install_or_help () =
+    let* result =
+      Prog.fallible ~label:("init-cas" ^ loc t)
+        (fun () ->
+          match !(t.g) with
+          | None ->
+              let uid = !(t.next_uid) in
+              incr t.next_uid;
+              let n = { uid; owner = tid; data = v; hole = ref Hole_empty } in
+              t.g := Some n;
+              Prog.return (`Installed (n, min (now () + t.wait) deadline))
+          | Some _ -> Prog.return `Occupied)
+        ~on_fault:(fun () -> Prog.return `Occupied)
+    in
+    match result with
+    | `Installed (n, pair_until) -> wait_for_partner n pair_until
+    | `Occupied -> (
+        let* cur = Prog.read t.g in
+        match cur with
+        | None -> attempt () (* slot emptied under us: retry or time out *)
+        | Some cur -> help cur)
+  and wait_for_partner n pair_until =
+    Prog.poll
+      ~label:("pair-poll" ^ loc t)
+      ~expired:(fun () -> now () >= pair_until)
+      ~on_timeout:(fun () -> cancel n)
+      (fun () ->
+        match !(n.hole) with
+        | Hole_matched m -> Some (Prog.return (Value.ok m.data))
+        | _ -> None)
+  and cancel n =
+    let* r =
+      Prog.fallible ~label:("cancel-cas" ^ loc t)
+        (fun () ->
+          match !(n.hole) with
+          | Hole_empty ->
+              n.hole := Hole_cancelled;
+              Prog.return `Cancelled
+          | Hole_matched m -> Prog.return (`Matched m)
+          | Hole_failed | Hole_cancelled ->
+              assert false (* only the owner writes the sentinels *))
+        ~on_fault:(fun () -> Prog.return `Lost)
+    in
+    match r with
+    | `Matched m ->
+        (* lost the race: a partner matched first, take its value *)
+        Prog.return (Value.ok m.data)
+    | `Cancelled ->
+        (* withdraw the cancelled offer from g, then retry or time out *)
+        let* () =
+          Prog.fallible ~label:("clean-cas" ^ loc t)
+            (fun () ->
+              (match !(t.g) with Some o when o == n -> t.g := None | _ -> ());
+              Prog.return ())
+            ~on_fault:(fun () -> Prog.return ())
+        in
+        attempt ()
+    | `Lost -> ack n
+  and ack n =
+    (* cancel-acknowledge: a plain read, deliberately NOT fallible. If the
+       cancel CAS genuinely lost, the hole is matched and stable; if the
+       forced failure was spurious (hole still empty) we retry the cancel. *)
+    let* st = Prog.atomic ~label:("cancel-ack" ^ loc t) (fun () -> !(n.hole)) in
+    match st with
+    | Hole_matched m -> Prog.return (Value.ok m.data)
+    | Hole_empty -> cancel n
+    | Hole_failed | Hole_cancelled -> assert false
+  and help cur =
+    let* s =
+      Prog.fallible ~label:("xchg-cas" ^ loc t)
+        (fun () ->
+          match !(cur.hole) with
+          | Hole_empty ->
+              let uid = !(t.next_uid) in
+              incr t.next_uid;
+              let n = { uid; owner = tid; data = v; hole = ref Hole_empty } in
+              cur.hole := Hole_matched n;
+              log_swap t ~waiter:(cur.owner, cur.data) ~active:(tid, v);
+              Prog.return true
+          | Hole_matched _ | Hole_failed | Hole_cancelled -> Prog.return false)
+        ~on_fault:(fun () -> Prog.return false)
+    in
+    let* () =
+      Prog.fallible ~label:("clean-cas" ^ loc t)
+        (fun () ->
+          (match !(t.g) with Some o when o == cur -> t.g := None | _ -> ());
+          Prog.return ())
+        ~on_fault:(fun () -> Prog.return ())
+    in
+    if s then Prog.return (Value.ok cur.data) else attempt ()
+  in
+  attempt ()
+
 let wrap t ~tid ~arg body =
   if t.log_history then
     Harness.call t.ctx ~tid ~oid:t.xc_oid ~fid:Spec_exchanger.fid_exchange ~arg body
   else body
 
 let exchange t ~tid v = wrap t ~tid ~arg:v (exchange_body t ~tid v)
+
+let exchange_timed t ~tid ~deadline v =
+  wrap t ~tid ~arg:v (exchange_timed_body t ~tid ~deadline v)
 
 let exchange_annotated t ~tid ~probe v =
   wrap t ~tid ~arg:v (exchange_body ~probe t ~tid v)

@@ -20,6 +20,8 @@ type hole_state =
   | Hole_empty              (** null: the offer is unsatisfied *)
   | Hole_matched of offer   (** a partner installed its offer *)
   | Hole_failed             (** the fail sentinel: owner gave up *)
+  | Hole_cancelled          (** the cancel sentinel: a timed owner
+                                withdrew the offer on deadline expiry *)
 
 and offer = {
   uid : int;                (** unique id, for state snapshots *)
@@ -44,12 +46,15 @@ val create :
     turn it off when the exchanger is encapsulated inside another object
     (§2's ownership discipline: sub-object interactions are internal).
     [wait] (default [1]) is the number of scheduling points an installed
-    offer waits before giving up — the paper's [sleep(50)]. Keep it small
-    for exhaustive exploration; raise it in throughput simulations so the
-    pairing window is realistic. When [backoff] is given, the waiting
-    window is drawn from the policy instead of being the fixed [wait]
-    (see {!Backoff}): contended exchangers then adapt their pairing
-    window instead of convoying.
+    offer waits before giving up — the paper's [sleep(50)]; it must be
+    [>= 0]. Keep it small for exhaustive exploration; raise it in
+    throughput simulations so the pairing window is realistic. When
+    [backoff] is given, the waiting window is drawn from the policy
+    instead of being the fixed [wait] (see {!Backoff}): contended
+    exchangers then adapt their pairing window instead of convoying.
+    Passing both [~wait] and [~backoff] raises [Invalid_argument]: the
+    two prescribe contradictory pairing windows and silently preferring
+    one of them invites misconfigured experiments.
 
     Fault model: the [init-cas], [xchg-cas] and [clean-cas] steps are
     {!Conc.Prog.fallible} — a {!Conc.Fault.Fail_step} plan can force each
@@ -68,13 +73,40 @@ val exchange_body : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Pr
 (** The method body without interface logging, for use by containing
     objects. *)
 
+val exchange_timed :
+  t -> tid:Cal.Ids.Tid.t -> deadline:int -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+(** [exchange_timed t ~tid ~deadline v] is the timed exchange —
+    [java.util.concurrent.Exchanger.exchange(x, timeout)]. [deadline] is
+    an absolute logical-clock value in [tid]'s {e perceived} time
+    ({!Conc.Ctx.local_now}; a {!Conc.Fault.Delay} makes it expire early).
+    Until the deadline, the thread repeatedly installs its offer and polls
+    the hole for [wait] ticks (staying enabled, so even a solo thread's
+    clock advances); an unmatched round CASes the hole to {!Hole_cancelled}
+    and withdraws the offer. Returns [(true, v')] on a swap and
+    [("timeout", v)] — with the singleton timeout CA-element logged — on
+    expiry; it never returns the untimed [(false, v)] shape.
+
+    Fault model: [init-cas], [xchg-cas], [clean-cas] and [cancel-cas] are
+    fallible; a forced [cancel-cas] failure behaves as losing the race to
+    a matching partner, after which the cancel-{e acknowledge} read is not
+    fallible (a matched hole is stable — only the owner writes the
+    sentinels). *)
+
+val exchange_timed_body :
+  t -> tid:Cal.Ids.Tid.t -> deadline:int -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+(** {!exchange_timed} without interface logging. *)
+
 (** {1 State inspection (for the rely/guarantee checker)} *)
 
 type offer_view = {
   v_uid : int;
   v_owner : Cal.Ids.Tid.t;
   v_data : Cal.Value.t;
-  v_hole : [ `Empty | `Matched of int * Cal.Ids.Tid.t * Cal.Value.t | `Failed ];
+  v_hole :
+    [ `Empty
+    | `Matched of int * Cal.Ids.Tid.t * Cal.Value.t
+    | `Failed
+    | `Cancelled ];
 }
 
 val peek_g : t -> offer_view option

@@ -58,6 +58,54 @@ let attempt_loop t ~tid ~offer ~decide ~give_up =
   in
   go t.attempts
 
+(* Deadline-bounded retry: instead of a fixed attempt count, keep
+   exchanging until [tid]'s perceived clock passes [deadline]. Each round
+   costs at least the exchange's own steps, so even a solo thread drives
+   its clock to the deadline and gives up. *)
+let timed_loop t ~tid ~deadline ~offer ~decide ~give_up =
+  let now () = Ctx.local_now t.ctx ~tid in
+  let rec go () =
+    Prog.atomically ~label:"sq-deadline" (fun () ->
+        if now () >= deadline then begin
+          let elem, ret = give_up () in
+          log_elem t elem;
+          Prog.return ret
+        end
+        else
+          let* r = Exchanger.exchange_body t.ex ~tid offer in
+          let ok, partner = Value.to_pair r in
+          if Value.to_bool ok then
+            match decide partner with
+            | Some result -> Prog.return result
+            | None -> go ()
+          else go ())
+  in
+  go ()
+
+let put_timed t ~tid ~deadline v =
+  let body =
+    timed_loop t ~tid ~deadline ~offer:(tag_put v)
+      ~decide:(fun partner ->
+        if Value.equal partner take_token then Some (Value.bool true) else None)
+      ~give_up:(fun () ->
+        (Spec_sync_queue.put_timeout ~oid:t.sq_oid tid v, Value.timeout v))
+  in
+  if t.log_history then
+    Harness.call t.ctx ~tid ~oid:t.sq_oid ~fid:Spec_sync_queue.fid_put ~arg:v body
+  else body
+
+let take_timed t ~tid ~deadline =
+  let body =
+    timed_loop t ~tid ~deadline ~offer:take_token
+      ~decide:(fun partner -> Option.map Value.ok (untag_put partner))
+      ~give_up:(fun () ->
+        (Spec_sync_queue.take_timeout ~oid:t.sq_oid tid, Value.timeout Value.unit))
+  in
+  if t.log_history then
+    Harness.call t.ctx ~tid ~oid:t.sq_oid ~fid:Spec_sync_queue.fid_take
+      ~arg:Value.unit body
+  else body
+
 let put t ~tid v =
   let body =
     attempt_loop t ~tid ~offer:(tag_put v)

@@ -36,5 +36,15 @@ val put : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
 val take : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
 (** Returns [(true, v)] on a rendezvous, [(false, 0)] otherwise. *)
 
+val put_timed :
+  t -> tid:Cal.Ids.Tid.t -> deadline:int -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+(** Deadline-bounded [put]: retries exchanges until [tid]'s perceived
+    logical clock ({!Conc.Ctx.local_now}) passes [deadline], then logs the
+    singleton put-timeout CA-element and returns [("timeout", v)]. *)
+
+val take_timed :
+  t -> tid:Cal.Ids.Tid.t -> deadline:int -> Cal.Value.t Conc.Prog.t
+(** Deadline-bounded [take]; gives up with [("timeout", ())]. *)
+
 val spec : t -> Cal.Spec.t
 val view : t -> Cal.View.t

@@ -87,7 +87,7 @@ let actions ~oid : state Rg.action list =
                          [
                            Spec_exchanger.swap ~oid o.v_owner o.v_data tid partner_data;
                          ]
-              | `Empty | `Failed -> false)
+              | `Empty | `Failed | `Cancelled -> false)
           | _ -> false);
     };
     {
@@ -123,6 +123,7 @@ let pp_state ppf s =
       (match o.v_hole with
       | `Empty -> "null"
       | `Failed -> "fail"
+      | `Cancelled -> "cancel"
       | `Matched (u, _, _) -> Fmt.str "#%d" u)
   in
   Fmt.pf ppf "g=%a, |T_E|=%d" (Fmt.option ~none:(Fmt.any "null") pp_offer) s.g

@@ -120,14 +120,53 @@ let collect ~setup ~fuel ?max_runs ?preemption_bound ~check () =
 let check_object ~setup ~spec ~view ~fuel ?max_runs ?preemption_bound () =
   collect ~setup ~fuel ?max_runs ?preemption_bound ~check:(check_outcome ~spec ~view) ()
 
-let check_object_with_faults ~setup ~spec ~view ~fuel ?max_runs ?preemption_bound
-    ?max_plans ~fault_bound () =
+let check_object_with_faults ?delay_factors ~setup ~spec ~view ~fuel ?max_runs
+    ?preemption_bound ?max_plans ~fault_bound () =
   let f, report = collector (check_outcome ~spec ~view) in
   let stats =
-    Conc.Explore.exhaustive_with_faults ~setup ~fuel ?max_runs ?preemption_bound
-      ?max_plans ~fault_bound ~f ()
+    Conc.Explore.exhaustive_with_faults ?delay_factors ~setup ~fuel ?max_runs
+      ?preemption_bound ?max_plans ~fault_bound ~f ()
   in
   report (stats.Conc.Explore.fault_truncated)
+
+(* The liveness obligation (watchdog): on every fair schedule the object
+   either finishes or genuinely blocks. A livelocked run — incomplete at
+   fuel, decisions still enabled, no thread starved — is a problem; starved
+   runs are excused (the schedule was unfair) and deadlocks are the
+   blocking structures' legitimate behaviour. *)
+let liveness_report ~fuel ~window (stats : Conc.Explore.liveness_stats) =
+  let problems =
+    List.map
+      (fun (schedule, plan) ->
+        {
+          schedule;
+          plan;
+          message =
+            Fmt.str
+              "liveness obligation: livelock — incomplete at fuel %d with \
+               enabled decisions and no thread starved (window %d)"
+              fuel window;
+        })
+      stats.Conc.Explore.livelocks
+  in
+  {
+    runs = stats.Conc.Explore.live_runs;
+    complete_runs = stats.Conc.Explore.live_completed;
+    problems;
+    truncated = stats.Conc.Explore.live_truncated;
+  }
+
+let check_liveness ?plan ~setup ~fuel ~window ?max_runs ?preemption_bound () =
+  liveness_report ~fuel ~window
+    (Conc.Explore.liveness ?plan ~setup ~fuel ~window ?max_runs ?preemption_bound ())
+
+let check_liveness_with_faults ?delay_factors ~setup ~fuel ~window ?max_runs
+    ?preemption_bound ?max_plans ~fault_bound () =
+  let _plans, stats =
+    Conc.Explore.liveness_with_faults ?delay_factors ~setup ~fuel ~window
+      ?max_runs ?preemption_bound ?max_plans ~fault_bound ()
+  in
+  liveness_report ~fuel ~window stats
 
 let check_black_box ~setup ~spec ~fuel ?max_runs ?preemption_bound () =
   let check (outcome : Conc.Runner.outcome) =

@@ -55,6 +55,7 @@ val check_object :
     outcome. *)
 
 val check_object_with_faults :
+  ?delay_factors:int list ->
   setup:(Conc.Ctx.t -> Conc.Runner.program) ->
   spec:Cal.Spec.t ->
   view:Cal.View.t ->
@@ -74,7 +75,43 @@ val check_object_with_faults :
     crash-tolerant completion construction. Failing runs report the fault
     plan alongside the schedule, so they replay byte-for-byte via
     [Conc.Runner.replay ~plan schedule]. [truncated] is set when
-    [max_plans] cut enumeration short. *)
+    [max_plans] cut enumeration short. [delay_factors] additionally
+    proposes clock-skew {!Conc.Fault.Delay} candidates (see
+    {!Conc.Explore.exhaustive_with_faults}). *)
+
+val check_liveness :
+  ?plan:Conc.Fault.plan ->
+  setup:(Conc.Ctx.t -> Conc.Runner.program) ->
+  fuel:int ->
+  window:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  unit ->
+  report
+(** The liveness obligation, via {!Conc.Explore.liveness}: every maximal
+    run is classified by the bounded-fairness watchdog, and each
+    {e livelocked} run — incomplete at [fuel], decisions still enabled, no
+    thread left enabled-but-unscheduled for [window] consecutive
+    decisions — becomes a problem (with its witness schedule and plan).
+    Starved runs are excused as scheduler unfairness; deadlocks are the
+    legitimate blocking behaviour of timed/blocking structures.
+    [complete_runs] counts the runs in which every thread returned. *)
+
+val check_liveness_with_faults :
+  ?delay_factors:int list ->
+  setup:(Conc.Ctx.t -> Conc.Runner.program) ->
+  fuel:int ->
+  window:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  ?max_plans:int ->
+  fault_bound:int ->
+  unit ->
+  report
+(** {!check_liveness} over the fault sweep
+    ({!Conc.Explore.liveness_with_faults}): no fault plan of at most
+    [fault_bound] faults — crashes, forced CAS failures, clock delays —
+    may drive the object into a fair non-terminating spin. *)
 
 val check_black_box :
   setup:(Conc.Ctx.t -> Conc.Runner.program) ->

@@ -39,7 +39,8 @@ let check_probe ~oid ~ctx ~t0 (p : Exchanger.probe_point) =
               if assertion_b ~oid ~t0 ~te ~waiter:(tid, v) ~active:(partner, pdata)
               then Ok ()
               else Error "matched offer without the corresponding swap in TE|tid"
-          | `Failed -> Error "own offer failed before the PASS cas")
+          | `Failed -> Error "own offer failed before the PASS cas"
+          | `Cancelled -> Error "own offer cancelled in the untimed protocol")
       | None -> Error "no own offer at init-installed")
   | "pass-no-partner" -> (
       (* the wait failed: hole = fail, operation still unlogged *)

@@ -9,6 +9,8 @@ type result = {
   sim_time : float;
   ops_completed : int;
   ops_succeeded : int;
+  ops_timed_out : int;
+  ops_cancelled : int;
   retries : int;
   ops_crashed : int;
   throughput : float;
@@ -70,17 +72,39 @@ let forever body =
   (* the loop never returns; give it an unreachable result type *)
   loop () >>= fun () -> Prog.return Value.unit
 
-let count completed succeeded result =
+type counters = {
+  completed : int ref;
+  succeeded : int ref;
+  timed_out : int ref;
+  cancelled : int ref;
+}
+
+let count cs result =
   Prog.atomic ~label:"count" (fun () ->
-      incr completed;
+      incr cs.completed;
       (match result with
-      | `Success -> incr succeeded
+      | `Success -> incr cs.succeeded
+      | `Timeout -> incr cs.timed_out
+      | `Cancelled -> incr cs.cancelled
       | `Failure -> ());
       ())
 
+(* Operation results follow the library-wide value conventions: [ok]/[fail]
+   pairs, the [timeout]/[cancelled] tags of timed operations, or a bare
+   boolean. *)
+let classify v =
+  if Value.is_timeout v then `Timeout
+  else if Value.is_cancelled v then `Cancelled
+  else
+    match v with
+    | Value.Bool b | Value.Pair (Value.Bool b, _) ->
+        if b then `Success else `Failure
+    | _ -> `Failure
+
 let measure ?(plan = []) ~threads ~fuel ~seed ~setup () =
-  let completed = ref 0 in
-  let succeeded = ref 0 in
+  let counters =
+    { completed = ref 0; succeeded = ref 0; timed_out = ref 0; cancelled = ref 0 }
+  in
   let retries = ref 0 in
   let model = Cost_model.create () in
   (* "backoff" steps are exactly the failed-attempt pauses, so their count
@@ -92,7 +116,7 @@ let measure ?(plan = []) ~threads ~fuel ~seed ~setup () =
   let outcome =
     Runner.run_random ~plan
       ~setup:(fun ctx ->
-        let program = setup ctx ~completed ~succeeded in
+        let program = setup ctx ~counters in
         { program with Runner.on_label = Some charge })
       ~fuel
       ~rng:(Rng.create ~seed)
@@ -109,15 +133,18 @@ let measure ?(plan = []) ~threads ~fuel ~seed ~setup () =
     threads;
     steps = outcome.Runner.steps;
     sim_time;
-    ops_completed = !completed;
-    ops_succeeded = !succeeded;
+    ops_completed = !(counters.completed);
+    ops_succeeded = !(counters.succeeded);
+    ops_timed_out = !(counters.timed_out);
+    ops_cancelled = !(counters.cancelled);
     retries = !retries;
     ops_crashed;
     throughput =
-      (if sim_time = 0. then 0. else 1000. *. float_of_int !completed /. sim_time);
+      (if sim_time = 0. then 0.
+       else 1000. *. float_of_int !(counters.completed) /. sim_time);
   }
 
-let stack_setup ~impl ~threads ~seed ctx ~completed ~succeeded =
+let stack_setup ~impl ~threads ~seed ctx ~counters =
   let push, pop =
     match impl with
     | Treiber_retry ->
@@ -142,9 +169,9 @@ let stack_setup ~impl ~threads ~seed ctx ~completed ~succeeded =
           let tid = Ids.Tid.of_int i in
           forever (fun () ->
               let* _ = push ~tid (Value.int i) in
-              let* () = count completed succeeded `Success in
+              let* () = count counters `Success in
               let* _ = pop ~tid in
-              count completed succeeded `Success));
+              count counters `Success));
     observe = None;
     on_label = None;
   }
@@ -166,7 +193,7 @@ let stack_fault_sweep ~impl ~threads ~crashes ~fuel ~seed =
   measure ~plan ~threads ~fuel ~seed ~setup:(stack_setup ~impl ~threads ~seed) ()
 
 let exchanger_success_rate ~threads ~rounds ~fuel ~seed =
-  let setup ctx ~completed ~succeeded =
+  let setup ctx ~counters =
     let ex = Exchanger.create ~instrument:false ~log_history:false ~wait:8 ctx in
     {
       Runner.threads =
@@ -178,8 +205,7 @@ let exchanger_success_rate ~threads ~rounds ~fuel ~seed =
                 let* r = Exchanger.exchange_body ex ~tid (Value.int i) in
                 let ok, _ = Value.to_pair r in
                 let* () =
-                  count completed succeeded
-                    (if Value.to_bool ok then `Success else `Failure)
+                  count counters (if Value.to_bool ok then `Success else `Failure)
                 in
                 go (k - 1)
             in
@@ -190,9 +216,32 @@ let exchanger_success_rate ~threads ~rounds ~fuel ~seed =
   in
   measure ~threads ~fuel ~seed ~setup ()
 
+(* Each round arms a fresh absolute deadline on the thread's perceived
+   clock, so a round either swaps or times out — no thread is ever stuck. *)
+let exchanger_timed_rate ?(plan = []) ~threads ~deadline ~fuel ~seed () =
+  if deadline < 1 then invalid_arg "Metrics.exchanger_timed_rate: deadline < 1";
+  let setup ctx ~counters =
+    let ex = Exchanger.create ~instrument:false ~log_history:false ~wait:8 ctx in
+    {
+      Runner.threads =
+        Array.init threads (fun i ->
+            let tid = Ids.Tid.of_int i in
+            forever (fun () ->
+                let* d =
+                  Prog.atomic ~label:"arm-deadline" (fun () ->
+                      Ctx.local_now ctx ~tid + deadline)
+                in
+                let* r = Exchanger.exchange_timed_body ex ~tid ~deadline:d (Value.int i) in
+                count counters (classify r)));
+      observe = None;
+      on_label = None;
+    }
+  in
+  measure ~plan ~threads ~fuel ~seed ~setup ()
+
 let sync_queue_handoffs ~producers ~consumers ~rounds ~fuel ~seed =
   let threads = producers + consumers in
-  let setup ctx ~completed ~succeeded =
+  let setup ctx ~counters =
     let q = Sync_queue.create ~instrument:false ~log_history:false ~wait:8 ctx in
     {
       Runner.threads =
@@ -211,9 +260,7 @@ let sync_queue_handoffs ~producers ~consumers ~rounds ~fuel ~seed =
                   | Value.Pair (Value.Bool b, _) -> b
                   | _ -> false
                 in
-                let* () =
-                  count completed succeeded (if success then `Success else `Failure)
-                in
+                let* () = count counters (if success then `Success else `Failure) in
                 go (k - 1)
             in
             go rounds);
@@ -224,6 +271,8 @@ let sync_queue_handoffs ~producers ~consumers ~rounds ~fuel ~seed =
   measure ~threads ~fuel ~seed ~setup ()
 
 let pp_result ppf r =
-  Fmt.pf ppf "threads=%d steps=%d ops=%d ok=%d retries=%d crashed=%d throughput=%.2f/1k-steps"
-    r.threads r.steps r.ops_completed r.ops_succeeded r.retries r.ops_crashed
-    r.throughput
+  Fmt.pf ppf
+    "threads=%d steps=%d ops=%d ok=%d timeout=%d cancel=%d retries=%d crashed=%d \
+     throughput=%.2f/1k-steps"
+    r.threads r.steps r.ops_completed r.ops_succeeded r.ops_timed_out
+    r.ops_cancelled r.retries r.ops_crashed r.throughput

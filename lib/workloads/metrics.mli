@@ -18,6 +18,8 @@ type result = {
   sim_time : float;       (** simulated time with contention costs *)
   ops_completed : int;    (** responses observed *)
   ops_succeeded : int;    (** operations whose result reports success *)
+  ops_timed_out : int;    (** operations returning a [Value.timeout] result *)
+  ops_cancelled : int;    (** operations returning a [Value.cancelled] result *)
   retries : int;          (** backoff pauses taken (failed attempts retried) *)
   ops_crashed : int;      (** threads crashed by the run's fault plan *)
   throughput : float;     (** completed operations per 1000 simulated time units *)
@@ -46,6 +48,22 @@ val exchanger_success_rate :
 (** Each thread performs [rounds] exchanges; [ops_succeeded] counts the
     exchanges that found a partner. Success rates rise with the thread
     count — the concurrency-{e aware} behaviour. *)
+
+val exchanger_timed_rate :
+  ?plan:Conc.Fault.plan ->
+  threads:int ->
+  deadline:int ->
+  fuel:int ->
+  seed:int64 ->
+  unit ->
+  result
+(** Each thread loops {!Structures.Exchanger.exchange_timed_body} forever,
+    arming a fresh deadline [deadline] ticks ahead on its perceived clock
+    each round, so every round ends in a swap ([ops_succeeded]) or a
+    timeout ([ops_timed_out]) — never a stuck thread. Swap rates rise with
+    the thread count and with [deadline]; a {!Conc.Fault.Delay} in [plan]
+    makes the delayed thread's deadlines fire early, depressing its swap
+    rate. Raises [Invalid_argument] if [deadline < 1]. *)
 
 val sync_queue_handoffs :
   producers:int -> consumers:int -> rounds:int -> fuel:int -> seed:int64 -> result

@@ -63,6 +63,30 @@ let exchanger_trio () =
     expect_ok = true;
   }
 
+let exchanger_timed_pair ?(deadline = 4) () =
+  {
+    name = "exchanger-timed-pair";
+    description =
+      Fmt.str
+        "two threads exchange under deadline %d on the logical clock: every \
+         run ends in a swap or in Timeout CA-elements"
+        deadline;
+    threads = 2;
+    setup =
+      (fun ctx ->
+        let ex = Exchanger.create ~wait:1 ctx in
+        no_observe
+          [|
+            Exchanger.exchange_timed ex ~tid:(tid 0) ~deadline (Value.int 3);
+            Exchanger.exchange_timed ex ~tid:(tid 1) ~deadline (Value.int 4);
+          |]);
+    spec = Spec_exchanger.spec ();
+    view = View.identity;
+    fuel = 60;
+    bound = None;
+    expect_ok = true;
+  }
+
 let exchanger_abstract_pair () =
   {
     name = "exchanger-abstract-pair";
@@ -477,6 +501,7 @@ let all () =
   [
     exchanger_pair ();
     exchanger_trio ();
+    exchanger_timed_pair ();
     exchanger_abstract_pair ();
     elim_array_pair ~k:1;
     elim_array_pair ~k:2;

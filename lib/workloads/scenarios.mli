@@ -30,6 +30,12 @@ val exchanger_pair : unit -> t
 val exchanger_trio : unit -> t
 (** The paper's program [P] (Fig. 3): [exchg(3) ‖ exchg(4) ‖ exchg(7)]. *)
 
+val exchanger_timed_pair : ?deadline:int -> unit -> t
+(** Two threads exchanging under an absolute logical-clock [deadline]
+    (default 4): exhaustive exploration finds both swap schedules and
+    timeout schedules, and the extended exchanger specification accepts
+    both. *)
+
 val exchanger_abstract_pair : unit -> t
 (** Two threads against the specification-driven exchanger. *)
 

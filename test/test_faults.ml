@@ -154,6 +154,50 @@ let test_lin_crashed_mode () =
     (Lin_checker.is_linearizable ~crashed:[ tid 0 ] ~spec h);
   check_bool "lin crashed=[]" true (Lin_checker.is_linearizable ~crashed:[] ~spec h)
 
+(* Regression: in crashed mode a pending operation of a NON-crashed thread
+   must be completed, never silently dropped. The library's own operations
+   are all total — every one now admits a failure, timeout or cancelled
+   singleton, so their pending invocations always complete — which is
+   exactly how a buggy "drop anything pending" completion would go
+   unnoticed. Pin the semantics with a minimal one-shot token object whose
+   only operation, take() => ok(()), succeeds exactly once and has no
+   failure answer: once the token is gone, a pending take can neither
+   complete nor (in crashed mode, for a live thread) be dropped. *)
+let token_oid = Ids.Oid.v "TOK"
+let fid_take = Ids.Fid.v "take"
+
+let token_spec =
+  Spec.make ~name:"token" ~owns:(Ids.Oid.equal token_oid) ~max_element_size:1
+    ~init:true
+    ~step:(fun have el ->
+      match Ca_trace.element_ops el with
+      | [ (o : Op.t) ]
+        when Ids.Fid.equal o.fid fid_take
+             && Value.equal o.ret (Value.ok Value.unit) ->
+          if have then Some false else None
+      | _ -> None)
+    ~key:string_of_bool
+    ~candidates:(fun _ ~universe:_ _ -> [ Value.ok Value.unit ])
+    ()
+
+let test_crashed_mode_rejects_dropping_live_pending () =
+  let inv t = Action.inv ~tid:(tid t) ~oid:token_oid ~fid:fid_take Value.unit in
+  let res t = Action.res ~tid:(tid t) ~oid:token_oid ~fid:fid_take (Value.ok Value.unit) in
+  (* t2 consumed the token; t1's take, invoked afterwards, is pending *)
+  let h = History.of_list [ inv 2; res 2; inv 1 ] in
+  check_bool "cal default: drops the pending take" true
+    (Cal_checker.is_cal ~spec:token_spec h);
+  check_bool "lin default: drops the pending take" true
+    (Lin_checker.is_linearizable ~spec:token_spec h);
+  check_bool "cal crashed=[]: live pending take must complete — rejected" false
+    (Cal_checker.is_cal ~crashed:[] ~spec:token_spec h);
+  check_bool "lin crashed=[]: live pending take must complete — rejected" false
+    (Lin_checker.is_linearizable ~crashed:[] ~spec:token_spec h);
+  check_bool "cal crashed=[t1]: crashed pending take may vanish" true
+    (Cal_checker.is_cal ~crashed:[ tid 1 ] ~spec:token_spec h);
+  check_bool "lin crashed=[t1]: crashed pending take may vanish" true
+    (Lin_checker.is_linearizable ~crashed:[ tid 1 ] ~spec:token_spec h)
+
 (* ------------------------------------------------- forced CAS failure -- *)
 
 (* Force the first INIT CAS down its failure branch: the forced thread
@@ -394,6 +438,8 @@ let () =
           t "crash after init can pair" test_crash_after_init_can_still_pair;
           t "crashed mode restricts drops" test_crashed_mode_restricts_drops;
           t "lin crashed mode" test_lin_crashed_mode;
+          t "crashed mode rejects dropping live pending"
+            test_crashed_mode_rejects_dropping_live_pending;
         ] );
       ( "forced failures",
         [

@@ -253,6 +253,77 @@ let test_abstract_exchanger_behaviours () =
   check_bool "swap behaviour" true !swapped;
   check_bool "fail behaviour" true !failed
 
+(* ------------------------------------------------------------ backoff -- *)
+
+(* Run [starts] successive backoff loops of [n] pauses each on one policy
+   (single-threaded, so the schedule is unique) and return the draw
+   sequences: for each start, the pause lengths in yields. The recorder is
+   reset in [setup] — exploration replays the program once per extension —
+   and only the complete run's groups are kept. *)
+let backoff_draws ~seed ~init ~max ~n ~starts =
+  let groups = ref [] in
+  let record label =
+    if label = "start-mark" then groups := [] :: !groups
+    else if label = "backoff" then
+      (match !groups with
+      | g :: rest -> groups := (0 :: g) :: rest
+      | [] -> ())
+    else if label = "yield" then
+      match !groups with
+      | (k :: g) :: rest -> groups := ((k + 1) :: g) :: rest
+      | _ -> ()
+  in
+  let setup _ctx =
+    groups := [];
+    let pol = Backoff.policy ~init ~max ~seed () in
+    let one_start () =
+      Prog.atomic ~label:"start-mark" (fun () -> Backoff.start pol) >>= fun b ->
+      let rec go i =
+        if i = 0 then Prog.return () else Backoff.pause b >>= fun () -> go (i - 1)
+      in
+      go n
+    in
+    let rec loop s =
+      if s = 0 then Prog.return Value.unit
+      else one_start () >>= fun () -> loop (s - 1)
+    in
+    { Runner.threads = [| loop starts |]; observe = None; on_label = Some record }
+  in
+  let complete = ref [] in
+  let _ =
+    Explore.exhaustive ~setup ~fuel:10_000 ~f:(fun _ -> complete := !groups) ()
+  in
+  List.rev_map List.rev !complete
+
+let test_backoff_equal_seeds_equal_draws =
+  qtest ~count:25 "equal seeds give equal backoff draw sequences" QCheck.small_int
+    (fun s ->
+      let seed = Int64.of_int s in
+      let run () = backoff_draws ~seed ~init:1 ~max:8 ~n:10 ~starts:1 in
+      run () = run ())
+
+let test_backoff_draws_respect_cap =
+  qtest ~count:25 "backoff draws stay within the doubling window"
+    QCheck.small_int (fun s ->
+      let seed = Int64.of_int s in
+      let max = 4 in
+      match backoff_draws ~seed ~init:1 ~max ~n:8 ~starts:1 with
+      | [ draws ] ->
+          List.for_all2
+            (fun i k -> k >= 0 && k <= min (1 lsl i) max)
+            (List.init (List.length draws) Fun.id)
+            draws
+      | _ -> false)
+
+let test_backoff_decorrelation () =
+  (* distinct starts from one policy (distinct operations / tids) jitter
+     apart; distinct policy seeds likewise *)
+  (match backoff_draws ~seed:5L ~init:1 ~max:16 ~n:12 ~starts:2 with
+  | [ a; b ] -> check_bool "distinct starts decorrelate" true (a <> b)
+  | _ -> check_bool "two groups" true false);
+  let one seed = backoff_draws ~seed ~init:1 ~max:16 ~n:12 ~starts:1 in
+  check_bool "distinct seeds decorrelate" true (one 5L <> one 6L)
+
 let test_faulty_counter_misbehaves () =
   let s = Workloads.Scenarios.faulty_counter () in
   let bad_trace = ref false in
@@ -289,6 +360,12 @@ let () =
         [
           t "counter concurrent" test_counter_concurrent;
           t "register last write wins" test_register_last_write_wins;
+        ] );
+      ( "backoff",
+        [
+          test_backoff_equal_seeds_equal_draws;
+          test_backoff_draws_respect_cap;
+          t "decorrelation" test_backoff_decorrelation;
         ] );
       ("faulty", [ t "counter misbehaves" test_faulty_counter_misbehaves ]);
     ]
