@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-faults bench-smoke ci clean
+.PHONY: all build test cross-check bench bench-faults bench-smoke ci clean
 
 all: build
 
@@ -8,10 +8,16 @@ build:
 test:
 	dune runtest
 
+# Verdict cross-check: the whole suite must pass identically with the
+# exploration pruning kill switch set (fingerprint/sleep-set pruning off).
+cross-check:
+	CAL_EXPLORE_NO_PRUNE=1 dune runtest --force
+
 bench:
 	dune exec bench/main.exe -- quick
 
-# Regenerate BENCH_faults.json and BENCH_timeouts.json at full fuel.
+# Regenerate BENCH_faults.json, BENCH_timeouts.json and BENCH_explore.json
+# at full fuel.
 bench-faults:
 	dune exec bench/main.exe -- faults
 
@@ -19,7 +25,7 @@ bench-faults:
 bench-smoke:
 	dune exec bench/main.exe -- smoke
 
-ci: build test
+ci: build test cross-check
 
 clean:
 	dune clean

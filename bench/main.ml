@@ -10,9 +10,9 @@
 
    Run: dune exec bench/main.exe            (everything)
         dune exec bench/main.exe -- quick   (fewer samples)
-        dune exec bench/main.exe -- faults  (only B10/B11, full fuel,
+        dune exec bench/main.exe -- faults  (only B10-B12, full fuel,
                                              regenerates BENCH_*.json)
-        dune exec bench/main.exe -- smoke   (only B10/B11, low fuel — CI) *)
+        dune exec bench/main.exe -- smoke   (only B10-B12, low fuel — CI) *)
 
 open Bechamel
 open Toolkit
@@ -378,6 +378,106 @@ let figure_timeouts () =
   close_out oc;
   Fmt.pr "# rows written to BENCH_timeouts.json@."
 
+(* B12 — exploration engine cost: the same bounded state spaces explored by
+   the seed's whole-prefix-replay engine, the incremental engine, and the
+   incremental engine with fingerprint/sleep-set pruning, across a
+   fuel × preemption-bound grid. The headline column is steps-executed:
+   the replay engine re-runs the whole prefix at every DFS node
+   (O(nodes × depth)); the incremental engine pays one step per tree edge
+   plus a single prefix replay per backtrack (O(runs × depth)). Identical
+   run counts between the two unpruned engines are asserted here — the
+   speedup must not change what is explored. Results land in
+   BENCH_explore.json. *)
+let figure_explore () =
+  let scenarios =
+    [ S.exchanger_pair (); S.elim_stack_push_pop ~k:1 () ]
+  in
+  let fuels = if quick then [ 8; 12 ] else [ 8; 12; 16 ] in
+  let bounds = [ Some 2; None ] in
+  Fmt.pr "@.# B12: exploration engine cost (steps executed, replay vs incremental)@.";
+  Fmt.pr "%-26s %5s %6s %-18s %8s %10s %10s %8s@." "scenario" "fuel" "bound"
+    "engine" "runs" "nodes" "steps" "ms";
+  let rows =
+    List.concat_map
+      (fun (s : S.t) ->
+        List.concat_map
+          (fun fuel ->
+            List.concat_map
+              (fun bound ->
+                let cost engine =
+                  let t0 = Sys.time () in
+                  let c =
+                    Workloads.Metrics.explore_cost ~engine ~setup:s.setup ~fuel
+                      ?preemption_bound:bound ()
+                  in
+                  (c, (Sys.time () -. t0) *. 1000.)
+                in
+                let replay, replay_ms = cost `Replay in
+                let incr_, incr_ms = cost `Incremental in
+                let pruned, pruned_ms = cost `Pruned in
+                if replay.explored_runs <> incr_.explored_runs then
+                  Fmt.failwith
+                    "B12: engine mismatch on %s fuel=%d: replay %d runs vs \
+                     incremental %d"
+                    s.name fuel replay.explored_runs incr_.explored_runs;
+                let bound_str =
+                  match bound with None -> "-" | Some b -> string_of_int b
+                in
+                List.iter
+                  (fun ((c : Workloads.Metrics.explore_cost), ms) ->
+                    Fmt.pr "%-26s %5d %6s %-18s %8d %10d %10d %8.1f@." s.name
+                      fuel bound_str c.engine c.explored_runs c.nodes
+                      c.steps_executed ms)
+                  [ (replay, replay_ms); (incr_, incr_ms); (pruned, pruned_ms) ];
+                Fmt.pr "%-26s %5d %6s %-18s %8s %10s %9.1fx@." s.name fuel
+                  bound_str "(steps ratio)" "" ""
+                  (float_of_int replay.steps_executed
+                  /. float_of_int (max 1 incr_.steps_executed));
+                List.map
+                  (fun ((c : Workloads.Metrics.explore_cost), ms) ->
+                    (s.S.name, fuel, bound, c, ms))
+                  [ (replay, replay_ms); (incr_, incr_ms); (pruned, pruned_ms) ])
+              bounds)
+          fuels)
+      scenarios
+  in
+  let max_fuel = List.fold_left max 0 fuels in
+  List.iter
+    (fun (s : S.t) ->
+      let steps engine =
+        List.find_map
+          (fun (n, f, b, (c : Workloads.Metrics.explore_cost), _) ->
+            if n = s.S.name && f = max_fuel && b = None && c.engine = engine
+            then Some c.steps_executed
+            else None)
+          rows
+        |> Option.value ~default:1
+      in
+      let replay = steps "replay" in
+      Fmt.pr
+        "# %-26s fuel=%d: %5.1fx fewer steps incremental, %5.1fx with pruning@."
+        s.name max_fuel
+        (float_of_int replay /. float_of_int (max 1 (steps "incremental")))
+        (float_of_int replay /. float_of_int (max 1 (steps "incremental+prune"))))
+    scenarios;
+  let oc = open_out "BENCH_explore.json" in
+  let json_row (name, fuel, bound, (c : Workloads.Metrics.explore_cost), ms) =
+    Printf.sprintf
+      "    {\"scenario\": %S, \"fuel\": %d, \"preemption_bound\": %s, \
+       \"engine\": %S, \"runs\": %d, \"nodes\": %d, \"steps_executed\": %d, \
+       \"replayed_steps\": %d, \"fingerprint_hits\": %d, \"sleep_pruned\": %d, \
+       \"wall_ms\": %.3f}"
+      name fuel
+      (match bound with None -> "null" | Some b -> string_of_int b)
+      c.engine c.explored_runs c.nodes c.steps_executed c.replayed_steps
+      c.fingerprint_hits c.sleep_pruned ms
+  in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"explore_engines\",\n  \"rows\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map json_row rows));
+  close_out oc;
+  Fmt.pr "# rows written to BENCH_explore.json@."
+
 (* B9 — bug preemption depth (iterative context bounding) for the faulty
    objects: how few context switches expose each bug. *)
 let figure_bug_depth () =
@@ -417,6 +517,7 @@ let () =
         (if mode = `Smoke then "smoke" else "faults");
       figure_fault_sweep ();
       figure_timeouts ();
+      figure_explore ();
       Fmt.pr "@.done.@."
   | `Full ->
       Fmt.pr "== CAL benchmark harness%s ==@." (if quick then " (quick)" else "");
@@ -426,6 +527,7 @@ let () =
       figure_sync_queue ();
       figure_fault_sweep ();
       figure_timeouts ();
+      figure_explore ();
       figure_verification_cost ();
       figure_bug_depth ();
       Fmt.pr "@.done.@."

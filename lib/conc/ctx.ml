@@ -1,5 +1,6 @@
 type t = {
   mutable history_rev : Cal.Action.t list;
+  mutable hist_len : int;
   mutable trace_rev : Cal.Ca_trace.element list;
   mutable trace_len : int;
   mutable clock : int;
@@ -7,9 +8,20 @@ type t = {
 }
 
 let create () =
-  { history_rev = []; trace_rev = []; trace_len = 0; clock = 0; skew = [] }
+  {
+    history_rev = [];
+    hist_len = 0;
+    trace_rev = [];
+    trace_len = 0;
+    clock = 0;
+    skew = [];
+  }
 
-let log_action t a = t.history_rev <- a :: t.history_rev
+let log_action t a =
+  t.history_rev <- a :: t.history_rev;
+  t.hist_len <- t.hist_len + 1
+
+let history_length t = t.hist_len
 let now t = t.clock
 let tick t = t.clock <- t.clock + 1
 

@@ -26,6 +26,10 @@ val trace : t -> Cal.Ca_trace.t
 
 val trace_length : t -> int
 
+val history_length : t -> int
+(** Number of actions logged so far (cheaper than materialising
+    {!history}; used by the exploration engine's state fingerprints). *)
+
 val now : t -> int
 (** The logical clock: the number of scheduling decisions applied so far in
     this run. Advanced by the runner (never by programs), so a replayed

@@ -1,11 +1,204 @@
-type stats = { runs : int; truncated : bool; max_steps : int }
+type stats = {
+  runs : int;
+  truncated : bool;
+  max_steps : int;
+  nodes : int;
+  replayed_steps : int;
+  fingerprint_hits : int;
+  sleep_pruned : int;
+}
+
+let empty_stats =
+  {
+    runs = 0;
+    truncated = false;
+    max_steps = 0;
+    nodes = 0;
+    replayed_steps = 0;
+    fingerprint_hits = 0;
+    sleep_pruned = 0;
+  }
 
 exception Stop
 
-let exhaustive ?(plan = []) ~setup ~fuel ?max_runs ?preemption_bound ~f () =
-  let runs = ref 0 in
-  let truncated = ref false in
-  let max_steps = ref 0 in
+(* ------------------------------------------------- pruning controls --- *)
+
+let env_flag v =
+  match Sys.getenv_opt v with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false
+
+(* Pruning is an opt-in underapproximation of the run {e set} (it must
+   preserve verdicts, not run counts), so the default is off; callers opt
+   in per call ([~prune:true]) or globally (CAL_EXPLORE_PRUNE=1). The
+   cross-check mode CAL_EXPLORE_NO_PRUNE=1 force-disables pruning even for
+   explicit opt-ins: a pruned and an unpruned pass must reach identical
+   verdicts. *)
+let pruning_requested prune =
+  if env_flag "CAL_EXPLORE_NO_PRUNE" then false
+  else match prune with Some p -> p | None -> env_flag "CAL_EXPLORE_PRUNE"
+
+(* Commutation heuristic for sleep sets, from the step labels: two steps
+   commute when they touch distinct contended locations (the "…@loc" label
+   convention of the structures) or when either is a pure yield. Steps
+   without a location tag are conservatively treated as dependent. *)
+let loc_of label =
+  match String.index_opt label '@' with
+  | Some i -> Some (String.sub label i (String.length label - i))
+  | None -> None
+
+let commutes l1 l2 =
+  l1 = "yield" || l2 = "yield"
+  ||
+  match (loc_of l1, loc_of l2) with Some a, Some b -> a <> b | _ -> false
+
+let independent ((d1 : Runner.decision), l1) ((d2 : Runner.decision), l2) =
+  d1.thread <> d2.thread && commutes l1 l2
+
+(* --------------------------------------------- incremental DFS engine -- *)
+
+(* One engine under every checker. The DFS keeps a single live execution
+   and descends by {!Runner.step} — O(1) per tree edge. Backtracking to a
+   sibling re-establishes the branch point with one prefix replay (the
+   shared heap the program mutates cannot be checkpointed, so it is
+   rebuilt by re-execution): the total work is O(runs × depth) program
+   steps, against O(nodes × depth) for the seed's whole-prefix-replay
+   engine. Per-path checker state (the liveness idle counters) is threaded
+   through [step_path]/[leaf] as immutable values cloned on branch.
+
+   With [prune] set, two reductions apply, both counted in the stats:
+   - fingerprint memoization: a node whose {!Runner.fingerprint} was
+     already visited is cut off (its subtree was explored from the
+     equivalent state);
+   - sleep sets: after exploring sibling [d1], the decision [d1] is put to
+     sleep inside the later siblings' subtrees and skipped there until a
+     dependent (non-commuting) step wakes it — the classic partial-order
+     argument that exploring [d1;d2] and [d2;d1] twice is redundant when
+     the two steps commute. *)
+let dfs ~plan ~setup ~fuel ?max_runs ?preemption_bound ~prune ~init_path
+    ~step_path ~leaf () =
+  let exec = ref (Runner.start ~plan ~setup ()) in
+  let runs = ref 0 and truncated = ref false and max_steps = ref 0 in
+  let nodes = ref 0 and replayed = ref 0 in
+  let fp_hits = ref 0 and slept = ref 0 in
+  let memo : (string, unit) Hashtbl.t = Hashtbl.create 512 in
+  let within_budget used =
+    match preemption_bound with None -> true | Some b -> used <= b
+  in
+  let deliver frontier path =
+    let o = Runner.outcome !exec in
+    leaf o frontier path;
+    incr runs;
+    if o.Runner.steps > !max_steps then max_steps := o.Runner.steps;
+    match max_runs with
+    | Some m when !runs >= m ->
+        truncated := true;
+        raise Stop
+    | _ -> ()
+  in
+  (* Position the execution at the node reached by [prefix_rev]: free while
+     descending along the spine; one fresh prefix replay after returning
+     from an earlier sibling's subtree. *)
+  let ensure_at depth prefix_rev =
+    if Runner.steps_done !exec <> depth then begin
+      let e = Runner.start ~plan ~setup () in
+      List.iter (fun d -> ignore (Runner.step e d)) (List.rev prefix_rev);
+      replayed := !replayed + depth;
+      exec := e
+    end
+  in
+  let rec node ~prefix_rev ~depth ~last ~preemptions ~sleep ~path =
+    incr nodes;
+    let frontier = Runner.frontier !exec in
+    if frontier = [] || depth >= fuel then deliver frontier path
+    else begin
+      let pruned_here =
+        prune
+        &&
+        let fp = Runner.fingerprint !exec in
+        if Hashtbl.mem memo fp then true
+        else begin
+          Hashtbl.add memo fp ();
+          false
+        end
+      in
+      if pruned_here then incr fp_hits
+      else begin
+        let labelled =
+          List.map
+            (fun (d : Runner.decision) ->
+              (d, Option.value ~default:"" (Runner.head_label !exec d.thread)))
+            frontier
+        in
+        let last_enabled =
+          List.exists (fun (d : Runner.decision) -> Some d.thread = last) frontier
+        in
+        let explored = ref [] in
+        List.iter
+          (fun ((d : Runner.decision), l) ->
+            let cost =
+              if last_enabled && Some d.thread <> last then preemptions + 1
+              else preemptions
+            in
+            if within_budget cost then begin
+              if
+                prune
+                && List.exists
+                     (fun ((s : Runner.decision), _) ->
+                       s.thread = d.thread && s.branch = d.branch)
+                     sleep
+              then incr slept
+              else begin
+                ensure_at depth prefix_rev;
+                let path' = step_path path frontier d in
+                ignore (Runner.step !exec d);
+                let sleep' =
+                  if prune then
+                    List.filter
+                      (fun s -> independent s (d, l))
+                      (sleep @ List.rev !explored)
+                  else []
+                in
+                node ~prefix_rev:(d :: prefix_rev) ~depth:(depth + 1)
+                  ~last:(Some d.thread) ~preemptions:cost ~sleep:sleep'
+                  ~path:path';
+                explored := (d, l) :: !explored
+              end
+            end)
+          labelled
+      end
+    end
+  in
+  (try
+     node ~prefix_rev:[] ~depth:0 ~last:None ~preemptions:0 ~sleep:[]
+       ~path:init_path
+   with Stop -> ());
+  {
+    runs = !runs;
+    truncated = !truncated;
+    max_steps = !max_steps;
+    nodes = !nodes;
+    replayed_steps = !replayed;
+    fingerprint_hits = !fp_hits;
+    sleep_pruned = !slept;
+  }
+
+let exhaustive ?(plan = []) ?prune ~setup ~fuel ?max_runs ?preemption_bound ~f
+    () =
+  dfs ~plan ~setup ~fuel ?max_runs ?preemption_bound
+    ~prune:(pruning_requested prune) ~init_path:()
+    ~step_path:(fun () _ _ -> ())
+    ~leaf:(fun o _ () -> f o)
+    ()
+
+(* The seed's stateless engine — a whole-prefix replay at every DFS node —
+   kept as the reference implementation for cross-checks and the B12
+   before/after comparison. [replayed_steps] counts every program step it
+   executes. *)
+let exhaustive_via_replay ?(plan = []) ~setup ~fuel ?max_runs ?preemption_bound
+    ~f () =
+  let runs = ref 0 and truncated = ref false and max_steps = ref 0 in
+  let nodes = ref 0 and replayed = ref 0 in
   let deliver outcome =
     f outcome;
     incr runs;
@@ -16,10 +209,12 @@ let exhaustive ?(plan = []) ~setup ~fuel ?max_runs ?preemption_bound ~f () =
         raise Stop
     | _ -> ()
   in
-  let within_budget used = match preemption_bound with None -> true | Some b -> used <= b in
-  (* [last] is the thread that took the previous step; switching away from
-     it while it is still enabled costs one preemption. *)
+  let within_budget used =
+    match preemption_bound with None -> true | Some b -> used <= b
+  in
   let rec explore prefix ~last ~preemptions =
+    incr nodes;
+    replayed := !replayed + List.length prefix;
     let outcome, frontier = Runner.replay ~plan ~setup prefix in
     if frontier = [] || outcome.Runner.steps >= fuel then deliver outcome
     else begin
@@ -38,7 +233,15 @@ let exhaustive ?(plan = []) ~setup ~fuel ?max_runs ?preemption_bound ~f () =
     end
   in
   (try explore [] ~last:None ~preemptions:0 with Stop -> ());
-  { runs = !runs; truncated = !truncated; max_steps = !max_steps }
+  {
+    runs = !runs;
+    truncated = !truncated;
+    max_steps = !max_steps;
+    nodes = !nodes;
+    replayed_steps = !replayed;
+    fingerprint_hits = 0;
+    sleep_pruned = 0;
+  }
 
 let random ~setup ~fuel ~runs ~seed ~f () =
   let rng = Rng.create ~seed in
@@ -48,9 +251,9 @@ let random ~setup ~fuel ~runs ~seed ~f () =
     if outcome.Runner.steps > !max_steps then max_steps := outcome.Runner.steps;
     f outcome
   done;
-  { runs; truncated = false; max_steps = !max_steps }
+  { empty_stats with runs; max_steps = !max_steps }
 
-let check_all ?plan ~setup ~fuel ?max_runs ?preemption_bound ~p () =
+let check_all ?plan ?prune ~setup ~fuel ?max_runs ?preemption_bound ~p () =
   let bad = ref None in
   let wrapped outcome =
     if !bad = None && not (p outcome) then begin
@@ -58,10 +261,14 @@ let check_all ?plan ~setup ~fuel ?max_runs ?preemption_bound ~p () =
       raise Stop
     end
   in
-  let stats = exhaustive ?plan ~setup ~fuel ?max_runs ?preemption_bound ~f:wrapped () in
-  match !bad with
-  | None -> Ok stats
-  | Some o -> Error (o, { stats with truncated = true })
+  let stats =
+    exhaustive ?plan ?prune ~setup ~fuel ?max_runs ?preemption_bound ~f:wrapped
+      ()
+  in
+  (* [truncated] means the budget capped the search, nothing else: a
+     counterexample stop is reported by the [Error] constructor alone, so
+     callers can tell an exhausted-but-failing search from a capped one. *)
+  match !bad with None -> Ok stats | Some o -> Error (o, stats)
 
 (* Iterative context bounding doubles as counterexample minimisation: the
    first bound at which a violation appears is the bug's preemption depth,
@@ -74,7 +281,7 @@ let failure_depth ~setup ~fuel ?(max_bound = 8) ?max_runs ~p () =
       | Error (outcome, _) -> `Fails_at (bound, outcome)
       | Ok stats -> go (bound + 1) stats
   in
-  go 0 { runs = 0; truncated = false; max_steps = 0 }
+  go 0 empty_stats
 
 (* ------------------------------------------------- fault exploration -- *)
 
@@ -83,16 +290,38 @@ type fault_stats = {
   fault_runs : int;
   fault_truncated : bool;
   fault_max_steps : int;
+  fault_nodes : int;
+  fault_replayed_steps : int;
+  fault_fingerprint_hits : int;
+  fault_sleep_pruned : int;
 }
 
-(* Candidate fault points of a bounded program, learned from a fault-free
+let merge_stats a b =
+  {
+    runs = a.runs + b.runs;
+    truncated = a.truncated || b.truncated;
+    max_steps = max a.max_steps b.max_steps;
+    nodes = a.nodes + b.nodes;
+    replayed_steps = a.replayed_steps + b.replayed_steps;
+    fingerprint_hits = a.fingerprint_hits + b.fingerprint_hits;
+    sleep_pruned = a.sleep_pruned + b.sleep_pruned;
+  }
+
+(* Candidate fault points of a bounded program, learned from the fault-free
    exhaustive pass: every (thread, step) pair some schedule reaches is a
    crash (and stall) point, and every fallible label occurrence some
    schedule executes is a forcible CAS failure. The union over all
    schedules is what makes the enumeration complete for the bounded
-   client — a fault point reachable on any interleaving is proposed. *)
-let fault_candidates ?(delay_factors = []) ~setup ~fuel ?max_runs
-    ?preemption_bound () =
+   client — a fault point reachable on any interleaving is proposed. The
+   learner consumes delivered outcomes, so the fault-free pass that feeds
+   it is the same pass that delivers the empty plan's outcomes — the
+   fault-free state space is executed exactly once. *)
+type learner = {
+  learn : Runner.outcome -> unit;
+  candidates : unit -> Fault.t list;
+}
+
+let candidate_learner ?(delay_factors = []) () =
   let thread_max : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let label_max : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let bump tbl key v =
@@ -100,7 +329,7 @@ let fault_candidates ?(delay_factors = []) ~setup ~fuel ?max_runs
     | Some old when old >= v -> ()
     | _ -> Hashtbl.replace tbl key v
   in
-  let f (o : Runner.outcome) =
+  let learn (o : Runner.outcome) =
     let per_thread = Hashtbl.create 8 in
     List.iter
       (fun (d : Runner.decision) ->
@@ -116,73 +345,114 @@ let fault_candidates ?(delay_factors = []) ~setup ~fuel ?max_runs
         bump label_max l n)
       o.Runner.fallible_steps
   in
-  let _ = exhaustive ~setup ~fuel ?max_runs ?preemption_bound ~f () in
-  let crashes =
-    Hashtbl.fold (fun thread steps acc -> (thread, steps) :: acc) thread_max []
-    |> List.sort compare
-    |> List.concat_map (fun (thread, steps) ->
-           List.init steps (fun at_step -> Fault.Crash { thread; at_step }))
+  let candidates () =
+    let crashes =
+      Hashtbl.fold (fun thread steps acc -> (thread, steps) :: acc) thread_max []
+      |> List.sort compare
+      |> List.concat_map (fun (thread, steps) ->
+             List.init steps (fun at_step -> Fault.Crash { thread; at_step }))
+    in
+    let fails =
+      Hashtbl.fold (fun label count acc -> (label, count) :: acc) label_max []
+      |> List.sort compare
+      |> List.concat_map (fun (label, count) ->
+             List.init count (fun i -> Fault.Fail_step { label; nth = i + 1 }))
+    in
+    let delays =
+      Hashtbl.fold (fun thread _ acc -> thread :: acc) thread_max []
+      |> List.sort Int.compare
+      |> List.concat_map (fun thread ->
+             List.map (fun factor -> Fault.Delay { thread; factor }) delay_factors)
+    in
+    crashes @ fails @ delays
   in
-  let fails =
-    Hashtbl.fold (fun label count acc -> (label, count) :: acc) label_max []
-    |> List.sort compare
-    |> List.concat_map (fun (label, count) ->
-           List.init count (fun i -> Fault.Fail_step { label; nth = i + 1 }))
-  in
-  let delays =
-    Hashtbl.fold (fun thread _ acc -> thread :: acc) thread_max []
-    |> List.sort Int.compare
-    |> List.concat_map (fun thread ->
-           List.map (fun factor -> Fault.Delay { thread; factor }) delay_factors)
-  in
-  crashes @ fails @ delays
+  { learn; candidates }
 
-(* Subsets of [candidates] of size 1..bound, smallest first, skipping plans
-   that crash the same thread twice (Fault.validate would reject them). *)
-let plans_up_to ~bound candidates =
-  let compatible plan = Result.is_ok (Fault.validate plan) in
-  let rec subsets k = function
-    | [] -> [ [] ]
+(* Size-k subsets of [xs] in positional (lexicographic) order, lazily. *)
+let rec combinations k xs () =
+  if k = 0 then Seq.Cons ([], Seq.empty)
+  else
+    match xs with
+    | [] -> Seq.Nil
     | x :: rest ->
-        let without = subsets k rest in
-        let with_x =
-          if k = 0 then []
-          else List.map (fun s -> x :: s) (subsets (k - 1) rest)
-        in
-        with_x @ without
-  in
-  subsets bound candidates
-  |> List.filter (fun p -> p <> [] && compatible p)
-  |> List.sort (fun a b -> Int.compare (List.length a) (List.length b))
+        Seq.append
+          (Seq.map (fun s -> x :: s) (combinations (k - 1) rest))
+          (combinations k rest)
+          ()
 
-let exhaustive_with_faults ?delay_factors ~setup ~fuel ?max_runs
+(* Plans of size 1..bound, smallest size first, skipping plans that crash
+   the same thread twice (Fault.validate would reject them). Lazy: a
+   [max_plans] cap stops the enumeration before the exponential subset
+   space is ever materialised. *)
+let plans_up_to ~bound candidates =
+  Seq.concat_map
+    (fun k -> combinations k candidates)
+    (Seq.init (max bound 0) (fun i -> i + 1))
+  |> Seq.filter (fun p -> Result.is_ok (Fault.validate p))
+
+(* Take at most [n] plans, recording whether the enumeration had more. *)
+let cap_plans max_plans seq =
+  match max_plans with
+  | None -> (seq, fun () -> false)
+  | Some n ->
+      let capped = ref false in
+      let rec go n s () =
+        if n <= 0 then begin
+          (match s () with Seq.Nil -> () | Seq.Cons _ -> capped := true);
+          Seq.Nil
+        end
+        else
+          match s () with
+          | Seq.Nil -> Seq.Nil
+          | Seq.Cons (x, rest) -> Seq.Cons (x, go (n - 1) rest)
+      in
+      (go n seq, fun () -> !capped)
+
+let exhaustive_with_faults ?delay_factors ?prune ~setup ~fuel ?max_runs
     ?preemption_bound ?max_plans ~fault_bound ~f () =
   if fault_bound < 0 then invalid_arg "Explore: fault_bound must be >= 0";
-  let candidates =
-    if fault_bound = 0 then []
-    else fault_candidates ?delay_factors ~setup ~fuel ?max_runs ?preemption_bound ()
+  (* The fault-free pass doubles as the candidate learner: its outcomes are
+     the empty plan's outcomes, delivered to [f] as it learns. *)
+  let candidates, free_stats =
+    if fault_bound = 0 then
+      ([], exhaustive ?prune ~setup ~fuel ?max_runs ?preemption_bound ~f ())
+    else begin
+      let learner = candidate_learner ?delay_factors () in
+      let stats =
+        exhaustive ?prune ~setup ~fuel ?max_runs ?preemption_bound
+          ~f:(fun o ->
+            learner.learn o;
+            f o)
+          ()
+      in
+      (learner.candidates (), stats)
+    end
   in
-  let plans = [] :: plans_up_to ~bound:fault_bound candidates in
-  let plans, capped =
-    match max_plans with
-    | Some m when List.length plans > m -> (List.filteri (fun i _ -> i < m) plans, true)
-    | _ -> (plans, false)
+  (* the empty plan was explored above and counts against [max_plans] *)
+  let plan_seq, was_capped =
+    cap_plans
+      (Option.map (fun m -> max 0 (m - 1)) max_plans)
+      (plans_up_to ~bound:fault_bound candidates)
   in
-  let total_runs = ref 0 in
-  let truncated = ref capped in
-  let max_steps = ref 0 in
-  List.iter
+  let nplans = ref 1 in
+  let acc = ref free_stats in
+  Seq.iter
     (fun plan ->
-      let stats = exhaustive ~plan ~setup ~fuel ?max_runs ?preemption_bound ~f () in
-      total_runs := !total_runs + stats.runs;
-      if stats.truncated then truncated := true;
-      if stats.max_steps > !max_steps then max_steps := stats.max_steps)
-    plans;
+      incr nplans;
+      let s =
+        exhaustive ~plan ?prune ~setup ~fuel ?max_runs ?preemption_bound ~f ()
+      in
+      acc := merge_stats !acc s)
+    plan_seq;
   {
-    plans = List.length plans;
-    fault_runs = !total_runs;
-    fault_truncated = !truncated;
-    fault_max_steps = !max_steps;
+    plans = !nplans;
+    fault_runs = !acc.runs;
+    fault_truncated = !acc.truncated || was_capped ();
+    fault_max_steps = !acc.max_steps;
+    fault_nodes = !acc.nodes;
+    fault_replayed_steps = !acc.replayed_steps;
+    fault_fingerprint_hits = !acc.fingerprint_hits;
+    fault_sleep_pruned = !acc.sleep_pruned;
   }
 
 (* ------------------------------------------------- liveness watchdog -- *)
@@ -206,7 +476,10 @@ let enabled_threads frontier =
 
 (* Advance the per-thread idle counters across one decision: a thread that
    was enabled but not chosen grows its stretch; the chosen thread and
-   disabled threads reset. Returns the counters keyed by thread. *)
+   disabled threads reset. Returns the counters keyed by thread. A thread
+   whose stretch ever reached [window] stays in the starving set even if
+   it is scheduled later: the schedule was unfair at some point, which
+   permanently excuses the run (see DESIGN §2.8). *)
 let bump_idle ~window idle enabled chosen starving =
   let idle' =
     List.filter_map
@@ -220,24 +493,28 @@ let bump_idle ~window idle enabled chosen starving =
   in
   (idle', List.sort_uniq Int.compare (newly @ starving))
 
+(* Single pass over the live execution: the frontier before each decision
+   feeds the idle counters, no per-decision prefix replays. *)
 let watchdog ?(plan = []) ~setup ~window sched =
   if window < 1 then invalid_arg "Explore.watchdog: window must be >= 1";
-  let rec go prefix idle starving = function
+  let e = Runner.start ~plan ~setup () in
+  let rec go idle starving = function
     | [] ->
-        let outcome, frontier = Runner.replay ~plan ~setup prefix in
+        let outcome = Runner.outcome e in
         if outcome.Runner.complete then Completed
-        else if frontier = [] then Deadlocked
+        else if Runner.frontier e = [] then Deadlocked
         else if starving <> [] then Starved starving
         else Livelocked
-    | d :: rest ->
-        let _, frontier = Runner.replay ~plan ~setup prefix in
+    | (d : Runner.decision) :: rest ->
         let idle, starving =
-          bump_idle ~window idle (enabled_threads frontier)
-            d.Runner.thread starving
+          bump_idle ~window idle
+            (enabled_threads (Runner.frontier e))
+            d.thread starving
         in
-        go (prefix @ [ d ]) idle starving rest
+        ignore (Runner.step e d);
+        go idle starving rest
   in
-  go [] [] [] sched
+  go [] [] sched
 
 type liveness_stats = {
   live_runs : int;
@@ -249,111 +526,89 @@ type liveness_stats = {
   live_truncated : bool;
 }
 
-let liveness ?(plan = []) ~setup ~fuel ~window ?max_runs ?preemption_bound () =
+(* The incremental DFS with the watchdog's idle counters as the per-path
+   state: every maximal run is classified in the single pass that explores
+   it. [on_outcome] additionally observes every delivered outcome (the
+   fault sweep hooks the candidate learner in here). Pruning is disabled:
+   the idle counters are path state the fingerprints do not cover. *)
+let liveness_core ?(plan = []) ~setup ~fuel ~window ?max_runs ?preemption_bound
+    ?(on_outcome = fun _ -> ()) () =
   if window < 1 then invalid_arg "Explore.liveness: window must be >= 1";
-  let runs = ref 0 in
-  let completed = ref 0 in
-  let deadlocked = ref 0 in
-  let starved = ref 0 in
-  let livelocked = ref 0 in
+  let completed = ref 0 and deadlocked = ref 0 in
+  let starved = ref 0 and livelocked = ref 0 in
   let witnesses = ref [] in
-  let truncated = ref false in
-  let deliver (outcome : Runner.outcome) frontier starving =
-    incr runs;
-    if outcome.Runner.complete then incr completed
+  let leaf (o : Runner.outcome) frontier (_, starving) =
+    on_outcome o;
+    if o.Runner.complete then incr completed
     else if frontier = [] then incr deadlocked
     else if starving <> [] then incr starved
     else begin
       incr livelocked;
       if List.length !witnesses < 10 then
-        witnesses := (outcome.Runner.schedule, plan) :: !witnesses
-    end;
-    match max_runs with
-    | Some m when !runs >= m ->
-        truncated := true;
-        raise Stop
-    | _ -> ()
-  in
-  let within_budget used =
-    match preemption_bound with None -> true | Some b -> used <= b
-  in
-  let rec explore prefix ~last ~preemptions ~idle ~starving =
-    let outcome, frontier = Runner.replay ~plan ~setup prefix in
-    if frontier = [] || outcome.Runner.steps >= fuel then
-      deliver outcome frontier starving
-    else begin
-      let enabled = enabled_threads frontier in
-      let last_enabled = List.exists (fun t -> Some t = last) enabled in
-      List.iter
-        (fun (d : Runner.decision) ->
-          let cost =
-            if last_enabled && Some d.thread <> last then preemptions + 1
-            else preemptions
-          in
-          if within_budget cost then begin
-            let idle', starving' =
-              bump_idle ~window idle enabled d.thread starving
-            in
-            explore (prefix @ [ d ]) ~last:(Some d.thread) ~preemptions:cost
-              ~idle:idle' ~starving:starving'
-          end)
-        frontier
+        witnesses := (o.Runner.schedule, plan) :: !witnesses
     end
   in
-  (try explore [] ~last:None ~preemptions:0 ~idle:[] ~starving:[]
-   with Stop -> ());
+  let step_path (idle, starving) frontier (d : Runner.decision) =
+    bump_idle ~window idle (enabled_threads frontier) d.thread starving
+  in
+  let stats =
+    dfs ~plan ~setup ~fuel ?max_runs ?preemption_bound ~prune:false
+      ~init_path:([], []) ~step_path ~leaf ()
+  in
   {
-    live_runs = !runs;
+    live_runs = stats.runs;
     live_completed = !completed;
     live_deadlocked = !deadlocked;
     live_starved = !starved;
     live_livelocked = !livelocked;
     livelocks = List.rev !witnesses;
-    live_truncated = !truncated;
+    live_truncated = stats.truncated;
+  }
+
+let liveness ?plan ~setup ~fuel ~window ?max_runs ?preemption_bound () =
+  liveness_core ?plan ~setup ~fuel ~window ?max_runs ?preemption_bound ()
+
+let merge_liveness a b =
+  {
+    live_runs = a.live_runs + b.live_runs;
+    live_completed = a.live_completed + b.live_completed;
+    live_deadlocked = a.live_deadlocked + b.live_deadlocked;
+    live_starved = a.live_starved + b.live_starved;
+    live_livelocked = a.live_livelocked + b.live_livelocked;
+    livelocks =
+      (let room = 10 - List.length a.livelocks in
+       a.livelocks @ List.filteri (fun i _ -> i < room) b.livelocks);
+    live_truncated = a.live_truncated || b.live_truncated;
   }
 
 (* The watchdog over the fault sweep: classify every run of every plan of
    at most [fault_bound] faults (the plan enumeration of
-   [exhaustive_with_faults]). Returns the number of plans explored and the
-   merged stats; crashed and stalled threads are never enabled, so their
+   [exhaustive_with_faults]). The fault-free classification pass doubles
+   as the candidate learner, so the fault-free state space is executed
+   once. Crashed and stalled threads are never enabled, so their
    non-termination classifies as deadlock, not livelock. *)
 let liveness_with_faults ?delay_factors ~setup ~fuel ~window ?max_runs
     ?preemption_bound ?max_plans ~fault_bound () =
   if fault_bound < 0 then invalid_arg "Explore: fault_bound must be >= 0";
-  let candidates =
-    if fault_bound = 0 then []
-    else fault_candidates ?delay_factors ~setup ~fuel ?max_runs ?preemption_bound ()
+  let learner = candidate_learner ?delay_factors () in
+  let free =
+    liveness_core ~setup ~fuel ~window ?max_runs ?preemption_bound
+      ~on_outcome:learner.learn ()
   in
-  let plans = [] :: plans_up_to ~bound:fault_bound candidates in
-  let plans, capped =
-    match max_plans with
-    | Some m when List.length plans > m -> (List.filteri (fun i _ -> i < m) plans, true)
-    | _ -> (plans, false)
+  let candidates = if fault_bound = 0 then [] else learner.candidates () in
+  let plan_seq, was_capped =
+    cap_plans
+      (Option.map (fun m -> max 0 (m - 1)) max_plans)
+      (plans_up_to ~bound:fault_bound candidates)
   in
+  let nplans = ref 1 in
   let merged =
-    List.fold_left
+    Seq.fold_left
       (fun acc plan ->
-        let s = liveness ~plan ~setup ~fuel ~window ?max_runs ?preemption_bound () in
-        {
-          live_runs = acc.live_runs + s.live_runs;
-          live_completed = acc.live_completed + s.live_completed;
-          live_deadlocked = acc.live_deadlocked + s.live_deadlocked;
-          live_starved = acc.live_starved + s.live_starved;
-          live_livelocked = acc.live_livelocked + s.live_livelocked;
-          livelocks =
-            (let room = 10 - List.length acc.livelocks in
-             acc.livelocks @ List.filteri (fun i _ -> i < room) s.livelocks);
-          live_truncated = acc.live_truncated || s.live_truncated;
-        })
-      {
-        live_runs = 0;
-        live_completed = 0;
-        live_deadlocked = 0;
-        live_starved = 0;
-        live_livelocked = 0;
-        livelocks = [];
-        live_truncated = capped;
-      }
-      plans
+        incr nplans;
+        merge_liveness acc
+          (liveness_core ~plan ~setup ~fuel ~window ?max_runs ?preemption_bound
+             ()))
+      free plan_seq
   in
-  (List.length plans, merged)
+  (!nplans, { merged with live_truncated = merged.live_truncated || was_capped () })

@@ -4,16 +4,46 @@
     program (stateless model checking by replay): the paper's claims are
     checked over the complete set of interleavings of each client program.
     Randomised exploration samples schedules for larger programs and for
-    benchmarking. *)
+    benchmarking.
+
+    The exhaustive engine is {e incremental}: it keeps one live execution
+    ({!Runner.start}/{!Runner.step}) and descends the schedule tree one
+    step per edge, re-establishing a branch point after backtracking with a
+    single prefix replay — O(runs × depth) program steps in total, against
+    O(nodes × depth) for a whole-prefix replay at every node (the seed
+    engine, kept as {!exhaustive_via_replay} for cross-checks and
+    benchmarks).
+
+    Two optional sound-for-verdicts reductions prune the tree when [prune]
+    is set (or the environment variable [CAL_EXPLORE_PRUNE=1] is):
+    state-fingerprint memoization ({!Runner.fingerprint}) cuts off subtrees
+    already explored from an indistinguishable state, and sleep sets skip
+    re-exploring both orders of commuting steps of different threads.
+    Pruning underapproximates the delivered run {e set} while preserving
+    reachable-state coverage, so verdict-style callers ({!check_all},
+    {!Verify.Obligations}) may opt in; run counts shrink. Setting
+    [CAL_EXPLORE_NO_PRUNE=1] force-disables pruning even for explicit
+    opt-ins — the cross-check mode: a pruned and an unpruned pass must
+    reach identical verdicts. *)
 
 type stats = {
   runs : int;           (** terminal outcomes delivered to the callback *)
-  truncated : bool;     (** stopped early by [max_runs] *)
+  truncated : bool;     (** stopped early by [max_runs] (or [max_plans]) *)
   max_steps : int;      (** longest schedule seen *)
+  nodes : int;          (** schedule-tree nodes visited *)
+  replayed_steps : int;
+      (** program steps re-executed to re-establish branch points after
+          backtracking (for {!exhaustive_via_replay}: every step it
+          executed, since it replays the whole prefix at every node) *)
+  fingerprint_hits : int;  (** subtrees cut off by fingerprint memoization *)
+  sleep_pruned : int;      (** sibling decisions skipped by sleep sets *)
 }
+
+val empty_stats : stats
 
 val exhaustive :
   ?plan:Fault.plan ->
+  ?prune:bool ->
   setup:(Ctx.t -> Runner.program) ->
   fuel:int ->
   ?max_runs:int ->
@@ -36,7 +66,28 @@ val exhaustive :
 
     [plan] (default none) runs every schedule under that {!Fault.plan}:
     crashed threads contribute no further decisions, so the faulty search
-    space is a (usually much smaller) sibling of the fault-free one. *)
+    space is a (usually much smaller) sibling of the fault-free one.
+
+    [prune] (default off, see the module preamble for the environment
+    overrides) enables fingerprint memoization and sleep-set pruning:
+    fewer runs are delivered, but every reachable terminal {e state} is
+    still represented, so property verdicts are preserved. Do not combine
+    with callbacks that count runs. *)
+
+val exhaustive_via_replay :
+  ?plan:Fault.plan ->
+  setup:(Ctx.t -> Runner.program) ->
+  fuel:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  f:(Runner.outcome -> unit) ->
+  unit ->
+  stats
+(** The seed's stateless engine: a whole-prefix {!Runner.replay} at every
+    DFS node. Delivers exactly the same outcomes in exactly the same order
+    as unpruned {!exhaustive}; kept as the reference implementation for
+    cross-checking and for the B12 before/after cost comparison
+    ([replayed_steps] counts every program step it executes). *)
 
 val random :
   setup:(Ctx.t -> Runner.program) ->
@@ -51,6 +102,7 @@ val random :
 
 val check_all :
   ?plan:Fault.plan ->
+  ?prune:bool ->
   setup:(Ctx.t -> Runner.program) ->
   fuel:int ->
   ?max_runs:int ->
@@ -59,8 +111,11 @@ val check_all :
   unit ->
   (stats, Runner.outcome * stats) result
 (** [check_all ~setup ~fuel ~p ()] explores exhaustively and returns
-    [Error (o, _)] for the first outcome violating [p], short-circuiting the
-    search. *)
+    [Error (o, _)] for the first outcome violating [p], short-circuiting
+    the search. [truncated] in the returned stats means the [max_runs]
+    budget capped the search, never that a counterexample stopped it — an
+    [Error] with [truncated = false] is a definitive refutation, an [Ok]
+    with [truncated = true] is inconclusive. *)
 
 (** {1 Fault exploration} *)
 
@@ -69,10 +124,15 @@ type fault_stats = {
   fault_runs : int;     (** outcomes delivered across all plans *)
   fault_truncated : bool;  (** a plan hit [max_runs], or [max_plans] bit *)
   fault_max_steps : int;
+  fault_nodes : int;             (** {!stats.nodes} summed over plans *)
+  fault_replayed_steps : int;    (** {!stats.replayed_steps} summed *)
+  fault_fingerprint_hits : int;  (** {!stats.fingerprint_hits} summed *)
+  fault_sleep_pruned : int;      (** {!stats.sleep_pruned} summed *)
 }
 
 val exhaustive_with_faults :
   ?delay_factors:int list ->
+  ?prune:bool ->
   setup:(Ctx.t -> Runner.program) ->
   fuel:int ->
   ?max_runs:int ->
@@ -86,21 +146,24 @@ val exhaustive_with_faults :
     enumerate fault plans of at most [fault_bound] faults and explore every
     schedule under each.
 
-    A first fault-free exhaustive pass learns the program's fault points:
-    every (thread, step) position some schedule reaches becomes a candidate
-    {!Fault.Crash}, and every executed {!Prog.Fallible} label occurrence a
-    candidate {!Fault.Fail_step}. Then every plan combining at most
-    [fault_bound] of these points (starting with the empty plan, so the
-    fault-free outcomes are delivered too) is explored exhaustively; [f]
-    receives each outcome, which carries its plan in [outcome.faults] and
-    the faults that actually fired in [outcome.injected].
+    The fault-free exhaustive pass that delivers the empty plan's outcomes
+    {e also} learns the program's fault points (single pass — the
+    fault-free state space is executed once): every (thread, step)
+    position some schedule reaches becomes a candidate {!Fault.Crash}, and
+    every executed {!Prog.Fallible} label occurrence a candidate
+    {!Fault.Fail_step}. Then every plan combining at most [fault_bound] of
+    these points is explored exhaustively; [f] receives each outcome,
+    which carries its plan in [outcome.faults] and the faults that
+    actually fired in [outcome.injected].
 
-    [max_runs] bounds each per-plan exploration separately; [max_plans]
-    caps the number of plans (the stats record the cap as truncation).
-    Because a fault point found on {e any} interleaving of the fault-free
-    pass is proposed, the enumeration is complete for bounded clients:
-    [fault_bound:1] visits every single-crash and every single-CAS-failure
-    execution.
+    Plans are enumerated lazily, smallest first; [max_plans] caps the
+    enumeration before the exponential subset space is ever materialised
+    (the stats record the cap as truncation, and the capped plan set is
+    exactly the first [max_plans] of the full enumeration). [max_runs]
+    bounds each per-plan exploration separately. Because a fault point
+    found on {e any} interleaving of the fault-free pass is proposed, the
+    enumeration is complete for bounded clients: [fault_bound:1] visits
+    every single-crash and every single-CAS-failure execution.
 
     [delay_factors] (default none) additionally proposes a
     {!Fault.Delay}[ { thread; factor }] candidate for every thread that
@@ -126,6 +189,10 @@ val exhaustive_with_faults :
     - [Starved ts]: the run is incomplete, but some thread in [ts] was
       continuously enabled for at least [window] decisions without being
       scheduled — the schedule is unfair, so non-termination is excused.
+      Starvation is {e sticky}: a thread whose idle stretch once reached
+      [window] stays in [ts] even if it is scheduled afterwards (the
+      schedule was unfair at some point, which excuses the whole run; see
+      DESIGN §2.8).
     - [Livelocked]: the run is incomplete, decisions remain enabled, and no
       thread starved: every thread kept running and yet nobody finished.
       This is the verdict the watchdog flags — cancel-and-retry loops that
@@ -144,11 +211,12 @@ val watchdog :
   window:int ->
   Runner.schedule ->
   run_verdict
-(** [watchdog ~setup ~window sched] replays [sched] and classifies it. The
-    idle stretch of a thread is the number of consecutive decisions during
-    which it was enabled but not chosen; it resets whenever the thread is
-    scheduled or becomes disabled. Raises [Invalid_argument] if
-    [window < 1]. *)
+(** [watchdog ~setup ~window sched] executes [sched] once (a single
+    incremental pass — the frontier before each decision feeds the idle
+    counters) and classifies it. The idle stretch of a thread is the
+    number of consecutive decisions during which it was enabled but not
+    chosen; it resets whenever the thread is scheduled or becomes
+    disabled. Raises [Invalid_argument] if [window < 1]. *)
 
 type liveness_stats = {
   live_runs : int;          (** terminal outcomes classified *)
@@ -171,10 +239,12 @@ val liveness :
   unit ->
   liveness_stats
 (** Exhaustively explore (like {!exhaustive}) and classify every maximal
-    run with the watchdog, threading the idle counters down each path (one
-    pass, no per-prefix replays). An object passes the liveness obligation
-    when [live_livelocked = 0]: on every fair schedule it either finishes
-    or genuinely blocks. *)
+    run with the watchdog, threading the idle counters down each path as
+    per-path state of the incremental engine (one pass, no per-prefix
+    replays). Pruning never applies here: the idle counters are path state
+    the fingerprints do not cover. An object passes the liveness
+    obligation when [live_livelocked = 0]: on every fair schedule it
+    either finishes or genuinely blocks. *)
 
 val liveness_with_faults :
   ?delay_factors:int list ->
@@ -189,7 +259,9 @@ val liveness_with_faults :
   int * liveness_stats
 (** {!liveness} over the fault sweep: the plan enumeration of
     {!exhaustive_with_faults} (including [delay_factors] candidates), each
-    plan explored and classified by the watchdog. Returns (plans explored,
+    plan explored and classified by the watchdog. The fault-free
+    classification pass doubles as the candidate learner, so the
+    fault-free state space is executed once. Returns (plans explored,
     merged stats). Crashed and stalled threads are never enabled, so a run
     they cut short classifies as deadlocked or starved — never as a
     livelock of the object. *)

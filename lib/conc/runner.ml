@@ -86,22 +86,34 @@ let stalled fs i = fs.global_step < fs.stall_until.(i)
 (* Decide whether the fallible step [label] about to execute is forced down
    its failure branch: it is when it is the [nth] matching fallible step of
    some Fail_step of the plan. Counters advance for every matching fallible
-   step, forced or not. *)
+   step, forced or not — and for {e every} matching pattern: two plan
+   entries whose patterns both match this label must both see it, so the
+   counters are advanced for all matching patterns first (once per
+   pattern), and only then is the forcing decision taken. A short-circuit
+   here would make the second pattern's counter skip the step and fire its
+   fault one occurrence late. *)
 let forced_failure fs label =
   fs.fallible_rev <- label :: fs.fallible_rev;
-  List.exists
+  let bumped = Hashtbl.create 4 in
+  List.iter
     (function
-      | Fault.Fail_step { label = pattern; nth } as f
-        when Fault.matches_label ~pattern label ->
-          let seen = 1 + (Option.value ~default:0 (Hashtbl.find_opt fs.fail_seen pattern)) in
-          Hashtbl.replace fs.fail_seen pattern seen;
-          if seen = nth then begin
-            fs.fired_rev <- f :: fs.fired_rev;
-            true
-          end
-          else false
-      | _ -> false)
-    fs.plan
+      | Fault.Fail_step { label = pattern; _ }
+        when Fault.matches_label ~pattern label && not (Hashtbl.mem bumped pattern) ->
+          Hashtbl.replace bumped pattern ();
+          Hashtbl.replace fs.fail_seen pattern
+            (1 + Option.value ~default:0 (Hashtbl.find_opt fs.fail_seen pattern))
+      | _ -> ())
+    fs.plan;
+  List.fold_left
+    (fun forced f ->
+      match f with
+      | Fault.Fail_step { label = pattern; nth }
+        when Fault.matches_label ~pattern label
+             && Option.value ~default:0 (Hashtbl.find_opt fs.fail_seen pattern) = nth ->
+          fs.fired_rev <- f :: fs.fired_rev;
+          true
+      | _ -> forced)
+    false fs.plan
 
 (* Apply one decision to the mutable thread-state array; returns the label
    of the step taken. *)
@@ -167,7 +179,109 @@ let enabled fs states =
                if g () = None then [] else [ { thread = i; branch = 0 } ])
   |> List.concat
 
-let snapshot fs ctx states applied =
+(* -------------------------------------------- resumable execution API -- *)
+
+(* A live execution: the mutable state a schedule prefix has built so far.
+   {!Explore} descends one decision at a time along the DFS spine instead of
+   replaying the whole prefix at every node; re-establishing a branch point
+   after backtracking costs one prefix replay (the shared heap the program's
+   closures mutate cannot be checkpointed generically, so it is rebuilt by
+   re-execution — once per backtrack, not once per node). *)
+type exec = {
+  e_ctx : Ctx.t;
+  e_program : program;
+  e_states : Cal.Value.t Prog.t array;
+  e_fs : fault_state;
+  e_obs : int array;
+      (* per-thread rolling observation hash: folds, at each of the
+         thread's steps, the step label with the history/trace lengths
+         right after the step — a cheap proxy for "what this thread has
+         seen of the shared structures", used by {!fingerprint} *)
+  mutable e_applied_rev : decision list;
+  mutable e_steps : int;
+}
+
+let start ?(plan = []) ~setup () =
+  let ctx = Ctx.create () in
+  let program = setup ctx in
+  let states = Array.copy program.threads in
+  let fs = fault_state ~threads:(Array.length states) plan in
+  apply_delays ctx plan;
+  {
+    e_ctx = ctx;
+    e_program = program;
+    e_states = states;
+    e_fs = fs;
+    e_obs = Array.make (Array.length states) 0;
+    e_applied_rev = [];
+    e_steps = 0;
+  }
+
+let mix h x = (h * 0x01000193) lxor x
+
+let step e d =
+  let label = apply e.e_fs e.e_states d in
+  Ctx.tick e.e_ctx;
+  e.e_applied_rev <- d :: e.e_applied_rev;
+  e.e_steps <- e.e_steps + 1;
+  e.e_obs.(d.thread) <-
+    mix
+      (mix (mix e.e_obs.(d.thread) (Hashtbl.hash label)) d.branch)
+      ((Ctx.history_length e.e_ctx * 8191) + Ctx.trace_length e.e_ctx);
+  (match e.e_program.on_label with None -> () | Some f -> f label);
+  (match e.e_program.observe with None -> () | Some f -> f d);
+  label
+
+let frontier e = enabled e.e_fs e.e_states
+let steps_done e = e.e_steps
+let ctx e = e.e_ctx
+
+let head_label e thread =
+  if thread < 0 || thread >= Array.length e.e_states then None
+  else
+    match e.e_states.(thread) with
+    | Prog.Return _ -> None
+    | Prog.Atomic (l, _) | Prog.Fallible (l, _, _) | Prog.Choose (l, _)
+    | Prog.Guard (l, _) ->
+        Some l
+
+(* A structural key for the execution state, exact over everything the
+   engine can observe: per-thread program position (head constructor and
+   label, or the returned value), the per-thread observation hashes, the
+   fault counters and the clock. Two prefixes with equal fingerprints have
+   made the same observations in the same order, so their continuations
+   explore the same subtree — the memoization ground of {!Explore}'s
+   fingerprint pruning. The key is a string compared for equality (no
+   silent hash-collision merging); the per-thread observation hash is the
+   only lossy component, and the [CAL_EXPLORE_NO_PRUNE=1] cross-check mode
+   exists to validate verdicts independently of it. *)
+let fingerprint e =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (string_of_int e.e_fs.global_step);
+  Array.iteri
+    (fun i st ->
+      Buffer.add_char b '|';
+      Buffer.add_string b (string_of_int e.e_fs.thread_steps.(i));
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int e.e_obs.(i));
+      Buffer.add_char b ':';
+      Buffer.add_string b (string_of_int e.e_fs.stall_until.(i));
+      Buffer.add_char b ':';
+      (match st with
+      | Prog.Return v -> Buffer.add_string b (Fmt.str "=%a" Cal.Value.pp v)
+      | Prog.Atomic (l, _) -> Buffer.add_string b ("a" ^ l)
+      | Prog.Fallible (l, _, _) -> Buffer.add_string b ("f" ^ l)
+      | Prog.Choose (l, ms) ->
+          Buffer.add_string b (Fmt.str "c%s/%d" l (List.length ms))
+      | Prog.Guard (l, _) -> Buffer.add_string b ("g" ^ l)))
+    e.e_states;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) e.e_fs.fail_seen []
+  |> List.sort compare
+  |> List.iter (fun (k, v) -> Buffer.add_string b (Fmt.str "|%s#%d" k v));
+  Buffer.contents b
+
+let snapshot e =
+  let fs = e.e_fs and states = e.e_states in
   let results =
     Array.map (function Prog.Return v -> Some v | _ -> None) states
   in
@@ -189,54 +303,35 @@ let snapshot fs ctx states applied =
       fs.plan
   in
   {
-    history = Ctx.history ctx;
-    trace = Ctx.trace ctx;
+    history = Ctx.history e.e_ctx;
+    trace = Ctx.trace e.e_ctx;
     results;
     complete = Array.for_all (fun st -> match st with Prog.Return _ -> true | _ -> false) states;
-    steps = List.length applied;
-    schedule = List.rev applied;
+    steps = e.e_steps;
+    schedule = List.rev e.e_applied_rev;
     faults = fs.plan;
     injected;
     fallible_steps = List.rev fs.fallible_rev;
   }
 
+let outcome = snapshot
+
 let replay ?(plan = []) ~setup sched =
-  let ctx = Ctx.create () in
-  let program = setup ctx in
-  let states = Array.copy program.threads in
-  let fs = fault_state ~threads:(Array.length states) plan in
-  apply_delays ctx plan;
-  let applied = ref [] in
-  List.iter
-    (fun d ->
-      let label = apply fs states d in
-      Ctx.tick ctx;
-      applied := d :: !applied;
-      (match program.on_label with None -> () | Some f -> f label);
-      match program.observe with None -> () | Some f -> f d)
-    sched;
-  (snapshot fs ctx states !applied, enabled fs states)
+  let e = start ~plan ~setup () in
+  List.iter (fun d -> ignore (step e d)) sched;
+  (snapshot e, frontier e)
 
 let run_random ?(plan = []) ~setup ~fuel ~rng () =
-  let ctx = Ctx.create () in
-  let program = setup ctx in
-  let states = Array.copy program.threads in
-  let fs = fault_state ~threads:(Array.length states) plan in
-  apply_delays ctx plan;
-  let applied = ref [] in
+  let e = start ~plan ~setup () in
   let rec go remaining =
     if remaining = 0 then ()
     else
-      match enabled fs states with
+      match frontier e with
       | [] -> ()
       | ds ->
           let d = Rng.pick rng ds in
-          let label = apply fs states d in
-          Ctx.tick ctx;
-          applied := d :: !applied;
-          (match program.on_label with None -> () | Some f -> f label);
-          (match program.observe with None -> () | Some f -> f d);
+          ignore (step e d);
           go (remaining - 1)
   in
   go fuel;
-  snapshot fs ctx states !applied
+  snapshot e

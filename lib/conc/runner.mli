@@ -46,12 +46,62 @@ type outcome = {
     Empty iff every thread has returned, crashed, or is blocked/stalled. *)
 type frontier = decision list
 
+(** {1 Resumable execution}
+
+    A live execution over explicit mutable state. {!Explore}'s incremental
+    engine descends the DFS tree one {!step} at a time and re-establishes a
+    branch point after backtracking with a single prefix replay — O(1)
+    steps per tree edge instead of a whole-prefix replay per node. The
+    shared heap that program closures mutate cannot be checkpointed
+    generically, which is why backtracking re-executes the prefix (once per
+    backtrack) rather than restoring a snapshot. *)
+
+type exec
+
+val start : ?plan:Fault.plan -> setup:(Ctx.t -> program) -> unit -> exec
+(** Build a fresh program (fresh context, fresh shared structures) with no
+    decision applied yet. Raises [Invalid_argument] when the plan fails
+    {!Fault.validate}. *)
+
+val step : exec -> decision -> string
+(** Apply one decision and return the label of the step taken. Raises
+    [Invalid_argument] when the decision is not enabled (wrong thread
+    state, branch out of range, or a thread the plan has crashed or
+    stalled). *)
+
+val frontier : exec -> frontier
+(** The decisions enabled now. *)
+
+val outcome : exec -> outcome
+(** Snapshot the execution as an {!outcome} (cheap; the execution remains
+    usable). *)
+
+val steps_done : exec -> int
+(** Decisions applied so far. *)
+
+val head_label : exec -> int -> string option
+(** The label of the thread's next step ([None] once it returned). *)
+
+val fingerprint : exec -> string
+(** A structural key of the execution state: per-thread program positions
+    (head constructor + label, or returned value), per-thread rolling
+    observation hashes (each step folds its label with the history/trace
+    lengths it observed), fault counters and the clock. Equal fingerprints
+    mean the engine cannot distinguish the two states; {!Explore} uses
+    this for memoized subtree pruning, guarded by the
+    [CAL_EXPLORE_NO_PRUNE=1] cross-check mode. *)
+
+val ctx : exec -> Ctx.t
+(** The execution's run context. *)
+
 val replay :
   ?plan:Fault.plan -> setup:(Ctx.t -> program) -> schedule -> outcome * frontier
 (** [replay ~setup s] builds a fresh program and applies the decisions of
-    [s] in order. Raises [Invalid_argument] when a decision is not enabled
-    (wrong thread state, branch out of range, or a thread the plan has
-    crashed or stalled) or when the plan fails {!Fault.validate}. *)
+    [s] in order — a thin wrapper over {!start}/{!step} preserving
+    byte-for-byte replay determinism. Raises [Invalid_argument] when a
+    decision is not enabled (wrong thread state, branch out of range, or a
+    thread the plan has crashed or stalled) or when the plan fails
+    {!Fault.validate}. *)
 
 val run_random :
   ?plan:Fault.plan ->

@@ -11,6 +11,9 @@ type report = {
   complete_runs : int;
   problems : problem list;
   truncated : bool;
+  exploration : Conc.Explore.stats option;
+      (* engine cost counters of the underlying exploration, when the
+         check ran on the exhaustive engine *)
 }
 
 (* Remove one occurrence of [op] from [ops]; None when absent. *)
@@ -102,12 +105,13 @@ let collector check =
             { schedule = outcome.schedule; plan = outcome.faults; message }
             :: !problems
   in
-  let report truncated =
+  let report ?exploration truncated =
     {
       runs = !runs;
       complete_runs = !complete_runs;
       problems = List.rev !problems;
       truncated;
+      exploration;
     }
   in
   (f, report)
@@ -115,7 +119,7 @@ let collector check =
 let collect ~setup ~fuel ?max_runs ?preemption_bound ~check () =
   let f, report = collector check in
   let stats = Conc.Explore.exhaustive ~setup ~fuel ?max_runs ?preemption_bound ~f () in
-  report stats.truncated
+  report ~exploration:stats stats.truncated
 
 let check_object ~setup ~spec ~view ~fuel ?max_runs ?preemption_bound () =
   collect ~setup ~fuel ?max_runs ?preemption_bound ~check:(check_outcome ~spec ~view) ()
@@ -127,7 +131,19 @@ let check_object_with_faults ?delay_factors ~setup ~spec ~view ~fuel ?max_runs
     Conc.Explore.exhaustive_with_faults ?delay_factors ~setup ~fuel ?max_runs
       ?preemption_bound ?max_plans ~fault_bound ~f ()
   in
-  report (stats.Conc.Explore.fault_truncated)
+  let exploration =
+    Conc.Explore.
+      {
+        runs = stats.fault_runs;
+        truncated = stats.fault_truncated;
+        max_steps = stats.fault_max_steps;
+        nodes = stats.fault_nodes;
+        replayed_steps = stats.fault_replayed_steps;
+        fingerprint_hits = stats.fault_fingerprint_hits;
+        sleep_pruned = stats.fault_sleep_pruned;
+      }
+  in
+  report ~exploration stats.Conc.Explore.fault_truncated
 
 (* The liveness obligation (watchdog): on every fair schedule the object
    either finishes or genuinely blocks. A livelocked run — incomplete at
@@ -154,6 +170,7 @@ let liveness_report ~fuel ~window (stats : Conc.Explore.liveness_stats) =
     complete_runs = stats.Conc.Explore.live_completed;
     problems;
     truncated = stats.Conc.Explore.live_truncated;
+    exploration = None;
   }
 
 let check_liveness ?plan ~setup ~fuel ~window ?max_runs ?preemption_bound () =
@@ -178,10 +195,18 @@ let check_black_box ~setup ~spec ~fuel ?max_runs ?preemption_bound () =
 
 let ok r = r.problems = []
 
+let pp_exploration ppf (s : Conc.Explore.stats) =
+  Fmt.pf ppf " [nodes %d, replayed %d steps%s]" s.nodes s.replayed_steps
+    (if s.fingerprint_hits > 0 || s.sleep_pruned > 0 then
+       Fmt.str ", pruned %d fp + %d sleep" s.fingerprint_hits s.sleep_pruned
+     else "")
+
 let pp_report ppf r =
-  if ok r then
+  if ok r then begin
     Fmt.pf ppf "OK: %d runs (%d complete)%s" r.runs r.complete_runs
-      (if r.truncated then " [truncated]" else "")
+      (if r.truncated then " [truncated]" else "");
+    Option.iter (pp_exploration ppf) r.exploration
+  end
   else
     Fmt.pf ppf "@[<v>%d PROBLEMS over %d runs:@,%a@]" (List.length r.problems) r.runs
       (Fmt.list ~sep:Fmt.cut (fun ppf (p : problem) ->

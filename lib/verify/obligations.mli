@@ -29,6 +29,11 @@ type report = {
   complete_runs : int;   (** outcomes in which every thread returned *)
   problems : problem list;  (** capped at 10 *)
   truncated : bool;
+  exploration : Conc.Explore.stats option;
+      (** engine cost counters of the underlying exploration — nodes
+          visited, steps replayed on backtracking, pruning hits — when the
+          check ran on the exhaustive engine ([None] for liveness reports,
+          whose stats live in {!Conc.Explore.liveness_stats}) *)
 }
 
 val reconcile : Cal.History.t -> Cal.Ca_trace.t -> (Cal.History.t, string) result

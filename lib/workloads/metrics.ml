@@ -270,6 +270,62 @@ let sync_queue_handoffs ~producers ~consumers ~rounds ~fuel ~seed =
   in
   measure ~threads ~fuel ~seed ~setup ()
 
+(* ------------------------------------------ exploration engine cost --- *)
+
+type explore_cost = {
+  engine : string;
+  explored_runs : int;
+  nodes : int;
+  steps_executed : int;
+  replayed_steps : int;
+  fingerprint_hits : int;
+  sleep_pruned : int;
+  explore_truncated : bool;
+}
+
+let explore_cost ~engine ~setup ~fuel ?max_runs ?preemption_bound () =
+  let name, stats =
+    match engine with
+    | `Replay ->
+        ( "replay",
+          Explore.exhaustive_via_replay ~setup ~fuel ?max_runs
+            ?preemption_bound ~f:ignore () )
+    | `Incremental ->
+        ( "incremental",
+          Explore.exhaustive ~prune:false ~setup ~fuel ?max_runs
+            ?preemption_bound ~f:ignore () )
+    | `Pruned ->
+        ( "incremental+prune",
+          Explore.exhaustive ~prune:true ~setup ~fuel ?max_runs
+            ?preemption_bound ~f:ignore () )
+  in
+  let steps_executed =
+    match engine with
+    | `Replay ->
+        (* the replay engine executes exactly the steps it replays *)
+        stats.Explore.replayed_steps
+    | `Incremental | `Pruned ->
+        (* one fresh step per tree edge, plus the backtracking replays *)
+        max 0 (stats.Explore.nodes - 1) + stats.Explore.replayed_steps
+  in
+  {
+    engine = name;
+    explored_runs = stats.Explore.runs;
+    nodes = stats.Explore.nodes;
+    steps_executed;
+    replayed_steps = stats.Explore.replayed_steps;
+    fingerprint_hits = stats.Explore.fingerprint_hits;
+    sleep_pruned = stats.Explore.sleep_pruned;
+    explore_truncated = stats.Explore.truncated;
+  }
+
+let pp_explore_cost ppf c =
+  Fmt.pf ppf
+    "%-18s runs=%-6d nodes=%-7d steps=%-8d replayed=%-8d fp=%-5d sleep=%d%s"
+    c.engine c.explored_runs c.nodes c.steps_executed c.replayed_steps
+    c.fingerprint_hits c.sleep_pruned
+    (if c.explore_truncated then " [truncated]" else "")
+
 let pp_result ppf r =
   Fmt.pf ppf
     "threads=%d steps=%d ops=%d ok=%d timeout=%d cancel=%d retries=%d crashed=%d \

@@ -71,3 +71,40 @@ val sync_queue_handoffs :
     rendezvous. *)
 
 val pp_result : Format.formatter -> result -> unit
+
+(** {1 Exploration engine cost}
+
+    Cost counters of one exhaustive exploration, for the B12 engine
+    comparison: the same state space explored by the seed's
+    whole-prefix-replay engine ([`Replay]), the incremental engine
+    ([`Incremental]) and the incremental engine with fingerprint/sleep-set
+    pruning ([`Pruned]). [steps_executed] is the total number of program
+    steps the engine actually executed — the replay engine's per-node
+    whole-prefix replays versus the incremental engine's one step per tree
+    edge plus its backtracking replays. *)
+
+type explore_cost = {
+  engine : string;        (** "replay" | "incremental" | "incremental+prune" *)
+  explored_runs : int;    (** terminal outcomes delivered *)
+  nodes : int;            (** schedule-tree nodes visited *)
+  steps_executed : int;   (** program steps executed in total *)
+  replayed_steps : int;   (** of which re-executed prefix steps *)
+  fingerprint_hits : int;
+  sleep_pruned : int;
+  explore_truncated : bool;
+}
+
+val explore_cost :
+  engine:[ `Replay | `Incremental | `Pruned ] ->
+  setup:(Conc.Ctx.t -> Conc.Runner.program) ->
+  fuel:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  unit ->
+  explore_cost
+(** Explore [setup] exhaustively with the chosen engine (outcomes are
+    discarded) and report the cost counters. Note [`Pruned] asks for
+    pruning explicitly, so [CAL_EXPLORE_NO_PRUNE=1] turns it into
+    [`Incremental]. *)
+
+val pp_explore_cost : Format.formatter -> explore_cost -> unit
