@@ -10,9 +10,11 @@
 
    Run: dune exec bench/main.exe            (everything)
         dune exec bench/main.exe -- quick   (fewer samples)
-        dune exec bench/main.exe -- faults  (only B10-B12, full fuel,
+        dune exec bench/main.exe -- faults  (only B10-B13, full fuel,
                                              regenerates BENCH_*.json)
-        dune exec bench/main.exe -- smoke   (only B10-B12, low fuel — CI) *)
+        dune exec bench/main.exe -- smoke   (only B10-B13, low fuel — CI)
+        dune exec bench/main.exe -- crash   (only B13, full fuel,
+                                             regenerates BENCH_crash.json) *)
 
 open Bechamel
 open Toolkit
@@ -22,6 +24,7 @@ module S = Workloads.Scenarios
 let mode =
   if Array.exists (fun a -> a = "faults") Sys.argv then `Faults
   else if Array.exists (fun a -> a = "smoke") Sys.argv then `Smoke
+  else if Array.exists (fun a -> a = "crash") Sys.argv then `Crash
   else `Full
 
 let quick = Array.exists (fun a -> a = "quick") Sys.argv || mode = `Smoke
@@ -478,6 +481,50 @@ let figure_explore () =
   close_out oc;
   Fmt.pr "# rows written to BENCH_explore.json@."
 
+(* B13 — crash-recovery sweep: durable Treiber stack throughput as whole-
+   system crashes and recovery cost grow. Every flush is an extra step on
+   the hot top cell and every crash discards in-flight work and pays
+   [recovery_cost] scan steps before the workload resumes — the figure
+   quantifies the durability tax. Results land in BENCH_crash.json. *)
+let figure_crash () =
+  let fuel = if quick then 30_000 else 100_000 in
+  let threads = 8 in
+  Fmt.pr
+    "@.# B13: durable stack — throughput under system crashes (threads=%d)@."
+    threads;
+  Fmt.pr "%8s %14s %12s %12s %14s %14s@." "crashes" "recovery-cost" "ops"
+    "sys-crashes" "recovery-steps" "throughput";
+  let rows =
+    List.concat_map
+      (fun crashes ->
+        List.map
+          (fun recovery_cost ->
+            let r =
+              Workloads.Metrics.durable_stack_crash_sweep ~threads ~crashes
+                ~recovery_cost ~fuel ~seed:42L
+            in
+            Fmt.pr "%8d %14d %12d %12d %14d %14.2f@." crashes recovery_cost
+              r.ops_completed r.sys_crashes r.recovery_steps r.throughput;
+            (crashes, recovery_cost, r))
+          [ 0; 16; 64 ])
+      [ 0; 1; 2; 4 ]
+  in
+  let oc = open_out "BENCH_crash.json" in
+  let json_row (crashes, recovery_cost, (r : Workloads.Metrics.result)) =
+    Printf.sprintf
+      "    {\"crashes\": %d, \"recovery_cost\": %d, \"threads\": %d, \
+       \"fuel\": %d, \"ops_completed\": %d, \"ops_succeeded\": %d, \
+       \"sys_crashes\": %d, \"recovery_steps\": %d, \"retries\": %d, \
+       \"throughput\": %.4f}"
+      crashes recovery_cost threads fuel r.ops_completed r.ops_succeeded
+      r.sys_crashes r.recovery_steps r.retries r.throughput
+  in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"crash_recovery_sweep\",\n  \"rows\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map json_row rows));
+  close_out oc;
+  Fmt.pr "# rows written to BENCH_crash.json@."
+
 (* B9 — bug preemption depth (iterative context bounding) for the faulty
    objects: how few context switches expose each bug. *)
 let figure_bug_depth () =
@@ -512,12 +559,17 @@ let figure_verification_cost () =
 
 let () =
   match mode with
+  | `Crash ->
+      Fmt.pr "== CAL benchmark harness (crash-recovery figure) ==@.";
+      figure_crash ();
+      Fmt.pr "@.done.@."
   | `Faults | `Smoke ->
       Fmt.pr "== CAL benchmark harness (%s: fault + timeout figures) ==@."
         (if mode = `Smoke then "smoke" else "faults");
       figure_fault_sweep ();
       figure_timeouts ();
       figure_explore ();
+      figure_crash ();
       Fmt.pr "@.done.@."
   | `Full ->
       Fmt.pr "== CAL benchmark harness%s ==@." (if quick then " (quick)" else "");
@@ -528,6 +580,7 @@ let () =
       figure_fault_sweep ();
       figure_timeouts ();
       figure_explore ();
+      figure_crash ();
       figure_verification_cost ();
       figure_bug_depth ();
       Fmt.pr "@.done.@."

@@ -3,14 +3,27 @@ open Ids
 type t =
   | Inv of { tid : Tid.t; oid : Oid.t; fid : Fid.t; arg : Value.t }
   | Res of { tid : Tid.t; oid : Oid.t; fid : Fid.t; ret : Value.t }
+  | Crash of { epoch : int }
 
 let inv ~tid ~oid ~fid arg = Inv { tid; oid; fid; arg }
 let res ~tid ~oid ~fid ret = Res { tid; oid; fid; ret }
-let tid = function Inv { tid; _ } | Res { tid; _ } -> tid
-let oid = function Inv { oid; _ } | Res { oid; _ } -> oid
-let fid = function Inv { fid; _ } | Res { fid; _ } -> fid
-let is_inv = function Inv _ -> true | Res _ -> false
-let is_res = function Res _ -> true | Inv _ -> false
+let crash ~epoch = Crash { epoch }
+
+let tid = function
+  | Inv { tid; _ } | Res { tid; _ } -> tid
+  | Crash _ -> invalid_arg "Action.tid: crash marker has no thread"
+
+let oid = function
+  | Inv { oid; _ } | Res { oid; _ } -> oid
+  | Crash _ -> invalid_arg "Action.oid: crash marker has no object"
+
+let fid = function
+  | Inv { fid; _ } | Res { fid; _ } -> fid
+  | Crash _ -> invalid_arg "Action.fid: crash marker has no method"
+
+let is_inv = function Inv _ -> true | Res _ | Crash _ -> false
+let is_res = function Res _ -> true | Inv _ | Crash _ -> false
+let is_crash = function Crash _ -> true | Inv _ | Res _ -> false
 
 let matches ~inv ~res =
   match (inv, res) with
@@ -25,10 +38,14 @@ let equal a b =
   | Res a, Res b ->
       Tid.equal a.tid b.tid && Oid.equal a.oid b.oid && Fid.equal a.fid b.fid
       && Value.equal a.ret b.ret
-  | Inv _, Res _ | Res _, Inv _ -> false
+  | Crash a, Crash b -> a.epoch = b.epoch
+  | (Inv _ | Res _ | Crash _), _ -> false
 
 let compare a b =
   match (a, b) with
+  | Crash a, Crash b -> Int.compare a.epoch b.epoch
+  | Crash _, _ -> -1
+  | _, Crash _ -> 1
   | Inv _, Res _ -> -1
   | Res _, Inv _ -> 1
   | Inv a, Inv b ->
@@ -55,5 +72,6 @@ let pp ppf = function
       Fmt.pf ppf "(%a, inv %a.%a(%a))" Tid.pp tid Oid.pp oid Fid.pp fid Value.pp arg
   | Res { tid; oid; fid; ret } ->
       Fmt.pf ppf "(%a, res %a.%a => %a)" Tid.pp tid Oid.pp oid Fid.pp fid Value.pp ret
+  | Crash { epoch } -> Fmt.pf ppf "(crash #%d)" epoch
 
 let show a = Fmt.str "%a" pp a

@@ -2,26 +2,43 @@
 
     An invocation [(t, inv o.f(n))] records that thread [t] started executing
     method [f] on object [o] with argument [n]; a response [(t, res o.f ⇒ n)]
-    records that the execution terminated with return value [n]. *)
+    records that the execution terminated with return value [n].
+
+    A {!Crash} marker records a full-system crash between two actions: every
+    invocation pending at the marker is cut off (volatile state is wiped and
+    the thread never resumes), and the actions after the marker belong to the
+    post-recovery execution [epoch]. Crash markers carry no thread, object
+    or method; {!tid}/{!oid}/{!fid} raise on them. *)
 
 type t =
   | Inv of { tid : Ids.Tid.t; oid : Ids.Oid.t; fid : Ids.Fid.t; arg : Value.t }
   | Res of { tid : Ids.Tid.t; oid : Ids.Oid.t; fid : Ids.Fid.t; ret : Value.t }
+  | Crash of { epoch : int }
+      (** full-system crash ending era [epoch - 1]; the actions that follow
+          run in era [epoch] *)
 
 val inv : tid:Ids.Tid.t -> oid:Ids.Oid.t -> fid:Ids.Fid.t -> Value.t -> t
 val res : tid:Ids.Tid.t -> oid:Ids.Oid.t -> fid:Ids.Fid.t -> Value.t -> t
 
+val crash : epoch:int -> t
+(** The system-crash marker opening era [epoch] (1-based: the [k]-th crash
+    of a run carries [epoch = k]). *)
+
 val tid : t -> Ids.Tid.t
-(** [tid ψ] is the thread of the action, written [tid(ψ)] in the paper. *)
+(** [tid ψ] is the thread of the action, written [tid(ψ)] in the paper.
+    Raises [Invalid_argument] on a {!Crash} marker. *)
 
 val oid : t -> Ids.Oid.t
-(** [oid ψ] is the object of the action, written [oid(ψ)]. *)
+(** [oid ψ] is the object of the action, written [oid(ψ)]. Raises
+    [Invalid_argument] on a {!Crash} marker. *)
 
 val fid : t -> Ids.Fid.t
-(** [fid ψ] is the method of the action, written [fid(ψ)]. *)
+(** [fid ψ] is the method of the action, written [fid(ψ)]. Raises
+    [Invalid_argument] on a {!Crash} marker. *)
 
 val is_inv : t -> bool
 val is_res : t -> bool
+val is_crash : t -> bool
 
 (** [matches ~inv ~res] holds when [res] is a candidate matching response for
     [inv]: same thread, object and method. *)

@@ -46,8 +46,15 @@ let check ?crashed ~spec h =
   (* Crash-tolerant mode: only the pending operations of crashed threads
      may be dropped; a live thread's pending operation must be completed.
      Without [crashed] every pending operation is droppable (the classic
-     completion construction). *)
+     completion construction). Durable mode composes with either: an
+     operation pending at a {e system} crash (any era before the final
+     one) either persisted — it is kept and must be explainable strictly
+     before every later-era operation ({!History.precedes}) — or was lost,
+     so it is always droppable. *)
+  let last_era = History.eras h - 1 in
   let droppable (e : History.entry) =
+    e.era < last_era
+    ||
     match crashed with
     | None -> true
     | Some tids -> List.exists (Ids.Tid.equal e.tid) tids
@@ -104,12 +111,17 @@ let check ?crashed ~spec h =
                      preds.(i))
               (List.init n Fun.id)
           in
+          (* Group by (object, era): a CA-element must never straddle a
+             crash marker. The era-aware [precedes] already forces [avail]
+             to be era-uniform (a later-era operation waits for every
+             earlier-era one), but the key makes the invariant structural
+             rather than a consequence of the search order. *)
           let by_oid =
             List.fold_left
               (fun groups i ->
-                let oid = entries.(i).History.oid in
-                let cur = try List.assoc oid groups with Not_found -> [] in
-                (oid, i :: cur) :: List.remove_assoc oid groups)
+                let key = (entries.(i).History.oid, entries.(i).History.era) in
+                let cur = try List.assoc key groups with Not_found -> [] in
+                (key, i :: cur) :: List.remove_assoc key groups)
               [] avail
           in
           let try_subset subset =
@@ -209,13 +221,13 @@ let check ?crashed ~spec h =
         |> List.filter_map (fun (e : History.entry) ->
                match Hashtbl.find_opt chosen_rets (bit_of e.id) with
                | Some ret ->
-                   Some (Action.res ~tid:e.tid ~oid:e.oid ~fid:e.fid ret)
+                   Some (e.era, Action.res ~tid:e.tid ~oid:e.oid ~fid:e.fid ret)
                | None -> None)
       in
       Accepted
         {
           trace;
-          completion = History.of_list (kept_actions @ appended);
+          completion = History.with_responses kept_actions appended;
           stats = stats ();
         }
   | None ->
@@ -223,7 +235,8 @@ let check ?crashed ~spec h =
         {
           reason =
             Fmt.str "no %scompletion of the history is explained by any %s trace"
-              (if crashed = None then "" else "crash-consistent ")
+              (if crashed = None && History.crash_count h = 0 then ""
+               else "crash-consistent ")
               spec.Spec.name;
           stats = stats ();
         }

@@ -44,7 +44,18 @@ val check : ?crashed:Ids.Tid.t list -> spec:Spec.t -> History.t -> verdict
     operations of live threads must be completed, making the check
     strictly stronger than the default on such histories. Omitting
     [crashed] keeps the classic construction where any pending operation
-    is droppable. *)
+    is droppable.
+
+    {b Durable mode.} A history containing {!Action.Crash} markers is
+    checked for durable CA-linearizability, composing with either mode
+    above: an operation pending at a system crash (any era before the
+    final one) either {e persisted} — it is kept, and the era-aware
+    {!History.precedes} forces its element strictly before every
+    later-era operation — or was {e lost} and is dropped, regardless of
+    [crashed]. CA-elements never straddle a crash marker: candidate
+    operations are grouped by (object, era), so every multi-party element
+    is era-uniform. Completions insert chosen responses at the end of the
+    pending operation's era ({!History.with_responses}). *)
 
 val is_cal : ?crashed:Ids.Tid.t list -> spec:Spec.t -> History.t -> bool
 

@@ -11,6 +11,7 @@ type entry = {
   ret : Value.t option;
   inv_index : int;
   res_index : int option;
+  era : int;  (* crash markers before the invocation *)
 }
 
 let empty = [||]
@@ -33,25 +34,47 @@ let of_ops ops =
   of_list actions
 
 (* Scan the history, pairing every response with the unique pending
-   invocation of its thread. Returns the entries in invocation order, or an
-   error describing the first well-formedness violation. *)
+   invocation of its thread. A crash marker cuts off every open invocation
+   (the wiped threads never respond, so those calls stay pending) and opens
+   the next era. Returns the entries in invocation order, or an error
+   describing the first well-formedness violation. *)
 let scan (h : t) : (entry list, string) result =
   let exception Bad of string in
   let open_inv : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let acc = ref [] in
+  let era = ref 0 in
   try
     Array.iteri
       (fun i a ->
-        let tid = Tid.to_int (Action.tid a) in
         match a with
+        | Action.Crash { epoch } ->
+            if epoch <> !era + 1 then
+              raise
+                (Bad
+                   (Fmt.str "action %d: crash marker #%d out of order (expected #%d)"
+                      i epoch (!era + 1)));
+            Hashtbl.reset open_inv;
+            era := epoch
         | Action.Inv { tid = t; oid; fid; arg } ->
+            let tid = Tid.to_int t in
             if Hashtbl.mem open_inv tid then
               raise (Bad (Fmt.str "action %d: thread %a invokes while pending" i Tid.pp t));
             Hashtbl.replace open_inv tid i;
             acc :=
-              { id = i; tid = t; oid; fid; arg; ret = None; inv_index = i; res_index = None }
+              {
+                id = i;
+                tid = t;
+                oid;
+                fid;
+                arg;
+                ret = None;
+                inv_index = i;
+                res_index = None;
+                era = !era;
+              }
               :: !acc
         | Action.Res { tid = t; oid; fid; ret } -> (
+            let tid = Tid.to_int t in
             match Hashtbl.find_opt open_inv tid with
             | None ->
                 raise (Bad (Fmt.str "action %d: thread %a responds with no pending invocation" i Tid.pp t))
@@ -59,7 +82,7 @@ let scan (h : t) : (entry list, string) result =
                 let matching =
                   match h.(j) with
                   | Action.Inv { oid = o'; fid = f'; _ } -> Oid.equal o' oid && Fid.equal f' fid
-                  | Action.Res _ -> false
+                  | Action.Res _ | Action.Crash _ -> false
                 in
                 if not matching then
                   raise (Bad (Fmt.str "action %d: response does not match invocation at %d" i j));
@@ -87,13 +110,22 @@ let is_sequential h =
   is_well_formed h
   &&
   (* Alternation inv, res, inv, res, … starting with an invocation; a
-     trailing invocation (a final pending operation) is permitted. *)
-  let check i a =
-    if i mod 2 = 0 then Action.is_inv a
-    else Action.is_res a && Action.matches ~inv:h.(i - 1) ~res:a
-  in
+     trailing invocation (a final pending operation) is permitted. A crash
+     marker closes the pending invocation, if any, and restarts the
+     alternation. *)
   let ok = ref true in
-  Array.iteri (fun i a -> if not (check i a) then ok := false) h;
+  let open_inv = ref None in
+  Array.iter
+    (fun a ->
+      match a with
+      | Action.Crash _ -> open_inv := None
+      | Action.Inv _ ->
+          if !open_inv <> None then ok := false else open_inv := Some a
+      | Action.Res _ -> (
+          match !open_inv with
+          | Some i when Action.matches ~inv:i ~res:a -> open_inv := None
+          | _ -> ok := false))
+    h;
   !ok
 
 let is_complete h =
@@ -101,17 +133,34 @@ let is_complete h =
   | Error _ -> false
   | Ok es -> List.for_all (fun e -> e.res_index <> None) es
 
+(* Projections keep the crash markers: a crash is visible to every thread
+   and every object (it is a whole-system event). *)
 let proj_thread h t =
-  of_list (List.filter (fun a -> Tid.equal (Action.tid a) t) (to_list h))
+  of_list
+    (List.filter
+       (fun a -> Action.is_crash a || Tid.equal (Action.tid a) t)
+       (to_list h))
 
 let proj_object h o =
-  of_list (List.filter (fun a -> Oid.equal (Action.oid a) o) (to_list h))
+  of_list
+    (List.filter
+       (fun a -> Action.is_crash a || Oid.equal (Action.oid a) o)
+       (to_list h))
 
 let threads h =
-  to_list h |> List.map Action.tid |> List.sort_uniq Tid.compare
+  to_list h
+  |> List.filter_map (fun a -> if Action.is_crash a then None else Some (Action.tid a))
+  |> List.sort_uniq Tid.compare
 
 let objects h =
-  to_list h |> List.map Action.oid |> List.sort_uniq Oid.compare
+  to_list h
+  |> List.filter_map (fun a -> if Action.is_crash a then None else Some (Action.oid a))
+  |> List.sort_uniq Oid.compare
+
+let crash_count h =
+  Array.fold_left (fun n a -> if Action.is_crash a then n + 1 else n) 0 h
+
+let eras h = crash_count h + 1
 
 let op_of_entry e =
   match e.ret with
@@ -121,10 +170,38 @@ let op_of_entry e =
 let pending_of_entry e : Op.pending =
   { tid = e.tid; oid = e.oid; fid = e.fid; arg = e.arg }
 
+(* A crash marker is a global synchronisation point: every operation of an
+   earlier era precedes every operation of a later one, even when the
+   earlier operation is pending (it can only have taken effect before the
+   crash that cut it off). Within one era the order is the classic one. *)
 let precedes a b =
-  match a.res_index with None -> false | Some r -> r < b.inv_index
+  a.era < b.era
+  || (a.era = b.era
+     && match a.res_index with None -> false | Some r -> r < b.inv_index)
 
 let concurrent a b = (not (precedes a b)) && not (precedes b a)
+
+(* Insert each response at the end of its era: just before the crash marker
+   closing era [k] for a pair [(k, r)], or at the very end for the final
+   era. Appending blindly at the end would orphan a pre-crash response —
+   the crash marker resets the pending set, so a response after it has no
+   invocation to answer. *)
+let with_responses base resps =
+  let era = ref 0 in
+  let out = ref [] in
+  List.iter
+    (fun a ->
+      (match a with
+      | Action.Crash { epoch } ->
+          List.iter
+            (fun (k, r) -> if k = epoch - 1 then out := r :: !out)
+            resps;
+          era := epoch
+      | Action.Inv _ | Action.Res _ -> ());
+      out := a :: !out)
+    base;
+  List.iter (fun (k, r) -> if k = !era then out := r :: !out) resps;
+  of_list (List.rev !out)
 
 (* Enumerate completions: every pending invocation is either dropped or
    completed with one of its candidate responses appended at the end. *)
@@ -137,7 +214,8 @@ let completions ~responses ?(max = 10_000) h =
         let p = pending_of_entry e in
         let keep =
           List.map
-            (fun ret -> `Complete (e.id, Action.res ~tid:e.tid ~oid:e.oid ~fid:e.fid ret))
+            (fun ret ->
+              `Complete (e.era, Action.res ~tid:e.tid ~oid:e.oid ~fid:e.fid ret))
             (responses p)
         in
         `Drop e.id :: keep)
@@ -156,12 +234,12 @@ let completions ~responses ?(max = 10_000) h =
       List.filter_map (function `Drop id -> Some id | `Complete _ -> None) picks
     in
     let appended =
-      List.filter_map (function `Complete (_, a) -> Some a | `Drop _ -> None) picks
+      List.filter_map (function `Complete (k, a) -> Some (k, a) | `Drop _ -> None) picks
     in
     let kept =
       List.filteri (fun i _ -> not (List.mem i dropped)) base
     in
-    of_list (kept @ appended)
+    with_responses kept appended
   in
   Seq.take max (Seq.map build (product choices))
 

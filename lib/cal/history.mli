@@ -19,7 +19,9 @@ type t
 
 (** A resolved operation instance inside a history. [id] is the index of
     the invocation action and uniquely identifies the operation. [ret] is
-    [None] for pending operations. *)
+    [None] for pending operations. [era] counts the {!Action.Crash} markers
+    before the invocation: operations of era [k] ran between the [k]-th and
+    [(k+1)]-th system crash ([0] for crash-free histories). *)
 type entry = {
   id : int;
   tid : Ids.Tid.t;
@@ -29,6 +31,7 @@ type entry = {
   ret : Value.t option;
   inv_index : int;
   res_index : int option;
+  era : int;
 }
 
 (** {1 Construction} *)
@@ -51,16 +54,30 @@ val validate : t -> (unit, string) result
     otherwise. *)
 
 val is_well_formed : t -> bool
+
 val is_sequential : t -> bool
+(** Alternation inv, res, inv, res, … with matching pairs; a trailing
+    pending invocation is permitted, and a crash marker closes the pending
+    invocation (if any) and restarts the alternation. *)
+
 val is_complete : t -> bool
+
+val crash_count : t -> int
+(** Number of {!Action.Crash} markers in the history. *)
+
+val eras : t -> int
+(** [crash_count h + 1]: the number of execution eras the crash markers
+    partition the history into. *)
 
 (** {1 Projections} *)
 
 val proj_thread : t -> Ids.Tid.t -> t
-(** [proj_thread h t] is [H|t]. *)
+(** [proj_thread h t] is [H|t]. Crash markers are kept in every thread
+    projection (a system crash is visible to every thread). *)
 
 val proj_object : t -> Ids.Oid.t -> t
-(** [proj_object h o] is [H|o]. *)
+(** [proj_object h o] is [H|o]. Crash markers are kept in every object
+    projection. *)
 
 val threads : t -> Ids.Tid.t list
 (** Thread identifiers occurring in the history, sorted. *)
@@ -83,8 +100,11 @@ val op_of_entry : entry -> Op.t option
 val pending_of_entry : entry -> Op.pending
 
 val precedes : entry -> entry -> bool
-(** [precedes a b] holds when [a]'s response is before [b]'s invocation:
-    the operation-level real-time order induced by [≺H]. *)
+(** [precedes a b] holds when [a]'s response is before [b]'s invocation
+    (the operation-level real-time order induced by [≺H]), or when [a]
+    belongs to a strictly earlier era than [b]: a crash marker is a global
+    synchronisation point, so even a pending earlier-era operation can only
+    have taken effect before it. *)
 
 val concurrent : entry -> entry -> bool
 (** Neither precedes the other. *)
@@ -95,9 +115,19 @@ val completions :
   responses:(Op.pending -> Value.t list) -> ?max:int -> t -> t Seq.t
 (** [completions ~responses h] enumerates [complete(H)]: every pending
     invocation is either removed or completed by appending a response whose
-    value is drawn from [responses]. Appended responses land after all
-    original actions. [max] (default 10_000) caps the number of completions
-    produced. Raises [Invalid_argument] when [h] is not well-formed. *)
+    value is drawn from [responses]. Appended responses land at the end of
+    the pending operation's {e era} (see {!with_responses}) — for
+    crash-free histories, after all original actions. [max] (default
+    10_000) caps the number of completions produced. Raises
+    [Invalid_argument] when [h] is not well-formed. *)
+
+val with_responses : Action.t list -> (int * Action.t) list -> t
+(** [with_responses base rs] inserts each response action of [rs] at the
+    end of its era: a pair [(k, r)] lands just before the crash marker
+    closing era [k], or at the very end for the final era. This keeps
+    completions of crash histories well-formed — a response appended after
+    a crash marker would have no pending invocation to answer, because the
+    marker cuts off every open call. *)
 
 (** {1 Printing} *)
 

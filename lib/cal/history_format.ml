@@ -135,6 +135,10 @@ let parse_action line =
     |> List.filter (fun s -> s <> "")
   in
   match parts with
+  | [ "crash"; epoch_s ] -> (
+      match int_of_string_opt epoch_s with
+      | Some epoch when epoch >= 1 -> Ok (Action.crash ~epoch)
+      | _ -> Error (Fmt.str "bad crash epoch %S (expected a positive integer)" epoch_s))
   | tid_s :: kind :: target :: rest -> (
       let value_s = String.concat " " rest in
       match (parse_tid tid_s, split_target target, parse_value value_s) with
@@ -171,6 +175,7 @@ let print_action a =
       Fmt.str "%a inv %s %s" Tid.pp tid (target oid fid) (Value.show arg)
   | Action.Res { tid; oid; fid; ret } ->
       Fmt.str "%a res %s %s" Tid.pp tid (target oid fid) (Value.show ret)
+  | Action.Crash { epoch } -> Fmt.str "crash %d" epoch
 
 let print_history h =
   String.concat "\n" (List.map print_action (History.to_list h)) ^ "\n"

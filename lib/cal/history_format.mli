@@ -13,7 +13,11 @@
 
     Values: integers ([42]), booleans ([true]/[false]), unit ([()]),
     strings (["foo"]), pairs ([(v, w)]) and lists ([\[v; w\]]), nested
-    freely. *)
+    freely.
+
+    A full-system crash marker is the line [crash <epoch>] (1-based epoch
+    number, e.g. [crash 1] for the first crash of the run); it round-trips
+    with {!Action.Crash}. *)
 
 val parse_value : string -> (Value.t, string) result
 val print_value : Value.t -> string

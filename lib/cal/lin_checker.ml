@@ -30,9 +30,14 @@ let check ?crashed ~spec h =
           (fun i -> History.precedes entries.(i) entries.(j))
           (List.init n Fun.id))
   in
-  (* Crash-tolerant mode (mirrors {!Cal_checker.check}): only crashed
-     threads' pending operations are droppable. *)
+  (* Crash-tolerant and durable modes (mirror {!Cal_checker.check}): only
+     crashed threads' pending operations are droppable, except that an
+     operation pending at a system crash — any era before the final one —
+     may always have been lost. *)
+  let last_era = History.eras h - 1 in
   let droppable (e : History.entry) =
+    e.era < last_era
+    ||
     match crashed with
     | None -> true
     | Some tids -> List.exists (Ids.Tid.equal e.tid) tids
@@ -131,14 +136,16 @@ let check ?crashed ~spec h =
         List.filter_map
           (fun (i, (op : Op.t)) ->
             if entries.(i).History.ret = None then
-              Some (Action.res ~tid:op.tid ~oid:op.oid ~fid:op.fid op.ret)
+              Some
+                ( entries.(i).History.era,
+                  Action.res ~tid:op.tid ~oid:op.oid ~fid:op.fid op.ret )
             else None)
           indexed_ops
       in
       Linearizable
         {
           linearization = List.map snd indexed_ops;
-          completion = History.of_list (kept_actions @ appended);
+          completion = History.with_responses kept_actions appended;
           stats = stats ();
         }
   | None ->
@@ -146,7 +153,8 @@ let check ?crashed ~spec h =
         {
           reason =
             Fmt.str "no %scompletion has a sequential explanation in %s"
-              (if crashed = None then "" else "crash-consistent ")
+              (if crashed = None && History.crash_count h = 0 then ""
+               else "crash-consistent ")
               spec.Spec.name;
           stats = stats ();
         }

@@ -25,7 +25,11 @@ val check : ?crashed:Ids.Tid.t list -> spec:Spec.t -> History.t -> verdict
     Raises [Invalid_argument] on ill-formed or oversized (> 62 operations)
     histories. [crashed] restricts the completion construction exactly as
     in {!Cal_checker.check}: only the listed threads' pending operations
-    may be dropped. *)
+    may be dropped. Histories with {!Action.Crash} markers are checked for
+    {e durable} linearizability, again exactly as in {!Cal_checker.check}:
+    an operation pending at a system crash either persisted (kept, ordered
+    before every later era) or was lost (droppable regardless of
+    [crashed]). *)
 
 val is_linearizable : ?crashed:Ids.Tid.t list -> spec:Spec.t -> History.t -> bool
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -5,6 +5,7 @@ type t = {
   mutable trace_len : int;
   mutable clock : int;
   mutable skew : (int * int) list;
+  mutable crashes : int;
 }
 
 let create () =
@@ -15,6 +16,7 @@ let create () =
     trace_len = 0;
     clock = 0;
     skew = [];
+    crashes = 0;
   }
 
 let log_action t a =
@@ -22,6 +24,12 @@ let log_action t a =
   t.hist_len <- t.hist_len + 1
 
 let history_length t = t.hist_len
+
+let record_crash t =
+  t.crashes <- t.crashes + 1;
+  log_action t (Cal.Action.crash ~epoch:t.crashes)
+
+let crash_count t = t.crashes
 let now t = t.clock
 let tick t = t.clock <- t.clock + 1
 
@@ -46,21 +54,26 @@ let trace t = List.rev t.trace_rev
 let trace_length t = t.trace_len
 
 let active_threads t ~oid =
-  (* Scan newest-to-oldest: a response closes its thread's pending call. *)
+  (* Scan newest-to-oldest: a response closes its thread's pending call. A
+     crash marker ends the scan — every invocation before it was cut off by
+     the crash, so none of those threads is still executing. *)
+  let exception Done in
   let closed = Hashtbl.create 8 in
   let active = ref [] in
-  List.iter
-    (fun a ->
-      let tid = Cal.Action.tid a in
-      match a with
-      | Cal.Action.Res { oid = o; _ } when Cal.Ids.Oid.equal o oid ->
-          Hashtbl.replace closed (Cal.Ids.Tid.to_int tid) ()
-      | Cal.Action.Inv { oid = o; _ } when Cal.Ids.Oid.equal o oid ->
-          if not (Hashtbl.mem closed (Cal.Ids.Tid.to_int tid)) then begin
-            active := tid :: !active;
-            (* older invocations of this thread are already answered *)
-            Hashtbl.replace closed (Cal.Ids.Tid.to_int tid) ()
-          end
-      | _ -> ())
-    t.history_rev;
+  (try
+     List.iter
+       (fun a ->
+         match a with
+         | Cal.Action.Crash _ -> raise Done
+         | Cal.Action.Res { tid; oid = o; _ } when Cal.Ids.Oid.equal o oid ->
+             Hashtbl.replace closed (Cal.Ids.Tid.to_int tid) ()
+         | Cal.Action.Inv { tid; oid = o; _ } when Cal.Ids.Oid.equal o oid ->
+             if not (Hashtbl.mem closed (Cal.Ids.Tid.to_int tid)) then begin
+               active := tid :: !active;
+               (* older invocations of this thread are already answered *)
+               Hashtbl.replace closed (Cal.Ids.Tid.to_int tid) ()
+             end
+         | _ -> ())
+       t.history_rev
+   with Done -> ());
   List.sort_uniq Cal.Ids.Tid.compare !active

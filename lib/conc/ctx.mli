@@ -30,6 +30,14 @@ val history_length : t -> int
 (** Number of actions logged so far (cheaper than materialising
     {!history}; used by the exploration engine's state fingerprints). *)
 
+val record_crash : t -> unit
+(** Log a {!Cal.Action.Crash} marker (with the next epoch number) into the
+    history and bump the crash counter. Called by {!Runner} when a
+    [Fault.Crash_system] fires; implementations must not call it. *)
+
+val crash_count : t -> int
+(** System crashes recorded so far in this run. *)
+
 val now : t -> int
 (** The logical clock: the number of scheduling decisions applied so far in
     this run. Advanced by the runner (never by programs), so a replayed
@@ -56,4 +64,6 @@ val local_now : t -> tid:Cal.Ids.Tid.t -> int
 
 val active_threads : t -> oid:Cal.Ids.Oid.t -> Cal.Ids.Tid.t list
 (** Threads currently executing a method of [oid] (the paper's [InE]):
-    those with a pending invocation on [oid] in the history. *)
+    those with a pending invocation on [oid] in the history {e after} the
+    last crash marker — invocations cut off by a system crash are dead,
+    not active. *)

@@ -75,9 +75,9 @@ let independent ((d1 : Runner.decision), l1) ((d2 : Runner.decision), l2) =
      dependent (non-commuting) step wakes it — the classic partial-order
      argument that exploring [d1;d2] and [d2;d1] twice is redundant when
      the two steps commute. *)
-let dfs ~plan ~setup ~fuel ?max_runs ?preemption_bound ~prune ~init_path
+let dfs ~restart ~fuel ?max_runs ?preemption_bound ~prune ~init_path
     ~step_path ~leaf () =
-  let exec = ref (Runner.start ~plan ~setup ()) in
+  let exec = ref (restart ()) in
   let runs = ref 0 and truncated = ref false and max_steps = ref 0 in
   let nodes = ref 0 and replayed = ref 0 in
   let fp_hits = ref 0 and slept = ref 0 in
@@ -101,7 +101,7 @@ let dfs ~plan ~setup ~fuel ?max_runs ?preemption_bound ~prune ~init_path
      from an earlier sibling's subtree. *)
   let ensure_at depth prefix_rev =
     if Runner.steps_done !exec <> depth then begin
-      let e = Runner.start ~plan ~setup () in
+      let e = restart () in
       List.iter (fun d -> ignore (Runner.step e d)) (List.rev prefix_rev);
       replayed := !replayed + depth;
       exec := e
@@ -185,8 +185,22 @@ let dfs ~plan ~setup ~fuel ?max_runs ?preemption_bound ~prune ~init_path
 
 let exhaustive ?(plan = []) ?prune ~setup ~fuel ?max_runs ?preemption_bound ~f
     () =
-  dfs ~plan ~setup ~fuel ?max_runs ?preemption_bound
-    ~prune:(pruning_requested prune) ~init_path:()
+  dfs
+    ~restart:(fun () -> Runner.start ~plan ~setup ())
+    ~fuel ?max_runs ?preemption_bound ~prune:(pruning_requested prune)
+    ~init_path:()
+    ~step_path:(fun () _ _ -> ())
+    ~leaf:(fun o _ () -> f o)
+    ()
+
+(* Exhaustive exploration of one durable program under one (possibly
+   crashing) plan. Always unpruned: persistent-cell contents are not part
+   of the state fingerprint, so memoization across crash plans would be
+   unsound. *)
+let exhaustive_durable ~plan ~setup ~fuel ?max_runs ?preemption_bound ~f () =
+  dfs
+    ~restart:(fun () -> Runner.start_durable ~plan ~setup ())
+    ~fuel ?max_runs ?preemption_bound ~prune:false ~init_path:()
     ~step_path:(fun () _ _ -> ())
     ~leaf:(fun o _ () -> f o)
     ()
@@ -455,6 +469,81 @@ let exhaustive_with_faults ?delay_factors ?prune ~setup ~fuel ?max_runs
     fault_sleep_pruned = !acc.sleep_pruned;
   }
 
+(* ------------------------------------------------- crash exploration -- *)
+
+(* Crash points of a durable program are enumerated against the observed
+   run lengths: the crash-free pass (or, for nested crashes, the parent
+   crash plan's pass) reports the deepest run it saw, and every global step
+   0..max is a candidate [Crash_system] point — including the point right
+   after the last decision, where recovery runs against the final state,
+   and point 0, where the system dies before any decision. The enumeration
+   is lazy and smallest-first: earlier crash points run before later ones,
+   depth-1 plans before their depth-2 (crash-during-recovery) children, so
+   a [max_plans] budget keeps a prefix of the cheapest plans. Per-thread
+   fault plans (learned exactly as in [exhaustive_with_faults]) are crossed
+   with the crash points when [fault_bound > 0]. *)
+let exhaustive_with_crashes ?delay_factors ~setup ~fuel ?max_runs
+    ?preemption_bound ?max_plans ?(max_crash_depth = 1) ?(fault_bound = 0) ~f
+    () =
+  if fault_bound < 0 then invalid_arg "Explore: fault_bound must be >= 0";
+  if max_crash_depth < 0 then
+    invalid_arg "Explore: max_crash_depth must be >= 0";
+  let budget = ref (match max_plans with Some m -> m | None -> max_int) in
+  let capped = ref false in
+  let exception Budget in
+  let acc = ref empty_stats in
+  let nplans = ref 0 in
+  (* Run one plan exhaustively; returns the deepest run it delivered (the
+     crash-point horizon for this plan's children). *)
+  let run_plan ?(learn = fun _ -> ()) plan =
+    if !budget <= 0 then begin
+      capped := true;
+      raise Budget
+    end;
+    decr budget;
+    incr nplans;
+    let smax = ref 0 in
+    let s =
+      exhaustive_durable ~plan ~setup ~fuel ?max_runs ?preemption_bound
+        ~f:(fun o ->
+          if o.Runner.steps > !smax then smax := o.Runner.steps;
+          learn o;
+          f o)
+        ()
+    in
+    acc := merge_stats !acc s;
+    !smax
+  in
+  let rec crash_sweep prefix ~last_at ~horizon ~depth =
+    if depth <= max_crash_depth then
+      for s = last_at + 1 to horizon do
+        let plan = prefix @ [ Fault.Crash_system { at_step = s } ] in
+        let horizon' = run_plan plan in
+        crash_sweep plan ~last_at:s ~horizon:horizon' ~depth:(depth + 1)
+      done
+  in
+  (try
+     let learner = candidate_learner ?delay_factors () in
+     let free_horizon = run_plan ~learn:learner.learn [] in
+     crash_sweep [] ~last_at:(-1) ~horizon:free_horizon ~depth:1;
+     if fault_bound > 0 then
+       Seq.iter
+         (fun fp ->
+           let horizon = run_plan fp in
+           crash_sweep fp ~last_at:(-1) ~horizon ~depth:1)
+         (plans_up_to ~bound:fault_bound (learner.candidates ()))
+   with Budget -> ());
+  {
+    plans = !nplans;
+    fault_runs = !acc.runs;
+    fault_truncated = !acc.truncated || !capped;
+    fault_max_steps = !acc.max_steps;
+    fault_nodes = !acc.nodes;
+    fault_replayed_steps = !acc.replayed_steps;
+    fault_fingerprint_hits = !acc.fingerprint_hits;
+    fault_sleep_pruned = !acc.sleep_pruned;
+  }
+
 (* ------------------------------------------------- liveness watchdog -- *)
 
 type run_verdict =
@@ -552,8 +641,10 @@ let liveness_core ?(plan = []) ~setup ~fuel ~window ?max_runs ?preemption_bound
     bump_idle ~window idle (enabled_threads frontier) d.thread starving
   in
   let stats =
-    dfs ~plan ~setup ~fuel ?max_runs ?preemption_bound ~prune:false
-      ~init_path:([], []) ~step_path ~leaf ()
+    dfs
+      ~restart:(fun () -> Runner.start ~plan ~setup ())
+      ~fuel ?max_runs ?preemption_bound ~prune:false ~init_path:([], [])
+      ~step_path ~leaf ()
   in
   {
     live_runs = stats.runs;

@@ -171,6 +171,60 @@ val exhaustive_with_faults :
     be [>= 2]), so the plan enumeration also covers skewed-clock
     executions in which a thread's deadlines fire early. *)
 
+val exhaustive_durable :
+  plan:Fault.plan ->
+  setup:(Ctx.t -> Runner.durable) ->
+  fuel:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  f:(Runner.outcome -> unit) ->
+  unit ->
+  stats
+(** {!exhaustive} for a durable program under one fixed (possibly
+    crashing) plan — the engine behind {!exhaustive_with_crashes}, exposed
+    for targeted tests. Always unpruned: persistent-cell contents are not
+    part of the state fingerprint, so memoization across crash plans would
+    be unsound. *)
+
+val exhaustive_with_crashes :
+  ?delay_factors:int list ->
+  setup:(Ctx.t -> Runner.durable) ->
+  fuel:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  ?max_plans:int ->
+  ?max_crash_depth:int ->
+  ?fault_bound:int ->
+  f:(Runner.outcome -> unit) ->
+  unit ->
+  fault_stats
+(** The crash analog of {!exhaustive_with_faults} for durable programs:
+    enumerate {!Fault.Crash_system} plans and explore every schedule of
+    the durable program under each.
+
+    The crash-free pass runs first and reports the deepest run it saw;
+    every global step [0..max] then becomes a candidate crash point —
+    point [0] (the system dies before any decision) and point [max]
+    (recovery runs against the completed workload) included. When
+    [max_crash_depth] (default [1]) allows, each crash plan's own deepest
+    run bounds a nested sweep of strictly later second crash points —
+    crash-during-recovery executions. Enumeration is lazy and
+    smallest-first (earlier points before later, depth 1 before depth 2),
+    so a [max_plans] budget keeps a prefix of the cheapest plans and is
+    recorded as truncation.
+
+    [fault_bound] (default [0]) additionally crosses per-thread fault
+    plans — learned from the crash-free pass exactly as in
+    {!exhaustive_with_faults}, including [delay_factors] candidates — with
+    the crash-point sweep, so a thread crash or forced CAS failure can be
+    combined with a system crash.
+
+    Always unpruned (see {!exhaustive_durable}). Outcomes delivered to [f]
+    carry their plan in [outcome.faults], the crashes that actually fired
+    in [outcome.injected], and the era count in [outcome.epochs]; the
+    witness for any violation is the replayable pair
+    ([outcome.schedule], [outcome.faults]) via {!Runner.replay_durable}. *)
+
 (** {1 Liveness watchdog}
 
     The safety checkers silently accept a run in which nobody ever makes

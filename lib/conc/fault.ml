@@ -3,6 +3,7 @@ type t =
   | Fail_step of { label : string; nth : int }
   | Stall of { thread : int; at_step : int; for_steps : int }
   | Delay of { thread : int; factor : int }
+  | Crash_system of { at_step : int }
 
 type plan = t list
 
@@ -10,12 +11,28 @@ let crash ~thread ~at_step = Crash { thread; at_step }
 let fail_step ~label ~nth = Fail_step { label; nth }
 let stall ~thread ~at_step ~for_steps = Stall { thread; at_step; for_steps }
 let delay ~thread ~factor = Delay { thread; factor }
+let crash_system ~at_step = Crash_system { at_step }
 
-let validate plan =
+let validate ?(max_crash_depth = 1) plan =
   let seen_crash = Hashtbl.create 4 in
   let seen_delay = Hashtbl.create 4 in
+  let sys_crashes = ref 0 in
+  let last_sys = ref (-1) in
   let rec go = function
     | [] -> Ok ()
+    | Crash_system { at_step } :: rest ->
+        if at_step < 0 then Error "Crash_system: negative at_step"
+        else if at_step <= !last_sys && !sys_crashes > 0 then
+          Error "Crash_system: crash points must be strictly increasing"
+        else begin
+          incr sys_crashes;
+          last_sys := at_step;
+          if !sys_crashes > max_crash_depth then
+            Error
+              (Fmt.str "Crash_system: %d system crashes exceed max_crash_depth %d"
+                 !sys_crashes max_crash_depth)
+          else go rest
+        end
     | Crash { thread; at_step } :: rest ->
         if thread < 0 then Error "Crash: negative thread"
         else if at_step < 0 then Error "Crash: negative at_step"
@@ -56,6 +73,11 @@ let crashed_threads plan =
   List.filter_map (function Crash { thread; _ } -> Some thread | _ -> None) plan
   |> List.sort_uniq Int.compare
 
+let system_crash_points plan =
+  List.filter_map
+    (function Crash_system { at_step } -> Some at_step | _ -> None)
+    plan
+
 let equal (a : t) (b : t) = a = b
 
 let compare (a : t) (b : t) = Stdlib.compare a b
@@ -66,6 +88,7 @@ let pp ppf = function
   | Stall { thread; at_step; for_steps } ->
       Fmt.pf ppf "stall(t%d@%d+%d)" thread at_step for_steps
   | Delay { thread; factor } -> Fmt.pf ppf "delay(t%d*%d)" thread factor
+  | Crash_system { at_step } -> Fmt.pf ppf "crash-system(@%d)" at_step
 
 let pp_plan ppf = function
   | [] -> Fmt.pf ppf "(no faults)"

@@ -6,7 +6,7 @@
     replay, a faulty run is exactly as reproducible (and as minimisable) as
     a fault-free one — the pair (schedule, plan) identifies the execution.
 
-    Three fault shapes are supported:
+    Five fault shapes are supported:
 
     - {!Crash}: the thread takes no further steps once it has taken
       [at_step] steps. Its operation, if one is in flight, stays pending
@@ -28,13 +28,34 @@
       expire sooner — a deterministic model of a thread whose timer fires
       early relative to its peers' progress. A delay never changes which
       steps are enabled, only how timed operations on the delayed thread
-      resolve their deadlines. *)
+      resolve their deadlines.
+    - {!Crash_system}: the whole system crashes once [at_step] {e global}
+      decisions have been applied — volatile state ({!Pcell} cells, thread
+      programs) is wiped, durable state survives, and the run continues
+      with the program's recovery segment (see {!Runner.durable}).
+      [at_step = 0] crashes before any decision runs.
+
+    {b Composition order.} Faults of one plan compose deterministically:
+
+    - {e Delay before Crash} (same thread, same step): the skew of a
+      [Delay] is installed when the run starts, before any step executes,
+      so every step the thread takes — including the very step at which a
+      [Crash] or [Crash_system] cuts it off — already perceives the skewed
+      clock. A thread delayed and crashed at the same point therefore
+      observes its deadlines through the skew first, and only then dies.
+    - {e Crash before Stall} (same thread, same step): a thread whose crash
+      point has been reached is dead even if a stall window would also have
+      opened; it never wakes up.
+    - A {!Crash_system} at global step [s] fires after the [s]-th decision
+      (before the [s+1]-th); per-thread faults of later epochs keep their
+      counters — thread step counts are cumulative across epochs. *)
 
 type t =
   | Crash of { thread : int; at_step : int }
   | Fail_step of { label : string; nth : int }
   | Stall of { thread : int; at_step : int; for_steps : int }
   | Delay of { thread : int; factor : int }
+  | Crash_system of { at_step : int }
 
 type plan = t list
 
@@ -42,10 +63,16 @@ val crash : thread:int -> at_step:int -> t
 val fail_step : label:string -> nth:int -> t
 val stall : thread:int -> at_step:int -> for_steps:int -> t
 val delay : thread:int -> factor:int -> t
+val crash_system : at_step:int -> t
 
-val validate : plan -> (unit, string) result
+val validate : ?max_crash_depth:int -> plan -> (unit, string) result
 (** Rejects negative counters, [nth < 1], [for_steps < 1], [factor < 2],
-    two crashes of the same thread, and two delays of the same thread. *)
+    two crashes of the same thread, and two delays of the same thread.
+    [Crash_system] entries must appear with strictly increasing crash
+    points (sorted, never two crashes at the same global step), and at most
+    [max_crash_depth] of them (default [1]: nested crash-during-recovery
+    plans must be requested explicitly — {!Runner} itself accepts any
+    depth). *)
 
 val matches_label : pattern:string -> string -> bool
 (** [matches_label ~pattern l] holds when [l = pattern] or [l] is [pattern]
@@ -53,6 +80,10 @@ val matches_label : pattern:string -> string -> bool
 
 val crashed_threads : plan -> int list
 (** The threads some [Crash] of the plan targets, sorted, deduplicated. *)
+
+val system_crash_points : plan -> int list
+(** The [at_step] points of the plan's [Crash_system] entries, in plan
+    order (which {!validate} requires to be strictly increasing). *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int

@@ -1,0 +1,53 @@
+(* Persistent cells with an explicit write-back model. A cell holds a
+   volatile value (what reads and CASes see) and a durable value (what
+   survives a crash); [write] only touches the volatile copy, [flush]
+   copies it to the durable one. A system crash wipes every cell of a
+   domain back to its durable value — exactly the unflushed writes are
+   lost. All mutations are plain OCaml mutation: the cells are stepped
+   inside Prog atomic/fallible steps, so determinism comes from the runner
+   exactly as for [ref] cells. *)
+
+type domain = {
+  mutable cells : cell_ops list;  (* newest first; order is irrelevant *)
+  mutable crashes : int;
+}
+
+and cell_ops = { wipe : unit -> unit; is_dirty : unit -> bool }
+
+type 'a t = {
+  mutable vol : 'a;
+  mutable dur : 'a;
+  mutable dirty : bool;
+}
+
+let domain () = { cells = []; crashes = 0 }
+
+let create dom v =
+  let c = { vol = v; dur = v; dirty = false } in
+  dom.cells <-
+    { wipe = (fun () -> c.vol <- c.dur; c.dirty <- false);
+      is_dirty = (fun () -> c.dirty) }
+    :: dom.cells;
+  c
+
+let read c = c.vol
+
+let write c v =
+  c.vol <- v;
+  c.dirty <- true
+
+let flush c =
+  c.dur <- c.vol;
+  c.dirty <- false
+
+let persisted c = c.dur
+let dirty c = c.dirty
+
+let crash dom =
+  List.iter (fun ops -> ops.wipe ()) dom.cells;
+  dom.crashes <- dom.crashes + 1
+
+let crashes dom = dom.crashes
+
+let pending dom =
+  List.fold_left (fun n ops -> if ops.is_dirty () then n + 1 else n) 0 dom.cells

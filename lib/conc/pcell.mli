@@ -1,0 +1,61 @@
+(** Persistent cells: the explicit write-back memory model of the durable
+    structures.
+
+    A [Pcell] has a {e volatile} value — what {!read}, and the CAS steps
+    built from {!read}/{!write}, observe — and a {e durable} value — what
+    survives a full-system crash. {!write} only updates the volatile copy
+    and marks the cell dirty; {!flush} copies volatile to durable (the
+    explicit persist step of a flush discipline, one program step like any
+    other). When the runner fires a {!Fault.Crash_system}, it calls
+    {!crash} on the program's domain: every cell reverts to its durable
+    value, so exactly the unflushed (pending-persist) writes are lost.
+
+    Because flushes are explicit steps and the crash-point enumeration of
+    {!Explore.exhaustive_with_crashes} places a crash between {e every} pair
+    of adjacent steps, the reachable persisted states cover the usual
+    nondeterministic-truncation model of persistent memory: any prefix of
+    the flush order can be the surviving state.
+
+    Cells are registered with a {!domain} at creation; a durable program's
+    setup creates one domain, allocates its cells in it, and hands the
+    domain to the runner via {!Runner.durable}. *)
+
+type domain
+(** A persistence domain: the set of cells wiped together at a crash. *)
+
+type 'a t
+(** A persistent cell holding values of type ['a]. *)
+
+val domain : unit -> domain
+
+val create : domain -> 'a -> 'a t
+(** [create dom v] is a fresh cell with volatile and durable value [v],
+    registered in [dom]. *)
+
+val read : 'a t -> 'a
+(** The volatile value. *)
+
+val write : 'a t -> 'a -> unit
+(** Set the volatile value and mark the cell dirty. The durable value is
+    unchanged until {!flush}. *)
+
+val flush : 'a t -> unit
+(** Persist: copy the volatile value to the durable one and clear the dirty
+    bit. *)
+
+val persisted : 'a t -> 'a
+(** The durable value (what a crash right now would leave behind). *)
+
+val dirty : 'a t -> bool
+(** Whether the cell has an unflushed write. *)
+
+val crash : domain -> unit
+(** Wipe every cell of the domain back to its durable value — the
+    full-system crash transition. Called by {!Runner}; tests may call it
+    directly. *)
+
+val crashes : domain -> int
+(** Crashes fired on this domain so far. *)
+
+val pending : domain -> int
+(** Number of dirty cells — the size of the pending-persist set. *)

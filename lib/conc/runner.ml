@@ -7,6 +7,12 @@ type program = {
   on_label : (string -> unit) option;
 }
 
+type durable = {
+  boot : program;
+  domain : Pcell.domain;
+  recover : epoch:int -> program;
+}
+
 type outcome = {
   history : Cal.History.t;
   trace : Cal.Ca_trace.t;
@@ -17,6 +23,7 @@ type outcome = {
   faults : Fault.plan;
   injected : Fault.plan;
   fallible_steps : string list;
+  epochs : int;
 }
 
 type frontier = decision list
@@ -30,17 +37,20 @@ let pp_decision ppf d =
    replayed faulty run fires exactly the same faults at the same points. *)
 type fault_state = {
   plan : Fault.plan;
-  thread_steps : int array;       (* decisions applied per thread *)
+  mutable thread_steps : int array; (* decisions applied per thread *)
   mutable global_step : int;      (* decisions applied in total *)
-  crash_at : int array;           (* per-thread crash point, max_int if none *)
-  stall_until : int array;        (* global step before which the thread sleeps *)
+  mutable crash_at : int array;   (* per-thread crash point, max_int if none *)
+  mutable stall_until : int array; (* global step before which the thread sleeps *)
+  mutable sys_pending : int list; (* remaining Crash_system points, ascending *)
   fail_seen : (string, int) Hashtbl.t;  (* pattern -> matching fallible steps *)
   mutable fired_rev : Fault.t list;     (* Fail_step and Stall firings, newest first *)
   mutable fallible_rev : string list;   (* labels of executed fallible steps *)
 }
 
 let fault_state ~threads plan =
-  (match Fault.validate plan with
+  (* Depth is unbounded here: the runner executes any validated shape; the
+     default depth-1 policy belongs to plan {e enumeration} (Explore). *)
+  (match Fault.validate ~max_crash_depth:max_int plan with
   | Ok () -> ()
   | Error reason -> invalid_arg ("Runner: invalid fault plan: " ^ reason));
   let crash_at = Array.make threads max_int in
@@ -52,6 +62,7 @@ let fault_state ~threads plan =
       global_step = 0;
       crash_at;
       stall_until;
+      sys_pending = Fault.system_crash_points plan;
       fail_seen = Hashtbl.create 4;
       fired_rev = [];
       fallible_rev = [];
@@ -67,7 +78,9 @@ let fault_state ~threads plan =
             stall_until.(thread) <- for_steps;
             fs.fired_rev <- f :: fs.fired_rev
           end
-      | Fault.Stall _ | Fault.Fail_step _ | Fault.Delay _ -> ())
+      | Fault.Stall _ | Fault.Fail_step _ | Fault.Delay _
+      | Fault.Crash_system _ ->
+          ())
     plan;
   fs
 
@@ -189,33 +202,111 @@ let enabled fs states =
    re-execution — once per backtrack, not once per node). *)
 type exec = {
   e_ctx : Ctx.t;
-  e_program : program;
-  e_states : Cal.Value.t Prog.t array;
+  mutable e_program : program;
+  mutable e_states : Cal.Value.t Prog.t array;
   e_fs : fault_state;
-  e_obs : int array;
+  mutable e_obs : int array;
       (* per-thread rolling observation hash: folds, at each of the
          thread's steps, the step label with the history/trace lengths
          right after the step — a cheap proxy for "what this thread has
          seen of the shared structures", used by {!fingerprint} *)
+  e_durable : (Pcell.domain * (epoch:int -> program)) option;
+  mutable e_epoch : int; (* system crashes survived so far *)
   mutable e_applied_rev : decision list;
   mutable e_steps : int;
 }
 
-let start ?(plan = []) ~setup () =
-  let ctx = Ctx.create () in
-  let program = setup ctx in
+let grow arr n default =
+  let old = Array.length arr in
+  if n <= old then arr
+  else begin
+    let a = Array.make n default in
+    Array.blit arr 0 a 0 old;
+    a
+  end
+
+(* Recovery may launch more threads than the crashed epoch had: grow (never
+   shrink) the per-thread fault counters, re-deriving per-thread fault
+   trigger points from the plan for the new indices. Counters of surviving
+   indices are kept — thread step counts are cumulative across epochs. *)
+let extend_fs fs n =
+  let old = Array.length fs.thread_steps in
+  if n > old then begin
+    fs.thread_steps <- grow fs.thread_steps n 0;
+    fs.crash_at <- grow fs.crash_at n max_int;
+    fs.stall_until <- grow fs.stall_until n 0;
+    List.iter
+      (function
+        | Fault.Crash { thread; at_step } when thread >= old && thread < n ->
+            fs.crash_at.(thread) <- at_step
+        | Fault.Stall { thread; at_step = 0; for_steps } as f
+          when thread >= old && thread < n ->
+            fs.stall_until.(thread) <- fs.global_step + for_steps;
+            fs.fired_rev <- f :: fs.fired_rev
+        | _ -> ())
+      fs.plan
+  end
+
+(* Fire any Crash_system whose point this run has reached: wipe the domain's
+   volatile cells, drop every in-flight thread program, log the crash marker
+   and install the recovery program for the next epoch. Recursive because a
+   recovery epoch can itself be crashed (crash-during-recovery plans). *)
+let rec maybe_crash e =
+  match e.e_fs.sys_pending with
+  | at :: rest when e.e_fs.global_step >= at -> (
+      match e.e_durable with
+      | None ->
+          (* [start] rejects Crash_system plans on non-durable programs *)
+          assert false
+      | Some (domain, recover) ->
+          e.e_fs.sys_pending <- rest;
+          e.e_fs.fired_rev <-
+            Fault.Crash_system { at_step = at } :: e.e_fs.fired_rev;
+          Ctx.record_crash e.e_ctx;
+          Pcell.crash domain;
+          e.e_epoch <- e.e_epoch + 1;
+          let program = recover ~epoch:e.e_epoch in
+          let n = Array.length program.threads in
+          extend_fs e.e_fs n;
+          e.e_obs <- grow e.e_obs n 0;
+          e.e_program <- program;
+          e.e_states <- Array.copy program.threads;
+          maybe_crash e)
+  | _ -> ()
+
+let make_exec ~plan ~ctx ~program ~e_durable () =
   let states = Array.copy program.threads in
   let fs = fault_state ~threads:(Array.length states) plan in
   apply_delays ctx plan;
-  {
-    e_ctx = ctx;
-    e_program = program;
-    e_states = states;
-    e_fs = fs;
-    e_obs = Array.make (Array.length states) 0;
-    e_applied_rev = [];
-    e_steps = 0;
-  }
+  let e =
+    {
+      e_ctx = ctx;
+      e_program = program;
+      e_states = states;
+      e_fs = fs;
+      e_obs = Array.make (Array.length states) 0;
+      e_durable;
+      e_epoch = 0;
+      e_applied_rev = [];
+      e_steps = 0;
+    }
+  in
+  maybe_crash e;
+  e
+
+let start ?(plan = []) ~setup () =
+  if Fault.system_crash_points plan <> [] then
+    invalid_arg
+      "Runner.start: Crash_system plans need durable state; use start_durable";
+  let ctx = Ctx.create () in
+  make_exec ~plan ~ctx ~program:(setup ctx) ~e_durable:None ()
+
+let start_durable ?(plan = []) ~setup () =
+  let ctx = Ctx.create () in
+  let d = setup ctx in
+  make_exec ~plan ~ctx ~program:d.boot
+    ~e_durable:(Some (d.domain, d.recover))
+    ()
 
 let mix h x = (h * 0x01000193) lxor x
 
@@ -230,6 +321,10 @@ let step e d =
       ((Ctx.history_length e.e_ctx * 8191) + Ctx.trace_length e.e_ctx);
   (match e.e_program.on_label with None -> () | Some f -> f label);
   (match e.e_program.observe with None -> () | Some f -> f d);
+  (* hooks run first: a crash firing at this step must not swallow the
+     step's own observations (the monitor consumes them against the
+     pre-crash acceptor before the marker resets it) *)
+  maybe_crash e;
   label
 
 let frontier e = enabled e.e_fs e.e_states
@@ -257,6 +352,13 @@ let head_label e thread =
    exists to validate verdicts independently of it. *)
 let fingerprint e =
   let b = Buffer.create 128 in
+  if e.e_epoch > 0 then begin
+    (* persistent-cell contents are not part of the key, so prefixes from
+       different epochs must never merge; exploration over crash plans runs
+       unpruned anyway (see Explore.exhaustive_with_crashes) *)
+    Buffer.add_string b (string_of_int e.e_epoch);
+    Buffer.add_char b '@'
+  end;
   Buffer.add_string b (string_of_int e.e_fs.global_step);
   Array.iteri
     (fun i st ->
@@ -312,6 +414,7 @@ let snapshot e =
     faults = fs.plan;
     injected;
     fallible_steps = List.rev fs.fallible_rev;
+    epochs = e.e_epoch + 1;
   }
 
 let outcome = snapshot
@@ -321,8 +424,12 @@ let replay ?(plan = []) ~setup sched =
   List.iter (fun d -> ignore (step e d)) sched;
   (snapshot e, frontier e)
 
-let run_random ?(plan = []) ~setup ~fuel ~rng () =
-  let e = start ~plan ~setup () in
+let replay_durable ?(plan = []) ~setup sched =
+  let e = start_durable ~plan ~setup () in
+  List.iter (fun d -> ignore (step e d)) sched;
+  (snapshot e, frontier e)
+
+let drive_random e ~fuel ~rng =
   let rec go remaining =
     if remaining = 0 then ()
     else
@@ -335,3 +442,9 @@ let run_random ?(plan = []) ~setup ~fuel ~rng () =
   in
   go fuel;
   snapshot e
+
+let run_random ?(plan = []) ~setup ~fuel ~rng () =
+  drive_random (start ~plan ~setup ()) ~fuel ~rng
+
+let run_random_durable ?(plan = []) ~setup ~fuel ~rng () =
+  drive_random (start_durable ~plan ~setup ()) ~fuel ~rng

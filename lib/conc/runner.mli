@@ -24,22 +24,40 @@ type program = {
           layer to charge location-dependent costs) *)
 }
 
+(** A durable program: the boot-epoch program, the {!Pcell.domain} holding
+    its persistent cells, and a recovery-program factory — [recover ~epoch]
+    is called when the [epoch]-th system crash fires (epochs count from 1)
+    and yields the program of the post-crash era: typically each durable
+    object's recovery procedure followed by a post-crash workload segment.
+    Recovery programs run under the same context, so the history carries a
+    {!Cal.Action.Crash} marker between the eras. *)
+type durable = {
+  boot : program;
+  domain : Pcell.domain;
+  recover : epoch:int -> program;
+}
+
 type outcome = {
   history : Cal.History.t;      (** the observable history of the run *)
   trace : Cal.Ca_trace.t;       (** the auxiliary trace [𝒯] of the run *)
-  results : Cal.Value.t option array;  (** per-thread return values *)
-  complete : bool;              (** all threads returned *)
+  results : Cal.Value.t option array;
+      (** per-thread return values ({e current-epoch} threads) *)
+  complete : bool;              (** all (current-epoch) threads returned *)
   steps : int;                  (** decisions consumed *)
   schedule : schedule;          (** the schedule actually followed *)
   faults : Fault.plan;          (** the fault plan in force (empty if none) *)
   injected : Fault.plan;
       (** the plan faults that actually fired: a [Crash] whose thread was
           cut off before returning, a [Fail_step] whose matching step was
-          forced, a [Stall] whose window opened *)
+          forced, a [Stall] whose window opened, a [Crash_system] whose
+          point the run reached *)
   fallible_steps : string list;
       (** labels of the {!Prog.Fallible} steps executed, in order — the
           forcible fault points of this run (used by
           {!Explore.exhaustive_with_faults} to enumerate CAS failures) *)
+  epochs : int;
+      (** eras the run went through: [1 +] the number of system crashes
+          that fired *)
 }
 
 (** The frontier after replaying a schedule: the decisions enabled next.
@@ -61,7 +79,21 @@ type exec
 val start : ?plan:Fault.plan -> setup:(Ctx.t -> program) -> unit -> exec
 (** Build a fresh program (fresh context, fresh shared structures) with no
     decision applied yet. Raises [Invalid_argument] when the plan fails
-    {!Fault.validate}. *)
+    {!Fault.validate}, or when it contains a [Crash_system] (a system
+    crash needs durable state to survive it — use {!start_durable}). *)
+
+val start_durable :
+  ?plan:Fault.plan -> setup:(Ctx.t -> durable) -> unit -> exec
+(** Like {!start} for a {!durable} program. When the plan's next
+    [Crash_system] point is reached (checked after every applied decision,
+    and once at start for [at_step = 0]), the runner atomically: records a
+    {!Cal.Action.Crash} marker in the history, wipes the domain's volatile
+    cell contents ({!Pcell.crash}), discards every in-flight thread
+    program, and installs [recover ~epoch] as the new thread array. The
+    crash transition consumes no decision, so replays stay byte-for-byte
+    deterministic: the pair (schedule, plan) still identifies the
+    execution. Crash-during-recovery is expressed by a plan with several
+    [Crash_system] points. *)
 
 val step : exec -> decision -> string
 (** Apply one decision and return the label of the step taken. Raises
@@ -103,6 +135,11 @@ val replay :
     thread the plan has crashed or stalled) or when the plan fails
     {!Fault.validate}. *)
 
+val replay_durable :
+  ?plan:Fault.plan -> setup:(Ctx.t -> durable) -> schedule -> outcome * frontier
+(** {!replay} for durable programs: witnesses found by crash exploration
+    replay against {!start_durable} with the same (schedule, plan) pair. *)
+
 val run_random :
   ?plan:Fault.plan ->
   setup:(Ctx.t -> program) ->
@@ -113,5 +150,15 @@ val run_random :
 (** Run to completion (or until [fuel] decisions) picking uniformly among
     enabled decisions. Crashed and stalled threads are never picked; if no
     thread is enabled the run stops early. *)
+
+val run_random_durable :
+  ?plan:Fault.plan ->
+  setup:(Ctx.t -> durable) ->
+  fuel:int ->
+  rng:Rng.t ->
+  unit ->
+  outcome
+(** {!run_random} for durable programs (used by the crash-recovery
+    benchmark sweeps). *)
 
 val pp_decision : Format.formatter -> decision -> unit

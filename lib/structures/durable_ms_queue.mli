@@ -1,0 +1,40 @@
+(** Durable FIFO queue on {!Conc.Pcell} persistent cells with the same
+    explicit flush discipline as {!Durable_treiber_stack}: every successful
+    CAS is flushed before the operation responds, so completed operations
+    are always persisted, and operations cut off between CAS and flush are
+    crash-pending ("persisted or lost" — a peer's flush decides).
+
+    - [enq v ⇒ ()] retries its CAS until it lands (the queue specification
+      has no spurious enq failures), so only a crash leaves it pending;
+    - [deq ⇒ (true, v)] on success, [(false, 0)] on empty or when the CAS
+      lost its race.
+
+    Not trace-instrumented: durable checking is black-box over the history
+    (see {!Durable_treiber_stack}). *)
+
+type t
+
+val create :
+  ?oid:Cal.Ids.Oid.t ->
+  ?log_history:bool ->
+  domain:Conc.Pcell.domain ->
+  Conc.Ctx.t ->
+  t
+(** [oid] defaults to ["DQ"]. *)
+
+val oid : t -> Cal.Ids.Oid.t
+val enq : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+val deq : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
+
+val recover : ?cost:int -> t -> unit Conc.Prog.t
+(** Recovery procedure: re-asserts the durable contents as the volatile
+    state, after [cost] (default [0]) no-op scan steps. Logs no history
+    actions. *)
+
+val contents : t -> Cal.Value.t list
+(** Volatile contents, front first. *)
+
+val persisted : t -> Cal.Value.t list
+(** Durable contents — what a crash right now would leave. *)
+
+val spec : t -> Cal.Spec.t

@@ -61,6 +61,82 @@ module Stack_lost_pop = struct
   let spec t = Spec_stack.spec ~oid:t.oid ~allow_spurious_failure:true ()
 end
 
+module Durable_stack_missing_flush = struct
+  type t = { oid : Ids.Oid.t; top : Value.t list Pcell.t; ctx : Ctx.t }
+
+  let create ?(oid = Ids.Oid.v "DS") ~domain ctx =
+    { oid; top = Pcell.create domain []; ctx }
+
+  let loc t = "@" ^ Ids.Oid.to_string t.oid ^ ".top"
+
+  (* push follows the full discipline: CAS then flush before responding. *)
+  let push t ~tid v =
+    let body =
+      let* h =
+        Prog.atomic ~label:("push-read" ^ loc t) (fun () -> Pcell.read t.top)
+      in
+      let* ok =
+        Prog.fallible
+          ~label:("push-cas" ^ loc t)
+          (fun () ->
+            let ok = Pcell.read t.top == h in
+            if ok then Pcell.write t.top (v :: h);
+            Prog.return ok)
+          ~on_fault:(fun () -> Prog.return false)
+      in
+      if not ok then Prog.return (Value.bool false)
+      else
+        let* () =
+          Prog.atomic ~label:("push-flush" ^ loc t) (fun () ->
+              Pcell.flush t.top)
+        in
+        Prog.return (Value.bool true)
+    in
+    Harness.call t.ctx ~tid ~oid:t.oid ~fid:Spec_stack.fid_push ~arg:v body
+
+  (* BUG: pop responds right after its CAS, never flushing the removal. A
+     crash after the response reverts the top to its durable value, which
+     still holds the popped element — recovery resurrects it, and a
+     post-crash pop returns it a second time. Both pops are {e completed}
+     operations, so the durable checker has no drop freedom to excuse the
+     duplicate. *)
+  let pop t ~tid =
+    let body =
+      let* h =
+        Prog.atomic ~label:("pop-read" ^ loc t) (fun () -> Pcell.read t.top)
+      in
+      match h with
+      | [] -> Prog.atomic ~label:"pop-empty" (fun () -> Value.fail (Value.int 0))
+      | x :: rest ->
+          Prog.fallible
+            ~label:("pop-cas" ^ loc t)
+            (fun () ->
+              let ok = Pcell.read t.top == h in
+              if ok then Pcell.write t.top rest;
+              Prog.return
+                (if ok then Value.ok x else Value.fail (Value.int 0)))
+            ~on_fault:(fun () -> Prog.return (Value.fail (Value.int 0)))
+    in
+    Harness.call t.ctx ~tid ~oid:t.oid ~fid:Spec_stack.fid_pop ~arg:Value.unit
+      body
+
+  let recover ?(cost = 0) t =
+    let rec spin n =
+      if n = 0 then
+        Prog.atomic ~label:("recover" ^ loc t) (fun () ->
+            Pcell.write t.top (Pcell.persisted t.top);
+            Pcell.flush t.top)
+      else
+        let* () =
+          Prog.atomic ~label:("recover-scan" ^ loc t) (fun () -> ())
+        in
+        spin (n - 1)
+    in
+    spin cost
+
+  let spec t = Spec_stack.spec ~oid:t.oid ~allow_spurious_failure:true ()
+end
+
 module Exchanger_selfish = struct
   type t = { oid : Ids.Oid.t; ctx : Ctx.t }
 

@@ -11,7 +11,12 @@
       stack specification.
     - {!Exchanger_selfish}: exchange immediately returns success with its
       own value while logging a {e failure} element — the history does not
-      agree ([⊑CAL]) with the logged trace. *)
+      agree ([⊑CAL]) with the logged trace.
+    - {!Durable_stack_missing_flush}: pop responds without flushing its
+      removal, so a crash resurrects the popped element and a post-crash
+      pop returns it again — two {e completed} pops of one push, which the
+      durable checker rejects (no drop freedom excuses completed
+      operations). *)
 
 module Counter_lost_update : sig
   type t
@@ -27,6 +32,18 @@ module Stack_lost_pop : sig
   val create : ?oid:Cal.Ids.Oid.t -> Conc.Ctx.t -> t
   val push : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
   val pop : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
+  val spec : t -> Cal.Spec.t
+end
+
+module Durable_stack_missing_flush : sig
+  type t
+
+  val create :
+    ?oid:Cal.Ids.Oid.t -> domain:Conc.Pcell.domain -> Conc.Ctx.t -> t
+
+  val push : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+  val pop : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
+  val recover : ?cost:int -> t -> unit Conc.Prog.t
   val spec : t -> Cal.Spec.t
 end
 

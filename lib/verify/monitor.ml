@@ -5,6 +5,7 @@ type t = {
   mutable acceptor : Cal.Spec.acceptor option;  (* None after a violation *)
   mutable consumed : int;
   mutable step : int;
+  mutable crashes_seen : int;
   mutable violation : (int * string) option;
 }
 
@@ -16,6 +17,7 @@ let create ~spec ~view ~ctx =
     acceptor = Some spec.Cal.Spec.start;
     consumed = 0;
     step = 0;
+    crashes_seen = 0;
     violation = None;
   }
 
@@ -35,6 +37,16 @@ let feed t element =
 
 let observer t (_d : Conc.Runner.decision) =
   t.step <- t.step + 1;
+  (* A system crash between the previous observation and this one reset the
+     object to its recovered state: restart the acceptor for the new era.
+     (The runner fires crashes {e after} the observer hook, so the crashing
+     step's own elements were consumed against the pre-crash acceptor.)
+     Violations latch — a crash never clears one. *)
+  let crashes = Conc.Ctx.crash_count t.ctx in
+  if crashes > t.crashes_seen then begin
+    t.crashes_seen <- crashes;
+    if t.violation = None then t.acceptor <- Some t.spec.Cal.Spec.start
+  end;
   let len = Conc.Ctx.trace_length t.ctx in
   if len > t.consumed then begin
     let fresh =
@@ -47,3 +59,43 @@ let observer t (_d : Conc.Runner.decision) =
 
 let status t = match t.violation with None -> `Ok | Some (s, m) -> `Violated (s, m)
 let consumed t = t.consumed
+
+(* Compose the monitor's observer after a program's own observe hook. *)
+let attach m (p : Conc.Runner.program) =
+  {
+    p with
+    Conc.Runner.observe =
+      Some
+        (fun d ->
+          (match p.Conc.Runner.observe with None -> () | Some f -> f d);
+          observer m d);
+  }
+
+(* The exploration engines re-run setup on every backtrack replay, so the
+   live monitor changes identity across a search; [wrap] stashes the newest
+   one and reports its status. *)
+let wrap ~spec ~view ~setup =
+  let current = ref None in
+  let wrapped ctx =
+    let program = setup ctx in
+    let m = create ~spec ~view ~ctx in
+    current := Some m;
+    attach m program
+  in
+  let status' () = match !current with None -> `Ok | Some m -> status m in
+  (wrapped, status')
+
+let wrap_durable ~spec ~view ~setup =
+  let current = ref None in
+  let wrapped ctx =
+    let d : Conc.Runner.durable = setup ctx in
+    let m = create ~spec ~view ~ctx in
+    current := Some m;
+    {
+      d with
+      Conc.Runner.boot = attach m d.Conc.Runner.boot;
+      recover = (fun ~epoch -> attach m (d.Conc.Runner.recover ~epoch));
+    }
+  in
+  let status' () = match !current with None -> `Ok | Some m -> status m in
+  (wrapped, status')

@@ -124,6 +124,20 @@ let collect ~setup ~fuel ?max_runs ?preemption_bound ~check () =
 let check_object ~setup ~spec ~view ~fuel ?max_runs ?preemption_bound () =
   collect ~setup ~fuel ?max_runs ?preemption_bound ~check:(check_outcome ~spec ~view) ()
 
+(* Collapse the per-plan counters of a fault/crash sweep into the single
+   exploration stats slot of a report. *)
+let fault_exploration (stats : Conc.Explore.fault_stats) =
+  Conc.Explore.
+    {
+      runs = stats.fault_runs;
+      truncated = stats.fault_truncated;
+      max_steps = stats.fault_max_steps;
+      nodes = stats.fault_nodes;
+      replayed_steps = stats.fault_replayed_steps;
+      fingerprint_hits = stats.fault_fingerprint_hits;
+      sleep_pruned = stats.fault_sleep_pruned;
+    }
+
 let check_object_with_faults ?delay_factors ~setup ~spec ~view ~fuel ?max_runs
     ?preemption_bound ?max_plans ~fault_bound () =
   let f, report = collector (check_outcome ~spec ~view) in
@@ -131,19 +145,8 @@ let check_object_with_faults ?delay_factors ~setup ~spec ~view ~fuel ?max_runs
     Conc.Explore.exhaustive_with_faults ?delay_factors ~setup ~fuel ?max_runs
       ?preemption_bound ?max_plans ~fault_bound ~f ()
   in
-  let exploration =
-    Conc.Explore.
-      {
-        runs = stats.fault_runs;
-        truncated = stats.fault_truncated;
-        max_steps = stats.fault_max_steps;
-        nodes = stats.fault_nodes;
-        replayed_steps = stats.fault_replayed_steps;
-        fingerprint_hits = stats.fault_fingerprint_hits;
-        sleep_pruned = stats.fault_sleep_pruned;
-      }
-  in
-  report ~exploration stats.Conc.Explore.fault_truncated
+  report ~exploration:(fault_exploration stats)
+    stats.Conc.Explore.fault_truncated
 
 (* The liveness obligation (watchdog): on every fair schedule the object
    either finishes or genuinely blocks. A livelocked run — incomplete at
@@ -192,6 +195,52 @@ let check_black_box ~setup ~spec ~fuel ?max_runs ?preemption_bound () =
     | Cal_checker.Rejected { reason; _ } -> Error reason
   in
   collect ~setup ~fuel ?max_runs ?preemption_bound ~check ()
+
+(* ------------------------------------------------ durable obligations -- *)
+
+(* Durable checking is black-box on the history: the structures' explicit
+   flush discipline means a {e peer's} flush can decide whether a pending
+   write persisted, so reconciling a self-reported trace against the
+   history would mis-attribute persistence (see DESIGN §2.10). The checker
+   composes the crash-tolerant mode (threads crashed by the plan) with the
+   durable era rules driven by the history's crash markers. *)
+let durable_check ~checker ~spec (outcome : Conc.Runner.outcome) =
+  let crashed =
+    match
+      List.filter_map
+        (function
+          | Conc.Fault.Crash { thread; _ } -> Some (Ids.Tid.of_int thread)
+          | _ -> None)
+        outcome.injected
+    with
+    | [] -> None
+    | tids -> Some tids
+  in
+  match checker with
+  | `Cal -> (
+      match Cal_checker.check ?crashed ~spec outcome.history with
+      | Cal_checker.Accepted _ -> Ok ()
+      | Cal_checker.Rejected { reason; _ } -> Error reason)
+  | `Lin -> (
+      match Lin_checker.check ?crashed ~spec outcome.history with
+      | Lin_checker.Linearizable _ -> Ok ()
+      | Lin_checker.Not_linearizable { reason; _ } -> Error reason)
+
+let check_durable_with_faults ?(checker = `Cal) ?delay_factors ~setup ~spec
+    ~fuel ?max_runs ?preemption_bound ?max_plans ?max_crash_depth ~fault_bound
+    () =
+  let f, report = collector (durable_check ~checker ~spec) in
+  let stats =
+    Conc.Explore.exhaustive_with_crashes ?delay_factors ~setup ~fuel ?max_runs
+      ?preemption_bound ?max_plans ?max_crash_depth ~fault_bound ~f ()
+  in
+  report ~exploration:(fault_exploration stats)
+    stats.Conc.Explore.fault_truncated
+
+let check_durable ?checker ~setup ~spec ~fuel ?max_runs ?preemption_bound
+    ?max_plans ?max_crash_depth () =
+  check_durable_with_faults ?checker ~setup ~spec ~fuel ?max_runs
+    ?preemption_bound ?max_plans ?max_crash_depth ~fault_bound:0 ()
 
 let ok r = r.problems = []
 

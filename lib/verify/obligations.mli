@@ -129,5 +129,54 @@ val check_black_box :
 (** Decide CAL on each outcome's history alone (Definition 6 via
     {!Cal.Cal_checker}), without using the auxiliary trace. *)
 
+val check_durable :
+  ?checker:[ `Cal | `Lin ] ->
+  setup:(Conc.Ctx.t -> Conc.Runner.durable) ->
+  spec:Cal.Spec.t ->
+  fuel:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  ?max_plans:int ->
+  ?max_crash_depth:int ->
+  unit ->
+  report
+(** The durable obligation: explore every interleaving of the durable
+    program under every {!Conc.Fault.Crash_system} plan enumerated by
+    {!Conc.Explore.exhaustive_with_crashes} (crash point swept over every
+    step boundary, nested to [max_crash_depth], default [1]) and decide
+    durable CA-linearizability — with [~checker:`Lin], durable
+    linearizability — black-box on each outcome's history.
+
+    Black-box deliberately: the durable structures' explicit flush
+    discipline means a {e peer's} flush can decide whether an operation
+    pending at the crash persisted, so reconciling a self-reported trace
+    would mis-attribute persistence (DESIGN §2.10). The history's crash
+    markers partition it into eras; the checker requires each era to be
+    explainable in sequence, with crash-pending operations either
+    persisted (ordered before the next era) or lost (dropped). A failing
+    run reports the (schedule, plan) witness, replayable byte-for-byte
+    via {!Conc.Runner.replay_durable}. *)
+
+val check_durable_with_faults :
+  ?checker:[ `Cal | `Lin ] ->
+  ?delay_factors:int list ->
+  setup:(Conc.Ctx.t -> Conc.Runner.durable) ->
+  spec:Cal.Spec.t ->
+  fuel:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  ?max_plans:int ->
+  ?max_crash_depth:int ->
+  fault_bound:int ->
+  unit ->
+  report
+(** {!check_durable} with per-thread faults crossed in: every plan of at
+    most [fault_bound] thread crashes / forced CAS failures / clock
+    delays ([delay_factors]) is explored on its own and combined with the
+    system-crash sweep, so e.g. a thread dying mid-operation {e and} the
+    whole system crashing later is covered. Thread crashes feed the
+    checker's crash-tolerant mode ([?crashed]); system crashes drive the
+    durable era rules. *)
+
 val ok : report -> bool
 val pp_report : Format.formatter -> report -> unit

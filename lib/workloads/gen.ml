@@ -130,7 +130,7 @@ let mutate_history g h =
         match actions.(i) with
         | Action.Res { tid; oid; fid; _ } ->
             actions.(i) <- Action.res ~tid ~oid ~fid (Value.int (1000 + int g 10))
-        | Action.Inv _ -> ())
+        | Action.Inv _ | Action.Crash _ -> ())
     | 1 ->
         (* swap two adjacent actions of different threads *)
         if n >= 2 then begin

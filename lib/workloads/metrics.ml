@@ -13,6 +13,8 @@ type result = {
   ops_cancelled : int;
   retries : int;
   ops_crashed : int;
+  sys_crashes : int;
+  recovery_steps : int;
   throughput : float;
 }
 
@@ -101,34 +103,45 @@ let classify v =
         if b then `Success else `Failure
     | _ -> `Failure
 
-let measure ?(plan = []) ~threads ~fuel ~seed ~setup () =
+(* Recovery programs label their steps "recover@…" / "recover-scan@…"; a
+   prefix check catches both without enumerating locations. *)
+let is_recovery_label label =
+  String.length label >= 7 && String.sub label 0 7 = "recover"
+
+type meter = {
+  counters : counters;
+  retries : int ref;
+  recovery_steps : int ref;
+  model : Cost_model.t;
+  charge : string -> unit;
+}
+
+let meter () =
   let counters =
     { completed = ref 0; succeeded = ref 0; timed_out = ref 0; cancelled = ref 0 }
   in
   let retries = ref 0 in
+  let recovery_steps = ref 0 in
   let model = Cost_model.create () in
   (* "backoff" steps are exactly the failed-attempt pauses, so their count
      is the retry count of the run. *)
   let charge label =
     if Fault.matches_label ~pattern:"backoff" label then incr retries;
+    if is_recovery_label label then incr recovery_steps;
     Cost_model.charge model label
   in
-  let outcome =
-    Runner.run_random ~plan
-      ~setup:(fun ctx ->
-        let program = setup ctx ~counters in
-        { program with Runner.on_label = Some charge })
-      ~fuel
-      ~rng:(Rng.create ~seed)
-      ()
+  { counters; retries; recovery_steps; model; charge }
+
+let result_of ~threads m (outcome : Runner.outcome) =
+  let counters = m.counters in
+  let count_faults p =
+    List.length (List.filter p outcome.Runner.injected)
   in
-  let ops_crashed =
-    List.length
-      (List.filter
-         (function Fault.Crash _ -> true | _ -> false)
-         outcome.Runner.injected)
+  let ops_crashed = count_faults (function Fault.Crash _ -> true | _ -> false) in
+  let sys_crashes =
+    count_faults (function Fault.Crash_system _ -> true | _ -> false)
   in
-  let sim_time = Cost_model.time model in
+  let sim_time = Cost_model.time m.model in
   {
     threads;
     steps = outcome.Runner.steps;
@@ -137,12 +150,50 @@ let measure ?(plan = []) ~threads ~fuel ~seed ~setup () =
     ops_succeeded = !(counters.succeeded);
     ops_timed_out = !(counters.timed_out);
     ops_cancelled = !(counters.cancelled);
-    retries = !retries;
+    retries = !(m.retries);
     ops_crashed;
+    sys_crashes;
+    recovery_steps = !(m.recovery_steps);
     throughput =
       (if sim_time = 0. then 0.
        else 1000. *. float_of_int !(counters.completed) /. sim_time);
   }
+
+let measure ?(plan = []) ~threads ~fuel ~seed ~setup () =
+  let m = meter () in
+  let outcome =
+    Runner.run_random ~plan
+      ~setup:(fun ctx ->
+        let program = setup ctx ~counters:m.counters in
+        { program with Runner.on_label = Some m.charge })
+      ~fuel
+      ~rng:(Rng.create ~seed)
+      ()
+  in
+  result_of ~threads m outcome
+
+(* {!measure} for durable programs: the cost/retry/recovery hook is
+   installed on the boot program and re-installed on every recovery
+   program, so post-crash work is charged like any other. *)
+let measure_durable ?(plan = []) ~threads ~fuel ~seed ~setup () =
+  let m = meter () in
+  let with_charge (p : Runner.program) =
+    { p with Runner.on_label = Some m.charge }
+  in
+  let outcome =
+    Runner.run_random_durable ~plan
+      ~setup:(fun ctx ->
+        let d = setup ctx ~counters:m.counters in
+        {
+          d with
+          Runner.boot = with_charge d.Runner.boot;
+          recover = (fun ~epoch -> with_charge (d.Runner.recover ~epoch));
+        })
+      ~fuel
+      ~rng:(Rng.create ~seed)
+      ()
+  in
+  result_of ~threads m outcome
 
 let stack_setup ~impl ~threads ~seed ctx ~counters =
   let push, pop =
@@ -191,6 +242,56 @@ let crash_plan ~threads ~crashes ~seed =
 let stack_fault_sweep ~impl ~threads ~crashes ~fuel ~seed =
   let plan = crash_plan ~threads ~crashes ~seed in
   measure ~plan ~threads ~fuel ~seed ~setup:(stack_setup ~impl ~threads ~seed) ()
+
+(* The B13 crash-recovery sweep: a durable Treiber stack under [crashes]
+   evenly spaced whole-system crashes. After each crash thread 0 runs the
+   stack's recovery procedure ([recovery_cost] scan steps) solo — the other
+   threads block on the recovery flag until it finishes, since recovery's
+   re-assertion of durable state must not race with new-era removals — and
+   then every thread resumes the workload. The spacing floor keeps the plan
+   strictly increasing even at tiny fuel. *)
+let durable_stack_crash_sweep ~threads ~crashes ~recovery_cost ~fuel ~seed =
+  if crashes < 0 then
+    invalid_arg "Metrics.durable_stack_crash_sweep: negative crash count";
+  let spacing = max 1 (fuel / (crashes + 1)) in
+  let plan =
+    List.init crashes (fun i -> Fault.crash_system ~at_step:((i + 1) * spacing))
+  in
+  let setup ctx ~counters =
+    let domain = Pcell.domain () in
+    let stack =
+      Durable_treiber_stack.create ~log_history:false ~domain ctx
+    in
+    let worker i =
+      let tid = Ids.Tid.of_int i in
+      forever (fun () ->
+          let* _ = Durable_treiber_stack.push stack ~tid (Value.int i) in
+          let* () = count counters `Success in
+          let* _ = Durable_treiber_stack.pop stack ~tid in
+          count counters `Success)
+    in
+    let program threads' =
+      { Runner.threads = threads'; observe = None; on_label = None }
+    in
+    {
+      Runner.boot = program (Array.init threads worker);
+      domain;
+      recover =
+        (fun ~epoch:_ ->
+          let ready = ref false in
+          program
+            (Array.init threads (fun i ->
+                 if i = 0 then
+                   Durable_treiber_stack.recover ~cost:recovery_cost stack
+                   >>= fun () ->
+                   Prog.atomic ~label:"recovery-done" (fun () -> ready := true)
+                   >>= fun () -> worker i
+                 else
+                   Prog.guard ~label:"await-recovery" (fun () ->
+                       if !ready then Some (worker i) else None))));
+    }
+  in
+  measure_durable ~plan ~threads ~fuel ~seed ~setup ()
 
 let exchanger_success_rate ~threads ~rounds ~fuel ~seed =
   let setup ctx ~counters =
@@ -331,4 +432,7 @@ let pp_result ppf r =
     "threads=%d steps=%d ops=%d ok=%d timeout=%d cancel=%d retries=%d crashed=%d \
      throughput=%.2f/1k-steps"
     r.threads r.steps r.ops_completed r.ops_succeeded r.ops_timed_out
-    r.ops_cancelled r.retries r.ops_crashed r.throughput
+    r.ops_cancelled r.retries r.ops_crashed r.throughput;
+  if r.sys_crashes > 0 || r.recovery_steps > 0 then
+    Fmt.pf ppf " sys-crashes=%d recovery-steps=%d" r.sys_crashes
+      r.recovery_steps

@@ -22,6 +22,8 @@ type result = {
   ops_cancelled : int;    (** operations returning a [Value.cancelled] result *)
   retries : int;          (** backoff pauses taken (failed attempts retried) *)
   ops_crashed : int;      (** threads crashed by the run's fault plan *)
+  sys_crashes : int;      (** whole-system crashes fired ({!Conc.Fault.Crash_system}) *)
+  recovery_steps : int;   (** post-crash recovery steps executed ("recover…" labels) *)
   throughput : float;     (** completed operations per 1000 simulated time units *)
 }
 
@@ -42,6 +44,23 @@ val stack_fault_sweep :
     the result reports the throughput the surviving threads still deliver
     and [ops_crashed] confirms how many crashes actually fired. Raises
     [Invalid_argument] if [crashes > threads]. *)
+
+val durable_stack_crash_sweep :
+  threads:int ->
+  crashes:int ->
+  recovery_cost:int ->
+  fuel:int ->
+  seed:int64 ->
+  result
+(** The B13 crash-recovery sweep: {!stack_throughput}'s workload on a
+    {!Structures.Durable_treiber_stack} under [crashes] evenly spaced
+    whole-system crashes ({!Conc.Fault.Crash_system}). After each crash,
+    thread 0 runs the stack's recovery procedure with [recovery_cost] scan
+    steps before rejoining the workload. [sys_crashes] reports the crashes
+    that actually fired and [recovery_steps] the recovery work executed;
+    throughput decays with both knobs — flush steps and recovery downtime
+    are the price of durability. Raises [Invalid_argument] if
+    [crashes < 0]. *)
 
 val exchanger_success_rate :
   threads:int -> rounds:int -> fuel:int -> seed:int64 -> result

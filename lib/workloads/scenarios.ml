@@ -497,6 +497,149 @@ let faulty_exchanger () =
     expect_ok = false;
   }
 
+(* ----------------------------------------------- durable scenarios ---- *)
+
+(* Durable scenarios package a {!Conc.Runner.durable} program instead of a
+   plain one, and are checked black-box ({!Verify.Obligations.check_durable})
+   — no view. [d_max_crash_depth] bounds crash-during-recovery nesting. *)
+type durable = {
+  d_name : string;
+  d_description : string;
+  d_threads : int;
+  d_setup : Conc.Ctx.t -> Conc.Runner.durable;
+  d_spec : Cal.Spec.t;
+  d_fuel : int;
+  d_max_crash_depth : int;
+  d_expect_ok : bool;
+}
+
+(* Recovery must run solo before the post-crash workload: it re-asserts the
+   durable contents as the volatile state, so letting it race with new-era
+   operations would resurrect removals that are still unflushed. Thread 0
+   runs recovery and raises the flag; every other thread blocks on it. *)
+let after_recovery flag p =
+  Prog.guard ~label:"await-recovery" (fun () -> if !flag then Some p else None)
+
+let recovery_done flag =
+  Prog.atomic ~label:"recovery-done" (fun () -> flag := true)
+
+let stack_crash_recovery () =
+  {
+    d_name = "stack-crash-recovery";
+    d_description =
+      "push(1); pop() || push(2) on the durable Treiber stack; after any \
+       crash, thread 0 recovers and both threads pop what persisted";
+    d_threads = 2;
+    d_setup =
+      (fun ctx ->
+        let domain = Conc.Pcell.domain () in
+        let s = Durable_treiber_stack.create ~domain ctx in
+        {
+          Conc.Runner.boot =
+            no_observe
+              [|
+                (let* _ = Durable_treiber_stack.push s ~tid:(tid 0) (Value.int 1) in
+                 Durable_treiber_stack.pop s ~tid:(tid 0));
+                (Durable_treiber_stack.push s ~tid:(tid 1) (Value.int 2)
+                 >>= Prog.return);
+              |];
+          domain;
+          recover =
+            (fun ~epoch:_ ->
+              let ready = ref false in
+              no_observe
+                [|
+                  (let* () = Durable_treiber_stack.recover s in
+                   let* () = recovery_done ready in
+                   Durable_treiber_stack.pop s ~tid:(tid 0));
+                  after_recovery ready (Durable_treiber_stack.pop s ~tid:(tid 1));
+                |]);
+        });
+    d_spec =
+      Spec_stack.spec ~oid:(Ids.Oid.v "DS") ~allow_spurious_failure:true ();
+    d_fuel = 40;
+    d_max_crash_depth = 1;
+    d_expect_ok = true;
+  }
+
+let queue_crash_recovery () =
+  {
+    d_name = "queue-crash-recovery";
+    d_description =
+      "enq(1); deq() || enq(2) on the durable MS queue; after any crash, \
+       thread 0 recovers and both threads dequeue what persisted";
+    d_threads = 2;
+    d_setup =
+      (fun ctx ->
+        let domain = Conc.Pcell.domain () in
+        let q = Durable_ms_queue.create ~domain ctx in
+        {
+          Conc.Runner.boot =
+            no_observe
+              [|
+                (let* _ = Durable_ms_queue.enq q ~tid:(tid 0) (Value.int 1) in
+                 Durable_ms_queue.deq q ~tid:(tid 0));
+                (Durable_ms_queue.enq q ~tid:(tid 1) (Value.int 2)
+                 >>= Prog.return);
+              |];
+          domain;
+          recover =
+            (fun ~epoch:_ ->
+              let ready = ref false in
+              no_observe
+                [|
+                  (let* () = Durable_ms_queue.recover q in
+                   let* () = recovery_done ready in
+                   Durable_ms_queue.deq q ~tid:(tid 0));
+                  after_recovery ready (Durable_ms_queue.deq q ~tid:(tid 1));
+                |]);
+        });
+    d_spec = Spec_queue.spec ~oid:(Ids.Oid.v "DQ") ();
+    d_fuel = 48;
+    d_max_crash_depth = 1;
+    d_expect_ok = true;
+  }
+
+let faulty_durable_stack () =
+  {
+    d_name = "faulty-durable-stack";
+    d_description =
+      "pop responds without flushing its removal: a crash resurrects the \
+       popped element and the post-crash pop returns it a second time";
+    d_threads = 1;
+    d_setup =
+      (fun ctx ->
+        let domain = Conc.Pcell.domain () in
+        let s = Faulty.Durable_stack_missing_flush.create ~domain ctx in
+        {
+          Conc.Runner.boot =
+            no_observe
+              [|
+                (let* _ =
+                   Faulty.Durable_stack_missing_flush.push s ~tid:(tid 0)
+                     (Value.int 1)
+                 in
+                 Faulty.Durable_stack_missing_flush.pop s ~tid:(tid 0));
+              |];
+          domain;
+          recover =
+            (fun ~epoch:_ ->
+              no_observe
+                [|
+                  (let* () = Faulty.Durable_stack_missing_flush.recover s in
+                   Faulty.Durable_stack_missing_flush.pop s ~tid:(tid 0));
+                |]);
+        });
+    d_spec =
+      Spec_stack.spec ~oid:(Ids.Oid.v "DS") ~allow_spurious_failure:true ();
+    d_fuel = 30;
+    d_max_crash_depth = 1;
+    d_expect_ok = false;
+  }
+
+let durable_all () =
+  [ stack_crash_recovery (); queue_crash_recovery (); faulty_durable_stack () ]
+
 let all () =
   [
     exchanger_pair ();

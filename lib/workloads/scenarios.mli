@@ -88,3 +88,39 @@ val all : unit -> t list
 
 val find : string -> t option
 (** Look up by [name]. *)
+
+(** {1 Durable scenarios}
+
+    Bounded client programs over the durable structures, packaged as
+    {!Conc.Runner.durable} (boot program, persistent domain, recovery
+    program) for the crash sweep of {!Verify.Obligations.check_durable}.
+    Durable checking is black-box, so there is no view field;
+    [d_max_crash_depth] bounds crash-during-recovery nesting. *)
+
+type durable = {
+  d_name : string;
+  d_description : string;
+  d_threads : int;
+  d_setup : Conc.Ctx.t -> Conc.Runner.durable;
+  d_spec : Cal.Spec.t;
+  d_fuel : int;
+  d_max_crash_depth : int;
+  d_expect_ok : bool;  (** [false] for the deliberately faulty scenario *)
+}
+
+val stack_crash_recovery : unit -> durable
+(** [push(1); pop() ‖ push(2)] on {!Structures.Durable_treiber_stack};
+    after any crash, thread 0 runs recovery and both threads pop whatever
+    persisted. Accepted at every crash point — the flush-before-respond
+    discipline keeps completed operations durable. *)
+
+val queue_crash_recovery : unit -> durable
+(** The FIFO analogue on {!Structures.Durable_ms_queue}. *)
+
+val faulty_durable_stack : unit -> durable
+(** {!Structures.Faulty.Durable_stack_missing_flush}: pop responds without
+    flushing its removal, so a crash resurrects the popped element and the
+    post-crash pop returns it a second time — rejected with a replayable
+    (schedule, plan) witness. *)
+
+val durable_all : unit -> durable list

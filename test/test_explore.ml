@@ -66,6 +66,45 @@ let test_engines_agree () =
       (S.exchanger_trio (), 8);
     ]
 
+(* Engine cross-check over every deliberately broken object: the faulty
+   implementations take unusual step shapes (non-atomic updates, missing
+   CAS, selfish returns, unflushed persistent writes), so they are good
+   stress inputs for incremental-vs-replay equivalence. *)
+let test_engines_agree_on_faulty_objects () =
+  let durable_setup ctx =
+    let domain = Pcell.domain () in
+    let s = Structures.Faulty.Durable_stack_missing_flush.create ~domain ctx in
+    {
+      Runner.threads =
+        [|
+          (let* _ = Structures.Faulty.Durable_stack_missing_flush.push s ~tid:(tid 0) (vi 1) in
+           Structures.Faulty.Durable_stack_missing_flush.pop s ~tid:(tid 0));
+          Structures.Faulty.Durable_stack_missing_flush.pop s ~tid:(tid 1);
+        |];
+      observe = None;
+      on_label = None;
+    }
+  in
+  let cases =
+    [
+      ("faulty-counter", (S.faulty_counter ()).S.setup, 14);
+      ("faulty-stack", (S.faulty_stack ()).S.setup, 16);
+      ("faulty-exchanger", (S.faulty_exchanger ()).S.setup, 14);
+      ("durable-missing-flush (crash-free)", durable_setup, 18);
+    ]
+  in
+  List.iter
+    (fun (name, setup, fuel) ->
+      let st_i, sch_i = explore_schedules `Incremental ~setup ~fuel () in
+      let st_r, sch_r = explore_schedules `Replay ~setup ~fuel () in
+      Alcotest.(check int) (name ^ ": runs") st_r.Explore.runs st_i.Explore.runs;
+      Alcotest.(check int) (name ^ ": nodes") st_r.Explore.nodes st_i.Explore.nodes;
+      Alcotest.(check int)
+        (name ^ ": max_steps")
+        st_r.Explore.max_steps st_i.Explore.max_steps;
+      check_bool (name ^ ": identical schedules in order") true (sch_i = sch_r))
+    cases
+
 let test_engines_agree_under_faults () =
   let plan = [ Fault.crash ~thread:1 ~at_step:1 ] in
   let st_i, sch_i = explore_schedules `Incremental ~plan ~setup:counter_setup ~fuel:10 () in
@@ -330,6 +369,8 @@ let () =
           t "engines agree on runs, stats, schedules" test_engines_agree;
           t "engines agree under fault plans and budgets"
             test_engines_agree_under_faults;
+          t "engines agree on every faulty object"
+            test_engines_agree_on_faulty_objects;
           t "metrics explore_cost: same space, fewer steps"
             test_metrics_explore_cost;
           t "obligations surface exploration stats"

@@ -25,6 +25,59 @@ let test_validate () =
   bad [ Fault.stall ~thread:0 ~at_step:0 ~for_steps:0 ];
   bad [ Fault.crash ~thread:0 ~at_step:1; Fault.crash ~thread:0 ~at_step:2 ]
 
+let test_validate_crash_system () =
+  let ok ?d p = Result.is_ok (Fault.validate ?max_crash_depth:d p) in
+  check_bool "single point" true (ok [ Fault.crash_system ~at_step:0 ]);
+  check_bool "negative point" false (ok [ Fault.crash_system ~at_step:(-1) ]);
+  check_bool "two points exceed the default depth 1" false
+    (ok [ Fault.crash_system ~at_step:0; Fault.crash_system ~at_step:3 ]);
+  check_bool "two points fit depth 2" true
+    (ok ~d:2 [ Fault.crash_system ~at_step:0; Fault.crash_system ~at_step:3 ]);
+  check_bool "points must be strictly increasing (equal)" false
+    (ok ~d:2 [ Fault.crash_system ~at_step:3; Fault.crash_system ~at_step:3 ]);
+  check_bool "points must be strictly increasing (decreasing)" false
+    (ok ~d:2 [ Fault.crash_system ~at_step:3; Fault.crash_system ~at_step:1 ]);
+  check_bool "composes with thread faults" true
+    (ok [ Fault.crash ~thread:0 ~at_step:1; Fault.crash_system ~at_step:2 ])
+
+(* Delay-vs-Crash composition order: the Delay's clock skew is installed at
+   run start — before any crash can fire — and per-thread state survives
+   the crash transition, so the skewed thread perceives [factor * now] in
+   every era. The probe reads its local clock once per decision. *)
+let test_delay_applies_before_crash () =
+  let open Prog.Infix in
+  let seen = ref [] in
+  let reader ctx n =
+    let rec go k =
+      if k = 0 then Prog.return Value.unit
+      else
+        Prog.atomic ~label:"probe" (fun () ->
+            seen := Ctx.local_now ctx ~tid:(tid 0) :: !seen)
+        >>= fun () -> go (k - 1)
+    in
+    go n
+  in
+  let setup ctx =
+    {
+      Runner.boot =
+        { Runner.threads = [| reader ctx 2 |]; observe = None; on_label = None };
+      domain = Pcell.domain ();
+      recover =
+        (fun ~epoch:_ ->
+          { Runner.threads = [| reader ctx 2 |]; observe = None; on_label = None });
+    }
+  in
+  let plan =
+    [ Fault.delay ~thread:0 ~factor:3; Fault.crash_system ~at_step:2 ]
+  in
+  let o =
+    Runner.run_random_durable ~plan ~setup ~fuel:10 ~rng:(Rng.create ~seed:1L) ()
+  in
+  Alcotest.(check int) "crash fired" 2 o.Runner.epochs;
+  Alcotest.(check (list int))
+    "3x skew in both eras" [ 0; 3; 6; 9 ]
+    (List.rev !seen)
+
 let test_matches_label () =
   check_bool "exact" true (Fault.matches_label ~pattern:"push-cas" "push-cas");
   check_bool "location suffix" true
@@ -424,12 +477,49 @@ let test_elim_stack_single_fault_sweep () =
   in
   check_bool "plans explored" true (stats.plans > 1 && !checked > 0)
 
+(* Satellite check: the online monitor riding exhaustive_with_faults against
+   the post-hoc black-box checker, run by run, on the lost-update counter.
+   The monitor is white-box — its realised trace is one concrete witness —
+   so monitor acceptance must imply checker acceptance on every run, and on
+   crash-free runs the two verdicts must coincide exactly. Under a thread
+   crash they may legitimately diverge in one direction: the monitor already
+   saw the crashed thread's logged element, while the black-box checker may
+   drop that pending operation. *)
+let test_monitor_agrees_with_checker_under_faults () =
+  let s = Workloads.Scenarios.faulty_counter () in
+  let wrapped, status = Verify.Monitor.wrap ~spec:s.spec ~view:s.view ~setup:s.setup in
+  let runs = ref 0 and violations = ref 0 in
+  let (_ : Explore.fault_stats) =
+    Explore.exhaustive_with_faults ~setup:wrapped ~fuel:s.fuel ~fault_bound:1
+      ~max_plans:10
+      ~f:(fun o ->
+        incr runs;
+        let crashed =
+          match crashed_tids o with [] -> None | tids -> Some tids
+        in
+        let checker_ok = Cal_checker.is_cal ?crashed ~spec:s.spec o.Runner.history in
+        let monitor_ok = status () = `Ok in
+        if monitor_ok && not checker_ok then
+          Alcotest.failf
+            "run %d under %a: monitor accepted a run the checker rejects" !runs
+            Fault.pp_plan o.Runner.faults;
+        if crashed = None && monitor_ok <> checker_ok then
+          Alcotest.failf "run %d under %a: monitor says %b, checker says %b"
+            !runs Fault.pp_plan o.Runner.faults monitor_ok checker_ok;
+        if not monitor_ok then incr violations)
+      ()
+  in
+  check_bool "explored" true (!runs > 0);
+  check_bool "the bug was flagged by both" true (!violations > 0)
+
 let () =
   Alcotest.run "faults"
     [
       ( "plans",
         [
           t "validate" test_validate;
+          t "validate crash-system plans" test_validate_crash_system;
+          t "delay applies before crash" test_delay_applies_before_crash;
           t "matches_label" test_matches_label;
         ] );
       ( "crashes",
@@ -452,6 +542,8 @@ let () =
           t "faulty object still caught" test_faulty_object_still_caught;
           t "real exchanger ok" test_real_exchanger_ok_with_faults;
           t "elim stack single-fault sweep" test_elim_stack_single_fault_sweep;
+          t "monitor agrees with post-hoc checker"
+            test_monitor_agrees_with_checker_under_faults;
         ] );
       ( "backoff",
         [

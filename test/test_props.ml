@@ -85,7 +85,7 @@ let prop_counter_corrupt_return_rejected seed =
       (match actions.(i) with
       | Action.Res { tid; oid; fid; _ } ->
           actions.(i) <- Action.res ~tid ~oid ~fid (vi 424242)
-      | Action.Inv _ -> ());
+      | Action.Inv _ | Action.Crash _ -> ());
       not (Cal_checker.is_cal ~spec (History.of_list (Array.to_list actions)))
 
 (* The union spec accepts exactly the interleavings whose per-object
