@@ -10,11 +10,13 @@
 
    Run: dune exec bench/main.exe            (everything)
         dune exec bench/main.exe -- quick   (fewer samples)
-        dune exec bench/main.exe -- faults  (only B10-B13, full fuel,
+        dune exec bench/main.exe -- faults  (only B10-B14, full fuel,
                                              regenerates BENCH_*.json)
-        dune exec bench/main.exe -- smoke   (only B10-B13, low fuel — CI)
+        dune exec bench/main.exe -- smoke   (only B10-B14, low fuel — CI)
         dune exec bench/main.exe -- crash   (only B13, full fuel,
-                                             regenerates BENCH_crash.json) *)
+                                             regenerates BENCH_crash.json)
+        dune exec bench/main.exe -- parallel (only B14, full fuel,
+                                             regenerates BENCH_parallel.json) *)
 
 open Bechamel
 open Toolkit
@@ -25,6 +27,7 @@ let mode =
   if Array.exists (fun a -> a = "faults") Sys.argv then `Faults
   else if Array.exists (fun a -> a = "smoke") Sys.argv then `Smoke
   else if Array.exists (fun a -> a = "crash") Sys.argv then `Crash
+  else if Array.exists (fun a -> a = "parallel") Sys.argv then `Parallel
   else `Full
 
 let quick = Array.exists (fun a -> a = "quick") Sys.argv || mode = `Smoke
@@ -525,6 +528,190 @@ let figure_crash () =
   close_out oc;
   Fmt.pr "# rows written to BENCH_crash.json@."
 
+(* B14 — parallel exploration with the canonical-history verdict cache:
+   black-box verification wall-clock across worker-domain counts, cache on
+   and off. Verdict equality with the sequential cache-less baseline is
+   asserted on every row — runs, complete runs and problems must match
+   byte-for-byte — so the speedup cannot change what is verified. On a
+   single hardware core the domain axis shows the coordination overhead
+   is small; the headline speedup comes from the verdict cache, which
+   collapses the checker work of schedule-permuted-but-canonically-equal
+   histories into one computation shared across domains. Wall-clock uses
+   Unix.gettimeofday: Sys.time sums CPU time over every domain, which
+   would misreport any multi-domain run. Results land in
+   BENCH_parallel.json.
+
+   The B14 preamble also micro-asserts that the accumulator-based
+   [Cal_checker.subsets_up_to] rewrite preserved the checker's search
+   exactly: [states_explored] on fixed seeded exchanger histories must
+   equal the values recorded before the rewrite. *)
+let figure_parallel () =
+  (* recorded with the pre-rewrite quadratic subsets_up_to; the rewrite
+     must not change the enumeration, hence not the search *)
+  List.iter
+    (fun (elements, expect) ->
+      let h = exchanger_history ~elements 11L in
+      let stats =
+        match Cal_checker.check ~spec:ex_spec h with
+        | Cal_checker.Accepted { stats; _ } -> stats
+        | Cal_checker.Rejected { stats; _ } -> stats
+      in
+      if stats.Cal_checker.states_explored <> expect then
+        Fmt.failwith
+          "B14: subsets_up_to rewrite changed the checker search: %d elements \
+           explored %d states (expected %d)"
+          elements stats.Cal_checker.states_explored expect)
+    [ (2, 2); (4, 4); (6, 6) ];
+  let fuel = if quick then 12 else 16 in
+  let domain_counts = if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  Fmt.pr
+    "@.# B14: parallel black-box verification + verdict cache (%d hw cores)@."
+    (Domain.recommended_domain_count ());
+  Fmt.pr "%-26s %5s %8s %5s %6s %9s %11s %8s %9s %9s@." "scenario" "fuel"
+    "domains" "used" "cache" "runs" "cache-hits" "stolen" "ms" "speedup";
+  (* One measured cell: run the check, assert its report is byte-identical
+     to the sequential uncached baseline (verdict-cache hit counts may
+     differ by a benign compute race, nothing else may), print and record
+     it. [reps] takes the best of several runs to tame GC/scheduler
+     noise. *)
+  let cell ~(s : S.t) ~fuel ~bound ~reps ~base ~base_ms ~domains ~cache () =
+    let run () =
+      (* Level the major heap between cells: the allocation left behind by
+         one cell otherwise drifts the GC cost of the next. *)
+      Gc.compact ();
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Verify.Obligations.check_black_box ~domains ~cache ~setup:s.setup
+          ~spec:s.spec ~fuel ?preemption_bound:bound ()
+      in
+      (r, (Unix.gettimeofday () -. t0) *. 1000.)
+    in
+    let r, ms =
+      List.init reps (fun _ -> run ())
+      |> List.fold_left
+           (fun acc c ->
+             match acc with
+             | Some (_, best) when best <= snd c -> acc
+             | _ -> Some c)
+           None
+      |> Option.get
+    in
+    let messages (rep : Verify.Obligations.report) =
+      List.map (fun (p : Verify.Obligations.problem) -> p.message) rep.problems
+    in
+    (match base with
+    | None -> ()
+    | Some (base : Verify.Obligations.report) ->
+        if
+          r.Verify.Obligations.runs <> base.Verify.Obligations.runs
+          || r.complete_runs <> base.complete_runs
+          || messages r <> messages base
+        then
+          Fmt.failwith
+            "B14: %s domains=%d cache=%b diverged from the sequential \
+             baseline (%d runs vs %d)"
+            s.name domains cache r.Verify.Obligations.runs
+            base.Verify.Obligations.runs);
+    let hits, stolen, used =
+      match r.exploration with
+      | Some e ->
+          (e.Conc.Explore.cache_hits, e.Conc.Explore.tasks_stolen,
+           e.Conc.Explore.domains_used)
+      | None -> (0, 0, 1)
+    in
+    if cache && hits = 0 && r.Verify.Obligations.runs > 1 then
+      Fmt.failwith "B14: %s domains=%d: cache enabled but 0 hits" s.name domains;
+    let speedup =
+      if base_ms <= 0. then 1.0 else base_ms /. Float.max 0.001 ms
+    in
+    Fmt.pr "%-26s %5d %8d %5d %6s %9d %11d %8d %9.1f %8.1fx@." s.name fuel
+      domains used
+      (if cache then "on" else "off")
+      r.Verify.Obligations.runs hits stolen ms speedup;
+    ((s.S.name, fuel, domains, cache, r.Verify.Obligations.runs, hits, stolen,
+      ms, speedup),
+     r, ms)
+  in
+  (* Positive scenarios: the domain axis and the cache hit rates on
+     verifications that accept. *)
+  let scenarios =
+    [ S.treiber_push_pop (); S.exchanger_trio (); S.elim_stack_push_pop ~k:1 () ]
+  in
+  let rows =
+    List.concat_map
+      (fun (s : S.t) ->
+        let row0, base, base_ms =
+          cell ~s ~fuel ~bound:s.bound ~reps:1 ~base:None ~base_ms:0. ~domains:1
+            ~cache:false ()
+        in
+        if not (Verify.Obligations.ok base) then
+          Fmt.failwith "B14: %s unexpectedly failed verification" s.name;
+        let base = Some base in
+        row0
+        :: List.concat_map
+             (fun domains ->
+               List.filter_map
+                 (fun cache ->
+                   if domains = 1 && not cache then None
+                   else
+                     let row, _, _ =
+                       cell ~s ~fuel ~bound:s.bound ~reps:1 ~base ~base_ms
+                         ~domains ~cache ()
+                     in
+                     Some row)
+                 [ false; true ])
+             domain_counts)
+      scenarios
+  in
+  (* Headline: the checker-bound sweep. The sticky-slot elimination stack
+     rejects on most deep schedules, and a rejection must exhaust every
+     drop subset of the pending pops — so the CAL checker, not the
+     exploration, dominates the sequential baseline, and the shared
+     verdict cache (hit rate ~99%: canonical classes are few) carries the
+     speedup. Fuel stays 16 in quick mode: this row is the acceptance
+     measurement. *)
+  let storm = S.faulty_elim_stack ~pushers:1 ~poppers:4 () in
+  let sfuel = 16 and sbound = Some 3 in
+  let sbase_row, sbase, sbase_ms =
+    cell ~s:storm ~fuel:sfuel ~bound:sbound ~reps:3 ~base:None ~base_ms:0.
+      ~domains:1 ~cache:false ()
+  in
+  if sbase.Verify.Obligations.problems = [] then
+    Fmt.failwith "B14: %s found no problems (bug not exercised)" storm.name;
+  let storm_cells =
+    List.map
+      (fun domains ->
+        (domains,
+         cell ~s:storm ~fuel:sfuel ~bound:sbound ~reps:3 ~base:(Some sbase)
+           ~base_ms:sbase_ms ~domains ~cache:true ()))
+      domain_counts
+  in
+  (match List.assoc_opt 4 storm_cells with
+  | None -> ()
+  | Some (_, _, ms4) ->
+      let speedup = sbase_ms /. Float.max 0.001 ms4 in
+      if speedup < 2.0 then
+        Fmt.failwith
+          "B14: %s at 4 domains + cache is only %.2fx over the sequential \
+           engine (>= 2x required)"
+          storm.name speedup);
+  let rows =
+    rows @ (sbase_row :: List.map (fun (_, (row, _, _)) -> row) storm_cells)
+  in
+  let oc = open_out "BENCH_parallel.json" in
+  let json_row (name, fuel, domains, cache, runs, hits, stolen, ms, speedup) =
+    Printf.sprintf
+      "    {\"scenario\": %S, \"fuel\": %d, \"domains\": %d, \"cache\": %b, \
+       \"runs\": %d, \"cache_hits\": %d, \"tasks_stolen\": %d, \
+       \"wall_ms\": %.3f, \"speedup\": %.3f}"
+      name fuel domains cache runs hits stolen ms speedup
+  in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"parallel_explore\",\n  \"rows\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map json_row rows));
+  close_out oc;
+  Fmt.pr "# rows written to BENCH_parallel.json@."
+
 (* B9 — bug preemption depth (iterative context bounding) for the faulty
    objects: how few context switches expose each bug. *)
 let figure_bug_depth () =
@@ -563,6 +750,10 @@ let () =
       Fmt.pr "== CAL benchmark harness (crash-recovery figure) ==@.";
       figure_crash ();
       Fmt.pr "@.done.@."
+  | `Parallel ->
+      Fmt.pr "== CAL benchmark harness (parallel-exploration figure) ==@.";
+      figure_parallel ();
+      Fmt.pr "@.done.@."
   | `Faults | `Smoke ->
       Fmt.pr "== CAL benchmark harness (%s: fault + timeout figures) ==@."
         (if mode = `Smoke then "smoke" else "faults");
@@ -570,6 +761,7 @@ let () =
       figure_timeouts ();
       figure_explore ();
       figure_crash ();
+      figure_parallel ();
       Fmt.pr "@.done.@."
   | `Full ->
       Fmt.pr "== CAL benchmark harness%s ==@." (if quick then " (quick)" else "");
@@ -581,6 +773,7 @@ let () =
       figure_timeouts ();
       figure_explore ();
       figure_crash ();
+      figure_parallel ();
       figure_verification_cost ();
       figure_bug_depth ();
       Fmt.pr "@.done.@."

@@ -5,16 +5,24 @@ type verdict =
   | Rejected of { reason : string; stats : stats }
 
 (* Non-empty sublists of [xs] with at most [k] elements, each sublist in the
-   original order. *)
+   original order. The enumeration order is part of the checker's contract
+   (it decides which witness the search finds first): subsets containing
+   the head come before subsets without it, exactly as the naive
+   [with_x @ without] formulation — but built back-to-front onto an
+   accumulator, so the cost is linear in the output size instead of
+   quadratic in the [with_x] prefix lengths. *)
 let subsets_up_to k xs =
-  let rec go k = function
-    | [] -> [ [] ]
+  (* [go prefix_rev k xs tail] conses, in enumeration order, every subset
+     [List.rev prefix_rev @ s] with [s] drawn from [xs], [|s| <= k], in
+     front of [tail]. *)
+  let rec go prefix_rev k xs tail =
+    match xs with
+    | [] -> List.rev prefix_rev :: tail
     | x :: rest ->
-        let without = go k rest in
-        let with_x = if k = 0 then [] else List.map (fun s -> x :: s) (go (k - 1) rest) in
-        with_x @ without
+        let without = go prefix_rev k rest tail in
+        if k = 0 then without else go (x :: prefix_rev) (k - 1) rest without
   in
-  List.filter (fun s -> s <> []) (go k xs)
+  List.filter (fun s -> s <> []) (go [] k xs [])
 
 (* All ways of assigning one candidate return to every pending entry of a
    tentative element. Produces lists aligned with [pendings]. *)
@@ -88,7 +96,7 @@ let check ?crashed ~spec h =
      trace (reversed) together with the chosen returns for kept pending
      operations. *)
   let search active =
-    let failed = Hashtbl.create 1024 in
+    let failed = Hashtbl.create (Tuning.checker_table_size ~ops:n) in
     let chosen_rets = Hashtbl.create 8 in
     let rec dfs placed acc acc_trace =
       if placed = active then Some (List.rev acc_trace)

@@ -59,4 +59,11 @@ val check : ?crashed:Ids.Tid.t list -> spec:Spec.t -> History.t -> verdict
 
 val is_cal : ?crashed:Ids.Tid.t list -> spec:Spec.t -> History.t -> bool
 
+val subsets_up_to : int -> 'a list -> 'a list list
+(** Non-empty sublists with at most [k] elements, each in the original
+    element order, subsets containing earlier elements first. The
+    enumeration order decides which witness the search finds first, so it
+    is part of the checker's contract; exposed for the tests and the B14
+    micro-assertion that the accumulator-based rewrite preserved it. *)
+
 val pp_verdict : Format.formatter -> verdict -> unit

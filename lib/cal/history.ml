@@ -243,6 +243,120 @@ let completions ~responses ?(max = 10_000) h =
   in
   Seq.take max (Seq.map build (product choices))
 
+(* ------------------------------------------------- canonical form ----- *)
+
+(* Schedule-interleaving normal form. Swapping two {e adjacent} actions of
+   a history preserves the entries, the era structure and the real-time
+   order [precedes] exactly when the two actions are of the same kind —
+   both invocations or both responses (necessarily of different threads:
+   adjacent same-kind actions of one thread are ill-formed). A response at
+   index [r] precedes an invocation at index [i] iff [r < i], and a swap of
+   two invocations (or two responses) moves no response across an
+   invocation; an inv/res swap, by contrast, can create or destroy a
+   [precedes] pair, and nothing may cross a crash marker (eras would
+   change). The canonical form therefore sorts each maximal run of
+   same-kind actions with {!Action.compare} — crash markers are hard run
+   boundaries — reaching a unique representative of the equivalence class
+   of histories that differ only by such swaps. Two schedules of the same
+   client that produce the same operations with the same concurrency
+   structure canonicalize to the same history, which is what makes the
+   canonical key usable as a verdict-cache key ({!Verdict_cache}): every
+   checker verdict (and its rejection reason, which depends only on the
+   specification name and the crash structure) is invariant under the
+   swaps above. Thread/object identifiers are already deterministic across
+   runs of one client, so no renaming is needed. *)
+(* In-place insertion sort of [a.(lo..hi-1)]: the maximal same-kind runs
+   it is applied to are short (bounded by the thread count), where
+   insertion sort beats [Array.sort] and allocates nothing. *)
+let sort_range a lo hi =
+  for i = lo + 1 to hi - 1 do
+    let x = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && Action.compare a.(!j) x > 0 do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done
+
+let canonicalize h =
+  let out = Array.copy h in
+  let n = Array.length out in
+  let same_kind a b =
+    match (a, b) with
+    | Action.Inv _, Action.Inv _ | Action.Res _, Action.Res _ -> true
+    | _, _ -> false
+  in
+  let i = ref 0 in
+  while !i < n do
+    match out.(!i) with
+    | Action.Crash _ -> incr i
+    | a ->
+        let j = ref (!i + 1) in
+        while !j < n && same_kind a out.(!j) do incr j done;
+        sort_range out !i !j;
+        i := !j
+  done;
+  out
+
+(* The key is built with a plain [Buffer] rather than [Action.show]: the
+   cache pays the key cost on every outcome, hit or miss, so a Fmt-based
+   key would cost as much as the checker call it saves. Strings are
+   netstring-style length-prefixed, so distinct actions never collide. *)
+let add_str buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let rec add_value buf v =
+  match (v : Value.t) with
+  | Unit -> Buffer.add_char buf 'u'
+  | Bool true -> Buffer.add_char buf 'T'
+  | Bool false -> Buffer.add_char buf 'F'
+  | Int n ->
+      Buffer.add_char buf 'i';
+      Buffer.add_string buf (string_of_int n)
+  | Str s ->
+      Buffer.add_char buf 's';
+      add_str buf s
+  | Pair (a, b) ->
+      Buffer.add_char buf 'p';
+      add_value buf a;
+      add_value buf b
+  | List vs ->
+      Buffer.add_char buf 'l';
+      Buffer.add_string buf (string_of_int (List.length vs));
+      Buffer.add_char buf ':';
+      List.iter (add_value buf) vs
+
+let add_action buf a =
+  match (a : Action.t) with
+  | Inv { tid; oid; fid; arg } ->
+      Buffer.add_char buf 'I';
+      Buffer.add_string buf (string_of_int (Tid.to_int tid));
+      add_str buf (Oid.to_string oid);
+      add_str buf (Fid.to_string fid);
+      add_value buf arg
+  | Res { tid; oid; fid; ret } ->
+      Buffer.add_char buf 'R';
+      Buffer.add_string buf (string_of_int (Tid.to_int tid));
+      add_str buf (Oid.to_string oid);
+      add_str buf (Fid.to_string fid);
+      add_value buf ret
+  | Crash { epoch } ->
+      Buffer.add_char buf 'C';
+      Buffer.add_string buf (string_of_int epoch)
+
+let canonical_key h =
+  let c = canonicalize h in
+  let buf = Buffer.create (16 * Array.length c + 16) in
+  Array.iter
+    (fun a ->
+      add_action buf a;
+      Buffer.add_char buf '\n')
+    c;
+  Buffer.contents buf
+
 let pp ppf h =
   Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Action.pp) (to_list h)
 
@@ -250,3 +364,5 @@ let show h = Fmt.str "%a" pp h
 
 let equal a b =
   Array.length a = Array.length b && Array.for_all2 Action.equal a b
+
+let canonical_equal a b = equal (canonicalize a) (canonicalize b)

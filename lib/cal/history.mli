@@ -129,6 +129,32 @@ val with_responses : Action.t list -> (int * Action.t) list -> t
     a crash marker would have no pending invocation to answer, because the
     marker cuts off every open call. *)
 
+(** {1 Canonical form}
+
+    Different schedules of one client program frequently produce histories
+    that differ only in the interleaving order of adjacent same-kind
+    actions — two invocations, or two responses, of different threads.
+    Such swaps change neither the operation entries, nor the era
+    structure, nor the real-time order {!precedes} (a response crosses an
+    invocation in neither direction), so every checker verdict is
+    invariant under them. The canonical form picks one representative per
+    equivalence class by sorting each maximal run of same-kind actions
+    with {!Action.compare}; crash markers are hard boundaries that no
+    action may cross. This is the key quotient behind the shared verdict
+    cache ({!Verdict_cache}): schedule-permuted-but-equivalent histories
+    collide on {!canonical_key} and pay one checker call. *)
+
+val canonicalize : t -> t
+(** The canonical representative: idempotent, well-formedness- and
+    verdict-preserving, with identical entries, eras and [precedes]. *)
+
+val canonical_key : t -> string
+(** A printable key uniquely identifying [canonicalize h] — equal exactly
+    for canonically equal histories. *)
+
+val canonical_equal : t -> t -> bool
+(** [equal (canonicalize a) (canonicalize b)]. *)
+
 (** {1 Printing} *)
 
 val pp : Format.formatter -> t -> unit

@@ -55,7 +55,7 @@ let check ~spec h =
   in
   let starts = Array.make n (-1) in
   let ends = Array.make n (-1) in
-  let failed = Hashtbl.create 1024 in
+  let failed = Hashtbl.create (Tuning.checker_table_size ~ops:n) in
   (* state: [started] and [ended] masks; active = started \ ended. At each
      round: start a (possibly empty) set of ready unstarted ops — ready
      means all predecessors ended in strictly earlier rounds — and end a

@@ -58,7 +58,7 @@ let check ?crashed ~spec h =
     }
   in
   let search active =
-    let failed = Hashtbl.create 1024 in
+    let failed = Hashtbl.create (Tuning.checker_table_size ~ops:n) in
     let rec dfs placed acc acc_ops =
       if placed = active then Some (List.rev acc_ops)
       else begin

@@ -1,0 +1,16 @@
+(** Sizing heuristics for the search-side hash tables, in one place.
+
+    Both the exploration engine ({!Conc.Explore}) and the checkers
+    ({!Cal_checker}, {!Lin_checker}, {!Interval_lin}) memoize failed
+    search states in hash tables. Their initial sizes are derived here
+    from the parameters that drive the key population — fuel × threads
+    for the schedule-tree fingerprint memo, the operation count for the
+    checker state memos — instead of per-call-site magic literals. *)
+
+val explore_memo_size : fuel:int -> threads:int -> int
+(** Initial size for the explorer's fingerprint memo: proportional to
+    [fuel × threads], clamped to [64, 8192]. *)
+
+val checker_table_size : ops:int -> int
+(** Initial size for a checker's failed-state memo over [ops]
+    operations: [2^ops] clamped to [64, 8192]. *)

@@ -1,0 +1,54 @@
+(* A sharded, mutex-protected verdict cache shared across worker domains.
+
+   Keys are caller-built strings (canonical history keys, possibly
+   extended with crashed-thread sets and a checker tag); values are the
+   per-outcome verdicts of the obligation checkers. Sharding by key hash
+   keeps the critical sections short and mostly uncontended; a miss
+   computes {e outside} the shard lock, so two domains may occasionally
+   both compute the same verdict — harmless, since verdicts are
+   deterministic functions of the key, and the first insert wins. *)
+
+type verdict = (unit, string) result
+
+type shard = { lock : Mutex.t; table : (string, verdict) Hashtbl.t }
+
+type t = {
+  shards : shard array;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let create ?(shards = 16) () =
+  {
+    shards =
+      Array.init (max 1 shards) (fun _ ->
+          { lock = Mutex.create (); table = Hashtbl.create 64 });
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let shard_of t key =
+  t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+let find_or_compute t ~key compute =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  match Hashtbl.find_opt s.table key with
+  | Some v ->
+      Mutex.unlock s.lock;
+      Atomic.incr t.hits;
+      v
+  | None ->
+      Mutex.unlock s.lock;
+      let v = compute () in
+      Atomic.incr t.misses;
+      Mutex.lock s.lock;
+      if not (Hashtbl.mem s.table key) then Hashtbl.add s.table key v;
+      Mutex.unlock s.lock;
+      v
+
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses
+
+let size t =
+  Array.fold_left (fun n s -> n + Hashtbl.length s.table) 0 t.shards

@@ -1,0 +1,40 @@
+(** A canonical-history verdict cache, shared across worker domains.
+
+    Exploration delivers many schedules whose histories differ only by the
+    interleaving of adjacent same-kind actions; {!History.canonical_key}
+    collapses each such class to one key, and this cache stores the
+    checker verdict for the class so it is computed once. The table is
+    sharded and each shard is protected by its own [Mutex], so domains of
+    the parallel explorer ({!Conc.Par_explore}) share it safely with short,
+    mostly uncontended critical sections.
+
+    A cache instance is meant to live for one check invocation (one
+    specification, one checker mode): the caller builds keys that are
+    unique within that scope — typically
+    [History.canonical_key h ^ crashed-set ^ checker-tag]. Rejection
+    {e reasons} of the checkers depend only on the specification name and
+    the crash structure of the history, both canonical-form-invariant, so
+    caching the full [(unit, string) result] verdict is sound. *)
+
+type verdict = (unit, string) result
+
+type t
+
+val create : ?shards:int -> unit -> t
+(** A fresh empty cache with [shards] (default 16) independently locked
+    shards. *)
+
+val find_or_compute : t -> key:string -> (unit -> verdict) -> verdict
+(** [find_or_compute t ~key compute] returns the cached verdict for
+    [key], or runs [compute ()] (outside any lock — it may run more than
+    once under a parallel race, which is benign for deterministic
+    verdicts), stores and returns it. *)
+
+val hits : t -> int
+(** Lookups answered from the cache. *)
+
+val misses : t -> int
+(** Lookups that ran [compute]. *)
+
+val size : t -> int
+(** Distinct keys currently stored. *)

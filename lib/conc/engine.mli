@@ -1,0 +1,78 @@
+(** The incremental DFS core shared by {!Explore} (sequential front) and
+    {!Par_explore} (work-stealing parallel front).
+
+    Most callers want {!Explore}; this module is the engine room. The DFS
+    keeps one live execution and descends the schedule tree one
+    {!Runner.step} per edge, re-establishing a branch point after
+    backtracking with a single prefix replay. It can be rooted at an
+    arbitrary schedule [prefix] — the parallel front splits the tree at a
+    frontier depth and runs one such rooted DFS per subtree task, passing
+    the scheduling state accumulated along the prefix ([last0],
+    [preemptions0], [sleep0]) so the task explores exactly the subtree
+    the sequential engine would have. *)
+
+type stats = {
+  runs : int;           (** terminal outcomes delivered to the callback *)
+  truncated : bool;     (** stopped early by [max_runs]/[gate] (or plans cap) *)
+  max_steps : int;      (** longest schedule seen *)
+  nodes : int;          (** schedule-tree nodes visited *)
+  replayed_steps : int;
+      (** program steps re-executed to re-establish branch points after
+          backtracking, including task-prefix replays of the parallel
+          front *)
+  fingerprint_hits : int;  (** subtrees cut off by fingerprint memoization *)
+  sleep_pruned : int;      (** sibling decisions skipped by sleep sets *)
+  cache_hits : int;
+      (** verdict-cache hits, patched in by the caller that owns the cache
+          ({!Verify.Obligations}); always [0] straight out of the engine *)
+  tasks_stolen : int;
+      (** parallel front: subtree tasks executed by a domain that did not
+          own them *)
+  domains_used : int;   (** worker domains (1 for the sequential front) *)
+}
+
+val empty_stats : stats
+val merge_stats : stats -> stats -> stats
+
+exception Stop
+(** Raised internally to cut the search (budget, counterexample). *)
+
+exception Abandoned
+(** Raised when [abort] asks the current task to stop; the DFS returns
+    its partial stats. *)
+
+val env_flag : string -> bool
+val pruning_requested : bool option -> bool
+(** Resolve a [?prune] argument against [CAL_EXPLORE_PRUNE] /
+    [CAL_EXPLORE_NO_PRUNE] (see {!Explore}). *)
+
+val independent :
+  Runner.decision * string -> Runner.decision * string -> bool
+(** Sleep-set commutation heuristic on labelled decisions. *)
+
+val threads_of : Runner.exec -> int
+(** Thread count of the program under execution (sizes the memo table). *)
+
+val dfs :
+  restart:(unit -> Runner.exec) ->
+  fuel:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  prune:bool ->
+  ?prefix:Runner.decision list ->
+  ?last0:int ->
+  ?preemptions0:int ->
+  ?sleep0:(Runner.decision * string) list ->
+  ?gate:(unit -> bool) ->
+  ?abort:(unit -> bool) ->
+  init_path:'path ->
+  step_path:('path -> Runner.decision list -> Runner.decision -> 'path) ->
+  leaf:(Runner.outcome -> Runner.decision list -> 'path -> unit) ->
+  unit ->
+  stats
+(** Explore the subtree rooted at [prefix] (default: the whole tree).
+    [fuel] counts absolute schedule depth, prefix included. [gate]
+    (parallel run budget) is consulted before each delivery — refusal
+    truncates; [abort] (best-failure bound) before each node — refusal
+    abandons with partial stats. [max_runs] is the sequential local
+    budget; the parallel front passes [gate] instead. *)

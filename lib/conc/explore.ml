@@ -1,4 +1,4 @@
-type stats = {
+type stats = Engine.stats = {
   runs : int;
   truncated : bool;
   max_steps : int;
@@ -6,204 +6,83 @@ type stats = {
   replayed_steps : int;
   fingerprint_hits : int;
   sleep_pruned : int;
+  cache_hits : int;
+  tasks_stolen : int;
+  domains_used : int;
 }
 
-let empty_stats =
-  {
-    runs = 0;
-    truncated = false;
-    max_steps = 0;
-    nodes = 0;
-    replayed_steps = 0;
-    fingerprint_hits = 0;
-    sleep_pruned = 0;
-  }
+let empty_stats = Engine.empty_stats
+let merge_stats = Engine.merge_stats
 
-exception Stop
+exception Stop = Engine.Stop
 
-(* ------------------------------------------------- pruning controls --- *)
+let pruning_requested = Engine.pruning_requested
+let env_flag = Engine.env_flag
 
-let env_flag v =
-  match Sys.getenv_opt v with
-  | Some ("1" | "true" | "yes" | "on") -> true
-  | _ -> false
+(* --------------------------------------------------- exploration fronts --
+   The incremental DFS engine lives in {!Engine}; the work-stealing
+   parallel front in {!Par_explore}. Every entry point below dispatches on
+   [domains]: [1] (the default) is byte-for-byte the sequential engine,
+   [>= 2] splits the schedule tree into subtree tasks spread over that
+   many worker domains. Callbacks of the parallel paths run concurrently
+   from several domains and must be thread-safe; the [_collect] variants
+   side-step that by giving every task its own accumulator, merged in
+   canonical task order after the join. *)
 
-(* Pruning is an opt-in underapproximation of the run {e set} (it must
-   preserve verdicts, not run counts), so the default is off; callers opt
-   in per call ([~prune:true]) or globally (CAL_EXPLORE_PRUNE=1). The
-   cross-check mode CAL_EXPLORE_NO_PRUNE=1 force-disables pruning even for
-   explicit opt-ins: a pruned and an unpruned pass must reach identical
-   verdicts. *)
-let pruning_requested prune =
-  if env_flag "CAL_EXPLORE_NO_PRUNE" then false
-  else match prune with Some p -> p | None -> env_flag "CAL_EXPLORE_PRUNE"
-
-(* Commutation heuristic for sleep sets, from the step labels: two steps
-   commute when they touch distinct contended locations (the "…@loc" label
-   convention of the structures) or when either is a pure yield. Steps
-   without a location tag are conservatively treated as dependent. *)
-let loc_of label =
-  match String.index_opt label '@' with
-  | Some i -> Some (String.sub label i (String.length label - i))
-  | None -> None
-
-let commutes l1 l2 =
-  l1 = "yield" || l2 = "yield"
-  ||
-  match (loc_of l1, loc_of l2) with Some a, Some b -> a <> b | _ -> false
-
-let independent ((d1 : Runner.decision), l1) ((d2 : Runner.decision), l2) =
-  d1.thread <> d2.thread && commutes l1 l2
-
-(* --------------------------------------------- incremental DFS engine -- *)
-
-(* One engine under every checker. The DFS keeps a single live execution
-   and descends by {!Runner.step} — O(1) per tree edge. Backtracking to a
-   sibling re-establishes the branch point with one prefix replay (the
-   shared heap the program mutates cannot be checkpointed, so it is
-   rebuilt by re-execution): the total work is O(runs × depth) program
-   steps, against O(nodes × depth) for the seed's whole-prefix-replay
-   engine. Per-path checker state (the liveness idle counters) is threaded
-   through [step_path]/[leaf] as immutable values cloned on branch.
-
-   With [prune] set, two reductions apply, both counted in the stats:
-   - fingerprint memoization: a node whose {!Runner.fingerprint} was
-     already visited is cut off (its subtree was explored from the
-     equivalent state);
-   - sleep sets: after exploring sibling [d1], the decision [d1] is put to
-     sleep inside the later siblings' subtrees and skipped there until a
-     dependent (non-commuting) step wakes it — the classic partial-order
-     argument that exploring [d1;d2] and [d2;d1] twice is redundant when
-     the two steps commute. *)
-let dfs ~restart ~fuel ?max_runs ?preemption_bound ~prune ~init_path
-    ~step_path ~leaf () =
-  let exec = ref (restart ()) in
-  let runs = ref 0 and truncated = ref false and max_steps = ref 0 in
-  let nodes = ref 0 and replayed = ref 0 in
-  let fp_hits = ref 0 and slept = ref 0 in
-  let memo : (string, unit) Hashtbl.t = Hashtbl.create 512 in
-  let within_budget used =
-    match preemption_bound with None -> true | Some b -> used <= b
-  in
-  let deliver frontier path =
-    let o = Runner.outcome !exec in
-    leaf o frontier path;
-    incr runs;
-    if o.Runner.steps > !max_steps then max_steps := o.Runner.steps;
-    match max_runs with
-    | Some m when !runs >= m ->
-        truncated := true;
-        raise Stop
-    | _ -> ()
-  in
-  (* Position the execution at the node reached by [prefix_rev]: free while
-     descending along the spine; one fresh prefix replay after returning
-     from an earlier sibling's subtree. *)
-  let ensure_at depth prefix_rev =
-    if Runner.steps_done !exec <> depth then begin
-      let e = restart () in
-      List.iter (fun d -> ignore (Runner.step e d)) (List.rev prefix_rev);
-      replayed := !replayed + depth;
-      exec := e
-    end
-  in
-  let rec node ~prefix_rev ~depth ~last ~preemptions ~sleep ~path =
-    incr nodes;
-    let frontier = Runner.frontier !exec in
-    if frontier = [] || depth >= fuel then deliver frontier path
-    else begin
-      let pruned_here =
-        prune
-        &&
-        let fp = Runner.fingerprint !exec in
-        if Hashtbl.mem memo fp then true
-        else begin
-          Hashtbl.add memo fp ();
-          false
-        end
-      in
-      if pruned_here then incr fp_hits
-      else begin
-        let labelled =
-          List.map
-            (fun (d : Runner.decision) ->
-              (d, Option.value ~default:"" (Runner.head_label !exec d.thread)))
-            frontier
-        in
-        let last_enabled =
-          List.exists (fun (d : Runner.decision) -> Some d.thread = last) frontier
-        in
-        let explored = ref [] in
-        List.iter
-          (fun ((d : Runner.decision), l) ->
-            let cost =
-              if last_enabled && Some d.thread <> last then preemptions + 1
-              else preemptions
-            in
-            if within_budget cost then begin
-              if
-                prune
-                && List.exists
-                     (fun ((s : Runner.decision), _) ->
-                       s.thread = d.thread && s.branch = d.branch)
-                     sleep
-              then incr slept
-              else begin
-                ensure_at depth prefix_rev;
-                let path' = step_path path frontier d in
-                ignore (Runner.step !exec d);
-                let sleep' =
-                  if prune then
-                    List.filter
-                      (fun s -> independent s (d, l))
-                      (sleep @ List.rev !explored)
-                  else []
-                in
-                node ~prefix_rev:(d :: prefix_rev) ~depth:(depth + 1)
-                  ~last:(Some d.thread) ~preemptions:cost ~sleep:sleep'
-                  ~path:path';
-                explored := (d, l) :: !explored
-              end
-            end)
-          labelled
-      end
-    end
-  in
-  (try
-     node ~prefix_rev:[] ~depth:0 ~last:None ~preemptions:0 ~sleep:[]
-       ~path:init_path
-   with Stop -> ());
-  {
-    runs = !runs;
-    truncated = !truncated;
-    max_steps = !max_steps;
-    nodes = !nodes;
-    replayed_steps = !replayed;
-    fingerprint_hits = !fp_hits;
-    sleep_pruned = !slept;
-  }
-
-let exhaustive ?(plan = []) ?prune ~setup ~fuel ?max_runs ?preemption_bound ~f
-    () =
-  dfs
-    ~restart:(fun () -> Runner.start ~plan ~setup ())
-    ~fuel ?max_runs ?preemption_bound ~prune:(pruning_requested prune)
-    ~init_path:()
+let sequential_dfs ~restart ~fuel ?max_runs ?preemption_bound ~prune ~f () =
+  Engine.dfs ~restart ~fuel ?max_runs ?preemption_bound ~prune ~init_path:()
     ~step_path:(fun () _ _ -> ())
     ~leaf:(fun o _ () -> f o)
     ()
+
+let exhaustive ?(plan = []) ?prune ?(domains = 1) ?split_depth ~setup ~fuel
+    ?max_runs ?preemption_bound ~f () =
+  let prune = pruning_requested prune in
+  let restart () = Runner.start ~plan ~setup () in
+  if domains <= 1 then
+    sequential_dfs ~restart ~fuel ?max_runs ?preemption_bound ~prune ~f ()
+  else
+    fst
+      (Par_explore.explore ~prune ~domains ?split_depth ?max_runs
+         ?preemption_bound ~restart ~fuel
+         ~init:(fun () -> ())
+         ~f:(fun () o -> f o)
+         ())
+
+let exhaustive_collect ?(plan = []) ?prune ?(domains = 1) ?split_depth ~setup
+    ~fuel ?max_runs ?preemption_bound ~init ~f () =
+  let prune = pruning_requested prune in
+  let restart () = Runner.start ~plan ~setup () in
+  if domains <= 1 then begin
+    let acc = init () in
+    let stats =
+      sequential_dfs ~restart ~fuel ?max_runs ?preemption_bound ~prune
+        ~f:(fun o -> f acc o)
+        ()
+    in
+    (stats, [| acc |])
+  end
+  else
+    Par_explore.explore ~prune ~domains ?split_depth ?max_runs
+      ?preemption_bound ~restart ~fuel ~init ~f ()
 
 (* Exhaustive exploration of one durable program under one (possibly
    crashing) plan. Always unpruned: persistent-cell contents are not part
    of the state fingerprint, so memoization across crash plans would be
    unsound. *)
-let exhaustive_durable ~plan ~setup ~fuel ?max_runs ?preemption_bound ~f () =
-  dfs
-    ~restart:(fun () -> Runner.start_durable ~plan ~setup ())
-    ~fuel ?max_runs ?preemption_bound ~prune:false ~init_path:()
-    ~step_path:(fun () _ _ -> ())
-    ~leaf:(fun o _ () -> f o)
-    ()
+let exhaustive_durable ~plan ?(domains = 1) ?split_depth ~setup ~fuel ?max_runs
+    ?preemption_bound ~f () =
+  let restart () = Runner.start_durable ~plan ~setup () in
+  if domains <= 1 then
+    sequential_dfs ~restart ~fuel ?max_runs ?preemption_bound ~prune:false ~f
+      ()
+  else
+    fst
+      (Par_explore.explore ~prune:false ~domains ?split_depth ?max_runs
+         ?preemption_bound ~restart ~fuel
+         ~init:(fun () -> ())
+         ~f:(fun () o -> f o)
+         ())
 
 (* The seed's stateless engine — a whole-prefix replay at every DFS node —
    kept as the reference implementation for cross-checks and the B12
@@ -248,13 +127,12 @@ let exhaustive_via_replay ?(plan = []) ~setup ~fuel ?max_runs ?preemption_bound
   in
   (try explore [] ~last:None ~preemptions:0 with Stop -> ());
   {
+    empty_stats with
     runs = !runs;
     truncated = !truncated;
     max_steps = !max_steps;
     nodes = !nodes;
     replayed_steps = !replayed;
-    fingerprint_hits = 0;
-    sleep_pruned = 0;
   }
 
 let random ~setup ~fuel ~runs ~seed ~f () =
@@ -267,22 +145,42 @@ let random ~setup ~fuel ~runs ~seed ~f () =
   done;
   { empty_stats with runs; max_steps = !max_steps }
 
-let check_all ?plan ?prune ~setup ~fuel ?max_runs ?preemption_bound ~p () =
-  let bad = ref None in
-  let wrapped outcome =
-    if !bad = None && not (p outcome) then begin
-      bad := Some outcome;
-      raise Stop
-    end
-  in
-  let stats =
-    exhaustive ?plan ?prune ~setup ~fuel ?max_runs ?preemption_bound ~f:wrapped
-      ()
-  in
-  (* [truncated] means the budget capped the search, nothing else: a
-     counterexample stop is reported by the [Error] constructor alone, so
-     callers can tell an exhausted-but-failing search from a capped one. *)
-  match !bad with None -> Ok stats | Some o -> Error (o, stats)
+let check_all ?plan ?prune ?(domains = 1) ?split_depth ~setup ~fuel ?max_runs
+    ?preemption_bound ~p () =
+  if domains <= 1 then begin
+    let bad = ref None in
+    let wrapped outcome =
+      if !bad = None && not (p outcome) then begin
+        bad := Some outcome;
+        raise Stop
+      end
+    in
+    let stats =
+      exhaustive ?plan ?prune ~setup ~fuel ?max_runs ?preemption_bound
+        ~f:wrapped ()
+    in
+    (* [truncated] means the budget capped the search, nothing else: a
+       counterexample stop is reported by the [Error] constructor alone, so
+       callers can tell an exhausted-but-failing search from a capped one. *)
+    match !bad with None -> Ok stats | Some o -> Error (o, stats)
+  end
+  else begin
+    let plan = Option.value plan ~default:[] in
+    let prune = pruning_requested prune in
+    let restart () = Runner.start ~plan ~setup () in
+    let stats, accs =
+      Par_explore.explore ~prune ~domains ?split_depth ?max_runs
+        ?preemption_bound ~restart ~fuel
+        ~init:(fun () -> ref None)
+        ~f:(fun acc o -> if !acc = None && not (p o) then acc := Some o)
+        ~stop_on:(fun acc _ -> !acc <> None)
+        ()
+    in
+    (* first failing task in canonical order holds the sequential witness *)
+    match Array.to_list accs |> List.find_map (fun acc -> !acc) with
+    | None -> Ok stats
+    | Some o -> Error (o, stats)
+  end
 
 (* Iterative context bounding doubles as counterexample minimisation: the
    first bound at which a violation appears is the bug's preemption depth,
@@ -308,17 +206,22 @@ type fault_stats = {
   fault_replayed_steps : int;
   fault_fingerprint_hits : int;
   fault_sleep_pruned : int;
+  fault_tasks_stolen : int;
+  fault_domains_used : int;
 }
 
-let merge_stats a b =
+let fault_stats_of ~plans (s : stats) =
   {
-    runs = a.runs + b.runs;
-    truncated = a.truncated || b.truncated;
-    max_steps = max a.max_steps b.max_steps;
-    nodes = a.nodes + b.nodes;
-    replayed_steps = a.replayed_steps + b.replayed_steps;
-    fingerprint_hits = a.fingerprint_hits + b.fingerprint_hits;
-    sleep_pruned = a.sleep_pruned + b.sleep_pruned;
+    plans;
+    fault_runs = s.runs;
+    fault_truncated = s.truncated;
+    fault_max_steps = s.max_steps;
+    fault_nodes = s.nodes;
+    fault_replayed_steps = s.replayed_steps;
+    fault_fingerprint_hits = s.fingerprint_hits;
+    fault_sleep_pruned = s.sleep_pruned;
+    fault_tasks_stolen = s.tasks_stolen;
+    fault_domains_used = s.domains_used;
   }
 
 (* Candidate fault points of a bounded program, learned from the fault-free
@@ -333,16 +236,18 @@ let merge_stats a b =
 type learner = {
   learn : Runner.outcome -> unit;
   candidates : unit -> Fault.t list;
+  thread_tbl : (int, int) Hashtbl.t;
+  label_tbl : (string, int) Hashtbl.t;
 }
+
+let bump tbl key v =
+  match Hashtbl.find_opt tbl key with
+  | Some old when old >= v -> ()
+  | _ -> Hashtbl.replace tbl key v
 
 let candidate_learner ?(delay_factors = []) () =
   let thread_max : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let label_max : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  let bump tbl key v =
-    match Hashtbl.find_opt tbl key with
-    | Some old when old >= v -> ()
-    | _ -> Hashtbl.replace tbl key v
-  in
   let learn (o : Runner.outcome) =
     let per_thread = Hashtbl.create 8 in
     List.iter
@@ -380,7 +285,14 @@ let candidate_learner ?(delay_factors = []) () =
     in
     crashes @ fails @ delays
   in
-  { learn; candidates }
+  { learn; candidates; thread_tbl = thread_max; label_tbl = label_max }
+
+(* Fold one learner's observations into another. The tables hold per-key
+   maxima over all delivered runs, so a bump-merge of per-task learners is
+   order-independent and equals the single sequential learner exactly. *)
+let absorb_learner dst src =
+  Hashtbl.iter (fun k v -> bump dst.thread_tbl k v) src.thread_tbl;
+  Hashtbl.iter (fun k v -> bump dst.label_tbl k v) src.label_tbl
 
 (* Size-k subsets of [xs] in positional (lexicographic) order, lazily. *)
 let rec combinations k xs () =
@@ -422,52 +334,88 @@ let cap_plans max_plans seq =
       in
       (go n seq, fun () -> !capped)
 
-let exhaustive_with_faults ?delay_factors ?prune ~setup ~fuel ?max_runs
-    ?preemption_bound ?max_plans ~fault_bound ~f () =
+(* The fault sweep with a per-exploration-unit accumulator: one accumulator
+   for every subtree task of the (possibly parallel) fault-free pass,
+   followed by one per fault plan, all returned in canonical order. The
+   fault-free pass doubles as the candidate learner — per-task learners
+   are bump-merged, which reproduces the sequential learner exactly — and
+   the plan fan-out is spread over the domains with the same deterministic
+   work-stealing pool as the tree split. When [max_runs] is set the
+   fault-free pass stays sequential: a parallel race on the shared run
+   budget could truncate a different run subset and learn different fault
+   candidates. *)
+let exhaustive_with_faults_collect ?delay_factors ?prune ?(domains = 1)
+    ?split_depth ~setup ~fuel ?max_runs ?preemption_bound ?max_plans
+    ~fault_bound ~init ~f () =
   if fault_bound < 0 then invalid_arg "Explore: fault_bound must be >= 0";
-  (* The fault-free pass doubles as the candidate learner: its outcomes are
-     the empty plan's outcomes, delivered to [f] as it learns. *)
-  let candidates, free_stats =
-    if fault_bound = 0 then
-      ([], exhaustive ?prune ~setup ~fuel ?max_runs ?preemption_bound ~f ())
-    else begin
-      let learner = candidate_learner ?delay_factors () in
-      let stats =
-        exhaustive ?prune ~setup ~fuel ?max_runs ?preemption_bound
-          ~f:(fun o ->
-            learner.learn o;
-            f o)
-          ()
-      in
-      (learner.candidates (), stats)
-    end
+  let free_domains = if max_runs = None then domains else 1 in
+  let learner = candidate_learner ?delay_factors () in
+  let free_stats, free_accs =
+    exhaustive_collect ?prune ~domains:free_domains ?split_depth ~setup ~fuel
+      ?max_runs ?preemption_bound
+      ~init:(fun () -> (init (), candidate_learner ?delay_factors ()))
+      ~f:(fun (acc, l) o ->
+        if fault_bound > 0 then l.learn o;
+        f acc o)
+      ()
   in
+  Array.iter (fun (_, l) -> absorb_learner learner l) free_accs;
+  let candidates = if fault_bound = 0 then [] else learner.candidates () in
   (* the empty plan was explored above and counts against [max_plans] *)
   let plan_seq, was_capped =
     cap_plans
       (Option.map (fun m -> max 0 (m - 1)) max_plans)
       (plans_up_to ~bound:fault_bound candidates)
   in
-  let nplans = ref 1 in
-  let acc = ref free_stats in
-  Seq.iter
-    (fun plan ->
-      incr nplans;
-      let s =
-        exhaustive ~plan ?prune ~setup ~fuel ?max_runs ?preemption_bound ~f ()
-      in
-      acc := merge_stats !acc s)
-    plan_seq;
-  {
-    plans = !nplans;
-    fault_runs = !acc.runs;
-    fault_truncated = !acc.truncated || was_capped ();
-    fault_max_steps = !acc.max_steps;
-    fault_nodes = !acc.nodes;
-    fault_replayed_steps = !acc.replayed_steps;
-    fault_fingerprint_hits = !acc.fingerprint_hits;
-    fault_sleep_pruned = !acc.sleep_pruned;
-  }
+  let plans = Array.of_list (List.of_seq plan_seq) in
+  let run_plan _idx plan =
+    let acc = init () in
+    let stats =
+      Engine.dfs
+        ~restart:(fun () -> Runner.start ~plan ~setup ())
+        ~fuel ?max_runs ?preemption_bound
+        ~prune:(pruning_requested prune)
+        ~init_path:()
+        ~step_path:(fun () _ _ -> ())
+        ~leaf:(fun o _ () -> f acc o)
+        ()
+    in
+    (stats, acc)
+  in
+  let plan_results, stolen =
+    if domains <= 1 then
+      (Array.mapi run_plan plans, 0)
+    else Par_explore.map_tasks ~domains ~f:run_plan plans
+  in
+  let merged =
+    Array.fold_left
+      (fun acc (s, _) -> merge_stats acc s)
+      free_stats plan_results
+  in
+  let merged =
+    {
+      merged with
+      truncated = merged.truncated || was_capped ();
+      tasks_stolen = merged.tasks_stolen + stolen;
+      domains_used = max merged.domains_used (max 1 domains);
+    }
+  in
+  let accs =
+    Array.append
+      (Array.map fst free_accs)
+      (Array.map snd plan_results)
+  in
+  (fault_stats_of ~plans:(1 + Array.length plans) merged, accs)
+
+let exhaustive_with_faults ?delay_factors ?prune ?domains ?split_depth ~setup
+    ~fuel ?max_runs ?preemption_bound ?max_plans ~fault_bound ~f () =
+  fst
+    (exhaustive_with_faults_collect ?delay_factors ?prune ?domains
+       ?split_depth ~setup ~fuel ?max_runs ?preemption_bound ?max_plans
+       ~fault_bound
+       ~init:(fun () -> ())
+       ~f:(fun () o -> f o)
+       ())
 
 (* ------------------------------------------------- crash exploration -- *)
 
@@ -481,7 +429,12 @@ let exhaustive_with_faults ?delay_factors ?prune ~setup ~fuel ?max_runs
    depth-1 plans before their depth-2 (crash-during-recovery) children, so
    a [max_plans] budget keeps a prefix of the cheapest plans. Per-thread
    fault plans (learned exactly as in [exhaustive_with_faults]) are crossed
-   with the crash points when [fault_bound > 0]. *)
+   with the crash points when [fault_bound > 0].
+
+   Deliberately sequential (no [domains] knob): each plan's crash-point
+   horizon depends on the runs its parent plan delivered, so the plan
+   enumeration itself is a data-dependent sequential sweep — see DESIGN
+   §2.11 for why this never parallelizes. *)
 let exhaustive_with_crashes ?delay_factors ~setup ~fuel ?max_runs
     ?preemption_bound ?max_plans ?(max_crash_depth = 1) ?(fault_bound = 0) ~f
     () =
@@ -533,16 +486,8 @@ let exhaustive_with_crashes ?delay_factors ~setup ~fuel ?max_runs
            crash_sweep fp ~last_at:(-1) ~horizon ~depth:1)
          (plans_up_to ~bound:fault_bound (learner.candidates ()))
    with Budget -> ());
-  {
-    plans = !nplans;
-    fault_runs = !acc.runs;
-    fault_truncated = !acc.truncated || !capped;
-    fault_max_steps = !acc.max_steps;
-    fault_nodes = !acc.nodes;
-    fault_replayed_steps = !acc.replayed_steps;
-    fault_fingerprint_hits = !acc.fingerprint_hits;
-    fault_sleep_pruned = !acc.sleep_pruned;
-  }
+  fault_stats_of ~plans:!nplans
+    { !acc with truncated = !acc.truncated || !capped }
 
 (* ------------------------------------------------- liveness watchdog -- *)
 
@@ -619,7 +564,14 @@ type liveness_stats = {
    state: every maximal run is classified in the single pass that explores
    it. [on_outcome] additionally observes every delivered outcome (the
    fault sweep hooks the candidate learner in here). Pruning is disabled:
-   the idle counters are path state the fingerprints do not cover. *)
+   the idle counters are path state the fingerprints do not cover.
+
+   Deliberately sequential: the idle counters are per-path state threaded
+   through the DFS spine, so a subtree task would need the exact counter
+   state of its prefix — cheap to reconstruct, but the witness cap (first
+   10 livelocks in canonical order) and the fairness classification are
+   verdict-relevant order-dependent state; keeping the watchdog on the
+   sequential engine preserves its behaviour exactly (DESIGN §2.11). *)
 let liveness_core ?(plan = []) ~setup ~fuel ~window ?max_runs ?preemption_bound
     ?(on_outcome = fun _ -> ()) () =
   if window < 1 then invalid_arg "Explore.liveness: window must be >= 1";
@@ -641,7 +593,7 @@ let liveness_core ?(plan = []) ~setup ~fuel ~window ?max_runs ?preemption_bound
     bump_idle ~window idle (enabled_threads frontier) d.thread starving
   in
   let stats =
-    dfs
+    Engine.dfs
       ~restart:(fun () -> Runner.start ~plan ~setup ())
       ~fuel ?max_runs ?preemption_bound ~prune:false ~init_path:([], [])
       ~step_path ~leaf ()

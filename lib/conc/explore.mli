@@ -6,13 +6,13 @@
     Randomised exploration samples schedules for larger programs and for
     benchmarking.
 
-    The exhaustive engine is {e incremental}: it keeps one live execution
-    ({!Runner.start}/{!Runner.step}) and descends the schedule tree one
-    step per edge, re-establishing a branch point after backtracking with a
-    single prefix replay — O(runs × depth) program steps in total, against
-    O(nodes × depth) for a whole-prefix replay at every node (the seed
-    engine, kept as {!exhaustive_via_replay} for cross-checks and
-    benchmarks).
+    The exhaustive engine is {e incremental} ({!Engine}): it keeps one
+    live execution ({!Runner.start}/{!Runner.step}) and descends the
+    schedule tree one step per edge, re-establishing a branch point after
+    backtracking with a single prefix replay — O(runs × depth) program
+    steps in total, against O(nodes × depth) for a whole-prefix replay at
+    every node (the seed engine, kept as {!exhaustive_via_replay} for
+    cross-checks and benchmarks).
 
     Two optional sound-for-verdicts reductions prune the tree when [prune]
     is set (or the environment variable [CAL_EXPLORE_PRUNE=1] is):
@@ -24,26 +24,56 @@
     {!Verify.Obligations}) may opt in; run counts shrink. Setting
     [CAL_EXPLORE_NO_PRUNE=1] force-disables pruning even for explicit
     opt-ins — the cross-check mode: a pruned and an unpruned pass must
-    reach identical verdicts. *)
+    reach identical verdicts.
 
-type stats = {
+    {b Parallel exploration.} Every exhaustive entry point takes
+    [?domains] (default [1]): with [domains >= 2] the schedule tree is
+    split at a frontier depth into independent subtree tasks spread over
+    that many OCaml 5 worker domains with work stealing
+    ({!Par_explore}, DESIGN §2.11). Tasks are generated and merged in
+    canonical DFS order, so verdicts, witnesses and run counts match the
+    sequential engine exactly (only [replayed_steps] grows, by the
+    task-prefix replays) — except under [max_runs], where the shared run
+    budget admits a scheduling-dependent run subset. Callbacks run
+    concurrently from several domains; use the [_collect] variants (one
+    accumulator per task, merged in task order) unless the callback is
+    thread-safe. *)
+
+type stats = Engine.stats = {
   runs : int;           (** terminal outcomes delivered to the callback *)
   truncated : bool;     (** stopped early by [max_runs] (or [max_plans]) *)
   max_steps : int;      (** longest schedule seen *)
   nodes : int;          (** schedule-tree nodes visited *)
   replayed_steps : int;
       (** program steps re-executed to re-establish branch points after
-          backtracking (for {!exhaustive_via_replay}: every step it
-          executed, since it replays the whole prefix at every node) *)
+          backtracking, including the parallel front's task-prefix replays
+          (for {!exhaustive_via_replay}: every step it executed, since it
+          replays the whole prefix at every node) *)
   fingerprint_hits : int;  (** subtrees cut off by fingerprint memoization *)
   sleep_pruned : int;      (** sibling decisions skipped by sleep sets *)
+  cache_hits : int;
+      (** canonical-history verdict-cache hits, patched in by
+          {!Verify.Obligations}; always [0] straight out of the engine *)
+  tasks_stolen : int;
+      (** subtree tasks executed by a worker domain that did not own them
+          ([0] for the sequential engine) *)
+  domains_used : int;   (** worker domains the search ran on *)
 }
 
 val empty_stats : stats
 
+val merge_stats : stats -> stats -> stats
+(** Counters sum, [truncated] ors, [max_steps]/[domains_used] max. *)
+
+val env_flag : string -> bool
+(** [env_flag v] is [true] iff the environment variable [v] is set to
+    [1]/[true]/[yes]/[on]. *)
+
 val exhaustive :
   ?plan:Fault.plan ->
   ?prune:bool ->
+  ?domains:int ->
+  ?split_depth:int ->
   setup:(Ctx.t -> Runner.program) ->
   fuel:int ->
   ?max_runs:int ->
@@ -72,7 +102,32 @@ val exhaustive :
     overrides) enables fingerprint memoization and sleep-set pruning:
     fewer runs are delivered, but every reachable terminal {e state} is
     still represented, so property verdicts are preserved. Do not combine
-    with callbacks that count runs. *)
+    with callbacks that count runs.
+
+    [domains] (default [1]) spreads the search over that many worker
+    domains (module preamble); [f] then runs concurrently and must be
+    thread-safe — or use {!exhaustive_collect}. [split_depth] overrides
+    the automatic split-frontier choice (clamped to [1..fuel]). *)
+
+val exhaustive_collect :
+  ?plan:Fault.plan ->
+  ?prune:bool ->
+  ?domains:int ->
+  ?split_depth:int ->
+  setup:(Ctx.t -> Runner.program) ->
+  fuel:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  init:(unit -> 'acc) ->
+  f:('acc -> Runner.outcome -> unit) ->
+  unit ->
+  stats * 'acc array
+(** {!exhaustive} with per-task accumulators: [init] runs once per
+    subtree task (once in total when [domains = 1]) and [f] only ever
+    touches its own task's accumulator, so no callback synchronisation is
+    needed. The accumulators come back in canonical task order — folding
+    them left visits the delivered outcomes in exactly the sequential
+    delivery order. *)
 
 val exhaustive_via_replay :
   ?plan:Fault.plan ->
@@ -85,9 +140,9 @@ val exhaustive_via_replay :
   stats
 (** The seed's stateless engine: a whole-prefix {!Runner.replay} at every
     DFS node. Delivers exactly the same outcomes in exactly the same order
-    as unpruned {!exhaustive}; kept as the reference implementation for
-    cross-checking and for the B12 before/after cost comparison
-    ([replayed_steps] counts every program step it executes). *)
+    as unpruned sequential {!exhaustive}; kept as the reference
+    implementation for cross-checking and for the B12 before/after cost
+    comparison ([replayed_steps] counts every program step it executes). *)
 
 val random :
   setup:(Ctx.t -> Runner.program) ->
@@ -103,6 +158,8 @@ val random :
 val check_all :
   ?plan:Fault.plan ->
   ?prune:bool ->
+  ?domains:int ->
+  ?split_depth:int ->
   setup:(Ctx.t -> Runner.program) ->
   fuel:int ->
   ?max_runs:int ->
@@ -115,7 +172,13 @@ val check_all :
     the search. [truncated] in the returned stats means the [max_runs]
     budget capped the search, never that a counterexample stopped it — an
     [Error] with [truncated = false] is a definitive refutation, an [Ok]
-    with [truncated = true] is inconclusive. *)
+    with [truncated = true] is inconclusive.
+
+    With [domains >= 2] the witness is still deterministic: workers share
+    a monotonically lowering best-failure task bound, so the surviving
+    counterexample is the first failure in canonical schedule order —
+    the same outcome the sequential search returns (the stats of an
+    [Error] differ: abandoned tasks stop counting early). *)
 
 (** {1 Fault exploration} *)
 
@@ -128,11 +191,15 @@ type fault_stats = {
   fault_replayed_steps : int;    (** {!stats.replayed_steps} summed *)
   fault_fingerprint_hits : int;  (** {!stats.fingerprint_hits} summed *)
   fault_sleep_pruned : int;      (** {!stats.sleep_pruned} summed *)
+  fault_tasks_stolen : int;      (** {!stats.tasks_stolen} summed *)
+  fault_domains_used : int;      (** {!stats.domains_used} maxed *)
 }
 
 val exhaustive_with_faults :
   ?delay_factors:int list ->
   ?prune:bool ->
+  ?domains:int ->
+  ?split_depth:int ->
   setup:(Ctx.t -> Runner.program) ->
   fuel:int ->
   ?max_runs:int ->
@@ -169,10 +236,40 @@ val exhaustive_with_faults :
     {!Fault.Delay}[ { thread; factor }] candidate for every thread that
     took a step in the fault-free pass and every listed factor (each must
     be [>= 2]), so the plan enumeration also covers skewed-clock
-    executions in which a thread's deadlines fire early. *)
+    executions in which a thread's deadlines fire early.
+
+    [domains] (default [1]) parallelizes both the fault-free tree split
+    and the plan fan-out (each plan explored whole by one worker). The
+    per-task candidate learners bump-merge into the sequential learner
+    exactly, so the proposed plan set is identical. When [max_runs] is
+    set, the fault-free pass stays sequential: a racy shared budget could
+    truncate a different run subset and learn different candidates. [f]
+    must be thread-safe when [domains >= 2] — or use
+    {!exhaustive_with_faults_collect}. *)
+
+val exhaustive_with_faults_collect :
+  ?delay_factors:int list ->
+  ?prune:bool ->
+  ?domains:int ->
+  ?split_depth:int ->
+  setup:(Ctx.t -> Runner.program) ->
+  fuel:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  ?max_plans:int ->
+  fault_bound:int ->
+  init:(unit -> 'acc) ->
+  f:('acc -> Runner.outcome -> unit) ->
+  unit ->
+  fault_stats * 'acc array
+(** {!exhaustive_with_faults} with per-exploration-unit accumulators: one
+    per subtree task of the fault-free pass followed by one per fault
+    plan, in canonical order (see {!exhaustive_collect}). *)
 
 val exhaustive_durable :
   plan:Fault.plan ->
+  ?domains:int ->
+  ?split_depth:int ->
   setup:(Ctx.t -> Runner.durable) ->
   fuel:int ->
   ?max_runs:int ->
@@ -184,7 +281,8 @@ val exhaustive_durable :
     crashing) plan — the engine behind {!exhaustive_with_crashes}, exposed
     for targeted tests. Always unpruned: persistent-cell contents are not
     part of the state fingerprint, so memoization across crash plans would
-    be unsound. *)
+    be unsound. [domains] parallelizes the single plan's schedule tree;
+    [f] must then be thread-safe. *)
 
 val exhaustive_with_crashes :
   ?delay_factors:int list ->
@@ -219,10 +317,13 @@ val exhaustive_with_crashes :
     the crash-point sweep, so a thread crash or forced CAS failure can be
     combined with a system crash.
 
-    Always unpruned (see {!exhaustive_durable}). Outcomes delivered to [f]
-    carry their plan in [outcome.faults], the crashes that actually fired
-    in [outcome.injected], and the era count in [outcome.epochs]; the
-    witness for any violation is the replayable pair
+    Always unpruned (see {!exhaustive_durable}) and deliberately
+    sequential (no [domains]): each plan's crash-point horizon depends on
+    the runs its parent plan delivered, so the plan enumeration is a
+    data-dependent sequential sweep (DESIGN §2.11). Outcomes delivered to
+    [f] carry their plan in [outcome.faults], the crashes that actually
+    fired in [outcome.injected], and the era count in [outcome.epochs];
+    the witness for any violation is the replayable pair
     ([outcome.schedule], [outcome.faults]) via {!Runner.replay_durable}. *)
 
 (** {1 Liveness watchdog}
@@ -296,9 +397,11 @@ val liveness :
     run with the watchdog, threading the idle counters down each path as
     per-path state of the incremental engine (one pass, no per-prefix
     replays). Pruning never applies here: the idle counters are path state
-    the fingerprints do not cover. An object passes the liveness
-    obligation when [live_livelocked = 0]: on every fair schedule it
-    either finishes or genuinely blocks. *)
+    the fingerprints do not cover. Deliberately sequential (no [domains]):
+    the witness cap and the fairness classification are order-dependent
+    path state best left on the sequential engine (DESIGN §2.11). An
+    object passes the liveness obligation when [live_livelocked = 0]: on
+    every fair schedule it either finishes or genuinely blocks. *)
 
 val liveness_with_faults :
   ?delay_factors:int list ->

@@ -1,0 +1,367 @@
+(* Work-stealing parallel exploration over OCaml 5 domains (DESIGN §2.11).
+
+   The schedule tree is split at a frontier depth into independent subtree
+   tasks, each carrying its root prefix plus the scheduling state
+   accumulated along it (last thread, preemption count, sleep set). Every
+   worker domain owns a private {!Runner} execution cursor — programs are
+   pure values, so replaying a prefix in another domain reproduces the
+   same subtree — and runs {!Engine.dfs} rooted at each task it claims.
+   Tasks are statically owned round-robin and stolen when a worker's own
+   share is exhausted; steals are counted in the stats.
+
+   Determinism. Tasks are generated and merged in canonical DFS order, so
+   for full sweeps the delivered run set, the per-task accumulators and
+   the merged counters are exactly those of the sequential engine (only
+   [replayed_steps] grows, by the task-prefix replays). For
+   first-failure searches the workers share a monotonically lowering
+   [best]-task bound: a worker that finds a failure publishes its task
+   index and every worker abandons tasks ordered after the bound, so the
+   surviving failure with the lowest task index is the first failure in
+   canonical schedule order — byte-identical to the sequential witness. *)
+
+type task = {
+  t_prefix : Runner.decision list;
+  t_last : int option;
+  t_preemptions : int;
+  t_sleep : (Runner.decision * string) list;
+  t_terminal : bool;
+      (* the prefix is itself a maximal run: deliver it, do not descend *)
+}
+
+(* ------------------------------------------------------- tree splitter -- *)
+
+(* Mirror of the Engine.dfs descent down to [split_depth], emitting one
+   task per surviving node at the split frontier and one terminal task per
+   maximal run above it. Preemption budget, fingerprint memoization and
+   sleep sets apply exactly as in the sequential descent, so the emitted
+   task set covers exactly the subtrees the sequential engine would enter.
+   Interior nodes (and terminal leaves) above the frontier are counted
+   here; each task's own root node is counted by the worker that runs it. *)
+let split ~restart ~fuel ~preemption_bound ~prune ~split_depth =
+  let exec = ref (restart ()) in
+  let nodes = ref 0 and replayed = ref 0 in
+  let fp_hits = ref 0 and slept = ref 0 in
+  let memo : (string, unit) Hashtbl.t =
+    if prune then
+      Hashtbl.create
+        (Cal.Tuning.explore_memo_size ~fuel ~threads:(Engine.threads_of !exec))
+    else Hashtbl.create 1
+  in
+  let tasks = ref [] in
+  let within_budget used =
+    match preemption_bound with None -> true | Some b -> used <= b
+  in
+  let ensure_at depth prefix_rev =
+    if Runner.steps_done !exec <> depth then begin
+      let e = restart () in
+      List.iter (fun d -> ignore (Runner.step e d)) (List.rev prefix_rev);
+      replayed := !replayed + depth;
+      exec := e
+    end
+  in
+  let emit ~prefix_rev ~last ~preemptions ~sleep ~terminal =
+    tasks :=
+      {
+        t_prefix = List.rev prefix_rev;
+        t_last = last;
+        t_preemptions = preemptions;
+        t_sleep = sleep;
+        t_terminal = terminal;
+      }
+      :: !tasks
+  in
+  let rec node ~prefix_rev ~depth ~last ~preemptions ~sleep =
+    if depth >= split_depth then
+      emit ~prefix_rev ~last ~preemptions ~sleep ~terminal:false
+    else begin
+      incr nodes;
+      let frontier = Runner.frontier !exec in
+      if frontier = [] || depth >= fuel then
+        (* [nodes] already counted this leaf; the worker only delivers. *)
+        emit ~prefix_rev ~last ~preemptions ~sleep ~terminal:true
+      else begin
+        let pruned_here =
+          prune
+          &&
+          let fp = Runner.fingerprint !exec in
+          if Hashtbl.mem memo fp then true
+          else begin
+            Hashtbl.add memo fp ();
+            false
+          end
+        in
+        if pruned_here then incr fp_hits
+        else begin
+          let labelled =
+            List.map
+              (fun (d : Runner.decision) ->
+                (d, Option.value ~default:"" (Runner.head_label !exec d.thread)))
+              frontier
+          in
+          let last_enabled =
+            List.exists
+              (fun (d : Runner.decision) -> Some d.thread = last)
+              frontier
+          in
+          let explored = ref [] in
+          List.iter
+            (fun ((d : Runner.decision), l) ->
+              let cost =
+                if last_enabled && Some d.thread <> last then preemptions + 1
+                else preemptions
+              in
+              if within_budget cost then begin
+                if
+                  prune
+                  && List.exists
+                       (fun ((s : Runner.decision), _) ->
+                         s.thread = d.thread && s.branch = d.branch)
+                       sleep
+                then incr slept
+                else begin
+                  ensure_at depth prefix_rev;
+                  ignore (Runner.step !exec d);
+                  let sleep' =
+                    if prune then
+                      List.filter
+                        (fun s -> Engine.independent s (d, l))
+                        (sleep @ List.rev !explored)
+                    else []
+                  in
+                  node ~prefix_rev:(d :: prefix_rev) ~depth:(depth + 1)
+                    ~last:(Some d.thread) ~preemptions:cost ~sleep:sleep';
+                  explored := (d, l) :: !explored
+                end
+              end)
+            labelled
+        end
+      end
+    end
+  in
+  node ~prefix_rev:[] ~depth:0 ~last:None ~preemptions:0 ~sleep:[];
+  let splitter_stats =
+    {
+      Engine.empty_stats with
+      Engine.nodes = !nodes;
+      replayed_steps = !replayed;
+      fingerprint_hits = !fp_hits;
+      sleep_pruned = !slept;
+    }
+  in
+  (Array.of_list (List.rev !tasks), splitter_stats)
+
+(* Deepen the split frontier until there are enough expandable subtrees to
+   keep every domain busy (or the tree runs out). Re-splitting re-walks
+   only the shallow top of the tree, so the final pass's counters are the
+   ones reported. *)
+let choose_split ~restart ~fuel ~preemption_bound ~prune ~domains =
+  let target = 4 * domains in
+  let rec go depth =
+    let tasks, stats =
+      split ~restart ~fuel ~preemption_bound ~prune ~split_depth:depth
+    in
+    let expandable =
+      Array.fold_left (fun n t -> if t.t_terminal then n else n + 1) 0 tasks
+    in
+    if
+      expandable >= target || expandable = 0 || depth >= fuel
+      || Array.length tasks >= 64 * domains
+    then (tasks, stats)
+    else go (depth + 1)
+  in
+  go 1
+
+(* ------------------------------------------------- work-stealing pool -- *)
+
+(* Worker domains beyond the hardware's core count buy no parallelism and
+   pay for it in stop-the-world minor-GC synchronisation (every domain
+   must reach a safepoint for every collection), so a request is capped at
+   [Domain.recommended_domain_count]. Reports are domain-count-invariant
+   by construction, so the cap never changes a verdict — only wall-clock.
+   [CAL_EXPLORE_OVERSUBSCRIBE=1] lifts the cap: the determinism test suite
+   uses it to genuinely exercise multi-domain stealing and cache sharing
+   even on boxes with fewer cores than the requested domain count. *)
+let effective_domains requested =
+  if requested <= 1 then 1
+  else if Engine.env_flag "CAL_EXPLORE_OVERSUBSCRIBE" then requested
+  else min requested (Domain.recommended_domain_count ())
+
+(* Claim under one mutex: first an unclaimed task this worker owns
+   (static round-robin ownership), else steal the earliest unclaimed one.
+   A start barrier (the Condition) holds every worker until all domains
+   are spawned, so ownership is meaningful and steal counts are honest. *)
+let run_pool ~domains ~ntasks ~run =
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let ready = ref 0 in
+  let go = ref false in
+  let claimed = Array.make ntasks false in
+  let stolen = Atomic.make 0 in
+  let failure = Atomic.make (None : exn option) in
+  let barrier () =
+    Mutex.lock lock;
+    incr ready;
+    if !ready = domains then begin
+      go := true;
+      Condition.broadcast cond
+    end
+    else while not !go do Condition.wait cond lock done;
+    Mutex.unlock lock
+  in
+  let claim w =
+    Mutex.lock lock;
+    let pick = ref None in
+    (try
+       for i = 0 to ntasks - 1 do
+         if (not claimed.(i)) && i mod domains = w then begin
+           pick := Some i;
+           raise Exit
+         end
+       done;
+       for i = 0 to ntasks - 1 do
+         if not claimed.(i) then begin
+           pick := Some i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (match !pick with
+    | Some i ->
+        claimed.(i) <- true;
+        if i mod domains <> w then Atomic.incr stolen
+    | None -> ());
+    Mutex.unlock lock;
+    !pick
+  in
+  let worker w () =
+    barrier ();
+    let rec loop () =
+      if Atomic.get failure = None then
+        match claim w with
+        | None -> ()
+        | Some i ->
+            (try run i
+             with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+            loop ()
+    in
+    loop ()
+  in
+  let spawned =
+    List.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1)))
+  in
+  worker 0 ();
+  List.iter Domain.join spawned;
+  (match Atomic.get failure with Some e -> raise e | None -> ());
+  Atomic.get stolen
+
+(* Generic deterministic parallel map over an explicit task list (used by
+   the plan fan-out of the fault sweep): results land at their task index,
+   so merging in index order reproduces the sequential order. *)
+let map_tasks ~domains ~f items =
+  let n = Array.length items in
+  if n = 0 then ([||], 0)
+  else begin
+    let domains = effective_domains domains in
+    let results = Array.make n None in
+    let stolen =
+      run_pool ~domains:(max 1 (min domains n)) ~ntasks:n ~run:(fun i ->
+          results.(i) <- Some (f i items.(i)))
+    in
+    (Array.map Option.get results, stolen)
+  end
+
+(* ----------------------------------------------------- parallel explore -- *)
+
+let explore ~prune ~domains ?split_depth ?max_runs ?preemption_bound ~restart
+    ~fuel ~init ~f ?stop_on () =
+  let domains = effective_domains domains in
+  let tasks, splitter_stats =
+    match split_depth with
+    | Some d ->
+        split ~restart ~fuel ~preemption_bound ~prune
+          ~split_depth:(max 1 (min d fuel))
+    | None -> choose_split ~restart ~fuel ~preemption_bound ~prune ~domains
+  in
+  let ntasks = Array.length tasks in
+  let budget = Option.map Atomic.make max_runs in
+  let gate =
+    Option.map (fun b () -> Atomic.fetch_and_add b (-1) > 0) budget
+  in
+  (* Deterministic first-failure bound: the lowest task index that found a
+     failure; tasks ordered after it are abandoned. *)
+  let best = Atomic.make max_int in
+  let rec lower idx =
+    let cur = Atomic.get best in
+    if idx < cur && not (Atomic.compare_and_set best cur idx) then lower idx
+  in
+  let results = Array.make (max 1 ntasks) None in
+  let run_task idx =
+    let t = tasks.(idx) in
+    let acc = init () in
+    let exception Task_done in
+    let deliver o =
+      f acc o;
+      match stop_on with
+      | Some hit when hit acc o ->
+          lower idx;
+          raise Task_done
+      | _ -> ()
+    in
+    let stats =
+      if t.t_terminal then begin
+        (* The splitter counted this leaf's node; just replay and deliver. *)
+        let e = restart () in
+        List.iter (fun d -> ignore (Runner.step e d)) t.t_prefix;
+        let o = Runner.outcome e in
+        let admitted = match gate with Some g -> g () | None -> true in
+        if admitted then (try deliver o with Task_done -> ());
+        {
+          Engine.empty_stats with
+          Engine.runs = (if admitted then 1 else 0);
+          truncated = not admitted;
+          max_steps = (if admitted then o.Runner.steps else 0);
+          replayed_steps = List.length t.t_prefix;
+        }
+      end
+      else
+        let abort =
+          match stop_on with
+          | None -> None
+          | Some _ -> Some (fun () -> Atomic.get best < idx)
+        in
+        try
+          Engine.dfs ~restart ~fuel ?preemption_bound ~prune
+            ~prefix:t.t_prefix ?last0:t.t_last ~preemptions0:t.t_preemptions
+            ~sleep0:t.t_sleep ?gate ?abort ~init_path:()
+            ~step_path:(fun () _ _ -> ())
+            ~leaf:(fun o _ () -> deliver o)
+            ()
+        with Task_done ->
+          (* the task stopped at its first failure; its partial counters
+             are unavailable, which only affects cost accounting *)
+          { Engine.empty_stats with Engine.runs = 1 }
+    in
+    results.(idx) <- Some (stats, acc)
+  in
+  let stolen =
+    if ntasks = 0 then 0
+    else run_pool ~domains:(max 1 domains) ~ntasks ~run:run_task
+  in
+  let merged = ref splitter_stats in
+  let accs = ref [] in
+  Array.iter
+    (fun r ->
+      match r with
+      | None -> ()
+      | Some (s, acc) ->
+          merged := Engine.merge_stats !merged s;
+          accs := acc :: !accs)
+    results;
+  let stats =
+    {
+      !merged with
+      Engine.tasks_stolen = stolen;
+      domains_used = max 1 domains;
+    }
+  in
+  (stats, Array.of_list (List.rev !accs))

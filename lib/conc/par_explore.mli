@@ -1,0 +1,60 @@
+(** Work-stealing parallel exploration over OCaml 5 domains.
+
+    The schedule tree is split at a frontier depth into independent
+    subtree tasks; each worker domain replays a task's root prefix on its
+    own private {!Runner} cursor and runs {!Engine.dfs} below it. Tasks
+    are generated and merged in canonical DFS order, making full sweeps
+    byte-identical to the sequential engine and first-failure searches
+    return the sequential witness (see DESIGN §2.11).
+
+    Most callers want {!Explore} with [~domains]; this module is the
+    parallel engine room.
+
+    A requested domain count is capped at
+    [Domain.recommended_domain_count] ({!effective_domains}): domains
+    beyond the hardware's cores buy no parallelism and pay stop-the-world
+    minor-GC synchronisation for every collection. The cap never changes
+    a report — verdicts, witnesses and run counts are domain-count
+    invariant by construction — only wall-clock. Setting
+    [CAL_EXPLORE_OVERSUBSCRIBE=1] lifts the cap, which the equivalence
+    test suite uses to genuinely exercise multi-domain stealing and
+    verdict-cache sharing on any hardware. *)
+
+val effective_domains : int -> int
+(** [effective_domains requested] — the worker-domain count actually
+    spawned for a request: [min requested (Domain.recommended_domain_count
+    ())], or [requested] verbatim under [CAL_EXPLORE_OVERSUBSCRIBE=1];
+    always at least [1]. *)
+
+val explore :
+  prune:bool ->
+  domains:int ->
+  ?split_depth:int ->
+  ?max_runs:int ->
+  ?preemption_bound:int ->
+  restart:(unit -> Runner.exec) ->
+  fuel:int ->
+  init:(unit -> 'acc) ->
+  f:('acc -> Runner.outcome -> unit) ->
+  ?stop_on:('acc -> Runner.outcome -> bool) ->
+  unit ->
+  Engine.stats * 'acc array
+(** Explore the whole schedule tree of [restart] across [domains] worker
+    domains. Each subtree task gets its own accumulator ([init] runs once
+    per task); the accumulators are returned in canonical task order, so
+    folding them left reproduces the sequential delivery order. [f] runs
+    concurrently from several domains but only ever on its own task's
+    accumulator. [stop_on] turns the sweep into a deterministic
+    first-failure search: when it returns [true] the task stops and tasks
+    ordered after it are abandoned; the first accumulator (in task order)
+    for which it fired holds the same witness the sequential engine
+    reports. [max_runs] is a shared atomic budget — which runs are
+    admitted under it is scheduling-dependent, unlike the sequential
+    engine (callers that need run-set determinism pass no budget).
+    [split_depth] overrides the automatic frontier choice. *)
+
+val map_tasks :
+  domains:int -> f:(int -> 'a -> 'b) -> 'a array -> 'b array * int
+(** Run [f] over an explicit task array with the same deterministic
+    work-stealing pool (used for the fault-plan fan-out): results land at
+    their task's index. Returns the results and the steal count. *)

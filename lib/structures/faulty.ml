@@ -61,6 +61,71 @@ module Stack_lost_pop = struct
   let spec t = Spec_stack.spec ~oid:t.oid ~allow_spurious_failure:true ()
 end
 
+module Elim_stack_dup_elim = struct
+  type t = {
+    oid : Ids.Oid.t;
+    top : Value.t list ref;
+    slot : Value.t option ref;
+    ctx : Ctx.t;
+  }
+
+  let create ?(oid = Ids.Oid.v "ES") ctx =
+    { oid; top = ref []; slot = ref None; ctx }
+
+  (* push parks its value in the elimination slot (so a concurrent pop can
+     take it directly) and then pushes onto the central list. *)
+  let push t ~tid v =
+    let body =
+      let* () = Prog.atomic ~label:"park" (fun () -> t.slot := Some v) in
+      let* old = Prog.read t.top in
+      Prog.atomic ~label:"push-write" (fun () ->
+          t.top := v :: old;
+          Ctx.log_element t.ctx
+            (Ca_trace.singleton (Spec_stack.push_op ~oid:t.oid tid v ~ok:true));
+          Value.bool true)
+    in
+    Harness.call t.ctx ~tid ~oid:t.oid ~fid:Spec_stack.fid_push ~arg:v body
+
+  (* BUG: a pop that finds a parked value takes it without clearing the
+     slot, so every later pop can eliminate against the same push — one
+     push explains two (or more) completed pops, which no completion of
+     the history can excuse. Pops that find neither a parked value nor a
+     central element retry, so they are pending at fuel exhaustion. *)
+  let pop t ~tid =
+    let body =
+      Prog.repeat_until (fun () ->
+          let* s = Prog.read t.slot in
+          match s with
+          | Some v ->
+              let* r =
+                Prog.atomic ~label:"elim-pop" (fun () ->
+                    Ctx.log_element t.ctx
+                      (Ca_trace.singleton
+                         (Spec_stack.pop_op ~oid:t.oid tid (Some v)));
+                    Value.ok v)
+              in
+              Prog.return (Some r)
+          | None -> (
+              let* h = Prog.read t.top in
+              match h with
+              | [] -> Prog.return None
+              | x :: rest ->
+                  let* r =
+                    Prog.atomic ~label:"pop-write" (fun () ->
+                        t.top := rest;
+                        Ctx.log_element t.ctx
+                          (Ca_trace.singleton
+                             (Spec_stack.pop_op ~oid:t.oid tid (Some x)));
+                        Value.ok x)
+                  in
+                  Prog.return (Some r)))
+    in
+    Harness.call t.ctx ~tid ~oid:t.oid ~fid:Spec_stack.fid_pop ~arg:Value.unit
+      body
+
+  let spec t = Spec_stack.spec ~oid:t.oid ~allow_spurious_failure:false ()
+end
+
 module Durable_stack_missing_flush = struct
   type t = { oid : Ids.Oid.t; top : Value.t list Pcell.t; ctx : Ctx.t }
 

@@ -9,6 +9,12 @@
     - {!Stack_lost_pop}: pop writes the new top without a CAS. Racing pops
       can both "succeed" with the same element — the trace violates the
       stack specification.
+    - {!Elim_stack_dup_elim}: an elimination stack whose pop takes a parked
+      value without clearing the slot, so racing pops all eliminate against
+      the same push. Deep histories of it are {e rejection}-heavy — the
+      checker must exhaust every drop subset of the pending pops before it
+      can refuse — which makes it the checker-bound workload of the B14
+      parallel-exploration benchmark.
     - {!Exchanger_selfish}: exchange immediately returns success with its
       own value while logging a {e failure} element — the history does not
       agree ([⊑CAL]) with the logged trace.
@@ -27,6 +33,15 @@ module Counter_lost_update : sig
 end
 
 module Stack_lost_pop : sig
+  type t
+
+  val create : ?oid:Cal.Ids.Oid.t -> Conc.Ctx.t -> t
+  val push : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t -> Cal.Value.t Conc.Prog.t
+  val pop : t -> tid:Cal.Ids.Tid.t -> Cal.Value.t Conc.Prog.t
+  val spec : t -> Cal.Spec.t
+end
+
+module Elim_stack_dup_elim : sig
   type t
 
   val create : ?oid:Cal.Ids.Oid.t -> Conc.Ctx.t -> t

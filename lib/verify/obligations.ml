@@ -16,6 +16,79 @@ type report = {
          check ran on the exhaustive engine *)
 }
 
+(* ---------------------------------------------------- parallel knobs --- *)
+
+(* Default worker-domain count, from CAL_EXPLORE_DOMAINS (>= 1). The env
+   override is consumed here — the Obligations layer — and nowhere lower,
+   so library callers of Conc.Explore are never surprised by it. *)
+let env_domains () =
+  match Sys.getenv_opt "CAL_EXPLORE_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+  | None -> 1
+
+(* Parallel checking is only used on untruncated sweeps: under a shared
+   [max_runs] budget the admitted run subset is scheduling-dependent, and
+   report determinism (runs, problems) is part of this module's contract. *)
+let resolve_domains ~max_runs domains =
+  if max_runs <> None then 1
+  else match domains with Some d -> max 1 d | None -> env_domains ()
+
+let cache_default () = Conc.Explore.env_flag "CAL_VERDICT_CACHE"
+
+let new_cache cache =
+  let on = match cache with Some c -> c | None -> cache_default () in
+  if on then Some (Verdict_cache.create ()) else None
+
+(* Patch the cache counters into the report's exploration stats. *)
+let patch_cache vc r =
+  match (vc, r.exploration) with
+  | Some c, Some (s : Conc.Explore.stats) ->
+      { r with exploration = Some { s with cache_hits = Verdict_cache.hits c } }
+  | _ -> r
+
+(* ------------------------------------------------- outcome collection -- *)
+
+(* One accumulator per exploration unit (subtree task / fault plan): the
+   parallel engine gives every unit its own, so recording needs no
+   synchronisation, and merging the units in canonical task order
+   reproduces the sequential report exactly. *)
+type acc = {
+  mutable a_runs : int;
+  mutable a_complete : int;
+  mutable a_problems : problem list;  (* newest first, capped at 10 *)
+}
+
+let new_acc () = { a_runs = 0; a_complete = 0; a_problems = [] }
+
+let record check acc (outcome : Conc.Runner.outcome) =
+  acc.a_runs <- acc.a_runs + 1;
+  if outcome.Conc.Runner.complete then acc.a_complete <- acc.a_complete + 1;
+  match check outcome with
+  | Ok () -> ()
+  | Error message ->
+      if List.length acc.a_problems < 10 then
+        acc.a_problems <-
+          { schedule = outcome.schedule; plan = outcome.faults; message }
+          :: acc.a_problems
+
+let cap10 l = List.filteri (fun i _ -> i < 10) l
+
+(* Units are capped at 10 problems each and the concatenation re-capped:
+   the first 10 problems in canonical delivery order, i.e. the sequential
+   report's problem list. *)
+let report_of ?exploration ~truncated accs =
+  {
+    runs = Array.fold_left (fun n a -> n + a.a_runs) 0 accs;
+    complete_runs = Array.fold_left (fun n a -> n + a.a_complete) 0 accs;
+    problems =
+      cap10 (List.concat_map (fun a -> List.rev a.a_problems) (Array.to_list accs));
+    truncated;
+    exploration;
+  }
+
 (* Remove one occurrence of [op] from [ops]; None when absent. *)
 let remove_one op ops =
   let rec go acc = function
@@ -90,39 +163,18 @@ let check_outcome ~spec ~view (outcome : Conc.Runner.outcome) =
           | Error msg -> Error ("agreement obligation: " ^ msg)
           | Ok _ -> Ok ()))
 
-let collector check =
-  let runs = ref 0 in
-  let complete_runs = ref 0 in
-  let problems = ref [] in
-  let f (outcome : Conc.Runner.outcome) =
-    incr runs;
-    if outcome.complete then incr complete_runs;
-    match check outcome with
-    | Ok () -> ()
-    | Error message ->
-        if List.length !problems < 10 then
-          problems :=
-            { schedule = outcome.schedule; plan = outcome.faults; message }
-            :: !problems
+let collect ?domains ~setup ~fuel ?max_runs ?preemption_bound ~check () =
+  let domains = resolve_domains ~max_runs domains in
+  let stats, accs =
+    Conc.Explore.exhaustive_collect ~domains ~setup ~fuel ?max_runs
+      ?preemption_bound ~init:new_acc ~f:(record check) ()
   in
-  let report ?exploration truncated =
-    {
-      runs = !runs;
-      complete_runs = !complete_runs;
-      problems = List.rev !problems;
-      truncated;
-      exploration;
-    }
-  in
-  (f, report)
+  report_of ~exploration:stats ~truncated:stats.truncated accs
 
-let collect ~setup ~fuel ?max_runs ?preemption_bound ~check () =
-  let f, report = collector check in
-  let stats = Conc.Explore.exhaustive ~setup ~fuel ?max_runs ?preemption_bound ~f () in
-  report ~exploration:stats stats.truncated
-
-let check_object ~setup ~spec ~view ~fuel ?max_runs ?preemption_bound () =
-  collect ~setup ~fuel ?max_runs ?preemption_bound ~check:(check_outcome ~spec ~view) ()
+let check_object ?domains ~setup ~spec ~view ~fuel ?max_runs ?preemption_bound
+    () =
+  collect ?domains ~setup ~fuel ?max_runs ?preemption_bound
+    ~check:(check_outcome ~spec ~view) ()
 
 (* Collapse the per-plan counters of a fault/crash sweep into the single
    exploration stats slot of a report. *)
@@ -136,17 +188,23 @@ let fault_exploration (stats : Conc.Explore.fault_stats) =
       replayed_steps = stats.fault_replayed_steps;
       fingerprint_hits = stats.fault_fingerprint_hits;
       sleep_pruned = stats.fault_sleep_pruned;
+      cache_hits = 0;
+      tasks_stolen = stats.fault_tasks_stolen;
+      domains_used = stats.fault_domains_used;
     }
 
-let check_object_with_faults ?delay_factors ~setup ~spec ~view ~fuel ?max_runs
-    ?preemption_bound ?max_plans ~fault_bound () =
-  let f, report = collector (check_outcome ~spec ~view) in
-  let stats =
-    Conc.Explore.exhaustive_with_faults ?delay_factors ~setup ~fuel ?max_runs
-      ?preemption_bound ?max_plans ~fault_bound ~f ()
+let check_object_with_faults ?delay_factors ?domains ~setup ~spec ~view ~fuel
+    ?max_runs ?preemption_bound ?max_plans ~fault_bound () =
+  let domains = resolve_domains ~max_runs domains in
+  let stats, accs =
+    Conc.Explore.exhaustive_with_faults_collect ?delay_factors ~domains ~setup
+      ~fuel ?max_runs ?preemption_bound ?max_plans ~fault_bound ~init:new_acc
+      ~f:(record (check_outcome ~spec ~view))
+      ()
   in
-  report ~exploration:(fault_exploration stats)
-    stats.Conc.Explore.fault_truncated
+  report_of
+    ~exploration:(fault_exploration stats)
+    ~truncated:stats.Conc.Explore.fault_truncated accs
 
 (* The liveness obligation (watchdog): on every fair schedule the object
    either finishes or genuinely blocks. A livelocked run — incomplete at
@@ -188,13 +246,30 @@ let check_liveness_with_faults ?delay_factors ~setup ~fuel ~window ?max_runs
   in
   liveness_report ~fuel ~window stats
 
-let check_black_box ~setup ~spec ~fuel ?max_runs ?preemption_bound () =
-  let check (outcome : Conc.Runner.outcome) =
+(* Black-box checks decide the verdict on the history alone, so the verdict
+   is a function of the canonical history ({!Cal.History.canonicalize}) —
+   schedules that interleave the same operations with the same concurrency
+   structure share one checker run through the verdict cache. Trace-based
+   checks ({!check_object}) are never cached: their verdict also depends on
+   the auxiliary trace, which the canonical key does not cover. *)
+let check_black_box ?domains ?cache ~setup ~spec ~fuel ?max_runs
+    ?preemption_bound () =
+  let vc = new_cache cache in
+  let base (outcome : Conc.Runner.outcome) () =
     match Cal_checker.check ~spec outcome.history with
     | Cal_checker.Accepted _ -> Ok ()
     | Cal_checker.Rejected { reason; _ } -> Error reason
   in
-  collect ~setup ~fuel ?max_runs ?preemption_bound ~check ()
+  let check outcome =
+    match vc with
+    | None -> base outcome ()
+    | Some c ->
+        Verdict_cache.find_or_compute c
+          ~key:(History.canonical_key outcome.Conc.Runner.history)
+          (base outcome)
+  in
+  patch_cache vc
+    (collect ?domains ~setup ~fuel ?max_runs ?preemption_bound ~check ())
 
 (* ------------------------------------------------ durable obligations -- *)
 
@@ -204,17 +279,19 @@ let check_black_box ~setup ~spec ~fuel ?max_runs ?preemption_bound () =
    history would mis-attribute persistence (see DESIGN §2.10). The checker
    composes the crash-tolerant mode (threads crashed by the plan) with the
    durable era rules driven by the history's crash markers. *)
+let crashed_tids (outcome : Conc.Runner.outcome) =
+  List.filter_map
+    (function
+      | Conc.Fault.Crash { thread; _ } -> Some thread
+      | _ -> None)
+    outcome.injected
+  |> List.sort_uniq Int.compare
+
 let durable_check ~checker ~spec (outcome : Conc.Runner.outcome) =
   let crashed =
-    match
-      List.filter_map
-        (function
-          | Conc.Fault.Crash { thread; _ } -> Some (Ids.Tid.of_int thread)
-          | _ -> None)
-        outcome.injected
-    with
+    match crashed_tids outcome with
     | [] -> None
-    | tids -> Some tids
+    | tids -> Some (List.map Ids.Tid.of_int tids)
   in
   match checker with
   | `Cal -> (
@@ -226,29 +303,54 @@ let durable_check ~checker ~spec (outcome : Conc.Runner.outcome) =
       | Lin_checker.Linearizable _ -> Ok ()
       | Lin_checker.Not_linearizable { reason; _ } -> Error reason)
 
-let check_durable_with_faults ?(checker = `Cal) ?delay_factors ~setup ~spec
-    ~fuel ?max_runs ?preemption_bound ?max_plans ?max_crash_depth ~fault_bound
-    () =
-  let f, report = collector (durable_check ~checker ~spec) in
+(* Durable verdicts additionally depend on which threads the plan crashed
+   (the checker's crash-tolerant mode) and on which checker runs, so both
+   go into the cache key next to the canonical history. *)
+let durable_key ~checker (outcome : Conc.Runner.outcome) =
+  String.concat "|"
+    ((match checker with `Cal -> "cal" | `Lin -> "lin")
+    :: List.map string_of_int (crashed_tids outcome))
+  ^ "\n"
+  ^ History.canonical_key outcome.history
+
+let check_durable_with_faults ?(checker = `Cal) ?cache ?delay_factors ~setup
+    ~spec ~fuel ?max_runs ?preemption_bound ?max_plans ?max_crash_depth
+    ~fault_bound () =
+  let vc = new_cache cache in
+  let check outcome =
+    match vc with
+    | None -> durable_check ~checker ~spec outcome
+    | Some c ->
+        Verdict_cache.find_or_compute c ~key:(durable_key ~checker outcome)
+          (fun () -> durable_check ~checker ~spec outcome)
+  in
+  let acc = new_acc () in
   let stats =
     Conc.Explore.exhaustive_with_crashes ?delay_factors ~setup ~fuel ?max_runs
-      ?preemption_bound ?max_plans ?max_crash_depth ~fault_bound ~f ()
+      ?preemption_bound ?max_plans ?max_crash_depth ~fault_bound
+      ~f:(record check acc) ()
   in
-  report ~exploration:(fault_exploration stats)
-    stats.Conc.Explore.fault_truncated
+  patch_cache vc
+    (report_of
+       ~exploration:(fault_exploration stats)
+       ~truncated:stats.Conc.Explore.fault_truncated [| acc |])
 
-let check_durable ?checker ~setup ~spec ~fuel ?max_runs ?preemption_bound
-    ?max_plans ?max_crash_depth () =
-  check_durable_with_faults ?checker ~setup ~spec ~fuel ?max_runs
+let check_durable ?checker ?cache ~setup ~spec ~fuel ?max_runs
+    ?preemption_bound ?max_plans ?max_crash_depth () =
+  check_durable_with_faults ?checker ?cache ~setup ~spec ~fuel ?max_runs
     ?preemption_bound ?max_plans ?max_crash_depth ~fault_bound:0 ()
 
 let ok r = r.problems = []
 
 let pp_exploration ppf (s : Conc.Explore.stats) =
-  Fmt.pf ppf " [nodes %d, replayed %d steps%s]" s.nodes s.replayed_steps
+  Fmt.pf ppf " [nodes %d, replayed %d steps%s%s%s]" s.nodes s.replayed_steps
     (if s.fingerprint_hits > 0 || s.sleep_pruned > 0 then
        Fmt.str ", pruned %d fp + %d sleep" s.fingerprint_hits s.sleep_pruned
      else "")
+    (if s.domains_used > 1 then
+       Fmt.str ", %d domains (%d stolen)" s.domains_used s.tasks_stolen
+     else "")
+    (if s.cache_hits > 0 then Fmt.str ", %d cache hits" s.cache_hits else "")
 
 let pp_report ppf r =
   if ok r then begin

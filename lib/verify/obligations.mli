@@ -14,7 +14,29 @@
     client program is the model-checking rendition of the paper's proof.
     For cross-validation, {!check_black_box} decides CAL directly on the
     history with {!Cal.Cal_checker}, ignoring the instrumentation — the
-    two must agree on accept/reject. *)
+    two must agree on accept/reject.
+
+    {b Parallel checking.} The exhaustive checks take [?domains]
+    (default: the [CAL_EXPLORE_DOMAINS] environment variable, else [1]) to
+    spread the exploration over OCaml 5 worker domains
+    ({!Conc.Par_explore}): reports — runs, complete runs, problems,
+    verdicts — are identical to the sequential check's. The knob is
+    silently ignored when [max_runs] is set (a shared run budget admits a
+    scheduling-dependent run subset, which would break report
+    determinism), and the liveness and durable crash-sweep checks are
+    deliberately sequential (DESIGN §2.11).
+
+    {b Verdict cache.} The black-box checks ({!check_black_box},
+    {!check_durable}, {!check_durable_with_faults}) take [?cache]
+    (default: the [CAL_VERDICT_CACHE] environment variable): checker
+    verdicts are memoized on the {e canonical} history
+    ({!Cal.History.canonicalize}), shared across worker domains behind a
+    sharded mutex table ({!Cal.Verdict_cache}), so schedules that
+    interleave the same operations with the same concurrency structure pay
+    for one checker run. Hits surface as
+    {!Conc.Explore.stats.cache_hits} in the report's [exploration].
+    Trace-based checks are never cached: their verdict also depends on the
+    auxiliary trace, which the canonical key does not cover. *)
 
 type problem = {
   schedule : Conc.Runner.schedule;
@@ -48,6 +70,7 @@ val check_outcome :
 (** Both obligations for a single execution. *)
 
 val check_object :
+  ?domains:int ->
   setup:(Conc.Ctx.t -> Conc.Runner.program) ->
   spec:Cal.Spec.t ->
   view:Cal.View.t ->
@@ -61,6 +84,7 @@ val check_object :
 
 val check_object_with_faults :
   ?delay_factors:int list ->
+  ?domains:int ->
   setup:(Conc.Ctx.t -> Conc.Runner.program) ->
   spec:Cal.Spec.t ->
   view:Cal.View.t ->
@@ -119,6 +143,8 @@ val check_liveness_with_faults :
     may drive the object into a fair non-terminating spin. *)
 
 val check_black_box :
+  ?domains:int ->
+  ?cache:bool ->
   setup:(Conc.Ctx.t -> Conc.Runner.program) ->
   spec:Cal.Spec.t ->
   fuel:int ->
@@ -127,10 +153,12 @@ val check_black_box :
   unit ->
   report
 (** Decide CAL on each outcome's history alone (Definition 6 via
-    {!Cal.Cal_checker}), without using the auxiliary trace. *)
+    {!Cal.Cal_checker}), without using the auxiliary trace. [cache]
+    memoizes verdicts on the canonical history (module preamble). *)
 
 val check_durable :
   ?checker:[ `Cal | `Lin ] ->
+  ?cache:bool ->
   setup:(Conc.Ctx.t -> Conc.Runner.durable) ->
   spec:Cal.Spec.t ->
   fuel:int ->
@@ -159,6 +187,7 @@ val check_durable :
 
 val check_durable_with_faults :
   ?checker:[ `Cal | `Lin ] ->
+  ?cache:bool ->
   ?delay_factors:int list ->
   setup:(Conc.Ctx.t -> Conc.Runner.durable) ->
   spec:Cal.Spec.t ->

@@ -381,6 +381,8 @@ type explore_cost = {
   replayed_steps : int;
   fingerprint_hits : int;
   sleep_pruned : int;
+  domains_used : int;
+  tasks_stolen : int;
   explore_truncated : bool;
 }
 
@@ -399,13 +401,17 @@ let explore_cost ~engine ~setup ~fuel ?max_runs ?preemption_bound () =
         ( "incremental+prune",
           Explore.exhaustive ~prune:true ~setup ~fuel ?max_runs
             ?preemption_bound ~f:ignore () )
+    | `Parallel d ->
+        ( Printf.sprintf "parallel-%d" d,
+          Explore.exhaustive ~prune:false ~domains:d ~setup ~fuel ?max_runs
+            ?preemption_bound ~f:ignore () )
   in
   let steps_executed =
     match engine with
     | `Replay ->
         (* the replay engine executes exactly the steps it replays *)
         stats.Explore.replayed_steps
-    | `Incremental | `Pruned ->
+    | `Incremental | `Pruned | `Parallel _ ->
         (* one fresh step per tree edge, plus the backtracking replays *)
         max 0 (stats.Explore.nodes - 1) + stats.Explore.replayed_steps
   in
@@ -417,14 +423,19 @@ let explore_cost ~engine ~setup ~fuel ?max_runs ?preemption_bound () =
     replayed_steps = stats.Explore.replayed_steps;
     fingerprint_hits = stats.Explore.fingerprint_hits;
     sleep_pruned = stats.Explore.sleep_pruned;
+    domains_used = stats.Explore.domains_used;
+    tasks_stolen = stats.Explore.tasks_stolen;
     explore_truncated = stats.Explore.truncated;
   }
 
 let pp_explore_cost ppf c =
   Fmt.pf ppf
-    "%-18s runs=%-6d nodes=%-7d steps=%-8d replayed=%-8d fp=%-5d sleep=%d%s"
+    "%-18s runs=%-6d nodes=%-7d steps=%-8d replayed=%-8d fp=%-5d sleep=%d%s%s"
     c.engine c.explored_runs c.nodes c.steps_executed c.replayed_steps
     c.fingerprint_hits c.sleep_pruned
+    (if c.domains_used > 1 then
+       Fmt.str " domains=%d stolen=%d" c.domains_used c.tasks_stolen
+     else "")
     (if c.explore_truncated then " [truncated]" else "")
 
 let pp_result ppf r =

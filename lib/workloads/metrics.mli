@@ -103,18 +103,21 @@ val pp_result : Format.formatter -> result -> unit
     edge plus its backtracking replays. *)
 
 type explore_cost = {
-  engine : string;        (** "replay" | "incremental" | "incremental+prune" *)
+  engine : string;
+      (** "replay" | "incremental" | "incremental+prune" | "parallel-N" *)
   explored_runs : int;    (** terminal outcomes delivered *)
   nodes : int;            (** schedule-tree nodes visited *)
   steps_executed : int;   (** program steps executed in total *)
   replayed_steps : int;   (** of which re-executed prefix steps *)
   fingerprint_hits : int;
   sleep_pruned : int;
+  domains_used : int;     (** worker domains the exploration ran on *)
+  tasks_stolen : int;     (** subtree tasks run by a non-owning domain *)
   explore_truncated : bool;
 }
 
 val explore_cost :
-  engine:[ `Replay | `Incremental | `Pruned ] ->
+  engine:[ `Replay | `Incremental | `Pruned | `Parallel of int ] ->
   setup:(Conc.Ctx.t -> Conc.Runner.program) ->
   fuel:int ->
   ?max_runs:int ->
@@ -124,6 +127,8 @@ val explore_cost :
 (** Explore [setup] exhaustively with the chosen engine (outcomes are
     discarded) and report the cost counters. Note [`Pruned] asks for
     pruning explicitly, so [CAL_EXPLORE_NO_PRUNE=1] turns it into
-    [`Incremental]. *)
+    [`Incremental]. [`Parallel d] is the unpruned incremental engine
+    spread over [d] worker domains ({!Conc.Par_explore}) — same runs and
+    nodes, [replayed_steps] grows by the task-prefix replays. *)
 
 val pp_explore_cost : Format.formatter -> explore_cost -> unit

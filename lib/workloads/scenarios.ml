@@ -436,6 +436,28 @@ let faulty_elim_queue () =
     expect_ok = false;
   }
 
+let faulty_elim_stack ?(pushers = 1) ?(poppers = 2) () =
+  {
+    name = Fmt.str "faulty-elim-stack-%dp%dc" pushers poppers;
+    description =
+      "elimination slot never cleared: racing pops eliminate the same push";
+    threads = pushers + poppers;
+    setup =
+      (fun ctx ->
+        let s = Faulty.Elim_stack_dup_elim.create ctx in
+        no_observe
+          (Array.init (pushers + poppers) (fun i ->
+               if i < pushers then
+                 Faulty.Elim_stack_dup_elim.push s ~tid:(tid i)
+                   (Value.int (i + 1))
+               else Faulty.Elim_stack_dup_elim.pop s ~tid:(tid i))));
+    spec = Spec_stack.spec ~allow_spurious_failure:false ();
+    view = View.identity;
+    fuel = 14;
+    bound = Some 2;
+    expect_ok = false;
+  }
+
 let faulty_counter () =
   {
     name = "faulty-counter";
@@ -663,6 +685,7 @@ let all () =
     treiber_push_pop ();
     ms_queue_enq_deq ();
     faulty_counter ();
+    faulty_elim_stack ();
     faulty_stack ();
     faulty_exchanger ();
     faulty_elim_queue ();

@@ -78,6 +78,13 @@ val faulty_counter : unit -> t
 val faulty_stack : unit -> t
 val faulty_exchanger : unit -> t
 
+val faulty_elim_stack : ?pushers:int -> ?poppers:int -> unit -> t
+(** {!Structures.Faulty.Elim_stack_dup_elim} under [pushers] pushing
+    threads and [poppers] popping threads (defaults [1]/[2]): the sticky
+    elimination slot lets racing pops eliminate the same push. Rejections
+    dominate deep sweeps of this object, which makes it the checker-bound
+    workload of bench B14 (larger thread counts there). *)
+
 val faulty_elim_queue : unit -> t
 (** The elimination queue with the transfer emptiness check removed —
     a FIFO violation (deq receives a fresh value while an older one is

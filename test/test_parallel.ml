@@ -1,0 +1,255 @@
+(* Tests for multicore parallel exploration and the shared verdict cache:
+   every report — verdicts, witnesses, run counts — must be byte-identical
+   whatever the worker-domain count, the cache must change cost counters
+   only, and the first-failure witness of check_all must be the sequential
+   one even when workers race to it. *)
+
+open Cal
+open Conc
+open Test_support
+module S = Workloads.Scenarios
+module O = Verify.Obligations
+
+(* The engine caps worker domains at [Domain.recommended_domain_count] —
+   oversubscribing one hardware thread only adds GC synchronization. These
+   tests are about cross-domain determinism, so they opt out: with the
+   override, [~domains:4] really spawns four workers even on a one-core CI
+   box, and the splitting/stealing/cache-sharing paths genuinely run. *)
+let () = Unix.putenv "CAL_EXPLORE_OVERSUBSCRIBE" "1"
+
+let t name f = Alcotest.test_case name `Quick f
+let domain_counts = [ 1; 2; 4 ]
+
+(* Everything in a report that must be domain-count-invariant. Exploration
+   cost counters (nodes, steals, cache hits) are excluded: two workers can
+   benignly race to compute the same cache miss. *)
+let fingerprint (r : O.report) =
+  ( r.runs,
+    r.complete_runs,
+    r.truncated,
+    List.map (fun (p : O.problem) -> (p.schedule, p.plan, p.message)) r.problems
+  )
+
+let check_invariant name reports =
+  match reports with
+  | [] -> ()
+  | (d0, r0) :: rest ->
+      List.iter
+        (fun (d, r) ->
+          check_bool
+            (Fmt.str "%s: report at domains=%d matches domains=%d" name d d0)
+            true
+            (fingerprint r = fingerprint r0))
+        rest
+
+(* Both obligations and the black-box check, on every deliberately faulty
+   scenario: rejection-heavy searches with nontrivial witness lists are
+   where a merge bug would show. *)
+let test_faulty_scenarios_domain_invariant () =
+  List.iter
+    (fun (s : S.t) ->
+      let object_reports =
+        List.map
+          (fun domains ->
+            ( domains,
+              O.check_object ~domains ~setup:s.setup ~spec:s.spec ~view:s.view
+                ~fuel:s.fuel ?preemption_bound:s.bound () ))
+          domain_counts
+      in
+      check_invariant (s.name ^ " (check_object)") object_reports;
+      let black_box_reports =
+        List.map
+          (fun domains ->
+            ( domains,
+              O.check_black_box ~domains ~setup:s.setup ~spec:s.spec
+                ~fuel:s.fuel ?preemption_bound:s.bound () ))
+          domain_counts
+      in
+      check_invariant (s.name ^ " (check_black_box)") black_box_reports;
+      List.iter
+        (fun (d, r) ->
+          check_bool (Fmt.str "%s rejected at domains=%d" s.name d) false
+            (O.ok r))
+        black_box_reports)
+    [
+      S.faulty_counter ();
+      S.faulty_stack ();
+      S.faulty_exchanger ();
+      S.faulty_elim_stack ();
+      S.faulty_elim_queue ();
+    ]
+
+(* Accepting scenarios: same invariance, and the reports must accept. *)
+let test_positive_scenarios_domain_invariant () =
+  List.iter
+    (fun ((s : S.t), fuel) ->
+      let reports =
+        List.map
+          (fun domains ->
+            ( domains,
+              O.check_black_box ~domains ~setup:s.setup ~spec:s.spec ~fuel
+                ?preemption_bound:s.bound () ))
+          domain_counts
+      in
+      check_invariant s.name reports;
+      List.iter
+        (fun (d, r) ->
+          check_bool (Fmt.str "%s accepted at domains=%d" s.name d) true
+            (O.ok r))
+        reports)
+    [ (S.exchanger_pair (), 12); (S.elim_stack_push_pop ~k:1 (), 10) ]
+
+(* The verdict cache may only change cost counters, never the report; it
+   must actually hit on a workload with canonical collisions; and with
+   several domains the one table is shared — hits still accrue. *)
+let test_cache_transparent_and_effective () =
+  let s = S.elim_stack_push_pop ~k:1 () in
+  let run ~domains ~cache =
+    O.check_black_box ~domains ~cache ~setup:s.setup ~spec:s.spec ~fuel:10
+      ?preemption_bound:s.bound ()
+  in
+  let off = run ~domains:1 ~cache:false in
+  let hits (r : O.report) =
+    match r.exploration with
+    | Some e -> e.Explore.cache_hits
+    | None -> 0
+  in
+  Alcotest.(check int) "cache off: 0 hits" 0 (hits off);
+  List.iter
+    (fun domains ->
+      let on = run ~domains ~cache:true in
+      check_bool
+        (Fmt.str "cached report matches uncached at domains=%d" domains)
+        true
+        (fingerprint on = fingerprint off);
+      check_bool (Fmt.str "cache hits at domains=%d" domains) true
+        (hits on > 0))
+    domain_counts
+
+(* check_all short-circuits on the first failing outcome; with workers
+   racing, the witness must still be the sequential engine's (the
+   lowest-bound failure wins the merge). *)
+let test_check_all_witness_deterministic () =
+  let s = S.faulty_stack () in
+  let spec = s.spec in
+  let p (o : Runner.outcome) = Cal_checker.is_cal ~spec o.history in
+  let witness domains =
+    match
+      Explore.check_all ~domains ~setup:s.setup ~fuel:s.fuel
+        ?preemption_bound:s.bound ~p ()
+    with
+    | Ok _ -> Alcotest.failf "faulty stack accepted at domains=%d" domains
+    | Error (o, _) -> (o.Runner.schedule, o.Runner.history)
+  in
+  let sched1, hist1 = witness 1 in
+  List.iter
+    (fun domains ->
+      let sched, hist = witness domains in
+      check_bool
+        (Fmt.str "witness schedule at domains=%d is the sequential one" domains)
+        true (sched = sched1);
+      Alcotest.check history
+        (Fmt.str "witness history at domains=%d" domains)
+        hist1 hist)
+    [ 2; 4 ]
+
+(* Crash-free durable exploration parallelizes (a single plan's schedule
+   tree); the delivered run set must be the sequential one. Callback order
+   is nondeterministic across workers, so compare as sorted sets. *)
+let test_durable_single_plan_domain_invariant () =
+  let d = S.stack_crash_recovery () in
+  let runs domains =
+    let schedules = ref [] in
+    let mu = Mutex.create () in
+    let stats =
+      Explore.exhaustive_durable ~plan:[] ~domains ~setup:d.d_setup
+        ~fuel:d.d_fuel
+        ~f:(fun (o : Runner.outcome) ->
+          Mutex.lock mu;
+          schedules := o.Runner.schedule :: !schedules;
+          Mutex.unlock mu)
+        ()
+    in
+    (stats.Explore.runs, List.sort compare !schedules)
+  in
+  let runs1, schedules1 = runs 1 in
+  check_bool "sequential durable exploration is nonempty" true (runs1 > 0);
+  List.iter
+    (fun domains ->
+      let r, s = runs domains in
+      Alcotest.(check int)
+        (Fmt.str "durable runs at domains=%d" domains)
+        runs1 r;
+      check_bool
+        (Fmt.str "durable schedule set at domains=%d" domains)
+        true (s = schedules1))
+    [ 2; 4 ]
+
+(* With the oversubscription override, requested domains really spawn. *)
+let test_domains_used () =
+  let s = S.exchanger_trio () in
+  let r =
+    O.check_black_box ~domains:4 ~setup:s.setup ~spec:s.spec ~fuel:8
+      ?preemption_bound:s.bound ()
+  in
+  match r.exploration with
+  | None -> Alcotest.fail "exhaustive check lost its exploration stats"
+  | Some e ->
+      Alcotest.(check int) "domains_used" 4 e.Explore.domains_used
+
+(* The capping policy itself: identity at <= 1 worker, capped at the
+   hardware parallelism unless the override is set. *)
+let test_effective_domains () =
+  Alcotest.(check int) "1 stays 1" 1 (Par_explore.effective_domains 1);
+  Alcotest.(check int) "0 normalizes to 1" 1 (Par_explore.effective_domains 0);
+  Alcotest.(check int) "override lifts the cap" 64
+    (Par_explore.effective_domains 64);
+  Unix.putenv "CAL_EXPLORE_OVERSUBSCRIBE" "";
+  let cap = Domain.recommended_domain_count () in
+  Alcotest.(check int) "capped at recommended_domain_count" (min 64 cap)
+    (Par_explore.effective_domains 64);
+  Unix.putenv "CAL_EXPLORE_OVERSUBSCRIBE" "1"
+
+(* The accumulator rewrite of the drop-subset enumerator must preserve the
+   naive enumeration order exactly: it decides which completion witness
+   the checker reports first. *)
+let test_subsets_up_to_reference () =
+  let rec reference k = function
+    | [] -> [ [] ]
+    | x :: rest ->
+        let without = reference k rest in
+        if k = 0 then without
+        else List.map (fun s -> x :: s) (reference (k - 1) rest) @ without
+  in
+  let reference k xs = List.filter (( <> ) []) (reference k xs) in
+  List.iter
+    (fun (k, n) ->
+      let xs = List.init n (fun i -> i) in
+      check_bool
+        (Fmt.str "subsets_up_to %d on %d elements matches the naive order" k n)
+        true
+        (Cal_checker.subsets_up_to k xs = reference k xs))
+    [ (0, 3); (1, 4); (2, 5); (3, 3); (5, 5); (2, 0); (7, 3) ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "parallel",
+        [
+          t "faulty scenarios: reports are domain-count-invariant"
+            test_faulty_scenarios_domain_invariant;
+          t "positive scenarios: reports are domain-count-invariant"
+            test_positive_scenarios_domain_invariant;
+          t "verdict cache is transparent and effective"
+            test_cache_transparent_and_effective;
+          t "check_all witness is deterministic across domains"
+            test_check_all_witness_deterministic;
+          t "durable single-plan exploration is domain-count-invariant"
+            test_durable_single_plan_domain_invariant;
+          t "requested domains spawn under the oversubscription override"
+            test_domains_used;
+          t "effective_domains capping policy" test_effective_domains;
+          t "subsets_up_to matches the naive enumeration order"
+            test_subsets_up_to_reference;
+        ] );
+    ]
