@@ -16,7 +16,12 @@
         dune exec bench/main.exe -- crash   (only B13, full fuel,
                                              regenerates BENCH_crash.json)
         dune exec bench/main.exe -- parallel (only B14, full fuel,
-                                             regenerates BENCH_parallel.json) *)
+                                             regenerates BENCH_parallel.json)
+        dune exec bench/main.exe -- sampling (only B15, full budgets,
+                                             regenerates BENCH_sampling.json)
+        dune exec bench/main.exe -- fuzz    (fixed-seed sampled pass over
+                                             every scenario; fails on any
+                                             verdict mismatch) *)
 
 open Bechamel
 open Toolkit
@@ -28,6 +33,8 @@ let mode =
   else if Array.exists (fun a -> a = "smoke") Sys.argv then `Smoke
   else if Array.exists (fun a -> a = "crash") Sys.argv then `Crash
   else if Array.exists (fun a -> a = "parallel") Sys.argv then `Parallel
+  else if Array.exists (fun a -> a = "sampling") Sys.argv then `Sampling
+  else if Array.exists (fun a -> a = "fuzz") Sys.argv then `Fuzz
   else `Full
 
 let quick = Array.exists (fun a -> a = "quick") Sys.argv || mode = `Smoke
@@ -712,6 +719,155 @@ let figure_parallel () =
   close_out oc;
   Fmt.pr "# rows written to BENCH_parallel.json@."
 
+(* B15 — sampled checking: detection rate and witness size vs run budget,
+   per sampler kind (random walk, PCT, preemption-bounded random), over
+   the deliberately faulty scenarios with fixed seeds. Each cell
+   aggregates one sampled check per (scenario, seed); the detection rate
+   is the fraction of those checks that found a violation within the
+   budget, mean-runs the average runs a detection took (early exit), and
+   the witness columns the mean ddmin-shrunk schedule length and the mean
+   decisions removed. Results land in BENCH_sampling.json. *)
+let figure_sampling () =
+  let kinds =
+    [
+      Conc.Sampler.Random_walk;
+      Conc.Sampler.Pct { d = 3 };
+      Conc.Sampler.Preemption_bounded { bound = 2 };
+    ]
+  in
+  let budgets = if quick then [ 10; 50 ] else [ 10; 50; 250 ] in
+  let seeds =
+    List.init (if quick then 8 else 20) (fun i -> Int64.of_int (i + 1))
+  in
+  let scenarios = S.faulty () in
+  Fmt.pr "@.# B15: sampled checking — detection rate vs run budget (%d faulty \
+          scenarios x %d seeds per cell)@."
+    (List.length scenarios) (List.length seeds);
+  Fmt.pr "%-14s %8s %10s %12s %14s %14s@." "sampler" "budget" "detected"
+    "mean-runs" "mean-witness" "mean-removed";
+  let cells =
+    List.concat_map
+      (fun kind ->
+        List.map
+          (fun budget ->
+            let points =
+              List.concat_map
+                (fun (s : S.t) ->
+                  List.map
+                    (fun seed ->
+                      Workloads.Metrics.sampling_cost ~kind ~seed ~budget s)
+                    seeds)
+                scenarios
+            in
+            let detected =
+              List.filter
+                (fun (c : Workloads.Metrics.sampling_cost) -> c.sc_detected)
+                points
+            in
+            let mean f = function
+              | [] -> 0.
+              | l ->
+                  List.fold_left (fun a c -> a +. float_of_int (f c)) 0. l
+                  /. float_of_int (List.length l)
+            in
+            let rate =
+              float_of_int (List.length detected)
+              /. float_of_int (max 1 (List.length points))
+            in
+            let mean_runs =
+              mean (fun (c : Workloads.Metrics.sampling_cost) -> c.sc_runs)
+                detected
+            in
+            let mean_witness =
+              mean
+                (fun (c : Workloads.Metrics.sampling_cost) -> c.sc_witness_len)
+                detected
+            in
+            let mean_removed =
+              mean
+                (fun (c : Workloads.Metrics.sampling_cost) ->
+                  c.sc_shrink_steps_removed)
+                detected
+            in
+            Fmt.pr "%-14s %8d %9.0f%% %12.1f %14.1f %14.1f@."
+              (Conc.Sampler.kind_to_string kind)
+              budget (100. *. rate) mean_runs mean_witness mean_removed;
+            ( Conc.Sampler.kind_to_string kind,
+              budget,
+              List.length points,
+              List.length detected,
+              rate,
+              mean_runs,
+              mean_witness,
+              mean_removed ))
+          budgets)
+      kinds
+  in
+  let oc = open_out "BENCH_sampling.json" in
+  let json_row (kind, budget, points, detected, rate, mruns, mwitness, mremoved)
+      =
+    Printf.sprintf
+      "    {\"sampler\": %S, \"budget\": %d, \"points\": %d, \"detected\": %d, \
+       \"detection_rate\": %.4f, \"mean_runs_to_detect\": %.2f, \
+       \"mean_witness_len\": %.2f, \"mean_steps_removed\": %.2f}"
+      kind budget points detected rate mruns mwitness mremoved
+  in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"sampling_detection\",\n  \"scenarios\": %d,\n  \
+     \"seeds_per_cell\": %d,\n  \"rows\": [\n%s\n  ]\n}\n"
+    (List.length scenarios) (List.length seeds)
+    (String.concat ",\n" (List.map json_row cells));
+  close_out oc;
+  Fmt.pr "# rows written to BENCH_sampling.json@."
+
+(* The fuzz pass (make fuzz-smoke): one fixed-seed sampled check per
+   scenario — every positive must come out clean, every faulty one must be
+   detected, within the per-class budget. Prints the first minimized
+   failure report in full, as the smoke test of the witness renderer. *)
+let fuzz_pass () =
+  let failures = ref 0 in
+  let printed_witness = ref false in
+  let judge name expect_ok (r : Verify.Obligations.report) =
+    let ok = Verify.Obligations.ok r in
+    let verdict =
+      if ok = expect_ok then "ok"
+      else begin
+        incr failures;
+        "MISMATCH"
+      end
+    in
+    Fmt.pr "%-34s expect_ok=%-5b runs=%-5d %s@." name expect_ok
+      r.Verify.Obligations.runs verdict;
+    if (not ok) && not !printed_witness then begin
+      printed_witness := true;
+      match r.Verify.Obligations.problems with
+      | p :: _ ->
+          Fmt.pr "@.# first minimized failure report (witness renderer smoke):@.";
+          Fmt.pr "%s@.@." p.Verify.Obligations.message
+      | [] -> ()
+    end
+  in
+  Fmt.pr "== fuzz: fixed-seed sampled pass over every scenario ==@.";
+  List.iter
+    (fun (s : S.t) ->
+      let budget = if s.expect_ok then 200 else 2000 in
+      judge s.name s.expect_ok
+        (Verify.Obligations.check_sampled ~seed:1L ~setup:s.setup ~spec:s.spec
+           ~view:s.view ~fuel:s.fuel ~budget ()))
+    (S.all ());
+  List.iter
+    (fun (d : S.durable) ->
+      let budget = if d.d_expect_ok then 200 else 3000 in
+      judge d.d_name d.d_expect_ok
+        (Verify.Obligations.check_sampled_durable ~seed:1L
+           ~max_crash_depth:d.d_max_crash_depth ~setup:d.d_setup ~spec:d.d_spec
+           ~fuel:d.d_fuel ~budget ()))
+    (S.durable_all ());
+  if !failures > 0 then
+    Fmt.failwith "fuzz: %d scenario(s) mismatched their expected verdict"
+      !failures;
+  Fmt.pr "@.fuzz: all scenarios matched their expected verdicts.@."
+
 (* B9 — bug preemption depth (iterative context bounding) for the faulty
    objects: how few context switches expose each bug. *)
 let figure_bug_depth () =
@@ -754,6 +910,11 @@ let () =
       Fmt.pr "== CAL benchmark harness (parallel-exploration figure) ==@.";
       figure_parallel ();
       Fmt.pr "@.done.@."
+  | `Sampling ->
+      Fmt.pr "== CAL benchmark harness (sampled-checking figure) ==@.";
+      figure_sampling ();
+      Fmt.pr "@.done.@."
+  | `Fuzz -> fuzz_pass ()
   | `Faults | `Smoke ->
       Fmt.pr "== CAL benchmark harness (%s: fault + timeout figures) ==@."
         (if mode = `Smoke then "smoke" else "faults");
@@ -762,6 +923,7 @@ let () =
       figure_explore ();
       figure_crash ();
       figure_parallel ();
+      figure_sampling ();
       Fmt.pr "@.done.@."
   | `Full ->
       Fmt.pr "== CAL benchmark harness%s ==@." (if quick then " (quick)" else "");
@@ -774,6 +936,7 @@ let () =
       figure_explore ();
       figure_crash ();
       figure_parallel ();
+      figure_sampling ();
       figure_verification_cost ();
       figure_bug_depth ();
       Fmt.pr "@.done.@."

@@ -25,6 +25,10 @@ val print_value : Value.t -> string
 val parse_history : string -> (History.t, string) result
 (** Parse a whole document. Errors carry the 1-based line number. *)
 
+val print_action : Action.t -> string
+(** One action as one line of the format above (no newline); used by the
+    {!Witness} failure renderer to annotate actions in place. *)
+
 val print_history : History.t -> string
 (** Round-trips with {!parse_history}. *)
 

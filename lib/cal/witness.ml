@@ -1,0 +1,27 @@
+type segment = { thread : int; preemptive : bool; steps : int }
+
+let schedule_string = function
+  | [] -> "<empty>"
+  | segs ->
+      let buf = Buffer.create 64 in
+      List.iter
+        (fun { thread; preemptive; steps } ->
+          Buffer.add_char buf (if preemptive then 'P' else 'S');
+          Buffer.add_string buf (string_of_int thread);
+          for _ = 2 to steps do
+            Buffer.add_char buf '-'
+          done)
+        segs;
+      Buffer.contents buf
+
+let pp_era_history fmt h =
+  Format.fprintf fmt "@[<v>-- era 1 --";
+  List.iter
+    (fun (a : Action.t) ->
+      match a with
+      | Action.Crash { epoch } ->
+          Format.fprintf fmt "@,-- crash: era %d ends --@,-- era %d --" epoch
+            (epoch + 1)
+      | _ -> Format.fprintf fmt "@,%s" (History_format.print_action a))
+    (History.to_list h);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,39 @@
+(** Human-readable rendering of counterexample witnesses.
+
+    Testing-based checkers live or die by readable, reproducible
+    counterexamples. This module renders the two halves of a minimal
+    witness:
+
+    - the {e schedule} as a dejafu-style per-thread trace string —
+      [S0---S1-P2--]: each token names the scheduled thread, [S] for a
+      voluntary switch (the previous thread had blocked or returned), [P]
+      for a preemptive one (the previous thread was still enabled), and
+      one [-] per additional consecutive step of that thread;
+    - the {e history} with explicit era annotations: the actions between
+      crash markers grouped under [-- era k --] headers, one action per
+      line in the {!History_format} syntax, so the printed witness is also
+      machine-parseable.
+
+    The switch kinds (and the schedule itself) live in the concurrency
+    layer; this module only assembles text, so it can sit beside
+    {!History_format} in [lib/cal] and be reused by the CLI. *)
+
+type segment = {
+  thread : int;
+  preemptive : bool;
+      (** the switch {e to} this segment preempted a still-enabled
+          thread *)
+  steps : int;  (** decisions in the segment, [>= 1] *)
+}
+
+val schedule_string : segment list -> string
+(** [schedule_string segs] is the dejafu-style trace, e.g.
+    [S0---S1-P2--] for 4 steps of thread 0, then 2 of thread 1 (voluntary
+    switch), then 3 of thread 2 (preemptive switch). The empty list
+    renders as ["<empty>"]. *)
+
+val pp_era_history : Format.formatter -> History.t -> unit
+(** The history, one {!History_format} action line per action, grouped
+    under [-- era k --] headers; a crash marker renders as its own
+    [-- crash: era k ends --] line. Crash-free histories get the single
+    [-- era 1 --] header. *)

@@ -32,6 +32,10 @@ type stats = {
   cache_hits : int;
   tasks_stolen : int;
   domains_used : int;
+  sampled_runs : int;
+  violations_found : int;
+  shrink_candidates : int;
+  shrink_steps_removed : int;
 }
 
 let empty_stats =
@@ -46,6 +50,10 @@ let empty_stats =
     cache_hits = 0;
     tasks_stolen = 0;
     domains_used = 1;
+    sampled_runs = 0;
+    violations_found = 0;
+    shrink_candidates = 0;
+    shrink_steps_removed = 0;
   }
 
 let merge_stats a b =
@@ -60,6 +68,10 @@ let merge_stats a b =
     cache_hits = a.cache_hits + b.cache_hits;
     tasks_stolen = a.tasks_stolen + b.tasks_stolen;
     domains_used = max a.domains_used b.domains_used;
+    sampled_runs = a.sampled_runs + b.sampled_runs;
+    violations_found = a.violations_found + b.violations_found;
+    shrink_candidates = a.shrink_candidates + b.shrink_candidates;
+    shrink_steps_removed = a.shrink_steps_removed + b.shrink_steps_removed;
   }
 
 exception Stop
@@ -238,4 +250,8 @@ let dfs ~restart ~fuel ?max_runs ?preemption_bound ~prune ?(prefix = [])
     cache_hits = 0;
     tasks_stolen = 0;
     domains_used = 1;
+    sampled_runs = 0;
+    violations_found = 0;
+    shrink_candidates = 0;
+    shrink_steps_removed = 0;
   }

@@ -29,6 +29,16 @@ type stats = {
       (** parallel front: subtree tasks executed by a domain that did not
           own them *)
   domains_used : int;   (** worker domains (1 for the sequential front) *)
+  sampled_runs : int;
+      (** randomly sampled executions delivered ({!Sampler}); always [0]
+          straight out of the exhaustive engine *)
+  violations_found : int;
+      (** sampled runs failing the checked obligation; patched in by the
+          sampled checks of {!Verify.Obligations} *)
+  shrink_candidates : int;
+      (** candidate replays tried by the {!Shrink} delta-debugger *)
+  shrink_steps_removed : int;
+      (** schedule decisions removed to reach the minimal witness *)
 }
 
 val empty_stats : stats

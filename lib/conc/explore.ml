@@ -9,6 +9,10 @@ type stats = Engine.stats = {
   cache_hits : int;
   tasks_stolen : int;
   domains_used : int;
+  sampled_runs : int;
+  violations_found : int;
+  shrink_candidates : int;
+  shrink_steps_removed : int;
 }
 
 let empty_stats = Engine.empty_stats

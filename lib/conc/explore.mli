@@ -58,6 +58,19 @@ type stats = Engine.stats = {
       (** subtree tasks executed by a worker domain that did not own them
           ([0] for the sequential engine) *)
   domains_used : int;   (** worker domains the search ran on *)
+  sampled_runs : int;
+      (** randomly sampled executions ({!Sampler}) delivered; always [0]
+          straight out of the exhaustive engine — patched in by
+          {!Verify.Obligations.check_sampled} and friends *)
+  violations_found : int;
+      (** sampled runs on which the checked obligation failed (with
+          early-exit sampling this is [0] or [1]) *)
+  shrink_candidates : int;
+      (** candidate (schedule, plan) replays the delta-debugging shrinker
+          ({!Shrink}) tried while minimizing a sampled counterexample *)
+  shrink_steps_removed : int;
+      (** schedule decisions the shrinker removed from the original
+          failing run to reach the minimal witness *)
 }
 
 val empty_stats : stats

@@ -429,6 +429,24 @@ let replay_durable ?(plan = []) ~setup sched =
   List.iter (fun d -> ignore (step e d)) sched;
   (snapshot e, frontier e)
 
+let outcome_equal a b =
+  let value_opt_equal x y =
+    match (x, y) with
+    | None, None -> true
+    | Some v, Some w -> Cal.Value.equal v w
+    | _ -> false
+  in
+  Cal.History.equal a.history b.history
+  && Cal.Ca_trace.equal a.trace b.trace
+  && Array.length a.results = Array.length b.results
+  && Array.for_all2 value_opt_equal a.results b.results
+  && a.complete = b.complete && a.steps = b.steps
+  && a.schedule = b.schedule
+  && List.equal Fault.equal a.faults b.faults
+  && List.equal Fault.equal a.injected b.injected
+  && List.equal String.equal a.fallible_steps b.fallible_steps
+  && a.epochs = b.epochs
+
 let drive_random e ~fuel ~rng =
   let rec go remaining =
     if remaining = 0 then ()

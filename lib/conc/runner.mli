@@ -162,3 +162,12 @@ val run_random_durable :
     benchmark sweeps). *)
 
 val pp_decision : Format.formatter -> decision -> unit
+
+val outcome_equal : outcome -> outcome -> bool
+(** Byte-for-byte equality of everything an outcome records: history,
+    auxiliary trace, per-thread results, completion, step/era counts,
+    schedule, fault plan, fired faults and fallible-step labels. The
+    replay-determinism contract of this module is exactly
+    [outcome_equal (fst (replay ~plan ~setup o.schedule)) o] for any
+    outcome [o] produced under [plan] — the regression tests and the
+    {!Shrink} revalidation lean on it. *)

@@ -6,6 +6,14 @@ type problem = {
   message : string;
 }
 
+(* Reproduction metadata of a sampled check: the kind/seed/budget triple
+   replays the identical run sequence. *)
+type sampling = {
+  s_kind : Conc.Sampler.kind;
+  s_seed : int64;
+  s_budget : int;
+}
+
 type report = {
   runs : int;
   complete_runs : int;
@@ -14,6 +22,7 @@ type report = {
   exploration : Conc.Explore.stats option;
       (* engine cost counters of the underlying exploration, when the
          check ran on the exhaustive engine *)
+  sampling : sampling option;  (* Some _ exactly for check_sampled* *)
 }
 
 (* ---------------------------------------------------- parallel knobs --- *)
@@ -87,6 +96,7 @@ let report_of ?exploration ~truncated accs =
       cap10 (List.concat_map (fun a -> List.rev a.a_problems) (Array.to_list accs));
     truncated;
     exploration;
+    sampling = None;
   }
 
 (* Remove one occurrence of [op] from [ops]; None when absent. *)
@@ -191,6 +201,10 @@ let fault_exploration (stats : Conc.Explore.fault_stats) =
       cache_hits = 0;
       tasks_stolen = stats.fault_tasks_stolen;
       domains_used = stats.fault_domains_used;
+      sampled_runs = 0;
+      violations_found = 0;
+      shrink_candidates = 0;
+      shrink_steps_removed = 0;
     }
 
 let check_object_with_faults ?delay_factors ?domains ~setup ~spec ~view ~fuel
@@ -232,6 +246,7 @@ let liveness_report ~fuel ~window (stats : Conc.Explore.liveness_stats) =
     problems;
     truncated = stats.Conc.Explore.live_truncated;
     exploration = None;
+    sampling = None;
   }
 
 let check_liveness ?plan ~setup ~fuel ~window ?max_runs ?preemption_bound () =
@@ -340,10 +355,190 @@ let check_durable ?checker ?cache ~setup ~spec ~fuel ?max_runs
   check_durable_with_faults ?checker ?cache ~setup ~spec ~fuel ?max_runs
     ?preemption_bound ?max_plans ?max_crash_depth ~fault_bound:0 ()
 
+(* ------------------------------------------------- sampled obligations -- *)
+
+(* Sampled checking (DESIGN §2.12): run the program [budget] times under a
+   randomized Sampler scheduler, check every outcome with the same
+   obligations as the exhaustive sweeps, exit at the first violation,
+   minimize its (schedule, plan) witness with Shrink, and render a
+   failure report that is a complete reproduction recipe on its own:
+   sampler kind + seed + budget replay the run sequence, and the printed
+   minimal schedule/plan replay the violation directly. *)
+
+let default_kind = Conc.Sampler.Pct { d = 3 }
+
+let sampled_stats ~runs ~max_steps ~violations ~shrink_candidates
+    ~shrink_steps_removed =
+  Conc.Explore.
+    {
+      runs;
+      truncated = false;
+      max_steps;
+      nodes = 0;
+      replayed_steps = 0;
+      fingerprint_hits = 0;
+      sleep_pruned = 0;
+      cache_hits = 0;
+      tasks_stolen = 0;
+      domains_used = 1;
+      sampled_runs = runs;
+      violations_found = violations;
+      shrink_candidates;
+      shrink_steps_removed;
+    }
+
+let render_sampled_problem ~kind ~seed ~budget ~fuel ~run_index ~target ~plan
+    ~schedule ~(outcome : Conc.Runner.outcome) ~message
+    ~(shrink : Conc.Shrink.stats option) =
+  let segs =
+    Conc.Shrink.segments target ~plan schedule
+    |> List.map (fun (thread, preemptive, steps) ->
+           { Cal.Witness.thread; preemptive; steps })
+  in
+  let shrink_line =
+    match shrink with
+    | None -> "shrink: off (reporting the raw sampled witness)"
+    | Some s ->
+        Fmt.str
+          "shrink: removed %d schedule decisions and %d plan elements (%d \
+           candidate replays, %d rounds); the witness is 1-minimal"
+          s.steps_removed s.plan_removed s.candidates s.rounds
+  in
+  Fmt.str
+    "@[<v>sampled violation at run %d/%d (sampler %s, seed %Ld, fuel %d)@,\
+     verdict: %s@,\
+     threads: %s (%d decisions)@,\
+     %s@,\
+     history:@,  @[<v>%a@]@,\
+     reproduce: rerun the sampled check with this sampler/seed/budget, or \
+     replay the schedule/fault lines below@]"
+    run_index budget
+    (Conc.Sampler.kind_to_string kind)
+    seed fuel message
+    (Cal.Witness.schedule_string segs)
+    (List.length schedule) shrink_line Cal.Witness.pp_era_history
+    outcome.history
+
+let sampled_report ~kind ~seed ~budget ~fuel ~shrink ~target ~check
+    ~sample_one () =
+  let acc = new_acc () in
+  let violations = ref 0 in
+  let sh_cand = ref 0 and sh_removed = ref 0 in
+  let max_steps = ref 0 in
+  let stop = ref false in
+  let run_index = ref 0 in
+  while (not !stop) && !run_index < budget do
+    incr run_index;
+    let outcome = sample_one () in
+    acc.a_runs <- acc.a_runs + 1;
+    if outcome.Conc.Runner.complete then acc.a_complete <- acc.a_complete + 1;
+    max_steps := max !max_steps outcome.Conc.Runner.steps;
+    match check outcome with
+    | Ok () -> ()
+    | Error message ->
+        (* early exit: sampling is a detection mode, one (minimized)
+           counterexample is the deliverable *)
+        incr violations;
+        stop := true;
+        let fails o = Result.is_error (check o) in
+        let schedule, plan, final, sstats =
+          if shrink then
+            match
+              Conc.Shrink.minimize ~target ~fails
+                ~schedule:outcome.Conc.Runner.schedule
+                ~plan:outcome.Conc.Runner.faults ()
+            with
+            | Ok m ->
+                sh_cand := m.Conc.Shrink.m_stats.candidates;
+                sh_removed := m.Conc.Shrink.m_stats.steps_removed;
+                (m.m_schedule, m.m_plan, m.m_outcome, Some m.m_stats)
+            | Error _ ->
+                (outcome.Conc.Runner.schedule, outcome.Conc.Runner.faults,
+                 outcome, None)
+          else
+            (outcome.Conc.Runner.schedule, outcome.Conc.Runner.faults,
+             outcome, None)
+        in
+        (* the verdict of the minimal witness, not the original run's *)
+        let message =
+          match check final with Error m -> m | Ok () -> message
+        in
+        acc.a_problems <-
+          {
+            schedule;
+            plan;
+            message =
+              render_sampled_problem ~kind ~seed ~budget ~fuel
+                ~run_index:!run_index ~target ~plan ~schedule ~outcome:final
+                ~message ~shrink:sstats;
+          }
+          :: acc.a_problems
+  done;
+  {
+    runs = acc.a_runs;
+    complete_runs = acc.a_complete;
+    problems = List.rev acc.a_problems;
+    truncated = false;
+    exploration =
+      Some
+        (sampled_stats ~runs:acc.a_runs ~max_steps:!max_steps
+           ~violations:!violations ~shrink_candidates:!sh_cand
+           ~shrink_steps_removed:!sh_removed);
+    sampling = Some { s_kind = kind; s_seed = seed; s_budget = budget };
+  }
+
+let check_sampled ?(kind = default_kind) ?(seed = 1L) ?(shrink = true) ~setup
+    ~spec ~view ~fuel ~budget () =
+  let rng = Conc.Rng.create ~seed in
+  sampled_report ~kind ~seed ~budget ~fuel ~shrink
+    ~target:(Conc.Shrink.Program setup)
+    ~check:(check_outcome ~spec ~view)
+    ~sample_one:(fun () -> Conc.Sampler.run ~kind ~setup ~fuel ~rng ())
+    ()
+
+let check_sampled_with_faults ?(kind = default_kind) ?(seed = 1L)
+    ?(shrink = true) ?delay_factors ?(fault_bound = 1) ~setup ~spec ~view
+    ~fuel ~budget () =
+  let rng = Conc.Rng.create ~seed in
+  let space = Conc.Sampler.probe ~setup ~fuel ~runs:4 ~rng () in
+  sampled_report ~kind ~seed ~budget ~fuel ~shrink
+    ~target:(Conc.Shrink.Program setup)
+    ~check:(check_outcome ~spec ~view)
+    ~sample_one:(fun () ->
+      let plan =
+        Conc.Sampler.sample_plan ~fault_bound ?delay_factors space ~rng
+      in
+      Conc.Sampler.run ~plan ~kind ~setup ~fuel ~rng ())
+    ()
+
+let check_sampled_durable ?(checker = `Cal) ?(kind = default_kind)
+    ?(seed = 1L) ?(shrink = true) ?delay_factors ?(fault_bound = 0)
+    ?(max_crash_depth = 1) ~setup ~spec ~fuel ~budget () =
+  let rng = Conc.Rng.create ~seed in
+  let space = Conc.Sampler.probe_durable ~setup ~fuel ~runs:4 ~rng () in
+  let check o =
+    Result.map_error
+      (fun m ->
+        (match checker with
+        | `Cal -> "durable CAL obligation: "
+        | `Lin -> "durable linearizability obligation: ")
+        ^ m)
+      (durable_check ~checker ~spec o)
+  in
+  sampled_report ~kind ~seed ~budget ~fuel ~shrink
+    ~target:(Conc.Shrink.Durable setup) ~check
+    ~sample_one:(fun () ->
+      let plan =
+        Conc.Sampler.sample_plan ~fault_bound ?delay_factors
+          ~crash_depth:max_crash_depth space ~rng
+      in
+      Conc.Sampler.run_durable ~plan ~kind ~setup ~fuel ~rng ())
+    ()
+
 let ok r = r.problems = []
 
 let pp_exploration ppf (s : Conc.Explore.stats) =
-  Fmt.pf ppf " [nodes %d, replayed %d steps%s%s%s]" s.nodes s.replayed_steps
+  Fmt.pf ppf " [nodes %d, replayed %d steps%s%s%s%s]" s.nodes s.replayed_steps
     (if s.fingerprint_hits > 0 || s.sleep_pruned > 0 then
        Fmt.str ", pruned %d fp + %d sleep" s.fingerprint_hits s.sleep_pruned
      else "")
@@ -351,11 +546,22 @@ let pp_exploration ppf (s : Conc.Explore.stats) =
        Fmt.str ", %d domains (%d stolen)" s.domains_used s.tasks_stolen
      else "")
     (if s.cache_hits > 0 then Fmt.str ", %d cache hits" s.cache_hits else "")
+    (if s.sampled_runs > 0 then
+       Fmt.str ", sampled %d (%d violations, shrink %d candidates/%d removed)"
+         s.sampled_runs s.violations_found s.shrink_candidates
+         s.shrink_steps_removed
+     else "")
+
+let pp_sampling ppf s =
+  Fmt.pf ppf " [sampler %s, seed %Ld, budget %d]"
+    (Conc.Sampler.kind_to_string s.s_kind)
+    s.s_seed s.s_budget
 
 let pp_report ppf r =
   if ok r then begin
     Fmt.pf ppf "OK: %d runs (%d complete)%s" r.runs r.complete_runs
       (if r.truncated then " [truncated]" else "");
+    Option.iter (pp_sampling ppf) r.sampling;
     Option.iter (pp_exploration ppf) r.exploration
   end
   else

@@ -46,6 +46,16 @@ type problem = {
   message : string;
 }
 
+(** Reproduction metadata of a sampled check: re-running the same check
+    with this sampler kind, seed and budget replays the identical run
+    sequence, so a printed report alone suffices to reproduce a sampled
+    failure (satellite of DESIGN §2.12). *)
+type sampling = {
+  s_kind : Conc.Sampler.kind;
+  s_seed : int64;
+  s_budget : int;  (** run budget the check was given *)
+}
+
 type report = {
   runs : int;            (** outcomes checked *)
   complete_runs : int;   (** outcomes in which every thread returned *)
@@ -54,8 +64,12 @@ type report = {
   exploration : Conc.Explore.stats option;
       (** engine cost counters of the underlying exploration — nodes
           visited, steps replayed on backtracking, pruning hits — when the
-          check ran on the exhaustive engine ([None] for liveness reports,
-          whose stats live in {!Conc.Explore.liveness_stats}) *)
+          check ran on the exhaustive engine; for sampled checks the
+          [sampled_runs]/[violations_found]/[shrink_*] counters are live
+          instead ([None] for liveness reports, whose stats live in
+          {!Conc.Explore.liveness_stats}) *)
+  sampling : sampling option;
+      (** [Some _] exactly for the [check_sampled*] family *)
 }
 
 val reconcile : Cal.History.t -> Cal.Ca_trace.t -> (Cal.History.t, string) result
@@ -206,6 +220,82 @@ val check_durable_with_faults :
     whole system crashing later is covered. Thread crashes feed the
     checker's crash-tolerant mode ([?crashed]); system crashes drive the
     durable era rules. *)
+
+(** {1 Sampled checking}
+
+    Beyond fuel ~16–18 the exhaustive sweeps stop being practical; the
+    [check_sampled*] family trades completeness for reach: run the
+    program [budget] times under a randomized {!Conc.Sampler} scheduler
+    (jointly sampling schedule × fault plan × crash plan for the
+    [_with_faults]/[_durable] variants) and check every outcome with the
+    same obligations as the exhaustive checks. The loop exits early at
+    the first violation; the witness is then minimized with
+    {!Conc.Shrink} (unless [~shrink:false]) and rendered as a
+    human-readable failure report — sampler kind, seed, budget, run
+    index, the dejafu-style per-thread schedule string, the fault plan,
+    the era-annotated history and the checker verdict — so the printed
+    problem is a complete reproduction recipe. The raw minimal
+    (schedule, plan) pair stays in {!problem} for programmatic replay,
+    and the report's [sampling]/[exploration] fields carry the
+    reproduction metadata and the sampling cost counters
+    ([sampled_runs], [violations_found], [shrink_candidates],
+    [shrink_steps_removed]).
+
+    A sampled [ok] report is {e not} a proof: it only says no violation
+    surfaced within the budget. *)
+
+val check_sampled :
+  ?kind:Conc.Sampler.kind ->
+  ?seed:int64 ->
+  ?shrink:bool ->
+  setup:(Conc.Ctx.t -> Conc.Runner.program) ->
+  spec:Cal.Spec.t ->
+  view:Cal.View.t ->
+  fuel:int ->
+  budget:int ->
+  unit ->
+  report
+(** Both obligations ({!check_outcome}) over [budget] fault-free sampled
+    runs. Defaults: [kind = Pct {d = 3}], [seed = 1L], [shrink = true]. *)
+
+val check_sampled_with_faults :
+  ?kind:Conc.Sampler.kind ->
+  ?seed:int64 ->
+  ?shrink:bool ->
+  ?delay_factors:int list ->
+  ?fault_bound:int ->
+  setup:(Conc.Ctx.t -> Conc.Runner.program) ->
+  spec:Cal.Spec.t ->
+  view:Cal.View.t ->
+  fuel:int ->
+  budget:int ->
+  unit ->
+  report
+(** {!check_sampled} with a fault plan drawn per run from a
+    {!Conc.Sampler.plan_space} learned by a few probe walks: up to
+    [fault_bound] (default [1]) thread crashes / forced CAS failures /
+    stalls / clock delays ([delay_factors]) per plan. The empty plan is
+    in the support, so fault-free behaviour is covered too. *)
+
+val check_sampled_durable :
+  ?checker:[ `Cal | `Lin ] ->
+  ?kind:Conc.Sampler.kind ->
+  ?seed:int64 ->
+  ?shrink:bool ->
+  ?delay_factors:int list ->
+  ?fault_bound:int ->
+  ?max_crash_depth:int ->
+  setup:(Conc.Ctx.t -> Conc.Runner.durable) ->
+  spec:Cal.Spec.t ->
+  fuel:int ->
+  budget:int ->
+  unit ->
+  report
+(** The durable obligation ({!check_durable}'s black-box checker) over
+    sampled runs whose plans additionally draw up to [max_crash_depth]
+    (default [1]) {!Conc.Fault.Crash_system} points; [fault_bound]
+    defaults to [0] (system crashes only). Witnesses replay via
+    {!Conc.Runner.replay_durable}. *)
 
 val ok : report -> bool
 val pp_report : Format.formatter -> report -> unit

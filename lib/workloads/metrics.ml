@@ -438,6 +438,76 @@ let pp_explore_cost ppf c =
      else "")
     (if c.explore_truncated then " [truncated]" else "")
 
+(* ------------------------------------------- sampled-checking cost --- *)
+
+type sampling_cost = {
+  sc_scenario : string;
+  sc_sampler : string;
+  sc_seed : int64;
+  sc_budget : int;
+  sc_runs : int;
+  sc_detected : bool;
+  sc_witness_len : int;
+  sc_shrink_candidates : int;
+  sc_shrink_steps_removed : int;
+}
+
+let sampling_cost_of_report ~scenario ~kind ~seed ~budget
+    (r : Verify.Obligations.report) =
+  let witness_len =
+    match r.Verify.Obligations.problems with
+    | p :: _ -> List.length p.Verify.Obligations.schedule
+    | [] -> 0
+  in
+  let candidates, removed =
+    match r.Verify.Obligations.exploration with
+    | Some s ->
+        (s.Conc.Explore.shrink_candidates, s.Conc.Explore.shrink_steps_removed)
+    | None -> (0, 0)
+  in
+  {
+    sc_scenario = scenario;
+    sc_sampler = Conc.Sampler.kind_to_string kind;
+    sc_seed = seed;
+    sc_budget = budget;
+    sc_runs = r.Verify.Obligations.runs;
+    sc_detected = not (Verify.Obligations.ok r);
+    sc_witness_len = witness_len;
+    sc_shrink_candidates = candidates;
+    sc_shrink_steps_removed = removed;
+  }
+
+let sampling_cost ~kind ~seed ~budget ?fault_bound (s : Scenarios.t) =
+  let report =
+    match fault_bound with
+    | None ->
+        Verify.Obligations.check_sampled ~kind ~seed ~setup:s.Scenarios.setup
+          ~spec:s.Scenarios.spec ~view:s.Scenarios.view ~fuel:s.Scenarios.fuel
+          ~budget ()
+    | Some fault_bound ->
+        Verify.Obligations.check_sampled_with_faults ~kind ~seed ~fault_bound
+          ~setup:s.Scenarios.setup ~spec:s.Scenarios.spec ~view:s.Scenarios.view
+          ~fuel:s.Scenarios.fuel ~budget ()
+  in
+  sampling_cost_of_report ~scenario:s.Scenarios.name ~kind ~seed ~budget report
+
+let sampling_cost_durable ~kind ~seed ~budget (d : Scenarios.durable) =
+  let report =
+    Verify.Obligations.check_sampled_durable ~kind ~seed
+      ~max_crash_depth:d.Scenarios.d_max_crash_depth
+      ~setup:d.Scenarios.d_setup ~spec:d.Scenarios.d_spec
+      ~fuel:d.Scenarios.d_fuel ~budget ()
+  in
+  sampling_cost_of_report ~scenario:d.Scenarios.d_name ~kind ~seed ~budget
+    report
+
+let pp_sampling_cost ppf c =
+  Fmt.pf ppf
+    "%-28s %-12s seed=%-4Ld budget=%-5d runs=%-5d detected=%b witness=%d \
+     shrink-candidates=%d removed=%d"
+    c.sc_scenario c.sc_sampler c.sc_seed c.sc_budget c.sc_runs c.sc_detected
+    c.sc_witness_len c.sc_shrink_candidates c.sc_shrink_steps_removed
+
 let pp_result ppf r =
   Fmt.pf ppf
     "threads=%d steps=%d ops=%d ok=%d timeout=%d cancel=%d retries=%d crashed=%d \

@@ -132,3 +132,45 @@ val explore_cost :
     nodes, [replayed_steps] grows by the task-prefix replays. *)
 
 val pp_explore_cost : Format.formatter -> explore_cost -> unit
+
+(** {1 Sampled-checking cost}
+
+    One data point of the B15 sampling benchmark: run one sampled check
+    ({!Verify.Obligations.check_sampled} / [check_sampled_durable]) on one
+    scenario with one (sampler kind, seed, budget) triple and report
+    whether it detected a violation, how many runs that took, and how
+    small the shrunk witness came out. B15 aggregates these points into
+    detection rate and mean witness size per (kind, budget) cell. *)
+
+type sampling_cost = {
+  sc_scenario : string;
+  sc_sampler : string;       (** {!Conc.Sampler.kind_to_string} *)
+  sc_seed : int64;
+  sc_budget : int;           (** run budget given to the check *)
+  sc_runs : int;             (** runs actually executed (early exit) *)
+  sc_detected : bool;
+  sc_witness_len : int;      (** minimal witness schedule length; [0] if none *)
+  sc_shrink_candidates : int;
+  sc_shrink_steps_removed : int;
+}
+
+val sampling_cost :
+  kind:Conc.Sampler.kind ->
+  seed:int64 ->
+  budget:int ->
+  ?fault_bound:int ->
+  Scenarios.t ->
+  sampling_cost
+(** Sampled check of one scenario. With [fault_bound] (default absent),
+    the fault-sampling variant is used instead of the schedule-only one. *)
+
+val sampling_cost_durable :
+  kind:Conc.Sampler.kind ->
+  seed:int64 ->
+  budget:int ->
+  Scenarios.durable ->
+  sampling_cost
+(** The durable analogue, sampling system crashes to the scenario's
+    [d_max_crash_depth]. *)
+
+val pp_sampling_cost : Format.formatter -> sampling_cost -> unit

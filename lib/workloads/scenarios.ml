@@ -692,3 +692,5 @@ let all () =
   ]
 
 let find name = List.find_opt (fun s -> String.equal s.name name) (all ())
+let faulty () = List.filter (fun s -> not s.expect_ok) (all ())
+let durable_faulty () = List.filter (fun d -> not d.d_expect_ok) (durable_all ())

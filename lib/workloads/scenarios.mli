@@ -96,6 +96,11 @@ val all : unit -> t list
 val find : string -> t option
 (** Look up by [name]. *)
 
+val faulty : unit -> t list
+(** The [expect_ok = false] subset of {!all}: the deliberately broken
+    objects every detection mode (exhaustive, fault sweep, sampled) must
+    catch. *)
+
 (** {1 Durable scenarios}
 
     Bounded client programs over the durable structures, packaged as
@@ -131,3 +136,6 @@ val faulty_durable_stack : unit -> durable
     (schedule, plan) witness. *)
 
 val durable_all : unit -> durable list
+
+val durable_faulty : unit -> durable list
+(** The [d_expect_ok = false] subset of {!durable_all}. *)
