@@ -19,6 +19,10 @@
                                              regenerates BENCH_parallel.json)
         dune exec bench/main.exe -- sampling (only B15, full budgets,
                                              regenerates BENCH_sampling.json)
+        dune exec bench/main.exe -- serve   (only B16, full budget,
+                                             regenerates BENCH_serve.json)
+        dune exec bench/main.exe -- serve-smoke (B16 at a reduced CI
+                                             budget, same assertions)
         dune exec bench/main.exe -- fuzz    (fixed-seed sampled pass over
                                              every scenario; fails on any
                                              verdict mismatch) *)
@@ -34,6 +38,8 @@ let mode =
   else if Array.exists (fun a -> a = "crash") Sys.argv then `Crash
   else if Array.exists (fun a -> a = "parallel") Sys.argv then `Parallel
   else if Array.exists (fun a -> a = "sampling") Sys.argv then `Sampling
+  else if Array.exists (fun a -> a = "serve-smoke") Sys.argv then `Serve_smoke
+  else if Array.exists (fun a -> a = "serve") Sys.argv then `Serve
   else if Array.exists (fun a -> a = "fuzz") Sys.argv then `Fuzz
   else `Full
 
@@ -820,6 +826,173 @@ let figure_sampling () =
   close_out oc;
   Fmt.pr "# rows written to BENCH_sampling.json@."
 
+(* B16 — the streaming monitor service (lib/service): sustained ingest
+   rate and verdict latency with >= 1000 concurrent object sessions.
+   Three cells:
+   - "sequential": one fetch-and-add counter per session, one round =
+     every session invokes, then every session responds — so all windows
+     are live at the round's midpoint and the retained-action load really
+     reaches the session count; every response closes a quiescent point
+     on the sequential fast path;
+   - "concurrent": one exchanger per session fed overlapping swap pairs,
+     so every verdict is an exhaustive resume-from-committed check;
+   - "overload": the sequential traffic against a memory budget that is
+     deliberately ~8x too small, driving the degradation ladder to
+     count-only mid-stream.
+   Wall-clock timing, hence Unix.gettimeofday (see the B14 note). *)
+let figure_serve ~reduced () =
+  Fmt.pr "@.# B16: streaming monitor service (%s)@."
+    (if reduced then "reduced CI budget" else "full budget");
+  let spec_for oid =
+    let name = Ids.Oid.to_string oid in
+    if String.length name > 0 && name.[0] = 'E' then
+      Some (Spec_exchanger.spec ~oid ())
+    else Some (Spec_counter.spec ~oid ())
+  in
+  let mk config =
+    match Service.Core.create ~config ~spec_for () with
+    | Ok t -> t
+    | Error m -> Fmt.failwith "serve bench: config rejected: %s" m
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.
+    else
+      let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+      sorted.(max 0 (min (n - 1) rank))
+  in
+  (* Feed every frame; individually time the ones flagged as verdict
+     frames (the responses that close a quiescent point). *)
+  let drive core frames =
+    let lats = ref [] in
+    let t0 = Unix.gettimeofday () in
+    let core =
+      List.fold_left
+        (fun core (frame, timed) ->
+          if timed then (
+            let t1 = Unix.gettimeofday () in
+            let core, _ = Service.Core.feed core (Service.Proto.Line frame) in
+            lats := (Unix.gettimeofday () -. t1) *. 1e6 :: !lats;
+            core)
+          else fst (Service.Core.feed core (Service.Proto.Line frame)))
+        core frames
+    in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let arr = Array.of_list !lats in
+    Array.sort compare arr;
+    (core, elapsed, arr)
+  in
+  let row ~cell ~sessions core elapsed lats =
+    let m = Service.Core.metrics core in
+    let ops = m.Service.Core.ops in
+    let ops_per_sec = float_of_int ops /. elapsed in
+    let p50 = percentile lats 0.50 and p99 = percentile lats 0.99 in
+    let level = Service.Proto.level_to_string (Service.Core.level core) in
+    Fmt.pr
+      "%-12s %6d sessions %8d ops %10.0f ops/s  p50 %8.1fus  p99 %8.1fus  \
+       level=%-10s changes=%d desyncs=%d@."
+      cell sessions ops ops_per_sec p50 p99 level
+      m.Service.Core.level_changes m.Service.Core.desyncs;
+    ( cell,
+      sessions,
+      ops,
+      elapsed,
+      ops_per_sec,
+      p50,
+      p99,
+      level,
+      m.Service.Core.level_changes,
+      m.Service.Core.desyncs )
+  in
+  let counter_rounds ~sessions ~rounds =
+    List.concat
+      (List.init rounds (fun r ->
+           List.init sessions (fun i ->
+               (Printf.sprintf "t1 inv S%d.incr ()" i, false))
+           @ List.init sessions (fun i ->
+               (Printf.sprintf "t1 res S%d.incr %d" i r, true))))
+  in
+  let sessions = if reduced then 1000 else 2000 in
+  let sequential =
+    let rounds = if reduced then 6 else 40 in
+    let config =
+      {
+        Service.Config.default with
+        max_sessions = sessions + 8;
+        memory_budget = 4 * sessions;
+      }
+    in
+    let core, elapsed, lats =
+      drive (mk config) (counter_rounds ~sessions ~rounds)
+    in
+    row ~cell:"sequential" ~sessions core elapsed lats
+  in
+  let concurrent =
+    let ex_sessions = if reduced then 128 else 256 in
+    let rounds = if reduced then 4 else 16 in
+    let config =
+      {
+        Service.Config.default with
+        max_sessions = ex_sessions + 8;
+        memory_budget = 8 * ex_sessions;
+      }
+    in
+    let frames =
+      List.concat
+        (List.init rounds (fun _ ->
+             List.concat
+               (List.init ex_sessions (fun i ->
+                    let o = Printf.sprintf "E%d" i in
+                    [
+                      (Printf.sprintf "t1 inv %s.exchange 1" o, false);
+                      (Printf.sprintf "t2 inv %s.exchange 2" o, false);
+                      (Printf.sprintf "t1 res %s.exchange (true, 2)" o, false);
+                      (Printf.sprintf "t2 res %s.exchange (true, 1)" o, true);
+                    ]))))
+    in
+    let core, elapsed, lats = drive (mk config) frames in
+    row ~cell:"concurrent" ~sessions:ex_sessions core elapsed lats
+  in
+  let overload =
+    let config =
+      {
+        Service.Config.default with
+        max_sessions = sessions + 8;
+        memory_budget = max Service.Config.default.window_max (sessions / 8);
+      }
+    in
+    let core, elapsed, lats =
+      drive (mk config) (counter_rounds ~sessions ~rounds:3)
+    in
+    row ~cell:"overload" ~sessions core elapsed lats
+  in
+  let level_of (_, _, _, _, _, _, _, level, _, _) = level in
+  if level_of sequential <> "full" then
+    Fmt.failwith
+      "serve bench: sequential cell degraded to %s (budget should hold)"
+      (level_of sequential);
+  if level_of overload = "full" then
+    Fmt.failwith "serve bench: overload cell never left the full level";
+  let rows = [ sequential; concurrent; overload ] in
+  let oc = open_out "BENCH_serve.json" in
+  let json_row
+      (cell, sessions, ops, elapsed, ops_per_sec, p50, p99, level, changes,
+       desyncs) =
+    Printf.sprintf
+      "    {\"cell\": %S, \"sessions\": %d, \"ops\": %d, \"elapsed_s\": \
+       %.4f, \"ops_per_sec\": %.0f, \"p50_verdict_us\": %.2f, \
+       \"p99_verdict_us\": %.2f, \"level\": %S, \"level_changes\": %d, \
+       \"desyncs\": %d}"
+      cell sessions ops elapsed ops_per_sec p50 p99 level changes desyncs
+  in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"streaming_service\",\n  \"reduced\": %b,\n  \
+     \"rows\": [\n%s\n  ]\n}\n"
+    reduced
+    (String.concat ",\n" (List.map json_row rows));
+  close_out oc;
+  Fmt.pr "# rows written to BENCH_serve.json@."
+
 (* The fuzz pass (make fuzz-smoke): one fixed-seed sampled check per
    scenario — every positive must come out clean, every faulty one must be
    detected, within the per-class budget. Prints the first minimized
@@ -914,6 +1087,14 @@ let () =
       Fmt.pr "== CAL benchmark harness (sampled-checking figure) ==@.";
       figure_sampling ();
       Fmt.pr "@.done.@."
+  | `Serve ->
+      Fmt.pr "== CAL benchmark harness (streaming-service figure) ==@.";
+      figure_serve ~reduced:false ();
+      Fmt.pr "@.done.@."
+  | `Serve_smoke ->
+      Fmt.pr "== CAL benchmark harness (streaming-service figure, reduced) ==@.";
+      figure_serve ~reduced:true ();
+      Fmt.pr "@.done.@."
   | `Fuzz -> fuzz_pass ()
   | `Faults | `Smoke ->
       Fmt.pr "== CAL benchmark harness (%s: fault + timeout figures) ==@."
@@ -937,6 +1118,7 @@ let () =
       figure_crash ();
       figure_parallel ();
       figure_sampling ();
+      figure_serve ~reduced:quick ();
       figure_verification_cost ();
       figure_bug_depth ();
       Fmt.pr "@.done.@."

@@ -293,6 +293,167 @@ let outline_cmd =
        ~doc:"Check Fig. 1's proof-outline assertions over all interleavings")
     Term.(ret (const run $ values $ bound))
 
+(* ----------------------------------------------------------------- serve *)
+
+(* The streaming front-end is a thin shell around the pure [Service.Core]
+   state machine: read frames line by line, print each event line,
+   optionally interleave logical ticks, snapshot on exit. Everything
+   interesting — containment, degradation, eviction — lives in the core
+   and is exercised under dune runtest; this loop only does IO. *)
+
+let spec_builder_by_name name =
+  match name with
+  | "exchanger" -> Ok (fun oid -> Spec_exchanger.spec ~oid ())
+  | "stack" -> Ok (fun oid -> Spec_stack.spec ~oid ())
+  | "stack-spurious" ->
+      Ok (fun oid -> Spec_stack.spec ~oid ~allow_spurious_failure:true ())
+  | "queue" -> Ok (fun oid -> Spec_queue.spec ~oid ())
+  | "register" -> Ok (fun oid -> Spec_register.spec ~oid ())
+  | "counter" -> Ok (fun oid -> Spec_counter.spec ~oid ())
+  | "sync-queue" -> Ok (fun oid -> Spec_sync_queue.spec ~oid ())
+  | _ ->
+      Error
+        (`Msg
+          (Fmt.str
+             "unknown spec %S (one of exchanger, stack, stack-spurious, queue, \
+              register, counter, sync-queue)"
+             name))
+
+let serve_cmd =
+  let spec_arg =
+    let builder_conv =
+      Arg.conv
+        ( (fun s -> spec_builder_by_name s),
+          fun ppf (_ : Ids.Oid.t -> Spec.t) -> Fmt.string ppf "<spec>" )
+    in
+    Arg.(
+      value
+      & opt builder_conv (fun oid -> Spec_counter.spec ~oid ())
+      & info [ "spec" ] ~docv:"SPEC"
+          ~doc:"Specification instantiated per object id (default counter)")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"STREAM-FILE" ~doc:"Frame stream; default: stdin")
+  in
+  let tick_every =
+    Arg.(
+      value & opt int 0
+      & info [ "tick-every" ] ~docv:"N"
+          ~doc:"Advance the logical clock after every $(docv) frames (0: never)")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int Service.Config.default.Service.Config.memory_budget
+      & info [ "budget" ] ~docv:"ACTIONS" ~doc:"Retained-action memory budget")
+  in
+  let max_sessions =
+    Arg.(
+      value
+      & opt int Service.Config.default.Service.Config.max_sessions
+      & info [ "max-sessions" ] ~docv:"N" ~doc:"Admission cap on live sessions")
+  in
+  let window_max =
+    Arg.(
+      value
+      & opt int Service.Config.default.Service.Config.window_max
+      & info [ "window-max" ] ~docv:"ACTIONS" ~doc:"Per-session window bound")
+  in
+  let idle_timeout =
+    Arg.(
+      value
+      & opt int Service.Config.default.Service.Config.idle_timeout
+      & info [ "idle-timeout" ] ~docv:"TICKS" ~doc:"Idle-session reap timeout")
+  in
+  let summary =
+    Arg.(value & flag & info [ "summary" ] ~doc:"Print a metrics summary at end of stream")
+  in
+  let snapshot_to =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE" ~doc:"Write a session snapshot at end of stream")
+  in
+  let restore_from =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "restore" ] ~docv:"FILE" ~doc:"Restore a session snapshot before serving")
+  in
+  let run spec_of file tick_every budget max_sessions window_max idle_timeout
+      summary snapshot_to restore_from =
+    let config =
+      {
+        Service.Config.default with
+        Service.Config.memory_budget = budget;
+        max_sessions;
+        window_max;
+        idle_timeout;
+      }
+    in
+    let spec_for oid = Some (spec_of oid) in
+    let cache =
+      Option.map
+        (fun capacity -> Verdict_cache.create ~capacity ())
+        (Tuning.verdict_cache_capacity ())
+    in
+    let core =
+      match restore_from with
+      | None -> Service.Core.create ?cache ~config ~spec_for ()
+      | Some f ->
+          In_channel.with_open_text f In_channel.input_all
+          |> Service.Core.restore ?cache ~config ~spec_for
+    in
+    match core with
+    | Error msg -> `Error (false, msg)
+    | Ok core ->
+        let ic = match file with None -> In_channel.stdin | Some f -> open_in f in
+        let finally () = if file <> None then close_in_noerr ic in
+        Fun.protect ~finally (fun () ->
+            let emit e = print_endline (Service.Proto.print_event e) in
+            let rec loop core n =
+              match In_channel.input_line ic with
+              | None -> core
+              | Some line ->
+                  let core, evs = Service.Core.feed core (Service.Proto.Line line) in
+                  List.iter emit evs;
+                  let core, n =
+                    if tick_every > 0 && (n + 1) mod tick_every = 0 then begin
+                      let core, evs = Service.Core.feed core Service.Proto.Tick in
+                      List.iter emit evs;
+                      (core, n + 1)
+                    end
+                    else (core, n + 1)
+                  in
+                  loop core n
+            in
+            let core = loop core 0 in
+            if summary then
+              pr "summary %a level=%s load=%d sessions=%d@."
+                Service.Core.pp_metrics
+                (Service.Core.metrics core)
+                (Service.Proto.level_to_string (Service.Core.level core))
+                (Service.Core.load core) (Service.Core.session_count core);
+            Option.iter
+              (fun f ->
+                Out_channel.with_open_text f (fun oc ->
+                    Out_channel.output_string oc (Service.Core.snapshot core)))
+              snapshot_to;
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the streaming CAL monitor over a frame stream (one \
+          history-format action per line); prints one event per line")
+    Term.(
+      ret
+        (const run $ spec_arg $ file_arg $ tick_every $ budget $ max_sessions
+       $ window_max $ idle_timeout $ summary $ snapshot_to $ restore_from))
+
 (* ----------------------------------------------------------- experiments *)
 
 let experiments_cmd =
@@ -310,5 +471,5 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [
          list_cmd; verify_cmd; fig3_cmd; check_cmd; explore_cmd; outline_cmd;
-         throughput_cmd; experiments_cmd;
+         throughput_cmd; serve_cmd; experiments_cmd;
        ]))

@@ -4,6 +4,15 @@ open Ids
 
 exception Parse_error of string
 
+(* Adversarial-input bounds. The parsers below are exposed to the network
+   by the streaming service ([Service.Core]), so both the per-line byte
+   budget and the value-nesting depth are hard limits with structured
+   errors: an unbounded line would let one frame hold the whole daemon's
+   memory, and unbounded nesting turns the recursive-descent value parser
+   into a stack overflow (a crash, not an [Error]). *)
+let max_line_length = 4096
+let max_value_depth = 64
+
 type cursor = { text : string; mutable pos : int }
 
 let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
@@ -33,7 +42,12 @@ let eat c s =
   end
   else false
 
-let rec parse_value_at c =
+let rec parse_value_at ?(depth = 0) c =
+  if depth > max_value_depth then
+    raise
+      (Parse_error
+         (Fmt.str "value nesting deeper than %d levels" max_value_depth));
+  let parse_value_at c = parse_value_at ~depth:(depth + 1) c in
   skip_ws c;
   match peek c with
   | None -> raise (Parse_error "expected a value, found end of input")
@@ -94,7 +108,11 @@ let rec parse_value_at c =
       digits ();
       let s = String.sub c.text start (c.pos - start) in
       if s = "" || s = "-" then raise (Parse_error "expected digits");
-      Value.int (int_of_string s)
+      (* [int_of_string] raises [Failure] past [max_int]; a fuzzed digit
+         string must come back as a structured error, not an exception *)
+      (match int_of_string_opt s with
+      | Some n -> Value.int n
+      | None -> raise (Parse_error (Fmt.str "integer out of range: %s" s)))
   | Some ch -> raise (Parse_error (Fmt.str "unexpected character '%c'" ch))
 
 let parse_value s =
@@ -150,18 +168,28 @@ let parse_action line =
       | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
   | _ -> Error "expected: <tid> inv|res <object.method> <value>"
 
+let line_too_long line =
+  if String.length line > max_line_length then
+    Some
+      (Fmt.str "line too long (%d bytes, max %d)" (String.length line)
+         max_line_length)
+  else None
+
 let parse_lines text ~f =
   let lines = String.split_on_char '\n' text in
   let rec go n acc = function
     | [] -> Ok (List.rev acc)
-    | line :: rest ->
-        let body = String.trim (strip_comment line) in
-        if body = "" then go (n + 1) acc rest
-        else begin
-          match f body with
-          | Ok x -> go (n + 1) (x :: acc) rest
-          | Error msg -> Error (Fmt.str "line %d: %s" n msg)
-        end
+    | line :: rest -> (
+        match line_too_long line with
+        | Some msg -> Error (Fmt.str "line %d: %s" n msg)
+        | None ->
+            let body = String.trim (strip_comment line) in
+            if body = "" then go (n + 1) acc rest
+            else begin
+              match f body with
+              | Ok x -> go (n + 1) (x :: acc) rest
+              | Error msg -> Error (Fmt.str "line %d: %s" n msg)
+            end)
   in
   go 1 [] lines
 
@@ -225,6 +253,8 @@ let parse_op_at c ~oid =
 let parse_element line =
   match String.index_opt line ':' with
   | None -> Error "expected 'object: (op) (op) ...'"
+  | Some i when String.trim (String.sub line 0 i) = "" ->
+      Error "empty object name before ':'"
   | Some i -> (
       let oid = Oid.v (String.trim (String.sub line 0 i)) in
       let c = { text = line; pos = i + 1 } in

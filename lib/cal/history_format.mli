@@ -19,11 +19,35 @@
     number, e.g. [crash 1] for the first crash of the run); it round-trips
     with {!Action.Crash}. *)
 
+val max_line_length : int
+(** Hard per-line byte budget (4096) of {!parse_history}, {!parse_trace}
+    and {!parse_action}: a longer line is a structured error, never an
+    unbounded allocation. The streaming service frames its protocol on
+    these lines, so the limit is part of the adversarial-input contract. *)
+
+val max_value_depth : int
+(** Hard nesting-depth budget (64) of the value parser: deeper nesting is
+    a structured error instead of the stack overflow the recursive-descent
+    parser would otherwise hit on input like [\[\[\[\[…]. *)
+
 val parse_value : string -> (Value.t, string) result
 val print_value : Value.t -> string
 
 val parse_history : string -> (History.t, string) result
 (** Parse a whole document. Errors carry the 1-based line number. *)
+
+val line_too_long : string -> string option
+(** [Some reason] when the line exceeds {!max_line_length}; the check the
+    line-oriented parsers apply to every input line, exposed so streaming
+    callers can frame-check before parsing. *)
+
+val parse_action : string -> (Action.t, string) result
+(** Parse one non-empty line of the history format (comment already
+    stripped): an [inv]/[res] action or a [crash <epoch>] marker. Total —
+    every input yields [Ok] or [Error], never an exception — and bounded
+    by {!max_value_depth}; the caller is responsible for
+    {!max_line_length}. This is the frame parser of the streaming
+    service. *)
 
 val print_action : Action.t -> string
 (** One action as one line of the format above (no newline); used by the

@@ -17,3 +17,14 @@ let explore_memo_size ~fuel ~threads =
    the placed-set component alone ranges over subsets of the operations,
    so scale exponentially with the operation count up to a cap. *)
 let checker_table_size ~ops = 1 lsl clamp ~lo:6 ~hi:13 ops
+
+(* The shared verdict cache is unbounded by default — exploration runs
+   are one-shot, and eviction there only buys recomputation. Long-running
+   deployments bound it via the environment. *)
+let verdict_cache_capacity () =
+  match Sys.getenv_opt "CAL_VERDICT_CACHE_CAP" with
+  | None | Some "" -> None
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> Some n
+      | _ -> None)

@@ -14,3 +14,9 @@ val explore_memo_size : fuel:int -> threads:int -> int
 val checker_table_size : ops:int -> int
 (** Initial size for a checker's failed-state memo over [ops]
     operations: [2^ops] clamped to [64, 8192]. *)
+
+val verdict_cache_capacity : unit -> int option
+(** The {!Verdict_cache} capacity bound from [CAL_VERDICT_CACHE_CAP]
+    (a positive integer; unset, empty or invalid means unbounded).
+    Exploration engines stay unbounded by default; long-running services
+    set the variable to cap memo growth. *)

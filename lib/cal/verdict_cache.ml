@@ -6,29 +6,75 @@
    keeps the critical sections short and mostly uncontended; a miss
    computes {e outside} the shard lock, so two domains may occasionally
    both compute the same verdict — harmless, since verdicts are
-   deterministic functions of the key, and the first insert wins. *)
+   deterministic functions of the key, and the first insert wins.
+
+   An optional capacity bounds the cache for long-running callers (the
+   streaming service): each shard gets its slice of the budget and evicts
+   in insertion (FIFO) order. Eviction is verdict-transparent — a later
+   lookup of an evicted key recomputes the same deterministic verdict —
+   so it only costs recomputation, never correctness. *)
 
 type verdict = (unit, string) result
 
-type shard = { lock : Mutex.t; table : (string, verdict) Hashtbl.t }
+type shard = {
+  lock : Mutex.t;
+  table : (string, verdict) Hashtbl.t;
+  order : string Queue.t;  (* insertion order, only kept when bounded *)
+  cap : int option;  (* this shard's slice of the capacity *)
+}
 
 type t = {
   shards : shard array;
   hits : int Atomic.t;
   misses : int Atomic.t;
+  evictions : int Atomic.t;
 }
 
-let create ?(shards = 16) () =
+let create ?(shards = 16) ?capacity () =
+  let shards = max 1 shards in
+  (* Small capacities collapse the shard count (at least 4 entries per
+     shard): sharding exists for lock contention, and slicing a tiny
+     budget 16 ways would let hash skew evict far below the budget. *)
+  let shards =
+    match capacity with Some c -> max 1 (min shards (c / 4)) | None -> shards
+  in
+  let cap i =
+    match capacity with
+    | None -> None
+    | Some c ->
+        let base = max 1 c / shards and extra = max 1 c mod shards in
+        Some (base + if i < extra then 1 else 0)
+  in
   {
     shards =
-      Array.init (max 1 shards) (fun _ ->
-          { lock = Mutex.create (); table = Hashtbl.create 64 });
+      Array.init shards (fun i ->
+          {
+            lock = Mutex.create ();
+            table = Hashtbl.create 64;
+            order = Queue.create ();
+            cap = cap i;
+          });
     hits = Atomic.make 0;
     misses = Atomic.make 0;
+    evictions = Atomic.make 0;
   }
 
 let shard_of t key =
   t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+let insert t s key v =
+  if not (Hashtbl.mem s.table key) then begin
+    Hashtbl.add s.table key v;
+    match s.cap with
+    | None -> ()
+    | Some cap ->
+        Queue.push key s.order;
+        while Hashtbl.length s.table > cap do
+          let victim = Queue.pop s.order in
+          Hashtbl.remove s.table victim;
+          Atomic.incr t.evictions
+        done
+  end
 
 let find_or_compute t ~key compute =
   let s = shard_of t key in
@@ -43,12 +89,13 @@ let find_or_compute t ~key compute =
       let v = compute () in
       Atomic.incr t.misses;
       Mutex.lock s.lock;
-      if not (Hashtbl.mem s.table key) then Hashtbl.add s.table key v;
+      insert t s key v;
       Mutex.unlock s.lock;
       v
 
 let hits t = Atomic.get t.hits
 let misses t = Atomic.get t.misses
+let evictions t = Atomic.get t.evictions
 
 let size t =
   Array.fold_left (fun n s -> n + Hashtbl.length s.table) 0 t.shards

@@ -20,9 +20,16 @@ type verdict = (unit, string) result
 
 type t
 
-val create : ?shards:int -> unit -> t
+val create : ?shards:int -> ?capacity:int -> unit -> t
 (** A fresh empty cache with [shards] (default 16) independently locked
-    shards. *)
+    shards. [capacity] bounds the total number of stored verdicts:
+    each shard evicts beyond its slice of the budget in insertion (FIFO)
+    order. Eviction is verdict-transparent — re-lookups recompute the
+    same deterministic verdict — so bounding only trades recomputation
+    for memory; long-running callers (the streaming service) should
+    bound, one-shot exploration need not. Small capacities reduce the
+    shard count (each shard keeps at least four slots) so hash skew
+    cannot evict far below the budget. *)
 
 val find_or_compute : t -> key:string -> (unit -> verdict) -> verdict
 (** [find_or_compute t ~key compute] returns the cached verdict for
@@ -35,6 +42,9 @@ val hits : t -> int
 
 val misses : t -> int
 (** Lookups that ran [compute]. *)
+
+val evictions : t -> int
+(** Entries dropped to stay within [capacity] (0 when unbounded). *)
 
 val size : t -> int
 (** Distinct keys currently stored. *)

@@ -1,0 +1,52 @@
+type t = {
+  max_sessions : int;
+  max_pending : int;
+  window_max : int;
+  memory_budget : int;
+  hi_watermark : float;
+  lo_watermark : float;
+  cooldown : int;
+  sample_period : int;
+  idle_timeout : int;
+  max_evicted_remembered : int;
+}
+
+let default =
+  {
+    max_sessions = 4096;
+    max_pending = 16;
+    window_max = 48;
+    memory_budget = 65_536;
+    hi_watermark = 0.75;
+    lo_watermark = 0.25;
+    cooldown = 4;
+    sample_period = 4;
+    idle_timeout = 64;
+    max_evicted_remembered = 16_384;
+  }
+
+(* The exhaustive checker refuses histories past 62 operations, and a
+   window of [n] actions holds at most [n] operations (an op is two
+   actions, but every pending invocation is a single one). Clamping here
+   keeps [Session]'s overflow check always legal. *)
+let checker_op_limit = 62
+
+let validate t =
+  if t.max_sessions < 1 then Error "max_sessions must be >= 1"
+  else if t.max_pending < 1 then Error "max_pending must be >= 1"
+  else if t.window_max < 2 then Error "window_max must be >= 2"
+  else if t.window_max > checker_op_limit then
+    Error (Fmt.str "window_max must be <= %d (checker op limit)" checker_op_limit)
+  else if t.max_pending > t.window_max then
+    Error "max_pending must be <= window_max"
+  else if t.memory_budget < t.window_max then
+    Error "memory_budget must be >= window_max"
+  else if not (0. < t.lo_watermark && t.lo_watermark < t.hi_watermark
+               && t.hi_watermark <= 1.) then
+    Error "watermarks must satisfy 0 < lo < hi <= 1"
+  else if t.cooldown < 0 then Error "cooldown must be >= 0"
+  else if t.sample_period < 1 then Error "sample_period must be >= 1"
+  else if t.idle_timeout < 1 then Error "idle_timeout must be >= 1"
+  else if t.max_evicted_remembered < 0 then
+    Error "max_evicted_remembered must be >= 0"
+  else Ok t

@@ -1,0 +1,44 @@
+(** Tuning knobs of the streaming monitor core.
+
+    Every limit is logical (counted in frames, actions and ticks), so the
+    whole state machine — admission, trimming, degradation, reaping — runs
+    deterministically under [dune runtest] with no wall clock anywhere. *)
+
+type t = {
+  max_sessions : int;
+      (** admission cap: frames for a new object beyond this many live
+          sessions are rejected with a structured error *)
+  max_pending : int;
+      (** per-session cap on simultaneously pending invocations; protects
+          against stuck streams that invoke and never respond *)
+  window_max : int;
+      (** per-session cap on retained (uncommitted) actions; reaching it
+          triggers the overflow path: one final verdict on the window,
+          then the session degrades to count-only until the next era *)
+  memory_budget : int;
+      (** global budget on retained actions across all sessions; the
+          degradation ladder is driven by load relative to this budget *)
+  hi_watermark : float;  (** degrade one level when load >= hi * budget *)
+  lo_watermark : float;  (** upgrade one level when load <= lo * budget *)
+  cooldown : int;
+      (** ticks that must pass after a level change before the ladder may
+          move up again (hysteresis against oscillation) *)
+  sample_period : int;
+      (** under [Sampled] degradation, concurrent windows run the
+          exhaustive checker only every this-many quiescent points *)
+  idle_timeout : int;
+      (** sessions with no frame for this many ticks are reaped *)
+  max_evicted_remembered : int;
+      (** cap on the set of evicted object ids remembered so their
+          re-admission starts conservatively; past the cap {e every} new
+          session starts conservatively instead *)
+}
+
+val default : t
+
+val checker_op_limit : int
+(** Operation cap of {!Cal.Cal_checker.check}; [window_max] must stay at
+    or below it. *)
+
+val validate : t -> (t, string) result
+(** Reject inconsistent knob combinations with a structured error. *)

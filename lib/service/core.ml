@@ -1,0 +1,494 @@
+open Cal
+
+module Oid_map = Map.Make (struct
+  type t = Ids.Oid.t
+
+  let compare = Ids.Oid.compare
+end)
+
+module Oid_set = Set.Make (struct
+  type t = Ids.Oid.t
+
+  let compare = Ids.Oid.compare
+end)
+
+type metrics = {
+  frames : int;
+  rejected_frames : int;
+  ops : int;
+  commits : int;
+  violations : int;
+  crashes : int;
+  ticks : int;
+  sessions_created : int;
+  sessions_evicted : int;
+  desyncs : int;
+  level_changes : int;
+}
+
+let zero_metrics =
+  {
+    frames = 0;
+    rejected_frames = 0;
+    ops = 0;
+    commits = 0;
+    violations = 0;
+    crashes = 0;
+    ticks = 0;
+    sessions_created = 0;
+    sessions_evicted = 0;
+    desyncs = 0;
+    level_changes = 0;
+  }
+
+let pp_metrics ppf m =
+  Fmt.pf ppf
+    "frames=%d rejected=%d ops=%d commits=%d violations=%d crashes=%d \
+     ticks=%d created=%d evicted=%d desyncs=%d level-changes=%d"
+    m.frames m.rejected_frames m.ops m.commits m.violations m.crashes m.ticks
+    m.sessions_created m.sessions_evicted m.desyncs m.level_changes
+
+type t = {
+  config : Config.t;
+  spec_for : Ids.Oid.t -> Spec.t option;
+  cache : Verdict_cache.t option;
+  sessions : Session.t Oid_map.t;
+  level : Proto.level;
+  load : int;  (* total retained window actions across sessions *)
+  clock : int;
+  last_level_change : int;
+  evicted : Oid_set.t;  (* evicted oids, readmitted conservatively *)
+  unknown_history : bool;  (* evicted-set overflowed: distrust every oid *)
+  metrics : metrics;
+}
+
+let create ?cache ~config ~spec_for () =
+  Result.map
+    (fun config ->
+      {
+        config;
+        spec_for;
+        cache;
+        sessions = Oid_map.empty;
+        level = Proto.Full;
+        load = 0;
+        clock = 0;
+        last_level_change = 0;
+        evicted = Oid_set.empty;
+        unknown_history = false;
+        metrics = zero_metrics;
+      })
+    (Config.validate config)
+
+let level t = t.level
+let load t = t.load
+let clock t = t.clock
+let metrics t = t.metrics
+let session t oid = Oid_map.find_opt oid t.sessions
+let session_count t = Oid_map.cardinal t.sessions
+
+(* ------------------------------------------------ degradation ladder -- *)
+
+let over t frac =
+  float_of_int t.load >= frac *. float_of_int t.config.Config.memory_budget
+
+let set_level t level =
+  {
+    t with
+    level;
+    last_level_change = t.clock;
+    metrics = { t.metrics with level_changes = t.metrics.level_changes + 1 };
+  }
+
+(* Entering count-only drops every retained window in one sweep — the
+   memory shed. Per-session desync events are folded into the single
+   [Level_change] (a mass shed would emit thousands of lines). *)
+let enter_count_only t =
+  let desyncs = ref 0 in
+  let sessions =
+    Oid_map.map
+      (fun s ->
+        let s', evs = Session.shed s ~reason:"count-only degradation" in
+        if evs <> [] || Session.is_desynced s' <> Session.is_desynced s then
+          incr desyncs;
+        s')
+      t.sessions
+  in
+  let t = set_level { t with sessions; load = 0 } Proto.Count_only in
+  { t with metrics = { t.metrics with desyncs = t.metrics.desyncs + !desyncs } }
+
+let rec degrade t events =
+  match t.level with
+  | Proto.Full when over t t.config.Config.hi_watermark ->
+      let t = set_level t Proto.Sampled in
+      degrade t
+        (Proto.Level_change { level = t.level; load = t.load } :: events)
+  | Proto.Sampled when over t 1.0 ->
+      let t = enter_count_only t in
+      degrade t
+        (Proto.Level_change { level = t.level; load = t.load } :: events)
+  | _ -> (t, events)
+
+let upgrade t =
+  let under =
+    float_of_int t.load
+    <= t.config.Config.lo_watermark *. float_of_int t.config.Config.memory_budget
+  in
+  if
+    Proto.level_order t.level > 0
+    && under
+    && t.clock - t.last_level_change >= t.config.Config.cooldown
+  then
+    let next =
+      match t.level with
+      | Proto.Count_only -> Proto.Sampled
+      | _ -> Proto.Full
+    in
+    let t = set_level t next in
+    (t, [ Proto.Level_change { level = next; load = t.load } ])
+  else (t, [])
+
+(* -------------------------------------------------------- admission -- *)
+
+let remember_evicted t oid =
+  let evicted = Oid_set.add oid t.evicted in
+  if Oid_set.cardinal evicted > t.config.Config.max_evicted_remembered then
+    (* Past the cap the set can no longer prove an oid was never seen:
+       drop it and distrust every future admission instead. *)
+    { t with evicted = Oid_set.empty; unknown_history = true }
+  else { t with evicted }
+
+let evict t oid ~reason =
+  match Oid_map.find_opt oid t.sessions with
+  | None -> (t, [])
+  | Some s ->
+      let t =
+        {
+          t with
+          sessions = Oid_map.remove oid t.sessions;
+          load = t.load - Session.window_len s;
+          metrics =
+            {
+              t.metrics with
+              sessions_evicted = t.metrics.sessions_evicted + 1;
+            };
+        }
+      in
+      (remember_evicted t oid, [ Proto.Session_evicted { oid; reason } ])
+
+(* Under admission pressure a desynced session (pure counter, no window)
+   is the cheapest thing to sacrifice: least-recently-active first, oid
+   as the deterministic tie-break. *)
+let shed_for_admission t =
+  let victim =
+    Oid_map.fold
+      (fun oid s best ->
+        if not (Session.is_desynced s) then best
+        else
+          match best with
+          | Some (_, bs) when Session.last_active bs <= Session.last_active s
+            ->
+              best
+          | _ -> Some (oid, s))
+      t.sessions None
+  in
+  match victim with
+  | None -> None
+  | Some (oid, _) ->
+      Some (evict t oid ~reason:Proto.Admission_pressure)
+
+let admit t oid =
+  match t.spec_for oid with
+  | None -> Error (Fmt.str "unknown object %a" Ids.Oid.pp oid)
+  | Some spec ->
+      let full = Oid_map.cardinal t.sessions >= t.config.Config.max_sessions in
+      let shed = if full then shed_for_admission t else None in
+      let t, evs =
+        match shed with Some (t, evs) -> (t, evs) | None -> (t, [])
+      in
+      if Oid_map.cardinal t.sessions >= t.config.Config.max_sessions then
+        Error
+          (Fmt.str "session table full (max %d)" t.config.Config.max_sessions)
+      else
+        let fresh =
+          (not t.unknown_history)
+          && (not (Oid_set.mem oid t.evicted))
+          && t.level <> Proto.Count_only
+        in
+        let s = Session.create ~oid ~spec ~now:t.clock ~fresh in
+        let evs =
+          if fresh then evs
+          else
+            evs
+            @ [
+                Proto.Session_desynced
+                  { oid; reason = "admitted with unknown prior history" };
+              ]
+        in
+        let t =
+          {
+            t with
+            sessions = Oid_map.add oid s t.sessions;
+            metrics =
+              {
+                t.metrics with
+                sessions_created = t.metrics.sessions_created + 1;
+                desyncs = (t.metrics.desyncs + if fresh then 0 else 1);
+              };
+          }
+        in
+        Ok (t, s, evs)
+
+(* ---------------------------------------------------------- feeding -- *)
+
+let reject t ~frame reason =
+  ( {
+      t with
+      metrics =
+        { t.metrics with rejected_frames = t.metrics.rejected_frames + 1 };
+    },
+    [ Proto.Rejected_frame { frame; reason } ] )
+
+let count_events t evs =
+  let m =
+    List.fold_left
+      (fun m -> function
+        | Proto.Committed _ -> { m with commits = m.commits + 1 }
+        | Proto.Violation _ -> { m with violations = m.violations + 1 }
+        | Proto.Session_desynced _ -> { m with desyncs = m.desyncs + 1 }
+        | _ -> m)
+      t.metrics evs
+  in
+  { t with metrics = m }
+
+let feed_action t ~frame action =
+  let oid = Action.oid action in
+  let admitted =
+    match Oid_map.find_opt oid t.sessions with
+    | Some s -> Ok (t, s, [])
+    | None -> admit t oid
+  in
+  match admitted with
+  | Error reason -> reject t ~frame reason
+  | Ok (t, s, admit_evs) -> (
+      match
+        Session.feed ~config:t.config ~level:t.level ?cache:t.cache
+          ~now:t.clock s action
+      with
+      | Error reason ->
+          (* The frame is rejected but the (possibly just-admitted)
+             session stays — containment means the stream survives its
+             own bad frames. *)
+          let t, evs = reject t ~frame reason in
+          (t, admit_evs @ evs)
+      | Ok (s', evs) ->
+          let t =
+            {
+              t with
+              sessions = Oid_map.add oid s' t.sessions;
+              load = t.load - Session.window_len s + Session.window_len s';
+              metrics =
+                {
+                  t.metrics with
+                  ops = t.metrics.ops + (Session.ops s' - Session.ops s);
+                };
+            }
+          in
+          let t = count_events t evs in
+          let t, ladder_evs = degrade t [] in
+          (t, admit_evs @ evs @ List.rev ladder_evs))
+
+let feed_crash t ~epoch =
+  let sessions = Oid_map.map Session.crash t.sessions in
+  (* Every object rebooted, so prior-history distrust is moot: evicted
+     oids may be readmitted fresh. *)
+  ( {
+      t with
+      sessions;
+      load = 0;
+      evicted = Oid_set.empty;
+      unknown_history = false;
+      metrics = { t.metrics with crashes = t.metrics.crashes + 1 };
+    },
+    [ Proto.Crash_seen { epoch } ] )
+
+let feed_line t line =
+  let t = { t with metrics = { t.metrics with frames = t.metrics.frames + 1 } } in
+  let frame = t.metrics.frames in
+  let go () =
+    match History_format.line_too_long line with
+    | Some reason -> reject t ~frame reason
+    | None -> (
+        let body =
+          String.trim
+            (match String.index_opt line '#' with
+            | Some i -> String.sub line 0 i
+            | None -> line)
+        in
+        if body = "" then (t, [])
+        else
+          match History_format.parse_action body with
+          | Error reason -> reject t ~frame reason
+          | Ok (Action.Crash { epoch }) -> feed_crash t ~epoch
+          | Ok action -> feed_action t ~frame action)
+  in
+  (* Last-resort containment: [feed] is pure, so an escaped exception has
+     changed nothing — the frame is rejected and the daemon state stands. *)
+  try go ()
+  with exn ->
+    reject t ~frame (Fmt.str "internal error: %s" (Printexc.to_string exn))
+
+let reap t =
+  let cutoff = t.clock - t.config.Config.idle_timeout in
+  let idle =
+    Oid_map.fold
+      (fun oid s acc ->
+        (* Latched sessions are retained: they hold no window memory and
+           their violation record must survive until a snapshot. *)
+        if Session.last_active s <= cutoff && Session.latched s = None then
+          oid :: acc
+        else acc)
+      t.sessions []
+    |> List.rev
+  in
+  List.fold_left
+    (fun (t, evs) oid ->
+      let t, e = evict t oid ~reason:Proto.Idle in
+      (t, evs @ e))
+    (t, []) idle
+
+let tick t =
+  let t =
+    {
+      t with
+      clock = t.clock + 1;
+      metrics = { t.metrics with ticks = t.metrics.ticks + 1 };
+    }
+  in
+  let t, reap_evs = reap t in
+  let t, up_evs = upgrade t in
+  (t, reap_evs @ up_evs)
+
+let feed t = function
+  | Proto.Line line -> feed_line t line
+  | Proto.Tick -> tick t
+
+(* ------------------------------------------------ snapshot / restore -- *)
+
+let snapshot t =
+  let b = Buffer.create 1024 in
+  let line fmt = Fmt.kstr (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "calserve-snapshot v1";
+  line "clock %d" t.clock;
+  line "frames %d" t.metrics.frames;
+  line "level %s" (Proto.level_to_string t.level);
+  line "unknown-history %b" t.unknown_history;
+  Oid_set.iter (fun oid -> line "evicted %a" Ids.Oid.pp oid) t.evicted;
+  Oid_map.iter
+    (fun oid s ->
+      match Session.latched s with
+      | Some (op, reason) ->
+          line "session %a ops=%d era=%d latched op=%d reason=%s" Ids.Oid.pp
+            oid (Session.ops s) (Session.era s) op (Proto.one_line reason)
+      | None ->
+          line "session %a ops=%d era=%d ok" Ids.Oid.pp oid (Session.ops s)
+            (Session.era s))
+    t.sessions;
+  line "end";
+  Buffer.contents b
+
+let int_field ~name s =
+  let prefix = name ^ "=" in
+  let n = String.length prefix in
+  if String.length s > n && String.sub s 0 n = prefix then
+    int_of_string_opt (String.sub s n (String.length s - n))
+  else None
+
+let restore ?cache ~config ~spec_for text =
+  let ( let* ) = Result.bind in
+  let* base = create ?cache ~config ~spec_for () in
+  let err fmt = Fmt.kstr (fun s -> Error s) fmt in
+  let parse_session t line rest =
+    match rest with
+    | oid_s :: fields -> (
+        let* oid =
+          match Ids.Oid.v oid_s with
+          | oid -> Ok oid
+          | exception Invalid_argument m -> err "%s: %s" line m
+        in
+        let* spec =
+          match spec_for oid with
+          | Some spec -> Ok spec
+          | None -> err "%s: unknown object in snapshot" line
+        in
+        match fields with
+        | [ ops_s; era_s; "ok" ] -> (
+            match (int_field ~name:"ops" ops_s, int_field ~name:"era" era_s)
+            with
+            | Some ops, Some era ->
+                let s = Session.of_snapshot ~oid ~spec ~now:t.clock ~ops ~era None in
+                Ok { t with sessions = Oid_map.add oid s t.sessions }
+            | _ -> err "%s: bad session fields" line)
+        | ops_s :: era_s :: "latched" :: op_s :: rest -> (
+            let reason =
+              let joined = String.concat " " rest in
+              let prefix = "reason=" in
+              let n = String.length prefix in
+              if String.length joined >= n && String.sub joined 0 n = prefix
+              then Some (String.sub joined n (String.length joined - n))
+              else None
+            in
+            match
+              ( int_field ~name:"ops" ops_s,
+                int_field ~name:"era" era_s,
+                int_field ~name:"op" op_s,
+                reason )
+            with
+            | Some ops, Some era, Some op, Some reason ->
+                let s =
+                  Session.of_snapshot ~oid ~spec ~now:t.clock ~ops ~era
+                    (Some (op, reason))
+                in
+                Ok { t with sessions = Oid_map.add oid s t.sessions }
+            | _ -> err "%s: bad latched session fields" line)
+        | _ -> err "%s: bad session line" line)
+    | [] -> err "%s: session line without an object" line
+  in
+  let parse_line t line =
+    let parts =
+      String.split_on_char ' ' (String.trim line)
+      |> List.filter (fun s -> s <> "")
+    in
+    match parts with
+    | [] | [ "end" ] -> Ok t
+    | [ "clock"; n ] -> (
+        match int_of_string_opt n with
+        | Some clock -> Ok { t with clock; last_level_change = clock }
+        | None -> err "bad clock %S" n)
+    | [ "frames"; n ] -> (
+        match int_of_string_opt n with
+        | Some frames -> Ok { t with metrics = { t.metrics with frames } }
+        | None -> err "bad frame count %S" n)
+    | [ "level"; l ] -> (
+        match Proto.level_of_string l with
+        | Some level -> Ok { t with level }
+        | None -> err "bad level %S" l)
+    | [ "unknown-history"; b ] -> (
+        match bool_of_string_opt b with
+        | Some unknown_history -> Ok { t with unknown_history }
+        | None -> err "bad unknown-history flag %S" b)
+    | [ "evicted"; oid_s ] -> (
+        match Ids.Oid.v oid_s with
+        | oid -> Ok { t with evicted = Oid_set.add oid t.evicted }
+        | exception Invalid_argument m -> err "bad evicted line: %s" m)
+    | "session" :: rest -> parse_session t line rest
+    | _ -> err "unrecognised snapshot line %S" line
+  in
+  match String.split_on_char '\n' text with
+  | "calserve-snapshot v1" :: rest ->
+      List.fold_left
+        (fun acc line ->
+          let* t = acc in
+          parse_line t line)
+        (Ok base) rest
+  | _ -> Error "not a calserve snapshot (missing v1 header)"

@@ -1,0 +1,80 @@
+(** The streaming monitor core: a pure, deterministic state machine over
+    {!Proto.input} frames.
+
+    The core shards one {!Session} per object id, routes every parsed
+    action to its session, and contains every failure to the frame that
+    caused it: a malformed, over-long, unknown-object or
+    protocol-misusing frame produces a {!Proto.Rejected_frame} reply and
+    changes nothing else — including a last-resort handler that turns an
+    escaped exception into a rejected frame (legal because [feed] is
+    pure: an exception cannot have mutated anything).
+
+    Robustness machinery, all on the logical clock ({!Proto.Tick}):
+    - {b admission}: at most [max_sessions] live sessions; under pressure
+      a desynced session is evicted first, then frames are rejected;
+    - {b reaping}: idle sessions are evicted after [idle_timeout] ticks
+      (latched ones are retained — their violation must survive into a
+      snapshot); evicted oids are remembered and readmitted
+      conservatively, with a capacity cap that flips to global distrust;
+    - {b degradation ladder}: retained-action load against
+      [memory_budget] moves Full → Sampled → Count-only (shedding every
+      window on the last step) and back up one level per cooldown once
+      load falls below the low watermark;
+    - {b snapshot/restore}: a printable dump that survives a daemon
+      crash; latched violations are restored verbatim, healthy sessions
+      restart conservatively (the monitored objects did not crash). *)
+
+type t
+
+type metrics = {
+  frames : int;
+  rejected_frames : int;
+  ops : int;
+  commits : int;
+  violations : int;
+  crashes : int;
+  ticks : int;
+  sessions_created : int;
+  sessions_evicted : int;
+  desyncs : int;
+  level_changes : int;
+}
+
+val create :
+  ?cache:Cal.Verdict_cache.t ->
+  config:Config.t ->
+  spec_for:(Cal.Ids.Oid.t -> Cal.Spec.t option) ->
+  unit ->
+  (t, string) result
+(** [spec_for] maps each object id to its specification instance (it
+    must own the id); [None] makes frames for that object structured
+    errors. [cache] memoises overflow verdicts across sessions. *)
+
+val feed : t -> Proto.input -> t * Proto.event list
+(** The single step function; total — never raises. *)
+
+val level : t -> Proto.level
+val load : t -> int
+val clock : t -> int
+val metrics : t -> metrics
+val session : t -> Cal.Ids.Oid.t -> Session.t option
+val session_count : t -> int
+val pp_metrics : Format.formatter -> metrics -> unit
+
+val snapshot : t -> string
+(** A stable, line-oriented dump of the recoverable state: clock, level,
+    eviction memory, and per-session operation counts, eras and latched
+    violations. Retained windows are deliberately not serialised —
+    acceptor closures cannot be, which is why restore has era-reset
+    semantics. *)
+
+val restore :
+  ?cache:Cal.Verdict_cache.t ->
+  config:Config.t ->
+  spec_for:(Cal.Ids.Oid.t -> Cal.Spec.t option) ->
+  string ->
+  (t, string) result
+(** Rebuild a core from {!snapshot} output. Latched violations are
+    preserved verbatim; every other restored session is desynced until
+    the next crash marker opens a fresh era. Malformed snapshots are
+    structured errors. *)

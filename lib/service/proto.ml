@@ -1,0 +1,51 @@
+open Cal
+
+type level = Full | Sampled | Count_only
+
+let level_order = function Full -> 0 | Sampled -> 1 | Count_only -> 2
+
+let level_to_string = function
+  | Full -> "full"
+  | Sampled -> "sampled"
+  | Count_only -> "count-only"
+
+let level_of_string = function
+  | "full" -> Some Full
+  | "sampled" -> Some Sampled
+  | "count-only" -> Some Count_only
+  | _ -> None
+
+type input = Line of string | Tick
+
+type evict_reason = Idle | Admission_pressure
+
+type event =
+  | Committed of { oid : Ids.Oid.t; ops : int }
+  | Violation of { oid : Ids.Oid.t; op : int; reason : string }
+  | Rejected_frame of { frame : int; reason : string }
+  | Crash_seen of { epoch : int }
+  | Level_change of { level : level; load : int }
+  | Session_evicted of { oid : Ids.Oid.t; reason : evict_reason }
+  | Session_desynced of { oid : Ids.Oid.t; reason : string }
+
+(* Event reasons are embedded in one-line replies, so newlines (which
+   would break the framing) are flattened. *)
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let print_event = function
+  | Committed { oid; ops } ->
+      Fmt.str "committed oid=%a ops=%d" Ids.Oid.pp oid ops
+  | Violation { oid; op; reason } ->
+      Fmt.str "violation oid=%a op=%d reason=%s" Ids.Oid.pp oid op
+        (one_line reason)
+  | Rejected_frame { frame; reason } ->
+      Fmt.str "error frame=%d reason=%s" frame (one_line reason)
+  | Crash_seen { epoch } -> Fmt.str "crash epoch=%d" epoch
+  | Level_change { level; load } ->
+      Fmt.str "level level=%s load=%d" (level_to_string level) load
+  | Session_evicted { oid; reason } ->
+      Fmt.str "evicted oid=%a reason=%s" Ids.Oid.pp oid
+        (match reason with Idle -> "idle" | Admission_pressure -> "admission")
+  | Session_desynced { oid; reason } ->
+      Fmt.str "desynced oid=%a reason=%s" Ids.Oid.pp oid (one_line reason)

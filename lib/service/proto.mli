@@ -1,0 +1,55 @@
+(** Wire-level types of the streaming monitor: inputs, verdict events and
+    the degradation ladder.
+
+    One input frame is one line of the {!Cal.History_format} history
+    format (an [inv]/[res] action or a [crash <epoch>] marker); outputs
+    are one-line events that {!print_event} renders byte-stably, so a
+    fixture transcript can be asserted verbatim. *)
+
+type level =
+  | Full  (** exhaustive CAL verdict at every quiescent point *)
+  | Sampled
+      (** sequential windows still get exact verdicts via the fast path;
+          concurrent windows batch until every [sample_period]-th
+          quiescent point *)
+  | Count_only
+      (** verification suspended, frames only counted; retained windows
+          are dropped on entry (the memory shed) *)
+
+val level_order : level -> int
+(** [Full] < [Sampled] < [Count_only] (increasing degradation). *)
+
+val level_to_string : level -> string
+val level_of_string : string -> level option
+
+type input =
+  | Line of string  (** one protocol frame, newline already stripped *)
+  | Tick  (** logical clock advance: drives reaping and ladder upgrades *)
+
+type evict_reason = Idle | Admission_pressure
+
+type event =
+  | Committed of { oid : Cal.Ids.Oid.t; ops : int }
+      (** a session window was accepted and folded into committed state;
+          [ops] is the session's completed-operation total *)
+  | Violation of { oid : Cal.Ids.Oid.t; op : int; reason : string }
+      (** CAL violation latched at the session's [op]-th operation *)
+  | Rejected_frame of { frame : int; reason : string }
+      (** structured error reply: the [frame]-th input line was rejected
+          (parse error, admission, protocol misuse) without touching any
+          session state *)
+  | Crash_seen of { epoch : int }
+      (** a full-system crash marker: every session entered a new era *)
+  | Level_change of { level : level; load : int }
+      (** the degradation ladder moved; [load] is retained actions *)
+  | Session_evicted of { oid : Cal.Ids.Oid.t; reason : evict_reason }
+  | Session_desynced of { oid : Cal.Ids.Oid.t; reason : string }
+      (** the session can no longer verify (window overflow, count-only
+          shed, conservative re-admission) and counts operations until
+          the next era resyncs it *)
+
+val print_event : event -> string
+(** One event as one stable ASCII line (embedded newlines flattened). *)
+
+val one_line : string -> string
+(** Flatten newlines so an embedded reason cannot break the framing. *)

@@ -1,0 +1,65 @@
+(** One object instance's incremental monitor.
+
+    A session splits the object's history into a {e committed} prefix —
+    already verified, represented only by the specification acceptor
+    state it reached — and a bounded {e window} of retained actions.
+    Windows are verified at quiescent points (no pending invocation),
+    where resuming the exhaustive checker from the committed state is
+    exact; sequential windows bypass the checker entirely (with a total
+    real-time order every CA-element is a singleton, so acceptance is one
+    [Spec.step] fold). Violations latch for the session's lifetime,
+    across eras and daemon restarts.
+
+    Sessions are immutable values: [feed] returns the successor state, so
+    the whole machine replays deterministically. *)
+
+type t
+
+val create :
+  oid:Cal.Ids.Oid.t -> spec:Cal.Spec.t -> now:int -> fresh:bool -> t
+(** [fresh:false] admits the object conservatively (unknown prior
+    history): it only counts operations until a crash marker opens a new
+    era and resynchronises the acceptor. *)
+
+val of_snapshot :
+  oid:Cal.Ids.Oid.t ->
+  spec:Cal.Spec.t ->
+  now:int ->
+  ops:int ->
+  era:int ->
+  (int * string) option ->
+  t
+(** Rebuild a session after a daemon restart: a latched violation (the
+    [Some] case) is preserved verbatim; a healthy session restarts
+    desynced, because the monitored object did {e not} restart. *)
+
+val feed :
+  config:Config.t ->
+  level:Proto.level ->
+  ?cache:Cal.Verdict_cache.t ->
+  now:int ->
+  t ->
+  Cal.Action.t ->
+  (t * Proto.event list, string) result
+(** Feed one action already routed to this session. [Error reason] is a
+    contained frame rejection — a protocol misuse (double invocation,
+    unmatched response, pending cap) that leaves the session {e
+    unchanged}. Crash markers must go through {!crash}, not [feed]. The
+    optional [cache] memoises overflow verdicts only (commits need the
+    witness trace, which the cache does not store). *)
+
+val crash : t -> t
+(** Open a new era: acceptor and window reset, pending invocations are
+    cut off, desynced sessions resynchronise, violations stay latched. *)
+
+val oid : t -> Cal.Ids.Oid.t
+val ops : t -> int
+val era : t -> int
+val window_len : t -> int
+val last_active : t -> int
+val latched : t -> (int * string) option
+val is_desynced : t -> bool
+
+val shed : t -> reason:string -> t * Proto.event list
+(** Forced memory shed (count-only entry): drop the retained window and
+    desynchronise; no-op on already latched or desynced sessions. *)

@@ -49,7 +49,9 @@ let cache_default () = Conc.Explore.env_flag "CAL_VERDICT_CACHE"
 
 let new_cache cache =
   let on = match cache with Some c -> c | None -> cache_default () in
-  if on then Some (Verdict_cache.create ()) else None
+  if on then
+    Some (Verdict_cache.create ?capacity:(Tuning.verdict_cache_capacity ()) ())
+  else None
 
 (* Patch the cache counters into the report's exploration stats. *)
 let patch_cache vc r =

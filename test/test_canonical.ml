@@ -147,6 +147,86 @@ let test_key_iff_canonical_on_explored () =
     done
   done
 
+(* ------------------------------------ bounded verdict cache (service) -- *)
+
+(* A bounded cache must stay verdict-transparent: whatever the capacity,
+   every lookup answers exactly what an uncached compute would, eviction
+   only costing recomputation. Compute functions here are deterministic
+   (as the cache contract requires), so transparency is observable as
+   byte-equal verdicts against an unbounded reference. *)
+let test_eviction_is_verdict_transparent () =
+  let verdict_of k =
+    if String.length k mod 3 = 0 then Error ("rejected " ^ k) else Ok ()
+  in
+  List.iter
+    (fun capacity ->
+      let bounded = Verdict_cache.create ?capacity () in
+      let computes = ref 0 in
+      let lookup k =
+        Verdict_cache.find_or_compute bounded ~key:k (fun () ->
+            incr computes;
+            verdict_of k)
+      in
+      (* Two passes over more keys than any bound, so bounded instances
+         must evict and re-compute. *)
+      let keys = List.init 200 (fun i -> Fmt.str "key-%d" i) in
+      List.iter
+        (fun k ->
+          let name = Fmt.str "cap=%s %s"
+              (match capacity with None -> "none" | Some c -> string_of_int c)
+              k
+          in
+          Alcotest.(check (result unit string)) name (verdict_of k) (lookup k))
+        (keys @ keys);
+      match capacity with
+      | None ->
+          Alcotest.(check int) "unbounded: one compute per key" 200 !computes;
+          Alcotest.(check int) "unbounded: no evictions" 0
+            (Verdict_cache.evictions bounded)
+      | Some c ->
+          check_bool "bounded: stays within capacity" true
+            (Verdict_cache.size bounded <= c);
+          check_bool "bounded: evicted" true
+            (Verdict_cache.evictions bounded > 0))
+    [ None; Some 1; Some 7; Some 64 ]
+
+let test_capacity_below_shards () =
+  (* Capacity 2 with the default 16 shards must still hold 2 entries
+     (the shard count collapses), not cap each shard at zero. *)
+  let c = Verdict_cache.create ~capacity:2 () in
+  let hit = ref 0 in
+  let lookup k =
+    ignore (Verdict_cache.find_or_compute c ~key:k (fun () -> incr hit; Ok ()))
+  in
+  lookup "a";
+  lookup "b";
+  Alcotest.(check int) "both entries stored" 2 (Verdict_cache.size c);
+  lookup "a";
+  lookup "b";
+  Alcotest.(check int) "no recompute within capacity" 2 !hit
+
+(* The engines keep their default unbounded behaviour unless the
+   environment knob is set; the knob itself parses defensively. *)
+let test_tuning_capacity_knob () =
+  let with_env v f =
+    let old = Sys.getenv_opt "CAL_VERDICT_CACHE_CAP" in
+    Unix.putenv "CAL_VERDICT_CACHE_CAP" v;
+    Fun.protect f ~finally:(fun () ->
+        Unix.putenv "CAL_VERDICT_CACHE_CAP"
+          (match old with Some s -> s | None -> ""))
+  in
+  with_env "" (fun () ->
+      check_bool "empty = unbounded" true (Tuning.verdict_cache_capacity () = None));
+  with_env "512" (fun () ->
+      check_bool "positive integer" true
+        (Tuning.verdict_cache_capacity () = Some 512));
+  with_env "-3" (fun () ->
+      check_bool "negative rejected" true
+        (Tuning.verdict_cache_capacity () = None));
+  with_env "lots" (fun () ->
+      check_bool "garbage rejected" true
+        (Tuning.verdict_cache_capacity () = None))
+
 let () =
   Alcotest.run "canonical"
     [
@@ -163,5 +243,12 @@ let () =
             test_format_round_trip_preserves_canonical;
           t "key equality is canonical equality on explored histories"
             test_key_iff_canonical_on_explored;
+        ] );
+      ( "verdict cache bounds",
+        [
+          t "eviction is verdict-transparent"
+            test_eviction_is_verdict_transparent;
+          t "capacity below shard count" test_capacity_below_shards;
+          t "CAL_VERDICT_CACHE_CAP knob" test_tuning_capacity_knob;
         ] );
     ]

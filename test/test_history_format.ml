@@ -110,6 +110,83 @@ let prop_trace_roundtrip seed =
   | Ok tr' -> Ca_trace.equal tr tr'
   | Error _ -> false
 
+(* ------------------------------------- adversarial-input hardening -- *)
+
+(* Every parser entry point is total: any byte string comes back as
+   [Ok]/[Error], never an exception. The generator mixes raw bytes with
+   format-flavoured fragments so the interesting branches (values,
+   targets, crash markers) actually get hit. *)
+let arb_hostile =
+  let open QCheck.Gen in
+  let fragment =
+    oneof
+      [
+        string_size ~gen:(char_range '\000' '\255') (int_bound 30);
+        oneofl
+          [
+            "t1 inv E.exchange "; "t1 res "; "crash "; "crash 99999999999";
+            "("; ")"; "["; "]"; ";"; ","; "\""; "=>"; ":"; ".";
+            "E: (t1, exchange(3) => "; "-"; "9999999999999999999999";
+            "true"; "#"; "\n"; " ";
+          ];
+      ]
+  in
+  let gen = map (String.concat "") (list_size (int_bound 12) fragment) in
+  QCheck.make ~print:(Printf.sprintf "%S") gen
+
+let prop_no_exceptions s =
+  let total f =
+    match f s with Ok _ | Error _ -> true | exception _ -> false
+  in
+  total History_format.parse_value
+  && total History_format.parse_action
+  && total History_format.parse_history
+  && total History_format.parse_trace
+
+let test_deep_nesting_is_error () =
+  (* Past the depth cap the parser must answer [Error], not blow the
+     stack: 10_000 levels overflowed before the cap existed. *)
+  let deep n = String.concat "" [ String.make n '['; "1"; String.make n ']' ] in
+  (match History_format.parse_value (deep 10_000) with
+  | Error m -> check_bool "mentions nesting" true (String.length m > 0)
+  | Ok _ -> Alcotest.fail "10k-deep nesting accepted");
+  (match History_format.parse_value (deep History_format.max_value_depth) with
+  | Error _ -> Alcotest.fail "nesting at the cap rejected"
+  | Ok _ -> ());
+  match
+    History_format.parse_history
+      ("t1 inv E.exchange " ^ deep (2 * History_format.max_value_depth))
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "deep nesting accepted inside a history line"
+
+let test_long_line_is_error () =
+  let long = "t1 inv E.exchange " ^ String.make History_format.max_line_length 'x' in
+  (match History_format.parse_history long with
+  | Error m ->
+      check_bool "line number" true (String.sub m 0 4 = "line");
+      let contains ~sub s =
+        let n = String.length sub in
+        let rec at i = i + n <= String.length s
+          && (String.sub s i n = sub || at (i + 1)) in
+        at 0
+      in
+      check_bool "says too long" true (contains ~sub:"too long" m)
+  | Ok _ -> Alcotest.fail "over-long line accepted");
+  match History_format.parse_trace long with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "over-long trace line accepted"
+
+let test_int_overflow_is_error () =
+  match History_format.parse_value "99999999999999999999999999" with
+  | Error m -> check_bool "structured" true (String.length m > 0)
+  | Ok v -> Alcotest.fail (Fmt.str "overflowing integer parsed as %a" Value.pp v)
+
+let test_empty_object_name_is_error () =
+  match History_format.parse_trace ": (t1, exchange(3) => (true, 4))" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty object name accepted"
+
 let () =
   Alcotest.run "history_format"
     [
@@ -130,5 +207,14 @@ let () =
         [
           qtest ~count:200 "history roundtrip" arb_seed prop_history_roundtrip;
           qtest ~count:200 "trace roundtrip" arb_seed prop_trace_roundtrip;
+        ] );
+      ( "hardening",
+        [
+          t "deep nesting" test_deep_nesting_is_error;
+          t "long line" test_long_line_is_error;
+          t "integer overflow" test_int_overflow_is_error;
+          t "empty object name" test_empty_object_name_is_error;
+          qtest ~count:500 "no fuzzed input raises" arb_hostile
+            prop_no_exceptions;
         ] );
     ]

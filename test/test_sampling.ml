@@ -285,6 +285,169 @@ let test_sampled_check_reproducible () =
     = List.map (fun (p : O.problem) -> (p.O.schedule, p.O.plan, p.O.message))
         b.O.problems)
 
+(* ---------------------------------------- monitor x sampled witnesses -- *)
+
+(* Replay a sampled witness under a freshly monitored setup and return the
+   monitor's verdict for that run. *)
+let replay_flag (s : S.t) (p : O.problem) =
+  let wrapped, status =
+    Verify.Monitor.wrap ~spec:s.S.spec ~view:s.S.view ~setup:s.S.setup
+  in
+  let (_ : Runner.outcome * Runner.frontier) =
+    Runner.replay ~plan:p.O.plan ~setup:wrapped p.O.schedule
+  in
+  status ()
+
+(* Integration of the online monitor with the sampled detectors: for every
+   deliberately faulty object, take the raw (unshrunk) sampled witness and
+   replay it under a Monitor.wrap'd setup. The monitor watches the trace
+   obligation only, so two behaviours are correct:
+   - the witness's trace leaves the specification: the monitor must flag
+     it, and at the same decision step on a second replay;
+   - the witness's trace is specification-legal and only the agreement
+     obligation fails (the selfish exchanger: it logs a legal failure
+     element while its history claims success): the monitor must stay
+     [`Ok] while the black-box check still rejects the replayed outcome —
+     the two obligations genuinely divide the work. *)
+let monitor_flags_witness (s : S.t) =
+  t (s.S.name ^ " flagged on witness replay") (fun () ->
+      let r =
+        O.check_sampled ~seed:1L ~shrink:false ~setup:s.S.setup ~spec:s.S.spec
+          ~view:s.S.view ~fuel:s.S.fuel ~budget:2000 ()
+      in
+      let p =
+        match r.O.problems with
+        | p :: _ -> p
+        | [] -> Alcotest.fail (s.S.name ^ ": no sampled witness found")
+      in
+      let trace_rejected =
+        let o, _ = Runner.replay ~plan:p.O.plan ~setup:s.S.setup p.O.schedule in
+        Option.is_some
+          (Cal.Spec.explain_rejection s.S.spec (s.S.view o.Runner.trace))
+      in
+      match (trace_rejected, replay_flag s p, replay_flag s p) with
+      | true, `Violated (step, _), `Violated (step', _) ->
+          check_bool
+            (Printf.sprintf "same step on both replays (%d, %d)" step step')
+            true (step = step')
+      | true, _, _ ->
+          Alcotest.fail (s.S.name ^ ": monitor missed the sampled witness")
+      | false, `Ok, `Ok ->
+          (* agreement-only bug: invisible to a trace monitor by design *)
+          let o, _ =
+            Runner.replay ~plan:p.O.plan ~setup:s.S.setup p.O.schedule
+          in
+          check_bool "black-box check still rejects the replay" true
+            (Result.is_error
+               (O.check_outcome ~spec:s.S.spec ~view:s.S.view o))
+      | false, _, _ ->
+          Alcotest.fail
+            (s.S.name ^ ": monitor flagged a specification-legal trace"))
+
+(* The same round trip through the joint schedule x fault-plan sampler on
+   the lost-update counter: the witness may carry a non-trivial fault
+   plan, and replaying the (schedule, plan) pair under the monitored setup
+   flags the bug while the plan's faults fire. *)
+let test_monitor_flags_fault_witness () =
+  let s = S.faulty_counter () in
+  let r =
+    O.check_sampled_with_faults ~seed:1L ~shrink:false ~fault_bound:1
+      ~delay_factors:[ 2 ] ~setup:s.S.setup ~spec:s.S.spec ~view:s.S.view
+      ~fuel:s.S.fuel ~budget:2000 ()
+  in
+  let p =
+    match r.O.problems with
+    | p :: _ -> p
+    | [] -> Alcotest.fail "no fault-plan witness found"
+  in
+  match (replay_flag s p, replay_flag s p) with
+  | `Violated (step, _), `Violated (step', _) ->
+      check_bool "same step on both replays" true (step = step')
+  | `Ok, _ | _, `Ok -> Alcotest.fail "monitor missed the fault-plan witness"
+
+(* Violation latching across Crash_system eras: wrap_durable installs the
+   monitor on the boot program and on every recovery program, and a
+   violation recorded in one era must survive later era restarts. The
+   durable structures are checked black-box (they log no aux trace), so
+   the probe here is a self-instrumented durable counter that logs its
+   elements the way the volatile structures do — and whose first recovery
+   epoch logs [incr => 41], illegal for the freshly restarted acceptor;
+   the second recovery epoch behaves. Two-crash plans are swept until a
+   run has the shape we need: violated strictly before the second crash,
+   and the run entered the third era — the final status still being
+   [`Violated] is the latch. *)
+let test_monitor_latches_across_crash_eras () =
+  let ( let* ) = Prog.bind in
+  let oid = Cal.Ids.Oid.v "FC" in
+  let t0 = Cal.Ids.Tid.of_int 0 in
+  let spec = Cal.Spec_counter.spec ~oid () in
+  let setup ctx =
+    let pad n = Prog.seq (List.init n (fun _ -> Prog.atomic (fun () -> ()))) in
+    let incr ret =
+      Harness.call ctx ~tid:t0 ~oid ~fid:Cal.Spec_counter.fid_incr
+        ~arg:Cal.Value.unit
+        (let* () = pad 2 in
+         Prog.atomic (fun () ->
+             Ctx.log_element ctx
+               (Cal.Ca_trace.singleton (Cal.Spec_counter.incr_op ~oid t0 ret));
+             Cal.Value.int ret))
+    in
+    let thread body =
+      { Runner.threads = [| body |]; observe = None; on_label = None }
+    in
+    {
+      Runner.boot = thread (incr 0);
+      domain = Pcell.domain ();
+      recover =
+        (fun ~epoch ->
+          if epoch = 1 then
+            thread
+              (let* v = incr 41 in
+               let* () = pad 4 in
+               Prog.return v)
+          else thread (incr 0));
+    }
+  in
+  let wrapped, status =
+    Verify.Monitor.wrap_durable ~spec ~view:Cal.View.identity ~setup
+  in
+  let found = ref None in
+  for a = 1 to 8 do
+    for db = 1 to 8 do
+      if !found = None then begin
+        let b = a + db in
+        let plan =
+          [ Fault.crash_system ~at_step:a; Fault.crash_system ~at_step:b ]
+        in
+        let o =
+          Runner.run_random_durable ~plan ~setup:wrapped ~fuel:40
+            ~rng:(Rng.create ~seed:1L) ()
+        in
+        match status () with
+        | `Violated (step, _)
+          when step < b && Cal.History.eras o.Runner.history = 3 ->
+            found := Some (plan, o, step)
+        | _ -> ()
+      end
+    done
+  done;
+  match !found with
+  | None ->
+      Alcotest.fail
+        "no crash-point pair violated before the second crash and reached \
+         era 3"
+  | Some (plan, o, step) ->
+      (* the era-3 acceptor restart did not clear the era-2 violation, and
+         the latched step replays deterministically *)
+      let o', _ =
+        Runner.replay_durable ~plan ~setup:wrapped o.Runner.schedule
+      in
+      check_bool "replay reproduces the run" true (Runner.outcome_equal o o');
+      (match status () with
+      | `Violated (step', _) ->
+          check_bool "latched step stable on replay" true (step = step')
+      | `Ok -> Alcotest.fail "replay lost the latched violation")
+
 (* -------------------------------------------------------------- witness -- *)
 
 let test_schedule_string () =
@@ -333,4 +496,11 @@ let () =
           t "sampled check reproducible" test_sampled_check_reproducible;
           t "schedule string" test_schedule_string;
         ] );
+      ( "monitor",
+        List.map monitor_flags_witness (S.faulty ())
+        @ [
+            t "fault-plan witness flagged" test_monitor_flags_fault_witness;
+            t "violation latches across crash eras"
+              test_monitor_latches_across_crash_eras;
+          ] );
     ]
