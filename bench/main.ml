@@ -577,9 +577,20 @@ let figure_parallel () =
     [ (2, 2); (4, 4); (6, 6) ];
   let fuel = if quick then 12 else 16 in
   let domain_counts = if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let cores = Domain.recommended_domain_count () in
+  (* On a single-core box every multi-domain request would silently cap to
+     one worker and the stealing machinery would never run. Oversubscribe
+     instead: wall-clock speedups then mean nothing (the rows say so via
+     the [oversubscribed] flag, and the speedup asserts below are gated on
+     real hardware), but the engine genuinely distributes work, so the
+     nonzero-steal and byte-identical-report asserts still bite. *)
+  let oversub = cores < 2 in
+  let prev_oversub = Sys.getenv_opt "CAL_EXPLORE_OVERSUBSCRIBE" in
+  if oversub then Unix.putenv "CAL_EXPLORE_OVERSUBSCRIBE" "1";
   Fmt.pr
-    "@.# B14: parallel black-box verification + verdict cache (%d hw cores)@."
-    (Domain.recommended_domain_count ());
+    "@.# B14: parallel black-box verification + verdict cache (%d hw cores%s)@."
+    cores
+    (if oversub then ", oversubscribed" else "");
   Fmt.pr "%-26s %5s %8s %5s %6s %9s %11s %8s %9s %9s@." "scenario" "fuel"
     "domains" "used" "cache" "runs" "cache-hits" "stolen" "ms" "speedup";
   (* One measured cell: run the check, assert its report is byte-identical
@@ -634,6 +645,12 @@ let figure_parallel () =
     in
     if cache && hits = 0 && r.Verify.Obligations.runs > 1 then
       Fmt.failwith "B14: %s domains=%d: cache enabled but 0 hits" s.name domains;
+    (* the tentpole regression: whenever several workers actually ran, work
+       must have been distributed — a zero here means the engine degraded
+       to static one-task execution *)
+    if used > 1 && stolen = 0 then
+      Fmt.failwith "B14: %s domains=%d (used %d): no tasks were stolen" s.name
+        domains used;
     let speedup =
       if base_ms <= 0. then 1.0 else base_ms /. Float.max 0.001 ms
     in
@@ -641,8 +658,8 @@ let figure_parallel () =
       domains used
       (if cache then "on" else "off")
       r.Verify.Obligations.runs hits stolen ms speedup;
-    ((s.S.name, fuel, domains, cache, r.Verify.Obligations.runs, hits, stolen,
-      ms, speedup),
+    ((s.S.name, fuel, domains, used, cache, r.Verify.Obligations.runs, hits,
+      stolen, ms, speedup),
      r, ms)
   in
   (* Positive scenarios: the domain axis and the cache hit rates on
@@ -691,6 +708,21 @@ let figure_parallel () =
   in
   if sbase.Verify.Obligations.problems = [] then
     Fmt.failwith "B14: %s found no problems (bug not exercised)" storm.name;
+  (* Cache-off domain axis first: raw exploration scaling, the tentpole
+     measurement. Then the cached cells, where the verdict cache collapses
+     the checker work on top of the parallel exploration. *)
+  let storm_raw_cells =
+    List.filter_map
+      (fun domains ->
+        if domains = 1 then None
+        else
+          Some
+            ( domains,
+              cell ~s:storm ~fuel:sfuel ~bound:sbound ~reps:3
+                ~base:(Some sbase) ~base_ms:sbase_ms ~domains ~cache:false ()
+            ))
+      domain_counts
+  in
   let storm_cells =
     List.map
       (fun domains ->
@@ -699,30 +731,56 @@ let figure_parallel () =
            ~base_ms:sbase_ms ~domains ~cache:true ()))
       domain_counts
   in
-  (match List.assoc_opt 4 storm_cells with
-  | None -> ()
-  | Some (_, _, ms4) ->
-      let speedup = sbase_ms /. Float.max 0.001 ms4 in
-      if speedup < 2.0 then
-        Fmt.failwith
-          "B14: %s at 4 domains + cache is only %.2fx over the sequential \
-           engine (>= 2x required)"
-          storm.name speedup);
+  (* Wall-clock asserts only where wall-clock is meaningful: a timeshared
+     (oversubscribed or capped) run measures scheduler noise, not the
+     engine. *)
+  (if cores >= 4 then
+     match List.assoc_opt 4 storm_raw_cells with
+     | None -> ()
+     | Some (_, _, ms4) ->
+         let speedup = sbase_ms /. Float.max 0.001 ms4 in
+         if speedup < 3.0 then
+           Fmt.failwith
+             "B14: %s at 4 domains cache-off is only %.2fx over the \
+              sequential engine (>= 3x required)"
+             storm.name speedup);
+  (if not oversub then
+     match List.assoc_opt 4 storm_cells with
+     | None -> ()
+     | Some (_, _, ms4) ->
+         let speedup = sbase_ms /. Float.max 0.001 ms4 in
+         if speedup < 2.0 then
+           Fmt.failwith
+             "B14: %s at 4 domains + cache is only %.2fx over the sequential \
+              engine (>= 2x required)"
+             storm.name speedup);
   let rows =
-    rows @ (sbase_row :: List.map (fun (_, (row, _, _)) -> row) storm_cells)
+    rows
+    @ (sbase_row
+       :: (List.map (fun (_, (row, _, _)) -> row) storm_raw_cells
+           @ List.map (fun (_, (row, _, _)) -> row) storm_cells))
   in
   let oc = open_out "BENCH_parallel.json" in
-  let json_row (name, fuel, domains, cache, runs, hits, stolen, ms, speedup) =
+  let json_row
+      (name, fuel, domains, used, cache, runs, hits, stolen, ms, speedup) =
     Printf.sprintf
-      "    {\"scenario\": %S, \"fuel\": %d, \"domains\": %d, \"cache\": %b, \
+      "    {\"scenario\": %S, \"fuel\": %d, \"domains\": %d, \
+       \"domains_used\": %d, \"oversubscribed\": %b, \"cache\": %b, \
        \"runs\": %d, \"cache_hits\": %d, \"tasks_stolen\": %d, \
        \"wall_ms\": %.3f, \"speedup\": %.3f}"
-      name fuel domains cache runs hits stolen ms speedup
+      name fuel domains used
+      (oversub && domains > 1)
+      cache runs hits stolen ms speedup
   in
   Printf.fprintf oc
-    "{\n  \"bench\": \"parallel_explore\",\n  \"rows\": [\n%s\n  ]\n}\n"
+    "{\n  \"bench\": \"parallel_explore\",\n  \"hw_cores\": %d,\n  \
+     \"rows\": [\n%s\n  ]\n}\n"
+    cores
     (String.concat ",\n" (List.map json_row rows));
   close_out oc;
+  (match prev_oversub with
+  | Some v -> Unix.putenv "CAL_EXPLORE_OVERSUBSCRIBE" v
+  | None -> if oversub then Unix.putenv "CAL_EXPLORE_OVERSUBSCRIBE" "");
   Fmt.pr "# rows written to BENCH_parallel.json@."
 
 (* B15 — sampled checking: detection rate and witness size vs run budget,

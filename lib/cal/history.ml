@@ -17,6 +17,21 @@ type entry = {
 let empty = [||]
 let of_list = Array.of_list
 let to_list = Array.to_list
+
+(* Builders that accumulate newest-first (the runner's history) convert
+   here without materialising the re-reversed list: fill backwards. *)
+let of_rev_list = function
+  | [] -> [||]
+  | x :: _ as l ->
+      let a = Array.make (List.length l) x in
+      let rec fill i = function
+        | [] -> ()
+        | x :: tl ->
+            a.(i) <- x;
+            fill (i - 1) tl
+      in
+      fill (Array.length a - 1) l;
+      a
 let append h a = Array.append h [| a |]
 let length = Array.length
 let nth h i = h.(i)

@@ -38,6 +38,12 @@ type entry = {
 
 val empty : t
 val of_list : Action.t list -> t
+
+val of_rev_list : Action.t list -> t
+(** [of_rev_list l] is [of_list (List.rev l)] without materialising the
+    reversed list — for builders that accumulate newest-first (the
+    runner does, once per delivered outcome). *)
+
 val to_list : t -> Action.t list
 val append : t -> Action.t -> t
 val length : t -> int

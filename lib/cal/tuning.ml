@@ -28,3 +28,13 @@ let verdict_cache_capacity () =
       match int_of_string_opt s with
       | Some n when n > 0 -> Some n
       | _ -> None)
+
+(* Donation grain for the work-stealing explorer: a frame is only donated
+   when its subtree has at least this many levels left, so workers don't
+   ship chunks worth a handful of leaves — the replay to reconstruct the
+   node would cost more than running them locally. *)
+let explore_donation_min_height () =
+  match Sys.getenv_opt "CAL_EXPLORE_DONATE_MIN" with
+  | None | Some "" -> 2
+  | Some s -> (
+      match int_of_string_opt s with Some n when n >= 0 -> n | _ -> 2)

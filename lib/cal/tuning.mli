@@ -20,3 +20,10 @@ val verdict_cache_capacity : unit -> int option
     (a positive integer; unset, empty or invalid means unbounded).
     Exploration engines stay unbounded by default; long-running services
     set the variable to cap memo growth. *)
+
+val explore_donation_min_height : unit -> int
+(** Minimum remaining subtree height (fuel minus node depth) for a DFS
+    node to be donated to an idle worker by the parallel explorer, from
+    [CAL_EXPLORE_DONATE_MIN] (a non-negative integer; default [2]).
+    Larger values make chunks coarser — fewer, bigger steals; [0] lets
+    even pre-leaf nodes be donated. *)

@@ -3,10 +3,16 @@
     Exploration delivers many schedules whose histories differ only by the
     interleaving of adjacent same-kind actions; {!History.canonical_key}
     collapses each such class to one key, and this cache stores the
-    checker verdict for the class so it is computed once. The table is
-    sharded and each shard is protected by its own [Mutex], so domains of
-    the parallel explorer ({!Conc.Par_explore}) share it safely with short,
-    mostly uncontended critical sections.
+    checker verdict for the class so it is computed once. The shared
+    level is sharded and each shard is protected by its own [Mutex], so
+    domains of the parallel explorer ({!Conc.Par_explore}) share it
+    safely with short, mostly uncontended critical sections. When the
+    cache is unbounded (the exploration default), each domain
+    additionally keeps a private [Domain.DLS] front table duplicating
+    the verdicts it has already seen, so repeat lookups — the vast
+    majority under canonical-class collapse — take no lock and no atomic
+    at all; the per-domain hit counters are folded into {!hits}. Bounded
+    caches skip the front tables so {!size} and eviction stay exact.
 
     A cache instance is meant to live for one check invocation (one
     specification, one checker mode): the caller builds keys that are
@@ -38,7 +44,9 @@ val find_or_compute : t -> key:string -> (unit -> verdict) -> verdict
     verdicts), stores and returns it. *)
 
 val hits : t -> int
-(** Lookups answered from the cache. *)
+(** Lookups answered from the cache — shared-table hits plus every
+    domain's private front-table hits. Exact once the worker domains
+    have joined (a concurrent reader may see a slightly stale sum). *)
 
 val misses : t -> int
 (** Lookups that ran [compute]. *)

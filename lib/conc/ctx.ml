@@ -49,7 +49,7 @@ let log_element t e =
   t.trace_len <- t.trace_len + 1
 
 let log_elements t es = List.iter (log_element t) es
-let history t = Cal.History.of_list (List.rev t.history_rev)
+let history t = Cal.History.of_rev_list t.history_rev
 let trace t = List.rev t.trace_rev
 let trace_length t = t.trace_len
 

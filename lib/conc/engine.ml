@@ -32,6 +32,7 @@ type stats = {
   cache_hits : int;
   tasks_stolen : int;
   domains_used : int;
+  domains_requested : int;
   sampled_runs : int;
   violations_found : int;
   shrink_candidates : int;
@@ -50,6 +51,7 @@ let empty_stats =
     cache_hits = 0;
     tasks_stolen = 0;
     domains_used = 1;
+    domains_requested = 1;
     sampled_runs = 0;
     violations_found = 0;
     shrink_candidates = 0;
@@ -68,6 +70,7 @@ let merge_stats a b =
     cache_hits = a.cache_hits + b.cache_hits;
     tasks_stolen = a.tasks_stolen + b.tasks_stolen;
     domains_used = max a.domains_used b.domains_used;
+    domains_requested = max a.domains_requested b.domains_requested;
     sampled_runs = a.sampled_runs + b.sampled_runs;
     violations_found = a.violations_found + b.violations_found;
     shrink_candidates = a.shrink_candidates + b.shrink_candidates;
@@ -250,6 +253,7 @@ let dfs ~restart ~fuel ?max_runs ?preemption_bound ~prune ?(prefix = [])
     cache_hits = 0;
     tasks_stolen = 0;
     domains_used = 1;
+    domains_requested = 1;
     sampled_runs = 0;
     violations_found = 0;
     shrink_candidates = 0;

@@ -5,11 +5,12 @@
     keeps one live execution and descends the schedule tree one
     {!Runner.step} per edge, re-establishing a branch point after
     backtracking with a single prefix replay. It can be rooted at an
-    arbitrary schedule [prefix] — the parallel front splits the tree at a
-    frontier depth and runs one such rooted DFS per subtree task, passing
-    the scheduling state accumulated along the prefix ([last0],
-    [preemptions0], [sleep0]) so the task explores exactly the subtree
-    the sequential engine would have. *)
+    arbitrary schedule [prefix] with the scheduling state accumulated
+    along it ([last0], [preemptions0], [sleep0]), so a rooted DFS
+    explores exactly the subtree the sequential engine would have.
+    {!Par_explore} runs its own explicit-stack variant of the same
+    traversal (it needs the open frames for work donation) but shares
+    this module's stats, pruning controls and commutation heuristic. *)
 
 type stats = {
   runs : int;           (** terminal outcomes delivered to the callback *)
@@ -26,9 +27,15 @@ type stats = {
       (** verdict-cache hits, patched in by the caller that owns the cache
           ({!Verify.Obligations}); always [0] straight out of the engine *)
   tasks_stolen : int;
-      (** parallel front: subtree tasks executed by a domain that did not
-          own them *)
+      (** parallel front: donated subtree chunks claimed from the shared
+          pool (every task except the initial root) *)
   domains_used : int;   (** worker domains (1 for the sequential front) *)
+  domains_requested : int;
+      (** worker domains the caller asked for, before the
+          [Domain.recommended_domain_count] cap of
+          {!Par_explore.effective_domains}; [domains_used <
+          domains_requested] means the request was capped by the
+          hardware *)
   sampled_runs : int;
       (** randomly sampled executions delivered ({!Sampler}); always [0]
           straight out of the exhaustive engine *)

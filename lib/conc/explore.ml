@@ -9,6 +9,7 @@ type stats = Engine.stats = {
   cache_hits : int;
   tasks_stolen : int;
   domains_used : int;
+  domains_requested : int;
   sampled_runs : int;
   violations_found : int;
   shrink_candidates : int;
@@ -27,11 +28,11 @@ let env_flag = Engine.env_flag
    The incremental DFS engine lives in {!Engine}; the work-stealing
    parallel front in {!Par_explore}. Every entry point below dispatches on
    [domains]: [1] (the default) is byte-for-byte the sequential engine,
-   [>= 2] splits the schedule tree into subtree tasks spread over that
-   many worker domains. Callbacks of the parallel paths run concurrently
-   from several domains and must be thread-safe; the [_collect] variants
-   side-step that by giving every task its own accumulator, merged in
-   canonical task order after the join. *)
+   [>= 2] explores with that many worker domains splitting the schedule
+   tree dynamically as workers go idle. Callbacks of the parallel paths
+   run concurrently from several domains and must be thread-safe; the
+   [_collect] variants side-step that by giving every task its own
+   accumulator, merged in canonical rank order after the join. *)
 
 let sequential_dfs ~restart ~fuel ?max_runs ?preemption_bound ~prune ~f () =
   Engine.dfs ~restart ~fuel ?max_runs ?preemption_bound ~prune ~init_path:()
@@ -39,22 +40,22 @@ let sequential_dfs ~restart ~fuel ?max_runs ?preemption_bound ~prune ~f () =
     ~leaf:(fun o _ () -> f o)
     ()
 
-let exhaustive ?(plan = []) ?prune ?(domains = 1) ?split_depth ~setup ~fuel
-    ?max_runs ?preemption_bound ~f () =
+let exhaustive ?(plan = []) ?prune ?(domains = 1) ~setup ~fuel ?max_runs
+    ?preemption_bound ~f () =
   let prune = pruning_requested prune in
   let restart () = Runner.start ~plan ~setup () in
   if domains <= 1 then
     sequential_dfs ~restart ~fuel ?max_runs ?preemption_bound ~prune ~f ()
   else
     fst
-      (Par_explore.explore ~prune ~domains ?split_depth ?max_runs
-         ?preemption_bound ~restart ~fuel
+      (Par_explore.explore ~prune ~domains ?max_runs ?preemption_bound
+         ~restart ~fuel
          ~init:(fun () -> ())
          ~f:(fun () o -> f o)
          ())
 
-let exhaustive_collect ?(plan = []) ?prune ?(domains = 1) ?split_depth ~setup
-    ~fuel ?max_runs ?preemption_bound ~init ~f () =
+let exhaustive_collect ?(plan = []) ?prune ?(domains = 1) ~setup ~fuel
+    ?max_runs ?preemption_bound ~init ~f () =
   let prune = pruning_requested prune in
   let restart () = Runner.start ~plan ~setup () in
   if domains <= 1 then begin
@@ -67,14 +68,14 @@ let exhaustive_collect ?(plan = []) ?prune ?(domains = 1) ?split_depth ~setup
     (stats, [| acc |])
   end
   else
-    Par_explore.explore ~prune ~domains ?split_depth ?max_runs
-      ?preemption_bound ~restart ~fuel ~init ~f ()
+    Par_explore.explore ~prune ~domains ?max_runs ?preemption_bound ~restart
+      ~fuel ~init ~f ()
 
 (* Exhaustive exploration of one durable program under one (possibly
    crashing) plan. Always unpruned: persistent-cell contents are not part
    of the state fingerprint, so memoization across crash plans would be
    unsound. *)
-let exhaustive_durable ~plan ?(domains = 1) ?split_depth ~setup ~fuel ?max_runs
+let exhaustive_durable ~plan ?(domains = 1) ~setup ~fuel ?max_runs
     ?preemption_bound ~f () =
   let restart () = Runner.start_durable ~plan ~setup () in
   if domains <= 1 then
@@ -82,8 +83,8 @@ let exhaustive_durable ~plan ?(domains = 1) ?split_depth ~setup ~fuel ?max_runs
       ()
   else
     fst
-      (Par_explore.explore ~prune:false ~domains ?split_depth ?max_runs
-         ?preemption_bound ~restart ~fuel
+      (Par_explore.explore ~prune:false ~domains ?max_runs ?preemption_bound
+         ~restart ~fuel
          ~init:(fun () -> ())
          ~f:(fun () o -> f o)
          ())
@@ -149,7 +150,7 @@ let random ~setup ~fuel ~runs ~seed ~f () =
   done;
   { empty_stats with runs; max_steps = !max_steps }
 
-let check_all ?plan ?prune ?(domains = 1) ?split_depth ~setup ~fuel ?max_runs
+let check_all ?plan ?prune ?(domains = 1) ~setup ~fuel ?max_runs
     ?preemption_bound ~p () =
   if domains <= 1 then begin
     let bad = ref None in
@@ -173,8 +174,8 @@ let check_all ?plan ?prune ?(domains = 1) ?split_depth ~setup ~fuel ?max_runs
     let prune = pruning_requested prune in
     let restart () = Runner.start ~plan ~setup () in
     let stats, accs =
-      Par_explore.explore ~prune ~domains ?split_depth ?max_runs
-        ?preemption_bound ~restart ~fuel
+      Par_explore.explore ~prune ~domains ?max_runs ?preemption_bound ~restart
+        ~fuel
         ~init:(fun () -> ref None)
         ~f:(fun acc o -> if !acc = None && not (p o) then acc := Some o)
         ~stop_on:(fun acc _ -> !acc <> None)
@@ -212,6 +213,7 @@ type fault_stats = {
   fault_sleep_pruned : int;
   fault_tasks_stolen : int;
   fault_domains_used : int;
+  fault_domains_requested : int;
 }
 
 let fault_stats_of ~plans (s : stats) =
@@ -226,6 +228,7 @@ let fault_stats_of ~plans (s : stats) =
     fault_sleep_pruned = s.sleep_pruned;
     fault_tasks_stolen = s.tasks_stolen;
     fault_domains_used = s.domains_used;
+    fault_domains_requested = s.domains_requested;
   }
 
 (* Candidate fault points of a bounded program, learned from the fault-free
@@ -348,15 +351,14 @@ let cap_plans max_plans seq =
    fault-free pass stays sequential: a parallel race on the shared run
    budget could truncate a different run subset and learn different fault
    candidates. *)
-let exhaustive_with_faults_collect ?delay_factors ?prune ?(domains = 1)
-    ?split_depth ~setup ~fuel ?max_runs ?preemption_bound ?max_plans
-    ~fault_bound ~init ~f () =
+let exhaustive_with_faults_collect ?delay_factors ?prune ?(domains = 1) ~setup
+    ~fuel ?max_runs ?preemption_bound ?max_plans ~fault_bound ~init ~f () =
   if fault_bound < 0 then invalid_arg "Explore: fault_bound must be >= 0";
   let free_domains = if max_runs = None then domains else 1 in
   let learner = candidate_learner ?delay_factors () in
   let free_stats, free_accs =
-    exhaustive_collect ?prune ~domains:free_domains ?split_depth ~setup ~fuel
-      ?max_runs ?preemption_bound
+    exhaustive_collect ?prune ~domains:free_domains ~setup ~fuel ?max_runs
+      ?preemption_bound
       ~init:(fun () -> (init (), candidate_learner ?delay_factors ()))
       ~f:(fun (acc, l) o ->
         if fault_bound > 0 then l.learn o;
@@ -396,12 +398,21 @@ let exhaustive_with_faults_collect ?delay_factors ?prune ?(domains = 1)
       (fun acc (s, _) -> merge_stats acc s)
       free_stats plan_results
   in
+  (* Record what actually ran, not what was asked for: the plan fan-out
+     spawns at most [effective_domains domains] workers (and no more than
+     there are plans), which a hardware cap may silently shrink — the
+     used/requested pair makes that decision visible in every report. *)
+  let fan_domains =
+    if domains <= 1 || Array.length plans = 0 then 1
+    else max 1 (min (Par_explore.effective_domains domains) (Array.length plans))
+  in
   let merged =
     {
       merged with
       truncated = merged.truncated || was_capped ();
       tasks_stolen = merged.tasks_stolen + stolen;
-      domains_used = max merged.domains_used (max 1 domains);
+      domains_used = max merged.domains_used fan_domains;
+      domains_requested = max merged.domains_requested (max 1 domains);
     }
   in
   let accs =
@@ -411,12 +422,11 @@ let exhaustive_with_faults_collect ?delay_factors ?prune ?(domains = 1)
   in
   (fault_stats_of ~plans:(1 + Array.length plans) merged, accs)
 
-let exhaustive_with_faults ?delay_factors ?prune ?domains ?split_depth ~setup
-    ~fuel ?max_runs ?preemption_bound ?max_plans ~fault_bound ~f () =
+let exhaustive_with_faults ?delay_factors ?prune ?domains ~setup ~fuel
+    ?max_runs ?preemption_bound ?max_plans ~fault_bound ~f () =
   fst
-    (exhaustive_with_faults_collect ?delay_factors ?prune ?domains
-       ?split_depth ~setup ~fuel ?max_runs ?preemption_bound ?max_plans
-       ~fault_bound
+    (exhaustive_with_faults_collect ?delay_factors ?prune ?domains ~setup
+       ~fuel ?max_runs ?preemption_bound ?max_plans ~fault_bound
        ~init:(fun () -> ())
        ~f:(fun () o -> f o)
        ())

@@ -28,15 +28,20 @@
 
     {b Parallel exploration.} Every exhaustive entry point takes
     [?domains] (default [1]): with [domains >= 2] the schedule tree is
-    split at a frontier depth into independent subtree tasks spread over
-    that many OCaml 5 worker domains with work stealing
-    ({!Par_explore}, DESIGN §2.11). Tasks are generated and merged in
-    canonical DFS order, so verdicts, witnesses and run counts match the
-    sequential engine exactly (only [replayed_steps] grows, by the
+    explored by that many OCaml 5 worker domains with dynamic work
+    stealing — the tree starts as one task and busy workers donate the
+    remaining branches of their shallowest open DFS node whenever a
+    worker is idle, recursively, so load balances itself whatever the
+    tree's shape ({!Par_explore}, DESIGN §2.11). Every task owns a
+    contiguous interval of the canonical DFS leaf order and results are
+    merged in rank order, so verdicts, witnesses and run counts match
+    the sequential engine exactly (only [replayed_steps] grows, by the
     task-prefix replays) — except under [max_runs], where the shared run
-    budget admits a scheduling-dependent run subset. Callbacks run
-    concurrently from several domains; use the [_collect] variants (one
-    accumulator per task, merged in task order) unless the callback is
+    budget admits a scheduling-dependent run subset, and under [prune],
+    where the per-task fingerprint memos make the pruned run set
+    timing-dependent (verdicts preserved). Callbacks run concurrently
+    from several domains; use the [_collect] variants (one accumulator
+    per task, merged in rank order) unless the callback is
     thread-safe. *)
 
 type stats = Engine.stats = {
@@ -55,9 +60,13 @@ type stats = Engine.stats = {
       (** canonical-history verdict-cache hits, patched in by
           {!Verify.Obligations}; always [0] straight out of the engine *)
   tasks_stolen : int;
-      (** subtree tasks executed by a worker domain that did not own them
-          ([0] for the sequential engine) *)
+      (** donated subtree chunks claimed from the parallel pool ([0] for
+          the sequential engine) *)
   domains_used : int;   (** worker domains the search ran on *)
+  domains_requested : int;
+      (** worker domains the caller asked for; [domains_used <
+          domains_requested] means {!Par_explore.effective_domains}
+          capped the request at the hardware's core count *)
   sampled_runs : int;
       (** randomly sampled executions ({!Sampler}) delivered; always [0]
           straight out of the exhaustive engine — patched in by
@@ -76,7 +85,8 @@ type stats = Engine.stats = {
 val empty_stats : stats
 
 val merge_stats : stats -> stats -> stats
-(** Counters sum, [truncated] ors, [max_steps]/[domains_used] max. *)
+(** Counters sum, [truncated] ors, [max_steps]/[domains_used]/
+    [domains_requested] max. *)
 
 val env_flag : string -> bool
 (** [env_flag v] is [true] iff the environment variable [v] is set to
@@ -86,7 +96,6 @@ val exhaustive :
   ?plan:Fault.plan ->
   ?prune:bool ->
   ?domains:int ->
-  ?split_depth:int ->
   setup:(Ctx.t -> Runner.program) ->
   fuel:int ->
   ?max_runs:int ->
@@ -119,14 +128,12 @@ val exhaustive :
 
     [domains] (default [1]) spreads the search over that many worker
     domains (module preamble); [f] then runs concurrently and must be
-    thread-safe — or use {!exhaustive_collect}. [split_depth] overrides
-    the automatic split-frontier choice (clamped to [1..fuel]). *)
+    thread-safe — or use {!exhaustive_collect}. *)
 
 val exhaustive_collect :
   ?plan:Fault.plan ->
   ?prune:bool ->
   ?domains:int ->
-  ?split_depth:int ->
   setup:(Ctx.t -> Runner.program) ->
   fuel:int ->
   ?max_runs:int ->
@@ -136,11 +143,11 @@ val exhaustive_collect :
   unit ->
   stats * 'acc array
 (** {!exhaustive} with per-task accumulators: [init] runs once per
-    subtree task (once in total when [domains = 1]) and [f] only ever
-    touches its own task's accumulator, so no callback synchronisation is
-    needed. The accumulators come back in canonical task order — folding
-    them left visits the delivered outcomes in exactly the sequential
-    delivery order. *)
+    work-stealing task (once in total when [domains = 1]) and [f] only
+    ever touches its own task's accumulator, so no callback
+    synchronisation is needed. The accumulators come back in canonical
+    rank order — folding them left visits the delivered outcomes in
+    exactly the sequential delivery order. *)
 
 val exhaustive_via_replay :
   ?plan:Fault.plan ->
@@ -172,7 +179,6 @@ val check_all :
   ?plan:Fault.plan ->
   ?prune:bool ->
   ?domains:int ->
-  ?split_depth:int ->
   setup:(Ctx.t -> Runner.program) ->
   fuel:int ->
   ?max_runs:int ->
@@ -206,13 +212,13 @@ type fault_stats = {
   fault_sleep_pruned : int;      (** {!stats.sleep_pruned} summed *)
   fault_tasks_stolen : int;      (** {!stats.tasks_stolen} summed *)
   fault_domains_used : int;      (** {!stats.domains_used} maxed *)
+  fault_domains_requested : int; (** {!stats.domains_requested} maxed *)
 }
 
 val exhaustive_with_faults :
   ?delay_factors:int list ->
   ?prune:bool ->
   ?domains:int ->
-  ?split_depth:int ->
   setup:(Ctx.t -> Runner.program) ->
   fuel:int ->
   ?max_runs:int ->
@@ -251,7 +257,7 @@ val exhaustive_with_faults :
     be [>= 2]), so the plan enumeration also covers skewed-clock
     executions in which a thread's deadlines fire early.
 
-    [domains] (default [1]) parallelizes both the fault-free tree split
+    [domains] (default [1]) parallelizes both the fault-free tree sweep
     and the plan fan-out (each plan explored whole by one worker). The
     per-task candidate learners bump-merge into the sequential learner
     exactly, so the proposed plan set is identical. When [max_runs] is
@@ -264,7 +270,6 @@ val exhaustive_with_faults_collect :
   ?delay_factors:int list ->
   ?prune:bool ->
   ?domains:int ->
-  ?split_depth:int ->
   setup:(Ctx.t -> Runner.program) ->
   fuel:int ->
   ?max_runs:int ->
@@ -282,7 +287,6 @@ val exhaustive_with_faults_collect :
 val exhaustive_durable :
   plan:Fault.plan ->
   ?domains:int ->
-  ?split_depth:int ->
   setup:(Ctx.t -> Runner.durable) ->
   fuel:int ->
   ?max_runs:int ->

@@ -1,367 +1,539 @@
 (* Work-stealing parallel exploration over OCaml 5 domains (DESIGN §2.11).
 
-   The schedule tree is split at a frontier depth into independent subtree
-   tasks, each carrying its root prefix plus the scheduling state
-   accumulated along it (last thread, preemption count, sleep set). Every
-   worker domain owns a private {!Runner} execution cursor — programs are
-   pure values, so replaying a prefix in another domain reproduces the
-   same subtree — and runs {!Engine.dfs} rooted at each task it claims.
-   Tasks are statically owned round-robin and stolen when a worker's own
-   share is exhausted; steals are counted in the stats.
+   Dynamic cooperative splitting. There is no up-front task partition: the
+   whole schedule tree starts as one task, and splitting happens on demand
+   while workers explore. Each worker runs the incremental DFS with an
+   explicit, worker-private stack of frames (one per open node: the
+   branches not yet descended plus the scheduling state of that node). A
+   shared [hungry] counter says how many workers currently have nothing to
+   run; whenever it is positive, a busy worker that has descended at
+   least one edge of its current task donates the {e entire remaining
+   branch list of its shallowest open frame} — the biggest available
+   chunk — as a new task into a small mutex-guarded pool. An
+   idle worker claims it, reconstructs the frame by replaying the node's
+   prefix on its own private {!Runner} cursor, and continues the
+   iteration exactly where the donor would have — including further
+   donations, so big subtrees keep splitting as long as anyone is idle.
+   The only synchronisation on the hot descend/backtrack path is one
+   atomic load per node.
 
-   Determinism. Tasks are generated and merged in canonical DFS order, so
-   for full sweeps the delivered run set, the per-task accumulators and
-   the merged counters are exactly those of the sequential engine (only
-   [replayed_steps] grows, by the task-prefix replays). For
-   first-failure searches the workers share a monotonically lowering
-   [best]-task bound: a worker that finds a failure publishes its task
-   index and every worker abandons tasks ordered after the bound, so the
-   surviving failure with the lowest task index is the first failure in
-   canonical schedule order — byte-identical to the sequential witness. *)
+   Determinism. Every task owns a {e contiguous interval} of the
+   canonical (sequential DFS) leaf order: a donation always takes the
+   canonical tail of the donor's remaining work (the shallowest frame's
+   rest comes after everything below it), so intervals stay contiguous
+   and disjoint by induction. Each task is labelled with its start {e
+   rank} — the branch-index path from the global root to its first
+   branch; ranks compare lexicographically ([int list] structural
+   compare), and sorting the per-task accumulators by rank reproduces
+   the sequential delivery order exactly, whatever the domain count or
+   the steal timing. For first-failure searches the workers share a
+   monotonically lowering [best] start rank: a task that finds a failure
+   publishes its own start rank, and a task is abandoned only when
+   [best] is strictly below its start — i.e. when a whole earlier
+   interval already failed, so the sequential engine would never have
+   reached it. The surviving failure with the lowest rank is the first
+   failure in canonical schedule order — byte-identical to the
+   sequential witness.
 
-type task = {
-  t_prefix : Runner.decision list;
-  t_last : int option;
-  t_preemptions : int;
-  t_sleep : (Runner.decision * string) list;
-  t_terminal : bool;
-      (* the prefix is itself a maximal run: deliver it, do not descend *)
+   Pruning caveat: with [prune] on, each task keeps its own fingerprint
+   memo (sharing one across tasks could cut a subtree that a
+   first-failure abort left unexplored). Since the task partition is
+   timing-dependent, the delivered run {e set} of a pruned parallel
+   sweep varies run to run; verdict coverage is preserved (same argument
+   as sequential pruning), but callers that need byte-deterministic
+   pruned reports use one domain. Unpruned sweeps — the default, and
+   everything the report contract covers — are byte-identical across
+   domain counts and executions. *)
+
+type labelled = Runner.decision * string
+
+(* A donated chunk: the tail of some node's branch list, plus everything
+   needed to resume the node's iteration elsewhere — the prefix to replay,
+   the node's scheduling state, the siblings already descended (feeding
+   later sleep sets), and the global rank of the first donated branch. *)
+type chunk = {
+  k_rank : int list;            (* branch-index path to the first branch *)
+  k_node_rank_rev : int list;   (* path to the node itself, newest first *)
+  k_prefix : Runner.decision list;
+  k_depth : int;
+  k_last : int option;
+  k_preemptions : int;
+  k_last_enabled : bool;
+  k_sleep : labelled list;
+  k_explored : labelled list;   (* descended siblings, newest first *)
+  k_rest : labelled list;       (* the branches this chunk owns, in order *)
+  k_base : int;                 (* branch index of [hd k_rest] at the node *)
 }
 
-(* ------------------------------------------------------- tree splitter -- *)
+type task = Root | Chunk of chunk
 
-(* Mirror of the Engine.dfs descent down to [split_depth], emitting one
-   task per surviving node at the split frontier and one terminal task per
-   maximal run above it. Preemption budget, fingerprint memoization and
-   sleep sets apply exactly as in the sequential descent, so the emitted
-   task set covers exactly the subtrees the sequential engine would enter.
-   Interior nodes (and terminal leaves) above the frontier are counted
-   here; each task's own root node is counted by the worker that runs it. *)
-let split ~restart ~fuel ~preemption_bound ~prune ~split_depth =
-  let exec = ref (restart ()) in
-  let nodes = ref 0 and replayed = ref 0 in
-  let fp_hits = ref 0 and slept = ref 0 in
-  let memo : (string, unit) Hashtbl.t =
-    if prune then
-      Hashtbl.create
-        (Cal.Tuning.explore_memo_size ~fuel ~threads:(Engine.threads_of !exec))
-    else Hashtbl.create 1
-  in
-  let tasks = ref [] in
-  let within_budget used =
-    match preemption_bound with None -> true | Some b -> used <= b
-  in
-  let ensure_at depth prefix_rev =
-    if Runner.steps_done !exec <> depth then begin
-      let e = restart () in
-      List.iter (fun d -> ignore (Runner.step e d)) (List.rev prefix_rev);
-      replayed := !replayed + depth;
-      exec := e
+(* One open node of a worker's DFS. The frame stack mirrors the native
+   call stack; it exists so donation can scan for the shallowest frame
+   with undescended branches. Owner-private: no locking. *)
+type frame = {
+  fr_depth : int;
+  fr_prefix_rev : Runner.decision list;
+  fr_rank_rev : int list;
+  fr_last : int option;
+  fr_preemptions : int;
+  fr_last_enabled : bool;
+  fr_sleep : labelled list;
+  mutable fr_explored : labelled list;
+  mutable fr_rest : labelled list;
+  mutable fr_next : int;  (* branch index of [hd fr_rest] *)
+}
+
+(* The task pool. [p_hungry] is the lock-free donation signal (workers
+   not currently executing a task); the queue, idle count and termination
+   flag live under the mutex. Termination: every worker idle with an
+   empty queue means no task is running, so nothing can be donated —
+   done. *)
+type pool = {
+  p_mutex : Mutex.t;
+  p_cond : Condition.t;
+  mutable p_queue : chunk list;
+  mutable p_idle : int;
+  mutable p_finished : bool;
+  mutable p_root_taken : bool;
+  mutable p_stolen : int;  (* donated chunks claimed from the pool *)
+  p_domains : int;
+  p_hungry : int Atomic.t;
+  p_pending : int Atomic.t;  (* donated chunks not yet claimed *)
+  p_failure : exn option Atomic.t;
+}
+
+let new_pool ~domains =
+  {
+    p_mutex = Mutex.create ();
+    p_cond = Condition.create ();
+    p_queue = [];
+    p_idle = 0;
+    p_finished = false;
+    p_root_taken = false;
+    p_stolen = 0;
+    p_domains = domains;
+    p_hungry = Atomic.make domains;
+    p_pending = Atomic.make 0;
+    p_failure = Atomic.make None;
+  }
+
+let claim pool =
+  Mutex.lock pool.p_mutex;
+  let rec go () =
+    if pool.p_finished || Atomic.get pool.p_failure <> None then None
+    else if not pool.p_root_taken then begin
+      pool.p_root_taken <- true;
+      Some Root
     end
-  in
-  let emit ~prefix_rev ~last ~preemptions ~sleep ~terminal =
-    tasks :=
-      {
-        t_prefix = List.rev prefix_rev;
-        t_last = last;
-        t_preemptions = preemptions;
-        t_sleep = sleep;
-        t_terminal = terminal;
-      }
-      :: !tasks
-  in
-  let rec node ~prefix_rev ~depth ~last ~preemptions ~sleep =
-    if depth >= split_depth then
-      emit ~prefix_rev ~last ~preemptions ~sleep ~terminal:false
-    else begin
-      incr nodes;
-      let frontier = Runner.frontier !exec in
-      if frontier = [] || depth >= fuel then
-        (* [nodes] already counted this leaf; the worker only delivers. *)
-        emit ~prefix_rev ~last ~preemptions ~sleep ~terminal:true
-      else begin
-        let pruned_here =
-          prune
-          &&
-          let fp = Runner.fingerprint !exec in
-          if Hashtbl.mem memo fp then true
-          else begin
-            Hashtbl.add memo fp ();
-            false
+    else
+      match pool.p_queue with
+      | c :: rest ->
+          pool.p_queue <- rest;
+          pool.p_stolen <- pool.p_stolen + 1;
+          Atomic.decr pool.p_pending;
+          Some (Chunk c)
+      | [] ->
+          pool.p_idle <- pool.p_idle + 1;
+          if pool.p_idle = pool.p_domains then begin
+            pool.p_finished <- true;
+            Condition.broadcast pool.p_cond
           end
-        in
-        if pruned_here then incr fp_hits
-        else begin
-          let labelled =
-            List.map
-              (fun (d : Runner.decision) ->
-                (d, Option.value ~default:"" (Runner.head_label !exec d.thread)))
-              frontier
-          in
-          let last_enabled =
-            List.exists
-              (fun (d : Runner.decision) -> Some d.thread = last)
-              frontier
-          in
-          let explored = ref [] in
-          List.iter
-            (fun ((d : Runner.decision), l) ->
-              let cost =
-                if last_enabled && Some d.thread <> last then preemptions + 1
-                else preemptions
-              in
-              if within_budget cost then begin
-                if
-                  prune
-                  && List.exists
-                       (fun ((s : Runner.decision), _) ->
-                         s.thread = d.thread && s.branch = d.branch)
-                       sleep
-                then incr slept
-                else begin
-                  ensure_at depth prefix_rev;
-                  ignore (Runner.step !exec d);
-                  let sleep' =
-                    if prune then
-                      List.filter
-                        (fun s -> Engine.independent s (d, l))
-                        (sleep @ List.rev !explored)
-                    else []
-                  in
-                  node ~prefix_rev:(d :: prefix_rev) ~depth:(depth + 1)
-                    ~last:(Some d.thread) ~preemptions:cost ~sleep:sleep';
-                  explored := (d, l) :: !explored
-                end
-              end)
-            labelled
-        end
-      end
-    end
+          else
+            while
+              pool.p_queue = [] && not pool.p_finished
+              && Atomic.get pool.p_failure = None
+            do
+              Condition.wait pool.p_cond pool.p_mutex
+            done;
+          pool.p_idle <- pool.p_idle - 1;
+          go ()
   in
-  node ~prefix_rev:[] ~depth:0 ~last:None ~preemptions:0 ~sleep:[];
-  let splitter_stats =
-    {
-      Engine.empty_stats with
-      Engine.nodes = !nodes;
-      replayed_steps = !replayed;
-      fingerprint_hits = !fp_hits;
-      sleep_pruned = !slept;
-    }
-  in
-  (Array.of_list (List.rev !tasks), splitter_stats)
+  let r = go () in
+  (match r with Some _ -> Atomic.decr pool.p_hungry | None -> ());
+  Mutex.unlock pool.p_mutex;
+  r
 
-(* Deepen the split frontier until there are enough expandable subtrees to
-   keep every domain busy (or the tree runs out). Re-splitting re-walks
-   only the shallow top of the tree, so the final pass's counters are the
-   ones reported. *)
-let choose_split ~restart ~fuel ~preemption_bound ~prune ~domains =
-  let target = 4 * domains in
-  let rec go depth =
-    let tasks, stats =
-      split ~restart ~fuel ~preemption_bound ~prune ~split_depth:depth
-    in
-    let expandable =
-      Array.fold_left (fun n t -> if t.t_terminal then n else n + 1) 0 tasks
-    in
-    if
-      expandable >= target || expandable = 0 || depth >= fuel
-      || Array.length tasks >= 64 * domains
-    then (tasks, stats)
-    else go (depth + 1)
-  in
-  go 1
+let donate pool chunk =
+  Mutex.lock pool.p_mutex;
+  pool.p_queue <- pool.p_queue @ [ chunk ];
+  Atomic.incr pool.p_pending;
+  Condition.signal pool.p_cond;
+  Mutex.unlock pool.p_mutex
 
-(* ------------------------------------------------- work-stealing pool -- *)
+let fail pool e =
+  if Atomic.compare_and_set pool.p_failure None (Some e) then begin
+    Mutex.lock pool.p_mutex;
+    pool.p_finished <- true;
+    Condition.broadcast pool.p_cond;
+    Mutex.unlock pool.p_mutex
+  end
+
+(* ------------------------------------------------------ domain capping -- *)
 
 (* Worker domains beyond the hardware's core count buy no parallelism and
    pay for it in stop-the-world minor-GC synchronisation (every domain
    must reach a safepoint for every collection), so a request is capped at
    [Domain.recommended_domain_count]. Reports are domain-count-invariant
-   by construction, so the cap never changes a verdict — only wall-clock.
-   [CAL_EXPLORE_OVERSUBSCRIBE=1] lifts the cap: the determinism test suite
-   uses it to genuinely exercise multi-domain stealing and cache sharing
-   even on boxes with fewer cores than the requested domain count. *)
+   by construction, so the cap never changes a verdict — only wall-clock;
+   the cap decision is surfaced as [domains_used] vs [domains_requested]
+   in the stats. [CAL_EXPLORE_OVERSUBSCRIBE=1] lifts the cap: the
+   determinism test suite uses it to genuinely exercise multi-domain
+   stealing and cache sharing even on boxes with fewer cores than the
+   requested domain count. *)
 let effective_domains requested =
   if requested <= 1 then 1
   else if Engine.env_flag "CAL_EXPLORE_OVERSUBSCRIBE" then requested
   else min requested (Domain.recommended_domain_count ())
 
-(* Claim under one mutex: first an unclaimed task this worker owns
-   (static round-robin ownership), else steal the earliest unclaimed one.
-   A start barrier (the Condition) holds every worker until all domains
-   are spawned, so ownership is meaningful and steal counts are honest. *)
-let run_pool ~domains ~ntasks ~run =
-  let lock = Mutex.create () in
-  let cond = Condition.create () in
-  let ready = ref 0 in
-  let go = ref false in
-  let claimed = Array.make ntasks false in
-  let stolen = Atomic.make 0 in
-  let failure = Atomic.make (None : exn option) in
-  let barrier () =
-    Mutex.lock lock;
-    incr ready;
-    if !ready = domains then begin
-      go := true;
-      Condition.broadcast cond
-    end
-    else while not !go do Condition.wait cond lock done;
-    Mutex.unlock lock
+(* ----------------------------------------------------- parallel explore -- *)
+
+let explore ~prune ~domains ?max_runs ?preemption_bound ~restart ~fuel ~init
+    ~f ?stop_on () =
+  let requested = max 1 domains in
+  let domains = effective_domains requested in
+  let donate_min = Cal.Tuning.explore_donation_min_height () in
+  let budget = Option.map Atomic.make max_runs in
+  let gate = Option.map (fun b () -> Atomic.fetch_and_add b (-1) > 0) budget in
+  (* Deterministic first-failure bound: the lowest start rank of a task
+     that found a failure ([None] = none yet). Strictly-later tasks are
+     whole intervals the sequential engine would never reach. *)
+  let best = Atomic.make (None : int list option) in
+  let rec lower rank =
+    match Atomic.get best with
+    | Some b when compare b rank <= 0 -> ()
+    | cur -> if not (Atomic.compare_and_set best cur (Some rank)) then lower rank
   in
-  let claim w =
-    Mutex.lock lock;
-    let pick = ref None in
-    (try
-       for i = 0 to ntasks - 1 do
-         if (not claimed.(i)) && i mod domains = w then begin
-           pick := Some i;
-           raise Exit
-         end
-       done;
-       for i = 0 to ntasks - 1 do
-         if not claimed.(i) then begin
-           pick := Some i;
-           raise Exit
-         end
-       done
-     with Exit -> ());
-    (match !pick with
-    | Some i ->
-        claimed.(i) <- true;
-        if i mod domains <> w then Atomic.incr stolen
-    | None -> ());
-    Mutex.unlock lock;
-    !pick
+  let pool = new_pool ~domains in
+  let within_budget used =
+    match preemption_bound with None -> true | Some b -> used <= b
   in
+  let results = Array.make domains [] in
   let worker w () =
-    barrier ();
-    let rec loop () =
-      if Atomic.get failure = None then
-        match claim w with
-        | None -> ()
-        | Some i ->
-            (try run i
-             with e -> ignore (Atomic.compare_and_set failure None (Some e)));
-            loop ()
+    let out = ref [] in
+    let run_task task =
+      let rank, prefix, depth0 =
+        match task with
+        | Root -> ([], [], 0)
+        | Chunk c -> (c.k_rank, c.k_prefix, c.k_depth)
+      in
+      let exec = ref (restart ()) in
+      List.iter (fun d -> ignore (Runner.step !exec d)) prefix;
+      let runs = ref 0 and truncated = ref false and max_steps = ref 0 in
+      let nodes = ref 0 and replayed = ref depth0 in
+      let fp_hits = ref 0 and slept = ref 0 in
+      let memo : (string, unit) Hashtbl.t =
+        if prune then
+          Hashtbl.create
+            (Cal.Tuning.explore_memo_size ~fuel
+               ~threads:(Engine.threads_of !exec))
+        else Hashtbl.create 1
+      in
+      let acc = init () in
+      let exception Task_done in
+      let deliver () =
+        (match gate with
+        | Some admit when not (admit ()) ->
+            truncated := true;
+            raise Engine.Stop
+        | _ -> ());
+        let o = Runner.outcome !exec in
+        f acc o;
+        incr runs;
+        if o.Runner.steps > !max_steps then max_steps := o.Runner.steps;
+        match stop_on with
+        | Some hit when hit acc o ->
+            lower rank;
+            raise Task_done
+        | _ -> ()
+      in
+      let abandoned () =
+        match stop_on with
+        | None -> false
+        | Some _ -> (
+            match Atomic.get best with
+            | Some b -> compare b rank < 0
+            | None -> false)
+      in
+      (* Per-task frame stack, shallowest first. *)
+      let frames = ref [||] and ntop = ref 0 in
+      (* A task donates only after it has descended at least one edge.
+         Without this, a freshly claimed chunk whose owner sees a hungry
+         peer donates its {e entire} branch list back to the pool before
+         doing any work — and with several workers timesharing few cores
+         the chunk circulates as a hot potato, each hop burning a full
+         prefix replay and a result entry while one worker does all the
+         real work (observed: ~90 donations per delivered run). Requiring
+         one descended edge first makes every hop shrink the interval, so
+         total donations are bounded by the tree's edge count. *)
+      let started = ref false in
+      let push fr =
+        let arr = !frames in
+        let cap = Array.length arr in
+        if !ntop >= cap then begin
+          let arr' = Array.make (max 16 (2 * cap)) fr in
+          Array.blit arr 0 arr' 0 cap;
+          frames := arr'
+        end;
+        !frames.(!ntop) <- fr;
+        incr ntop
+      in
+      let pop () = decr ntop in
+      (* Donate the shallowest frame's remaining branches — the canonical
+         tail of this task's remaining work — when there are more hungry
+         workers than chunks already waiting for them (without the
+         pending bound, oversubscribed runs over-split: some worker is
+         always between tasks, and every busy worker would shed work on
+         every node). Frames whose subtree height is below the grain
+         threshold are skipped: handing out a few leaves costs more than
+         running them. *)
+      let maybe_donate () =
+        if !started && Atomic.get pool.p_hungry > Atomic.get pool.p_pending
+        then begin
+          let arr = !frames and n = !ntop in
+          let rec find i =
+            if i >= n then ()
+            else
+              let fr = arr.(i) in
+              if fr.fr_rest <> [] && fuel - fr.fr_depth >= donate_min then begin
+                donate pool
+                  {
+                    k_rank = List.rev (fr.fr_next :: fr.fr_rank_rev);
+                    k_node_rank_rev = fr.fr_rank_rev;
+                    k_prefix = List.rev fr.fr_prefix_rev;
+                    k_depth = fr.fr_depth;
+                    k_last = fr.fr_last;
+                    k_preemptions = fr.fr_preemptions;
+                    k_last_enabled = fr.fr_last_enabled;
+                    k_sleep = fr.fr_sleep;
+                    k_explored = fr.fr_explored;
+                    k_rest = fr.fr_rest;
+                    k_base = fr.fr_next;
+                  };
+                fr.fr_rest <- []
+              end
+              else find (i + 1)
+          in
+          find 0
+        end
+      in
+      let ensure_at depth prefix_rev =
+        if Runner.steps_done !exec <> depth then begin
+          let e = restart () in
+          List.iter (fun d -> ignore (Runner.step e d)) (List.rev prefix_rev);
+          replayed := !replayed + depth;
+          exec := e
+        end
+      in
+      let rec expand ~depth ~prefix_rev ~rank_rev ~last ~preemptions ~sleep =
+        if abandoned () then raise Engine.Abandoned;
+        incr nodes;
+        let frontier = Runner.frontier !exec in
+        if frontier = [] || depth >= fuel then deliver ()
+        else begin
+          let pruned_here =
+            prune
+            &&
+            let fp = Runner.fingerprint !exec in
+            if Hashtbl.mem memo fp then true
+            else begin
+              Hashtbl.add memo fp ();
+              false
+            end
+          in
+          if pruned_here then incr fp_hits
+          else begin
+            let labelled =
+              List.map
+                (fun (d : Runner.decision) ->
+                  ( d,
+                    Option.value ~default:""
+                      (Runner.head_label !exec d.thread) ))
+                frontier
+            in
+            let last_enabled =
+              List.exists
+                (fun (d : Runner.decision) -> Some d.thread = last)
+                frontier
+            in
+            let fr =
+              {
+                fr_depth = depth;
+                fr_prefix_rev = prefix_rev;
+                fr_rank_rev = rank_rev;
+                fr_last = last;
+                fr_preemptions = preemptions;
+                fr_last_enabled = last_enabled;
+                fr_sleep = sleep;
+                fr_explored = [];
+                fr_rest = labelled;
+                fr_next = 0;
+              }
+            in
+            push fr;
+            iterate fr;
+            pop ()
+          end
+        end
+      and iterate fr =
+        maybe_donate ();
+        match fr.fr_rest with
+        | [] -> ()
+        | (d, l) :: rest ->
+            fr.fr_rest <- rest;
+            let idx = fr.fr_next in
+            fr.fr_next <- idx + 1;
+            let cost =
+              if fr.fr_last_enabled && Some d.thread <> fr.fr_last then
+                fr.fr_preemptions + 1
+              else fr.fr_preemptions
+            in
+            if within_budget cost then begin
+              if
+                prune
+                && List.exists
+                     (fun ((s : Runner.decision), _) ->
+                       s.thread = d.thread && s.branch = d.branch)
+                     fr.fr_sleep
+              then incr slept
+              else begin
+                ensure_at fr.fr_depth fr.fr_prefix_rev;
+                ignore (Runner.step !exec d);
+                started := true;
+                let sleep' =
+                  if prune then
+                    List.filter
+                      (fun s -> Engine.independent s (d, l))
+                      (fr.fr_sleep @ List.rev fr.fr_explored)
+                  else []
+                in
+                expand ~depth:(fr.fr_depth + 1)
+                  ~prefix_rev:(d :: fr.fr_prefix_rev)
+                  ~rank_rev:(idx :: fr.fr_rank_rev) ~last:(Some d.thread)
+                  ~preemptions:cost ~sleep:sleep';
+                fr.fr_explored <- (d, l) :: fr.fr_explored
+              end
+            end;
+            iterate fr
+      in
+      (try
+         match task with
+         | Root ->
+             expand ~depth:0 ~prefix_rev:[] ~rank_rev:[] ~last:None
+               ~preemptions:0 ~sleep:[]
+         | Chunk c ->
+             (* The donor counted (and, under pruning, memoized) this node
+                when it expanded it; the chunk resumes mid-iteration. *)
+             let fr =
+               {
+                 fr_depth = c.k_depth;
+                 fr_prefix_rev = List.rev c.k_prefix;
+                 fr_rank_rev = c.k_node_rank_rev;
+                 fr_last = c.k_last;
+                 fr_preemptions = c.k_preemptions;
+                 fr_last_enabled = c.k_last_enabled;
+                 fr_sleep = c.k_sleep;
+                 fr_explored = c.k_explored;
+                 fr_rest = c.k_rest;
+                 fr_next = c.k_base;
+               }
+             in
+             if abandoned () then raise Engine.Abandoned;
+             push fr;
+             iterate fr;
+             pop ()
+       with Engine.Stop | Engine.Abandoned | Task_done -> ());
+      let stats =
+        {
+          Engine.empty_stats with
+          Engine.runs = !runs;
+          truncated = !truncated;
+          max_steps = !max_steps;
+          nodes = !nodes;
+          replayed_steps = !replayed;
+          fingerprint_hits = !fp_hits;
+          sleep_pruned = !slept;
+        }
+      in
+      (rank, stats, acc)
     in
-    loop ()
+    let rec loop () =
+      match claim pool with
+      | None -> ()
+      | Some task ->
+          (match (try Some (run_task task) with e -> fail pool e; None) with
+          | Some r -> out := r :: !out
+          | None -> ());
+          Atomic.incr pool.p_hungry;
+          loop ()
+    in
+    loop ();
+    results.(w) <- !out
   in
   let spawned =
     List.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1)))
   in
   worker 0 ();
   List.iter Domain.join spawned;
-  (match Atomic.get failure with Some e -> raise e | None -> ());
-  Atomic.get stolen
+  (match Atomic.get pool.p_failure with Some e -> raise e | None -> ());
+  let entries =
+    Array.to_list results |> List.concat
+    |> List.sort (fun (r1, _, _) (r2, _, _) -> compare r1 r2)
+  in
+  let merged =
+    List.fold_left
+      (fun m (_, s, _) -> Engine.merge_stats m s)
+      Engine.empty_stats entries
+  in
+  let stats =
+    {
+      merged with
+      Engine.tasks_stolen = pool.p_stolen;
+      domains_used = domains;
+      domains_requested = requested;
+    }
+  in
+  (stats, Array.of_list (List.map (fun (_, _, a) -> a) entries))
 
-(* Generic deterministic parallel map over an explicit task list (used by
-   the plan fan-out of the fault sweep): results land at their task index,
-   so merging in index order reproduces the sequential order. *)
+(* Generic deterministic parallel map over an explicit task array (used by
+   the plan fan-out of the fault sweep): items are claimed with one atomic
+   fetch-and-add — no lock, no O(n) scan — and results land at their
+   item's index, so merging in index order reproduces the sequential
+   order. A claim is counted stolen when the item would not have landed on
+   this worker under a static round-robin split. *)
 let map_tasks ~domains ~f items =
   let n = Array.length items in
   if n = 0 then ([||], 0)
   else begin
-    let domains = effective_domains domains in
+    let domains = max 1 (min (effective_domains domains) n) in
     let results = Array.make n None in
-    let stolen =
-      run_pool ~domains:(max 1 (min domains n)) ~ntasks:n ~run:(fun i ->
-          results.(i) <- Some (f i items.(i)))
-    in
-    (Array.map Option.get results, stolen)
-  end
-
-(* ----------------------------------------------------- parallel explore -- *)
-
-let explore ~prune ~domains ?split_depth ?max_runs ?preemption_bound ~restart
-    ~fuel ~init ~f ?stop_on () =
-  let domains = effective_domains domains in
-  let tasks, splitter_stats =
-    match split_depth with
-    | Some d ->
-        split ~restart ~fuel ~preemption_bound ~prune
-          ~split_depth:(max 1 (min d fuel))
-    | None -> choose_split ~restart ~fuel ~preemption_bound ~prune ~domains
-  in
-  let ntasks = Array.length tasks in
-  let budget = Option.map Atomic.make max_runs in
-  let gate =
-    Option.map (fun b () -> Atomic.fetch_and_add b (-1) > 0) budget
-  in
-  (* Deterministic first-failure bound: the lowest task index that found a
-     failure; tasks ordered after it are abandoned. *)
-  let best = Atomic.make max_int in
-  let rec lower idx =
-    let cur = Atomic.get best in
-    if idx < cur && not (Atomic.compare_and_set best cur idx) then lower idx
-  in
-  let results = Array.make (max 1 ntasks) None in
-  let run_task idx =
-    let t = tasks.(idx) in
-    let acc = init () in
-    let exception Task_done in
-    let deliver o =
-      f acc o;
-      match stop_on with
-      | Some hit when hit acc o ->
-          lower idx;
-          raise Task_done
-      | _ -> ()
-    in
-    let stats =
-      if t.t_terminal then begin
-        (* The splitter counted this leaf's node; just replay and deliver. *)
-        let e = restart () in
-        List.iter (fun d -> ignore (Runner.step e d)) t.t_prefix;
-        let o = Runner.outcome e in
-        let admitted = match gate with Some g -> g () | None -> true in
-        if admitted then (try deliver o with Task_done -> ());
-        {
-          Engine.empty_stats with
-          Engine.runs = (if admitted then 1 else 0);
-          truncated = not admitted;
-          max_steps = (if admitted then o.Runner.steps else 0);
-          replayed_steps = List.length t.t_prefix;
-        }
-      end
-      else
-        let abort =
-          match stop_on with
-          | None -> None
-          | Some _ -> Some (fun () -> Atomic.get best < idx)
+    if domains = 1 then begin
+      Array.iteri (fun i x -> results.(i) <- Some (f i x)) items;
+      (Array.map Option.get results, 0)
+    end
+    else begin
+      let next = Atomic.make 0 in
+      let stolen = Atomic.make 0 in
+      let failure = Atomic.make (None : exn option) in
+      let worker w () =
+        let rec loop () =
+          if Atomic.get failure = None then begin
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              if i mod domains <> w then Atomic.incr stolen;
+              (try results.(i) <- Some (f i items.(i))
+               with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+              loop ()
+            end
+          end
         in
-        try
-          Engine.dfs ~restart ~fuel ?preemption_bound ~prune
-            ~prefix:t.t_prefix ?last0:t.t_last ~preemptions0:t.t_preemptions
-            ~sleep0:t.t_sleep ?gate ?abort ~init_path:()
-            ~step_path:(fun () _ _ -> ())
-            ~leaf:(fun o _ () -> deliver o)
-            ()
-        with Task_done ->
-          (* the task stopped at its first failure; its partial counters
-             are unavailable, which only affects cost accounting *)
-          { Engine.empty_stats with Engine.runs = 1 }
-    in
-    results.(idx) <- Some (stats, acc)
-  in
-  let stolen =
-    if ntasks = 0 then 0
-    else run_pool ~domains:(max 1 domains) ~ntasks ~run:run_task
-  in
-  let merged = ref splitter_stats in
-  let accs = ref [] in
-  Array.iter
-    (fun r ->
-      match r with
-      | None -> ()
-      | Some (s, acc) ->
-          merged := Engine.merge_stats !merged s;
-          accs := acc :: !accs)
-    results;
-  let stats =
-    {
-      !merged with
-      Engine.tasks_stolen = stolen;
-      domains_used = max 1 domains;
-    }
-  in
-  (stats, Array.of_list (List.rev !accs))
+        loop ()
+      in
+      let spawned =
+        List.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1)))
+      in
+      worker 0 ();
+      List.iter Domain.join spawned;
+      (match Atomic.get failure with Some e -> raise e | None -> ());
+      (Array.map Option.get results, Atomic.get stolen)
+    end
+  end

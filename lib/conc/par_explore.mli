@@ -1,11 +1,21 @@
 (** Work-stealing parallel exploration over OCaml 5 domains.
 
-    The schedule tree is split at a frontier depth into independent
-    subtree tasks; each worker domain replays a task's root prefix on its
-    own private {!Runner} cursor and runs {!Engine.dfs} below it. Tasks
-    are generated and merged in canonical DFS order, making full sweeps
-    byte-identical to the sequential engine and first-failure searches
-    return the sequential witness (see DESIGN §2.11).
+    Splitting is dynamic: the whole schedule tree starts as one task, and
+    while workers explore it they donate the remaining branches of their
+    shallowest open DFS node to a shared pool whenever some worker is
+    idle — signalled by one lock-free counter, so the descend/backtrack
+    hot path pays a single atomic load per node and no locks. Donated
+    chunks are claimed, resumed, and split further, recursively, so load
+    balances itself whatever the tree's shape (see DESIGN §2.11).
+
+    Determinism is preserved by construction: every task owns a
+    contiguous interval of the canonical (sequential DFS) leaf order and
+    carries its start {e rank} — the branch-index path from the root —
+    so sorting per-task results by rank reproduces the sequential
+    delivery order byte-for-byte, whatever the domain count or steal
+    timing. First-failure searches share a monotonically lowering best
+    start rank and abandon only tasks strictly after a failed interval,
+    so the surviving lowest-rank witness is the sequential one.
 
     Most callers want {!Explore} with [~domains]; this module is the
     parallel engine room.
@@ -15,10 +25,11 @@
     beyond the hardware's cores buy no parallelism and pay stop-the-world
     minor-GC synchronisation for every collection. The cap never changes
     a report — verdicts, witnesses and run counts are domain-count
-    invariant by construction — only wall-clock. Setting
-    [CAL_EXPLORE_OVERSUBSCRIBE=1] lifts the cap, which the equivalence
-    test suite uses to genuinely exercise multi-domain stealing and
-    verdict-cache sharing on any hardware. *)
+    invariant by construction — only wall-clock; the decision is
+    surfaced as [domains_used] vs [domains_requested] in the returned
+    stats. Setting [CAL_EXPLORE_OVERSUBSCRIBE=1] lifts the cap, which the
+    equivalence test suite uses to genuinely exercise multi-domain
+    stealing and verdict-cache sharing on any hardware. *)
 
 val effective_domains : int -> int
 (** [effective_domains requested] — the worker-domain count actually
@@ -29,7 +40,6 @@ val effective_domains : int -> int
 val explore :
   prune:bool ->
   domains:int ->
-  ?split_depth:int ->
   ?max_runs:int ->
   ?preemption_bound:int ->
   restart:(unit -> Runner.exec) ->
@@ -40,21 +50,26 @@ val explore :
   unit ->
   Engine.stats * 'acc array
 (** Explore the whole schedule tree of [restart] across [domains] worker
-    domains. Each subtree task gets its own accumulator ([init] runs once
-    per task); the accumulators are returned in canonical task order, so
+    domains. Each task gets its own accumulator ([init] runs once per
+    task); the accumulators are returned in canonical rank order, so
     folding them left reproduces the sequential delivery order. [f] runs
     concurrently from several domains but only ever on its own task's
     accumulator. [stop_on] turns the sweep into a deterministic
     first-failure search: when it returns [true] the task stops and tasks
-    ordered after it are abandoned; the first accumulator (in task order)
+    ranked after it are abandoned; the first accumulator (in rank order)
     for which it fired holds the same witness the sequential engine
     reports. [max_runs] is a shared atomic budget — which runs are
     admitted under it is scheduling-dependent, unlike the sequential
     engine (callers that need run-set determinism pass no budget).
-    [split_depth] overrides the automatic frontier choice. *)
+    With [prune] each task keeps a private fingerprint memo, so the
+    delivered run {e set} of a pruned multi-domain sweep is
+    timing-dependent (verdict coverage is unaffected); callers that need
+    byte-deterministic pruned reports use one domain. *)
 
 val map_tasks :
   domains:int -> f:(int -> 'a -> 'b) -> 'a array -> 'b array * int
-(** Run [f] over an explicit task array with the same deterministic
-    work-stealing pool (used for the fault-plan fan-out): results land at
-    their task's index. Returns the results and the steal count. *)
+(** Run [f] over an explicit task array claimed via one atomic counter
+    (used for the fault-plan fan-out): results land at their task's
+    index, so merging in index order is deterministic. Returns the
+    results and the steal count — items that landed off their static
+    round-robin worker. *)

@@ -178,19 +178,27 @@ let apply fs states d =
     fs.plan;
   label
 
+(* Built backwards in one pass (thread asc, branch asc) — this runs at
+   every node of every exploration, so the per-thread intermediate lists
+   of the obvious [mapi]+[concat] formulation are worth avoiding. *)
 let enabled fs states =
-  Array.to_list states
-  |> List.mapi (fun i st ->
-         if crashed fs i || stalled fs i then []
-         else
-           match st with
-           | Prog.Return _ -> []
-           | Prog.Atomic _ | Prog.Fallible _ -> [ { thread = i; branch = 0 } ]
-           | Prog.Choose (_, ms) ->
-               List.init (List.length ms) (fun b -> { thread = i; branch = b })
-           | Prog.Guard (_, g) ->
-               if g () = None then [] else [ { thread = i; branch = 0 } ])
-  |> List.concat
+  let acc = ref [] in
+  for i = Array.length states - 1 downto 0 do
+    if not (crashed fs i || stalled fs i) then
+      match states.(i) with
+      | Prog.Return _ -> ()
+      | Prog.Atomic _ | Prog.Fallible _ ->
+          acc := { thread = i; branch = 0 } :: !acc
+      | Prog.Choose (_, ms) ->
+          for b = List.length ms - 1 downto 0 do
+            acc := { thread = i; branch = b } :: !acc
+          done
+      | Prog.Guard (_, g) -> (
+          match g () with
+          | None -> ()
+          | Some _ -> acc := { thread = i; branch = 0 } :: !acc)
+  done;
+  !acc
 
 (* -------------------------------------------- resumable execution API -- *)
 

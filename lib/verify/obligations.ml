@@ -203,6 +203,7 @@ let fault_exploration (stats : Conc.Explore.fault_stats) =
       cache_hits = 0;
       tasks_stolen = stats.fault_tasks_stolen;
       domains_used = stats.fault_domains_used;
+      domains_requested = stats.fault_domains_requested;
       sampled_runs = 0;
       violations_found = 0;
       shrink_candidates = 0;
@@ -383,6 +384,7 @@ let sampled_stats ~runs ~max_steps ~violations ~shrink_candidates
       cache_hits = 0;
       tasks_stolen = 0;
       domains_used = 1;
+      domains_requested = 1;
       sampled_runs = runs;
       violations_found = violations;
       shrink_candidates;
@@ -544,8 +546,12 @@ let pp_exploration ppf (s : Conc.Explore.stats) =
     (if s.fingerprint_hits > 0 || s.sleep_pruned > 0 then
        Fmt.str ", pruned %d fp + %d sleep" s.fingerprint_hits s.sleep_pruned
      else "")
-    (if s.domains_used > 1 then
-       Fmt.str ", %d domains (%d stolen)" s.domains_used s.tasks_stolen
+    (if s.domains_used > 1 || s.domains_requested > s.domains_used then
+       Fmt.str ", %d domains%s (%d stolen)" s.domains_used
+         (if s.domains_requested > s.domains_used then
+            Fmt.str " of %d requested (hardware cap)" s.domains_requested
+          else "")
+         s.tasks_stolen
      else "")
     (if s.cache_hits > 0 then Fmt.str ", %d cache hits" s.cache_hits else "")
     (if s.sampled_runs > 0 then

@@ -382,6 +382,7 @@ type explore_cost = {
   fingerprint_hits : int;
   sleep_pruned : int;
   domains_used : int;
+  domains_requested : int;
   tasks_stolen : int;
   explore_truncated : bool;
 }
@@ -424,6 +425,7 @@ let explore_cost ~engine ~setup ~fuel ?max_runs ?preemption_bound () =
     fingerprint_hits = stats.Explore.fingerprint_hits;
     sleep_pruned = stats.Explore.sleep_pruned;
     domains_used = stats.Explore.domains_used;
+    domains_requested = stats.Explore.domains_requested;
     tasks_stolen = stats.Explore.tasks_stolen;
     explore_truncated = stats.Explore.truncated;
   }
@@ -433,8 +435,12 @@ let pp_explore_cost ppf c =
     "%-18s runs=%-6d nodes=%-7d steps=%-8d replayed=%-8d fp=%-5d sleep=%d%s%s"
     c.engine c.explored_runs c.nodes c.steps_executed c.replayed_steps
     c.fingerprint_hits c.sleep_pruned
-    (if c.domains_used > 1 then
-       Fmt.str " domains=%d stolen=%d" c.domains_used c.tasks_stolen
+    (if c.domains_used > 1 || c.domains_requested > c.domains_used then
+       Fmt.str " domains=%d%s stolen=%d" c.domains_used
+         (if c.domains_requested > c.domains_used then
+            Fmt.str "/%d-requested" c.domains_requested
+          else "")
+         c.tasks_stolen
      else "")
     (if c.explore_truncated then " [truncated]" else "")
 

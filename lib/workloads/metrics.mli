@@ -112,7 +112,11 @@ type explore_cost = {
   fingerprint_hits : int;
   sleep_pruned : int;
   domains_used : int;     (** worker domains the exploration ran on *)
-  tasks_stolen : int;     (** subtree tasks run by a non-owning domain *)
+  domains_requested : int;
+      (** worker domains asked for; differs from [domains_used] when the
+          hardware capped the request
+          ({!Conc.Par_explore.effective_domains}) *)
+  tasks_stolen : int;     (** donated subtree chunks claimed by workers *)
   explore_truncated : bool;
 }
 

@@ -185,17 +185,100 @@ let test_durable_single_plan_domain_invariant () =
         true (s = schedules1))
     [ 2; 4 ]
 
-(* With the oversubscription override, requested domains really spawn. *)
+(* The engine must actually distribute work: with several (oversubscribed)
+   workers on an imbalanced tree, donated chunks get claimed — and the
+   report stays byte-identical to the 1-domain sweep. *)
+let test_stealing_happens () =
+  let s = S.faulty_elim_stack ~pushers:1 ~poppers:2 () in
+  let run domains =
+    O.check_black_box ~domains ~setup:s.setup ~spec:s.spec ~fuel:8
+      ?preemption_bound:s.bound ()
+  in
+  let seq = run 1 in
+  List.iter
+    (fun domains ->
+      let par = run domains in
+      check_bool
+        (Fmt.str "stolen report matches sequential at domains=%d" domains)
+        true
+        (fingerprint par = fingerprint seq);
+      match par.exploration with
+      | None -> Alcotest.fail "exhaustive check lost its exploration stats"
+      | Some e ->
+          check_bool
+            (Fmt.str "tasks_stolen > 0 at domains=%d" domains)
+            true
+            (e.Explore.tasks_stolen > 0))
+    [ 2; 4 ]
+
+(* The shared verdict cache grows a per-domain front table when unbounded;
+   a rejection-heavy multi-domain sweep must still produce the sequential
+   report, with the front-table hits accounted for. *)
+let test_cache_per_domain_deterministic () =
+  let s = S.faulty_exchanger () in
+  let run ~domains ~cache =
+    O.check_black_box ~domains ~cache ~setup:s.setup ~spec:s.spec ~fuel:s.fuel
+      ?preemption_bound:s.bound ()
+  in
+  let off = run ~domains:1 ~cache:false in
+  List.iter
+    (fun domains ->
+      let on = run ~domains ~cache:true in
+      check_bool
+        (Fmt.str "cached faulty report matches uncached at domains=%d" domains)
+        true
+        (fingerprint on = fingerprint off);
+      match on.exploration with
+      | None -> Alcotest.fail "exhaustive check lost its exploration stats"
+      | Some e ->
+          check_bool
+            (Fmt.str "cache hits accrue at domains=%d" domains)
+            true
+            (e.Explore.cache_hits > 0))
+    domain_counts
+
+(* A first-failure search that aborts its tasks must still report the
+   failing task's real partial counters — the old engine returned
+   [{ empty_stats with runs = 1 }] for it, under-reporting nodes and
+   max_steps whenever every other task was abandoned. *)
+let test_first_failure_partial_stats () =
+  let s = S.faulty_counter () in
+  let p (o : Runner.outcome) = Cal_checker.is_cal ~spec:s.spec o.history in
+  match
+    Explore.check_all ~domains:4 ~setup:s.setup ~fuel:s.fuel
+      ?preemption_bound:s.bound ~p ()
+  with
+  | Ok _ -> Alcotest.fail "faulty counter accepted"
+  | Error (o, st) ->
+      let depth = List.length o.Runner.schedule in
+      check_bool "witness has steps" true (depth > 0);
+      check_bool "failing task kept its node count" true
+        (st.Explore.nodes > depth);
+      check_bool "failing task kept its max_steps" true
+        (st.Explore.max_steps >= o.Runner.steps)
+
+(* With the oversubscription override, requested domains really spawn;
+   without it, the hardware cap is applied and the report says so. *)
 let test_domains_used () =
   let s = S.exchanger_trio () in
-  let r =
+  let run () =
     O.check_black_box ~domains:4 ~setup:s.setup ~spec:s.spec ~fuel:8
       ?preemption_bound:s.bound ()
   in
-  match r.exploration with
+  (match (run ()).exploration with
   | None -> Alcotest.fail "exhaustive check lost its exploration stats"
   | Some e ->
-      Alcotest.(check int) "domains_used" 4 e.Explore.domains_used
+      Alcotest.(check int) "domains_used" 4 e.Explore.domains_used;
+      Alcotest.(check int) "domains_requested" 4 e.Explore.domains_requested);
+  Unix.putenv "CAL_EXPLORE_OVERSUBSCRIBE" "";
+  let capped = min 4 (Domain.recommended_domain_count ()) in
+  (match (run ()).exploration with
+  | None -> Alcotest.fail "exhaustive check lost its exploration stats"
+  | Some e ->
+      Alcotest.(check int) "capped domains_used" capped e.Explore.domains_used;
+      Alcotest.(check int)
+        "capped domains_requested" 4 e.Explore.domains_requested);
+  Unix.putenv "CAL_EXPLORE_OVERSUBSCRIBE" "1"
 
 (* The capping policy itself: identity at <= 1 worker, capped at the
    hardware parallelism unless the override is set. *)
@@ -246,6 +329,12 @@ let () =
             test_check_all_witness_deterministic;
           t "durable single-plan exploration is domain-count-invariant"
             test_durable_single_plan_domain_invariant;
+          t "work stealing actually happens on an imbalanced tree"
+            test_stealing_happens;
+          t "per-domain cache front is deterministic on faulty sweeps"
+            test_cache_per_domain_deterministic;
+          t "first-failure search keeps the failing task's partial stats"
+            test_first_failure_partial_stats;
           t "requested domains spawn under the oversubscription override"
             test_domains_used;
           t "effective_domains capping policy" test_effective_domains;
