@@ -23,6 +23,12 @@
                                              regenerates BENCH_serve.json)
         dune exec bench/main.exe -- serve-smoke (B16 at a reduced CI
                                              budget, same assertions)
+        dune exec bench/main.exe -- serve-durable (B17, full budget,
+                                             regenerates
+                                             BENCH_serve_durable.json)
+        dune exec bench/main.exe -- serve-durable-smoke (B17 at a
+                                             reduced CI budget, same
+                                             assertions)
         dune exec bench/main.exe -- fuzz    (fixed-seed sampled pass over
                                              every scenario; fails on any
                                              verdict mismatch) *)
@@ -39,6 +45,10 @@ let mode =
   else if Array.exists (fun a -> a = "parallel") Sys.argv then `Parallel
   else if Array.exists (fun a -> a = "sampling") Sys.argv then `Sampling
   else if Array.exists (fun a -> a = "serve-smoke") Sys.argv then `Serve_smoke
+  else if Array.exists (fun a -> a = "serve-durable-smoke") Sys.argv then
+    `Serve_durable_smoke
+  else if Array.exists (fun a -> a = "serve-durable") Sys.argv then
+    `Serve_durable
   else if Array.exists (fun a -> a = "serve") Sys.argv then `Serve
   else if Array.exists (fun a -> a = "fuzz") Sys.argv then `Fuzz
   else `Full
@@ -1051,6 +1061,236 @@ let figure_serve ~reduced () =
   close_out oc;
   Fmt.pr "# rows written to BENCH_serve.json@."
 
+(* B17 — durability tax and recovery-time scaling of the write-ahead
+   journal (lib/service/journal). Two tables in BENCH_serve_durable.json:
+   - "overhead": the B16 sequential cell re-driven with journal-before-
+     apply at three durability settings (default group commit,
+     flush-per-append, fsync-per-append) against a journal-less
+     baseline; best-of-N wall clock per variant, and the default setting
+     must stay within 25% of baseline;
+   - "recovery": a crashed journal of ~N frames at three snapshot
+     cadences (never / every N/10 / every N/100), recovered and replayed
+     end to end; the replayed suffix must equal the frames past the last
+     snapshot exactly, with nothing dropped, and the wall-clock recovery
+     time per cell shows the replay-suffix scaling. *)
+let figure_serve_durable ~reduced () =
+  Fmt.pr "@.# B17: write-ahead journal tax and recovery scaling (%s)@."
+    (if reduced then "reduced CI budget" else "full budget");
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let scratch =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cal-b17-%d" (Unix.getpid ()))
+  in
+  rm_rf scratch;
+  Unix.mkdir scratch 0o755;
+  let spec_for oid = Some (Spec_counter.spec ~oid ()) in
+  let sessions = if reduced then 400 else 1000 in
+  let rounds = if reduced then 6 else 12 in
+  let config =
+    {
+      Service.Config.default with
+      max_sessions = sessions + 8;
+      memory_budget = 4 * sessions;
+    }
+  in
+  let mk () =
+    match Service.Core.create ~config ~spec_for () with
+    | Ok t -> t
+    | Error m -> Fmt.failwith "serve-durable bench: config rejected: %s" m
+  in
+  let frames =
+    List.concat
+      (List.init rounds (fun r ->
+           List.init sessions (fun i -> Printf.sprintf "t1 inv S%d.incr ()" i)
+           @ List.init sessions (fun i ->
+                 Printf.sprintf "t1 res S%d.incr %d" i r)))
+  in
+  let n_frames = List.length frames in
+  let drive ?writer () =
+    let t0 = Unix.gettimeofday () in
+    let core =
+      List.fold_left
+        (fun core frame ->
+          (match writer with
+          | None -> ()
+          | Some w ->
+              ignore (Service.Journal.append w (Service.Journal.Line frame)));
+          fst (Service.Core.feed core (Service.Proto.Line frame)))
+        (mk ()) frames
+    in
+    Option.iter Service.Journal.flush writer;
+    (core, Unix.gettimeofday () -. t0)
+  in
+  let d0 = Service.Config.default_durability in
+  let variants =
+    [
+      ("baseline", None);
+      ("journal-default", Some d0);
+      ("journal-sync", Some { d0 with Service.Config.flush_every = 1 });
+      ("journal-fsync",
+       Some { d0 with Service.Config.flush_every = 1; fsync_every = 1 });
+    ]
+  in
+  let reps = if reduced then 2 else 3 in
+  let run_variant (name, dur) =
+    let one () =
+      match dur with
+      | None -> snd (drive ())
+      | Some durability -> (
+          let dir = Filename.concat scratch name in
+          rm_rf dir;
+          match Service.Journal.create ~dir ~durability () with
+          | Error m -> Fmt.failwith "serve-durable bench: %s" m
+          | Ok w ->
+              let _, elapsed = drive ~writer:w () in
+              Service.Journal.close w;
+              elapsed)
+    in
+    let elapsed = ref (one ()) in
+    for _ = 2 to reps do
+      elapsed := min !elapsed (one ())
+    done;
+    (name, !elapsed)
+  in
+  let overhead_rows =
+    let timed = List.map run_variant variants in
+    let base = List.assoc "baseline" timed in
+    List.map
+      (fun (name, elapsed) ->
+        let pct = (elapsed /. base -. 1.) *. 100. in
+        let fps = float_of_int n_frames /. elapsed in
+        Fmt.pr "%-16s %8d frames %10.0f frames/s  %+6.1f%% vs baseline@."
+          name n_frames fps
+          (if name = "baseline" then 0. else pct);
+        (name, elapsed, fps, pct))
+      timed
+  in
+  let _, _, _, default_pct =
+    List.find (fun (n, _, _, _) -> n = "journal-default") overhead_rows
+  in
+  if default_pct > 25. then
+    Fmt.failwith
+      "serve-durable bench: default journal tax %.1f%% exceeds the 25%% \
+       budget"
+      default_pct;
+  (* recovery grid: feed + journal n frames with snapshots every
+     [cadence] frames, close without a final snapshot (the kill -9
+     shape), then time recover + restore + full replay. *)
+  let rec_frames n =
+    let v = Array.make 100 0 in
+    let buf = ref [] in
+    for i = 0 to n - 1 do
+      let s = i mod 100 in
+      let frame =
+        if i / 100 mod 2 = 0 then Printf.sprintf "t1 inv S%d.incr ()" s
+        else begin
+          let r = v.(s) in
+          v.(s) <- r + 1;
+          Printf.sprintf "t1 res S%d.incr %d" s r
+        end
+      in
+      buf := frame :: !buf
+    done;
+    List.rev !buf
+  in
+  let rec_n = (if reduced then 2_000 else 20_000) + 137 in
+  let recovery_rows =
+    List.map
+      (fun cadence ->
+        let dir =
+          Filename.concat scratch (Printf.sprintf "rec-%d" cadence)
+        in
+        rm_rf dir;
+        let w =
+          match Service.Journal.create ~dir ~durability:d0 () with
+          | Ok w -> w
+          | Error m -> Fmt.failwith "serve-durable bench: %s" m
+        in
+        let core = ref (mk ()) in
+        List.iteri
+          (fun i frame ->
+            ignore (Service.Journal.append w (Service.Journal.Line frame));
+            core := fst (Service.Core.feed !core (Service.Proto.Line frame));
+            if cadence > 0 && (i + 1) mod cadence = 0 then
+              match
+                Service.Journal.snapshot w
+                  ~core_snapshot:(Service.Core.snapshot !core)
+              with
+              | Ok _ -> ()
+              | Error m -> Fmt.failwith "serve-durable bench: %s" m)
+          (rec_frames rec_n);
+        Service.Journal.close w;
+        let t0 = Unix.gettimeofday () in
+        match Service.Journal.recover ~dir with
+        | Error m -> Fmt.failwith "serve-durable bench: recover: %s" m
+        | Ok r ->
+            let restored =
+              match r.Service.Journal.core_snapshot with
+              | None -> mk ()
+              | Some s -> (
+                  match Service.Core.restore ~config ~spec_for s with
+                  | Ok c -> c
+                  | Error m ->
+                      Fmt.failwith "serve-durable bench: restore: %s" m)
+            in
+            let _final =
+              List.fold_left
+                (fun c record ->
+                  fst
+                    (Service.Core.feed c
+                       (Service.Journal.input_of_record record)))
+                restored r.Service.Journal.records
+            in
+            let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+            let expect = if cadence = 0 then rec_n else rec_n mod cadence in
+            if r.Service.Journal.replayed <> expect then
+              Fmt.failwith
+                "serve-durable bench: cadence %d replayed %d frames, \
+                 expected %d"
+                cadence r.Service.Journal.replayed expect;
+            if r.Service.Journal.dropped_bytes <> 0 then
+              Fmt.failwith "serve-durable bench: clean journal dropped bytes";
+            Fmt.pr
+              "recover  cadence=%-6d snapshot@%-6d replayed %6d frames in \
+               %7.1f ms@."
+              cadence r.Service.Journal.snapshot_seq
+              r.Service.Journal.replayed ms;
+            (cadence, r.Service.Journal.snapshot_seq,
+             r.Service.Journal.replayed, ms))
+      [ 0; rec_n / 10; rec_n / 100 ]
+  in
+  let oc = open_out "BENCH_serve_durable.json" in
+  let overhead_json (name, elapsed, fps, pct) =
+    Printf.sprintf
+      "    {\"variant\": %S, \"frames\": %d, \"elapsed_s\": %.4f, \
+       \"frames_per_sec\": %.0f, \"overhead_pct\": %.2f}"
+      name n_frames elapsed fps
+      (if name = "baseline" then 0. else pct)
+  in
+  let recovery_json (cadence, snap_seq, replayed, ms) =
+    Printf.sprintf
+      "    {\"snapshot_cadence\": %d, \"frames\": %d, \"snapshot_seq\": %d, \
+       \"replayed\": %d, \"recover_ms\": %.2f}"
+      cadence rec_n snap_seq replayed ms
+  in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"serve_durable\",\n  \"reduced\": %b,\n  \
+     \"overhead\": [\n%s\n  ],\n  \"recovery\": [\n%s\n  ]\n}\n"
+    reduced
+    (String.concat ",\n" (List.map overhead_json overhead_rows))
+    (String.concat ",\n" (List.map recovery_json recovery_rows));
+  close_out oc;
+  rm_rf scratch;
+  Fmt.pr "# rows written to BENCH_serve_durable.json@."
+
 (* The fuzz pass (make fuzz-smoke): one fixed-seed sampled check per
    scenario — every positive must come out clean, every faulty one must be
    detected, within the per-class budget. Prints the first minimized
@@ -1153,6 +1393,15 @@ let () =
       Fmt.pr "== CAL benchmark harness (streaming-service figure, reduced) ==@.";
       figure_serve ~reduced:true ();
       Fmt.pr "@.done.@."
+  | `Serve_durable ->
+      Fmt.pr "== CAL benchmark harness (journal-durability figure) ==@.";
+      figure_serve_durable ~reduced:false ();
+      Fmt.pr "@.done.@."
+  | `Serve_durable_smoke ->
+      Fmt.pr
+        "== CAL benchmark harness (journal-durability figure, reduced) ==@.";
+      figure_serve_durable ~reduced:true ();
+      Fmt.pr "@.done.@."
   | `Fuzz -> fuzz_pass ()
   | `Faults | `Smoke ->
       Fmt.pr "== CAL benchmark harness (%s: fault + timeout figures) ==@."
@@ -1177,6 +1426,7 @@ let () =
       figure_parallel ();
       figure_sampling ();
       figure_serve ~reduced:quick ();
+      figure_serve_durable ~reduced:quick ();
       figure_verification_cost ();
       figure_bug_depth ();
       Fmt.pr "@.done.@."

@@ -319,6 +319,14 @@ let spec_builder_by_name name =
               register, counter, sync-queue)"
              name))
 
+let journal_has_data dir =
+  Sys.file_exists dir && Sys.is_directory dir
+  && Array.exists
+       (fun n ->
+         (String.length n >= 4 && String.sub n 0 4 = "wal-")
+         || (String.length n >= 5 && String.sub n 0 5 = "snap-"))
+       (try Sys.readdir dir with Sys_error _ -> [||])
+
 let serve_cmd =
   let spec_arg =
     let builder_conv =
@@ -383,8 +391,99 @@ let serve_cmd =
       & opt (some file) None
       & info [ "restore" ] ~docv:"FILE" ~doc:"Restore a session snapshot before serving")
   in
+  let journal_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Write-ahead journal directory: every frame is journalled \
+             before it is applied, and snapshots are cut on the tick \
+             cadence, so a killed daemon resumes exactly with --resume")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Recover from the --journal directory (newest snapshot plus \
+             journal replay) before serving; with a STREAM-FILE the \
+             already-processed prefix is skipped")
+  in
+  let snapshot_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "snapshot-every" ] ~docv:"TICKS"
+          ~doc:"Journal snapshot cadence in logical ticks (0: only at exit)")
+  in
+  let segment_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "segment-bytes" ] ~docv:"BYTES"
+          ~doc:"Journal segment rotation threshold")
+  in
+  let flush_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "flush-every" ] ~docv:"FRAMES"
+          ~doc:
+            "Frames per journal flush (1: write-ahead for every frame; \
+             larger values batch writes and may lose that many tail \
+             frames to a crash, which recovery reports)")
+  in
+  let fsync_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fsync-every" ] ~docv:"FLUSHES"
+          ~doc:"Flushes per fsync for power-loss durability (0: never)")
+  in
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"SOCKET"
+          ~doc:
+            "Serve frames from a Unix-domain socket instead of a file: \
+             each connection streams lines in and gets its frames' \
+             events back; SIGTERM drains gracefully")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"SOCKET"
+          ~doc:
+            "Run as a client: stream STREAM-FILE (or stdin) to a daemon \
+             started with --listen and print its replies")
+  in
+  let max_conns =
+    Arg.(
+      value & opt int 64
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Concurrent-connection cap; extra connections are told busy")
+  in
+  let crash_after =
+    Arg.(
+      value & opt int 0
+      & info [ "crash-after-frames" ] ~docv:"N"
+          ~doc:
+            "Testing hook: SIGKILL the process right after journalling \
+             frame $(docv) (requires --journal); the crash harness \
+             sweeps this to prove kill-anywhere recovery")
+  in
   let run spec_of file tick_every budget max_sessions window_max idle_timeout
-      summary snapshot_to restore_from =
+      summary snapshot_to restore_from journal_dir resume snapshot_every
+      segment_bytes flush_every fsync_every listen connect max_conns
+      crash_after =
+    let err fmt = Fmt.kstr (fun m -> `Error (false, m)) fmt in
+    let durability_flag_set =
+      snapshot_every <> None || segment_bytes <> None || flush_every <> None
+      || fsync_every <> None
+    in
     let config =
       {
         Service.Config.default with
@@ -394,65 +493,246 @@ let serve_cmd =
         idle_timeout;
       }
     in
-    let spec_for oid = Some (spec_of oid) in
-    let cache =
-      Option.map
-        (fun capacity -> Verdict_cache.create ~capacity ())
-        (Tuning.verdict_cache_capacity ())
-    in
-    let core =
-      match restore_from with
-      | None -> Service.Core.create ?cache ~config ~spec_for ()
-      | Some f ->
-          In_channel.with_open_text f In_channel.input_all
-          |> Service.Core.restore ?cache ~config ~spec_for
-    in
-    match core with
-    | Error msg -> `Error (false, msg)
-    | Ok core ->
-        let ic = match file with None -> In_channel.stdin | Some f -> open_in f in
-        let finally () = if file <> None then close_in_noerr ic in
-        Fun.protect ~finally (fun () ->
-            let emit e = print_endline (Service.Proto.print_event e) in
-            let rec loop core n =
-              match In_channel.input_line ic with
-              | None -> core
-              | Some line ->
-                  let core, evs = Service.Core.feed core (Service.Proto.Line line) in
-                  List.iter emit evs;
-                  let core, n =
-                    if tick_every > 0 && (n + 1) mod tick_every = 0 then begin
-                      let core, evs = Service.Core.feed core Service.Proto.Tick in
-                      List.iter emit evs;
-                      (core, n + 1)
-                    end
-                    else (core, n + 1)
-                  in
-                  loop core n
-            in
-            let core = loop core 0 in
-            if summary then
-              pr "summary %a level=%s load=%d sessions=%d@."
-                Service.Core.pp_metrics
-                (Service.Core.metrics core)
-                (Service.Proto.level_to_string (Service.Core.level core))
-                (Service.Core.load core) (Service.Core.session_count core);
-            Option.iter
-              (fun f ->
-                Out_channel.with_open_text f (fun oc ->
-                    Out_channel.output_string oc (Service.Core.snapshot core)))
-              snapshot_to;
-            `Ok ())
+    if tick_every < 0 then err "--tick-every must be >= 0 (0 disables ticks)"
+    else if crash_after < 0 then err "--crash-after-frames must be >= 1"
+    else
+      match Service.Config.validate config with
+      | Error msg -> err "%s" msg
+      | Ok config -> (
+          match connect with
+          | Some path ->
+              if listen <> None then err "--connect conflicts with --listen"
+              else if
+                journal_dir <> None || resume || durability_flag_set
+                || crash_after > 0
+              then
+                err
+                  "--connect is a plain client: journal/resume/crash flags \
+                   live on the --listen side"
+              else if restore_from <> None || snapshot_to <> None || summary
+              then
+                err
+                  "--connect is a plain client: --restore/--snapshot/\
+                   --summary live on the --listen side"
+              else
+                let ic, finally =
+                  match file with
+                  | None -> (In_channel.stdin, fun () -> ())
+                  | Some f ->
+                      let ic = open_in f in
+                      (ic, fun () -> close_in_noerr ic)
+                in
+                Fun.protect ~finally (fun () ->
+                    match Service.Transport.client ~path ic with
+                    | Ok () -> `Ok ()
+                    | Error msg -> `Error (false, msg))
+          | None ->
+              if listen <> None && file <> None then
+                err
+                  "--listen conflicts with a STREAM-FILE argument (frames \
+                   arrive over the socket)"
+              else if resume && journal_dir = None then
+                err "--resume requires --journal"
+              else if resume && restore_from <> None then
+                err
+                  "--restore conflicts with --resume (the journal embeds \
+                   its own snapshots)"
+              else if crash_after > 0 && journal_dir = None then
+                err "--crash-after-frames requires --journal"
+              else if durability_flag_set && journal_dir = None then
+                err
+                  "--snapshot-every/--segment-bytes/--flush-every/\
+                   --fsync-every require --journal"
+              else
+                let d0 = Service.Config.default_durability in
+                let durability =
+                  {
+                    Service.Config.segment_bytes =
+                      Option.value segment_bytes
+                        ~default:d0.Service.Config.segment_bytes;
+                    flush_every =
+                      Option.value flush_every
+                        ~default:d0.Service.Config.flush_every;
+                    fsync_every =
+                      Option.value fsync_every
+                        ~default:d0.Service.Config.fsync_every;
+                    snapshot_every =
+                      Option.value snapshot_every
+                        ~default:d0.Service.Config.snapshot_every;
+                    keep_snapshots = d0.Service.Config.keep_snapshots;
+                  }
+                in
+                match Service.Config.validate_durability durability with
+                | Error msg -> err "%s" msg
+                | Ok durability -> (
+                    let spec_for oid = Some (spec_of oid) in
+                    let cache =
+                      Option.map
+                        (fun capacity -> Verdict_cache.create ~capacity ())
+                        (Tuning.verdict_cache_capacity ())
+                    in
+                    let fresh () =
+                      Service.Core.create ?cache ~config ~spec_for ()
+                    in
+                    let setup =
+                      if resume then
+                        let dir = Option.get journal_dir in
+                        match Service.Journal.recover ~dir with
+                        | Error msg -> Error msg
+                        | Ok r ->
+                            let base =
+                              match r.Service.Journal.core_snapshot with
+                              | None -> fresh ()
+                              | Some s ->
+                                  Service.Core.restore ?cache ~config
+                                    ~spec_for s
+                            in
+                            Result.map
+                              (fun core ->
+                                let core =
+                                  List.fold_left
+                                    (fun core record ->
+                                      fst
+                                        (Service.Core.feed core
+                                           (Service.Journal.input_of_record
+                                              record)))
+                                    core r.Service.Journal.records
+                                in
+                                Fmt.epr "%a@." Service.Journal.pp_recovery r;
+                                (core, r.Service.Journal.last_seq + 1))
+                              base
+                      else
+                        let base =
+                          match restore_from with
+                          | None -> fresh ()
+                          | Some f -> (
+                              match
+                                try
+                                  Ok
+                                    (In_channel.with_open_text f
+                                       In_channel.input_all)
+                                with Sys_error e -> Error e
+                              with
+                              | Error e -> Error e
+                              | Ok text ->
+                                  Service.Core.restore ?cache ~config
+                                    ~spec_for text)
+                        in
+                        Result.map (fun core -> (core, 1)) base
+                    in
+                    match setup with
+                    | Error msg -> err "%s" msg
+                    | Ok (core, next_seq) -> (
+                        let journal =
+                          match journal_dir with
+                          | None -> Ok None
+                          | Some dir ->
+                              if (not resume) && journal_has_data dir then
+                                Error
+                                  (Fmt.str
+                                     "%s already holds a journal (use \
+                                      --resume or a fresh directory)"
+                                     dir)
+                              else
+                                Result.map Option.some
+                                  (Service.Journal.create ~dir ~durability
+                                     ~next_seq ())
+                        in
+                        match journal with
+                        | Error msg -> err "%s" msg
+                        | Ok journal ->
+                            let lines_seen =
+                              if resume then
+                                (Service.Core.metrics core)
+                                  .Service.Core.frames
+                              else 0
+                            in
+                            let snapshot_cadence =
+                              match journal with
+                              | None -> 0
+                              | Some _ ->
+                                  durability.Service.Config.snapshot_every
+                            in
+                            let pump =
+                              Service.Transport.create_pump ~core ?journal
+                                ~tick_every ~snapshot_every:snapshot_cadence
+                                ~kill_after:crash_after ~lines_seen ()
+                            in
+                            let emit e =
+                              print_endline (Service.Proto.print_event e)
+                            in
+                            if resume then
+                              List.iter emit
+                                (Service.Transport.catch_up_ticks pump);
+                            let epilogue () =
+                              let core = Service.Transport.pump_core pump in
+                              if summary then
+                                pr "summary %a level=%s load=%d sessions=%d@."
+                                  Service.Core.pp_metrics
+                                  (Service.Core.metrics core)
+                                  (Service.Proto.level_to_string
+                                     (Service.Core.level core))
+                                  (Service.Core.load core)
+                                  (Service.Core.session_count core);
+                              Option.iter
+                                (fun f ->
+                                  Out_channel.with_open_text f (fun oc ->
+                                      Out_channel.output_string oc
+                                        (Service.Core.snapshot core)))
+                                snapshot_to;
+                              match Service.Transport.finalize pump with
+                              | Ok _ -> `Ok ()
+                              | Error msg -> `Error (false, msg)
+                            in
+                            (match listen with
+                            | Some path -> (
+                                match
+                                  Service.Transport.serve_socket ~pump ~path
+                                    ~max_conns ()
+                                with
+                                | Error msg -> `Error (false, msg)
+                                | Ok () -> epilogue ())
+                            | None ->
+                                let ic, finally =
+                                  match file with
+                                  | None -> (In_channel.stdin, fun () -> ())
+                                  | Some f ->
+                                      let ic = open_in f in
+                                      (ic, fun () -> close_in_noerr ic)
+                                in
+                                Fun.protect ~finally (fun () ->
+                                    let rec skip n =
+                                      if n > 0 then
+                                        match In_channel.input_line ic with
+                                        | None -> ()
+                                        | Some _ -> skip (n - 1)
+                                    in
+                                    skip lines_seen;
+                                    let rec loop () =
+                                      match In_channel.input_line ic with
+                                      | None -> ()
+                                      | Some line ->
+                                          List.iter emit
+                                            (Service.Transport.pump_line pump
+                                               line);
+                                          loop ()
+                                    in
+                                    loop ();
+                                    epilogue ())))))
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the streaming CAL monitor over a frame stream (one \
-          history-format action per line); prints one event per line")
+          history-format action per line, from a file, stdin or a Unix \
+          socket); prints one event per line and can journal every frame \
+          for crash-safe resume")
     Term.(
       ret
         (const run $ spec_arg $ file_arg $ tick_every $ budget $ max_sessions
-       $ window_max $ idle_timeout $ summary $ snapshot_to $ restore_from))
+       $ window_max $ idle_timeout $ summary $ snapshot_to $ restore_from
+       $ journal_dir $ resume $ snapshot_every $ segment_bytes $ flush_every
+       $ fsync_every $ listen $ connect $ max_conns $ crash_after))
 
 (* ----------------------------------------------------------- experiments *)
 

@@ -9,13 +9,16 @@ type t = {
   owns : Ids.Oid.t -> bool;
   max_element_size : int;
   start : acceptor;
+  resume_key : string -> acceptor option;
 }
 
 let step a e = a.a_step e
 let key a = a.a_key
 let candidates a ~universe p = a.a_candidates ~universe p
+let resume t k = t.resume_key k
 
-let make ~name ~owns ~max_element_size ~init ~step ~key ~candidates () =
+let make ~name ~owns ~max_element_size ~init ~step ~key ?resume ~candidates ()
+    =
   let rec acceptor s =
     {
       a_step = (fun e -> Option.map acceptor (step s e));
@@ -23,7 +26,12 @@ let make ~name ~owns ~max_element_size ~init ~step ~key ~candidates () =
       a_candidates = (fun ~universe p -> candidates s ~universe p);
     }
   in
-  { name; owns; max_element_size; start = acceptor init }
+  let resume_key =
+    match resume with
+    | None -> fun _ -> None
+    | Some of_key -> fun k -> Option.map acceptor (of_key k)
+  in
+  { name; owns; max_element_size; start = acceptor init; resume_key }
 
 let accepts spec tr =
   let rec go a = function
@@ -74,4 +82,7 @@ let union specs =
     max_element_size =
       List.fold_left (fun m s -> max m s.max_element_size) 1 specs;
     start = acceptor (List.map (fun s -> s.start) specs);
+    (* Member keys may themselves contain the separator, so the joined
+       key is not invertible: unions are never resumable. *)
+    resume_key = (fun _ -> None);
   }

@@ -17,6 +17,8 @@ type t = {
       (** upper bound on the size of any CA-element the specification can
           accept; used to prune subset enumeration in the checker *)
   start : acceptor;
+  resume_key : string -> acceptor option;
+      (** rebuild an acceptor from a {!key} string; use via {!resume} *)
 }
 
 val step : acceptor -> Ca_trace.element -> acceptor option
@@ -25,6 +27,15 @@ val step : acceptor -> Ca_trace.element -> acceptor option
 val key : acceptor -> string
 (** A memoisation key identifying the acceptor state: two acceptors with the
     same key accept the same continuations. *)
+
+val resume : t -> string -> acceptor option
+(** [resume spec k] rebuilds the acceptor whose {!key} is [k], for
+    specifications built with [~resume]; [None] when the specification
+    does not support resumption or the key decodes to no state. The
+    contract is [resume spec (key a)] accepts exactly the continuations
+    [a] does — it is what lets a daemon snapshot carry committed
+    specification state across a process crash instead of conservatively
+    desynchronising every restored session. *)
 
 val candidates : acceptor -> universe:Value.t list -> Op.pending -> Value.t list
 (** Candidate return values for completing a pending operation in this
@@ -41,10 +52,14 @@ val make :
   init:'s ->
   step:('s -> Ca_trace.element -> 's option) ->
   key:('s -> string) ->
+  ?resume:(string -> 's option) ->
   candidates:('s -> universe:Value.t list -> Op.pending -> Value.t list) ->
   unit ->
   t
-(** Build a specification from an explicit state machine. *)
+(** Build a specification from an explicit state machine. [resume] is
+    the partial inverse of [key]: when provided, {!resume} can rebuild
+    frozen acceptors from their keys ([resume (key s)] must return a
+    state equivalent to [s]). *)
 
 val accepts : t -> Ca_trace.t -> bool
 (** [accepts spec tr] holds when the whole trace is accepted from the start

@@ -18,7 +18,7 @@ let spec ?(oid = Oid.v "C") () =
     ~owns:(Oid.equal oid) ~max_element_size:1 ~init:0
     ~step:(fun count e ->
       match Ca_trace.element_ops e with [ o ] -> step_op count o | _ -> None)
-    ~key:string_of_int
+    ~key:string_of_int ~resume:int_of_string_opt
     ~candidates:(fun count ~universe:_ (p : Op.pending) ->
       if Fid.equal p.fid fid_incr || Fid.equal p.fid fid_get then [ Value.int count ]
       else [])

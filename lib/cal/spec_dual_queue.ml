@@ -42,7 +42,11 @@ let spec ?(oid = Oid.v "DQ") () =
     ~name:(Fmt.str "dual-queue(%a)" Oid.pp oid)
     ~owns:(Oid.equal oid) ~max_element_size:2 ~init:[]
     ~step:(fun queued e -> step_element queued e)
-    ~key:(fun queued -> Fmt.str "%a" (Fmt.list ~sep:(Fmt.any ";") Value.pp) queued)
+    ~key:(fun queued -> Value.show (Value.list queued))
+    ~resume:(fun k ->
+      match History_format.parse_value k with
+      | Ok (Value.List vs) -> Some vs
+      | _ -> None)
     ~candidates:(fun queued ~universe (p : Op.pending) ->
       if Fid.equal p.fid fid_enq then [ Value.unit ]
       else if Fid.equal p.fid fid_deq then

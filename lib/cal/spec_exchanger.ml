@@ -38,6 +38,7 @@ let spec ?(oid = Oid.v "E") () =
     ~owns:(Oid.equal oid) ~max_element_size:2 ~init:()
     ~step:(fun () e -> if legal_element e then Some () else None)
     ~key:(fun () -> "")
+    ~resume:(function "" -> Some () | _ -> None)
     ~candidates:(fun () ~universe (p : Op.pending) ->
       if Fid.equal p.fid fid_exchange then
         Value.fail p.arg :: Value.timeout p.arg :: List.map Value.ok universe

@@ -29,7 +29,11 @@ let spec ?(oid = Oid.v "Q") () =
     ~owns:(Oid.equal oid) ~max_element_size:1 ~init:[]
     ~step:(fun queue e ->
       match Ca_trace.element_ops e with [ o ] -> step_op queue o | _ -> None)
-    ~key:(fun queue -> Fmt.str "%a" (Fmt.list ~sep:(Fmt.any ";") Value.pp) queue)
+    ~key:(fun queue -> Value.show (Value.list queue))
+    ~resume:(fun k ->
+      match History_format.parse_value k with
+      | Ok (Value.List vs) -> Some vs
+      | _ -> None)
     ~candidates:(fun queue ~universe:_ (p : Op.pending) ->
       if Fid.equal p.fid fid_enq then [ Value.unit ]
       else if Fid.equal p.fid fid_deq then

@@ -19,6 +19,7 @@ let spec ?(oid = Oid.v "R") ?(init = Value.int 0) () =
     ~step:(fun current e ->
       match Ca_trace.element_ops e with [ o ] -> step_op current o | _ -> None)
     ~key:(fun current -> Value.show current)
+    ~resume:(fun k -> Result.to_option (History_format.parse_value k))
     ~candidates:(fun current ~universe:_ (p : Op.pending) ->
       if Fid.equal p.fid fid_write then [ Value.unit ]
       else if Fid.equal p.fid fid_read then [ current ]

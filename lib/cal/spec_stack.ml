@@ -37,7 +37,13 @@ let spec ?(oid = Oid.v "S") ?(allow_spurious_failure = false) () =
       match Ca_trace.element_ops e with
       | [ o ] -> step_op ~spurious stack o
       | _ -> None)
-    ~key:(fun stack -> Fmt.str "%a" (Fmt.list ~sep:(Fmt.any ";") Value.pp) stack)
+    (* The key is the [Value] list rendering, so [resume] is just the
+       hardened value parser — which makes daemon snapshots exact. *)
+    ~key:(fun stack -> Value.show (Value.list stack))
+    ~resume:(fun k ->
+      match History_format.parse_value k with
+      | Ok (Value.List vs) -> Some vs
+      | _ -> None)
     ~candidates:(fun stack ~universe:_ (p : Op.pending) ->
       if Fid.equal p.fid fid_push then
         Value.bool true :: (if spurious then [ Value.bool false ] else [])

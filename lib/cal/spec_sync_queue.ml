@@ -47,6 +47,7 @@ let spec ?(oid = Oid.v "SQ") () =
     ~owns:(Oid.equal oid) ~max_element_size:2 ~init:()
     ~step:(fun () e -> if legal_element e then Some () else None)
     ~key:(fun () -> "")
+    ~resume:(function "" -> Some () | _ -> None)
     ~candidates:(fun () ~universe (p : Op.pending) ->
       if Fid.equal p.fid fid_put then
         [ Value.bool true; Value.bool false; Value.timeout p.arg ]

@@ -31,6 +31,38 @@ let default =
    keeps [Session]'s overflow check always legal. *)
 let checker_op_limit = 62
 
+(* Durability knobs of the daemon front-ends (journal + snapshots); the
+   pure core never sees them. [flush_every] is process-crash durability
+   (frames per channel flush: 1 = write-ahead for every frame; the
+   default batches 32 frames per write(2) — group commit — bounding the
+   kill-window to 31 tail frames, which recovery reports honestly),
+   [fsync_every] is power-loss durability (flushes per fsync: 0 = leave
+   it to the OS). *)
+type durability = {
+  segment_bytes : int;  (* journal segment rotation threshold *)
+  flush_every : int;
+  fsync_every : int;
+  snapshot_every : int;  (* logical ticks between snapshots; 0 = never *)
+  keep_snapshots : int;  (* retained snapshot generations, >= 1 *)
+}
+
+let default_durability =
+  {
+    segment_bytes = 1 lsl 20;
+    flush_every = 32;
+    fsync_every = 0;
+    snapshot_every = 8;
+    keep_snapshots = 2;
+  }
+
+let validate_durability d =
+  if d.segment_bytes < 4096 then Error "segment-bytes must be >= 4096"
+  else if d.flush_every < 1 then Error "flush-every must be >= 1"
+  else if d.fsync_every < 0 then Error "fsync-every must be >= 0"
+  else if d.snapshot_every < 0 then Error "snapshot-every must be >= 0"
+  else if d.keep_snapshots < 1 then Error "keep-snapshots must be >= 1"
+  else Ok d
+
 let validate t =
   if t.max_sessions < 1 then Error "max_sessions must be >= 1"
   else if t.max_pending < 1 then Error "max_pending must be >= 1"

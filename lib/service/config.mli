@@ -36,6 +36,27 @@ type t = {
 
 val default : t
 
+type durability = {
+  segment_bytes : int;
+      (** journal segment rotation threshold in bytes (>= 4096) *)
+  flush_every : int;
+      (** frames per journal channel flush — 1 means every frame hits the
+          OS before it is applied (true write-ahead against process
+          death); larger values batch the [write(2)] (group commit,
+          default 32) and honestly lose at most that many tail frames on
+          a kill, which recovery reports *)
+  fsync_every : int;
+      (** flushes per [fsync(2)] for power-loss durability; 0 = never *)
+  snapshot_every : int;
+      (** logical ticks between snapshots; 0 = only the final snapshot *)
+  keep_snapshots : int;
+      (** retained snapshot generations — older ones (and the journal
+          segments the newest durable snapshot covers) are retired *)
+}
+
+val default_durability : durability
+val validate_durability : durability -> (durability, string) result
+
 val checker_op_limit : int
 (** Operation cap of {!Cal.Cal_checker.check}; [window_max] must stay at
     or below it. *)

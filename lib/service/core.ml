@@ -375,24 +375,54 @@ let feed t = function
 
 (* ------------------------------------------------ snapshot / restore -- *)
 
+(* The v2 snapshot is exact: committed acceptors are carried as their
+   [Spec.key] (resumable via [Spec.resume] for every built-in served
+   specification), retained windows and pending invocations verbatim,
+   plus the whole metrics block and ladder state — so a daemon restored
+   from it is bisimilar to the one that wrote it, which is what makes
+   kill-and-restart recovery byte-deterministic. The v1 (lossy) format
+   is still accepted by {!restore} with its conservative era-reset
+   semantics. *)
 let snapshot t =
   let b = Buffer.create 1024 in
   let line fmt = Fmt.kstr (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
-  line "calserve-snapshot v1";
+  line "calserve-snapshot v2";
   line "clock %d" t.clock;
-  line "frames %d" t.metrics.frames;
+  line "last-level-change %d" t.last_level_change;
   line "level %s" (Proto.level_to_string t.level);
   line "unknown-history %b" t.unknown_history;
+  let m = t.metrics in
+  line
+    "metrics frames=%d rejected=%d ops=%d commits=%d violations=%d \
+     crashes=%d ticks=%d created=%d evicted=%d desyncs=%d level-changes=%d"
+    m.frames m.rejected_frames m.ops m.commits m.violations m.crashes m.ticks
+    m.sessions_created m.sessions_evicted m.desyncs m.level_changes;
   Oid_set.iter (fun oid -> line "evicted %a" Ids.Oid.pp oid) t.evicted;
   Oid_map.iter
     (fun oid s ->
-      match Session.latched s with
-      | Some (op, reason) ->
-          line "session %a ops=%d era=%d latched op=%d reason=%s" Ids.Oid.pp
-            oid (Session.ops s) (Session.era s) op (Proto.one_line reason)
-      | None ->
-          line "session %a ops=%d era=%d ok" Ids.Oid.pp oid (Session.ops s)
-            (Session.era s))
+      let head =
+        Fmt.str "session %a ops=%d era=%d qpoints=%d high-water=%d \
+                 last-active=%d"
+          Ids.Oid.pp oid (Session.ops s) (Session.era s) (Session.qpoints s)
+          (Session.high_water s) (Session.last_active s)
+      in
+      (match Session.mode s with
+      | Session.Accepting ->
+          line "%s accepting key=%s" head
+            (Proto.one_line (Session.committed_key s))
+      | Session.Latched { op; reason } ->
+          line "%s latched op=%d reason=%s" head op (Proto.one_line reason)
+      | Session.Desynced reason ->
+          line "%s desynced reason=%s" head (Proto.one_line reason));
+      List.iter
+        (fun a -> line "window %a %s" Ids.Oid.pp oid
+            (History_format.print_action a))
+        (Session.window_actions s);
+      List.iter
+        (fun (tid, fid) ->
+          line "pending %a %a %a" Ids.Oid.pp oid Ids.Tid.pp tid Ids.Fid.pp
+            fid)
+        (Session.pending s))
     t.sessions;
   line "end";
   Buffer.contents b
@@ -404,9 +434,31 @@ let int_field ~name s =
     int_of_string_opt (String.sub s n (String.length s - n))
   else None
 
-let restore ?cache ~config ~spec_for text =
+(* [rest_field ~name "a=..." ["a=x"; "y"; "z"]] takes everything after
+   ["name="] in the raw line, so the field may contain spaces; it must be
+   the last field of its line. [first] is the first remaining token. *)
+let rest_field ~name ~line first =
+  let prefix = name ^ "=" in
+  if not (String.length first >= String.length prefix
+          && String.sub first 0 (String.length prefix) = prefix)
+  then None
+  else
+    match String.index_opt line '=' with
+    | None -> None
+    | Some _ ->
+        (* find " name=" (or leading "name=") in the raw line *)
+        let pat = " " ^ prefix in
+        let n = String.length line and pn = String.length pat in
+        let rec find i =
+          if i + pn > n then None
+          else if String.sub line i pn = pat then
+            Some (String.sub line (i + pn) (n - i - pn))
+          else find (i + 1)
+        in
+        find 0
+
+let restore_v1 ~spec_for base rest =
   let ( let* ) = Result.bind in
-  let* base = create ?cache ~config ~spec_for () in
   let err fmt = Fmt.kstr (fun s -> Error s) fmt in
   let parse_session t line rest =
     match rest with
@@ -484,11 +536,252 @@ let restore ?cache ~config ~spec_for text =
     | "session" :: rest -> parse_session t line rest
     | _ -> err "unrecognised snapshot line %S" line
   in
+  List.fold_left
+    (fun acc line ->
+      let* t = acc in
+      parse_line t line)
+    (Ok base) rest
+
+(* ------------------------------------------------------ v2 (exact) -- *)
+
+(* Partially parsed session block: the [session] header line plus the
+   [window]/[pending] continuation lines that must follow it. *)
+type pending_session = {
+  ps_oid : Ids.Oid.t;
+  ps_spec : Spec.t;
+  ps_ops : int;
+  ps_era : int;
+  ps_qpoints : int;
+  ps_high_water : int;
+  ps_last_active : int;
+  ps_mode : [ `Accepting of string | `Mode of Session.mode_view ];
+  ps_window_rev : Action.t list;
+  ps_pending_rev : (Ids.Tid.t * Ids.Fid.t) list;
+}
+
+let finish_session t ps =
+  let window = List.rev ps.ps_window_rev in
+  let pending = List.rev ps.ps_pending_rev in
+  let committed, mode, window, pending =
+    match ps.ps_mode with
+    | `Accepting key -> (
+        match Spec.resume ps.ps_spec key with
+        | Some acc -> (acc, Session.Accepting, window, pending)
+        | None ->
+            (* The specification cannot resume this key (no [~resume], or
+               a key from a different version): fall back to the v1
+               conservative semantics for this one session. *)
+            ( ps.ps_spec.Spec.start,
+              Session.Desynced "restored: committed state not resumable",
+              [],
+              [] ))
+    | `Mode m -> (ps.ps_spec.Spec.start, m, [], [])
+  in
+  let s =
+    Session.of_snapshot_exact ~oid:ps.ps_oid ~spec:ps.ps_spec ~committed
+      ~window ~pending ~high_water:ps.ps_high_water ~qpoints:ps.ps_qpoints
+      ~era:ps.ps_era ~ops:ps.ps_ops ~mode ~last_active:ps.ps_last_active
+  in
+  {
+    t with
+    sessions = Oid_map.add ps.ps_oid s t.sessions;
+    load = t.load + Session.window_len s;
+  }
+
+(* Everything after the first [n] whitespace-separated tokens of [line]
+   (for fields that may themselves contain spaces, e.g. action text). *)
+let after_tokens ~line n =
+  let len = String.length line in
+  let rec skip_ws i = if i < len && line.[i] = ' ' then skip_ws (i + 1) else i in
+  let rec skip_tok i = if i < len && line.[i] <> ' ' then skip_tok (i + 1) else i in
+  let rec go i k =
+    let i = skip_ws i in
+    if k = 0 then if i < len then Some (String.sub line i (len - i)) else None
+    else if i >= len then None
+    else go (skip_tok i) (k - 1)
+  in
+  go 0 n
+
+let restore_v2 ~spec_for base rest =
+  let ( let* ) = Result.bind in
+  let err fmt = Fmt.kstr (fun s -> Error s) fmt in
+  let parse_oid line s =
+    match Ids.Oid.v s with
+    | oid -> Ok oid
+    | exception Invalid_argument m -> err "%s: %s" line m
+  in
+  let parse_session line fields =
+    match fields with
+    | oid_s :: ops_s :: era_s :: qp_s :: hw_s :: la_s :: mode_s :: rest -> (
+        let* oid = parse_oid line oid_s in
+        let* spec =
+          match spec_for oid with
+          | Some spec -> Ok spec
+          | None -> err "%s: unknown object in snapshot" line
+        in
+        match
+          ( int_field ~name:"ops" ops_s,
+            int_field ~name:"era" era_s,
+            int_field ~name:"qpoints" qp_s,
+            int_field ~name:"high-water" hw_s,
+            int_field ~name:"last-active" la_s )
+        with
+        | Some ops, Some era, Some qpoints, Some high_water, Some last_active
+          -> (
+            let ps mode =
+              Ok
+                (Some
+                   {
+                     ps_oid = oid;
+                     ps_spec = spec;
+                     ps_ops = ops;
+                     ps_era = era;
+                     ps_qpoints = qpoints;
+                     ps_high_water = high_water;
+                     ps_last_active = last_active;
+                     ps_mode = mode;
+                     ps_window_rev = [];
+                     ps_pending_rev = [];
+                   })
+            in
+            match (mode_s, rest) with
+            | "accepting", first :: _ -> (
+                match rest_field ~name:"key" ~line first with
+                | Some key -> ps (`Accepting key)
+                | None -> err "%s: accepting session without key" line)
+            | "latched", op_s :: first :: _ -> (
+                match
+                  (int_field ~name:"op" op_s, rest_field ~name:"reason" ~line first)
+                with
+                | Some op, Some reason ->
+                    ps (`Mode (Session.Latched { op; reason }))
+                | _ -> err "%s: bad latched session fields" line)
+            | "desynced", first :: _ -> (
+                match rest_field ~name:"reason" ~line first with
+                | Some reason -> ps (`Mode (Session.Desynced reason))
+                | None -> err "%s: desynced session without reason" line)
+            | _ -> err "%s: bad session mode" line)
+        | _ -> err "%s: bad session fields" line)
+    | _ -> err "%s: bad session line" line
+  in
+  let parse_line (t, cur) line =
+    let raw = line in
+    let parts =
+      String.split_on_char ' ' (String.trim line)
+      |> List.filter (fun s -> s <> "")
+    in
+    let flush () = match cur with None -> t | Some ps -> finish_session t ps in
+    match parts with
+    | [] -> Ok (t, cur)
+    | [ "end" ] -> Ok (flush (), None)
+    | "session" :: fields ->
+        let t = flush () in
+        let* cur = parse_session raw fields in
+        Ok (t, cur)
+    | "window" :: oid_s :: _ -> (
+        match cur with
+        | Some ps when Ids.Oid.to_string ps.ps_oid = oid_s -> (
+            let* action_text =
+              match after_tokens ~line:(String.trim raw) 2 with
+              | Some s -> Ok s
+              | None -> err "%s: bad window line" raw
+            in
+            match History_format.parse_action action_text with
+            | Ok a ->
+                Ok (t, Some { ps with ps_window_rev = a :: ps.ps_window_rev })
+            | Error m -> err "%s: %s" raw m)
+        | _ -> err "%s: window line outside its session" raw)
+    | [ "pending"; oid_s; tid_s; fid_s ] -> (
+        match cur with
+        | Some ps when Ids.Oid.to_string ps.ps_oid = oid_s -> (
+            let tid =
+              if String.length tid_s >= 2 && tid_s.[0] = 't' then
+                Option.bind
+                  (int_of_string_opt
+                     (String.sub tid_s 1 (String.length tid_s - 1)))
+                  (fun n -> if n >= 0 then Some (Ids.Tid.of_int n) else None)
+              else None
+            in
+            let fid =
+              match Ids.Fid.v fid_s with
+              | f -> Some f
+              | exception Invalid_argument _ -> None
+            in
+            match (tid, fid) with
+            | Some tid, Some fid ->
+                Ok
+                  (t, Some { ps with ps_pending_rev = (tid, fid) :: ps.ps_pending_rev })
+            | _ -> err "%s: bad pending line" raw)
+        | _ -> err "%s: pending line outside its session" raw)
+    | [ "clock"; n ] -> (
+        match int_of_string_opt n with
+        | Some clock -> Ok ({ t with clock }, cur)
+        | None -> err "bad clock %S" n)
+    | [ "last-level-change"; n ] -> (
+        match int_of_string_opt n with
+        | Some last_level_change -> Ok ({ t with last_level_change }, cur)
+        | None -> err "bad last-level-change %S" n)
+    | [ "level"; l ] -> (
+        match Proto.level_of_string l with
+        | Some level -> Ok ({ t with level }, cur)
+        | None -> err "bad level %S" l)
+    | [ "unknown-history"; b ] -> (
+        match bool_of_string_opt b with
+        | Some unknown_history -> Ok ({ t with unknown_history }, cur)
+        | None -> err "bad unknown-history flag %S" b)
+    | "metrics" :: fields ->
+        let get name =
+          List.find_map (fun f -> int_field ~name f) fields
+        in
+        (match
+           ( get "frames", get "rejected", get "ops", get "commits",
+             get "violations", get "crashes", get "ticks", get "created",
+             get "evicted", get "desyncs", get "level-changes" )
+         with
+        | ( Some frames, Some rejected_frames, Some ops, Some commits,
+            Some violations, Some crashes, Some ticks, Some sessions_created,
+            Some sessions_evicted, Some desyncs, Some level_changes ) ->
+            Ok
+              ( {
+                  t with
+                  metrics =
+                    {
+                      frames;
+                      rejected_frames;
+                      ops;
+                      commits;
+                      violations;
+                      crashes;
+                      ticks;
+                      sessions_created;
+                      sessions_evicted;
+                      desyncs;
+                      level_changes;
+                    };
+                },
+                cur )
+        | _ -> err "bad metrics line %S" raw)
+    | [ "evicted"; oid_s ] ->
+        let* oid = parse_oid raw oid_s in
+        Ok ({ t with evicted = Oid_set.add oid t.evicted }, cur)
+    | _ -> err "unrecognised snapshot line %S" raw
+  in
+  let* t, cur =
+    List.fold_left
+      (fun acc line ->
+        let* st = acc in
+        parse_line st line)
+      (Ok (base, None))
+      rest
+  in
+  match cur with
+  | None -> Ok t
+  | Some ps -> Ok (finish_session t ps)
+
+let restore ?cache ~config ~spec_for text =
+  let ( let* ) = Result.bind in
+  let* base = create ?cache ~config ~spec_for () in
   match String.split_on_char '\n' text with
-  | "calserve-snapshot v1" :: rest ->
-      List.fold_left
-        (fun acc line ->
-          let* t = acc in
-          parse_line t line)
-        (Ok base) rest
-  | _ -> Error "not a calserve snapshot (missing v1 header)"
+  | "calserve-snapshot v1" :: rest -> restore_v1 ~spec_for base rest
+  | "calserve-snapshot v2" :: rest -> restore_v2 ~spec_for base rest
+  | _ -> Error "not a calserve snapshot (missing v1/v2 header)"

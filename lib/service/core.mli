@@ -21,8 +21,9 @@
       window on the last step) and back up one level per cooldown once
       load falls below the low watermark;
     - {b snapshot/restore}: a printable dump that survives a daemon
-      crash; latched violations are restored verbatim, healthy sessions
-      restart conservatively (the monitored objects did not crash). *)
+      crash; the v2 format is exact (committed state, windows and
+      pending invocations included), so a restored core is bisimilar to
+      the one that wrote it. *)
 
 type t
 
@@ -62,11 +63,10 @@ val session_count : t -> int
 val pp_metrics : Format.formatter -> metrics -> unit
 
 val snapshot : t -> string
-(** A stable, line-oriented dump of the recoverable state: clock, level,
-    eviction memory, and per-session operation counts, eras and latched
-    violations. Retained windows are deliberately not serialised —
-    acceptor closures cannot be, which is why restore has era-reset
-    semantics. *)
+(** A stable, line-oriented v2 dump of the whole recoverable state:
+    clock, level, metrics, eviction memory, and per-session committed
+    keys (via {!Cal.Spec.key}), retained windows, pending invocations,
+    eras and latched violations. *)
 
 val restore :
   ?cache:Cal.Verdict_cache.t ->
@@ -74,7 +74,10 @@ val restore :
   spec_for:(Cal.Ids.Oid.t -> Cal.Spec.t option) ->
   string ->
   (t, string) result
-(** Rebuild a core from {!snapshot} output. Latched violations are
-    preserved verbatim; every other restored session is desynced until
-    the next crash marker opens a fresh era. Malformed snapshots are
-    structured errors. *)
+(** Rebuild a core from {!snapshot} output. A v2 snapshot restores every
+    session exactly (healthy acceptors are rebuilt via
+    {!Cal.Spec.resume}; a spec without a resume parser falls back to a
+    desynced session, honestly reported). The legacy v1 format is still
+    accepted with its conservative semantics: latched violations
+    verbatim, every other session desynced until the next era.
+    Malformed snapshots are structured errors. *)

@@ -1,0 +1,462 @@
+(* Write-ahead journal + snapshot store. See journal.mli for the frame
+   wire format and the durability/retention contract. Everything here is
+   deliberately paranoid on the read side: recovery treats the directory
+   as hostile input and must never raise past [recover]. *)
+
+type record = Line of string | Tick
+
+let record_of_input = function
+  | Proto.Line s -> Line s
+  | Proto.Tick -> Tick
+
+let input_of_record = function
+  | Line s -> Proto.Line s
+  | Tick -> Proto.Tick
+
+(* ------------------------------------------------------------- crc32 -- *)
+
+(* The hot loop runs over every journaled byte, so it works on plain
+   (63-bit) ints — boxed [Int32] arithmetic allocates per byte — and
+   converts to [int32] only at the edge. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c :=
+             if !c land 1 <> 0 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32_sub s ~pos ~len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c :=
+      Array.unsafe_get table
+        ((!c lxor Char.code (String.unsafe_get s i)) land 0xFF)
+      lxor (!c lsr 8)
+  done;
+  Int32.of_int (!c lxor 0xFFFFFFFF)
+
+let crc32 s = crc32_sub s ~pos:0 ~len:(String.length s)
+
+(* ------------------------------------------------------- frame codec -- *)
+
+let magic = '\xCA'
+let header_len = 9 (* magic + u32 body_len + u32 crc *)
+let body_overhead = 9 (* kind + u64 seq *)
+
+let encode_frame ~seq record =
+  let kind, payload =
+    match record with Line s -> ('L', s) | Tick -> ('T', "")
+  in
+  let payload_len = String.length payload in
+  let body_len = body_overhead + payload_len in
+  let b = Bytes.create (header_len + body_len) in
+  Bytes.unsafe_set b 0 magic;
+  Bytes.set_int32_be b 1 (Int32.of_int body_len);
+  Bytes.unsafe_set b header_len kind;
+  Bytes.set_int64_be b (header_len + 1) (Int64.of_int seq);
+  Bytes.blit_string payload 0 b (header_len + body_overhead) payload_len;
+  let crc =
+    crc32_sub (Bytes.unsafe_to_string b) ~pos:header_len ~len:body_len
+  in
+  Bytes.set_int32_be b 5 crc;
+  Bytes.unsafe_to_string b
+
+type decoded = {
+  d_seq : int;
+  d_record : record;
+  d_len : int;  (* encoded frame length in bytes *)
+}
+
+(* Decode the frame at [pos]. [Error reason] marks the start of a
+   corrupt/truncated tail; the declared body length is validated against
+   the bytes actually present BEFORE any allocation, so a hostile giant
+   length can never blow up memory. *)
+let decode_frame buf pos =
+  let remaining = String.length buf - pos in
+  if remaining < header_len then Error "truncated frame header"
+  else if buf.[pos] <> magic then Error "bad frame magic"
+  else
+    let body_len = Int32.to_int (String.get_int32_be buf (pos + 1)) in
+    if body_len < body_overhead then Error "declared body length too small"
+    else if body_len > remaining - header_len then
+      Error "declared body length exceeds available bytes"
+    else
+      let crc_stored = String.get_int32_be buf (pos + 5) in
+      let crc_actual = crc32_sub buf ~pos:(pos + header_len) ~len:body_len in
+      if not (Int32.equal crc_stored crc_actual) then Error "crc mismatch"
+      else
+        let kind = buf.[pos + header_len] in
+        let seq64 = String.get_int64_be buf (pos + header_len + 1) in
+        let seq = Int64.to_int seq64 in
+        if Int64.of_int seq <> seq64 || seq < 1 then
+          Error "sequence number out of range"
+        else
+          let payload_len = body_len - body_overhead in
+          let payload () =
+            String.sub buf (pos + header_len + body_overhead) payload_len
+          in
+          match kind with
+          | 'L' ->
+              Ok { d_seq = seq; d_record = Line (payload ());
+                   d_len = header_len + body_len }
+          | 'T' when payload_len = 0 ->
+              Ok { d_seq = seq; d_record = Tick; d_len = header_len + body_len }
+          | 'T' -> Error "tick frame with payload"
+          | _ -> Error "unknown frame kind"
+
+(* ------------------------------------------------------- file naming -- *)
+
+let segment_name seq = Printf.sprintf "wal-%016d.seg" seq
+let snapshot_name seq = Printf.sprintf "snap-%016d.snap" seq
+
+let parse_named ~prefix ~suffix name =
+  let pn = String.length prefix and sn = String.length suffix in
+  let n = String.length name in
+  if n > pn + sn
+     && String.sub name 0 pn = prefix
+     && String.sub name (n - sn) sn = suffix
+  then
+    match int_of_string_opt (String.sub name pn (n - pn - sn)) with
+    | Some seq when seq >= 0 -> Some seq
+    | _ -> None
+  else None
+
+let parse_segment = parse_named ~prefix:"wal-" ~suffix:".seg"
+let parse_snapshot = parse_named ~prefix:"snap-" ~suffix:".snap"
+
+let list_dir dir ~parse =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter_map (fun name ->
+             Option.map (fun seq -> (seq, Filename.concat dir name))
+               (parse name))
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let read_file path =
+  try Some (In_channel.with_open_bin path In_channel.input_all)
+  with Sys_error _ -> None
+
+(* ------------------------------------------------------------ writer -- *)
+
+type writer = {
+  dir : string;
+  durability : Config.durability;
+  mutable fd : Unix.file_descr;
+  mutable oc : Out_channel.t;
+  mutable seg_bytes : int;
+  mutable seq : int;  (* last appended sequence number *)
+  mutable unflushed : int;  (* appends since the last channel flush *)
+  mutable flushes : int;  (* flushes since the last fsync *)
+  mutable closed : bool;
+}
+
+let open_segment dir seq =
+  let path = Filename.concat dir (segment_name seq) in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  (fd, Unix.out_channel_of_descr fd)
+
+let create ~dir ~durability ?(next_seq = 1) () =
+  match Config.validate_durability durability with
+  | Error e -> Error e
+  | Ok durability -> (
+      try
+        (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+        if not (Sys.is_directory dir) then
+          Error (Fmt.str "journal path %s is not a directory" dir)
+        else if next_seq < 1 then Error "journal next_seq must be >= 1"
+        else
+          let fd, oc = open_segment dir next_seq in
+          Ok
+            {
+              dir;
+              durability;
+              fd;
+              oc;
+              seg_bytes = 0;
+              seq = next_seq - 1;
+              unflushed = 0;
+              flushes = 0;
+              closed = false;
+            }
+      with
+      | Sys_error e -> Error e
+      | Unix.Unix_error (e, _, _) ->
+          Error (Fmt.str "cannot open journal in %s: %s" dir
+                   (Unix.error_message e)))
+
+let last_seq w = w.seq
+
+let fsync_cadence w =
+  w.flushes <- w.flushes + 1;
+  if w.durability.Config.fsync_every > 0
+     && w.flushes >= w.durability.Config.fsync_every
+  then (
+    w.flushes <- 0;
+    Unix.fsync w.fd)
+
+let flush w =
+  if not w.closed then (
+    Out_channel.flush w.oc;
+    w.unflushed <- 0;
+    fsync_cadence w)
+
+let rotate w =
+  Out_channel.flush w.oc;
+  if w.durability.Config.fsync_every > 0 then Unix.fsync w.fd;
+  Out_channel.close w.oc;
+  let fd, oc = open_segment w.dir (w.seq + 1) in
+  w.fd <- fd;
+  w.oc <- oc;
+  w.seg_bytes <- 0;
+  w.unflushed <- 0;
+  w.flushes <- 0
+
+let append w record =
+  if w.closed then invalid_arg "Journal.append: writer is closed";
+  if w.seg_bytes >= w.durability.Config.segment_bytes then rotate w;
+  let seq = w.seq + 1 in
+  let frame = encode_frame ~seq record in
+  Out_channel.output_string w.oc frame;
+  w.seq <- seq;
+  w.seg_bytes <- w.seg_bytes + String.length frame;
+  w.unflushed <- w.unflushed + 1;
+  if w.unflushed >= w.durability.Config.flush_every then (
+    Out_channel.flush w.oc;
+    w.unflushed <- 0;
+    fsync_cadence w);
+  seq
+
+let close w =
+  if not w.closed then (
+    w.closed <- true;
+    Out_channel.flush w.oc;
+    (try Unix.fsync w.fd with Unix.Unix_error _ -> ());
+    Out_channel.close w.oc)
+
+(* --------------------------------------------------------- snapshots -- *)
+
+let snapshot_header = "calserve-durable v1"
+
+let encode_snapshot ~seq payload =
+  Fmt.str "%s\nseq %d\ncrc %08lx\n%s" snapshot_header seq (crc32 payload)
+    payload
+
+(* [Error] only for hard corruption; a well-formed file whose payload
+   fails the CRC is also an [Error] (the caller falls back to an older
+   generation). *)
+let decode_snapshot text =
+  let nl from = String.index_from_opt text from '\n' in
+  match nl 0 with
+  | None -> Error "missing snapshot header"
+  | Some h when String.sub text 0 h <> snapshot_header ->
+      Error "bad snapshot header"
+  | Some h -> (
+      match nl (h + 1) with
+      | None -> Error "missing snapshot seq line"
+      | Some s -> (
+          let seq_line = String.sub text (h + 1) (s - h - 1) in
+          match String.split_on_char ' ' seq_line with
+          | [ "seq"; n ] -> (
+              match int_of_string_opt n with
+              | None -> Error "bad snapshot seq"
+              | Some seq when seq < 0 -> Error "bad snapshot seq"
+              | Some seq -> (
+                  match nl (s + 1) with
+                  | None -> Error "missing snapshot crc line"
+                  | Some c -> (
+                      let crc_line = String.sub text (s + 1) (c - s - 1) in
+                      match String.split_on_char ' ' crc_line with
+                      | [ "crc"; hex ] -> (
+                          match Int32.of_string_opt ("0x" ^ hex) with
+                          | None -> Error "bad snapshot crc"
+                          | Some crc ->
+                              let payload =
+                                String.sub text (c + 1)
+                                  (String.length text - c - 1)
+                              in
+                              if Int32.equal crc (crc32 payload) then
+                                Ok (seq, payload)
+                              else Error "snapshot payload crc mismatch")
+                      | _ -> Error "bad snapshot crc line")))
+          | _ -> Error "bad snapshot seq line"))
+
+let write_snapshot_file ~dir ~seq payload =
+  let path = Filename.concat dir (snapshot_name seq) in
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let oc = Unix.out_channel_of_descr fd in
+  Out_channel.output_string oc (encode_snapshot ~seq payload);
+  Out_channel.flush oc;
+  Unix.fsync fd;
+  Out_channel.close oc;
+  Sys.rename tmp path;
+  path
+
+let quietly_remove path = try Sys.remove path with Sys_error _ -> ()
+
+(* Retire snapshot generations past the retention cap, then every
+   journal segment fully covered by the OLDEST snapshot we kept (so any
+   retained generation still has a contiguous replay suffix). The
+   writer's current segment is never removed. *)
+let prune w =
+  let snaps = List.rev (list_dir w.dir ~parse:parse_snapshot) in
+  let keep, drop =
+    List.filteri (fun i _ -> i < w.durability.Config.keep_snapshots) snaps,
+    List.filteri (fun i _ -> i >= w.durability.Config.keep_snapshots) snaps
+  in
+  List.iter (fun (_, path) -> quietly_remove path) drop;
+  match List.rev keep with
+  | [] -> ()
+  | (oldest_seq, _) :: _ ->
+      let segs = list_dir w.dir ~parse:parse_segment in
+      let current = Filename.concat w.dir (segment_name (w.seq + 1)) in
+      let rec retire = function
+        | (_, path) :: ((next_first, _) :: _ as rest) ->
+            (* this segment's last record is next_first - 1 *)
+            if next_first - 1 <= oldest_seq
+               && not (String.equal path current) then
+              quietly_remove path;
+            retire rest
+        | _ -> ()  (* never remove the last (open) segment *)
+      in
+      retire segs
+
+let snapshot w ~core_snapshot =
+  if w.closed then Error "journal writer is closed"
+  else (
+    flush w;
+    try
+      let path = write_snapshot_file ~dir:w.dir ~seq:w.seq core_snapshot in
+      prune w;
+      Ok path
+    with
+    | Sys_error e -> Error e
+    | Unix.Unix_error (e, _, _) ->
+        Error (Fmt.str "snapshot failed: %s" (Unix.error_message e)))
+
+(* ---------------------------------------------------------- recovery -- *)
+
+type recovery = {
+  core_snapshot : string option;
+  snapshot_seq : int;
+  records : record list;
+  last_seq : int;
+  replayed : int;
+  dropped_bytes : int;
+  quarantined : string list;
+  snapshots_ignored : int;
+}
+
+let quarantine ~dir ~seg_path ~offset buf =
+  let name =
+    Fmt.str "quarantine-%s-%d.bin" (Filename.basename seg_path) offset
+  in
+  let path = Filename.concat dir name in
+  try
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc
+          (String.sub buf offset (String.length buf - offset)));
+    Some path
+  with Sys_error _ -> None
+
+(* Decode one segment's valid frame prefix; the first bad frame starts
+   the quarantined tail. Returns the decoded frames in file order. *)
+let decode_segment buf =
+  let n = String.length buf in
+  let rec go pos acc =
+    if pos >= n then (List.rev acc, None)
+    else
+      match decode_frame buf pos with
+      | Ok d -> go (pos + d.d_len) (d :: acc)
+      | Error reason -> (List.rev acc, Some (pos, reason))
+  in
+  go 0 []
+
+let pick_snapshot dir =
+  let rec go ignored = function
+    | [] -> (None, 0, ignored)
+    | (_, path) :: rest -> (
+        match read_file path with
+        | None -> go (ignored + 1) rest
+        | Some text -> (
+            match decode_snapshot text with
+            | Ok (seq, payload) -> (Some payload, seq, ignored)
+            | Error _ -> go (ignored + 1) rest))
+  in
+  go 0 (List.rev (list_dir dir ~parse:parse_snapshot))
+
+let recover ~dir =
+  if not (Sys.file_exists dir) then
+    Error (Fmt.str "journal directory %s does not exist" dir)
+  else if not (Sys.is_directory dir) then
+    Error (Fmt.str "journal path %s is not a directory" dir)
+  else
+    let core_snapshot, snapshot_seq, snapshots_ignored = pick_snapshot dir in
+    let dropped = ref 0 in
+    let quarantined = ref [] in
+    (* Decode every segment's valid prefix, in ascending first-seq
+       order, quarantining corrupt tails as they are found. *)
+    let decoded =
+      List.concat_map
+        (fun (_, path) ->
+          match read_file path with
+          | None -> []
+          | Some buf ->
+              let frames, bad = decode_segment buf in
+              (match bad with
+              | Some (offset, _) when offset < String.length buf -> (
+                  dropped := !dropped + (String.length buf - offset);
+                  match quarantine ~dir ~seg_path:path ~offset buf with
+                  | Some q -> quarantined := q :: !quarantined
+                  | None -> ())
+              | _ -> ());
+              frames)
+        (list_dir dir ~parse:parse_segment)
+    in
+    (* Keep the contiguous chain right after the snapshot; frames below
+       it are already covered, frames past a gap are unreachable from
+       any consistent state and are honestly counted as dropped. *)
+    let expected = ref (snapshot_seq + 1) in
+    let taken = ref [] in
+    List.iter
+      (fun d ->
+        if d.d_seq = !expected then (
+          taken := d.d_record :: !taken;
+          incr expected)
+        else if d.d_seq > !expected then dropped := !dropped + d.d_len)
+      decoded;
+    let records = List.rev !taken in
+    let replayed = List.length records in
+    Ok
+      {
+        core_snapshot;
+        snapshot_seq;
+        records;
+        last_seq = snapshot_seq + replayed;
+        replayed;
+        dropped_bytes = !dropped;
+        quarantined = List.rev !quarantined;
+        snapshots_ignored;
+      }
+
+let pp_recovery ppf r =
+  Fmt.pf ppf
+    "recovered to seq %d (snapshot %d + %d replayed)%s%s%s"
+    r.last_seq r.snapshot_seq r.replayed
+    (if r.dropped_bytes > 0 then
+       Fmt.str ", %d journal bytes dropped" r.dropped_bytes
+     else "")
+    (match r.quarantined with
+     | [] -> ""
+     | qs -> Fmt.str ", %d tail(s) quarantined" (List.length qs))
+    (if r.snapshots_ignored > 0 then
+       Fmt.str ", %d corrupt snapshot(s) ignored" r.snapshots_ignored
+     else "")

@@ -1,0 +1,94 @@
+(** Write-ahead event journal + snapshot store of the monitoring daemon.
+
+    Every input frame ({!Proto.input}, i.e. one protocol line or one
+    logical tick) is appended to a segmented, CRC-checksummed journal
+    {e before} it is applied to {!Core}; recovery replays the journal
+    suffix after the newest durable snapshot, so a daemon killed at any
+    point resumes bisimilar to one that never died.
+
+    Frame wire format (all integers big-endian):
+    {v  0xCA | u32 body_len | u32 crc32(body) | body v}
+    where [body = kind(1 byte: 'L'|'T') ++ u64 seq ++ payload] and
+    sequence numbers start at 1 and increase by exactly 1 across segment
+    boundaries. Segment files are [wal-<first-seq>.seg], rotated once
+    they exceed the configured byte budget; snapshot files are
+    [snap-<seq>.snap] carrying their own CRC, written atomically
+    (tmp + fsync + rename) at [seq] = the last journaled frame they
+    cover. Writing a snapshot prunes snapshot generations beyond
+    [keep_snapshots] and retires every journal segment fully covered by
+    the {e oldest retained} snapshot, so each retained generation can
+    still replay contiguously if the ones after it turn out corrupt.
+
+    Recovery is total: a truncated or corrupt frame never raises — the
+    valid prefix is replayed, the bad tail is copied to a
+    [quarantine-*.bin] file and honestly counted, and a corrupt snapshot
+    is skipped in favour of an older generation (at the price of a
+    longer replay). A declared frame length is validated against the
+    bytes actually present before any allocation, so hostile journals
+    cannot provoke giant allocations. *)
+
+type record = Line of string | Tick
+
+val record_of_input : Proto.input -> record
+val input_of_record : record -> Proto.input
+
+(* ------------------------------------------------------------ writer -- *)
+
+type writer
+
+val create :
+  dir:string ->
+  durability:Config.durability ->
+  ?next_seq:int ->
+  unit ->
+  (writer, string) result
+(** Open a writer appending to [dir] (created when missing) starting at
+    [next_seq] (default 1; after a recovery pass it must be
+    [last_seq recovery + 1]). A fresh segment is always started — the
+    writer never appends into an existing segment file, so a quarantined
+    tail can never swallow new frames. *)
+
+val append : writer -> record -> int
+(** Journal one record and return its sequence number. Durability
+    follows the writer's {!Config.durability}: the channel is flushed
+    every [flush_every] appends (and fsync'd every [fsync_every]
+    flushes); segments rotate past [segment_bytes]. *)
+
+val flush : writer -> unit
+(** Force the channel flush (and the fsync cadence) now. *)
+
+val last_seq : writer -> int
+(** Sequence number of the last appended record; 0 before any append. *)
+
+val snapshot : writer -> core_snapshot:string -> (string, string) result
+(** Write a snapshot covering every frame journaled so far (the journal
+    is flushed first so a snapshot can never be ahead of a lost tail),
+    then retire covered segments and old snapshot generations. Returns
+    the snapshot path. *)
+
+val close : writer -> unit
+
+(* ---------------------------------------------------------- recovery -- *)
+
+type recovery = {
+  core_snapshot : string option;  (** newest valid snapshot text *)
+  snapshot_seq : int;  (** frames the snapshot covers; 0 when none *)
+  records : record list;  (** replay suffix, ascending seq order *)
+  last_seq : int;  (** last durable frame: snapshot_seq + replayed *)
+  replayed : int;  (** [List.length records] *)
+  dropped_bytes : int;  (** journal bytes lost to corruption/truncation *)
+  quarantined : string list;  (** files holding the corrupt tail bytes *)
+  snapshots_ignored : int;  (** corrupt/unreadable snapshots skipped *)
+}
+
+val recover : dir:string -> (recovery, string) result
+(** Total: returns [Error] only when [dir] is unusable (missing or not a
+    directory); any corruption inside it degrades to an honest
+    [recovery] report instead. *)
+
+val pp_recovery : Format.formatter -> recovery -> unit
+(** One-line human summary of what was recovered and what was lost. *)
+
+val crc32 : string -> int32
+(** IEEE CRC-32 (the zlib polynomial) of a whole string; exposed for
+    tests and for the snapshot self-check. *)

@@ -57,6 +57,36 @@ let of_snapshot ~oid ~spec ~now ~ops ~era latched =
   in
   { (make ~oid ~spec ~now mode) with ops; era }
 
+type mode_view = mode =
+  | Accepting
+  | Desynced of string
+  | Latched of { op : int; reason : string }
+
+let mode t = t.mode
+
+let of_snapshot_exact ~oid ~spec ~committed ~window ~pending ~high_water
+    ~qpoints ~era ~ops ~mode ~last_active =
+  {
+    oid;
+    spec;
+    committed;
+    window = List.rev window;
+    window_len = List.length window;
+    pending;
+    high_water;
+    qpoints;
+    era;
+    ops;
+    mode;
+    last_active;
+  }
+
+let committed_key t = Spec.key t.committed
+let window_actions t = List.rev t.window
+let pending t = t.pending
+let high_water t = t.high_water
+let qpoints t = t.qpoints
+
 let oid t = t.oid
 let ops t = t.ops
 let era t = t.era

@@ -29,9 +29,47 @@ val of_snapshot :
   era:int ->
   (int * string) option ->
   t
-(** Rebuild a session after a daemon restart: a latched violation (the
-    [Some] case) is preserved verbatim; a healthy session restarts
+(** Rebuild a session from a v1 (lossy) snapshot: a latched violation
+    (the [Some] case) is preserved verbatim; a healthy session restarts
     desynced, because the monitored object did {e not} restart. *)
+
+type mode_view =
+  | Accepting
+  | Desynced of string
+  | Latched of { op : int; reason : string }
+
+val mode : t -> mode_view
+
+val of_snapshot_exact :
+  oid:Cal.Ids.Oid.t ->
+  spec:Cal.Spec.t ->
+  committed:Cal.Spec.acceptor ->
+  window:Cal.Action.t list ->
+  pending:(Cal.Ids.Tid.t * Cal.Ids.Fid.t) list ->
+  high_water:int ->
+  qpoints:int ->
+  era:int ->
+  ops:int ->
+  mode:mode_view ->
+  last_active:int ->
+  t
+(** Rebuild a session from a v2 (exact) snapshot: the committed acceptor
+    is resumed via {!Cal.Spec.resume} by the caller, the retained window
+    ([window], oldest action first) and pending invocations (newest
+    first, as {!pending} reports them) are restored verbatim, so the
+    restored daemon is bisimilar to the one that wrote the snapshot. *)
+
+val committed_key : t -> string
+(** {!Cal.Spec.key} of the committed acceptor (the snapshot form). *)
+
+val window_actions : t -> Cal.Action.t list
+(** Retained window, oldest action first (the snapshot form). *)
+
+val pending : t -> (Cal.Ids.Tid.t * Cal.Ids.Fid.t) list
+(** Pending invocations, newest first. *)
+
+val high_water : t -> int
+val qpoints : t -> int
 
 val feed :
   config:Config.t ->

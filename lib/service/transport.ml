@@ -1,0 +1,268 @@
+(* Journalling pump + select()-based Unix-domain-socket transport.
+   See transport.mli for the contract. *)
+
+(* ------------------------------------------------------------- pump -- *)
+
+type pump = {
+  mutable core : Core.t;
+  journal : Journal.writer option;
+  tick_every : int;
+  snapshot_every : int;
+  kill_after : int;  (* 0 = never *)
+  mutable lines : int;  (* protocol lines applied over the run's life *)
+}
+
+let create_pump ~core ?journal ?(tick_every = 0) ?(snapshot_every = 0)
+    ?(kill_after = 0) ?(lines_seen = 0) () =
+  { core; journal; tick_every; snapshot_every; kill_after;
+    lines = lines_seen }
+
+let pump_core p = p.core
+
+(* Journal first, apply second: a frame the core has seen is always a
+   frame recovery can replay. [kill_after] fires between the two — the
+   worst case the recovery argument must cover. *)
+let journal_record p record =
+  match p.journal with
+  | None -> ()
+  | Some w ->
+      let seq = Journal.append w record in
+      if p.kill_after > 0 && seq >= p.kill_after then (
+        Journal.flush w;
+        Unix.kill (Unix.getpid ()) Sys.sigkill)
+
+let cut_snapshot p =
+  match p.journal with
+  | None -> ()
+  | Some w -> (
+      match Journal.snapshot w ~core_snapshot:(Core.snapshot p.core) with
+      | Ok _ -> ()
+      | Error e -> Fmt.epr "calc serve: snapshot failed: %s@." e)
+
+let apply p input =
+  let core, evs = Core.feed p.core input in
+  p.core <- core;
+  evs
+
+let pump_tick p =
+  journal_record p Journal.Tick;
+  let evs = apply p Proto.Tick in
+  if p.snapshot_every > 0
+     && (Core.metrics p.core).Core.ticks mod p.snapshot_every = 0
+  then cut_snapshot p;
+  evs
+
+let pump_line p line =
+  journal_record p (Journal.Line line);
+  let evs = apply p (Proto.Line line) in
+  p.lines <- p.lines + 1;
+  if p.tick_every > 0 && p.lines mod p.tick_every = 0 then
+    evs @ pump_tick p
+  else evs
+
+let catch_up_ticks p =
+  if p.tick_every = 0 then []
+  else
+    let owed =
+      (p.lines / p.tick_every) - (Core.metrics p.core).Core.ticks
+    in
+    let rec go acc n = if n <= 0 then acc else go (acc @ pump_tick p) (n - 1) in
+    go [] owed
+
+let finalize p =
+  match p.journal with
+  | None -> Ok None
+  | Some w -> (
+      match Journal.snapshot w ~core_snapshot:(Core.snapshot p.core) with
+      | Ok path ->
+          Journal.close w;
+          Ok (Some path)
+      | Error e ->
+          Journal.close w;
+          Error e)
+
+(* ---------------------------------------------------------- sockets -- *)
+
+let max_line_bytes = 65_536
+let max_out_bytes = 262_144
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable inacc : string;  (* bytes received, not yet split into lines *)
+  mutable outbuf : string;  (* reply bytes not yet written *)
+  mutable in_eof : bool;
+}
+
+let render_events evs =
+  String.concat "" (List.map (fun e -> Proto.print_event e ^ "\n") evs)
+
+(* Split complete lines out of the connection's accumulator and feed
+   them; [Error ()] means the peer is hostile (unterminated line past
+   the transport cap) and must be dropped. *)
+let feed_conn pump c =
+  let rec go () =
+    match String.index_opt c.inacc '\n' with
+    | Some i ->
+        let line = String.sub c.inacc 0 i in
+        c.inacc <-
+          String.sub c.inacc (i + 1) (String.length c.inacc - i - 1);
+        c.outbuf <- c.outbuf ^ render_events (pump_line pump line);
+        go ()
+    | None ->
+        if String.length c.inacc > max_line_bytes then Error ()
+        else if String.length c.outbuf > max_out_bytes then Error ()
+        else Ok ()
+  in
+  go ()
+
+let close_conn c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let write_some fd s =
+  let b = Bytes.of_string s in
+  let n = Unix.write fd b 0 (Bytes.length b) in
+  String.sub s n (String.length s - n)
+
+let serve_socket ~pump ~path ~max_conns () =
+  if max_conns < 1 then Error "max-conns must be >= 1"
+  else
+    let stop = ref false in
+    let old_term =
+      Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true))
+    in
+    let old_int =
+      Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
+    in
+    let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+    let restore_signals () =
+      Sys.set_signal Sys.sigterm old_term;
+      Sys.set_signal Sys.sigint old_int;
+      Sys.set_signal Sys.sigpipe old_pipe
+    in
+    (try if Sys.file_exists path then Sys.remove path
+     with Sys_error _ -> ());
+    let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.bind listener (Unix.ADDR_UNIX path) with
+    | exception Unix.Unix_error (e, _, _) ->
+        restore_signals ();
+        (try Unix.close listener with Unix.Unix_error _ -> ());
+        Error (Fmt.str "cannot bind %s: %s" path (Unix.error_message e))
+    | () ->
+        Unix.listen listener max_conns;
+        let conns = ref [] in
+        let drop c =
+          close_conn c;
+          conns := List.filter (fun c' -> c'.fd != c.fd) !conns
+        in
+        let accept_one () =
+          match Unix.accept listener with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _ ->
+              if List.length !conns >= max_conns then (
+                (try ignore (Unix.write_substring fd "busy\n" 0 5)
+                 with Unix.Unix_error _ -> ());
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              else
+                conns :=
+                  { fd; inacc = ""; outbuf = ""; in_eof = false } :: !conns
+        in
+        let read_one c =
+          let buf = Bytes.create 4096 in
+          match Unix.read c.fd buf 0 4096 with
+          | exception Unix.Unix_error _ -> drop c
+          | 0 ->
+              c.in_eof <- true;
+              (* an unterminated final line still counts, like the last
+                 line of a file *)
+              if c.inacc <> "" then (
+                c.inacc <- c.inacc ^ "\n";
+                match feed_conn pump c with
+                | Ok () -> ()
+                | Error () -> drop c);
+              if c.outbuf = "" then drop c
+          | n -> (
+              c.inacc <- c.inacc ^ Bytes.sub_string buf 0 n;
+              match feed_conn pump c with
+              | Ok () -> ()
+              | Error () -> drop c)
+        in
+        let write_one c =
+          match write_some c.fd c.outbuf with
+          | exception Unix.Unix_error _ -> drop c
+          | rest ->
+              c.outbuf <- rest;
+              if rest = "" && c.in_eof then drop c
+        in
+        while not !stop do
+          let readers =
+            listener
+            :: List.filter_map
+                 (fun c -> if c.in_eof then None else Some c.fd)
+                 !conns
+          in
+          let writers =
+            List.filter_map
+              (fun c -> if c.outbuf <> "" then Some c.fd else None)
+              !conns
+          in
+          match Unix.select readers writers [] 0.2 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | rs, ws, _ ->
+              if List.memq listener rs then accept_one ();
+              List.iter
+                (fun c -> if List.memq c.fd rs then read_one c)
+                !conns;
+              List.iter
+                (fun c -> if List.memq c.fd ws then write_one c)
+                !conns
+        done;
+        List.iter close_conn !conns;
+        (try Unix.close listener with Unix.Unix_error _ -> ());
+        (try Sys.remove path with Sys_error _ -> ());
+        restore_signals ();
+        Ok ()
+
+let client ~path ic =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Fmt.str "cannot connect to %s: %s" path (Unix.error_message e))
+  | () ->
+      let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+      let outbuf = ref "" in
+      let in_eof = ref false in
+      let sent_fin = ref false in
+      let server_eof = ref false in
+      let refill () =
+        while (not !in_eof) && String.length !outbuf < 65_536 do
+          match In_channel.input_line ic with
+          | None -> in_eof := true
+          | Some line -> outbuf := !outbuf ^ line ^ "\n"
+        done
+      in
+      let result =
+        try
+          while not !server_eof do
+            refill ();
+            if !outbuf = "" && !in_eof && not !sent_fin then (
+              Unix.shutdown fd Unix.SHUTDOWN_SEND;
+              sent_fin := true);
+            let writers = if !outbuf <> "" then [ fd ] else [] in
+            match Unix.select [ fd ] writers [] 0.2 with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | rs, ws, _ ->
+                if ws <> [] then outbuf := write_some fd !outbuf;
+                if rs <> [] then (
+                  let buf = Bytes.create 4096 in
+                  match Unix.read fd buf 0 4096 with
+                  | 0 -> server_eof := true
+                  | n -> print_string (Bytes.sub_string buf 0 n))
+          done;
+          Ok ()
+        with Unix.Unix_error (e, _, _) ->
+          Error (Fmt.str "connection to %s failed: %s" path
+                   (Unix.error_message e))
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Sys.set_signal Sys.sigpipe old_pipe;
+      result

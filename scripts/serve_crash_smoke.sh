@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Kill-and-restart determinism smoke test for the journaling monitor
+# daemon. A fixed ~250-frame stream (healthy counters, a latched
+# violation, hostile frames, a crash marker) is run uninterrupted for a
+# reference summary; the daemon is then SIGKILLed at fixed pseudo-random
+# journal positions, resumed from snapshot+journal, and the resumed
+# summary must be byte-identical for every kill point. Also checks the
+# partial-stream resume path, the socket front-end end-to-end, and the
+# one-line flag-validation errors.
+set -u
+
+CALC=_build/default/bin/calc.exe
+SCRATCH=_build/crash_smoke
+FLAGS="--tick-every 5 --idle-timeout 8 --summary"
+fail() { echo "serve-crash-smoke: FAIL: $*" >&2; exit 1; }
+
+[ -x "$CALC" ] || fail "$CALC not built (run make build first)"
+rm -rf "$SCRATCH"
+mkdir -p "$SCRATCH"
+STREAM=$SCRATCH/stream.txt
+
+awk 'BEGIN{
+  for (c = 0; c < 4; c++) v[c] = 0;
+  for (i = 0; i < 30; i++) {
+    for (c = 0; c < 4; c++) {
+      printf "t1 inv C%d.incr ()\n", c;
+      printf "t1 res C%d.incr %d\n", c, v[c]; v[c]++;
+    }
+    if (i == 5)  print "not a frame";
+    if (i == 7)  { print "t1 inv V.incr ()"; print "t1 res V.incr 9"; }
+    if (i == 11) { print "crash 1"; for (c = 0; c < 4; c++) v[c] = 0; }
+    if (i == 13) print "x9 inv C0.incr ()";
+  }
+}' > "$STREAM"
+TOTAL=$(wc -l < "$STREAM")
+
+# --- 1. reference run ---------------------------------------------------
+$CALC serve $FLAGS --snapshot "$SCRATCH/ref.snap" "$STREAM" \
+  > "$SCRATCH/ref.out" 2>/dev/null || fail "reference run failed"
+grep '^summary' "$SCRATCH/ref.out" > "$SCRATCH/ref.sum"
+[ -s "$SCRATCH/ref.sum" ] || fail "reference run printed no summary"
+grep -q ' latched ' "$SCRATCH/ref.snap" || fail "fixture lost its latched violation"
+
+# --- 2. kill -9 at pseudo-random journal positions, resume, compare ----
+for k in 1 3 17 42 88 131 176 200 243 $TOTAL; do
+  J=$SCRATCH/j$k
+  rm -rf "$J"
+  ( $CALC serve $FLAGS --journal "$J" --snapshot-every 2 \
+      --crash-after-frames "$k" "$STREAM" > /dev/null 2>&1 & wait $! ) \
+    2> /dev/null
+  st=$?
+  [ "$st" -eq 137 ] || fail "kill@$k: expected SIGKILL exit 137, got $st"
+  $CALC serve $FLAGS --journal "$J" --resume \
+    --snapshot "$SCRATCH/resume$k.snap" "$STREAM" \
+    > "$SCRATCH/resume$k.out" 2> "$SCRATCH/resume$k.err" \
+    || fail "kill@$k: resume failed: $(cat "$SCRATCH/resume$k.err")"
+  grep '^summary' "$SCRATCH/resume$k.out" > "$SCRATCH/resume$k.sum"
+  diff -u "$SCRATCH/ref.sum" "$SCRATCH/resume$k.sum" > /dev/null \
+    || fail "kill@$k: resumed summary differs from the uninterrupted run"
+  diff -u "$SCRATCH/ref.snap" "$SCRATCH/resume$k.snap" > /dev/null \
+    || fail "kill@$k: resumed final snapshot differs"
+  grep -q 'recovered to seq' "$SCRATCH/resume$k.err" \
+    || fail "kill@$k: no recovery report on stderr"
+done
+echo "serve-crash-smoke: 10 kill points resumed byte-identically (latched violation intact)"
+
+# --- 3. clean partial-stream resume (batched-flush shape) ---------------
+J=$SCRATCH/jpartial
+rm -rf "$J"
+head -n 100 "$STREAM" | $CALC serve $FLAGS --journal "$J" --flush-every 8 \
+  > /dev/null 2>&1 || fail "partial run failed"
+$CALC serve $FLAGS --journal "$J" --resume "$STREAM" \
+  > "$SCRATCH/partial.out" 2>/dev/null || fail "partial resume failed"
+grep '^summary' "$SCRATCH/partial.out" > "$SCRATCH/partial.sum"
+diff -u "$SCRATCH/ref.sum" "$SCRATCH/partial.sum" > /dev/null \
+  || fail "partial-stream resume summary differs"
+echo "serve-crash-smoke: partial-stream resume matches"
+
+# --- 4. socket front-end end-to-end -------------------------------------
+SOCK=$SCRATCH/calc.sock
+J=$SCRATCH/jsock
+rm -rf "$J" "$SOCK"
+$CALC serve $FLAGS --listen "$SOCK" --journal "$J" \
+  > "$SCRATCH/sock.out" 2>/dev/null &
+SRV=$!
+for _ in $(seq 1 100); do [ -S "$SOCK" ] && break; sleep 0.05; done
+[ -S "$SOCK" ] || fail "daemon socket never appeared"
+$CALC serve --connect "$SOCK" "$STREAM" > "$SCRATCH/client.out" 2>/dev/null \
+  || fail "client stream failed"
+kill -TERM $SRV
+wait $SRV || fail "daemon did not drain cleanly on SIGTERM"
+grep '^summary' "$SCRATCH/sock.out" > "$SCRATCH/sock.sum"
+diff -u "$SCRATCH/ref.sum" "$SCRATCH/sock.sum" > /dev/null \
+  || fail "socket-mode summary differs from file-mode reference"
+grep -q '^committed oid=C0' "$SCRATCH/client.out" \
+  || fail "client received no events"
+echo "serve-crash-smoke: socket round-trip matches (graceful drain, journal finalized)"
+
+# --- 5. flag validation: one-line errors, exit 124 ----------------------
+expect_reject() {
+  want="$1"; shift
+  out=$("$@" < /dev/null 2>&1)
+  st=$?
+  [ "$st" -eq 124 ] || fail "expected rejection ($want): exit $st for: $*"
+  echo "$out" | grep -q "$want" \
+    || fail "wrong error for: $* (got: $out)"
+}
+expect_reject "tick-every must be >= 0"      $CALC serve --tick-every=-2
+expect_reject "window_max must be >= 2"      $CALC serve --window-max 1
+expect_reject "memory_budget must be >="     $CALC serve --budget 4
+expect_reject "flush-every must be >= 1"     $CALC serve --journal "$SCRATCH/jx" --flush-every 0
+expect_reject "require --journal"            $CALC serve --snapshot-every 3
+expect_reject "resume requires --journal"    $CALC serve --resume
+expect_reject "crash-after-frames requires"  $CALC serve --crash-after-frames 5
+expect_reject "plain client"                 $CALC serve --connect "$SOCK" --journal "$SCRATCH/jx"
+expect_reject "conflicts with a STREAM-FILE" $CALC serve --listen "$SOCK" "$STREAM"
+expect_reject "already holds a journal"      $CALC serve --journal "$SCRATCH/j3" "$STREAM"
+expect_reject "no '/nonexistent'"            $CALC serve --restore /nonexistent
+echo "serve-crash-smoke: hostile flag combinations all rejected with one-line errors"
+
+echo "serve-crash-smoke: OK"

@@ -1,0 +1,395 @@
+(* Tests for the write-ahead journal and snapshot store: frame-codec
+   roundtrips, segment rotation, recovery from truncated and corrupted
+   tails (never raising, honestly reporting drops), hostile giant
+   declared lengths, snapshot retention/compaction with fallback to an
+   older generation, and a fuzz property that recovery is total on
+   arbitrary directory contents. *)
+
+open Test_support
+module Journal = Service.Journal
+module Config = Service.Config
+
+let t name f = Alcotest.test_case name `Quick f
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then (
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path)
+    else Sys.remove path
+
+let tmpdir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Fmt.str "cal-journal-test-%d-%d" (Unix.getpid ()) !counter)
+    in
+    rm_rf dir;
+    dir
+
+let dur ?(segment_bytes = 4096) ?(flush_every = 1) ?(fsync_every = 0)
+    ?(snapshot_every = 0) ?(keep_snapshots = 2) () =
+  { Config.segment_bytes; flush_every; fsync_every; snapshot_every;
+    keep_snapshots }
+
+let mk_writer ?durability ?next_seq dir =
+  let durability =
+    match durability with Some d -> d | None -> dur ()
+  in
+  match Journal.create ~dir ~durability ?next_seq () with
+  | Ok w -> w
+  | Error m -> Alcotest.fail ("writer refused: " ^ m)
+
+let recover dir =
+  match Journal.recover ~dir with
+  | Ok r -> r
+  | Error m -> Alcotest.fail ("recover refused: " ^ m)
+
+let record_eq (a : Journal.record) (b : Journal.record) = a = b
+
+let check_records msg expected (actual : Journal.record list) =
+  check_bool msg true
+    (List.length expected = List.length actual
+    && List.for_all2 record_eq expected actual)
+
+let segments dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun n -> Filename.check_suffix n ".seg")
+  |> List.sort compare
+
+let snapshots dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun n -> Filename.check_suffix n ".snap")
+  |> List.sort compare
+
+(* The awkward payload shapes the daemon actually journals: blanks,
+   comments, binary junk from hostile clients, over-long lines. *)
+let sample_records =
+  [
+    Journal.Line "t1 inv C.incr ()";
+    Journal.Tick;
+    Journal.Line "";
+    Journal.Line "# comment line";
+    Journal.Line "payload with \xCA magic bytes \x00\xFF inside";
+    Journal.Tick;
+    Journal.Line (String.make 6000 'x');
+    Journal.Line "t1 res C.incr 0";
+  ]
+
+(* ------------------------------------------------------------ basics -- *)
+
+let test_crc32_known_answer () =
+  Alcotest.(check int32) "IEEE crc32 check value" 0xCBF43926l
+    (Journal.crc32 "123456789");
+  Alcotest.(check int32) "empty string" 0l (Journal.crc32 "")
+
+let test_roundtrip () =
+  let dir = tmpdir () in
+  let w = mk_writer dir in
+  List.iter (fun r -> ignore (Journal.append w r)) sample_records;
+  Alcotest.(check int) "last_seq counts appends"
+    (List.length sample_records) (Journal.last_seq w);
+  Journal.close w;
+  let r = recover dir in
+  check_records "all records recovered" sample_records r.Journal.records;
+  Alcotest.(check int) "nothing dropped" 0 r.Journal.dropped_bytes;
+  Alcotest.(check int) "no quarantine" 0 (List.length r.Journal.quarantined);
+  Alcotest.(check int) "last seq" (List.length sample_records)
+    r.Journal.last_seq
+
+let test_rotation_spans_segments () =
+  let dir = tmpdir () in
+  let w = mk_writer ~durability:(dur ~segment_bytes:4096 ()) dir in
+  let records =
+    List.init 300 (fun i -> Journal.Line (Fmt.str "line %d %s" i (String.make 80 'p')))
+  in
+  List.iter (fun r -> ignore (Journal.append w r)) records;
+  Journal.close w;
+  check_bool "rotated into several segments" true
+    (List.length (segments dir) > 3);
+  let r = recover dir in
+  check_records "records survive rotation" records r.Journal.records;
+  Alcotest.(check int) "nothing dropped" 0 r.Journal.dropped_bytes
+
+let test_writer_resumes_after_recovery () =
+  let dir = tmpdir () in
+  let w = mk_writer dir in
+  let first = [ Journal.Line "a"; Journal.Tick; Journal.Line "b" ] in
+  List.iter (fun r -> ignore (Journal.append w r)) first;
+  Journal.close w;
+  let r = recover dir in
+  let w2 = mk_writer ~next_seq:(r.Journal.last_seq + 1) dir in
+  let second = [ Journal.Line "c"; Journal.Tick ] in
+  List.iter (fun rc -> ignore (Journal.append w2 rc)) second;
+  Journal.close w2;
+  let r2 = recover dir in
+  check_records "both generations recovered" (first @ second)
+    r2.Journal.records;
+  Alcotest.(check int) "contiguous seqs" 5 r2.Journal.last_seq
+
+(* ------------------------------------------- truncation and corruption -- *)
+
+let write_then_close dir records =
+  (* one big segment so the corruption tests have a single file to maul *)
+  let w = mk_writer ~durability:(dur ~segment_bytes:65_536 ()) dir in
+  List.iter (fun r -> ignore (Journal.append w r)) records;
+  Journal.close w
+
+let only_segment dir =
+  match segments dir with
+  | [ s ] -> Filename.concat dir s
+  | ss -> Alcotest.fail (Fmt.str "expected one segment, got %d" (List.length ss))
+
+let test_truncated_tail_every_cut_point () =
+  let dir = tmpdir () in
+  write_then_close dir sample_records;
+  let seg = only_segment dir in
+  let full = In_channel.with_open_bin seg In_channel.input_all in
+  let n = String.length full in
+  (* Every prefix of the segment must recover to a prefix of the
+     records, without raising, and report any partial-frame bytes. *)
+  for cut = 0 to n - 1 do
+    let dir2 = tmpdir () in
+    Sys.mkdir dir2 0o755;
+    Out_channel.with_open_bin (Filename.concat dir2 (Filename.basename seg))
+      (fun oc -> Out_channel.output_string oc (String.sub full 0 cut));
+    let r = recover dir2 in
+    check_bool "prefix only" true
+      (r.Journal.replayed <= List.length sample_records);
+    List.iteri
+      (fun i rc ->
+        check_bool "replayed records match the original prefix" true
+          (record_eq rc (List.nth sample_records i)))
+      r.Journal.records;
+    check_bool "drop accounting matches the truncation" true
+      (r.Journal.dropped_bytes >= 0 && r.Journal.dropped_bytes <= cut);
+    rm_rf dir2
+  done;
+  rm_rf dir
+
+let test_corrupt_byte_flip_is_contained () =
+  let dir = tmpdir () in
+  write_then_close dir sample_records;
+  let seg = only_segment dir in
+  let full = In_channel.with_open_bin seg In_channel.input_all in
+  let n = String.length full in
+  List.iter
+    (fun pos ->
+      let mutated = Bytes.of_string full in
+      Bytes.set mutated pos (Char.chr (Char.code full.[pos] lxor 0x41));
+      Out_channel.with_open_bin seg (fun oc ->
+          Out_channel.output_string oc (Bytes.to_string mutated));
+      let r = recover dir in
+      check_bool "recovery is a prefix" true
+        (r.Journal.replayed <= List.length sample_records);
+      check_bool "corruption was noticed" true
+        (r.Journal.replayed < List.length sample_records);
+      check_bool "bad tail quarantined or dropped" true
+        (r.Journal.dropped_bytes > 0);
+      (* quarantine files from one probe must not confuse the next *)
+      List.iter (fun q -> Sys.remove q) r.Journal.quarantined)
+    [ 0; 1; 5; 9; n / 2; n - 1 ];
+  rm_rf dir
+
+let test_giant_declared_length_is_rejected_cheaply () =
+  let dir = tmpdir () in
+  write_then_close dir [ Journal.Line "good" ];
+  let seg = only_segment dir in
+  (* Append a frame whose header declares a multi-gigabyte body. *)
+  let hostile = Buffer.create 16 in
+  Buffer.add_char hostile '\xCA';
+  Buffer.add_int32_be hostile 0x7FFFFFFFl;
+  Buffer.add_int32_be hostile 0l;
+  Buffer.add_string hostile "tiny";
+  Out_channel.with_open_gen [ Open_append; Open_binary ] 0o644 seg (fun oc ->
+      Out_channel.output_string oc (Buffer.contents hostile));
+  let r = recover dir in
+  check_records "valid prefix kept" [ Journal.Line "good" ] r.Journal.records;
+  Alcotest.(check int) "hostile tail dropped" (Buffer.length hostile)
+    r.Journal.dropped_bytes;
+  Alcotest.(check int) "tail quarantined" 1
+    (List.length r.Journal.quarantined);
+  rm_rf dir
+
+let test_interleaved_garbage_stops_the_chain () =
+  let dir = tmpdir () in
+  write_then_close dir [ Journal.Line "a"; Journal.Line "b" ];
+  let seg = only_segment dir in
+  let full = In_channel.with_open_bin seg In_channel.input_all in
+  (* garbage spliced between the two frames: the first frame survives,
+     everything after the splice point is quarantined *)
+  let frame1_len = String.length full / 2 in
+  Out_channel.with_open_bin seg (fun oc ->
+      Out_channel.output_string oc (String.sub full 0 frame1_len);
+      Out_channel.output_string oc "GARBAGE!";
+      Out_channel.output_string oc
+        (String.sub full frame1_len (String.length full - frame1_len)));
+  let r = recover dir in
+  check_records "first frame survives" [ Journal.Line "a" ] r.Journal.records;
+  check_bool "garbage and orphaned tail dropped" true
+    (r.Journal.dropped_bytes > 0);
+  rm_rf dir
+
+(* -------------------------------------------- snapshots and compaction -- *)
+
+let test_snapshot_recovery_replays_only_the_suffix () =
+  let dir = tmpdir () in
+  let w = mk_writer dir in
+  for i = 1 to 10 do
+    ignore (Journal.append w (Journal.Line (Fmt.str "pre %d" i)))
+  done;
+  (match Journal.snapshot w ~core_snapshot:"STATE AT 10\n" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  for i = 1 to 4 do
+    ignore (Journal.append w (Journal.Line (Fmt.str "post %d" i)))
+  done;
+  Journal.close w;
+  let r = recover dir in
+  Alcotest.(check (option string)) "snapshot payload intact"
+    (Some "STATE AT 10\n") r.Journal.core_snapshot;
+  Alcotest.(check int) "snapshot covers the prefix" 10 r.Journal.snapshot_seq;
+  Alcotest.(check int) "only the suffix is replayed" 4 r.Journal.replayed;
+  check_records "suffix records in order"
+    (List.init 4 (fun i -> Journal.Line (Fmt.str "post %d" (i + 1))))
+    r.Journal.records;
+  rm_rf dir
+
+let test_retention_prunes_snapshots_and_segments () =
+  let dir = tmpdir () in
+  let w = mk_writer ~durability:(dur ~segment_bytes:4096 ~keep_snapshots:2 ()) dir in
+  let pad = String.make 100 's' in
+  for round = 1 to 5 do
+    for i = 1 to 50 do
+      ignore (Journal.append w (Journal.Line (Fmt.str "r%d-%d %s" round i pad)))
+    done;
+    match Journal.snapshot w ~core_snapshot:(Fmt.str "STATE %d\n" round) with
+    | Ok _ -> ()
+    | Error m -> Alcotest.fail m
+  done;
+  Alcotest.(check int) "exactly keep_snapshots generations kept" 2
+    (List.length (snapshots dir));
+  (* Segments fully covered by the oldest retained snapshot are gone:
+     with 5 rounds of 50 records each, everything below seq 150 is
+     retired. *)
+  check_bool "covered segments retired" true
+    (List.length (segments dir) < 10);
+  Journal.close w;
+  let r = recover dir in
+  Alcotest.(check (option string)) "newest snapshot wins" (Some "STATE 5\n")
+    r.Journal.core_snapshot;
+  Alcotest.(check int) "nothing to replay after the last snapshot" 0
+    r.Journal.replayed;
+  rm_rf dir
+
+let test_corrupt_snapshot_falls_back_a_generation () =
+  let dir = tmpdir () in
+  let w = mk_writer ~durability:(dur ~keep_snapshots:2 ()) dir in
+  for i = 1 to 6 do
+    ignore (Journal.append w (Journal.Line (Fmt.str "x %d" i)))
+  done;
+  (match Journal.snapshot w ~core_snapshot:"OLD STATE\n" with
+  | Ok _ -> () | Error m -> Alcotest.fail m);
+  for i = 7 to 9 do
+    ignore (Journal.append w (Journal.Line (Fmt.str "x %d" i)))
+  done;
+  (match Journal.snapshot w ~core_snapshot:"NEW STATE\n" with
+  | Ok _ -> () | Error m -> Alcotest.fail m);
+  ignore (Journal.append w (Journal.Line "x 10"));
+  Journal.close w;
+  (* Flip a payload byte of the newest snapshot: its CRC now fails. *)
+  let newest =
+    Filename.concat dir (List.nth (snapshots dir) 1)
+  in
+  let text = In_channel.with_open_bin newest In_channel.input_all in
+  let mutated = Bytes.of_string text in
+  Bytes.set mutated (Bytes.length mutated - 2) '?';
+  Out_channel.with_open_bin newest (fun oc ->
+      Out_channel.output_string oc (Bytes.to_string mutated));
+  let r = recover dir in
+  Alcotest.(check (option string)) "older generation used"
+    (Some "OLD STATE\n") r.Journal.core_snapshot;
+  Alcotest.(check int) "corrupt snapshot counted" 1
+    r.Journal.snapshots_ignored;
+  Alcotest.(check int) "longer replay from the older snapshot" 4
+    r.Journal.replayed;
+  Alcotest.(check int) "still reaches the journal head" 10
+    r.Journal.last_seq;
+  rm_rf dir
+
+(* -------------------------------------------------------------- fuzz -- *)
+
+let arb_hostile_dir_contents =
+  let open QCheck.Gen in
+  let chunk =
+    oneof
+      [
+        string_size ~gen:(char_range '\000' '\255') (int_bound 64);
+        (* fragments that look like real framing *)
+        return "\xCA\x00\x00\x00\x09";
+        return "\xCA\xFF\xFF\xFF\xFF\x00\x00\x00\x00";
+        return "calserve-durable v1\nseq 3\ncrc 00000000\n";
+        map
+          (fun s -> s)
+          (oneofl [ "seq "; "crc "; "L"; "T"; "\n\n\n" ]);
+      ]
+  in
+  QCheck.make
+    ~print:(fun (a, b) -> Printf.sprintf "(%S, %S)" a b)
+    (pair
+       (map (String.concat "") (list_size (int_bound 6) chunk))
+       (map (String.concat "") (list_size (int_bound 6) chunk)))
+
+let prop_recover_is_total (seg_bytes, snap_bytes) =
+  let dir = tmpdir () in
+  Sys.mkdir dir 0o755;
+  Out_channel.with_open_bin
+    (Filename.concat dir "wal-0000000000000001.seg")
+    (fun oc -> Out_channel.output_string oc seg_bytes);
+  Out_channel.with_open_bin
+    (Filename.concat dir "snap-0000000000000003.snap")
+    (fun oc -> Out_channel.output_string oc snap_bytes);
+  let ok =
+    match Journal.recover ~dir with
+    | Ok r -> r.Journal.replayed >= 0 && r.Journal.dropped_bytes >= 0
+    | Error _ -> true
+    | exception _ -> false
+  in
+  rm_rf dir;
+  ok
+
+let () =
+  Alcotest.run "journal"
+    [
+      ( "codec",
+        [
+          t "crc32 known answers" test_crc32_known_answer;
+          t "roundtrip" test_roundtrip;
+          t "rotation spans segments" test_rotation_spans_segments;
+          t "writer resumes after recovery" test_writer_resumes_after_recovery;
+        ] );
+      ( "hostile",
+        [
+          t "truncated tail at every cut point"
+            test_truncated_tail_every_cut_point;
+          t "corrupt byte flips contained" test_corrupt_byte_flip_is_contained;
+          t "giant declared length rejected cheaply"
+            test_giant_declared_length_is_rejected_cheaply;
+          t "interleaved garbage stops the chain"
+            test_interleaved_garbage_stops_the_chain;
+          qtest ~count:200 "recover is total on arbitrary directory bytes"
+            arb_hostile_dir_contents prop_recover_is_total;
+        ] );
+      ( "snapshots",
+        [
+          t "recovery replays only the suffix"
+            test_snapshot_recovery_replays_only_the_suffix;
+          t "retention prunes snapshots and segments"
+            test_retention_prunes_snapshots_and_segments;
+          t "corrupt snapshot falls back a generation"
+            test_corrupt_snapshot_falls_back_a_generation;
+        ] );
+    ]

@@ -411,16 +411,24 @@ let test_snapshot_restore_preserves_latched_violations () =
       | None -> Alcotest.fail "latched session lost");
       (match Core.session restored (Ids.Oid.v "D") with
       | Some s ->
-          check_bool "healthy session restored desynced" true
+          (* v2 snapshots are exact: the healthy session resumes its
+             committed acceptor instead of desyncing. *)
+          check_bool "healthy session restored accepting" false
             (Session.is_desynced s);
           Alcotest.(check int) "op count preserved" 3 (Session.ops s)
       | None -> Alcotest.fail "healthy session lost");
-      (* The restored daemon still refuses to un-latch across eras and
-         resynchronises the healthy session. *)
+      (* The restored daemon keeps verifying without waiting for a new
+         era, and still refuses to un-latch across one. *)
+      let _, evs = run restored (lines (counter_burst ~from:3 "D" 1)) in
+      Alcotest.(check int) "healthy session verifies immediately" 1
+        (count_events (committed_for "D") evs);
+      let _, evs = run restored (lines (counter_burst ~from:0 "D" 1)) in
+      Alcotest.(check int) "resumed committed state still enforced" 1
+        (count_events (violation_for "D") evs);
       let _, evs = run restored (lines ("crash 1" :: counter_burst "C" 1 @ counter_burst "D" 1)) in
       Alcotest.(check int) "latch survives the next era" 0
         (count_events (committed_for "C") evs);
-      Alcotest.(check int) "healthy session resynced" 1
+      Alcotest.(check int) "healthy session verifies in the next era" 1
         (count_events (committed_for "D") evs))
 
 let test_snapshot_is_stable_and_restore_is_strict () =
@@ -458,6 +466,174 @@ let test_feed_is_byte_deterministic () =
     (transcript c);
   Alcotest.(check string) "warm cache does not perturb verdicts" (transcript a)
     (transcript d)
+
+
+(* ------------------------------------------------- v2 exact snapshots -- *)
+
+let test_v2_roundtrip_is_exact () =
+  (* Mixed mid-flight state: committed counters, a pinned open window,
+     a pending invocation, hostile damage already absorbed. The restored
+     core must be bisimilar: identical snapshot bytes now, identical
+     transcript and snapshot after any continuation. *)
+  let prefix =
+    counter_burst "C" 3 @ pinned_stream "P" 2 @ hostile_frames
+    @ exchange_pair "E" 3 4 @ [ cinv ~t:2 "C" ]
+  in
+  let continuation =
+    lines
+      ([ cres ~t:2 "C" 3 ] @ counter_burst ~from:4 "C" 2
+      @ exchange_pair "E" 5 6)
+    @ [ Proto.Tick; Proto.Tick ]
+  in
+  let core, _ = run (mk ()) (lines prefix) in
+  let snap = Core.snapshot core in
+  match Core.restore ~config:small_config ~spec_for snap with
+  | Error m -> Alcotest.fail ("v2 restore failed: " ^ m)
+  | Ok restored ->
+      Alcotest.(check string) "restored snapshot byte-identical" snap
+        (Core.snapshot restored);
+      let a, evs_a = run core continuation in
+      let b, evs_b = run restored continuation in
+      Alcotest.(check string) "continuation transcripts identical"
+        (transcript evs_a) (transcript evs_b);
+      Alcotest.(check string) "final snapshots identical" (Core.snapshot a)
+        (Core.snapshot b)
+
+let test_restore_preserves_degradation_ladder () =
+  let overload =
+    lines
+      (List.concat (List.init 6 (fun i -> pinned_stream (Fmt.str "C%d" i) 5)))
+  in
+  let core, _ = run (mk ()) overload in
+  Alcotest.(check string) "count-only before snapshot" "count-only"
+    (Proto.level_to_string (Core.level core));
+  let snap = Core.snapshot core in
+  match Core.restore ~config:small_config ~spec_for snap with
+  | Error m -> Alcotest.fail ("restore failed: " ^ m)
+  | Ok restored ->
+      Alcotest.(check string) "count-only survives restore" "count-only"
+        (Proto.level_to_string (Core.level restored));
+      (* The hysteresis cooldown survives too: both cores climb back to
+         full on exactly the same tick schedule. *)
+      let ticks = List.init 6 (fun _ -> Proto.Tick) in
+      let a, evs_a = run core ticks in
+      let b, evs_b = run restored ticks in
+      Alcotest.(check string) "upgrade schedule identical" (transcript evs_a)
+        (transcript evs_b);
+      Alcotest.(check string) "recovered to full" "full"
+        (Proto.level_to_string (Core.level a));
+      Alcotest.(check string) "restored core recovered to full" "full"
+        (Proto.level_to_string (Core.level b))
+
+let test_restore_preserves_sampled_level () =
+  let config =
+    { small_config with
+      lo_watermark = 0.05; hi_watermark = 0.10; memory_budget = 100 }
+  in
+  let core, _ = run (mk ~config ()) (lines (pinned_stream "P" 5)) in
+  Alcotest.(check string) "sampled before snapshot" "sampled"
+    (Proto.level_to_string (Core.level core));
+  match Core.restore ~config ~spec_for (Core.snapshot core) with
+  | Error m -> Alcotest.fail ("restore failed: " ^ m)
+  | Ok restored ->
+      Alcotest.(check string) "sampled survives restore" "sampled"
+        (Proto.level_to_string (Core.level restored));
+      (* The sampling cadence continues from the snapshotted qpoint
+         counters, not from zero. *)
+      let conc =
+        lines
+          (exchange_pair "E" 1 2 @ exchange_pair "E" 3 4
+          @ exchange_pair "E" 5 6)
+      in
+      let _, evs_a = run core conc in
+      let _, evs_b = run restored conc in
+      Alcotest.(check string) "sampling cadence identical" (transcript evs_a)
+        (transcript evs_b)
+
+let test_v1_snapshot_still_restores_conservatively () =
+  let v1 =
+    "calserve-snapshot v1\nclock 3\nlevel full\nunknown-history false\n\
+     session C ops=4 era=1 latched op=3 reason=bad increment\n\
+     session D ops=2 era=0 ok\nend"
+  in
+  match Core.restore ~config:small_config ~spec_for v1 with
+  | Error m -> Alcotest.fail ("v1 snapshot refused: " ^ m)
+  | Ok restored ->
+      (match Core.session restored (Ids.Oid.v "C") with
+      | Some s ->
+          check_bool "v1 latch preserved" true (Session.latched s <> None)
+      | None -> Alcotest.fail "latched session lost");
+      (match Core.session restored (Ids.Oid.v "D") with
+      | Some s ->
+          check_bool "v1 healthy session restored desynced" true
+            (Session.is_desynced s)
+      | None -> Alcotest.fail "healthy session lost")
+
+(* A spec with no [~resume] parser: its committed key cannot be turned
+   back into an acceptor, so an exact restore must degrade that one
+   session to desynced (honestly) instead of failing the whole boot. *)
+let noresume_spec oid =
+  Spec.make
+    ~name:(Fmt.str "opaque(%a)" Ids.Oid.pp oid)
+    ~owns:(Ids.Oid.equal oid) ~max_element_size:1 ~init:0
+    ~step:(fun count e ->
+      match Ca_trace.element_ops e with
+      | [ o ] ->
+          if Value.equal o.Op.ret (Value.int count) then Some (count + 1)
+          else None
+      | _ -> None)
+    ~key:string_of_int
+    ~candidates:(fun count ~universe:_ _ -> [ Value.int count ])
+    ()
+
+let test_restore_without_resume_parser_falls_back () =
+  let spec_for oid = Some (noresume_spec oid) in
+  let mkc () =
+    match Core.create ~config:small_config ~spec_for () with
+    | Ok t -> t
+    | Error m -> Alcotest.fail ("config rejected: " ^ m)
+  in
+  let core, _ = run (mkc ()) (lines (counter_burst "C" 2)) in
+  match Core.restore ~config:small_config ~spec_for (Core.snapshot core) with
+  | Error m -> Alcotest.fail ("fallback restore failed: " ^ m)
+  | Ok restored -> (
+      match Core.session restored (Ids.Oid.v "C") with
+      | Some s ->
+          check_bool "non-resumable session restored desynced" true
+            (Session.is_desynced s);
+          Alcotest.(check int) "ops still preserved" 2 (Session.ops s)
+      | None -> Alcotest.fail "session lost")
+
+(* Hostile snapshots: splice random bytes into a real v2 snapshot.
+   Restore must return [Ok] or [Error], never raise. *)
+let snapshot_base =
+  lazy
+    (let core, _ =
+       run (mk ())
+         (lines (counter_burst "C" 2 @ pinned_stream "P" 1 @ hostile_frames))
+     in
+     Core.snapshot core)
+
+let arb_mutated_snapshot =
+  let gen =
+    QCheck.Gen.(
+      map3
+        (fun pos len repl ->
+          let base = Lazy.force snapshot_base in
+          let n = String.length base in
+          let pos = pos mod n in
+          let len = min len (n - pos) in
+          String.sub base 0 pos ^ repl
+          ^ String.sub base (pos + len) (n - pos - len))
+        (int_bound 10_000) (int_bound 60)
+        (string_size ~gen:(char_range '\000' '\255') (int_bound 30)))
+  in
+  QCheck.make ~print:(Printf.sprintf "%S") gen
+
+let prop_restore_is_total s =
+  match Core.restore ~config:small_config ~spec_for s with
+  | Ok _ | Error _ -> true
+  | exception _ -> false
 
 let () =
   Alcotest.run "service"
@@ -507,6 +683,15 @@ let () =
             test_snapshot_restore_preserves_latched_violations;
           t "snapshot stable, restore strict"
             test_snapshot_is_stable_and_restore_is_strict;
+          t "v2 roundtrip is exact" test_v2_roundtrip_is_exact;
+          t "ladder survives restore" test_restore_preserves_degradation_ladder;
+          t "sampled level survives restore" test_restore_preserves_sampled_level;
+          t "v1 still restores conservatively"
+            test_v1_snapshot_still_restores_conservatively;
+          t "no-resume spec falls back desynced"
+            test_restore_without_resume_parser_falls_back;
+          qtest ~count:300 "restore is total on mutated snapshots"
+            arb_mutated_snapshot prop_restore_is_total;
         ] );
       ( "determinism",
         [ t "byte-deterministic transcripts" test_feed_is_byte_deterministic ] );

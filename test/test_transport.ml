@@ -1,0 +1,221 @@
+(* End-to-end tests of the Unix-domain-socket transport: a forked child
+   runs the daemon loop, the parent speaks the wire protocol. Covers the
+   happy path (events stream back per connection), per-connection fault
+   containment (a hostile over-long line costs only its own connection),
+   the bounded-accept busy reply, and graceful SIGTERM drain with a
+   journal snapshot on the way down. *)
+
+open Cal
+open Test_support
+module Config = Service.Config
+module Core = Service.Core
+module Transport = Service.Transport
+module Journal = Service.Journal
+
+let t name f = Alcotest.test_case name `Quick f
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then (
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Sys.rmdir path)
+    else Sys.remove path
+
+let scratch =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "cal-transport-%d-%d" (Unix.getpid ()) !counter)
+
+let spec_for oid = Some (Spec_counter.spec ~oid ())
+
+let small_config =
+  { Config.default with
+    max_sessions = 8; max_pending = 4; window_max = 12; memory_budget = 64 }
+
+(* Fork a daemon serving [sock]; on drain it writes its final metrics
+   line to [result_file]. The child never returns into alcotest. *)
+let fork_server ?journal_dir ~sock ~max_conns ~result_file () =
+  match Unix.fork () with
+  | 0 ->
+      let status =
+        try
+          let core =
+            match Core.create ~config:small_config ~spec_for () with
+            | Ok c -> c
+            | Error _ -> exit 2
+          in
+          let journal =
+            match journal_dir with
+            | None -> None
+            | Some dir -> (
+                match
+                  Journal.create ~dir
+                    ~durability:Config.default_durability ()
+                with
+                | Ok w -> Some w
+                | Error _ -> exit 2)
+          in
+          let pump =
+            Transport.create_pump ~core ?journal ~tick_every:4 ()
+          in
+          match Transport.serve_socket ~pump ~path:sock ~max_conns () with
+          | Error _ -> 3
+          | Ok () -> (
+              let m = Core.metrics (Transport.pump_core pump) in
+              Out_channel.with_open_text result_file (fun oc ->
+                  Fmt.pf
+                    (Format.formatter_of_out_channel oc)
+                    "frames=%d ops=%d violations=%d@." m.Core.frames
+                    m.Core.ops m.Core.violations);
+              match Transport.finalize pump with
+              | Ok _ -> 0
+              | Error _ -> 4)
+        with _ -> 5
+      in
+      Unix._exit status
+  | pid ->
+      (* wait for the socket to come up *)
+      let rec wait n =
+        if n = 0 then Alcotest.fail "server socket never appeared"
+        else if Sys.file_exists sock then ()
+        else (
+          Unix.sleepf 0.02;
+          wait (n - 1))
+      in
+      wait 250;
+      pid
+
+let stop_server pid =
+  Unix.kill pid Sys.sigterm;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED code ->
+      Alcotest.(check int) "server drained cleanly" 0 code
+  | _, _ -> Alcotest.fail "server did not exit"
+
+let connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  fd
+
+let send fd s = ignore (Unix.write_substring fd s 0 (String.length s))
+
+let recv_all fd =
+  let b = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes b chunk 0 n;
+        go ()
+  in
+  (try go () with Unix.Unix_error _ -> ());
+  Buffer.contents b
+
+(* send a whole request, half-close, read the full reply *)
+let round_trip sock lines =
+  let fd = connect sock in
+  send fd (String.concat "" (List.map (fun l -> l ^ "\n") lines));
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  let reply = recv_all fd in
+  Unix.close fd;
+  reply
+
+let counter_lines o n =
+  List.concat
+    (List.init n (fun i ->
+         [ Fmt.str "t1 inv %s.incr ()" o; Fmt.str "t1 res %s.incr %d" o i ]))
+
+let count_lines needle s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l ->
+         String.length l >= String.length needle
+         && String.sub l 0 (String.length needle) = needle)
+  |> List.length
+
+let test_events_stream_back () =
+  let sock = scratch () and result = scratch () in
+  let pid = fork_server ~sock ~max_conns:4 ~result_file:result () in
+  let reply = round_trip sock (counter_lines "C" 3) in
+  Alcotest.(check int) "three commits echoed" 3
+    (count_lines "committed oid=C" reply);
+  let reply = round_trip sock [ "utter garbage" ] in
+  Alcotest.(check int) "structured error echoed" 1
+    (count_lines "error frame=" reply);
+  stop_server pid;
+  let summary = In_channel.with_open_text result In_channel.input_all in
+  Alcotest.(check string) "drain summary accounts for every frame"
+    "frames=7 ops=3 violations=0\n" summary;
+  Sys.remove result
+
+let test_hostile_connection_is_contained () =
+  let sock = scratch () and result = scratch () in
+  let pid = fork_server ~sock ~max_conns:4 ~result_file:result () in
+  (* A sends an unterminated line beyond the transport cap: only A dies. *)
+  let a = connect sock in
+  let junk = String.make 8192 'x' in
+  (try
+     for _ = 1 to (Transport.max_line_bytes / 8192) + 2 do
+       send a junk
+     done
+   with Unix.Unix_error _ -> ());
+  let b_reply = round_trip sock (counter_lines "D" 2) in
+  Alcotest.(check int) "sibling connection still verifies" 2
+    (count_lines "committed oid=D" b_reply);
+  (* A is gone: its socket reaches EOF. *)
+  Alcotest.(check string) "hostile connection dropped" "" (recv_all a);
+  Unix.close a;
+  stop_server pid;
+  Sys.remove result
+
+let test_busy_reject_beyond_max_conns () =
+  let sock = scratch () and result = scratch () in
+  let pid = fork_server ~sock ~max_conns:1 ~result_file:result () in
+  let a = connect sock in
+  (* Force the server to register A before B shows up. *)
+  send a "t1 inv C.incr ()\n";
+  Unix.sleepf 0.3;
+  let b = connect sock in
+  let b_reply = recv_all b in
+  Alcotest.(check string) "over-capacity connection told busy" "busy\n"
+    b_reply;
+  Unix.close b;
+  Unix.close a;
+  stop_server pid;
+  Sys.remove result
+
+let test_sigterm_drain_cuts_a_snapshot () =
+  let sock = scratch () and result = scratch () in
+  let jdir = scratch () in
+  let pid =
+    fork_server ~journal_dir:jdir ~sock ~max_conns:4 ~result_file:result ()
+  in
+  ignore (round_trip sock (counter_lines "C" 4));
+  stop_server pid;
+  (* The drain finalized the journal: one snapshot, nothing to replay. *)
+  (match Journal.recover ~dir:jdir with
+  | Error m -> Alcotest.fail ("journal unreadable after drain: " ^ m)
+  | Ok r ->
+      check_bool "final snapshot present" true
+        (r.Journal.core_snapshot <> None);
+      Alcotest.(check int) "journal fully covered by the final snapshot" 0
+        r.Journal.replayed;
+      Alcotest.(check int) "nothing lost" 0 r.Journal.dropped_bytes);
+  rm_rf jdir;
+  Sys.remove result
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "socket",
+        [
+          t "events stream back per connection" test_events_stream_back;
+          t "hostile connection is contained"
+            test_hostile_connection_is_contained;
+          t "busy reject beyond max-conns" test_busy_reject_beyond_max_conns;
+          t "sigterm drain cuts a snapshot" test_sigterm_drain_cuts_a_snapshot;
+        ] );
+    ]
