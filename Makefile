@@ -1,4 +1,4 @@
-.PHONY: all build test cross-check check-parallel check-durable bench bench-faults bench-crash bench-parallel bench-sampling bench-serve bench-serve-durable bench-smoke fuzz-smoke serve-smoke serve-crash-smoke ci clean
+.PHONY: all build test cross-check cross-check-dpor check-parallel check-durable bench bench-faults bench-crash bench-parallel bench-dpor bench-sampling bench-serve bench-serve-durable bench-smoke fuzz-smoke serve-smoke serve-crash-smoke ci clean
 
 all: build
 
@@ -12,6 +12,22 @@ test:
 # exploration pruning kill switch set (fingerprint/sleep-set pruning off).
 cross-check:
 	CAL_EXPLORE_NO_PRUNE=1 dune runtest --force
+
+# Verdict cross-check along the reduction axis: the dedicated source-DPOR
+# suite re-verifies every Faulty.* and positive scenario against the
+# unpruned engine (verdict and replayed witness), then the scenario /
+# verify / fault / timeout suites re-run with CAL_EXPLORE_STRATEGY=dpor so
+# every obligation check in them decides with the DPOR engine instead of
+# the DFS. The full suite is deliberately not run under the override: the
+# strategy engines ignore the legacy preemption_bound, so suites that
+# lean on bounded DFS for their largest scenarios would explore the full
+# unbounded space.
+cross-check-dpor:
+	dune exec test/test_dpor.exe
+	CAL_EXPLORE_STRATEGY=dpor dune exec test/test_scenarios.exe
+	CAL_EXPLORE_STRATEGY=dpor dune exec test/test_verify.exe
+	CAL_EXPLORE_STRATEGY=dpor dune exec test/test_faults.exe
+	CAL_EXPLORE_STRATEGY=dpor dune exec test/test_timeouts.exe
 
 # Verdict cross-check along the domain axis: the whole suite must pass
 # identically with every exploration spread over two worker domains and
@@ -47,6 +63,14 @@ bench-crash:
 # where wall-clock asserts would only measure timesharing).
 bench-parallel:
 	dune exec bench/main.exe -- parallel
+
+# Regenerate only BENCH_dpor.json (the B18 reduction figure) at full fuel:
+# source-DPOR vs the sleep-set-pruned DFS on the treiber/exchanger
+# scenarios (in-process asserts: >= 5x fewer runs, identical verdicts) and
+# the delay-bounded deepening level at which each Faulty.* bug is found
+# (asserted <= 2).
+bench-dpor:
+	dune exec bench/main.exe -- dpor
 
 # Regenerate only BENCH_sampling.json (the B15 sampled-checking figure):
 # detection rate and mean shrunk-witness size vs run budget, per sampler
@@ -95,7 +119,7 @@ fuzz-smoke:
 serve-crash-smoke: build
 	bash scripts/serve_crash_smoke.sh
 
-ci: build test cross-check check-parallel fuzz-smoke serve-smoke serve-crash-smoke
+ci: build test cross-check cross-check-dpor check-parallel fuzz-smoke serve-smoke serve-crash-smoke
 
 # dune clean only touches _build; the committed BENCH_*.json figures in the
 # repo root are regenerated by bench targets, never deleted here.

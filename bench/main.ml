@@ -19,6 +19,8 @@
                                              regenerates BENCH_parallel.json)
         dune exec bench/main.exe -- sampling (only B15, full budgets,
                                              regenerates BENCH_sampling.json)
+        dune exec bench/main.exe -- dpor    (only B18, full fuel,
+                                             regenerates BENCH_dpor.json)
         dune exec bench/main.exe -- serve   (only B16, full budget,
                                              regenerates BENCH_serve.json)
         dune exec bench/main.exe -- serve-smoke (B16 at a reduced CI
@@ -44,6 +46,7 @@ let mode =
   else if Array.exists (fun a -> a = "crash") Sys.argv then `Crash
   else if Array.exists (fun a -> a = "parallel") Sys.argv then `Parallel
   else if Array.exists (fun a -> a = "sampling") Sys.argv then `Sampling
+  else if Array.exists (fun a -> a = "dpor") Sys.argv then `Dpor
   else if Array.exists (fun a -> a = "serve-smoke") Sys.argv then `Serve_smoke
   else if Array.exists (fun a -> a = "serve-durable-smoke") Sys.argv then
     `Serve_durable_smoke
@@ -507,6 +510,102 @@ let figure_explore () =
   close_out oc;
   Fmt.pr "# rows written to BENCH_explore.json@."
 
+(* B18 — source-DPOR reduction and bounded iterative deepening. Two claims,
+   asserted in-process so the benchmark doubles as a regression gate:
+   - reduction: on the tracked-cell scenarios at full fuel, source-DPOR
+     delivers at least 5x fewer runs than B12's sleep-set pruner while the
+     black-box verdict is unchanged;
+   - bug-finding: delay-bounded iterative deepening finds every
+     deliberately injected violation within bound <= 2.
+   Results land in BENCH_dpor.json. *)
+let figure_dpor () =
+  let fuel = if quick then 12 else 16 in
+  let scenarios = [ S.treiber_push_pop (); S.exchanger_pair () ] in
+  Fmt.pr "@.# B18: source-DPOR reduction vs sleep-set pruning (fuel %d)@."
+    fuel;
+  Fmt.pr "%-26s %-18s %8s %10s %8s %10s %8s@." "scenario" "engine" "runs"
+    "nodes" "races" "backtracks" "ms";
+  let cost ~(s : S.t) engine =
+    let t0 = Sys.time () in
+    let c = Workloads.Metrics.explore_cost ~engine ~setup:s.setup ~fuel () in
+    (c, (Sys.time () -. t0) *. 1000.)
+  in
+  let reduction_rows =
+    List.concat_map
+      (fun (s : S.t) ->
+        let pruned, pruned_ms = cost ~s `Pruned in
+        let dpor, dpor_ms = cost ~s `Dpor in
+        List.iter
+          (fun ((c : Workloads.Metrics.explore_cost), ms) ->
+            Fmt.pr "%-26s %-18s %8d %10d %8d %10d %8.1f@." s.name c.engine
+              c.explored_runs c.nodes c.races_found c.backtrack_points ms)
+          [ (pruned, pruned_ms); (dpor, dpor_ms) ];
+        Fmt.pr "%-26s %-18s %7.1fx fewer runs@." s.name "(reduction)"
+          (float_of_int pruned.explored_runs
+          /. float_of_int (max 1 dpor.explored_runs));
+        if dpor.explored_runs * 5 > pruned.explored_runs then
+          Fmt.failwith
+            "B18: source-DPOR on %s explored %d runs vs %d sleep-set-pruned \
+             — less than the required 5x reduction"
+            s.name dpor.explored_runs pruned.explored_runs;
+        (* the reduction must not change what is decided *)
+        let verdict strategy =
+          Verify.Obligations.ok
+            (Verify.Obligations.check_black_box ?strategy ~setup:s.setup
+               ~spec:s.spec ~fuel ())
+        in
+        let v_dfs = verdict None and v_dpor = verdict (Some Conc.Explore.Dpor) in
+        if v_dfs <> v_dpor then
+          Fmt.failwith "B18: DPOR changed the verdict on %s: dfs=%b dpor=%b"
+            s.name v_dfs v_dpor;
+        [ (s.name, pruned, pruned_ms); (s.name, dpor, dpor_ms) ])
+      scenarios
+  in
+  Fmt.pr "@.# B18b: delay-bounded deepening on the injected bugs@.";
+  let bound_rows =
+    List.map
+      (fun (s : S.t) ->
+        let rec find b =
+          if b > 2 then
+            Fmt.failwith
+              "B18: delay-bounded deepening missed the %s violation within \
+               bound 2"
+              s.name
+          else
+            let r =
+              Verify.Obligations.check_object
+                ~strategy:(Conc.Explore.Delay_bounded { bound = b })
+                ~setup:s.setup ~spec:s.spec ~view:s.view ~fuel:s.fuel ()
+            in
+            if Verify.Obligations.ok r then find (b + 1)
+            else (b, r.Verify.Obligations.runs)
+        in
+        let b, runs = find 0 in
+        Fmt.pr "%-28s violation at delay bound %d (%d runs)@." s.name b runs;
+        (s.name, b, runs))
+      (S.faulty ())
+  in
+  let oc = open_out "BENCH_dpor.json" in
+  let engine_row (name, (c : Workloads.Metrics.explore_cost), ms) =
+    Printf.sprintf
+      "    {\"scenario\": %S, \"fuel\": %d, \"engine\": %S, \"runs\": %d, \
+       \"nodes\": %d, \"replayed_steps\": %d, \"sleep_pruned\": %d, \
+       \"races_found\": %d, \"backtrack_points\": %d, \"wall_ms\": %.3f}"
+      name fuel c.engine c.explored_runs c.nodes c.replayed_steps
+      c.sleep_pruned c.races_found c.backtrack_points ms
+  in
+  let bound_row (name, b, runs) =
+    Printf.sprintf
+      "    {\"scenario\": %S, \"delay_bound\": %d, \"runs\": %d}" name b runs
+  in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"dpor\",\n  \"rows\": [\n%s\n  ],\n  \"bound_rows\": \
+     [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map engine_row reduction_rows))
+    (String.concat ",\n" (List.map bound_row bound_rows));
+  close_out oc;
+  Fmt.pr "# rows written to BENCH_dpor.json@."
+
 (* B13 — crash-recovery sweep: durable Treiber stack throughput as whole-
    system crashes and recovery cost grow. Every flush is an extra step on
    the hot top cell and every crash discards in-flight work and pays
@@ -775,12 +874,15 @@ let figure_parallel () =
       (name, fuel, domains, used, cache, runs, hits, stolen, ms, speedup) =
     Printf.sprintf
       "    {\"scenario\": %S, \"fuel\": %d, \"domains\": %d, \
-       \"domains_used\": %d, \"oversubscribed\": %b, \"cache\": %b, \
+       \"domains_used\": %d, \"oversubscribed\": %b, \
+       \"degraded_no_cores\": %b, \"cache\": %b, \
        \"runs\": %d, \"cache_hits\": %d, \"tasks_stolen\": %d, \
        \"wall_ms\": %.3f, \"speedup\": %.3f}"
       name fuel domains used
       (oversub && domains > 1)
-      cache runs hits stolen ms speedup
+      (* the machine has fewer cores than the requested domains: the
+         wall-clock column measures contention, not the engine *)
+      (cores < domains) cache runs hits stolen ms speedup
   in
   Printf.fprintf oc
     "{\n  \"bench\": \"parallel_explore\",\n  \"hw_cores\": %d,\n  \
@@ -1385,6 +1487,10 @@ let () =
       Fmt.pr "== CAL benchmark harness (sampled-checking figure) ==@.";
       figure_sampling ();
       Fmt.pr "@.done.@."
+  | `Dpor ->
+      Fmt.pr "== CAL benchmark harness (source-DPOR figure) ==@.";
+      figure_dpor ();
+      Fmt.pr "@.done.@."
   | `Serve ->
       Fmt.pr "== CAL benchmark harness (streaming-service figure) ==@.";
       figure_serve ~reduced:false ();
@@ -1409,6 +1515,7 @@ let () =
       figure_fault_sweep ();
       figure_timeouts ();
       figure_explore ();
+      figure_dpor ();
       figure_crash ();
       figure_parallel ();
       figure_sampling ();
@@ -1422,6 +1529,7 @@ let () =
       figure_fault_sweep ();
       figure_timeouts ();
       figure_explore ();
+      figure_dpor ();
       figure_crash ();
       figure_parallel ();
       figure_sampling ();

@@ -29,6 +29,15 @@ let verdict_cache_capacity () =
       | Some n when n > 0 -> Some n
       | _ -> None)
 
+(* Racing-pair lines printed per witness report. A long witness schedule
+   can race at every other step; the first few pairs carry the
+   explanation, the rest is noise. *)
+let witness_race_cap () =
+  match Sys.getenv_opt "CAL_WITNESS_RACE_CAP" with
+  | None | Some "" -> 8
+  | Some s -> (
+      match int_of_string_opt s with Some n when n >= 0 -> n | _ -> 8)
+
 (* Donation grain for the work-stealing explorer: a frame is only donated
    when its subtree has at least this many levels left, so workers don't
    ship chunks worth a handful of leaves — the replay to reconstruct the

@@ -14,6 +14,27 @@ let schedule_string = function
         segs;
       Buffer.contents buf
 
+type race = {
+  r_loc : string;
+  r_thread_a : int;
+  r_step_a : int;
+  r_thread_b : int;
+  r_step_b : int;
+}
+
+let pp_race fmt r =
+  Format.fprintf fmt "t%d#%d ~ t%d#%d @@ %s" r.r_thread_a r.r_step_a
+    r.r_thread_b r.r_step_b r.r_loc
+
+let pp_races fmt = function
+  | [] -> Format.fprintf fmt "races: none detected"
+  | rs ->
+      Format.fprintf fmt "@[<v 7>races: %a@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt "@,")
+           pp_race)
+        rs
+
 let pp_era_history fmt h =
   Format.fprintf fmt "@[<v>-- era 1 --";
   List.iter

@@ -32,6 +32,26 @@ val schedule_string : segment list -> string
     switch), then 3 of thread 2 (preemptive switch). The empty list
     renders as ["<empty>"]. *)
 
+type race = {
+  r_loc : string;
+      (** a shared location both steps touch (["<opaque>"] when the
+          conflict came from a step with unknown footprint) *)
+  r_thread_a : int;
+  r_step_a : int;  (** step index within the schedule, 0-based *)
+  r_thread_b : int;
+  r_step_b : int;
+}
+(** A racing step pair of a witness schedule: two dependent steps of
+    different threads not ordered by any other happens-before edge —
+    reversing one of these pairs is what makes the interleaving matter. *)
+
+val pp_race : Format.formatter -> race -> unit
+(** One pair as [t0#2 ~ t1#5 @ S0.top]. *)
+
+val pp_races : Format.formatter -> race list -> unit
+(** The [races:] block of a witness report, one pair per line
+    (["races: none detected"] when empty). *)
+
 val pp_era_history : Format.formatter -> History.t -> unit
 (** The history, one {!History_format} action line per action, grouped
     under [-- era k --] headers; a crash marker renders as its own

@@ -6,7 +6,25 @@ type t = {
   mutable clock : int;
   mutable skew : (int * int) list;
   mutable crashes : int;
+  (* Per-step access recording for happens-before analysis. [track] is on
+     only while the runner applies a scheduling decision, so guard
+     evaluations during frontier computation record nothing. *)
+  mutable track : bool;
+  mutable reads_rev : string list;
+  mutable writes_rev : string list;
+  mutable noted : bool;
 }
+
+(* Pseudo-locations for the checker-visible logs. The history quotient of
+   {!Cal.History.canonicalize} — adjacent same-kind actions of different
+   threads commute without changing entries, eras or [precedes], hence any
+   verdict — is mirrored here as an access footprint: an invocation reads
+   [hist_loc], a response writes it, so inv/inv and the log-order of a
+   history step against a trace step commute while inv/res (the pairs that
+   change [precedes]) and res/res conflict. Trace elements are consumed in
+   order by the spec obligation, so trace-logging steps all conflict. *)
+let hist_loc = "!hist"
+let trace_loc = "!trace"
 
 let create () =
   {
@@ -17,9 +35,47 @@ let create () =
     clock = 0;
     skew = [];
     crashes = 0;
+    track = false;
+    reads_rev = [];
+    writes_rev = [];
+    noted = false;
   }
 
+let note_read t loc =
+  if t.track then begin
+    t.reads_rev <- loc :: t.reads_rev;
+    t.noted <- true
+  end
+
+let note_write t loc =
+  if t.track then begin
+    t.writes_rev <- loc :: t.writes_rev;
+    t.noted <- true
+  end
+
+let begin_step t =
+  t.track <- true;
+  t.reads_rev <- [];
+  t.writes_rev <- [];
+  t.noted <- false
+
+let end_step t = t.track <- false
+
+let step_accesses t =
+  if not t.noted then None
+  else
+    Some
+      ( List.sort_uniq String.compare t.reads_rev,
+        List.sort_uniq String.compare t.writes_rev )
+
 let log_action t a =
+  (match a with
+  | Cal.Action.Inv _ -> note_read t hist_loc
+  | Cal.Action.Res _ -> note_write t hist_loc
+  | Cal.Action.Crash _ ->
+      (* era boundary: nothing may commute across it *)
+      note_write t hist_loc;
+      note_write t trace_loc);
   t.history_rev <- a :: t.history_rev;
   t.hist_len <- t.hist_len + 1
 
@@ -41,10 +97,19 @@ let set_skew t ~thread ~factor =
 let skew_factor t ~thread =
   match List.assoc_opt thread t.skew with Some f -> f | None -> 1
 
+let clock_loc = "!clock"
+
 let local_now t ~tid =
+  (* Every step advances the clock, so a step whose behaviour consults it
+     (timed guards, polls) is order-sensitive against *all* steps: record a
+     read of the clock pseudo-location so dependency-based reduction never
+     commutes anything past a deadline check. Frontier-time evaluations are
+     outside the tracking window and record nothing. *)
+  note_read t clock_loc;
   t.clock * skew_factor t ~thread:(Cal.Ids.Tid.to_int tid)
 
 let log_element t e =
+  note_write t trace_loc;
   t.trace_rev <- e :: t.trace_rev;
   t.trace_len <- t.trace_len + 1
 

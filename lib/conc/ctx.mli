@@ -62,6 +62,32 @@ val local_now : t -> tid:Cal.Ids.Tid.t -> int
     the deterministic analogue of a thread scheduled on a slow core hitting
     its timeout. *)
 
+val note_read : t -> string -> unit
+(** Record that the current step read the shared location named by the
+    string. A no-op unless a step is being applied (between {!begin_step}
+    and {!end_step}), so guard evaluations during frontier computation
+    never pollute the access record. Called by {!Cell} and {!Pcell}. *)
+
+val note_write : t -> string -> unit
+(** Record that the current step wrote a shared location. See
+    {!note_read}. *)
+
+val begin_step : t -> unit
+(** Open the per-step access record and enable {!note_read}/{!note_write}.
+    Called by {!Runner.step} around each applied decision; implementations
+    must not call it. *)
+
+val end_step : t -> unit
+(** Close the per-step access record ({!step_accesses} stays readable until
+    the next {!begin_step}). *)
+
+val step_accesses : t -> (string list * string list) option
+(** [(reads, writes)] of the most recently applied step, each sorted and
+    deduplicated — or [None] if the step recorded nothing (it ran
+    uninstrumented code). History/trace logging counts as a write to a
+    dedicated pseudo-location, so checker-visible ordering is never
+    reordered by dependency-based reduction. *)
+
 val active_threads : t -> oid:Cal.Ids.Oid.t -> Cal.Ids.Tid.t list
 (** Threads currently executing a method of [oid] (the paper's [InE]):
     those with a pending invocation on [oid] in the history {e after} the

@@ -1,0 +1,251 @@
+(* Happens-before machinery for source-DPOR: per-step effects (read/write
+   footprints over named shared locations), a dependence relation, and
+   vector clocks tracking the transitive closure of program order plus
+   dependence edges along one execution path.
+
+   Effects come from three sources, most to least precise: (1) locations
+   recorded by the instrumentation ({!Cell}/{!Pcell}/{!Ctx.log_action})
+   while the step applied; (2) the ["…@loc"] label convention, treated as a
+   conservative read-write of that location; (3) everything else is opaque —
+   dependent with every non-pure step. Opaque effects make DPOR degenerate
+   towards full exploration but never unsound: dependence is always
+   over-approximated, so the reduced run set still covers one interleaving
+   per Mazurkiewicz trace of the true dependence.
+
+   The tracker is immutable: the DFS engine threads one tracker value down
+   each path and backtracking is free. *)
+
+module Smap = Map.Make (String)
+module Imap = Map.Make (Int)
+
+type eff = {
+  ef_thread : int;
+  ef_reads : string list; (* sorted, deduplicated *)
+  ef_writes : string list;
+  ef_pure : bool;
+  ef_opaque : bool;
+}
+
+let loc_of label =
+  match String.index_opt label '@' with
+  | Some i -> Some (String.sub label i (String.length label - i))
+  | None -> None
+
+let effect_of ~thread ~label ~recorded =
+  match recorded with
+  | Some (reads, writes) ->
+      {
+        ef_thread = thread;
+        ef_reads = reads;
+        ef_writes = writes;
+        ef_pure = reads = [] && writes = [];
+        ef_opaque = false;
+      }
+  | None -> (
+      if label = "yield" then
+        { ef_thread = thread; ef_reads = []; ef_writes = []; ef_pure = true; ef_opaque = false }
+      else
+        match loc_of label with
+        | Some l ->
+            (* Label heuristic: a "…@loc" step without instrumentation is a
+               conservative read-write of that location. *)
+            {
+              ef_thread = thread;
+              ef_reads = [ l ];
+              ef_writes = [ l ];
+              ef_pure = false;
+              ef_opaque = false;
+            }
+        | None ->
+            { ef_thread = thread; ef_reads = []; ef_writes = []; ef_pure = false; ef_opaque = true })
+
+let clock_loc = "!clock"
+
+let clock_sensitive e = List.mem clock_loc e.ef_reads
+let pure_eff ~thread =
+  { ef_thread = thread; ef_reads = []; ef_writes = []; ef_pure = true; ef_opaque = false }
+
+(* both lists sorted ascending *)
+let rec overlap a b =
+  match (a, b) with
+  | [], _ | _, [] -> false
+  | x :: a', y :: b' ->
+      let c = String.compare x y in
+      if c = 0 then true else if c < 0 then overlap a' b else overlap a b'
+
+let conflicts a b =
+  (* Clock-sensitive steps conflict with everything — even pure yields
+     advance the clock they read. *)
+  if clock_sensitive a || clock_sensitive b then true
+  else if a.ef_pure || b.ef_pure then false
+  else if a.ef_opaque || b.ef_opaque then true
+  else
+    overlap a.ef_writes b.ef_writes
+    || overlap a.ef_writes b.ef_reads
+    || overlap a.ef_reads b.ef_writes
+
+let dependent a b = a.ef_thread = b.ef_thread || conflicts a b
+
+(* ------------------------------------------------------ vector clocks -- *)
+
+(* clock.(q) = largest global step index of a q-step happens-before the
+   point the clock describes; -1 (or absent) if none. *)
+type clock = int array
+
+let clock_get (c : clock) q = if q >= 0 && q < Array.length c then c.(q) else -1
+
+let clock_merge (a : clock) (b : clock) : clock =
+  let n = max (Array.length a) (Array.length b) in
+  Array.init n (fun i -> max (clock_get a i) (clock_get b i))
+
+let clock_set (c : clock) q v : clock =
+  let n = max (Array.length c) (q + 1) in
+  let out = Array.init n (fun i -> clock_get c i) in
+  out.(q) <- v;
+  out
+
+type step = {
+  st_index : int; (* global step index along the path (= depth) *)
+  st_thread : int;
+  st_eff : eff;
+  st_clock : clock; (* after the step; own entry = st_index *)
+}
+
+let happens_before ~earlier later =
+  clock_get later.st_clock earlier.st_thread >= earlier.st_index
+
+type tracker = {
+  tk_next : int;
+  tk_last_write : step Smap.t; (* per location *)
+  tk_reads_since : step list Smap.t; (* reads since last write, newest first *)
+  tk_last_opaque : step option;
+  tk_last_clock : step option; (* last clock-sensitive step *)
+  tk_clock : clock Imap.t; (* per thread: clock of its last step *)
+  tk_last : step Imap.t; (* per thread: its last non-pure step *)
+  tk_last_any : step Imap.t; (* per thread: its last step, pure included *)
+}
+
+let tracker () =
+  {
+    tk_next = 0;
+    tk_last_write = Smap.empty;
+    tk_reads_since = Smap.empty;
+    tk_last_opaque = None;
+    tk_last_clock = None;
+    tk_clock = Imap.empty;
+    tk_last = Imap.empty;
+    tk_last_any = Imap.empty;
+  }
+
+(* Record one executed step. Returns the updated tracker, the step record
+   (with its clock), and the steps this one directly races with — dependent,
+   different thread, not already happens-before-ordered through other
+   edges — in ascending index order. Candidates are examined newest first
+   and each candidate's clock is folded in before older ones are judged, so
+   a pair ordered through an intermediate dependent step (w → r → e) is not
+   reported as a direct race. *)
+let observe tk eff =
+  let t = eff.ef_thread in
+  let index = tk.tk_next in
+  let before =
+    match Imap.find_opt t tk.tk_clock with Some c -> c | None -> [||]
+  in
+  let candidates =
+    let m = ref Imap.empty in
+    let add s = m := Imap.add s.st_index s !m in
+    (* every step conflicts with the last clock-sensitive step (it advanced
+       the clock that step read) *)
+    (match tk.tk_last_clock with Some s -> add s | None -> ());
+    if clock_sensitive eff then
+      (* ... and a clock-sensitive step conflicts with every thread's last
+         step, pure yields included *)
+      Imap.iter (fun _ s -> add s) tk.tk_last_any
+    else if eff.ef_pure then ()
+    else if eff.ef_opaque then
+      (* opaque: dependent with every thread's last non-pure step *)
+      Imap.iter (fun _ s -> add s) tk.tk_last
+    else begin
+      List.iter
+        (fun l ->
+          match Smap.find_opt l tk.tk_last_write with
+          | Some s -> add s
+          | None -> ())
+        eff.ef_reads;
+      List.iter
+        (fun l ->
+          (match Smap.find_opt l tk.tk_last_write with
+          | Some s -> add s
+          | None -> ());
+          match Smap.find_opt l tk.tk_reads_since with
+          | Some ss -> List.iter add ss
+          | None -> ())
+        eff.ef_writes;
+      match tk.tk_last_opaque with Some s -> add s | None -> ()
+    end;
+    Imap.fold (fun _ s acc -> s :: acc) !m []
+  in
+  (* both folds above yield candidates newest-first *)
+  let acc = ref before in
+  let races = ref [] in
+  List.iter
+    (fun s ->
+      if s.st_thread <> t && s.st_index > clock_get !acc s.st_thread then
+        races := s :: !races;
+      acc := clock_merge !acc s.st_clock)
+    candidates;
+  let clock = clock_set !acc t index in
+  let st = { st_index = index; st_thread = t; st_eff = eff; st_clock = clock } in
+  let tk' =
+    {
+      tk with
+      tk_next = index + 1;
+      tk_clock = Imap.add t clock tk.tk_clock;
+      tk_last_any = Imap.add t st tk.tk_last_any;
+    }
+  in
+  let tk' =
+    if clock_sensitive eff then { tk' with tk_last_clock = Some st } else tk'
+  in
+  let tk' =
+    if eff.ef_pure then tk'
+    else
+      let tk' = { tk' with tk_last = Imap.add t st tk'.tk_last } in
+      if eff.ef_opaque then { tk' with tk_last_opaque = Some st }
+      else begin
+        let lw =
+          List.fold_left
+            (fun m l -> Smap.add l st m)
+            tk'.tk_last_write eff.ef_writes
+        in
+        let rs =
+          List.fold_left (fun m l -> Smap.remove l m) tk'.tk_reads_since
+            eff.ef_writes
+        in
+        let rs =
+          List.fold_left
+            (fun m l ->
+              Smap.add l
+                (st :: Option.value ~default:[] (Smap.find_opt l rs))
+                m)
+            rs eff.ef_reads
+        in
+        { tk' with tk_last_write = lw; tk_reads_since = rs }
+      end
+  in
+  (tk', st, !races)
+
+(* A human-readable location shared by the racing pair, for witness
+   reports: the first overlapping written location, falling back to a
+   placeholder for opaque steps. *)
+let race_loc a b =
+  let pick xs ys =
+    List.find_opt (fun l -> List.mem l ys) xs
+  in
+  let a_eff = a.st_eff and b_eff = b.st_eff in
+  match
+    (match pick a_eff.ef_writes (b_eff.ef_writes @ b_eff.ef_reads) with
+    | Some _ as r -> r
+    | None -> pick a_eff.ef_reads b_eff.ef_writes)
+  with
+  | Some l -> l
+  | None -> "<opaque>"

@@ -1,0 +1,69 @@
+(** Happens-before machinery for source-DPOR: per-step effects, a
+    dependence relation, and vector clocks along one execution path.
+
+    Dependence is always {e over}-approximated: a step whose footprint is
+    unknown is opaque (dependent with every non-pure step), so reduction
+    degrades towards full exploration but never prunes a genuinely distinct
+    Mazurkiewicz trace. *)
+
+type eff = {
+  ef_thread : int;
+  ef_reads : string list;  (** sorted, deduplicated *)
+  ef_writes : string list;
+  ef_pure : bool;  (** independent of everything (e.g. [yield]) *)
+  ef_opaque : bool;  (** unknown footprint: dependent with every non-pure step *)
+}
+
+val effect_of :
+  thread:int -> label:string -> recorded:(string list * string list) option -> eff
+(** Classify a just-executed step: recorded accesses
+    ({!Runner.last_step_accesses}) give a precise footprint; otherwise a
+    ["…@loc"] label is a conservative read-write of [loc], ["yield"] is
+    pure, and anything else is opaque. *)
+
+val pure_eff : thread:int -> eff
+(** The effect of a step that runs no shared code (e.g. resolving a
+    [Choose] branch). *)
+
+val conflicts : eff -> eff -> bool
+(** Effect-level conflict (write/write or read/write overlap, or either
+    side opaque); false if either side is pure. A step that read the
+    logical clock (timed guards — {!Ctx.local_now} records the ["!clock"]
+    pseudo-location) conflicts with {e everything}, pure yields included,
+    because every step advances the clock. *)
+
+val dependent : eff -> eff -> bool
+(** [conflicts] or same thread (program order). *)
+
+type clock = int array
+(** [clock.(q)] = largest global step index of a [q]-step happens-before
+    this point; [-1] (or out of range) if none. *)
+
+val clock_get : clock -> int -> int
+val clock_merge : clock -> clock -> clock
+
+type step = {
+  st_index : int;  (** global step index along the path (= tree depth) *)
+  st_thread : int;
+  st_eff : eff;
+  st_clock : clock;  (** clock after the step; own entry = [st_index] *)
+}
+
+val happens_before : earlier:step -> step -> bool
+
+type tracker
+(** Immutable per-path state: last write and reads-since-last-write per
+    location, last opaque step, per-thread clocks. The DFS threads one
+    tracker value down each path; backtracking is free. *)
+
+val tracker : unit -> tracker
+
+val observe : tracker -> eff -> tracker * step * step list
+(** Record one executed step. Returns the updated tracker, the step record,
+    and the steps this one {e directly} races with (dependent, different
+    thread, not ordered through intermediate dependence edges), ascending
+    by index. *)
+
+val race_loc : step -> step -> string
+(** A location shared by a racing pair, for witness reports
+    (["<opaque>"] when the conflict came from an opaque step). *)

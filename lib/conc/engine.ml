@@ -29,6 +29,10 @@ type stats = {
   replayed_steps : int;
   fingerprint_hits : int;
   sleep_pruned : int;
+  races_found : int;
+  backtrack_points : int;
+  bound_hits : int;
+  bounded : bool;
   cache_hits : int;
   tasks_stolen : int;
   domains_used : int;
@@ -48,6 +52,10 @@ let empty_stats =
     replayed_steps = 0;
     fingerprint_hits = 0;
     sleep_pruned = 0;
+    races_found = 0;
+    backtrack_points = 0;
+    bound_hits = 0;
+    bounded = false;
     cache_hits = 0;
     tasks_stolen = 0;
     domains_used = 1;
@@ -67,6 +75,10 @@ let merge_stats a b =
     replayed_steps = a.replayed_steps + b.replayed_steps;
     fingerprint_hits = a.fingerprint_hits + b.fingerprint_hits;
     sleep_pruned = a.sleep_pruned + b.sleep_pruned;
+    races_found = a.races_found + b.races_found;
+    backtrack_points = a.backtrack_points + b.backtrack_points;
+    bound_hits = a.bound_hits + b.bound_hits;
+    bounded = a.bounded || b.bounded;
     cache_hits = a.cache_hits + b.cache_hits;
     tasks_stolen = a.tasks_stolen + b.tasks_stolen;
     domains_used = max a.domains_used b.domains_used;
@@ -243,6 +255,7 @@ let dfs ~restart ~fuel ?max_runs ?preemption_bound ~prune ?(prefix = [])
        ~preemptions:preemptions0 ~sleep:sleep0 ~path:init_path
    with Stop | Abandoned -> ());
   {
+    empty_stats with
     runs = !runs;
     truncated = !truncated;
     max_steps = !max_steps;
@@ -250,12 +263,4 @@ let dfs ~restart ~fuel ?max_runs ?preemption_bound ~prune ?(prefix = [])
     replayed_steps = !replayed;
     fingerprint_hits = !fp_hits;
     sleep_pruned = !slept;
-    cache_hits = 0;
-    tasks_stolen = 0;
-    domains_used = 1;
-    domains_requested = 1;
-    sampled_runs = 0;
-    violations_found = 0;
-    shrink_candidates = 0;
-    shrink_steps_removed = 0;
   }

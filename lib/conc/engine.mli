@@ -23,6 +23,21 @@ type stats = {
           front *)
   fingerprint_hits : int;  (** subtrees cut off by fingerprint memoization *)
   sleep_pruned : int;      (** sibling decisions skipped by sleep sets *)
+  races_found : int;
+      (** direct races detected by the vector-clock analysis of the DPOR
+          engine ({!Dpor}); [0] for the label-heuristic engines *)
+  backtrack_points : int;
+      (** threads added to node backtrack sets by race reversal (source
+          sets); [0] for the engines that expand every enabled decision *)
+  bound_hits : int;
+      (** edges cut by a preemption/delay bound — summed across the
+          iterative-deepening levels, so one statically infeasible edge
+          counts once per level that revisited it *)
+  bounded : bool;
+      (** the run {e set} is an underapproximation because a schedule bound
+          actually cut at least one edge ([bound_hits > 0] somewhere); a
+          bounded strategy whose bound never bit reports [false] — the
+          exploration was complete *)
   cache_hits : int;
       (** verdict-cache hits, patched in by the caller that owns the cache
           ({!Verify.Obligations}); always [0] straight out of the engine *)

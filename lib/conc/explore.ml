@@ -6,6 +6,10 @@ type stats = Engine.stats = {
   replayed_steps : int;
   fingerprint_hits : int;
   sleep_pruned : int;
+  races_found : int;
+  backtrack_points : int;
+  bound_hits : int;
+  bounded : bool;
   cache_hits : int;
   tasks_stolen : int;
   domains_used : int;
@@ -199,6 +203,158 @@ let failure_depth ~setup ~fuel ?(max_bound = 8) ?max_runs ~p () =
       | Ok stats -> go (bound + 1) stats
   in
   go 0 empty_stats
+
+(* ------------------------------------------------- strategy dispatch -- *)
+
+type strategy =
+  | Dfs
+  | Dpor
+  | Preemption_bounded of { bound : int }
+  | Delay_bounded of { bound : int }
+
+let strategy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "" | "dfs" -> Some Dfs
+  | "dpor" -> Some Dpor
+  | s -> (
+      match String.index_opt s ':' with
+      | None -> None
+      | Some i -> (
+          let kind = String.sub s 0 i
+          and n = String.sub s (i + 1) (String.length s - i - 1) in
+          match (kind, int_of_string_opt n) with
+          | ("preemption" | "preempt"), Some b when b >= 0 ->
+              Some (Preemption_bounded { bound = b })
+          | "delay", Some b when b >= 0 -> Some (Delay_bounded { bound = b })
+          | _ -> None))
+
+let strategy_to_string = function
+  | Dfs -> "dfs"
+  | Dpor -> "dpor"
+  | Preemption_bounded { bound } -> Fmt.str "preemption:%d" bound
+  | Delay_bounded { bound } -> Fmt.str "delay:%d" bound
+
+(* Root-split composition with the parallel front: fully expand the root
+   frontier and hand each root decision to one engine instance as a
+   rank-ordered task. Sound for DPOR because full expansion is a superset
+   of any backtrack set the analysis could compute at the root, so race
+   reversals never need to reach into a task's frozen prefix; the split is
+   applied identically at [domains = 1], so reports are byte-identical
+   across domain counts by construction (per-task run sets don't depend on
+   which worker claims the task). The cost is bounded reduction loss at
+   the root only: at most a factor of the root frontier width. *)
+let exhaustive_strategy_collect ?(plan = []) ~strategy ?(domains = 1) ~setup
+    ~fuel ?max_runs ~init ~f () =
+  match strategy with
+  | Dfs ->
+      exhaustive_collect ~plan ~domains ~setup ~fuel ?max_runs ~init ~f ()
+  | _ ->
+      let restart () = Runner.start ~plan ~setup () in
+      let roots = Runner.frontier (restart ()) in
+      if roots = [] || fuel = 0 then begin
+        let acc = init () in
+        let o = Runner.outcome (restart ()) in
+        f acc o;
+        ( { empty_stats with runs = 1; nodes = 1; max_steps = o.Runner.steps },
+          [| acc |] )
+      end
+      else begin
+        let gate =
+          match max_runs with
+          | None -> None
+          | Some m ->
+              let remaining = Atomic.make m in
+              Some (fun () -> Atomic.fetch_and_add remaining (-1) > 0)
+        in
+        let engine ~prefix ~f =
+          match strategy with
+          | Dfs -> assert false
+          | Dpor -> Dpor.source ~restart ~fuel ~prefix ?gate ~f ()
+          | Preemption_bounded { bound } ->
+              Dpor.bounded ~cost:Dpor.Preemption ~bound ~restart ~fuel ~prefix
+                ?gate ~f ()
+          | Delay_bounded { bound } ->
+              Dpor.bounded ~cost:Dpor.Delay ~bound ~restart ~fuel ~prefix
+                ?gate ~f ()
+        in
+        let tasks = Array.of_list roots in
+        let eff_domains =
+          if domains <= 1 then 1
+          else
+            max 1
+              (min (Par_explore.effective_domains domains) (Array.length tasks))
+        in
+        let run_task _rank d =
+          let acc = init () in
+          let stats = engine ~prefix:[ d ] ~f:(fun o -> f acc o) in
+          (stats, acc)
+        in
+        let results, stolen =
+          Par_explore.map_tasks ~domains:eff_domains ~f:run_task tasks
+        in
+        let stats =
+          Array.fold_left
+            (fun s (st, _) -> merge_stats s st)
+            empty_stats results
+        in
+        let stats =
+          {
+            stats with
+            tasks_stolen = stolen;
+            domains_used = eff_domains;
+            domains_requested = domains;
+          }
+        in
+        (stats, Array.map snd results)
+      end
+
+let exhaustive_strategy ?plan ~strategy ?domains ~setup ~fuel ?max_runs ~f ()
+    =
+  fst
+    (exhaustive_strategy_collect ?plan ~strategy ?domains ~setup ~fuel
+       ?max_runs
+       ~init:(fun () -> ())
+       ~f:(fun () o -> f o)
+       ())
+
+(* Replay a (witness) schedule through the vector-clock analysis and report
+   its direct racing step pairs — the "why this interleaving matters" data
+   of a minimized counterexample. *)
+let races_of_exec exec schedule =
+  let tracker = ref (Deps.tracker ()) in
+  let races = ref [] in
+  List.iter
+    (fun (d : Runner.decision) ->
+      let frontier = Runner.frontier exec in
+      let n_decisions =
+        List.length
+          (List.filter (fun (x : Runner.decision) -> x.thread = d.thread) frontier)
+      in
+      let label = Runner.step exec d in
+      let recorded = Runner.last_step_accesses exec in
+      let eff = Dpor.classify ~thread:d.thread ~n_decisions ~label ~recorded in
+      let tracker', st, rs = Deps.observe !tracker eff in
+      tracker := tracker';
+      List.iter
+        (fun (earlier : Deps.step) ->
+          races :=
+            {
+              Cal.Witness.r_loc = Deps.race_loc earlier st;
+              r_thread_a = earlier.Deps.st_thread;
+              r_step_a = earlier.Deps.st_index;
+              r_thread_b = st.Deps.st_thread;
+              r_step_b = st.Deps.st_index;
+            }
+            :: !races)
+        rs)
+    schedule;
+  List.rev !races
+
+let races_of ?(plan = []) ~setup schedule =
+  races_of_exec (Runner.start ~plan ~setup ()) schedule
+
+let races_of_durable ?(plan = []) ~setup schedule =
+  races_of_exec (Runner.start_durable ~plan ~setup ()) schedule
 
 (* ------------------------------------------------- fault exploration -- *)
 

@@ -56,6 +56,17 @@ type stats = Engine.stats = {
           replays the whole prefix at every node) *)
   fingerprint_hits : int;  (** subtrees cut off by fingerprint memoization *)
   sleep_pruned : int;      (** sibling decisions skipped by sleep sets *)
+  races_found : int;
+      (** direct races detected by the DPOR engine's vector-clock analysis
+          ([0] for the label-heuristic engines) *)
+  backtrack_points : int;
+      (** threads added to backtrack sets by source-set race reversal *)
+  bound_hits : int;
+      (** edges cut by a preemption/delay bound, summed across the
+          iterative-deepening levels *)
+  bounded : bool;
+      (** a schedule bound actually cut at least one edge: the run set is
+          an honest underapproximation (sound for bug-finding only) *)
   cache_hits : int;
       (** canonical-history verdict-cache hits, patched in by
           {!Verify.Obligations}; always [0] straight out of the engine *)
@@ -198,6 +209,91 @@ val check_all :
     counterexample is the first failure in canonical schedule order —
     the same outcome the sequential search returns (the stats of an
     [Error] differ: abandoned tasks stop counting early). *)
+
+(** {1 Exploration strategies}
+
+    Beyond the incremental DFS (with its opt-in fingerprint/sleep-set
+    pruning), exploration can run under an explicit {e strategy}:
+
+    - {!Dpor}: source-DPOR over the vector-clock happens-before relation
+      ({!Deps}/{!Dpor}) — explores one interleaving per Mazurkiewicz trace
+      of the over-approximated dependence. {e Complete}: verdicts are
+      preserved exactly (every pruned schedule has a delivered equivalent
+      with byte-identical history, trace and results).
+    - {!Preemption_bounded}/{!Delay_bounded}: full enumeration within a
+      schedule-cost budget, iteratively deepened so level [c] delivers
+      exactly the cost-[c] runs. Honest {e underapproximations}, sound for
+      bug-finding; stats report [bounded = true] only if the bound
+      actually cut an edge.
+
+    Strategies compose with the parallel front by root-splitting: the root
+    frontier is fully expanded (a superset of any backtrack set) and each
+    root decision becomes one rank-ordered task, applied identically at
+    [domains = 1] — so reports are byte-identical across domain counts by
+    construction. *)
+
+type strategy =
+  | Dfs  (** the incremental DFS engine (with its env-controlled pruning) *)
+  | Dpor  (** source-DPOR: complete, verdict-preserving reduction *)
+  | Preemption_bounded of { bound : int }
+      (** at most [bound] preemptive context switches per run *)
+  | Delay_bounded of { bound : int }
+      (** at most [bound] deviations from the default continuation *)
+
+val strategy_of_string : string -> strategy option
+(** Parse ["dfs"], ["dpor"], ["preemption:N"] / ["preempt:N"], ["delay:N"]
+    (case-insensitive); [None] on anything else. The inverse of
+    {!strategy_to_string}. *)
+
+val strategy_to_string : strategy -> string
+
+val exhaustive_strategy :
+  ?plan:Fault.plan ->
+  strategy:strategy ->
+  ?domains:int ->
+  setup:(Ctx.t -> Runner.program) ->
+  fuel:int ->
+  ?max_runs:int ->
+  f:(Runner.outcome -> unit) ->
+  unit ->
+  stats
+(** Explore under [strategy]. [Dfs] delegates to {!exhaustive}; the other
+    strategies root-split as described above (even at [domains = 1]).
+    [max_runs] is enforced through a shared delivery gate; combine it with
+    [domains = 1] when the exact run {e set} must be deterministic. With
+    [domains >= 2] the callback runs concurrently from several domains —
+    use {!exhaustive_strategy_collect} unless it is thread-safe. *)
+
+val exhaustive_strategy_collect :
+  ?plan:Fault.plan ->
+  strategy:strategy ->
+  ?domains:int ->
+  setup:(Ctx.t -> Runner.program) ->
+  fuel:int ->
+  ?max_runs:int ->
+  init:(unit -> 'acc) ->
+  f:('acc -> Runner.outcome -> unit) ->
+  unit ->
+  stats * 'acc array
+(** Like {!exhaustive_strategy} with one accumulator per root-split task,
+    returned in canonical rank order (task order = root frontier order),
+    so merging accumulators in array order is deterministic and
+    domain-count-invariant. *)
+
+val races_of :
+  ?plan:Fault.plan ->
+  setup:(Ctx.t -> Runner.program) ->
+  Runner.schedule ->
+  Cal.Witness.race list
+(** Replay a (witness) schedule through the vector-clock analysis and
+    return its direct racing step pairs, in execution order — the "why
+    this interleaving matters" annotation of a minimized counterexample. *)
+
+val races_of_durable :
+  ?plan:Fault.plan ->
+  setup:(Ctx.t -> Runner.durable) ->
+  Runner.schedule ->
+  Cal.Witness.race list
 
 (** {1 Fault exploration} *)
 

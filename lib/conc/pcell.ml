@@ -5,11 +5,18 @@
    domain back to its durable value — exactly the unflushed writes are
    lost. All mutations are plain OCaml mutation: the cells are stepped
    inside Prog atomic/fallible steps, so determinism comes from the runner
-   exactly as for [ref] cells. *)
+   exactly as for [ref] cells.
+
+   When a run context is attached to the domain (the runner does this for
+   durable programs), each read/write/flush additionally records a per-step
+   access against the cell's location, feeding the same happens-before
+   instrumentation as [Cell]. Unattached domains record nothing. *)
 
 type domain = {
   mutable cells : cell_ops list;  (* newest first; order is irrelevant *)
   mutable crashes : int;
+  mutable d_ctx : Ctx.t option;
+  mutable next_id : int;
 }
 
 and cell_ops = { wipe : unit -> unit; is_dirty : unit -> bool }
@@ -18,25 +25,56 @@ type 'a t = {
   mutable vol : 'a;
   mutable dur : 'a;
   mutable dirty : bool;
+  p_loc : string;
+  p_dom : domain;
 }
 
-let domain () = { cells = []; crashes = 0 }
+let domain () = { cells = []; crashes = 0; d_ctx = None; next_id = 0 }
+let attach dom ctx = dom.d_ctx <- Some ctx
 
-let create dom v =
-  let c = { vol = v; dur = v; dirty = false } in
+let create ?loc dom v =
+  let p_loc =
+    match loc with
+    | Some l -> l
+    | None ->
+        let id = dom.next_id in
+        dom.next_id <- id + 1;
+        "pcell#" ^ string_of_int id
+  in
+  let c = { vol = v; dur = v; dirty = false; p_loc; p_dom = dom } in
   dom.cells <-
     { wipe = (fun () -> c.vol <- c.dur; c.dirty <- false);
       is_dirty = (fun () -> c.dirty) }
     :: dom.cells;
   c
 
-let read c = c.vol
+let note_read c =
+  match c.p_dom.d_ctx with
+  | Some ctx -> Ctx.note_read ctx c.p_loc
+  | None -> ()
+
+let note_write c =
+  match c.p_dom.d_ctx with
+  | Some ctx -> Ctx.note_write ctx c.p_loc
+  | None -> ()
+
+let loc c = c.p_loc
+
+let read c =
+  note_read c;
+  c.vol
 
 let write c v =
+  note_write c;
   c.vol <- v;
   c.dirty <- true
 
 let flush c =
+  (* A flush reads the volatile copy and writes the durable one; both live
+     at the cell's location, so a flush conflicts with reads and writes of
+     the same cell — its position matters for what a crash preserves. *)
+  note_read c;
+  note_write c;
   c.dur <- c.vol;
   c.dirty <- false
 

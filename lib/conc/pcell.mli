@@ -28,9 +28,19 @@ type 'a t
 
 val domain : unit -> domain
 
-val create : domain -> 'a -> 'a t
+val attach : domain -> Ctx.t -> unit
+(** Attach a run context: from now on, {!read}/{!write}/{!flush} record
+    per-step accesses against the cell's location via {!Ctx.note_read} /
+    {!Ctx.note_write} (no-ops outside an applied step). The runner attaches
+    the context when a durable program starts; unattached domains record
+    nothing. *)
+
+val create : ?loc:string -> domain -> 'a -> 'a t
 (** [create dom v] is a fresh cell with volatile and durable value [v],
-    registered in [dom]. *)
+    registered in [dom]. [loc] names the cell for the happens-before
+    instrumentation (default ["pcell#N"], N per-domain sequential). *)
+
+val loc : 'a t -> string
 
 val read : 'a t -> 'a
 (** The volatile value. *)

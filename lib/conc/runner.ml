@@ -312,6 +312,7 @@ let start ?(plan = []) ~setup () =
 let start_durable ?(plan = []) ~setup () =
   let ctx = Ctx.create () in
   let d = setup ctx in
+  Pcell.attach d.domain ctx;
   make_exec ~plan ~ctx ~program:d.boot
     ~e_durable:(Some (d.domain, d.recover))
     ()
@@ -319,7 +320,19 @@ let start_durable ?(plan = []) ~setup () =
 let mix h x = (h * 0x01000193) lxor x
 
 let step e d =
-  let label = apply e.e_fs e.e_states d in
+  (* Track shared-location accesses only while the decision itself applies:
+     guard evaluations in [frontier] and the post-step hooks stay outside
+     the window, so [last_step_accesses] describes exactly this step. *)
+  Ctx.begin_step e.e_ctx;
+  let label =
+    match apply e.e_fs e.e_states d with
+    | label ->
+        Ctx.end_step e.e_ctx;
+        label
+    | exception exn ->
+        Ctx.end_step e.e_ctx;
+        raise exn
+  in
   Ctx.tick e.e_ctx;
   e.e_applied_rev <- d :: e.e_applied_rev;
   e.e_steps <- e.e_steps + 1;
@@ -338,6 +351,7 @@ let step e d =
 let frontier e = enabled e.e_fs e.e_states
 let steps_done e = e.e_steps
 let ctx e = e.e_ctx
+let last_step_accesses e = Ctx.step_accesses e.e_ctx
 
 let head_label e thread =
   if thread < 0 || thread >= Array.length e.e_states then None

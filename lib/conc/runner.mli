@@ -126,6 +126,12 @@ val fingerprint : exec -> string
 val ctx : exec -> Ctx.t
 (** The execution's run context. *)
 
+val last_step_accesses : exec -> (string list * string list) option
+(** [(reads, writes)] recorded by the most recently applied decision
+    (sorted, deduplicated), or [None] if the step ran uninstrumented code —
+    see {!Ctx.step_accesses}. Valid until the next {!step}. The DPOR engine
+    turns this into the step's dependency footprint. *)
+
 val replay :
   ?plan:Fault.plan -> setup:(Ctx.t -> program) -> schedule -> outcome * frontier
 (** [replay ~setup s] builds a fresh program and applies the decisions of

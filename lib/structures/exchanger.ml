@@ -12,13 +12,13 @@ and offer = {
   uid : int;
   owner : Ids.Tid.t;
   data : Value.t;
-  hole : hole_state ref;
+  hole : hole_state Cell.t;
 }
 
 type t = {
   xc_oid : Ids.Oid.t;
   ctx : Ctx.t;
-  g : offer option ref;
+  g : offer option Cell.t;
   instrument : bool;
   log_history : bool;
   wait : int;
@@ -38,7 +38,7 @@ let create ?(oid = Ids.Oid.v "E") ?(instrument = true) ?(log_history = true) ?wa
   {
     xc_oid = oid;
     ctx;
-    g = ref None;
+    g = Cell.make ctx ~loc:(Ids.Oid.to_string oid ^ ".g") None;
     instrument;
     log_history;
     wait = Option.value ~default:1 wait;
@@ -52,6 +52,20 @@ let loc t = "@" ^ Ids.Oid.to_string t.xc_oid
 
 let oid t = t.xc_oid
 
+(* Offer allocation happens inside a CAS step, thread-local until that very
+   step publishes it; the hole gets its own tracked location. The uid
+   counter is a plain ref on purpose — uids never reach the history, trace
+   or results, so the explorer must not order steps around it. *)
+let fresh_offer t ~tid v =
+  let uid = !(t.next_uid) in
+  incr t.next_uid;
+  let hole =
+    Cell.make t.ctx
+      ~loc:(Ids.Oid.to_string t.xc_oid ^ ".hole#" ^ string_of_int uid)
+      Hole_empty
+  in
+  { uid; owner = tid; data = v; hole }
+
 type offer_view = {
   v_uid : int;
   v_owner : Ids.Tid.t;
@@ -60,20 +74,22 @@ type offer_view = {
     [ `Empty | `Matched of int * Ids.Tid.t * Value.t | `Failed | `Cancelled ];
 }
 
+(* Views are pure observations (probes, tests): [peek] keeps them out of
+   the dependency record. *)
 let view_of_offer (o : offer) =
   {
     v_uid = o.uid;
     v_owner = o.owner;
     v_data = o.data;
     v_hole =
-      (match !(o.hole) with
+      (match Cell.peek o.hole with
       | Hole_empty -> `Empty
       | Hole_matched m -> `Matched (m.uid, m.owner, m.data)
       | Hole_failed -> `Failed
       | Hole_cancelled -> `Cancelled);
   }
 
-let peek_g t = Option.map view_of_offer !(t.g)
+let peek_g t = Option.map view_of_offer (Cell.peek t.g)
 
 type probe_point = {
   pp_name : string;
@@ -120,7 +136,7 @@ let exchange_body ?probe t ~tid v =
                 pp_n = Option.map view_of_offer n;
                 pp_cur = Option.map view_of_offer cur;
                 pp_s = s;
-                pp_g = Option.map view_of_offer !(t.g);
+                pp_g = Option.map view_of_offer (Cell.peek t.g);
               })
   in
   (* lines 13+15: allocate the offer and attempt CAS(g, null, n) — the INIT
@@ -132,12 +148,10 @@ let exchange_body ?probe t ~tid v =
   let* result =
     Prog.fallible ~label:("init-cas" ^ loc t)
       (fun () ->
-        match !(t.g) with
+        match Cell.get t.g with
         | None ->
-            let uid = !(t.next_uid) in
-            incr t.next_uid;
-            let n = { uid; owner = tid; data = v; hole = ref Hole_empty } in
-            t.g := Some n;
+            let n = fresh_offer t ~tid v in
+            Cell.set t.g (Some n);
             Prog.return (`Installed n)
         | Some _ -> Prog.return `Occupied)
       ~on_fault:(fun () -> Prog.return `Occupied)
@@ -157,9 +171,9 @@ let exchange_body ?probe t ~tid v =
       (* line 18: CAS(n.hole, null, fail) — the PASS action *)
       let* outcome =
         Prog.atomically ~label:("pass-cas" ^ loc t) (fun () ->
-            match !(n.hole) with
+            match Cell.get n.hole with
             | Hole_empty ->
-                n.hole := Hole_failed;
+                Cell.set n.hole Hole_failed;
                 Prog.return `No_partner
             | Hole_matched m -> Prog.return (`Swapped m)
             | Hole_failed | Hole_cancelled ->
@@ -174,7 +188,7 @@ let exchange_body ?probe t ~tid v =
           Prog.return (Value.ok m.data) (* line 22: n.hole.data *))
   | `Occupied -> (
       (* line 25: read g *)
-      let* cur = Prog.read t.g in
+      let* cur = Cell.read ~label:("read-g" ^ loc t) t.g in
       match cur with
       | None -> fail_return t ~tid v (* line 35 *)
       | Some cur ->
@@ -187,12 +201,10 @@ let exchange_body ?probe t ~tid v =
           let* s =
             Prog.fallible ~label:("xchg-cas" ^ loc t)
               (fun () ->
-                match !(cur.hole) with
+                match Cell.get cur.hole with
                 | Hole_empty ->
-                    let uid = !(t.next_uid) in
-                    incr t.next_uid;
-                    let n = { uid; owner = tid; data = v; hole = ref Hole_empty } in
-                    cur.hole := Hole_matched n;
+                    let n = fresh_offer t ~tid v in
+                    Cell.set cur.hole (Hole_matched n);
                     log_swap t ~waiter:(cur.owner, cur.data) ~active:(tid, v);
                     Prog.return true
                 | Hole_matched _ | Hole_failed | Hole_cancelled ->
@@ -207,7 +219,9 @@ let exchange_body ?probe t ~tid v =
           let* () =
             Prog.fallible ~label:("clean-cas" ^ loc t)
               (fun () ->
-                (match !(t.g) with Some o when o == cur -> t.g := None | _ -> ());
+                (match Cell.get t.g with
+                | Some o when o == cur -> Cell.set t.g None
+                | _ -> ());
                 Prog.return ())
               ~on_fault:(fun () -> Prog.return ())
           in
@@ -245,12 +259,10 @@ let exchange_timed_body t ~tid ~deadline v =
     let* result =
       Prog.fallible ~label:("init-cas" ^ loc t)
         (fun () ->
-          match !(t.g) with
+          match Cell.get t.g with
           | None ->
-              let uid = !(t.next_uid) in
-              incr t.next_uid;
-              let n = { uid; owner = tid; data = v; hole = ref Hole_empty } in
-              t.g := Some n;
+              let n = fresh_offer t ~tid v in
+              Cell.set t.g (Some n);
               Prog.return (`Installed (n, min (now () + t.wait) deadline))
           | Some _ -> Prog.return `Occupied)
         ~on_fault:(fun () -> Prog.return `Occupied)
@@ -258,7 +270,7 @@ let exchange_timed_body t ~tid ~deadline v =
     match result with
     | `Installed (n, pair_until) -> wait_for_partner n pair_until
     | `Occupied -> (
-        let* cur = Prog.read t.g in
+        let* cur = Cell.read ~label:("read-g" ^ loc t) t.g in
         match cur with
         | None -> attempt () (* slot emptied under us: retry or time out *)
         | Some cur -> help cur)
@@ -268,16 +280,16 @@ let exchange_timed_body t ~tid ~deadline v =
       ~expired:(fun () -> now () >= pair_until)
       ~on_timeout:(fun () -> cancel n)
       (fun () ->
-        match !(n.hole) with
+        match Cell.get n.hole with
         | Hole_matched m -> Some (Prog.return (Value.ok m.data))
         | _ -> None)
   and cancel n =
     let* r =
       Prog.fallible ~label:("cancel-cas" ^ loc t)
         (fun () ->
-          match !(n.hole) with
+          match Cell.get n.hole with
           | Hole_empty ->
-              n.hole := Hole_cancelled;
+              Cell.set n.hole Hole_cancelled;
               Prog.return `Cancelled
           | Hole_matched m -> Prog.return (`Matched m)
           | Hole_failed | Hole_cancelled ->
@@ -293,7 +305,9 @@ let exchange_timed_body t ~tid ~deadline v =
         let* () =
           Prog.fallible ~label:("clean-cas" ^ loc t)
             (fun () ->
-              (match !(t.g) with Some o when o == n -> t.g := None | _ -> ());
+              (match Cell.get t.g with
+              | Some o when o == n -> Cell.set t.g None
+              | _ -> ());
               Prog.return ())
             ~on_fault:(fun () -> Prog.return ())
         in
@@ -303,7 +317,9 @@ let exchange_timed_body t ~tid ~deadline v =
     (* cancel-acknowledge: a plain read, deliberately NOT fallible. If the
        cancel CAS genuinely lost, the hole is matched and stable; if the
        forced failure was spurious (hole still empty) we retry the cancel. *)
-    let* st = Prog.atomic ~label:("cancel-ack" ^ loc t) (fun () -> !(n.hole)) in
+    let* st =
+      Prog.atomic ~label:("cancel-ack" ^ loc t) (fun () -> Cell.get n.hole)
+    in
     match st with
     | Hole_matched m -> Prog.return (Value.ok m.data)
     | Hole_empty -> cancel n
@@ -312,12 +328,10 @@ let exchange_timed_body t ~tid ~deadline v =
     let* s =
       Prog.fallible ~label:("xchg-cas" ^ loc t)
         (fun () ->
-          match !(cur.hole) with
+          match Cell.get cur.hole with
           | Hole_empty ->
-              let uid = !(t.next_uid) in
-              incr t.next_uid;
-              let n = { uid; owner = tid; data = v; hole = ref Hole_empty } in
-              cur.hole := Hole_matched n;
+              let n = fresh_offer t ~tid v in
+              Cell.set cur.hole (Hole_matched n);
               log_swap t ~waiter:(cur.owner, cur.data) ~active:(tid, v);
               Prog.return true
           | Hole_matched _ | Hole_failed | Hole_cancelled -> Prog.return false)
@@ -326,7 +340,9 @@ let exchange_timed_body t ~tid ~deadline v =
     let* () =
       Prog.fallible ~label:("clean-cas" ^ loc t)
         (fun () ->
-          (match !(t.g) with Some o when o == cur -> t.g := None | _ -> ());
+          (match Cell.get t.g with
+          | Some o when o == cur -> Cell.set t.g None
+          | _ -> ());
           Prog.return ())
         ~on_fault:(fun () -> Prog.return ())
     in

@@ -27,7 +27,9 @@ and offer = {
   uid : int;                (** unique id, for state snapshots *)
   owner : Cal.Ids.Tid.t;    (** the auxiliary [tid] field *)
   data : Cal.Value.t;
-  hole : hole_state ref;
+  hole : hole_state Conc.Cell.t;
+      (** tracked shared cell: hole accesses feed the explorer's
+          happens-before relation *)
 }
 
 type t

@@ -4,17 +4,23 @@ open Prog.Infix
 
 type t = {
   st_oid : Ids.Oid.t;
-  top : Value.t list ref;
+  top : Value.t list Cell.t;
   ctx : Ctx.t;
   instrument : bool;
   log_history : bool;
 }
 
 let create ?(oid = Ids.Oid.v "S") ?(instrument = true) ?(log_history = true) ctx =
-  { st_oid = oid; top = ref []; ctx; instrument; log_history }
+  {
+    st_oid = oid;
+    top = Cell.make ctx ~loc:(Ids.Oid.to_string oid ^ ".top") [];
+    ctx;
+    instrument;
+    log_history;
+  }
 
 (* contended-location tag for the metrics layer *)
-let loc t = "@" ^ Ids.Oid.to_string t.st_oid ^ ".top"
+let loc t = "@" ^ Cell.loc t.top
 
 let oid t = t.st_oid
 
@@ -23,13 +29,14 @@ let log_op t op = if t.instrument then Ctx.log_element t.ctx (Ca_trace.singleton
 (* Fig. 2 lines 10–14: read the top, attempt one CAS. The CAS is the
    linearization point; success and failure are both logged there. The step
    is fallible: a fault plan may force the failure branch, which behaves
-   exactly like losing the race (weak-CAS semantics). *)
+   exactly like losing the race (weak-CAS semantics). Going through [Cell]
+   records each access against the step, so the explorer's happens-before
+   relation sees the read and the CAS footprints exactly. *)
 let push_body t ~tid v =
-  let* h = Prog.read t.top in
+  let* h = Cell.read ~label:("read" ^ loc t) t.top in
   Prog.fallible ~label:("push-cas" ^ loc t)
     (fun () ->
-      let ok = !(t.top) == h in
-      if ok then t.top := v :: h;
+      let ok = Cell.compare_and_set ~eq:( == ) t.top ~expect:h (v :: h) in
       log_op t (Spec_stack.push_op ~oid:t.st_oid tid v ~ok);
       Prog.return (Value.bool ok))
     ~on_fault:(fun () ->
@@ -39,7 +46,7 @@ let push_body t ~tid v =
 (* Fig. 2 lines 15–24. An empty read answers EMPTY at a separate return
    step; otherwise one CAS decides. *)
 let pop_body t ~tid =
-  let* h = Prog.read t.top in
+  let* h = Cell.read ~label:("read" ^ loc t) t.top in
   match h with
   | [] ->
       Prog.atomic ~label:"pop-empty" (fun () ->
@@ -48,8 +55,7 @@ let pop_body t ~tid =
   | x :: rest ->
       Prog.fallible ~label:("pop-cas" ^ loc t)
         (fun () ->
-          let ok = !(t.top) == h in
-          if ok then t.top := rest;
+          let ok = Cell.compare_and_set ~eq:( == ) t.top ~expect:h rest in
           log_op t (Spec_stack.pop_op ~oid:t.st_oid tid (if ok then Some x else None));
           Prog.return (if ok then Value.ok x else Value.fail (Value.int 0)))
         ~on_fault:(fun () ->
@@ -85,7 +91,7 @@ let pop_retry ?backoff t ~tid =
   let pause = pause_of backoff in
   let body =
     Prog.repeat_until (fun () ->
-        let* h = Prog.read t.top in
+        let* h = Cell.read ~label:("read" ^ loc t) t.top in
         match h with
         | [] ->
             Prog.atomic ~label:"pop-empty" (fun () ->
@@ -95,9 +101,7 @@ let pop_retry ?backoff t ~tid =
             let* popped =
               Prog.fallible ~label:("pop-cas" ^ loc t)
                 (fun () ->
-                  let ok = !(t.top) == h in
-                  if ok then begin
-                    t.top := rest;
+                  if Cell.compare_and_set ~eq:( == ) t.top ~expect:h rest then begin
                     log_op t (Spec_stack.pop_op ~oid:t.st_oid tid (Some x));
                     Prog.return (Some (Value.ok x))
                   end
@@ -112,6 +116,6 @@ let pop_retry ?backoff t ~tid =
   in
   wrap t ~tid ~fid:Spec_stack.fid_pop ~arg:Value.unit body
 
-let contents t = !(t.top)
+let contents t = Cell.peek t.top
 let spec t = Spec_stack.spec ~oid:t.st_oid ~allow_spurious_failure:true ()
 let view _t = View.identity

@@ -45,6 +45,21 @@ let resolve_domains ~max_runs domains =
   if max_runs <> None then 1
   else match domains with Some d -> max 1 d | None -> env_domains ()
 
+(* Default exploration strategy, from CAL_EXPLORE_STRATEGY ("dfs", "dpor",
+   "preemption:N", "delay:N" — see {!Conc.Explore.strategy_of_string}).
+   Consumed here for the same reason as CAL_EXPLORE_DOMAINS; unknown
+   values fall back to the plain DFS. *)
+let env_strategy () =
+  match Sys.getenv_opt "CAL_EXPLORE_STRATEGY" with
+  | None -> Conc.Explore.Dfs
+  | Some s -> (
+      match Conc.Explore.strategy_of_string (String.trim s) with
+      | Some st -> st
+      | None -> Conc.Explore.Dfs)
+
+let resolve_strategy strategy =
+  match strategy with Some s -> s | None -> env_strategy ()
+
 let cache_default () = Conc.Explore.env_flag "CAL_VERDICT_CACHE"
 
 let new_cache cache =
@@ -175,17 +190,26 @@ let check_outcome ~spec ~view (outcome : Conc.Runner.outcome) =
           | Error msg -> Error ("agreement obligation: " ^ msg)
           | Ok _ -> Ok ()))
 
-let collect ?domains ~setup ~fuel ?max_runs ?preemption_bound ~check () =
+let collect ?domains ?strategy ~setup ~fuel ?max_runs ?preemption_bound
+    ~check () =
   let domains = resolve_domains ~max_runs domains in
   let stats, accs =
-    Conc.Explore.exhaustive_collect ~domains ~setup ~fuel ?max_runs
-      ?preemption_bound ~init:new_acc ~f:(record check) ()
+    match resolve_strategy strategy with
+    | Conc.Explore.Dfs ->
+        Conc.Explore.exhaustive_collect ~domains ~setup ~fuel ?max_runs
+          ?preemption_bound ~init:new_acc ~f:(record check) ()
+    | strategy ->
+        (* the legacy DFS [preemption_bound] pruner is subsumed by the
+           [Preemption_bounded] strategy; off the Dfs path it is ignored
+           rather than composed, so the strategy alone defines the run set *)
+        Conc.Explore.exhaustive_strategy_collect ~strategy ~domains ~setup
+          ~fuel ?max_runs ~init:new_acc ~f:(record check) ()
   in
   report_of ~exploration:stats ~truncated:stats.truncated accs
 
-let check_object ?domains ~setup ~spec ~view ~fuel ?max_runs ?preemption_bound
-    () =
-  collect ?domains ~setup ~fuel ?max_runs ?preemption_bound
+let check_object ?domains ?strategy ~setup ~spec ~view ~fuel ?max_runs
+    ?preemption_bound () =
+  collect ?domains ?strategy ~setup ~fuel ?max_runs ?preemption_bound
     ~check:(check_outcome ~spec ~view) ()
 
 (* Collapse the per-plan counters of a fault/crash sweep into the single
@@ -193,6 +217,7 @@ let check_object ?domains ~setup ~spec ~view ~fuel ?max_runs ?preemption_bound
 let fault_exploration (stats : Conc.Explore.fault_stats) =
   Conc.Explore.
     {
+      Conc.Explore.empty_stats with
       runs = stats.fault_runs;
       truncated = stats.fault_truncated;
       max_steps = stats.fault_max_steps;
@@ -200,14 +225,9 @@ let fault_exploration (stats : Conc.Explore.fault_stats) =
       replayed_steps = stats.fault_replayed_steps;
       fingerprint_hits = stats.fault_fingerprint_hits;
       sleep_pruned = stats.fault_sleep_pruned;
-      cache_hits = 0;
       tasks_stolen = stats.fault_tasks_stolen;
       domains_used = stats.fault_domains_used;
       domains_requested = stats.fault_domains_requested;
-      sampled_runs = 0;
-      violations_found = 0;
-      shrink_candidates = 0;
-      shrink_steps_removed = 0;
     }
 
 let check_object_with_faults ?delay_factors ?domains ~setup ~spec ~view ~fuel
@@ -270,7 +290,7 @@ let check_liveness_with_faults ?delay_factors ~setup ~fuel ~window ?max_runs
    structure share one checker run through the verdict cache. Trace-based
    checks ({!check_object}) are never cached: their verdict also depends on
    the auxiliary trace, which the canonical key does not cover. *)
-let check_black_box ?domains ?cache ~setup ~spec ~fuel ?max_runs
+let check_black_box ?domains ?strategy ?cache ~setup ~spec ~fuel ?max_runs
     ?preemption_bound () =
   let vc = new_cache cache in
   let base (outcome : Conc.Runner.outcome) () =
@@ -287,7 +307,8 @@ let check_black_box ?domains ?cache ~setup ~spec ~fuel ?max_runs
           (base outcome)
   in
   patch_cache vc
-    (collect ?domains ~setup ~fuel ?max_runs ?preemption_bound ~check ())
+    (collect ?domains ?strategy ~setup ~fuel ?max_runs ?preemption_bound
+       ~check ())
 
 (* ------------------------------------------------ durable obligations -- *)
 
@@ -374,17 +395,9 @@ let sampled_stats ~runs ~max_steps ~violations ~shrink_candidates
     ~shrink_steps_removed =
   Conc.Explore.
     {
+      Conc.Explore.empty_stats with
       runs;
-      truncated = false;
       max_steps;
-      nodes = 0;
-      replayed_steps = 0;
-      fingerprint_hits = 0;
-      sleep_pruned = 0;
-      cache_hits = 0;
-      tasks_stolen = 0;
-      domains_used = 1;
-      domains_requested = 1;
       sampled_runs = runs;
       violations_found = violations;
       shrink_candidates;
@@ -408,10 +421,31 @@ let render_sampled_problem ~kind ~seed ~budget ~fuel ~run_index ~target ~plan
            candidate replays, %d rounds); the witness is 1-minimal"
           s.steps_removed s.plan_removed s.candidates s.rounds
   in
+  (* The racing step pairs of the (minimized) witness: one replay through
+     the vector-clock analysis, capped so a pathological schedule cannot
+     flood the report. *)
+  let races =
+    match target with
+    | Conc.Shrink.Program setup -> Conc.Explore.races_of ~plan ~setup schedule
+    | Conc.Shrink.Durable setup ->
+        Conc.Explore.races_of_durable ~plan ~setup schedule
+  in
+  let cap = Tuning.witness_race_cap () in
+  let shown = List.filteri (fun i _ -> i < cap) races in
+  let hidden = List.length races - List.length shown in
+  let races_line =
+    if races <> [] && shown = [] then
+      Fmt.str "races: %d pairs (raise CAL_WITNESS_RACE_CAP to list them)"
+        (List.length races)
+    else
+      Fmt.str "%a%s" Cal.Witness.pp_races shown
+        (if hidden > 0 then Fmt.str " (+%d more)" hidden else "")
+  in
   Fmt.str
     "@[<v>sampled violation at run %d/%d (sampler %s, seed %Ld, fuel %d)@,\
      verdict: %s@,\
      threads: %s (%d decisions)@,\
+     %s@,\
      %s@,\
      history:@,  @[<v>%a@]@,\
      reproduce: rerun the sampled check with this sampler/seed/budget, or \
@@ -420,7 +454,7 @@ let render_sampled_problem ~kind ~seed ~budget ~fuel ~run_index ~target ~plan
     (Conc.Sampler.kind_to_string kind)
     seed fuel message
     (Cal.Witness.schedule_string segs)
-    (List.length schedule) shrink_line Cal.Witness.pp_era_history
+    (List.length schedule) races_line shrink_line Cal.Witness.pp_era_history
     outcome.history
 
 let sampled_report ~kind ~seed ~budget ~fuel ~shrink ~target ~check
@@ -542,9 +576,16 @@ let check_sampled_durable ?(checker = `Cal) ?(kind = default_kind)
 let ok r = r.problems = []
 
 let pp_exploration ppf (s : Conc.Explore.stats) =
-  Fmt.pf ppf " [nodes %d, replayed %d steps%s%s%s%s]" s.nodes s.replayed_steps
+  Fmt.pf ppf " [nodes %d, replayed %d steps%s%s%s%s%s%s]" s.nodes
+    s.replayed_steps
     (if s.fingerprint_hits > 0 || s.sleep_pruned > 0 then
        Fmt.str ", pruned %d fp + %d sleep" s.fingerprint_hits s.sleep_pruned
+     else "")
+    (if s.races_found > 0 || s.backtrack_points > 0 then
+       Fmt.str ", %d races / %d backtrack points" s.races_found
+         s.backtrack_points
+     else "")
+    (if s.bounded then Fmt.str ", bounded (%d bound hits)" s.bound_hits
      else "")
     (if s.domains_used > 1 || s.domains_requested > s.domains_used then
        Fmt.str ", %d domains%s (%d stolen)" s.domains_used

@@ -26,6 +26,18 @@
     determinism), and the liveness and durable crash-sweep checks are
     deliberately sequential (DESIGN §2.11).
 
+    {b Exploration strategies.} {!check_object} and {!check_black_box}
+    take [?strategy] (default: the [CAL_EXPLORE_STRATEGY] environment
+    variable parsed with {!Conc.Explore.strategy_of_string}, else
+    {!Conc.Explore.Dfs}): [Dpor] runs the verdict-preserving source-DPOR
+    reduction, [Preemption_bounded]/[Delay_bounded] run the iteratively
+    deepened bounded searches — sound for bug-finding, with the report's
+    [exploration] honestly flagging [bounded = true] whenever the bound
+    actually cut an edge. Off the [Dfs] path the legacy
+    [preemption_bound] pruner is ignored (the strategy alone defines the
+    run set). The fault, durable and liveness sweeps always run the
+    plain engine.
+
     {b Verdict cache.} The black-box checks ({!check_black_box},
     {!check_durable}, {!check_durable_with_faults}) take [?cache]
     (default: the [CAL_VERDICT_CACHE] environment variable): checker
@@ -85,6 +97,7 @@ val check_outcome :
 
 val check_object :
   ?domains:int ->
+  ?strategy:Conc.Explore.strategy ->
   setup:(Conc.Ctx.t -> Conc.Runner.program) ->
   spec:Cal.Spec.t ->
   view:Cal.View.t ->
@@ -158,6 +171,7 @@ val check_liveness_with_faults :
 
 val check_black_box :
   ?domains:int ->
+  ?strategy:Conc.Explore.strategy ->
   ?cache:bool ->
   setup:(Conc.Ctx.t -> Conc.Runner.program) ->
   spec:Cal.Spec.t ->

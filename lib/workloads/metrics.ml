@@ -381,6 +381,10 @@ type explore_cost = {
   replayed_steps : int;
   fingerprint_hits : int;
   sleep_pruned : int;
+  races_found : int;
+  backtrack_points : int;
+  bound_hits : int;
+  explore_bounded : bool;
   domains_used : int;
   domains_requested : int;
   tasks_stolen : int;
@@ -406,13 +410,28 @@ let explore_cost ~engine ~setup ~fuel ?max_runs ?preemption_bound () =
         ( Printf.sprintf "parallel-%d" d,
           Explore.exhaustive ~prune:false ~domains:d ~setup ~fuel ?max_runs
             ?preemption_bound ~f:ignore () )
+    | `Dpor ->
+        ( "dpor",
+          Explore.exhaustive_strategy ~strategy:Explore.Dpor ~setup ~fuel
+            ?max_runs ~f:ignore () )
+    | `Preemption_bounded b ->
+        ( Printf.sprintf "preemption:%d" b,
+          Explore.exhaustive_strategy
+            ~strategy:(Explore.Preemption_bounded { bound = b })
+            ~setup ~fuel ?max_runs ~f:ignore () )
+    | `Delay_bounded b ->
+        ( Printf.sprintf "delay:%d" b,
+          Explore.exhaustive_strategy
+            ~strategy:(Explore.Delay_bounded { bound = b })
+            ~setup ~fuel ?max_runs ~f:ignore () )
   in
   let steps_executed =
     match engine with
     | `Replay ->
         (* the replay engine executes exactly the steps it replays *)
         stats.Explore.replayed_steps
-    | `Incremental | `Pruned | `Parallel _ ->
+    | `Incremental | `Pruned | `Parallel _ | `Dpor | `Preemption_bounded _
+    | `Delay_bounded _ ->
         (* one fresh step per tree edge, plus the backtracking replays *)
         max 0 (stats.Explore.nodes - 1) + stats.Explore.replayed_steps
   in
@@ -424,6 +443,10 @@ let explore_cost ~engine ~setup ~fuel ?max_runs ?preemption_bound () =
     replayed_steps = stats.Explore.replayed_steps;
     fingerprint_hits = stats.Explore.fingerprint_hits;
     sleep_pruned = stats.Explore.sleep_pruned;
+    races_found = stats.Explore.races_found;
+    backtrack_points = stats.Explore.backtrack_points;
+    bound_hits = stats.Explore.bound_hits;
+    explore_bounded = stats.Explore.bounded;
     domains_used = stats.Explore.domains_used;
     domains_requested = stats.Explore.domains_requested;
     tasks_stolen = stats.Explore.tasks_stolen;
@@ -432,9 +455,13 @@ let explore_cost ~engine ~setup ~fuel ?max_runs ?preemption_bound () =
 
 let pp_explore_cost ppf c =
   Fmt.pf ppf
-    "%-18s runs=%-6d nodes=%-7d steps=%-8d replayed=%-8d fp=%-5d sleep=%d%s%s"
+    "%-18s runs=%-6d nodes=%-7d steps=%-8d replayed=%-8d fp=%-5d sleep=%d%s%s%s%s"
     c.engine c.explored_runs c.nodes c.steps_executed c.replayed_steps
     c.fingerprint_hits c.sleep_pruned
+    (if c.races_found > 0 || c.backtrack_points > 0 then
+       Fmt.str " races=%d backtracks=%d" c.races_found c.backtrack_points
+     else "")
+    (if c.explore_bounded then Fmt.str " bound-hits=%d" c.bound_hits else "")
     (if c.domains_used > 1 || c.domains_requested > c.domains_used then
        Fmt.str " domains=%d%s stolen=%d" c.domains_used
          (if c.domains_requested > c.domains_used then

@@ -104,13 +104,20 @@ val pp_result : Format.formatter -> result -> unit
 
 type explore_cost = {
   engine : string;
-      (** "replay" | "incremental" | "incremental+prune" | "parallel-N" *)
+      (** "replay" | "incremental" | "incremental+prune" | "parallel-N"
+          | "dpor" | "preemption:N" | "delay:N" *)
   explored_runs : int;    (** terminal outcomes delivered *)
   nodes : int;            (** schedule-tree nodes visited *)
   steps_executed : int;   (** program steps executed in total *)
   replayed_steps : int;   (** of which re-executed prefix steps *)
   fingerprint_hits : int;
   sleep_pruned : int;
+  races_found : int;      (** dependent step pairs the HB analysis flagged *)
+  backtrack_points : int; (** source-DPOR backtrack insertions *)
+  bound_hits : int;       (** branches cut at the final deepening level *)
+  explore_bounded : bool;
+      (** the bound actually cut an edge — the run set is an
+          underapproximation *)
   domains_used : int;     (** worker domains the exploration ran on *)
   domains_requested : int;
       (** worker domains asked for; differs from [domains_used] when the
@@ -121,7 +128,14 @@ type explore_cost = {
 }
 
 val explore_cost :
-  engine:[ `Replay | `Incremental | `Pruned | `Parallel of int ] ->
+  engine:
+    [ `Replay
+    | `Incremental
+    | `Pruned
+    | `Parallel of int
+    | `Dpor
+    | `Preemption_bounded of int
+    | `Delay_bounded of int ] ->
   setup:(Conc.Ctx.t -> Conc.Runner.program) ->
   fuel:int ->
   ?max_runs:int ->
@@ -133,7 +147,10 @@ val explore_cost :
     pruning explicitly, so [CAL_EXPLORE_NO_PRUNE=1] turns it into
     [`Incremental]. [`Parallel d] is the unpruned incremental engine
     spread over [d] worker domains ({!Conc.Par_explore}) — same runs and
-    nodes, [replayed_steps] grows by the task-prefix replays. *)
+    nodes, [replayed_steps] grows by the task-prefix replays. [`Dpor]
+    and the bounded engines run {!Conc.Explore.exhaustive_strategy}
+    ([preemption_bound] is ignored there — the strategy defines the run
+    set). *)
 
 val pp_explore_cost : Format.formatter -> explore_cost -> unit
 

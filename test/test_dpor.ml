@@ -1,0 +1,386 @@
+(* Tests for the source-DPOR engine and the bounded iterative-deepening
+   strategies: vector-clock dependency on hand-built races, race reporting
+   on witness schedules, verdict agreement with the unpruned engine on
+   every standard scenario, bug-finding under the bounds, exact-partition
+   honesty of the deepening levels, and strategy parsing. *)
+
+open Cal
+open Conc
+open Conc.Prog.Infix
+open Test_support
+module S = Workloads.Scenarios
+module O = Verify.Obligations
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* ----------------------------------------------------- Deps unit tests -- *)
+
+let eff ~thread ?(reads = []) ?(writes = []) () =
+  Deps.effect_of ~thread ~label:"step"
+    ~recorded:(Some (List.sort compare reads, List.sort compare writes))
+
+let test_conflicts () =
+  let w_x = eff ~thread:0 ~writes:[ "x" ] () in
+  let r_x = eff ~thread:1 ~reads:[ "x" ] () in
+  let w_y = eff ~thread:1 ~writes:[ "y" ] () in
+  let yield = Deps.effect_of ~thread:1 ~label:"yield" ~recorded:None in
+  let opaque = Deps.effect_of ~thread:1 ~label:"mystery" ~recorded:None in
+  let labelled = Deps.effect_of ~thread:1 ~label:"cas@x" ~recorded:None in
+  check_bool "write/read same location conflicts" true (Deps.conflicts w_x r_x);
+  check_bool "write/write distinct locations commute" false
+    (Deps.conflicts w_x w_y);
+  check_bool "read/read same location commutes" false
+    (Deps.conflicts r_x (eff ~thread:0 ~reads:[ "x" ] ()));
+  check_bool "yield is pure" false (Deps.conflicts w_x yield);
+  check_bool "unknown label is opaque" true (Deps.conflicts w_x opaque);
+  check_bool "opaque vs pure commutes" false (Deps.conflicts yield opaque);
+  (* the "…@loc" heuristic keys on the "@loc" suffix: two labelled steps on
+     the same suffix conflict, different suffixes commute *)
+  check_bool "label fallback reads+writes its @loc" true
+    (Deps.conflicts labelled
+       (Deps.effect_of ~thread:0 ~label:"read@x" ~recorded:None));
+  check_bool "label fallback is per-location" false
+    (Deps.conflicts labelled
+       (Deps.effect_of ~thread:0 ~label:"read@y" ~recorded:None));
+  check_bool "labelled step commutes with disjoint recorded write" false
+    (Deps.conflicts labelled w_y);
+  check_bool "dependent includes program order" true
+    (Deps.dependent w_x (eff ~thread:0 ~writes:[ "z" ] ()))
+
+(* The pinned 3-thread race: A writes x, B writes y, C reads x then y. The
+   vector clocks must report exactly (A, C-read-x) and (B, C-read-y) —
+   A and B touch different locations and must not race. *)
+let test_vector_clock_three_thread_race () =
+  let tk = Deps.tracker () in
+  let tk, s_a, r_a = Deps.observe tk (eff ~thread:0 ~writes:[ "x" ] ()) in
+  let tk, s_b, r_b = Deps.observe tk (eff ~thread:1 ~writes:[ "y" ] ()) in
+  let tk, s_cx, r_cx = Deps.observe tk (eff ~thread:2 ~reads:[ "x" ] ()) in
+  let _tk, s_cy, r_cy = Deps.observe tk (eff ~thread:2 ~reads:[ "y" ] ()) in
+  Alcotest.(check int) "A races with nothing" 0 (List.length r_a);
+  Alcotest.(check int) "B races with nothing (disjoint loc)" 0
+    (List.length r_b);
+  (match r_cx with
+  | [ earlier ] ->
+      Alcotest.(check int) "C's x-read races with A" s_a.Deps.st_index
+        earlier.Deps.st_index
+  | l -> Alcotest.failf "C's x-read: %d races (want 1)" (List.length l));
+  (match r_cy with
+  | [ earlier ] ->
+      Alcotest.(check int) "C's y-read races with B" s_b.Deps.st_index
+        earlier.Deps.st_index
+  | l -> Alcotest.failf "C's y-read: %d races (want 1)" (List.length l));
+  (* the race edge orders the pair for the rest of the path *)
+  check_bool "A happens-before C's x-read after the race" true
+    (Deps.happens_before ~earlier:s_a s_cx);
+  check_bool "A and B stay unordered" false
+    (Deps.happens_before ~earlier:s_a s_b);
+  check_bool "program order: C's reads are ordered" true
+    (Deps.happens_before ~earlier:s_cx s_cy)
+
+(* ------------------------------------------- race-annotated witnesses -- *)
+
+let race_setup ctx =
+  let x = Cell.make ctx ~loc:"x" 0 in
+  let y = Cell.make ctx ~loc:"y" 0 in
+  let a =
+    let* () = Cell.write x 1 in
+    Prog.return (Value.int 0)
+  in
+  let b =
+    let* () = Cell.write y 1 in
+    Prog.return (Value.int 0)
+  in
+  let c =
+    let* vx = Cell.read x in
+    let* vy = Cell.read y in
+    Prog.return (Value.int (vx + vy))
+  in
+  { Runner.threads = [| a; b; c |]; observe = None; on_label = None }
+
+(* races_of replays a schedule through the same analysis: on the sequential
+   schedule of the 3-thread client it must name the (A,C) and (B,C) pairs
+   with their locations, and no (A,B) pair. *)
+let test_races_of_schedule () =
+  let first = ref None in
+  let (_ : Explore.stats) =
+    Explore.exhaustive ~setup:race_setup ~fuel:12 ~max_runs:1
+      ~f:(fun (o : Runner.outcome) ->
+        if !first = None then first := Some o.Runner.schedule)
+      ()
+  in
+  let schedule =
+    match !first with
+    | Some s -> s
+    | None -> Alcotest.fail "no run delivered"
+  in
+  let races = Explore.races_of ~setup:race_setup schedule in
+  let pair (r : Witness.race) =
+    ((min r.r_thread_a r.r_thread_b, max r.r_thread_a r.r_thread_b), r.r_loc)
+  in
+  let pairs = List.map pair races in
+  check_bool "x race between threads 0 and 2" true
+    (List.mem ((0, 2), "x") pairs);
+  check_bool "y race between threads 1 and 2" true
+    (List.mem ((1, 2), "y") pairs);
+  check_bool "no race between the disjoint writers" true
+    (List.for_all (fun ((a, b), _) -> not (a = 0 && b = 1)) pairs);
+  (* the renderer smoke: every pair prints as tA#i ~ tB#j @ loc *)
+  let rendered = Fmt.str "%a" Witness.pp_races races in
+  check_bool "pp_races names a location" true
+    (String.length rendered > 0
+    && races <> []
+    && String.contains rendered '@')
+
+let test_pp_races_empty () =
+  Alcotest.(check string)
+    "empty race list" "races: none detected"
+    (Fmt.str "%a" Witness.pp_races [])
+
+(* ------------------------------------------------- strategy selection -- *)
+
+let test_strategy_parsing () =
+  let cases =
+    [
+      ("dfs", Some Explore.Dfs);
+      ("dpor", Some Explore.Dpor);
+      ("DPOR", Some Explore.Dpor);
+      ("preemption:2", Some (Explore.Preemption_bounded { bound = 2 }));
+      ("preempt:0", Some (Explore.Preemption_bounded { bound = 0 }));
+      ("delay:3", Some (Explore.Delay_bounded { bound = 3 }));
+      ("delay:-1", None);
+      ("delay:", None);
+      ("bogus", None);
+    ]
+  in
+  List.iter
+    (fun (s, expect) ->
+      check_bool (Fmt.str "parse %S" s) true
+        (Explore.strategy_of_string s = expect))
+    cases;
+  List.iter
+    (fun st ->
+      check_bool
+        (Fmt.str "roundtrip %s" (Explore.strategy_to_string st))
+        true
+        (Explore.strategy_of_string (Explore.strategy_to_string st) = Some st))
+    [
+      Explore.Dfs;
+      Explore.Dpor;
+      Explore.Preemption_bounded { bound = 2 };
+      Explore.Delay_bounded { bound = 1 };
+    ]
+
+(* ------------------------------------ agreement with the full engine --- *)
+
+(* Scenario fuels trimmed where the unbounded DPOR space would make the
+   cross-check slow; the injected bugs all surface well within these. *)
+let agreement_cases () =
+  [
+    (S.exchanger_pair (), 12);
+    (S.treiber_push_pop (), 10);
+    (S.counter_incrs ~n:1, 12);
+    (S.register_write_read (), 10);
+    (S.faulty_counter (), 10);
+    (S.faulty_stack (), 10);
+    (S.faulty_exchanger (), 10);
+    (S.faulty_elim_queue (), 10);
+  ]
+
+(* DPOR is a complete reduction: the full-obligation verdict must agree
+   with the unpruned DFS on every scenario, and a rejection's witness
+   schedule must replay to a failing outcome. *)
+let test_dpor_agrees_with_dfs () =
+  List.iter
+    (fun ((s : S.t), fuel) ->
+      let dfs =
+        O.check_object ~strategy:Explore.Dfs ~setup:s.setup ~spec:s.spec
+          ~view:s.view ~fuel ()
+      in
+      let dpor =
+        O.check_object ~strategy:Explore.Dpor ~setup:s.setup ~spec:s.spec
+          ~view:s.view ~fuel ()
+      in
+      check_bool
+        (Fmt.str "%s: dpor verdict = dfs verdict" s.name)
+        (O.ok dfs) (O.ok dpor);
+      check_bool
+        (Fmt.str "%s: dpor explores no more runs than dfs" s.name)
+        true (dpor.O.runs <= dfs.O.runs);
+      (match dpor.O.exploration with
+      | Some e when not (O.ok dpor) ->
+          check_bool
+            (Fmt.str "%s: rejecting dpor run saw races" s.name)
+            true
+            (e.Explore.races_found > 0 || e.Explore.backtrack_points >= 0)
+      | _ -> ());
+      match (O.ok dpor, dpor.O.problems) with
+      | false, (p : O.problem) :: _ ->
+          (* the witness replays to a genuinely failing outcome *)
+          let o, _ = Runner.replay ~setup:s.setup p.O.schedule in
+          check_bool
+            (Fmt.str "%s: dpor witness replays to a violation" s.name)
+            true
+            (Result.is_error (O.check_outcome ~spec:s.spec ~view:s.view o))
+      | _ -> ())
+    (agreement_cases ())
+
+(* The bounded strategies are underapproximations: they may never reject an
+   accepting space, and at delay bound <= 2 they find every injected bug
+   (the B18 claim, pinned here at test fuel). *)
+let test_bounded_strategies_verdicts () =
+  List.iter
+    (fun ((s : S.t), fuel) ->
+      let dfs_ok =
+        O.ok
+          (O.check_object ~strategy:Explore.Dfs ~setup:s.setup ~spec:s.spec
+             ~view:s.view ~fuel ())
+      in
+      List.iter
+        (fun strategy ->
+          let r =
+            O.check_object ~strategy ~setup:s.setup ~spec:s.spec ~view:s.view
+              ~fuel ()
+          in
+          if dfs_ok then
+            check_bool
+              (Fmt.str "%s: %s accepts an accepting space" s.name
+                 (Explore.strategy_to_string strategy))
+              true (O.ok r)
+          else
+            check_bool
+              (Fmt.str "%s: %s finds the violation" s.name
+                 (Explore.strategy_to_string strategy))
+              false (O.ok r))
+        [
+          Explore.Preemption_bounded { bound = 2 };
+          Explore.Delay_bounded { bound = 2 };
+        ])
+    (agreement_cases ())
+
+(* ------------------------------------------------ deepening honesty ---- *)
+
+(* the lost-update client: two read-increment-write threads over a tracked
+   cell — the canonical DPOR smoke (it must NOT be pruned away) *)
+let lost_update_setup ctx =
+  let c = Cell.make ctx ~loc:"c" 0 in
+  let th =
+    let* v = Cell.read c in
+    let* () = Cell.write c (v + 1) in
+    Prog.return (Value.int v)
+  in
+  { Runner.threads = [| th; th |]; observe = None; on_label = None }
+
+let test_dpor_keeps_lost_update () =
+  let lost = ref false in
+  let stats =
+    Explore.exhaustive_strategy ~strategy:Explore.Dpor ~setup:lost_update_setup
+      ~fuel:8
+      ~f:(fun (o : Runner.outcome) ->
+        match (o.Runner.results.(0), o.Runner.results.(1)) with
+        | Some a, Some b ->
+            if Value.equal a (Value.int 0) && Value.equal b (Value.int 0) then
+              lost := true
+        | _ -> ())
+      ()
+  in
+  check_bool "both threads can read 0 (lost update survives reduction)" true
+    !lost;
+  check_bool "the run set is reduced but nonempty" true (stats.Explore.runs >= 2);
+  check_bool "races were found" true (stats.Explore.races_found > 0);
+  check_bool "dpor stats are not bounded" false stats.Explore.bounded
+
+(* A bound high enough to never cut an edge must enumerate exactly the DFS
+   run set (the deepening levels partition it) and honestly report
+   [bounded = false]; a cutting bound reports [bounded = true]. *)
+let test_deepening_partitions_exactly () =
+  let fuel = 8 in
+  let dfs =
+    Explore.exhaustive ~prune:false ~setup:lost_update_setup ~fuel ~f:ignore ()
+  in
+  List.iter
+    (fun strategy ->
+      let st =
+        Explore.exhaustive_strategy ~strategy ~setup:lost_update_setup ~fuel
+          ~f:ignore ()
+      in
+      check_bool
+        (Fmt.str "%s: uncut deepening covers the DFS run set exactly"
+           (Explore.strategy_to_string strategy))
+        true
+        (st.Explore.runs = dfs.Explore.runs);
+      check_bool
+        (Fmt.str "%s: uncut deepening is not 'bounded'"
+           (Explore.strategy_to_string strategy))
+        false st.Explore.bounded;
+      Alcotest.(check int)
+        (Fmt.str "%s: no bound hits" (Explore.strategy_to_string strategy))
+        0 st.Explore.bound_hits)
+    [
+      Explore.Preemption_bounded { bound = 64 };
+      Explore.Delay_bounded { bound = 64 };
+    ];
+  let cut =
+    Explore.exhaustive_strategy
+      ~strategy:(Explore.Delay_bounded { bound = 0 })
+      ~setup:lost_update_setup ~fuel ~f:ignore ()
+  in
+  check_bool "a cutting bound reports bounded=true" true cut.Explore.bounded;
+  check_bool "a cutting bound counts its hits" true (cut.Explore.bound_hits > 0);
+  check_bool "delay bound 0 is the single default run" true
+    (cut.Explore.runs = 1)
+
+(* CAL_EXPLORE_STRATEGY drives the obligation checks; invalid values fall
+   back to the DFS. *)
+let test_env_strategy () =
+  let s = S.exchanger_pair () in
+  let ambient =
+    Option.value ~default:"" (Sys.getenv_opt "CAL_EXPLORE_STRATEGY")
+  in
+  let with_env v f =
+    Unix.putenv "CAL_EXPLORE_STRATEGY" v;
+    Fun.protect ~finally:(fun () -> Unix.putenv "CAL_EXPLORE_STRATEGY" ambient) f
+  in
+  let dfs_runs =
+    with_env "dfs" (fun () ->
+        (O.check_black_box ~setup:s.setup ~spec:s.spec ~fuel:10 ()).O.runs)
+  in
+  with_env "dpor" (fun () ->
+      let r = O.check_black_box ~setup:s.setup ~spec:s.spec ~fuel:10 () in
+      check_bool "env dpor accepts" true (O.ok r);
+      check_bool "env dpor reduces the run count" true (r.O.runs < dfs_runs));
+  with_env "no-such-strategy" (fun () ->
+      let r = O.check_black_box ~setup:s.setup ~spec:s.spec ~fuel:10 () in
+      Alcotest.(check int) "invalid env falls back to dfs" dfs_runs r.O.runs)
+
+let () =
+  Alcotest.run "dpor"
+    [
+      ( "deps",
+        [
+          t "effect conflicts" test_conflicts;
+          t "vector clocks pin the 3-thread race"
+            test_vector_clock_three_thread_race;
+        ] );
+      ( "witness",
+        [
+          t "races_of annotates a schedule" test_races_of_schedule;
+          t "pp_races renders the empty list" test_pp_races_empty;
+        ] );
+      ( "strategy",
+        [
+          t "parsing and roundtrip" test_strategy_parsing;
+          t "CAL_EXPLORE_STRATEGY selects the engine" test_env_strategy;
+        ] );
+      ( "agreement",
+        [
+          t "dpor agrees with dfs on every scenario" test_dpor_agrees_with_dfs;
+          t "bounded strategies: sound accepts, bugs within bound 2"
+            test_bounded_strategies_verdicts;
+        ] );
+      ( "deepening",
+        [
+          t "dpor keeps the lost update" test_dpor_keeps_lost_update;
+          t "deepening partitions the run set exactly"
+            test_deepening_partitions_exactly;
+        ] );
+    ]

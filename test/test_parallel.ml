@@ -293,6 +293,64 @@ let test_effective_domains () =
     (Par_explore.effective_domains 64);
   Unix.putenv "CAL_EXPLORE_OVERSUBSCRIBE" "1"
 
+(* DPOR composes with the parallel front by root-splitting: one rank-ordered
+   task per root decision, applied identically at domains=1, so the whole
+   report — verdicts, witnesses, run counts — must be byte-identical across
+   domain counts for faulty and accepting scenarios alike. *)
+let test_dpor_domain_invariant () =
+  List.iter
+    (fun ((s : S.t), fuel) ->
+      let reports =
+        List.map
+          (fun domains ->
+            ( domains,
+              O.check_black_box ~domains ~strategy:Explore.Dpor ~setup:s.setup
+                ~spec:s.spec ~fuel () ))
+          domain_counts
+      in
+      check_invariant (s.name ^ " (dpor)") reports;
+      List.iter
+        (fun (d, r) ->
+          check_bool
+            (Fmt.str "%s: dpor verdict at domains=%d" s.name d)
+            s.expect_ok (O.ok r))
+        reports)
+    [
+      (S.exchanger_pair (), 12);
+      (S.treiber_push_pop (), 10);
+      (S.faulty_counter (), 10);
+      (S.faulty_exchanger (), 10);
+    ]
+
+(* The bounded engines share the root-split front; their (honestly bounded)
+   run sets must also be domain-count-invariant. *)
+let test_bounded_domain_invariant () =
+  let s = S.faulty_stack () in
+  List.iter
+    (fun strategy ->
+      let reports =
+        List.map
+          (fun domains ->
+            ( domains,
+              O.check_black_box ~domains ~strategy ~setup:s.setup ~spec:s.spec
+                ~fuel:12 () ))
+          domain_counts
+      in
+      check_invariant
+        (Fmt.str "%s (%s)" s.name (Explore.strategy_to_string strategy))
+        reports;
+      List.iter
+        (fun (d, r) ->
+          check_bool
+            (Fmt.str "%s: %s rejects at domains=%d" s.name
+               (Explore.strategy_to_string strategy) d)
+            false (O.ok r))
+        reports)
+    [
+      Explore.Preemption_bounded { bound = 2 };
+      Explore.Delay_bounded { bound = 2 };
+    ]
+
 (* The accumulator rewrite of the drop-subset enumerator must preserve the
    naive enumeration order exactly: it decides which completion witness
    the checker reports first. *)
@@ -338,6 +396,10 @@ let () =
           t "requested domains spawn under the oversubscription override"
             test_domains_used;
           t "effective_domains capping policy" test_effective_domains;
+          t "dpor reports are domain-count-invariant"
+            test_dpor_domain_invariant;
+          t "bounded-strategy reports are domain-count-invariant"
+            test_bounded_domain_invariant;
           t "subsets_up_to matches the naive enumeration order"
             test_subsets_up_to_reference;
         ] );
